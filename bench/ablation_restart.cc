@@ -1,0 +1,74 @@
+// Ablation: prober restart policy (paper §4, Fig 10's artifact).
+//
+// "This periodicity is a probing artifact, because we restart our
+//  probing software every 5.5 hours (4.3 times per day) to recover from
+//  possible prober failure. Our measurements starting in 2014-04
+//  (A_16all) use restart times around one week to reduce this effect."
+//
+// We run the same world under three restart policies — every 5.5 hours
+// (A_12w), weekly (A_16all), and never — and measure how much spectral
+// mass lands at the restart frequency and whether diurnal conclusions
+// shift.
+#include <iostream>
+
+#include "common.h"
+#include "sleepwalk/report/table.h"
+
+int main() {
+  using namespace sleepwalk;
+  const int n_blocks = bench::BlocksScale(1200);
+  const int days = bench::DaysScale(14);
+  bench::PrintHeader(
+      "Ablation: prober restart policy vs spectral artifact",
+      "5.5-h restarts put ~3% of blocks' strongest frequency at 4.36 "
+      "cycles/day; weekly restarts (A_16all) remove the artifact");
+
+  sim::WorldConfig world_config;
+  world_config.total_blocks = n_blocks;
+  world_config.seed = 0xab1a7;
+  const auto world = sim::SimWorld::Generate(world_config);
+
+  struct Policy {
+    const char* name;
+    std::int64_t restart_rounds;
+  };
+  const Policy policies[] = {
+      {"every 5.5 h (A_12w)", 30},
+      {"weekly (A_16all)", 916},
+      {"never", 0},
+  };
+
+  report::TextTable table{{"restart policy", "blocks", "artifact @4.4c/d",
+                           "strict diurnal", "strongest @1c/d"}};
+  for (const auto& policy : policies) {
+    core::AnalyzerConfig config;
+    config.schedule.restart_every_rounds = policy.restart_rounds;
+    const auto result =
+        bench::RunWorldCampaign(world, days, 0xab1a7, config);
+
+    std::int64_t analyzed = 0;
+    std::int64_t artifact = 0;
+    std::int64_t strict = 0;
+    std::int64_t daily = 0;
+    for (const auto& analysis : result.analyses) {
+      if (!analysis.probed || analysis.observed_days < 2) continue;
+      ++analyzed;
+      const double cycles = analysis.diurnal.strongest_cycles_per_day;
+      if (cycles >= 4.1 && cycles <= 4.7) ++artifact;
+      if (cycles >= 0.95 && cycles <= 1.1) ++daily;
+      if (analysis.diurnal.IsStrict()) ++strict;
+    }
+    const auto pct = [analyzed](std::int64_t count) {
+      return report::Percent(static_cast<double>(count) /
+                                 static_cast<double>(analyzed), 2);
+    };
+    table.AddRow({policy.name, report::WithCommas(analyzed), pct(artifact),
+                  pct(strict), pct(daily)});
+  }
+  table.Print(std::cout);
+  std::cout << "the artifact column should shrink to ~0 under weekly or "
+               "no restarts, while strict-diurnal fractions stay put —\n"
+               "the artifact pollutes the strongest-frequency CDF "
+               "(Fig 10) but not the daily-bin dominance test\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared bench scaffolding: scale knobs, world -> pipeline plumbing, and
+// uniform experiment headers.
+//
+// Every bench prints the paper row/series it regenerates. Scale defaults
+// are laptop-sized; set SLEEPWALK_BLOCKS / SLEEPWALK_DAYS to push toward
+// paper scale (3.7M blocks, 35 days).
+#ifndef SLEEPWALK_BENCH_COMMON_H_
+#define SLEEPWALK_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "sleepwalk/core/pipeline.h"
+#include "sleepwalk/sim/survey.h"
+#include "sleepwalk/sim/world.h"
+
+namespace sleepwalk::bench {
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::max(1, std::atoi(value));
+}
+
+inline int BlocksScale(int fallback) {
+  return EnvInt("SLEEPWALK_BLOCKS", fallback);
+}
+
+inline int DaysScale(int fallback) { return EnvInt("SLEEPWALK_DAYS", fallback); }
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& paper_claim) {
+  std::cout << "==============================================================\n"
+            << experiment << "\n"
+            << "paper: " << paper_claim << "\n"
+            << "==============================================================\n";
+}
+
+/// Historical prior for a block: daytime availability with a little
+/// error, as the paper seeds estimators from years-old survey data.
+inline core::BlockTarget TargetFor(const sim::WorldBlock& block) {
+  const double prior = std::clamp(
+      sim::TrueAvailability(block.spec, 13 * 3600) + 0.05, 0.1, 1.0);
+  return {block.spec.block, sim::EverActiveOctets(block.spec), prior};
+}
+
+/// Runs the full A_12w-style campaign over a world from one site.
+inline core::DatasetResult RunWorldCampaign(
+    const sim::SimWorld& world, int days, std::uint64_t site_seed,
+    const core::AnalyzerConfig& config = {}) {
+  auto transport = world.MakeTransport(site_seed);
+  std::vector<core::BlockTarget> targets;
+  targets.reserve(world.blocks().size());
+  for (const auto& block : world.blocks()) {
+    targets.push_back(TargetFor(block));
+  }
+  const probing::RoundScheduler scheduler{config.schedule};
+  return core::RunCampaign(std::move(targets), *transport,
+                           scheduler.RoundsForDays(days), config,
+                           /*seed=*/site_seed ^ 0x5a5a);
+}
+
+}  // namespace sleepwalk::bench
+
+#endif  // SLEEPWALK_BENCH_COMMON_H_

@@ -1,0 +1,96 @@
+// The paper's §3.2.2 controlled diurnal-block simulation, shared by the
+// Figure 7-9 sweeps:
+//
+//   one /24, 50 stable always-responding addresses, n_d diurnal
+//   addresses (8 h up / 16 h down), the rest inactive; responses
+//   evaluated every 11 minutes for 4 weeks. Per-address phase phi_i is
+//   uniform in [0, Phi]; per-day Gaussian noise sigma_s on start and
+//   sigma_d on duration. Accuracy = fraction of experiments where the
+//   block is detected strictly diurnal; batches give the error bars.
+#ifndef SLEEPWALK_BENCH_CONTROLLED_H_
+#define SLEEPWALK_BENCH_CONTROLLED_H_
+
+#include <iostream>
+
+#include "common.h"
+#include "sleepwalk/core/block_analyzer.h"
+#include "sleepwalk/report/table.h"
+#include "sleepwalk/stats/descriptive.h"
+
+namespace sleepwalk::bench {
+
+struct ControlledParams {
+  int n_diurnal = 100;          ///< n_d
+  double phi_spread_hours = 0;  ///< Phi (uniform per-address phase)
+  double sigma_start_hours = 0; ///< sigma_s (per-day start noise)
+  double sigma_duration_hours = 0;  ///< sigma_d (per-day duration noise)
+  int days = 28;
+};
+
+/// Runs one experiment; true when the block is detected strictly
+/// diurnal.
+inline bool DetectControlledBlock(const ControlledParams& params,
+                                  std::uint64_t seed) {
+  sim::BlockSpec spec;
+  spec.block = net::Prefix24::FromIndex(0x070000);
+  spec.seed = seed;
+  spec.n_always = 50;
+  spec.n_diurnal = static_cast<std::uint8_t>(params.n_diurnal);
+  spec.response_prob = 1.0F;
+  spec.on_start_sec = 8.0F * 3600.0F;
+  spec.on_duration_sec = 8.0F * 3600.0F;
+  spec.phase_spread_sec =
+      static_cast<float>(params.phi_spread_hours * 3600.0);
+  spec.sigma_start_sec =
+      static_cast<float>(params.sigma_start_hours * 3600.0);
+  spec.sigma_duration_sec =
+      static_cast<float>(params.sigma_duration_hours * 3600.0);
+
+  core::AnalyzerConfig config;
+  const probing::RoundScheduler scheduler{config.schedule};
+  sim::SimTransport transport{seed ^ 0x7247};
+  transport.AddBlock(&spec);
+  core::BlockAnalyzer analyzer{
+      spec.block, sim::EverActiveOctets(spec),
+      sim::TrueAvailability(spec, 13 * 3600), seed ^ 0x9e37, config};
+  analyzer.RunCampaign(transport, scheduler.RoundsForDays(params.days));
+  return analyzer.Finish().diurnal.IsStrict();
+}
+
+struct SweepPoint {
+  double accuracy_median = 0.0;  ///< over batches
+  double accuracy_q1 = 0.0;
+  double accuracy_q3 = 0.0;
+};
+
+/// Paper protocol: `batches` batches of `per_batch` experiments; report
+/// median and quartiles of per-batch accuracy.
+inline SweepPoint RunSweepPoint(const ControlledParams& params,
+                                std::uint64_t seed_base) {
+  const int batches = EnvInt("SLEEPWALK_BATCHES", 5);
+  const int per_batch = EnvInt("SLEEPWALK_EXPERIMENTS", 20);
+  std::vector<double> batch_accuracy;
+  for (int b = 0; b < batches; ++b) {
+    int detected = 0;
+    for (int e = 0; e < per_batch; ++e) {
+      const auto seed =
+          seed_base + static_cast<std::uint64_t>(b) * 1000003 +
+          static_cast<std::uint64_t>(e) * 7919;
+      if (DetectControlledBlock(params, seed)) ++detected;
+    }
+    batch_accuracy.push_back(static_cast<double>(detected) / per_batch);
+  }
+  const auto q = stats::ComputeQuartiles(batch_accuracy);
+  return {q.median, q.q1, q.q3};
+}
+
+inline void PrintSweepRow(report::TextTable& table, const std::string& x,
+                          const SweepPoint& point) {
+  table.AddRow({x, report::Percent(point.accuracy_median, 1),
+                report::Percent(point.accuracy_q1, 1),
+                report::Percent(point.accuracy_q3, 1)});
+}
+
+}  // namespace sleepwalk::bench
+
+#endif  // SLEEPWALK_BENCH_CONTROLLED_H_

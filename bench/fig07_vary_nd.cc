@@ -1,0 +1,30 @@
+// Figure 7: detection accuracy vs the number of diurnal addresses n_d
+// (2%..67% of responsive addresses), with 50 always-on addresses and no
+// phase/duration noise.
+//
+// Paper: accuracy climbs quickly; above ~10 diurnal addresses (17% of
+// responsive) accuracy exceeds 85%. Misses at small n_d happen because
+// probing usually hits a stable address and stops.
+#include <iostream>
+
+#include "controlled.h"
+
+int main() {
+  using namespace sleepwalk;
+  bench::PrintHeader(
+      "Figure 7: accuracy vs number of diurnal addresses (n_d)",
+      ">85% accuracy once n_d >= 10 of 50 stable (Phi = sigma_s = "
+      "sigma_d = 0)");
+
+  report::TextTable table{{"n_d", "accuracy (median)", "q1", "q3"}};
+  for (const int n_d : {1, 2, 5, 10, 20, 40, 70, 100}) {
+    bench::ControlledParams params;
+    params.n_diurnal = n_d;
+    const auto point = bench::RunSweepPoint(params, 0x0700 + n_d);
+    bench::PrintSweepRow(table, std::to_string(n_d), point);
+  }
+  table.Print(std::cout);
+  std::cout << "(n_d = 10 is 17% of the 60 responsive addresses at "
+               "night; paper's threshold for >85% accuracy)\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 8: detection accuracy vs maximum phase spread Phi (0..24 h)
+// with n_d = 100 and no start/duration noise.
+//
+// Paper: accuracy holds until a sharp drop when Phi reaches ~14 hours —
+// the strict test's "twice the next strongest amplitude" rule fails once
+// per-address wake times blur across more than half the day.
+#include <iostream>
+
+#include "controlled.h"
+
+int main() {
+  using namespace sleepwalk;
+  bench::PrintHeader(
+      "Figure 8: accuracy vs maximum phase spread Phi",
+      "sharp drop near Phi = 14 h (n_d = 100, sigma_s = sigma_d = 0)");
+
+  report::TextTable table{{"Phi (hours)", "accuracy (median)", "q1", "q3"}};
+  for (const int phi : {0, 2, 4, 6, 8, 10, 12, 13, 14, 15, 16, 18, 20, 24}) {
+    bench::ControlledParams params;
+    params.phi_spread_hours = phi;
+    const auto point = bench::RunSweepPoint(params, 0x0800 + phi);
+    bench::PrintSweepRow(table, std::to_string(phi), point);
+  }
+  table.Print(std::cout);
+  std::cout << "(typical human phase spread is under 4 hours, far left "
+               "of the cliff)\n";
+  return 0;
+}

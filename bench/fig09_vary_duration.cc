@@ -1,0 +1,30 @@
+// Figure 9: detection accuracy vs the per-day standard deviation of
+// uptime duration sigma_d (0..24 h), n_d = 100, Phi = sigma_s = 0.
+//
+// Paper: accuracy is only slightly affected until sigma_d exceeds ~10
+// hours, because daily synchronization means duration noise cancels out
+// over the observation.
+#include <iostream>
+
+#include "controlled.h"
+
+int main() {
+  using namespace sleepwalk;
+  bench::PrintHeader(
+      "Figure 9: accuracy vs uptime-duration noise sigma_d",
+      "mild degradation only for sigma_d > 10 h (n_d = 100, Phi = "
+      "sigma_s = 0)");
+
+  report::TextTable table{
+      {"sigma_d (hours)", "accuracy (median)", "q1", "q3"}};
+  for (const int sigma : {0, 2, 4, 6, 8, 10, 12, 16, 20, 24}) {
+    bench::ControlledParams params;
+    params.sigma_duration_hours = sigma;
+    const auto point = bench::RunSweepPoint(params, 0x0900 + sigma);
+    bench::PrintSweepRow(table, std::to_string(sigma), point);
+  }
+  table.Print(std::cout);
+  std::cout << "(ordinary schedules vary by only a few hours: well "
+               "within tolerance)\n";
+  return 0;
+}

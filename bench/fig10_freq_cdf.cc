@@ -1,0 +1,74 @@
+// Figure 10: cumulative distribution of each block's strongest spectral
+// frequency over the 35-day campaign.
+//
+// Paper: a strong step at 1 cycle/day (~25% of blocks, of which 11%
+// pass the strict test), and a second group (~3%) at ~4.3 cycles/day —
+// an artifact of restarting the prober software every 5.5 hours.
+#include <iostream>
+
+#include "common.h"
+#include "sleepwalk/report/chart.h"
+#include "sleepwalk/report/table.h"
+#include "sleepwalk/stats/histogram.h"
+
+int main() {
+  using namespace sleepwalk;
+  const int n_blocks = bench::BlocksScale(2000);
+  const int days = bench::DaysScale(35);
+  bench::PrintHeader(
+      "Figure 10: CDF of the strongest frequency per block",
+      "~25% at 1 cycle/day; ~3% artifact at 4.36 cycles/day from "
+      "5.5-hour prober restarts");
+
+  sim::WorldConfig world_config;
+  world_config.total_blocks = n_blocks;
+  world_config.seed = 0xf16a;
+  const auto world = sim::SimWorld::Generate(world_config);
+
+  // A_12w policy: restart the prober every 30 rounds (5.5 h).
+  core::AnalyzerConfig config;
+  config.schedule.restart_every_rounds = 30;
+  const auto result = bench::RunWorldCampaign(world, days, 0xf16a, config);
+
+  stats::Histogram histogram{0.0, 8.0, 160};  // cycles/day, 0.05 steps
+  std::int64_t analyzed = 0;
+  std::int64_t at_daily = 0;
+  std::int64_t at_restart = 0;
+  std::int64_t strict = 0;
+  for (const auto& analysis : result.analyses) {
+    if (!analysis.probed || analysis.observed_days < 2) continue;
+    ++analyzed;
+    const double cycles = analysis.diurnal.strongest_cycles_per_day;
+    histogram.Add(cycles);
+    if (cycles >= 0.95 && cycles <= 1.1) ++at_daily;
+    // Restart period 30 rounds = 5.5 h -> 4.36 cycles/day.
+    if (cycles >= 4.1 && cycles <= 4.7) ++at_restart;
+    if (analysis.diurnal.IsStrict()) ++strict;
+  }
+
+  const auto cdf = histogram.Cdf();
+  std::vector<double> curve(cdf.begin(), cdf.end());
+  report::PrintSeries(std::cout, curve, 78, 14,
+                      "CDF of strongest frequency (x: 0..8 cycles/day)");
+
+  report::TextTable table{{"cycles/day", "cumulative fraction"}};
+  for (const double mark : {0.5, 1.0, 1.1, 2.0, 4.0, 4.4, 5.0, 8.0}) {
+    const auto bin = std::min<std::size_t>(
+        static_cast<std::size_t>(mark / 0.05) - 1, histogram.bins() - 1);
+    table.AddRow({report::Fixed(mark, 2), report::Fixed(cdf[bin], 3)});
+  }
+  table.Print(std::cout);
+
+  const auto frac = [analyzed](std::int64_t count) {
+    return report::Percent(
+        static_cast<double>(count) / static_cast<double>(analyzed), 1);
+  };
+  std::cout << "blocks analyzed: " << report::WithCommas(analyzed) << "\n"
+            << "strongest at ~1 cycle/day:  " << frac(at_daily)
+            << "   [paper: ~25%]\n"
+            << "strictly diurnal:           " << frac(strict)
+            << "   [paper: 11%]\n"
+            << "restart artifact (~4.36/d): " << frac(at_restart)
+            << "   [paper: ~3%]\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Figure 16: scatter of country diurnal fraction vs per-capita GDP with
+// a weak negative linear fit.
+//
+// Paper: confidence coefficient -0.526 ("such weak fits are common with
+// coarse GDP data and few countries"); countries above 0.15 diurnal all
+// sit below ~$15,000 GDP.
+#include <iostream>
+#include <map>
+
+#include "common.h"
+#include "sleepwalk/geo/geodb.h"
+#include "sleepwalk/report/chart.h"
+#include "sleepwalk/report/csv.h"
+#include "sleepwalk/report/table.h"
+#include "sleepwalk/stats/histogram.h"
+#include "sleepwalk/stats/regression.h"
+#include "sleepwalk/world/economics.h"
+
+int main() {
+  using namespace sleepwalk;
+  const int n_blocks = bench::BlocksScale(6000);
+  const int days = bench::DaysScale(10);
+  bench::PrintHeader(
+      "Figure 16: country diurnal fraction vs per-capita GDP",
+      "weak negative fit, r = -0.526; diurnal > 0.15 implies GDP < "
+      "~$15,000");
+
+  sim::WorldConfig config;
+  config.total_blocks = n_blocks;
+  config.seed = 0xf16;
+  config.min_blocks_per_country = 40;
+  const auto world = sim::SimWorld::Generate(config);
+  const auto geodb = geo::GeoDatabase::FromTruth(world.TrueLocations(),
+                                                 geo::GeoDatabase::Options{});
+  const auto result = bench::RunWorldCampaign(world, days, 0xf16);
+
+  struct CountryStats {
+    std::int64_t blocks = 0;
+    std::int64_t diurnal = 0;
+  };
+  std::map<std::string, CountryStats> stats;
+  for (std::size_t i = 0; i < world.blocks().size(); ++i) {
+    const auto& analysis = result.analyses[i];
+    if (!analysis.probed || analysis.observed_days < 2) continue;
+    const auto* record = geodb.Lookup(world.blocks()[i].spec.block);
+    if (record == nullptr) continue;
+    auto& entry = stats[record->country_code];
+    ++entry.blocks;
+    if (analysis.diurnal.IsStrict()) ++entry.diurnal;
+  }
+
+  std::vector<double> gdp;
+  std::vector<double> fraction;
+  sleepwalk::stats::Histogram2d scatter{0.0, 65000.0, 65, 0.0, 0.7, 20};
+  int high_diurnal_low_gdp = 0;
+  int high_diurnal_total = 0;
+  for (const auto& [code, entry] : stats) {
+    if (entry.blocks < 25) continue;
+    const auto* info = world::FindCountry(code);
+    if (info == nullptr) continue;
+    const double f = static_cast<double>(entry.diurnal) /
+                     static_cast<double>(entry.blocks);
+    gdp.push_back(info->gdp_per_capita_usd);
+    fraction.push_back(f);
+    scatter.Add(info->gdp_per_capita_usd, f);
+    if (f > 0.15) {
+      ++high_diurnal_total;
+      if (info->gdp_per_capita_usd < 15000.0) ++high_diurnal_low_gdp;
+    }
+  }
+
+  std::vector<std::vector<double>> cells(20, std::vector<double>(65));
+  for (std::size_t y = 0; y < 20; ++y) {
+    for (std::size_t x = 0; x < 65; ++x) {
+      cells[y][x] = static_cast<double>(scatter.count(x, y));
+    }
+  }
+  report::PrintDensityGrid(std::cout, cells,
+                           "scatter: x = GDP/capita ($0..$65k), y = "
+                           "diurnal fraction (0..0.7)");
+
+  const auto fit = sleepwalk::stats::FitSimple(gdp, fraction);
+  std::cout << "countries: " << gdp.size()
+            << "; linear fit r = " << report::Fixed(fit.r, 3)
+            << " (slope " << report::Scientific(fit.slope, 2)
+            << " per $)   [paper: r = -0.526]\n"
+            << "countries with diurnal fraction > 0.15 and GDP < $15k: "
+            << high_diurnal_low_gdp << "/" << high_diurnal_total
+            << "   [paper: top-20 generally < $15,000]\n";
+
+  if (const auto path = report::CsvPathFor("fig16_scatter.csv");
+      !path.empty()) {
+    report::CsvWriter csv{path};
+    csv.WriteRow({"gdp", "frac_diurnal"});
+    for (std::size_t i = 0; i < gdp.size(); ++i) {
+      csv.WriteRow({report::Fixed(gdp[i], 0),
+                    report::Fixed(fraction[i], 4)});
+    }
+  }
+  return 0;
+}

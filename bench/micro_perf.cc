@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark): throughput of the hot paths —
+// FFT variants vs Goertzel, the availability estimator, the adaptive
+// prober, and end-to-end block analysis. Quantifies the Goertzel-vs-FFT
+// tradeoff called out in DESIGN.md §5.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sleepwalk/core/block_analyzer.h"
+#include "sleepwalk/core/quick_screen.h"
+#include "sleepwalk/fft/fft.h"
+#include "sleepwalk/fft/goertzel.h"
+#include "sleepwalk/fft/spectrum.h"
+#include "sleepwalk/sim/block.h"
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk {
+namespace {
+
+std::vector<double> MakeSeries(std::size_t n) {
+  Rng rng{42};
+  std::vector<double> series(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    series[i] = 0.5 + 0.3 * ((i % 131) < 50 ? 1.0 : -1.0) +
+                0.05 * rng.NextGaussian();
+  }
+  return series;
+}
+
+void BM_FftPowerOfTwo(benchmark::State& state) {
+  const auto series = MakeSeries(2048);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fft::ForwardReal(series));
+  }
+}
+BENCHMARK(BM_FftPowerOfTwo);
+
+void BM_FftBluestein14Day(benchmark::State& state) {
+  const auto series = MakeSeries(1833);  // 14 days of 11-min rounds
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fft::ForwardReal(series));
+  }
+}
+BENCHMARK(BM_FftBluestein14Day);
+
+void BM_FftBluestein35Day(benchmark::State& state) {
+  const auto series = MakeSeries(4582);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fft::ForwardReal(series));
+  }
+}
+BENCHMARK(BM_FftBluestein35Day);
+
+void BM_GoertzelDailyBinOnly(benchmark::State& state) {
+  const auto series = MakeSeries(4582);
+  for (auto _ : state) {
+    // Detection-only workload: daily bin + neighbour + first harmonic.
+    benchmark::DoNotOptimize(fft::Goertzel(series, 35));
+    benchmark::DoNotOptimize(fft::Goertzel(series, 36));
+    benchmark::DoNotOptimize(fft::Goertzel(series, 70));
+  }
+}
+BENCHMARK(BM_GoertzelDailyBinOnly);
+
+void BM_SpectrumAndClassify(benchmark::State& state) {
+  const auto series = MakeSeries(1833);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ClassifyDiurnal(series, 14));
+  }
+}
+BENCHMARK(BM_SpectrumAndClassify);
+
+void BM_QuickScreen(benchmark::State& state) {
+  // The O(n) Goertzel prefilter vs the full classify above: the
+  // two-stage triage saves the FFT on clearly non-diurnal blocks.
+  const auto series = MakeSeries(1833);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::QuickDiurnalScreen(series, 14));
+  }
+}
+BENCHMARK(BM_QuickScreen);
+
+void BM_AvailabilityEstimatorObserve(benchmark::State& state) {
+  core::AvailabilityEstimator estimator{0.5};
+  Rng rng{7};
+  for (auto _ : state) {
+    estimator.Observe(rng.NextBool(0.6) ? 1 : 0,
+                      1 + static_cast<int>(rng.NextBelow(15)));
+    benchmark::DoNotOptimize(estimator.Operational());
+  }
+}
+BENCHMARK(BM_AvailabilityEstimatorObserve);
+
+void BM_ProberRound(benchmark::State& state) {
+  sim::BlockSpec spec;
+  spec.block = net::Prefix24::FromIndex(100);
+  spec.seed = 0x1;
+  spec.n_always = 30;
+  spec.n_diurnal = 100;
+  spec.response_prob = 0.9F;
+  sim::SimTransport transport{3};
+  transport.AddBlock(&spec);
+  probing::AdaptiveProber prober{spec.block, sim::EverActiveOctets(spec),
+                                 0x2};
+  std::int64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        prober.RunRound(transport, round, round * 660, 0.6));
+    ++round;
+  }
+}
+BENCHMARK(BM_ProberRound);
+
+void BM_BlockCampaign14Days(benchmark::State& state) {
+  sim::BlockSpec spec;
+  spec.block = net::Prefix24::FromIndex(100);
+  spec.seed = 0x1;
+  spec.n_always = 30;
+  spec.n_diurnal = 100;
+  spec.response_prob = 0.9F;
+  for (auto _ : state) {
+    sim::SimTransport transport{3};
+    transport.AddBlock(&spec);
+    core::BlockAnalyzer analyzer{spec.block, sim::EverActiveOctets(spec),
+                                 0.7, 0x5eed, {}};
+    analyzer.RunCampaign(transport, 1833);
+    benchmark::DoNotOptimize(analyzer.Finish());
+  }
+}
+BENCHMARK(BM_BlockCampaign14Days);
+
+}  // namespace
+}  // namespace sleepwalk
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+// §3.2.4: validation against operator ground truth at a campus network.
+//
+// The paper examined USC: a few strictly diurnal blocks (wireless +
+// dynamic pockets + general-use blocks that sleep), at most 3% false
+// positives, and — crucially — *heavily overprovisioned wireless* whose
+// blocks have ~10 live addresses out of 256, which Trinocular's
+// 15-address policy refuses to probe: sparse blocks cause false
+// negatives only, never false positives, making Internet-wide diurnal
+// fractions a lower bound.
+//
+// We build a campus-like world: general-use always-on blocks (some with
+// dynamic pockets), dense wireless with diurnal usage, and
+// overprovisioned wireless (sparse), then measure it.
+#include <iostream>
+
+#include "common.h"
+#include "sleepwalk/report/table.h"
+
+namespace sleepwalk {
+namespace {
+
+enum class CampusKind { kGeneralUse, kDynamicPocket, kDenseWireless,
+                        kSparseWireless };
+
+struct CampusBlock {
+  sim::BlockSpec spec;
+  CampusKind kind;
+  bool truly_diurnal;
+};
+
+std::vector<CampusBlock> BuildCampus() {
+  std::vector<CampusBlock> blocks;
+  Rng rng{0x05c0};
+  std::uint32_t next_index = (128u << 16) | 1250u;  // a campus /16
+  const auto add = [&](CampusKind kind, auto configure, bool diurnal) {
+    CampusBlock block;
+    block.spec.block = net::Prefix24::FromIndex(next_index++);
+    block.spec.seed = rng();
+    block.spec.response_prob = 0.93F;
+    configure(block.spec);
+    block.kind = kind;
+    block.truly_diurnal = diurnal;
+    blocks.push_back(block);
+  };
+
+  // 60 general-use department blocks: always-on servers and desktops.
+  for (int i = 0; i < 60; ++i) {
+    add(CampusKind::kGeneralUse, [&](sim::BlockSpec& spec) {
+      spec.n_always = static_cast<std::uint8_t>(40 + rng.NextBelow(120));
+    }, false);
+  }
+  // 16 general-use blocks where desktops are switched off at night
+  // (the paper's "surprising" diurnal general-use blocks).
+  for (int i = 0; i < 16; ++i) {
+    add(CampusKind::kGeneralUse, [&](sim::BlockSpec& spec) {
+      spec.n_always = static_cast<std::uint8_t>(10 + rng.NextBelow(20));
+      spec.n_diurnal = static_cast<std::uint8_t>(60 + rng.NextBelow(60));
+      spec.on_start_sec = 15.0F * 3600.0F;  // 8 am local (UTC-7)
+      spec.on_duration_sec = 10.0F * 3600.0F;
+      spec.phase_spread_sec = 2.0F * 3600.0F;
+      spec.sigma_start_sec = 0.5F * 3600.0F;
+    }, true);
+  }
+  // 20 blocks with pockets of dynamically assigned addresses.
+  for (int i = 0; i < 20; ++i) {
+    add(CampusKind::kDynamicPocket, [&](sim::BlockSpec& spec) {
+      spec.n_always = static_cast<std::uint8_t>(20 + rng.NextBelow(40));
+      spec.n_diurnal = static_cast<std::uint8_t>(16 + rng.NextBelow(24));
+      spec.on_start_sec = 16.0F * 3600.0F;
+      spec.on_duration_sec = 9.0F * 3600.0F;
+      spec.phase_spread_sec = 3.0F * 3600.0F;
+    }, true);
+  }
+  // 23 dense wireless blocks (the probed fraction of campus wireless).
+  for (int i = 0; i < 23; ++i) {
+    add(CampusKind::kDenseWireless, [&](sim::BlockSpec& spec) {
+      spec.n_always = static_cast<std::uint8_t>(4 + rng.NextBelow(8));
+      spec.n_diurnal = static_cast<std::uint8_t>(30 + rng.NextBelow(50));
+      spec.on_start_sec = 16.0F * 3600.0F;
+      spec.on_duration_sec = 8.0F * 3600.0F;
+      spec.phase_spread_sec = 4.0F * 3600.0F;
+      spec.sigma_start_sec = 1.0F * 3600.0F;
+    }, true);
+  }
+  // 119 overprovisioned wireless blocks: ~10 live addresses each.
+  for (int i = 0; i < 119; ++i) {
+    add(CampusKind::kSparseWireless, [&](sim::BlockSpec& spec) {
+      spec.n_always = static_cast<std::uint8_t>(2 + rng.NextBelow(4));
+      spec.n_diurnal = static_cast<std::uint8_t>(4 + rng.NextBelow(6));
+      spec.on_start_sec = 16.0F * 3600.0F;
+      spec.on_duration_sec = 8.0F * 3600.0F;
+      spec.phase_spread_sec = 4.0F * 3600.0F;
+    }, true);  // truly diurnal usage, but too sparse to see
+  }
+  return blocks;
+}
+
+}  // namespace
+}  // namespace sleepwalk
+
+int main() {
+  using namespace sleepwalk;
+  const int days = bench::DaysScale(14);
+  bench::PrintHeader(
+      "USC-style ground truth (paper §3.2.4)",
+      "sparse wireless (119 of 142 blocks) excluded by the 15-address "
+      "policy -> false negatives only; <= 3% false positives among "
+      "probed blocks");
+
+  const auto campus = BuildCampus();
+  sim::SimTransport transport{0x05c};
+  std::vector<core::BlockTarget> targets;
+  for (const auto& block : campus) {
+    transport.AddBlock(&block.spec);
+    targets.push_back({block.spec.block, sim::EverActiveOctets(block.spec),
+                       sim::TrueAvailability(block.spec, 20 * 3600)});
+  }
+  core::AnalyzerConfig config;
+  const probing::RoundScheduler scheduler{config.schedule};
+  const auto result =
+      core::RunCampaign(std::move(targets), transport,
+                        scheduler.RoundsForDays(days), config, 0x05c);
+
+  struct KindStats {
+    const char* name;
+    int total = 0;
+    int probed = 0;
+    int detected = 0;  // strict or relaxed
+  };
+  KindStats kinds[4] = {{"general use"}, {"dynamic pocket"},
+                        {"dense wireless"}, {"sparse wireless"}};
+  int false_positives = 0;
+  int probed_total = 0;
+  for (std::size_t i = 0; i < campus.size(); ++i) {
+    auto& kind = kinds[static_cast<int>(campus[i].kind)];
+    ++kind.total;
+    const auto& analysis = result.analyses[i];
+    if (!analysis.probed) continue;
+    ++kind.probed;
+    ++probed_total;
+    if (analysis.diurnal.IsDiurnal()) {
+      ++kind.detected;
+      if (!campus[i].truly_diurnal) ++false_positives;
+    }
+  }
+
+  report::TextTable table{{"block kind", "blocks", "probed",
+                           "detected diurnal"}};
+  for (const auto& kind : kinds) {
+    table.AddRow({kind.name, std::to_string(kind.total),
+                  std::to_string(kind.probed),
+                  std::to_string(kind.detected)});
+  }
+  table.Print(std::cout);
+
+  const auto& sparse = kinds[3];
+  std::cout << "sparse wireless probed: " << sparse.probed << "/"
+            << sparse.total
+            << "   [paper: 23/142 wireless blocks probed; 119 excluded]\n"
+            << "false positives among probed: " << false_positives << "/"
+            << probed_total << " ("
+            << report::Percent(
+                   probed_total > 0
+                       ? static_cast<double>(false_positives) / probed_total
+                       : 0.0, 1)
+            << ")   [paper: <= 3%]\n"
+            << "=> sparse blocks cause only false negatives; measured "
+               "diurnal fractions are a lower bound\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Live ICMP probing of a real /24 block.
+//
+// Runs the same Trinocular-style adaptive prober the simulations use,
+// but over a raw ICMP socket (requires CAP_NET_RAW or the unprivileged
+// ICMP datagram socket; degrades with a clear message otherwise).
+//
+// The round cadence is shortened (seconds instead of 11 minutes) so a
+// demo finishes quickly; pass a prefix you are authorized to probe.
+//
+// Usage:  sudo ./build/examples/live_probe 192.0.2.0/24 [rounds]
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "sleepwalk/sleepwalk.h"
+
+int main(int argc, char** argv) {
+  using namespace sleepwalk;
+
+  if (argc < 2) {
+    std::cout << "usage: " << argv[0] << " <a.b.c/24> [rounds]\n"
+              << "probes a /24 you are AUTHORIZED to measure; each round "
+                 "sends at most 15 ICMP echo requests.\n";
+    return 2;
+  }
+  const auto prefix = net::Prefix24::Parse(argv[1]);
+  if (!prefix) {
+    std::cerr << "cannot parse prefix: " << argv[1] << "\n";
+    return 2;
+  }
+  const int rounds = argc > 2 ? std::max(1, std::atoi(argv[2])) : 10;
+
+  auto transport = net::MakeLiveIcmpTransport(/*timeout_ms=*/800);
+  if (transport == nullptr) {
+    std::string error;
+    net::RawIcmpSocket::Open(&error);
+    std::cerr << "cannot open an ICMP socket (" << error << ")\n"
+              << "run as root / with CAP_NET_RAW, or enable "
+                 "net.ipv4.ping_group_range.\n";
+    return 1;
+  }
+
+  // Without historical data, assume every address may be active.
+  std::vector<std::uint8_t> ever_active;
+  for (int i = 1; i < 255; ++i) {
+    ever_active.push_back(static_cast<std::uint8_t>(i));
+  }
+
+  core::AnalyzerConfig config;
+  config.min_ever_active = 1;
+  core::BlockAnalyzer analyzer{*prefix, std::move(ever_active),
+                               /*initial_availability=*/0.3,
+                               /*seed=*/0x11fe, config};
+
+  // Do-no-harm budget: Trinocular's ~19 probes/hour/block ceiling,
+  // enforced mechanically. The demo's fast cadence makes the budget the
+  // binding constraint, exactly as in a real deployment.
+  auto budget = net::MakeTrinocularBudget();
+  const auto start = std::chrono::steady_clock::now();
+  const auto now_sec = [&start] {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start).count();
+  };
+
+  std::cout << "probing " << prefix->ToString() << " for " << rounds
+            << " rounds (3-second cadence for the demo; budget "
+            << net::kTrinocularProbesPerHour << " probes/hour)\n";
+  for (int round = 0; round < rounds; ++round) {
+    // A round costs at most 15 probes; wait until the bucket covers it.
+    const double wait = budget.DelayUntilAvailable(now_sec(), 15.0);
+    if (wait > 0.0) {
+      std::cout << "  (rate limit: waiting "
+                << report::Fixed(wait, 1) << " s before round " << round
+                << ")\n";
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds{static_cast<long>(wait * 1000.0)});
+    }
+    budget.TryAcquire(now_sec(), 15.0);
+    analyzer.RunRound(*transport, round);
+    const auto& estimator = analyzer.estimator();
+    std::cout << "round " << round << ": A-hat_s = "
+              << report::Fixed(estimator.ShortTerm(), 3)
+              << ", A-hat_l = " << report::Fixed(estimator.LongTerm(), 3)
+              << ", A-hat_o = "
+              << report::Fixed(estimator.Operational(), 3) << "\n";
+    if (round + 1 < rounds) {
+      std::this_thread::sleep_for(std::chrono::seconds{3});
+    }
+  }
+
+  std::cout << "\nfinal estimates after " << rounds << " rounds:\n"
+            << "  short-term availability:  "
+            << report::Fixed(analyzer.estimator().ShortTerm(), 3) << "\n"
+            << "  operational availability: "
+            << report::Fixed(analyzer.estimator().Operational(), 3) << "\n"
+            << "(diurnal classification needs 2+ days of 11-minute "
+               "rounds; run with the real cadence for that)\n";
+  return 0;
+}

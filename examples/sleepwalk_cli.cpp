@@ -1,0 +1,270 @@
+// sleepwalk_cli: the measurement system as a command-line tool.
+//
+//   measure  — generate a world, run a probing campaign, save a dataset
+//   analyze  — load a dataset and print the diurnal summary
+//   compare  — agreement matrix between two datasets (paper Table 2)
+//   block    — per-block detail: daily profile, spectrum, classification
+//
+// Examples:
+//   sleepwalk_cli measure --blocks 2000 --days 7 --seed 42
+//       --out /tmp/a12w.slpw
+//   sleepwalk_cli analyze --in /tmp/a12w.slpw
+//   sleepwalk_cli measure --site 2 --out /tmp/a12j.slpw
+//   sleepwalk_cli compare --a /tmp/a12w.slpw --b /tmp/a12j.slpw
+//   sleepwalk_cli block --in /tmp/a12w.slpw --index 3
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "sleepwalk/sleepwalk.h"
+
+namespace {
+
+using namespace sleepwalk;
+
+/// Minimal --flag value parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      values_[key.substr(2)] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? it->second : fallback;
+  }
+
+  long GetInt(const std::string& key, long fallback) const {
+    const auto text = Get(key);
+    return text.empty() ? fallback : std::atol(text.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::cout <<
+      "usage: sleepwalk_cli <command> [--flag value ...]\n"
+      "  measure --out FILE [--blocks N] [--days D] [--seed S] [--site K]\n"
+      "      generate a simulated world and run a probing campaign\n"
+      "  analyze --in FILE\n"
+      "      diurnal summary of a saved dataset\n"
+      "  compare --a FILE --b FILE\n"
+      "      cross-dataset agreement matrix (paper Table 2)\n"
+      "  block --in FILE (--index I | --prefix a.b.c/24)\n"
+      "      one block's series, daily profile and classification\n";
+  return 2;
+}
+
+int CmdMeasure(const Flags& flags) {
+  const auto out = flags.Get("out");
+  if (out.empty()) {
+    std::cerr << "measure: --out FILE is required\n";
+    return 2;
+  }
+  sim::WorldConfig world_config;
+  world_config.total_blocks =
+      static_cast<int>(flags.GetInt("blocks", 1000));
+  world_config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const int days = static_cast<int>(flags.GetInt("days", 7));
+  const auto site = static_cast<std::uint64_t>(flags.GetInt("site", 1));
+
+  std::cout << "generating ~" << world_config.total_blocks
+            << " blocks (seed " << world_config.seed << ")...\n";
+  const auto world = sim::SimWorld::Generate(world_config);
+
+  std::cout << "measuring " << world.blocks().size() << " blocks for "
+            << days << " days from site " << site << "...\n";
+  auto transport = world.MakeTransport(site * 0x9e3779b9ULL + 1);
+  std::vector<core::BlockTarget> targets;
+  for (const auto& block : world.blocks()) {
+    targets.push_back({block.spec.block, sim::EverActiveOctets(block.spec),
+                       sim::TrueAvailability(block.spec, 13 * 3600)});
+  }
+  core::AnalyzerConfig config;
+  const probing::RoundScheduler scheduler{config.schedule};
+  const auto result = core::RunCampaign(
+      std::move(targets), *transport, scheduler.RoundsForDays(days), config,
+      site);
+
+  if (!core::WriteDataset(out, result.analyses,
+                          config.schedule.round_seconds,
+                          config.schedule.epoch_sec)) {
+    std::cerr << "measure: cannot write " << out << "\n";
+    return 1;
+  }
+  std::cout << "measured " << result.counts.probed() << " blocks ("
+            << result.counts.skipped << " skipped); strict diurnal "
+            << report::Percent(result.counts.StrictFraction(), 1)
+            << "; dataset written to " << out << "\n";
+  return 0;
+}
+
+int CmdAnalyze(const Flags& flags) {
+  const auto in = flags.Get("in");
+  const auto dataset = core::ReadDataset(in);
+  if (!dataset) {
+    std::cerr << "analyze: cannot read " << in << "\n";
+    return 1;
+  }
+  core::AnalyzerConfig config;
+  config.schedule.round_seconds = dataset->round_seconds;
+
+  std::int64_t strict = 0;
+  std::int64_t relaxed = 0;
+  std::int64_t non_diurnal = 0;
+  std::int64_t skipped = 0;
+  std::int64_t stationary = 0;
+  for (const auto& stored : dataset->blocks) {
+    const auto analysis = core::Reanalyze(stored, config);
+    if (!analysis.probed || analysis.observed_days < 2) {
+      ++skipped;
+      continue;
+    }
+    if (analysis.stationarity.stationary) ++stationary;
+    switch (analysis.diurnal.classification) {
+      case core::Diurnality::kStrictlyDiurnal: ++strict; break;
+      case core::Diurnality::kRelaxedDiurnal: ++relaxed; break;
+      case core::Diurnality::kNonDiurnal: ++non_diurnal; break;
+    }
+  }
+  const auto analyzed = strict + relaxed + non_diurnal;
+  report::TextTable table{{"metric", "value"}};
+  table.AddRow({"blocks in dataset",
+                report::WithCommas(
+                    static_cast<long long>(dataset->blocks.size()))});
+  table.AddRow({"analyzable", report::WithCommas(analyzed)});
+  table.AddRow({"skipped (sparse/short)", report::WithCommas(skipped)});
+  table.AddRow({"strictly diurnal",
+                report::WithCommas(strict) + " (" +
+                    report::Percent(analyzed > 0
+                                        ? static_cast<double>(strict) /
+                                              analyzed : 0.0, 1) + ")"});
+  table.AddRow({"relaxed diurnal", report::WithCommas(relaxed)});
+  table.AddRow({"non-diurnal", report::WithCommas(non_diurnal)});
+  table.AddRow({"stationary",
+                report::Percent(analyzed > 0
+                                    ? static_cast<double>(stationary) /
+                                          analyzed : 0.0, 1)});
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdCompare(const Flags& flags) {
+  const auto a = core::ReadDataset(flags.Get("a"));
+  const auto b = core::ReadDataset(flags.Get("b"));
+  if (!a || !b) {
+    std::cerr << "compare: need readable --a and --b datasets\n";
+    return 1;
+  }
+  core::AnalyzerConfig config;
+  std::vector<core::BlockAnalysis> first;
+  std::vector<core::BlockAnalysis> second;
+  for (const auto& stored : a->blocks) {
+    first.push_back(core::Reanalyze(stored, config));
+  }
+  for (const auto& stored : b->blocks) {
+    second.push_back(core::Reanalyze(stored, config));
+  }
+  const auto matrix = core::CompareRuns(first, second);
+
+  report::TextTable table{{"A \\ B", "d", "e", "N"}};
+  const char* names[3] = {"d (strict)", "e (relaxed)", "N (neither)"};
+  for (int r = 0; r < 3; ++r) {
+    std::vector<std::string> cells{names[r]};
+    for (int c = 0; c < 3; ++c) {
+      cells.push_back(report::WithCommas(
+          matrix.counts[static_cast<std::size_t>(r)]
+                       [static_cast<std::size_t>(c)]));
+    }
+    table.AddRow(cells);
+  }
+  table.Print(std::cout);
+  std::cout << "compared blocks: " << matrix.compared << "\n";
+  if (matrix.StrictAtFirst() > 0) {
+    std::cout << "of A's strict blocks, B finds strict again "
+              << report::Percent(matrix.StrictAgain(), 1)
+              << ", at least relaxed "
+              << report::Percent(matrix.AtLeastRelaxed(), 1)
+              << ", non-diurnal "
+              << report::Percent(matrix.StrongDisagreement(), 1) << "\n";
+  }
+  return 0;
+}
+
+int CmdBlock(const Flags& flags) {
+  const auto dataset = core::ReadDataset(flags.Get("in"));
+  if (!dataset) {
+    std::cerr << "block: cannot read --in dataset\n";
+    return 1;
+  }
+  const core::StoredSeries* chosen = nullptr;
+  if (const auto text = flags.Get("prefix"); !text.empty()) {
+    const auto prefix = net::Prefix24::Parse(text);
+    if (!prefix) {
+      std::cerr << "block: cannot parse prefix " << text << "\n";
+      return 2;
+    }
+    for (const auto& stored : dataset->blocks) {
+      if (stored.block == *prefix) {
+        chosen = &stored;
+        break;
+      }
+    }
+  } else {
+    const auto index = static_cast<std::size_t>(flags.GetInt("index", 0));
+    if (index < dataset->blocks.size()) chosen = &dataset->blocks[index];
+  }
+  if (chosen == nullptr) {
+    std::cerr << "block: not found in dataset\n";
+    return 1;
+  }
+
+  core::AnalyzerConfig config;
+  config.schedule.round_seconds = dataset->round_seconds;
+  const auto analysis = core::Reanalyze(*chosen, config);
+  std::cout << "block " << chosen->block.ToString() << ": |E(b)| = "
+            << chosen->ever_active << ", " << analysis.observed_days
+            << " days, mean A-hat_s "
+            << report::Fixed(analysis.mean_short, 3) << "\n"
+            << "classification: "
+            << (analysis.diurnal.IsStrict() ? "strictly diurnal"
+                : analysis.diurnal.IsDiurnal() ? "relaxed diurnal"
+                                               : "non-diurnal")
+            << " (strongest "
+            << report::Fixed(analysis.diurnal.strongest_cycles_per_day, 2)
+            << " cycles/day, phase "
+            << report::Fixed(analysis.diurnal.phase, 2) << " rad)\n";
+
+  report::PrintSeries(std::cout, chosen->series.values, 72, 10,
+                      "A-hat_s");
+  const auto profile = core::ComputeDailyProfile(chosen->series.values,
+                                                 dataset->round_seconds);
+  std::cout << "daily profile: min "
+            << report::Fixed(profile.minimum, 3) << " @ "
+            << profile.min_hour << ":00 UTC, max "
+            << report::Fixed(profile.maximum, 3) << " @ "
+            << profile.max_hour << ":00 UTC, range "
+            << report::Fixed(profile.Range(), 3) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags{argc, argv, 2};
+  if (command == "measure") return CmdMeasure(flags);
+  if (command == "analyze") return CmdAnalyze(flags);
+  if (command == "compare") return CmdCompare(flags);
+  if (command == "block") return CmdBlock(flags);
+  return Usage();
+}

@@ -1,0 +1,26 @@
+#include "sleepwalk/asn/asmap.h"
+
+namespace sleepwalk::asn {
+
+void IpToAsnMap::RegisterAs(AsInfo info) {
+  as_registry_.insert_or_assign(info.asn, std::move(info));
+}
+
+void IpToAsnMap::Assign(net::Prefix24 block, std::uint32_t asn) {
+  block_to_asn_.insert_or_assign(block.Index(), asn);
+}
+
+std::optional<std::uint32_t> IpToAsnMap::AsnFor(
+    net::Prefix24 block) const noexcept {
+  const auto it = block_to_asn_.find(block.Index());
+  if (it == block_to_asn_.end()) return std::nullopt;
+  return it->second;
+}
+
+const AsInfo* IpToAsnMap::InfoFor(std::uint32_t asn) const noexcept {
+  const auto it = as_registry_.find(asn);
+  if (it == as_registry_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace sleepwalk::asn

@@ -1,0 +1,53 @@
+// IP-to-ASN mapping (paper §2.3.2, Team Cymru substitute).
+//
+// "We map each /24 to an AS based on its .0 address ... Their data
+//  provides AS numbers and names for 99.41% of /24 blocks."
+#ifndef SLEEPWALK_ASN_ASMAP_H_
+#define SLEEPWALK_ASN_ASMAP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sleepwalk/net/ipv4.h"
+
+namespace sleepwalk::asn {
+
+/// Registered information about one autonomous system.
+struct AsInfo {
+  std::uint32_t asn = 0;
+  std::string name;          ///< WHOIS-style AS name, e.g. "CT-TELECOM-CN".
+  std::string country_code;  ///< registration country.
+};
+
+/// Block → ASN map with the AS registry attached.
+class IpToAsnMap {
+ public:
+  /// Registers an AS; later registrations with the same number overwrite.
+  void RegisterAs(AsInfo info);
+
+  /// Maps a /24 (by its .0 address, as Team Cymru data is keyed) to an AS.
+  void Assign(net::Prefix24 block, std::uint32_t asn);
+
+  /// ASN for a block; nullopt for the ~0.6% unmapped blocks.
+  std::optional<std::uint32_t> AsnFor(net::Prefix24 block) const noexcept;
+
+  /// Registry record for an ASN; nullptr when unknown.
+  const AsInfo* InfoFor(std::uint32_t asn) const noexcept;
+
+  std::size_t mapped_blocks() const noexcept { return block_to_asn_.size(); }
+  std::size_t as_count() const noexcept { return as_registry_.size(); }
+
+  const std::unordered_map<std::uint32_t, AsInfo>& registry() const noexcept {
+    return as_registry_;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> block_to_asn_;
+  std::unordered_map<std::uint32_t, AsInfo> as_registry_;
+};
+
+}  // namespace sleepwalk::asn
+
+#endif  // SLEEPWALK_ASN_ASMAP_H_

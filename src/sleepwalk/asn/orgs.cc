@@ -1,0 +1,102 @@
+#include "sleepwalk/asn/orgs.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <sstream>
+
+namespace sleepwalk::asn {
+
+namespace {
+
+// Corporate boilerplate that carries no organizational identity.
+constexpr std::array<std::string_view, 12> kBoilerplate = {
+    "inc", "llc", "ltd", "co", "corp", "corporation",
+    "company", "as", "sa", "gmbh", "plc", "the",
+};
+
+bool IsBoilerplate(std::string_view token) noexcept {
+  return std::find(kBoilerplate.begin(), kBoilerplate.end(), token) !=
+         kBoilerplate.end();
+}
+
+// Cluster key: the first two significant tokens of the normalized name.
+// "time warner cable texas" and "time warner cable ohio" share
+// "time warner"; distinct ISPs differ in their leading tokens.
+std::string ClusterKey(const std::string& normalized) {
+  std::istringstream stream{normalized};
+  std::string token;
+  std::string key;
+  int taken = 0;
+  while (taken < 2 && stream >> token) {
+    if (!key.empty()) key.push_back(' ');
+    key += token;
+    ++taken;
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string NormalizeName(std::string_view name) {
+  std::string spaced;
+  spaced.reserve(name.size());
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      spaced.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      spaced.push_back(' ');
+    }
+  }
+  std::istringstream stream{spaced};
+  std::string token;
+  std::string out;
+  while (stream >> token) {
+    if (IsBoilerplate(token)) continue;
+    if (!out.empty()) out.push_back(' ');
+    out += token;
+  }
+  return out;
+}
+
+OrgClusterer::OrgClusterer(std::span<const AsInfo> infos) {
+  std::unordered_map<std::string, std::size_t> key_to_cluster;
+  for (const auto& info : infos) {
+    const std::string normalized = NormalizeName(info.name);
+    const std::string key = ClusterKey(normalized);
+    auto [it, inserted] = key_to_cluster.try_emplace(key, clusters_.size());
+    if (inserted) {
+      clusters_.push_back({key, {}});
+    }
+    clusters_[it->second].ases.push_back(info.asn);
+    asn_to_cluster_.insert_or_assign(info.asn, it->second);
+  }
+  for (auto& cluster : clusters_) {
+    std::sort(cluster.ases.begin(), cluster.ases.end());
+  }
+}
+
+std::string_view OrgClusterer::OrganizationOf(
+    std::uint32_t asn) const noexcept {
+  const auto it = asn_to_cluster_.find(asn);
+  if (it == asn_to_cluster_.end()) return {};
+  return clusters_[it->second].canonical;
+}
+
+std::vector<std::uint32_t> OrgClusterer::AsesForKeyword(
+    std::string_view keyword) const {
+  const std::string needle = NormalizeName(keyword);
+  std::vector<std::uint32_t> result;
+  if (needle.empty()) return result;
+  for (const auto& cluster : clusters_) {
+    if (cluster.canonical.find(needle) != std::string::npos) {
+      result.insert(result.end(), cluster.ases.begin(), cluster.ases.end());
+    }
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace sleepwalk::asn

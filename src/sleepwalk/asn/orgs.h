@@ -1,0 +1,57 @@
+// AS-to-organization clustering (paper §2.3.2).
+//
+// "We map ASes to organizations using prior work that uses WHOIS and
+//  string-based clustering [4]. For a given organization or ISP P ... we
+//  first use keyword matching (ex. 'Time Warner') to find relevant
+//  clusters, then find all ASes within same cluster(s)."
+//
+// The clustering here follows that recipe: AS names are normalized
+// (lowercased, punctuation removed, corporate boilerplate tokens dropped)
+// and ASes sharing the same leading significant tokens form one cluster.
+#ifndef SLEEPWALK_ASN_ORGS_H_
+#define SLEEPWALK_ASN_ORGS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sleepwalk/asn/asmap.h"
+
+namespace sleepwalk::asn {
+
+/// Normalizes an AS or organization name for clustering: lowercase,
+/// punctuation to spaces, boilerplate tokens ("inc", "llc", "as", ...)
+/// removed, whitespace collapsed.
+std::string NormalizeName(std::string_view name);
+
+/// Clusters ASes into organizations by normalized-name matching.
+class OrgClusterer {
+ public:
+  /// Builds clusters over every AS in `infos`.
+  explicit OrgClusterer(std::span<const AsInfo> infos);
+
+  std::size_t cluster_count() const noexcept { return clusters_.size(); }
+
+  /// Canonical organization name for an ASN; empty when unknown.
+  std::string_view OrganizationOf(std::uint32_t asn) const noexcept;
+
+  /// All ASNs whose cluster's canonical name contains the (normalized)
+  /// keyword — the paper's "Time Warner" → all Time Warner ASes step.
+  std::vector<std::uint32_t> AsesForKeyword(std::string_view keyword) const;
+
+ private:
+  struct Cluster {
+    std::string canonical;  ///< normalized representative name
+    std::vector<std::uint32_t> ases;
+  };
+
+  std::vector<Cluster> clusters_;
+  std::unordered_map<std::uint32_t, std::size_t> asn_to_cluster_;
+};
+
+}  // namespace sleepwalk::asn
+
+#endif  // SLEEPWALK_ASN_ORGS_H_

@@ -1,0 +1,56 @@
+#include "sleepwalk/core/agreement.h"
+
+#include <algorithm>
+
+namespace sleepwalk::core {
+
+AgreementClass AgreementClassOf(const BlockAnalysis& analysis) noexcept {
+  if (analysis.diurnal.IsStrict()) return AgreementClass::kStrict;
+  if (analysis.diurnal.IsDiurnal()) return AgreementClass::kRelaxed;
+  return AgreementClass::kNeither;
+}
+
+std::int64_t AgreementMatrix::StrictAtFirst() const noexcept {
+  const auto& row = counts[static_cast<std::size_t>(
+      AgreementClass::kStrict)];
+  return row[0] + row[1] + row[2];
+}
+
+double AgreementMatrix::StrictAgain() const noexcept {
+  const auto total = StrictAtFirst();
+  if (total == 0) return 0.0;
+  return static_cast<double>(counts[0][0]) / static_cast<double>(total);
+}
+
+double AgreementMatrix::AtLeastRelaxed() const noexcept {
+  const auto total = StrictAtFirst();
+  if (total == 0) return 0.0;
+  return static_cast<double>(counts[0][0] + counts[0][1]) /
+         static_cast<double>(total);
+}
+
+double AgreementMatrix::StrongDisagreement() const noexcept {
+  const auto total = StrictAtFirst();
+  if (total == 0) return 0.0;
+  return static_cast<double>(counts[0][2]) / static_cast<double>(total);
+}
+
+AgreementMatrix CompareRuns(std::span<const BlockAnalysis> first,
+                            std::span<const BlockAnalysis> second) {
+  AgreementMatrix matrix;
+  const std::size_t n = std::min(first.size(), second.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& a = first[i];
+    const auto& b = second[i];
+    if (!a.probed || !b.probed || a.observed_days < 2 ||
+        b.observed_days < 2 || a.block != b.block) {
+      continue;
+    }
+    ++matrix.compared;
+    ++matrix.counts[static_cast<std::size_t>(AgreementClassOf(a))]
+                   [static_cast<std::size_t>(AgreementClassOf(b))];
+  }
+  return matrix;
+}
+
+}  // namespace sleepwalk::core

@@ -1,0 +1,51 @@
+// Cross-dataset agreement (paper §3.3, Table 2).
+//
+// The paper compares the same 35 days measured from Los Angeles, Fort
+// Collins, and Keio: per-block diurnal classes must agree for the method
+// to be location-independent. AgreementMatrix is that comparison as a
+// library function over any two runs of the pipeline.
+#ifndef SLEEPWALK_CORE_AGREEMENT_H_
+#define SLEEPWALK_CORE_AGREEMENT_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "sleepwalk/core/block_analyzer.h"
+
+namespace sleepwalk::core {
+
+/// The paper's three-way class: d (strict), e (relaxed-only), N.
+enum class AgreementClass : std::uint8_t { kStrict = 0, kRelaxed = 1,
+                                           kNeither = 2 };
+
+/// Classifies one analysis into the Table 2 categories.
+AgreementClass AgreementClassOf(const BlockAnalysis& analysis) noexcept;
+
+/// The 3x3 joint-count matrix between two datasets plus the headline
+/// conditional rates.
+struct AgreementMatrix {
+  /// counts[a][b]: blocks in class `a` at site 1 and `b` at site 2.
+  std::array<std::array<std::int64_t, 3>, 3> counts{};
+  std::int64_t compared = 0;  ///< blocks probed & analyzable at both
+
+  std::int64_t StrictAtFirst() const noexcept;
+  /// Of site-1 strict blocks, the fraction strict at site 2 (paper: 85%).
+  double StrictAgain() const noexcept;
+  /// Of site-1 strict blocks, the fraction at least relaxed at site 2
+  /// (paper: 98.8%).
+  double AtLeastRelaxed() const noexcept;
+  /// Of site-1 strict blocks, the fraction non-diurnal at site 2
+  /// (paper: ~1.2% "strong disagreement").
+  double StrongDisagreement() const noexcept;
+};
+
+/// Compares two same-length runs (index-aligned: analyses[i] must refer
+/// to the same block in both). Blocks unprobed or too short at either
+/// site are excluded, as the paper excludes unmeasured blocks.
+AgreementMatrix CompareRuns(std::span<const BlockAnalysis> first,
+                            std::span<const BlockAnalysis> second);
+
+}  // namespace sleepwalk::core
+
+#endif  // SLEEPWALK_CORE_AGREEMENT_H_

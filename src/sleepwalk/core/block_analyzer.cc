@@ -1,0 +1,89 @@
+#include "sleepwalk/core/block_analyzer.h"
+
+#include <numeric>
+#include <utility>
+
+namespace sleepwalk::core {
+
+BlockAnalyzer::BlockAnalyzer(net::Prefix24 block,
+                             std::vector<std::uint8_t> ever_active,
+                             double initial_availability, std::uint64_t seed,
+                             const AnalyzerConfig& config)
+    : block_(block), config_(config), scheduler_(config.schedule),
+      estimator_(initial_availability, config.availability),
+      ever_active_(static_cast<int>(ever_active.size())) {
+  if (ever_active_ >= config_.min_ever_active) {
+    prober_.emplace(block, std::move(ever_active), seed, config_.prober);
+  }
+}
+
+void BlockAnalyzer::RunRound(net::Transport& transport, std::int64_t round) {
+  if (!prober_) return;
+  if (scheduler_.IsRestartRound(round)) prober_->Restart();
+
+  const auto record = prober_->RunRound(transport, round,
+                                        scheduler_.TimeOf(round),
+                                        estimator_.Operational());
+  estimator_.Observe(record.positives, record.probes);
+  raw_.Add(round, estimator_.ShortTerm());
+  total_probes_ += record.probes;
+  ++rounds_run_;
+
+  if (record.concluded_down) {
+    ++down_rounds_;
+    if (!previous_down_) {
+      outage_starts_.push_back(round);
+      outages_.push_back({round, 1});
+    } else if (!outages_.empty()) {
+      ++outages_.back().rounds;
+    }
+    previous_down_ = true;
+  } else if (record.concluded_up) {
+    previous_down_ = false;
+  }
+}
+
+void BlockAnalyzer::RunCampaign(net::Transport& transport,
+                                std::int64_t n_rounds) {
+  for (std::int64_t round = 0; round < n_rounds; ++round) {
+    RunRound(transport, round);
+  }
+}
+
+BlockAnalysis BlockAnalyzer::Finish() const {
+  BlockAnalysis analysis;
+  analysis.block = block_;
+  analysis.ever_active = ever_active_;
+  analysis.probed = prober_.has_value() && rounds_run_ > 0;
+  if (!analysis.probed) return analysis;
+
+  analysis.final_operational = estimator_.Operational();
+  analysis.mean_probes_per_round =
+      static_cast<double>(total_probes_) / static_cast<double>(rounds_run_);
+  analysis.down_rounds = down_rounds_;
+  analysis.outage_starts = outage_starts_;
+  analysis.outages = outages_;
+
+  const auto even = ts::Regularize(raw_);
+  if (!even) return analysis;
+  const auto trimmed = ts::TrimToMidnightUtc(
+      *even, config_.schedule.epoch_sec, config_.schedule.round_seconds);
+  if (!trimmed) return analysis;
+
+  analysis.short_series = *trimmed;
+  analysis.observed_days = ts::WholeDays(trimmed->size(),
+                                         config_.schedule.round_seconds);
+  analysis.mean_short =
+      std::accumulate(trimmed->values.begin(), trimmed->values.end(), 0.0) /
+      static_cast<double>(trimmed->values.size());
+
+  analysis.stationarity = ts::TestStationarity(
+      trimmed->values, ever_active_, config_.max_trend_addresses_per_day,
+      config_.schedule.round_seconds);
+  analysis.diurnal = ClassifyDiurnal(trimmed->values,
+                                     analysis.observed_days,
+                                     config_.diurnal);
+  return analysis;
+}
+
+}  // namespace sleepwalk::core

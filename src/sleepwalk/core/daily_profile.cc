@@ -1,0 +1,55 @@
+#include "sleepwalk/core/daily_profile.h"
+
+#include <cmath>
+
+namespace sleepwalk::core {
+
+double DailyProfile::SnapshotError(int hour) const noexcept {
+  const int h = ((hour % 24) + 24) % 24;
+  return std::fabs(mean_by_hour[static_cast<std::size_t>(h)] - DailyMean());
+}
+
+double DailyProfile::DailyMean() const noexcept {
+  double sum = 0.0;
+  int hours = 0;
+  for (int h = 0; h < 24; ++h) {
+    if (samples_by_hour[static_cast<std::size_t>(h)] == 0) continue;
+    sum += mean_by_hour[static_cast<std::size_t>(h)];
+    ++hours;
+  }
+  return hours > 0 ? sum / hours : 0.0;
+}
+
+DailyProfile ComputeDailyProfile(std::span<const double> series,
+                                 std::int64_t round_seconds) {
+  DailyProfile profile;
+  if (round_seconds <= 0) return profile;
+  std::array<double, 24> sums{};
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const std::int64_t second_of_day =
+        (static_cast<std::int64_t>(i) * round_seconds) % 86400;
+    const auto hour = static_cast<std::size_t>(second_of_day / 3600);
+    sums[hour] += series[i];
+    ++profile.samples_by_hour[hour];
+  }
+
+  bool first = true;
+  for (int h = 0; h < 24; ++h) {
+    const auto index = static_cast<std::size_t>(h);
+    if (profile.samples_by_hour[index] == 0) continue;
+    profile.mean_by_hour[index] =
+        sums[index] / profile.samples_by_hour[index];
+    if (first || profile.mean_by_hour[index] < profile.minimum) {
+      profile.minimum = profile.mean_by_hour[index];
+      profile.min_hour = h;
+    }
+    if (first || profile.mean_by_hour[index] > profile.maximum) {
+      profile.maximum = profile.mean_by_hour[index];
+      profile.max_hour = h;
+    }
+    first = false;
+  }
+  return profile;
+}
+
+}  // namespace sleepwalk::core

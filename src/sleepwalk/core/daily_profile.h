@@ -1,0 +1,50 @@
+// Time-of-day availability profiles (paper §5.6 "Applications").
+//
+// "one can scan the IPv4 space in tens of minutes to estimate the
+//  availability of each /24 block, but this near-snapshot will be
+//  representative only for non-diurnal blocks. For diurnal blocks, one
+//  needs several measurements at different times-of-day to determine the
+//  range of values."
+//
+// DailyProfile folds a midnight-aligned availability series into a
+// per-hour-of-day profile: mean availability per hour, the daily
+// min/max range, and the wake/sleep hours — the correction factors a
+// snapshot scan needs.
+#ifndef SLEEPWALK_CORE_DAILY_PROFILE_H_
+#define SLEEPWALK_CORE_DAILY_PROFILE_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace sleepwalk::core {
+
+/// A block's average day.
+struct DailyProfile {
+  std::array<double, 24> mean_by_hour{};  ///< mean availability per hour
+  std::array<int, 24> samples_by_hour{};
+  double minimum = 0.0;  ///< lowest hourly mean (the block's "night")
+  double maximum = 0.0;  ///< highest hourly mean (the block's "day")
+  int min_hour = 0;      ///< UTC hour of the minimum
+  int max_hour = 0;      ///< UTC hour of the maximum
+
+  /// Daily swing; near zero for always-on blocks.
+  double Range() const noexcept { return maximum - minimum; }
+
+  /// How far a single snapshot at `hour` may misestimate the daily mean,
+  /// as a fraction of availability.
+  double SnapshotError(int hour) const noexcept;
+
+  /// Mean across all hours (the number a snapshot tries to estimate).
+  double DailyMean() const noexcept;
+};
+
+/// Folds a series that starts at midnight UTC (as produced by
+/// TrimToMidnightUtc) into an hourly profile. `round_seconds` is the
+/// sampling period (660 s).
+DailyProfile ComputeDailyProfile(std::span<const double> series,
+                                 std::int64_t round_seconds = 660);
+
+}  // namespace sleepwalk::core
+
+#endif  // SLEEPWALK_CORE_DAILY_PROFILE_H_

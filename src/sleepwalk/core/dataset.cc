@@ -1,0 +1,124 @@
+#include "sleepwalk/core/dataset.h"
+
+#include <cstring>
+#include <fstream>
+#include <numeric>
+
+namespace sleepwalk::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'L', 'P', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void Put(std::ofstream& out, T value) {
+  // Host is little-endian on every supported target; documented in the
+  // header. A portable build would byte-swap here.
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool Get(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool WriteDataset(const std::string& path,
+                  std::span<const BlockAnalysis> analyses,
+                  std::int64_t round_seconds, std::int64_t epoch_sec) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) return false;
+
+  out.write(kMagic, sizeof(kMagic));
+  Put(out, kVersion);
+  Put(out, round_seconds);
+  Put(out, epoch_sec);
+  Put(out, static_cast<std::uint64_t>(analyses.size()));
+
+  for (const auto& analysis : analyses) {
+    Put(out, analysis.block.Index());
+    Put(out, static_cast<std::uint16_t>(analysis.ever_active));
+    Put(out, static_cast<std::uint8_t>(analysis.probed ? 1 : 0));
+    Put(out, analysis.short_series.first_round);
+    Put(out, static_cast<std::uint32_t>(analysis.short_series.size()));
+    for (const double value : analysis.short_series.values) {
+      Put(out, static_cast<float>(value));
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<Dataset> ReadDataset(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  std::uint32_t version = 0;
+  if (!Get(in, version) || version != kVersion) return std::nullopt;
+
+  Dataset dataset;
+  std::uint64_t block_count = 0;
+  if (!Get(in, dataset.round_seconds) || !Get(in, dataset.epoch_sec) ||
+      !Get(in, block_count)) {
+    return std::nullopt;
+  }
+  // Reject implausible counts before reserving (corrupt headers).
+  if (block_count > (1ull << 32)) return std::nullopt;
+
+  dataset.blocks.reserve(block_count);
+  for (std::uint64_t i = 0; i < block_count; ++i) {
+    StoredSeries stored;
+    std::uint32_t index = 0;
+    std::uint16_t ever_active = 0;
+    std::uint8_t probed = 0;
+    std::uint32_t n_samples = 0;
+    if (!Get(in, index) || !Get(in, ever_active) || !Get(in, probed) ||
+        !Get(in, stored.series.first_round) || !Get(in, n_samples)) {
+      return std::nullopt;
+    }
+    stored.block = net::Prefix24::FromIndex(index);
+    stored.ever_active = ever_active;
+    stored.probed = probed != 0;
+    stored.series.values.resize(n_samples);
+    for (auto& value : stored.series.values) {
+      float sample = 0.0F;
+      if (!Get(in, sample)) return std::nullopt;
+      value = static_cast<double>(sample);
+    }
+    dataset.blocks.push_back(std::move(stored));
+  }
+  return dataset;
+}
+
+BlockAnalysis Reanalyze(const StoredSeries& stored,
+                        const AnalyzerConfig& config) {
+  BlockAnalysis analysis;
+  analysis.block = stored.block;
+  analysis.ever_active = stored.ever_active;
+  analysis.probed = stored.probed;
+  analysis.short_series = stored.series;
+  if (!stored.probed || stored.series.values.empty()) return analysis;
+
+  analysis.observed_days = ts::WholeDays(stored.series.size(),
+                                         config.schedule.round_seconds);
+  analysis.mean_short =
+      std::accumulate(stored.series.values.begin(),
+                      stored.series.values.end(), 0.0) /
+      static_cast<double>(stored.series.values.size());
+  analysis.stationarity = ts::TestStationarity(
+      stored.series.values, stored.ever_active,
+      config.max_trend_addresses_per_day, config.schedule.round_seconds);
+  analysis.diurnal = ClassifyDiurnal(stored.series.values,
+                                     analysis.observed_days,
+                                     config.diurnal);
+  return analysis;
+}
+
+}  // namespace sleepwalk::core

@@ -1,0 +1,61 @@
+// Dataset persistence.
+//
+// The paper's datasets (surveys and A_12w-style campaigns) are published
+// through USC/LANDER [37]; this module gives the reproduction the same
+// property: a measured campaign can be written to a compact binary file
+// and re-analyzed later without re-probing.
+//
+// Format "SLPW" v1 (little-endian):
+//   magic "SLPW" | u32 version | i64 round_seconds | i64 epoch_sec
+//   | u64 block_count
+//   then per block:
+//   u32 prefix_index | u16 ever_active | u8 probed | i64 first_round
+//   | u32 n_samples | n_samples * f32 (the cleaned A-hat_s series)
+#ifndef SLEEPWALK_CORE_DATASET_H_
+#define SLEEPWALK_CORE_DATASET_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sleepwalk/core/block_analyzer.h"
+#include "sleepwalk/net/ipv4.h"
+#include "sleepwalk/ts/series.h"
+
+namespace sleepwalk::core {
+
+/// One block's stored measurement.
+struct StoredSeries {
+  net::Prefix24 block;
+  int ever_active = 0;
+  bool probed = false;
+  ts::EvenSeries series;  ///< cleaned, midnight-trimmed A-hat_s
+};
+
+/// A loaded dataset.
+struct Dataset {
+  std::int64_t round_seconds = 660;
+  std::int64_t epoch_sec = 0;
+  std::vector<StoredSeries> blocks;
+};
+
+/// Writes a campaign's analyses to `path`. Returns false on I/O error.
+bool WriteDataset(const std::string& path,
+                  std::span<const BlockAnalysis> analyses,
+                  std::int64_t round_seconds = 660,
+                  std::int64_t epoch_sec = 0);
+
+/// Reads a dataset; nullopt on I/O error, bad magic, unsupported
+/// version, or truncation.
+std::optional<Dataset> ReadDataset(const std::string& path);
+
+/// Re-analyzes a stored series: stationarity + diurnal classification,
+/// as Finish() would have produced (probing statistics are not stored).
+BlockAnalysis Reanalyze(const StoredSeries& stored,
+                        const AnalyzerConfig& config = {});
+
+}  // namespace sleepwalk::core
+
+#endif  // SLEEPWALK_CORE_DATASET_H_

@@ -1,0 +1,43 @@
+#include "sleepwalk/core/pipeline.h"
+
+#include <utility>
+
+namespace sleepwalk::core {
+
+DatasetResult RunCampaign(
+    std::vector<BlockTarget> targets, net::Transport& transport,
+    std::int64_t n_rounds, const AnalyzerConfig& config, std::uint64_t seed,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  DatasetResult result;
+  result.analyses.reserve(targets.size());
+
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    auto& target = targets[i];
+    BlockAnalyzer analyzer{target.block, std::move(target.ever_active),
+                           target.initial_availability,
+                           seed ^ target.block.Index(), config};
+    analyzer.RunCampaign(transport, n_rounds);
+    auto analysis = analyzer.Finish();
+
+    if (!analysis.probed || analysis.observed_days < 2) {
+      ++result.counts.skipped;
+    } else {
+      switch (analysis.diurnal.classification) {
+        case Diurnality::kStrictlyDiurnal:
+          ++result.counts.strict;
+          break;
+        case Diurnality::kRelaxedDiurnal:
+          ++result.counts.relaxed;
+          break;
+        case Diurnality::kNonDiurnal:
+          ++result.counts.non_diurnal;
+          break;
+      }
+    }
+    result.analyses.push_back(std::move(analysis));
+    if (progress) progress(i + 1, targets.size());
+  }
+  return result;
+}
+
+}  // namespace sleepwalk::core

@@ -1,0 +1,63 @@
+// Dataset-scale measurement pipeline: the A_12w-style campaign over many
+// blocks, producing per-block analyses and aggregate diurnal counts.
+#ifndef SLEEPWALK_CORE_PIPELINE_H_
+#define SLEEPWALK_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sleepwalk/core/block_analyzer.h"
+#include "sleepwalk/net/transport.h"
+
+namespace sleepwalk::core {
+
+/// One block to measure: its ever-active history and prior availability.
+struct BlockTarget {
+  net::Prefix24 block;
+  std::vector<std::uint8_t> ever_active;
+  double initial_availability = 0.5;
+};
+
+/// Aggregate counts over a dataset.
+struct DiurnalCounts {
+  std::int64_t strict = 0;
+  std::int64_t relaxed = 0;  ///< relaxed but not strict
+  std::int64_t non_diurnal = 0;
+  std::int64_t skipped = 0;  ///< sparse-policy or too-short blocks
+
+  std::int64_t probed() const noexcept {
+    return strict + relaxed + non_diurnal;
+  }
+  double StrictFraction() const noexcept {
+    const auto total = probed();
+    return total > 0 ? static_cast<double>(strict) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+  double EitherFraction() const noexcept {
+    const auto total = probed();
+    return total > 0 ? static_cast<double>(strict + relaxed) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// A full campaign's results.
+struct DatasetResult {
+  std::vector<BlockAnalysis> analyses;  ///< one per target, in order
+  DiurnalCounts counts;
+};
+
+/// Runs an `n_rounds`-round campaign over every target through
+/// `transport`. Blocks are measured one at a time (memory stays O(1
+/// block)); `progress`, when set, is called after each block.
+DatasetResult RunCampaign(
+    std::vector<BlockTarget> targets, net::Transport& transport,
+    std::int64_t n_rounds, const AnalyzerConfig& config = {},
+    std::uint64_t seed = 0x51ee9,
+    const std::function<void(std::size_t, std::size_t)>& progress = {});
+
+}  // namespace sleepwalk::core
+
+#endif  // SLEEPWALK_CORE_PIPELINE_H_

@@ -1,0 +1,54 @@
+#include "sleepwalk/core/quick_screen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sleepwalk/fft/goertzel.h"
+
+namespace sleepwalk::core {
+
+QuickScreenResult QuickDiurnalScreen(std::span<const double> series,
+                                     int n_days,
+                                     const QuickScreenConfig& config) {
+  QuickScreenResult result;
+  const std::size_t n = series.size();
+  if (n_days < 2 || n < 8) return result;
+
+  // Work on the mean-removed series (matching the full classifier).
+  double mean = 0.0;
+  for (const double v : series) mean += v;
+  mean /= static_cast<double>(n);
+  std::vector<double> centered(series.begin(), series.end());
+  double energy = 0.0;
+  for (auto& v : centered) {
+    v -= mean;
+    energy += v * v;
+  }
+
+  const auto daily = static_cast<std::size_t>(n_days);
+  const double amp_daily = std::abs(fft::Goertzel(centered, daily));
+  const double amp_neighbor =
+      daily + 1 < n / 2 ? std::abs(fft::Goertzel(centered, daily + 1)) : 0.0;
+  const double amp_harmonic =
+      2 * daily < n / 2 ? std::abs(fft::Goertzel(centered, 2 * daily)) : 0.0;
+
+  result.daily_amplitude = std::max(amp_daily, amp_neighbor);
+  result.harmonic_amplitude = amp_harmonic;
+  result.rms_amplitude = std::sqrt(energy);
+
+  // score = bin amplitude / sqrt(total AC energy). A pure daily
+  // sinusoid scores sqrt(n/2) (~30 for a 14-day series); white noise
+  // concentrates no power anywhere and scores ~0.9 regardless of n.
+  // Constant series leave only rounding residue in `energy`; treat
+  // anything below ~1e-9 (availability is in [0,1]) as truly flat.
+  if (result.rms_amplitude > 1e-9) {
+    result.score = std::max(result.daily_amplitude,
+                            result.harmonic_amplitude) /
+                   result.rms_amplitude;
+  }
+  result.pass = result.score >= config.min_score;
+  return result;
+}
+
+}  // namespace sleepwalk::core

@@ -1,0 +1,44 @@
+// Cheap diurnal pre-screening via Goertzel (DESIGN.md §5 ablation).
+//
+// The full classifier needs the complete spectrum (the strict test
+// compares the daily bin against *every* competitor). But a streaming
+// deployment triaging millions of blocks can afford a two-stage design:
+// an O(n) Goertzel screen that evaluates only the daily bin, its
+// neighbour and first harmonic against the series' total AC power, and
+// the full FFT only for blocks that pass. micro_perf quantifies the
+// ~100x per-block saving; quick_screen_test bounds the screening loss.
+#ifndef SLEEPWALK_CORE_QUICK_SCREEN_H_
+#define SLEEPWALK_CORE_QUICK_SCREEN_H_
+
+#include <span>
+
+namespace sleepwalk::core {
+
+/// Result of the Goertzel screen.
+struct QuickScreenResult {
+  double daily_amplitude = 0.0;     ///< max over bins N_d, N_d+1
+  double harmonic_amplitude = 0.0;  ///< first harmonic (2*N_d)
+  double rms_amplitude = 0.0;       ///< sqrt(mean bin power), AC only
+  /// Ratio of daily amplitude to the RMS bin amplitude; diurnal blocks
+  /// concentrate power in the daily bin, so this is large for them.
+  double score = 0.0;
+  bool pass = false;
+};
+
+/// Screening knobs.
+struct QuickScreenConfig {
+  /// Blocks whose daily (or first-harmonic) score is below this are
+  /// declared non-diurnal without a full FFT. 3.0 keeps essentially all
+  /// true diurnal blocks (see quick_screen_test sweeps).
+  double min_score = 3.0;
+};
+
+/// Runs the screen on a cleaned, midnight-aligned series of `n_days`
+/// days. Never passes series shorter than 2 days.
+QuickScreenResult QuickDiurnalScreen(std::span<const double> series,
+                                     int n_days,
+                                     const QuickScreenConfig& config = {});
+
+}  // namespace sleepwalk::core
+
+#endif  // SLEEPWALK_CORE_QUICK_SCREEN_H_

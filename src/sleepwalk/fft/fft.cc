@@ -1,0 +1,130 @@
+#include "sleepwalk/fft/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sleepwalk::fft {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+std::size_t NextPowerOfTwo(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Bluestein's chirp-z transform: expresses an arbitrary-n DFT as a
+// convolution, evaluated with power-of-two FFTs of size >= 2n-1.
+std::vector<Complex> ForwardBluestein(std::span<const Complex> input) {
+  const std::size_t n = input.size();
+  const std::size_t m = NextPowerOfTwo(2 * n - 1);
+
+  // Chirp factors w_k = exp(-i*pi*k^2/n). k^2 mod 2n keeps the angle
+  // argument small enough to stay accurate for large k.
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto k2 = static_cast<double>((k * k) % (2 * n));
+    const double angle = std::numbers::pi * k2 / static_cast<double>(n);
+    chirp[k] = Complex{std::cos(angle), -std::sin(angle)};
+  }
+
+  std::vector<Complex> a(m, Complex{});
+  for (std::size_t k = 0; k < n; ++k) a[k] = input[k] * chirp[k];
+
+  std::vector<Complex> b(m, Complex{});
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = std::conj(chirp[k]);
+    b[m - k] = b[k];  // circular symmetry for negative lags
+  }
+
+  FftRadix2InPlace(a, /*inverse=*/false);
+  FftRadix2InPlace(b, /*inverse=*/false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  FftRadix2InPlace(a, /*inverse=*/true);
+
+  std::vector<Complex> output(n);
+  const double scale = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    output[k] = a[k] * scale * chirp[k];
+  }
+  return output;
+}
+
+}  // namespace
+
+void FftRadix2InPlace(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const Complex wlen{std::cos(angle), std::sin(angle)};
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w{1.0, 0.0};
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Complex u = data[i + j];
+        const Complex v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<Complex> Forward(std::span<const Complex> input) {
+  if (input.empty()) return {};
+  if (IsPowerOfTwo(input.size())) {
+    std::vector<Complex> data(input.begin(), input.end());
+    FftRadix2InPlace(data, /*inverse=*/false);
+    return data;
+  }
+  return ForwardBluestein(input);
+}
+
+std::vector<Complex> ForwardReal(std::span<const double> input) {
+  std::vector<Complex> data(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    data[i] = Complex{input[i], 0.0};
+  }
+  return Forward(data);
+}
+
+std::vector<Complex> Inverse(std::span<const Complex> input) {
+  const std::size_t n = input.size();
+  if (n == 0) return {};
+  // Inverse via conjugation: IDFT(x) = conj(DFT(conj(x))) / n.
+  std::vector<Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = std::conj(input[i]);
+  auto transformed = Forward(data);
+  const double scale = 1.0 / static_cast<double>(n);
+  for (auto& value : transformed) value = std::conj(value) * scale;
+  return transformed;
+}
+
+std::vector<Complex> DftNaive(std::span<const Complex> input) {
+  const std::size_t n = input.size();
+  std::vector<Complex> output(n, Complex{});
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t m = 0; m < n; ++m) {
+      const double angle = -kTwoPi * static_cast<double>(k * m) /
+                           static_cast<double>(n);
+      output[k] += input[m] * Complex{std::cos(angle), std::sin(angle)};
+    }
+  }
+  return output;
+}
+
+}  // namespace sleepwalk::fft

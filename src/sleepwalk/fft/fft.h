@@ -1,0 +1,48 @@
+// Discrete Fourier transforms.
+//
+// The diurnal detector (paper §2.2) needs the full amplitude spectrum of an
+// 11-minute availability timeseries whose length is rarely a power of two
+// (e.g. 4581 samples for 35 days). We provide:
+//   * an iterative radix-2 Cooley-Tukey FFT for power-of-two sizes,
+//   * Bluestein's chirp-z algorithm for arbitrary sizes, and
+//   * a naive O(n^2) DFT used as the test oracle.
+// Conventions match the paper: forward transform
+//   alpha_k = sum_m a_m * exp(-2*pi*i*m*k/n), unnormalized;
+// the inverse divides by n so Inverse(Forward(x)) == x.
+#ifndef SLEEPWALK_FFT_FFT_H_
+#define SLEEPWALK_FFT_FFT_H_
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace sleepwalk::fft {
+
+using Complex = std::complex<double>;
+
+/// True when n is a power of two (n >= 1).
+constexpr bool IsPowerOfTwo(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// In-place radix-2 FFT. data.size() must be a power of two.
+/// inverse=true computes the unnormalized inverse (conjugate transform);
+/// callers wanting a true inverse must divide by n afterwards.
+void FftRadix2InPlace(std::span<Complex> data, bool inverse);
+
+/// Forward DFT of arbitrary-length complex input. Dispatches to radix-2
+/// when possible, Bluestein otherwise.
+std::vector<Complex> Forward(std::span<const Complex> input);
+
+/// Forward DFT of real input.
+std::vector<Complex> ForwardReal(std::span<const double> input);
+
+/// Normalized inverse DFT (Inverse(Forward(x)) == x up to rounding).
+std::vector<Complex> Inverse(std::span<const Complex> input);
+
+/// Naive O(n^2) DFT; the correctness oracle for tests.
+std::vector<Complex> DftNaive(std::span<const Complex> input);
+
+}  // namespace sleepwalk::fft
+
+#endif  // SLEEPWALK_FFT_FFT_H_

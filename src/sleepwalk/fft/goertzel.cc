@@ -1,0 +1,28 @@
+#include "sleepwalk/fft/goertzel.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sleepwalk::fft {
+
+std::complex<double> Goertzel(std::span<const double> input, std::size_t k) {
+  const std::size_t n = input.size();
+  if (n == 0) return {};
+  const double omega =
+      2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+  const double coeff = 2.0 * std::cos(omega);
+  double s_prev = 0.0;
+  double s_prev2 = 0.0;
+  for (const double x : input) {
+    const double s = x + coeff * s_prev - s_prev2;
+    s_prev2 = s_prev;
+    s_prev = s;
+  }
+  // Phase-correct extraction for the forward (negative exponent)
+  // convention used by Forward(): X(k) = e^{j*omega}*s_{N-1} - s_{N-2}.
+  const double real = s_prev * std::cos(omega) - s_prev2;
+  const double imag = s_prev * std::sin(omega);
+  return {real, imag};
+}
+
+}  // namespace sleepwalk::fft

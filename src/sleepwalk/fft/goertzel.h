@@ -1,0 +1,21 @@
+// Goertzel's algorithm: O(n) evaluation of a single DFT bin.
+//
+// When a caller only needs the diurnal bin (k = N_d) and its harmonics —
+// e.g. streaming classification where the full spectrum is not required —
+// Goertzel is far cheaper than a full FFT. bench/micro_perf quantifies the
+// tradeoff (DESIGN.md §5).
+#ifndef SLEEPWALK_FFT_GOERTZEL_H_
+#define SLEEPWALK_FFT_GOERTZEL_H_
+
+#include <complex>
+#include <span>
+
+namespace sleepwalk::fft {
+
+/// Computes DFT bin k of a real input series with the same convention as
+/// Forward(): alpha_k = sum_m x_m exp(-2*pi*i*m*k/n).
+std::complex<double> Goertzel(std::span<const double> input, std::size_t k);
+
+}  // namespace sleepwalk::fft
+
+#endif  // SLEEPWALK_FFT_GOERTZEL_H_

@@ -1,0 +1,50 @@
+#include "sleepwalk/geo/geodb.h"
+
+#include <algorithm>
+
+#include "sleepwalk/geo/region.h"
+#include "sleepwalk/util/rng.h"
+#include "sleepwalk/world/economics.h"
+
+namespace sleepwalk::geo {
+
+GeoDatabase GeoDatabase::FromTruth(std::span<const TrueLocation> truth,
+                                   const Options& options) {
+  GeoDatabase db;
+  db.records_.reserve(truth.size());
+  Rng rng{options.seed};
+  for (const auto& location : truth) {
+    if (!rng.NextBool(options.coverage)) continue;  // uncovered block
+
+    GeoRecord record;
+    record.country_code = location.country_code;
+    if (rng.NextBool(options.centroid_fraction)) {
+      // Country-only entry: MaxMind places these at the geographic
+      // centroid, away from actual population.
+      const auto* country = world::FindCountry(location.country_code);
+      record.centroid_only = true;
+      record.latitude = country != nullptr ? country->latitude
+                                           : location.latitude;
+      record.longitude = country != nullptr ? country->longitude
+                                            : location.longitude;
+    } else {
+      const double lat_err_km = rng.NextGaussian() * options.jitter_km;
+      const double lon_err_km = rng.NextGaussian() * options.jitter_km;
+      record.latitude = std::clamp(
+          location.latitude + lat_err_km / kKmPerDegreeLat, -89.9, 89.9);
+      record.longitude = WrapLongitude(
+          location.longitude +
+          KmToDegreesLon(lon_err_km, location.latitude));
+    }
+    db.records_.insert_or_assign(location.block.Index(), std::move(record));
+  }
+  return db;
+}
+
+const GeoRecord* GeoDatabase::Lookup(net::Prefix24 block) const noexcept {
+  const auto it = records_.find(block.Index());
+  if (it == records_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace sleepwalk::geo

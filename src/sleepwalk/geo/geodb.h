@@ -1,0 +1,67 @@
+// MaxMind-style block geolocation database (paper §2.3.1).
+//
+// The paper uses MaxMind's city database: ~93% /24 coverage, claimed
+// ~40 km accuracy, and a known failure mode where country-only entries
+// are placed at the country's geographic centroid ("falsely placing many
+// networks away from population in Brazil, Russia, and Australia").
+// GeoDatabase reproduces all three properties when built from the
+// simulator's true locations, so the analysis sees realistic geolocation
+// error rather than ground truth.
+#ifndef SLEEPWALK_GEO_GEODB_H_
+#define SLEEPWALK_GEO_GEODB_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sleepwalk/net/ipv4.h"
+
+namespace sleepwalk::geo {
+
+/// A block's true physical placement, provided by the world generator.
+struct TrueLocation {
+  net::Prefix24 block;
+  double latitude = 0.0;
+  double longitude = 0.0;
+  std::string country_code;  ///< ISO alpha-2; must exist in worlddata.
+};
+
+/// One geolocation answer.
+struct GeoRecord {
+  double latitude = 0.0;
+  double longitude = 0.0;
+  std::string country_code;
+  bool centroid_only = false;  ///< country-centroid fallback entry
+};
+
+/// A queryable block → location database with MaxMind-like imperfections.
+class GeoDatabase {
+ public:
+  struct Options {
+    double coverage = 0.93;            ///< fraction of blocks with entries
+    double jitter_km = 40.0;           ///< 1-sigma city-level error
+    double centroid_fraction = 0.08;   ///< entries degraded to centroid
+    std::uint64_t seed = 0x6e01;
+  };
+
+  /// Builds the database from true locations, applying coverage loss,
+  /// positional jitter, and centroid degradation per `options`.
+  static GeoDatabase FromTruth(std::span<const TrueLocation> truth,
+                               const Options& options);
+
+  /// Looks up a block; nullptr when the database has no entry (the
+  /// paper's 7% unlocatable blocks).
+  const GeoRecord* Lookup(net::Prefix24 block) const noexcept;
+
+  std::size_t size() const noexcept { return records_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, GeoRecord> records_;
+};
+
+}  // namespace sleepwalk::geo
+
+#endif  // SLEEPWALK_GEO_GEODB_H_

@@ -1,0 +1,81 @@
+#include "sleepwalk/geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sleepwalk::geo {
+
+GeoGrid::GeoGrid(double cell_degrees)
+    : cell_degrees_(cell_degrees),
+      rows_(static_cast<std::size_t>(std::ceil(180.0 / cell_degrees))),
+      cols_(static_cast<std::size_t>(std::ceil(360.0 / cell_degrees))),
+      cells_(rows_ * cols_) {}
+
+std::size_t GeoGrid::IndexFor(double latitude,
+                              double longitude) const noexcept {
+  auto row = static_cast<std::ptrdiff_t>(
+      std::floor((latitude + 90.0) / cell_degrees_));
+  auto col = static_cast<std::ptrdiff_t>(
+      std::floor((longitude + 180.0) / cell_degrees_));
+  row = std::clamp<std::ptrdiff_t>(row, 0,
+                                   static_cast<std::ptrdiff_t>(rows_) - 1);
+  col = std::clamp<std::ptrdiff_t>(col, 0,
+                                   static_cast<std::ptrdiff_t>(cols_) - 1);
+  return static_cast<std::size_t>(row) * cols_ + static_cast<std::size_t>(col);
+}
+
+void GeoGrid::Add(double latitude, double longitude, bool diurnal) noexcept {
+  auto& cell = cells_[IndexFor(latitude, longitude)];
+  ++cell.total;
+  if (diurnal) ++cell.diurnal;
+  ++total_;
+}
+
+std::uint64_t GeoGrid::TotalAt(std::size_t row, std::size_t col) const {
+  return cells_.at(row * cols_ + col).total;
+}
+
+std::uint64_t GeoGrid::DiurnalAt(std::size_t row, std::size_t col) const {
+  return cells_.at(row * cols_ + col).diurnal;
+}
+
+double GeoGrid::DiurnalFractionAt(std::size_t row, std::size_t col) const {
+  const auto& cell = cells_.at(row * cols_ + col);
+  if (cell.total == 0) return 0.0;
+  return static_cast<double>(cell.diurnal) / static_cast<double>(cell.total);
+}
+
+std::vector<std::vector<double>> GeoGrid::Coarsen(std::size_t out_rows,
+                                                  std::size_t out_cols,
+                                                  bool fractions) const {
+  std::vector<std::vector<double>> out(out_rows,
+                                       std::vector<double>(out_cols, 0.0));
+  std::vector<std::vector<std::uint64_t>> totals(
+      out_rows, std::vector<std::uint64_t>(out_cols, 0));
+  std::vector<std::vector<std::uint64_t>> diurnals(
+      out_rows, std::vector<std::uint64_t>(out_cols, 0));
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const std::size_t out_r = r * out_rows / rows_;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const std::size_t out_c = c * out_cols / cols_;
+      const auto& cell = cells_[r * cols_ + c];
+      totals[out_r][out_c] += cell.total;
+      diurnals[out_r][out_c] += cell.diurnal;
+    }
+  }
+  for (std::size_t r = 0; r < out_rows; ++r) {
+    for (std::size_t c = 0; c < out_cols; ++c) {
+      if (fractions) {
+        out[r][c] = totals[r][c] > 0
+                        ? static_cast<double>(diurnals[r][c]) /
+                              static_cast<double>(totals[r][c])
+                        : 0.0;
+      } else {
+        out[r][c] = static_cast<double>(totals[r][c]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sleepwalk::geo

@@ -1,0 +1,54 @@
+// 2x2-degree world grid aggregation (paper Figs 12-13).
+#ifndef SLEEPWALK_GEO_GRID_H_
+#define SLEEPWALK_GEO_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sleepwalk::geo {
+
+/// Counts blocks (total and diurnal) in fixed-degree latitude/longitude
+/// cells, as the paper does with a 2x2-degree grid.
+class GeoGrid {
+ public:
+  explicit GeoGrid(double cell_degrees = 2.0);
+
+  /// Records one geolocated block.
+  void Add(double latitude, double longitude, bool diurnal) noexcept;
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  std::uint64_t TotalAt(std::size_t row, std::size_t col) const;
+  std::uint64_t DiurnalAt(std::size_t row, std::size_t col) const;
+
+  /// Fraction diurnal in a cell; 0 when the cell is empty.
+  double DiurnalFractionAt(std::size_t row, std::size_t col) const;
+
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Downsamples counts (or diurnal fractions when `fractions` is true)
+  /// onto a coarser out_rows x out_cols grid for ASCII rendering. Rows
+  /// are south-to-north (row 0 = -90).
+  std::vector<std::vector<double>> Coarsen(std::size_t out_rows,
+                                           std::size_t out_cols,
+                                           bool fractions) const;
+
+ private:
+  struct Cell {
+    std::uint64_t total = 0;
+    std::uint64_t diurnal = 0;
+  };
+
+  std::size_t IndexFor(double latitude, double longitude) const noexcept;
+
+  double cell_degrees_;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<Cell> cells_;  // row-major, row 0 at latitude -90
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sleepwalk::geo
+
+#endif  // SLEEPWALK_GEO_GRID_H_

@@ -1,0 +1,72 @@
+#include "sleepwalk/geo/phase_geolocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "sleepwalk/geo/region.h"
+
+namespace sleepwalk::geo {
+
+PhaseGeolocator::PhaseGeolocator(int bins)
+    : bins_(std::max(bins, 1)),
+      data_(static_cast<std::size_t>(bins_)) {}
+
+std::size_t PhaseGeolocator::BinOf(double phase_radians) const noexcept {
+  const double wrapped = WrapAngle(phase_radians);
+  auto bin = static_cast<int>((wrapped + std::numbers::pi) /
+                              (2.0 * std::numbers::pi) *
+                              static_cast<double>(bins_));
+  bin = std::clamp(bin, 0, bins_ - 1);
+  return static_cast<std::size_t>(bin);
+}
+
+void PhaseGeolocator::AddCalibration(double phase_radians,
+                                     double longitude_degrees) {
+  auto& bin = data_[BinOf(phase_radians)];
+  const double lon_rad = DegToRad(WrapLongitude(longitude_degrees));
+  bin.sum_sin += std::sin(lon_rad);
+  bin.sum_cos += std::cos(lon_rad);
+  bin.samples.push_back(WrapLongitude(longitude_degrees));
+  ++total_;
+}
+
+std::optional<LongitudePrediction> PhaseGeolocator::Predict(
+    double phase_radians) const {
+  // Use the phase's own bin; fall back to the nearest neighbours when it
+  // is empty (sparse calibration sets).
+  const auto center = static_cast<int>(BinOf(phase_radians));
+  const Bin* chosen = nullptr;
+  for (const int delta : {0, 1, -1}) {
+    const int candidate = ((center + delta) % bins_ + bins_) % bins_;
+    const auto& bin = data_[static_cast<std::size_t>(candidate)];
+    if (!bin.samples.empty()) {
+      chosen = &bin;
+      break;
+    }
+  }
+  if (chosen == nullptr) return std::nullopt;
+
+  const double mean_rad = std::atan2(chosen->sum_sin, chosen->sum_cos);
+  const double mean_deg = WrapLongitude(RadToDeg(mean_rad));
+
+  // Circular stddev: sample deviations unrolled around the mean.
+  double sum_sq = 0.0;
+  for (const double lon : chosen->samples) {
+    double delta = lon - mean_deg;
+    while (delta >= 180.0) delta -= 360.0;
+    while (delta < -180.0) delta += 360.0;
+    sum_sq += delta * delta;
+  }
+  LongitudePrediction prediction;
+  prediction.longitude_degrees = mean_deg;
+  prediction.stddev_degrees =
+      chosen->samples.size() > 1
+          ? std::sqrt(sum_sq /
+                      static_cast<double>(chosen->samples.size() - 1))
+          : 180.0;
+  prediction.calibration_samples = chosen->samples.size();
+  return prediction;
+}
+
+}  // namespace sleepwalk::geo

@@ -1,0 +1,62 @@
+// Geolocation from diurnal phase (paper §5.2, Fig 14c).
+//
+// "the relationship between phase and longitude suggests that phase may
+//  help geolocate diurnal blocks ... most other phases predict longitude
+//  within +/- 20 degrees."
+//
+// PhaseGeolocator is the library form of that idea: calibrate on
+// diurnal blocks with known locations, then predict the longitude (with
+// an uncertainty) of blocks known only by their FFT phase.
+#ifndef SLEEPWALK_GEO_PHASE_GEOLOCATOR_H_
+#define SLEEPWALK_GEO_PHASE_GEOLOCATOR_H_
+
+#include <optional>
+#include <vector>
+
+namespace sleepwalk::geo {
+
+/// A longitude prediction with its per-bin empirical spread.
+struct LongitudePrediction {
+  double longitude_degrees = 0.0;
+  double stddev_degrees = 0.0;
+  std::size_t calibration_samples = 0;  ///< samples in the phase bin used
+};
+
+/// Bins calibration (phase, longitude) pairs by phase and predicts by
+/// per-bin mean — the estimator behind the paper's Fig 14c, which also
+/// exposes how prediction quality varies with phase (some phases only
+/// identify the hemisphere).
+class PhaseGeolocator {
+ public:
+  /// `bins` phase bins over [-pi, pi).
+  explicit PhaseGeolocator(int bins = 24);
+
+  /// Adds one calibration observation: a diurnal block's daily-bin FFT
+  /// phase and its known longitude.
+  void AddCalibration(double phase_radians, double longitude_degrees);
+
+  /// Predicts longitude from phase; nullopt when the phase bin (and its
+  /// immediate neighbours) hold no calibration data.
+  std::optional<LongitudePrediction> Predict(double phase_radians) const;
+
+  std::size_t calibration_size() const noexcept { return total_; }
+
+ private:
+  struct Bin {
+    // Longitudes are accumulated as unit vectors so the mean respects
+    // wraparound at the antimeridian.
+    double sum_sin = 0.0;
+    double sum_cos = 0.0;
+    std::vector<double> samples;  ///< unrolled around the running mean
+  };
+
+  std::size_t BinOf(double phase_radians) const noexcept;
+
+  int bins_;
+  std::vector<Bin> data_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace sleepwalk::geo
+
+#endif  // SLEEPWALK_GEO_PHASE_GEOLOCATOR_H_

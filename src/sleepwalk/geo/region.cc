@@ -1,0 +1,36 @@
+#include "sleepwalk/geo/region.h"
+
+#include <cmath>
+
+namespace sleepwalk::geo {
+
+double WrapLongitude(double degrees) noexcept {
+  double wrapped = std::fmod(degrees + 180.0, 360.0);
+  if (wrapped < 0.0) wrapped += 360.0;
+  return wrapped - 180.0;
+}
+
+double WrapAngle(double radians) noexcept {
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  double wrapped = std::fmod(radians + std::numbers::pi, kTwoPi);
+  if (wrapped < 0.0) wrapped += kTwoPi;
+  return wrapped - std::numbers::pi;
+}
+
+double UnrollPhase(double phase_radians, double longitude_degrees) noexcept {
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  const double center = DegToRad(longitude_degrees);
+  double phase = phase_radians;
+  while (phase < center - std::numbers::pi) phase += kTwoPi;
+  while (phase >= center + std::numbers::pi) phase -= kTwoPi;
+  return phase;
+}
+
+double KmToDegreesLon(double km, double at_latitude_degrees) noexcept {
+  const double km_per_degree =
+      kKmPerDegreeLat * std::cos(DegToRad(at_latitude_degrees));
+  if (km_per_degree < 1e-9) return 0.0;
+  return km / km_per_degree;
+}
+
+}  // namespace sleepwalk::geo

@@ -1,0 +1,41 @@
+// Geographic math shared by geolocation, the phase/longitude analysis
+// (Fig 14), and the world maps (Figs 12-13).
+#ifndef SLEEPWALK_GEO_REGION_H_
+#define SLEEPWALK_GEO_REGION_H_
+
+#include <numbers>
+
+namespace sleepwalk::geo {
+
+/// Degrees to radians.
+constexpr double DegToRad(double degrees) noexcept {
+  return degrees * std::numbers::pi / 180.0;
+}
+
+/// Radians to degrees.
+constexpr double RadToDeg(double radians) noexcept {
+  return radians * 180.0 / std::numbers::pi;
+}
+
+/// Wraps a longitude into [-180, 180).
+double WrapLongitude(double degrees) noexcept;
+
+/// Wraps an angle into [-pi, pi).
+double WrapAngle(double radians) noexcept;
+
+/// "Unrolls" a circular FFT phase against a longitude (paper §5.2): both
+/// wrap around, so the phase is shifted by whole turns until it lies in
+/// [-pi + L, pi + L) where L is the longitude in radians. This makes
+/// phase/longitude correlation meaningful despite the wraparound.
+double UnrollPhase(double phase_radians, double longitude_degrees) noexcept;
+
+/// Kilometres per degree of latitude (spherical Earth).
+inline constexpr double kKmPerDegreeLat = 111.32;
+
+/// Converts a displacement in km at the given latitude into degrees of
+/// longitude.
+double KmToDegreesLon(double km, double at_latitude_degrees) noexcept;
+
+}  // namespace sleepwalk::geo
+
+#endif  // SLEEPWALK_GEO_REGION_H_

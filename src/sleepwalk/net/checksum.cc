@@ -1,0 +1,35 @@
+#include "sleepwalk/net/checksum.h"
+
+namespace sleepwalk::net {
+
+void InternetChecksum::Add(std::span<const std::uint8_t> data) noexcept {
+  std::size_t i = 0;
+  if (odd_ && !data.empty()) {
+    // Complete the previously half-filled 16-bit word: the pending byte
+    // was already added as the high half, this one is the low half.
+    sum_ += data[0];
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum_ += static_cast<std::uint32_t>(data[i]) << 8;
+    odd_ = true;
+  }
+}
+
+std::uint16_t InternetChecksum::Finish() const noexcept {
+  std::uint64_t sum = sum_;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint16_t Checksum(std::span<const std::uint8_t> data) noexcept {
+  InternetChecksum acc;
+  acc.Add(data);
+  return acc.Finish();
+}
+
+}  // namespace sleepwalk::net

@@ -1,0 +1,33 @@
+// RFC 1071 Internet checksum, used by ICMP (and IPv4 headers).
+#ifndef SLEEPWALK_NET_CHECKSUM_H_
+#define SLEEPWALK_NET_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace sleepwalk::net {
+
+/// Incremental RFC 1071 checksum accumulator. Feed any number of byte
+/// ranges with Add(), then read the folded one's-complement sum.
+class InternetChecksum {
+ public:
+  /// Accumulates `data` into the checksum. Ranges may be fed in any
+  /// chunking as long as total byte order is preserved.
+  void Add(std::span<const std::uint8_t> data) noexcept;
+
+  /// Returns the checksum: the one's complement of the folded 16-bit sum,
+  /// in host byte order (store into packets with big-endian conversion).
+  std::uint16_t Finish() const noexcept;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  // previous Add() ended mid-word
+};
+
+/// One-shot checksum over a single buffer.
+std::uint16_t Checksum(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace sleepwalk::net
+
+#endif  // SLEEPWALK_NET_CHECKSUM_H_

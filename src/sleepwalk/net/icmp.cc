@@ -1,0 +1,87 @@
+#include "sleepwalk/net/icmp.h"
+
+#include <algorithm>
+
+#include "sleepwalk/net/checksum.h"
+
+namespace sleepwalk::net {
+
+namespace {
+
+std::vector<std::uint8_t> BuildEcho(IcmpType type, std::uint16_t id,
+                                    std::uint16_t sequence,
+                                    std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> packet(kIcmpHeaderSize + payload.size());
+  packet[0] = static_cast<std::uint8_t>(type);
+  packet[1] = 0;  // code
+  packet[2] = 0;  // checksum placeholder
+  packet[3] = 0;
+  packet[4] = static_cast<std::uint8_t>(id >> 8);
+  packet[5] = static_cast<std::uint8_t>(id & 0xff);
+  packet[6] = static_cast<std::uint8_t>(sequence >> 8);
+  packet[7] = static_cast<std::uint8_t>(sequence & 0xff);
+  std::copy(payload.begin(), payload.end(), packet.begin() + kIcmpHeaderSize);
+  const std::uint16_t sum = Checksum(packet);
+  packet[2] = static_cast<std::uint8_t>(sum >> 8);
+  packet[3] = static_cast<std::uint8_t>(sum & 0xff);
+  return packet;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> BuildEchoRequest(
+    std::uint16_t id, std::uint16_t sequence,
+    std::span<const std::uint8_t> payload) {
+  return BuildEcho(IcmpType::kEchoRequest, id, sequence, payload);
+}
+
+std::vector<std::uint8_t> BuildEchoReply(
+    std::uint16_t id, std::uint16_t sequence,
+    std::span<const std::uint8_t> payload) {
+  return BuildEcho(IcmpType::kEchoReply, id, sequence, payload);
+}
+
+std::optional<IcmpEcho> ParseEcho(std::span<const std::uint8_t> packet) {
+  if (packet.size() < kIcmpHeaderSize) return std::nullopt;
+  const auto type = packet[0];
+  if (type != static_cast<std::uint8_t>(IcmpType::kEchoReply) &&
+      type != static_cast<std::uint8_t>(IcmpType::kEchoRequest)) {
+    return std::nullopt;
+  }
+  if (Checksum(packet) != 0) return std::nullopt;
+  IcmpEcho echo;
+  echo.type = static_cast<IcmpType>(type);
+  echo.code = packet[1];
+  echo.id = static_cast<std::uint16_t>((packet[4] << 8) | packet[5]);
+  echo.sequence = static_cast<std::uint16_t>((packet[6] << 8) | packet[7]);
+  echo.payload.assign(packet.begin() + kIcmpHeaderSize, packet.end());
+  return echo;
+}
+
+std::optional<Ipv4HeaderView> ParseIpv4Header(
+    std::span<const std::uint8_t> packet) {
+  if (packet.size() < 20) return std::nullopt;
+  const std::uint8_t version = packet[0] >> 4;
+  if (version != 4) return std::nullopt;
+  Ipv4HeaderView header;
+  header.ihl = packet[0] & 0x0f;
+  header.header_bytes = static_cast<std::size_t>(header.ihl) * 4;
+  if (header.ihl < 5 || packet.size() < header.header_bytes) {
+    return std::nullopt;
+  }
+  header.ttl = packet[8];
+  header.protocol = packet[9];
+  header.source = Ipv4Addr{
+      (static_cast<std::uint32_t>(packet[12]) << 24) |
+      (static_cast<std::uint32_t>(packet[13]) << 16) |
+      (static_cast<std::uint32_t>(packet[14]) << 8) |
+      static_cast<std::uint32_t>(packet[15])};
+  header.destination = Ipv4Addr{
+      (static_cast<std::uint32_t>(packet[16]) << 24) |
+      (static_cast<std::uint32_t>(packet[17]) << 16) |
+      (static_cast<std::uint32_t>(packet[18]) << 8) |
+      static_cast<std::uint32_t>(packet[19])};
+  return header;
+}
+
+}  // namespace sleepwalk::net

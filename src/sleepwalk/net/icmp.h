@@ -1,0 +1,75 @@
+// ICMP echo (ping) packet construction and parsing, plus enough IPv4
+// header parsing to consume raw-socket receive buffers.
+//
+// Trinocular-style outage probing sends ICMP echo requests; this module is
+// the wire-format layer shared by the live prober (examples/live_probe) and
+// the protocol tests. It performs no I/O.
+#ifndef SLEEPWALK_NET_ICMP_H_
+#define SLEEPWALK_NET_ICMP_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sleepwalk/net/ipv4.h"
+
+namespace sleepwalk::net {
+
+/// ICMP message types we care about.
+enum class IcmpType : std::uint8_t {
+  kEchoReply = 0,
+  kDestUnreachable = 3,
+  kEchoRequest = 8,
+  kTimeExceeded = 11,
+};
+
+/// A parsed ICMP echo message (request or reply).
+struct IcmpEcho {
+  IcmpType type = IcmpType::kEchoRequest;
+  std::uint8_t code = 0;
+  std::uint16_t id = 0;        ///< Identifier, host byte order.
+  std::uint16_t sequence = 0;  ///< Sequence number, host byte order.
+  std::vector<std::uint8_t> payload;
+};
+
+/// Fixed ICMP header size in bytes (type, code, checksum, id, seq).
+inline constexpr std::size_t kIcmpHeaderSize = 8;
+
+/// Serializes an ICMP echo request with a valid checksum.
+std::vector<std::uint8_t> BuildEchoRequest(
+    std::uint16_t id, std::uint16_t sequence,
+    std::span<const std::uint8_t> payload = {});
+
+/// Serializes an ICMP echo reply with a valid checksum (for tests and
+/// loopback responders).
+std::vector<std::uint8_t> BuildEchoReply(
+    std::uint16_t id, std::uint16_t sequence,
+    std::span<const std::uint8_t> payload = {});
+
+/// Parses an ICMP echo request/reply from `packet` (which must start at
+/// the ICMP header). Returns nullopt for non-echo types, short buffers, or
+/// checksum mismatch.
+std::optional<IcmpEcho> ParseEcho(std::span<const std::uint8_t> packet);
+
+/// Minimal parsed IPv4 header, as seen on a raw ICMP socket.
+struct Ipv4HeaderView {
+  std::uint8_t ihl = 5;  ///< Header length in 32-bit words.
+  std::uint8_t ttl = 0;
+  std::uint8_t protocol = 0;
+  Ipv4Addr source;
+  Ipv4Addr destination;
+  std::size_t header_bytes = 20;  ///< ihl * 4.
+};
+
+/// ICMP protocol number in the IPv4 header.
+inline constexpr std::uint8_t kProtocolIcmp = 1;
+
+/// Parses the IPv4 header at the front of `packet`. Returns nullopt if the
+/// buffer is shorter than the stated header or the version is not 4.
+std::optional<Ipv4HeaderView> ParseIpv4Header(
+    std::span<const std::uint8_t> packet);
+
+}  // namespace sleepwalk::net
+
+#endif  // SLEEPWALK_NET_ICMP_H_

@@ -1,0 +1,87 @@
+#include "sleepwalk/net/ipv4.h"
+
+#include <charconv>
+
+namespace sleepwalk::net {
+
+namespace {
+
+// Parses one decimal octet at the front of `text`, advancing it.
+// Rejects empty, >255, and leading zeros ("01").
+std::optional<std::uint8_t> ParseOctet(std::string_view& text) noexcept {
+  if (text.empty()) return std::nullopt;
+  unsigned value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > 255) return std::nullopt;
+  const auto digits = static_cast<std::size_t>(ptr - begin);
+  if (digits > 1 && *begin == '0') return std::nullopt;
+  text.remove_prefix(digits);
+  return static_cast<std::uint8_t>(value);
+}
+
+bool ConsumeDot(std::string_view& text) noexcept {
+  if (text.empty() || text.front() != '.') return false;
+  text.remove_prefix(1);
+  return true;
+}
+
+}  // namespace
+
+std::optional<Ipv4Addr> Ipv4Addr::Parse(std::string_view text) noexcept {
+  std::array<std::uint8_t, 4> octets{};
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0 && !ConsumeDot(text)) return std::nullopt;
+    const auto octet = ParseOctet(text);
+    if (!octet) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Addr{octets[0], octets[1], octets[2], octets[3]};
+}
+
+std::string Ipv4Addr::ToString() const {
+  const auto o = Octets();
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(o[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+std::optional<Prefix24> Prefix24::Parse(std::string_view text) noexcept {
+  if (const auto slash = text.find('/'); slash != std::string_view::npos) {
+    if (text.substr(slash + 1) != "24") return std::nullopt;
+    std::string_view head = text.substr(0, slash);
+    std::array<std::uint8_t, 3> octets{};
+    for (int i = 0; i < 3; ++i) {
+      if (i > 0 && !ConsumeDot(head)) return std::nullopt;
+      const auto octet = ParseOctet(head);
+      if (!octet) return std::nullopt;
+      octets[static_cast<std::size_t>(i)] = *octet;
+    }
+    if (!head.empty()) return std::nullopt;
+    return Prefix24{Ipv4Addr{octets[0], octets[1], octets[2], 0}};
+  }
+  const auto addr = Ipv4Addr::Parse(text);
+  if (!addr) return std::nullopt;
+  return Prefix24{*addr};
+}
+
+std::string Prefix24::ToString() const {
+  const auto o = base().Octets();
+  std::string out;
+  out.reserve(14);
+  out += std::to_string(o[0]);
+  out.push_back('.');
+  out += std::to_string(o[1]);
+  out.push_back('.');
+  out += std::to_string(o[2]);
+  out += "/24";
+  return out;
+}
+
+}  // namespace sleepwalk::net

@@ -1,0 +1,98 @@
+// IPv4 address and /24 prefix value types.
+//
+// The whole paper operates on /24 blocks ("prior work has shown they are
+// often homogeneous in use"), so Prefix24 is the unit of measurement
+// throughout the library.
+#ifndef SLEEPWALK_NET_IPV4_H_
+#define SLEEPWALK_NET_IPV4_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sleepwalk::net {
+
+/// An IPv4 address held in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() noexcept = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) noexcept
+      : value_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation ("192.0.2.1"). Rejects anything else:
+  /// leading zeros beyond a lone 0, out-of-range octets, trailing junk.
+  static std::optional<Ipv4Addr> Parse(std::string_view text) noexcept;
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+
+  constexpr std::array<std::uint8_t, 4> Octets() const noexcept {
+    return {static_cast<std::uint8_t>(value_ >> 24),
+            static_cast<std::uint8_t>(value_ >> 16),
+            static_cast<std::uint8_t>(value_ >> 8),
+            static_cast<std::uint8_t>(value_)};
+  }
+
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A /24 block: 256 consecutive addresses sharing their top 24 bits.
+class Prefix24 {
+ public:
+  constexpr Prefix24() noexcept = default;
+
+  /// Builds the /24 containing `addr`.
+  constexpr explicit Prefix24(Ipv4Addr addr) noexcept
+      : base_(addr.value() & 0xffffff00u) {}
+
+  /// Builds from a block index in [0, 2^24), i.e. the top 24 address bits.
+  static constexpr Prefix24 FromIndex(std::uint32_t index) noexcept {
+    Prefix24 p;
+    p.base_ = index << 8;
+    return p;
+  }
+
+  /// Parses "a.b.c/24" or "a.b.c.d" (the latter is truncated to its /24).
+  static std::optional<Prefix24> Parse(std::string_view text) noexcept;
+
+  /// First address of the block (the .0 address).
+  constexpr Ipv4Addr base() const noexcept { return Ipv4Addr{base_}; }
+
+  /// Block index: the top 24 bits, unique per /24.
+  constexpr std::uint32_t Index() const noexcept { return base_ >> 8; }
+
+  /// The i-th address of the block; i must be in [0, 256).
+  constexpr Ipv4Addr Address(std::uint8_t last_octet) const noexcept {
+    return Ipv4Addr{base_ | last_octet};
+  }
+
+  constexpr bool Contains(Ipv4Addr addr) const noexcept {
+    return (addr.value() & 0xffffff00u) == base_;
+  }
+
+  /// "a.b.c/24" as in the paper's figures (e.g. "1.9.21/24").
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(Prefix24, Prefix24) noexcept = default;
+
+ private:
+  std::uint32_t base_ = 0;  // .0 address, low 8 bits always zero
+};
+
+/// Number of addresses in a /24 block.
+inline constexpr int kBlockSize = 256;
+
+}  // namespace sleepwalk::net
+
+#endif  // SLEEPWALK_NET_IPV4_H_

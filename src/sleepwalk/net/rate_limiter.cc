@@ -1,0 +1,46 @@
+#include "sleepwalk/net/rate_limiter.h"
+
+#include <algorithm>
+
+namespace sleepwalk::net {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst) noexcept
+    : rate_(std::max(rate_per_sec, 0.0)), burst_(std::max(burst, 0.0)),
+      tokens_(burst_) {}
+
+void TokenBucket::Refill(double now_sec) noexcept {
+  if (!started_) {
+    started_ = true;
+    last_refill_sec_ = now_sec;
+    return;
+  }
+  if (now_sec <= last_refill_sec_) return;  // clock went backwards: hold
+  tokens_ = std::min(burst_, tokens_ + (now_sec - last_refill_sec_) * rate_);
+  last_refill_sec_ = now_sec;
+}
+
+bool TokenBucket::TryAcquire(double now_sec, double tokens) noexcept {
+  Refill(now_sec);
+  if (tokens_ + 1e-12 < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+double TokenBucket::Available(double now_sec) noexcept {
+  Refill(now_sec);
+  return tokens_;
+}
+
+double TokenBucket::DelayUntilAvailable(double now_sec,
+                                        double tokens) noexcept {
+  Refill(now_sec);
+  if (tokens_ >= tokens) return 0.0;
+  if (rate_ <= 0.0) return -1.0;  // never
+  return (tokens - tokens_) / rate_;
+}
+
+TokenBucket MakeTrinocularBudget() noexcept {
+  return TokenBucket{kTrinocularProbesPerHour / 3600.0, 15.0};
+}
+
+}  // namespace sleepwalk::net

@@ -1,0 +1,57 @@
+// Token-bucket rate limiting for probing traffic.
+//
+// Trinocular's defining constraint is *do no harm*: "outage detection
+// requires less than 20 probes per hour per /24 block; less than 1% of
+// background radiation". The simulator enforces that statistically; a
+// live deployment must enforce it mechanically. TokenBucket provides
+// per-target and aggregate budgets for the live prober.
+#ifndef SLEEPWALK_NET_RATE_LIMITER_H_
+#define SLEEPWALK_NET_RATE_LIMITER_H_
+
+#include <cstdint>
+
+namespace sleepwalk::net {
+
+/// Classic token bucket over a caller-supplied clock (seconds, double).
+/// Deterministic and trivially testable; wall-clock adapters live at the
+/// call site.
+class TokenBucket {
+ public:
+  /// `rate_per_sec` tokens accrue continuously up to `burst` capacity.
+  /// The bucket starts full.
+  TokenBucket(double rate_per_sec, double burst) noexcept;
+
+  /// Attempts to take `tokens` at time `now_sec`. Returns true and
+  /// deducts on success; false (no deduction) when under-funded.
+  bool TryAcquire(double now_sec, double tokens = 1.0) noexcept;
+
+  /// Tokens available at `now_sec` (refills as a side effect).
+  double Available(double now_sec) noexcept;
+
+  /// Seconds from `now_sec` until `tokens` could be acquired (0 when
+  /// already available).
+  double DelayUntilAvailable(double now_sec, double tokens = 1.0) noexcept;
+
+  double rate() const noexcept { return rate_; }
+  double burst() const noexcept { return burst_; }
+
+ private:
+  void Refill(double now_sec) noexcept;
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_refill_sec_ = 0.0;
+  bool started_ = false;
+};
+
+/// The paper's probing budget: at most ~19 probes per hour per /24.
+inline constexpr double kTrinocularProbesPerHour = 19.0;
+
+/// A bucket dimensioned to Trinocular's per-block budget: 19/hour with a
+/// burst of one full round (15 probes).
+TokenBucket MakeTrinocularBudget() noexcept;
+
+}  // namespace sleepwalk::net
+
+#endif  // SLEEPWALK_NET_RATE_LIMITER_H_

@@ -1,0 +1,104 @@
+#include "sleepwalk/net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "sleepwalk/net/icmp.h"
+
+namespace sleepwalk::net {
+
+FileDescriptor::~FileDescriptor() { Reset(); }
+
+FileDescriptor& FileDescriptor::operator=(FileDescriptor&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void FileDescriptor::Reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<RawIcmpSocket> RawIcmpSocket::Open(std::string* error) {
+  int fd = ::socket(AF_INET, SOCK_RAW, IPPROTO_ICMP);
+  if (fd >= 0) return RawIcmpSocket{FileDescriptor{fd}, /*raw=*/true};
+  const int raw_errno = errno;
+  fd = ::socket(AF_INET, SOCK_DGRAM, IPPROTO_ICMP);
+  if (fd >= 0) return RawIcmpSocket{FileDescriptor{fd}, /*raw=*/false};
+  if (error != nullptr) {
+    *error = std::string{"raw socket: "} + std::strerror(raw_errno) +
+             "; dgram icmp: " + std::strerror(errno);
+  }
+  return std::nullopt;
+}
+
+bool RawIcmpSocket::SendEchoRequest(
+    Ipv4Addr to, std::uint16_t id, std::uint16_t sequence,
+    std::span<const std::uint8_t> payload) noexcept {
+  const auto packet = BuildEchoRequest(id, sequence, payload);
+  sockaddr_in dest{};
+  dest.sin_family = AF_INET;
+  dest.sin_addr.s_addr = htonl(to.value());
+  const auto sent =
+      ::sendto(fd_.get(), packet.data(), packet.size(), 0,
+               reinterpret_cast<const sockaddr*>(&dest), sizeof(dest));
+  return sent == static_cast<ssize_t>(packet.size());
+}
+
+std::optional<EchoReply> RawIcmpSocket::WaitForReply(
+    std::uint16_t id, std::chrono::milliseconds timeout) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto deadline = start + timeout;
+  std::vector<std::uint8_t> buffer(2048);
+  while (true) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (remaining.count() <= 0) return std::nullopt;
+    pollfd pfd{fd_.get(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready <= 0) return std::nullopt;
+
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    const auto received = ::recvfrom(
+        fd_.get(), buffer.data(), buffer.size(), 0,
+        reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (received <= 0) continue;
+
+    std::span<const std::uint8_t> packet{buffer.data(),
+                                         static_cast<std::size_t>(received)};
+    if (raw_) {
+      // Raw sockets deliver the IPv4 header; skip it.
+      const auto header = ParseIpv4Header(packet);
+      if (!header || header->protocol != kProtocolIcmp) continue;
+      packet = packet.subspan(header->header_bytes);
+    }
+    const auto echo = ParseEcho(packet);
+    if (!echo || echo->type != IcmpType::kEchoReply) continue;
+    // Datagram ICMP sockets rewrite the id to the local port; accept any
+    // id there, require a match on raw sockets.
+    if (raw_ && echo->id != id) continue;
+
+    EchoReply reply;
+    reply.from = Ipv4Addr{ntohl(from.sin_addr.s_addr)};
+    reply.id = echo->id;
+    reply.sequence = echo->sequence;
+    reply.rtt = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - start);
+    return reply;
+  }
+}
+
+}  // namespace sleepwalk::net

@@ -1,0 +1,82 @@
+// RAII socket wrappers for the live ICMP prober.
+//
+// Raw ICMP sockets need CAP_NET_RAW (or the kernel's ping_group_range for
+// the ICMP datagram fallback). RawIcmpSocket::Open tries both and reports
+// which was used; everything degrades to a clear error, never UB.
+#ifndef SLEEPWALK_NET_SOCKET_H_
+#define SLEEPWALK_NET_SOCKET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sleepwalk/net/ipv4.h"
+
+namespace sleepwalk::net {
+
+/// Owns a file descriptor; closes it on destruction. Move-only.
+class FileDescriptor {
+ public:
+  FileDescriptor() noexcept = default;
+  explicit FileDescriptor(int fd) noexcept : fd_(fd) {}
+  ~FileDescriptor();
+
+  FileDescriptor(const FileDescriptor&) = delete;
+  FileDescriptor& operator=(const FileDescriptor&) = delete;
+  FileDescriptor(FileDescriptor&& other) noexcept
+      : fd_(std::exchange(other.fd_, -1)) {}
+  FileDescriptor& operator=(FileDescriptor&& other) noexcept;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  /// Closes the descriptor now (idempotent).
+  void Reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Result of waiting for one ICMP echo reply.
+struct EchoReply {
+  Ipv4Addr from;
+  std::uint16_t id = 0;
+  std::uint16_t sequence = 0;
+  std::chrono::microseconds rtt{0};
+};
+
+/// A raw (or datagram) ICMP socket for sending echo requests and
+/// receiving replies.
+class RawIcmpSocket {
+ public:
+  /// Opens an ICMP socket. Tries SOCK_RAW first, then SOCK_DGRAM
+  /// (unprivileged ping). Returns nullopt with `error` filled in when
+  /// neither is permitted.
+  static std::optional<RawIcmpSocket> Open(std::string* error = nullptr);
+
+  /// True when the socket is SOCK_RAW (receives include the IPv4 header).
+  bool is_raw() const noexcept { return raw_; }
+
+  /// Sends one echo request. Returns false on send failure.
+  bool SendEchoRequest(Ipv4Addr to, std::uint16_t id, std::uint16_t sequence,
+                       std::span<const std::uint8_t> payload = {}) noexcept;
+
+  /// Waits up to `timeout` for an echo reply matching `id` (any sequence).
+  /// Non-matching traffic is discarded. Returns nullopt on timeout.
+  std::optional<EchoReply> WaitForReply(std::uint16_t id,
+                                        std::chrono::milliseconds timeout);
+
+ private:
+  RawIcmpSocket(FileDescriptor fd, bool raw) noexcept
+      : fd_(std::move(fd)), raw_(raw) {}
+
+  FileDescriptor fd_;
+  bool raw_ = false;
+};
+
+}  // namespace sleepwalk::net
+
+#endif  // SLEEPWALK_NET_SOCKET_H_

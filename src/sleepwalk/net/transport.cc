@@ -1,0 +1,43 @@
+#include "sleepwalk/net/transport.h"
+
+#include <atomic>
+
+#include "sleepwalk/net/socket.h"
+
+namespace sleepwalk::net {
+
+namespace {
+
+class LiveIcmpTransport final : public Transport {
+ public:
+  LiveIcmpTransport(RawIcmpSocket socket, int timeout_ms) noexcept
+      : socket_(std::move(socket)), timeout_ms_(timeout_ms) {}
+
+  ProbeStatus Probe(Ipv4Addr target, std::int64_t /*when_sec*/) override {
+    const auto seq = static_cast<std::uint16_t>(sequence_.fetch_add(1));
+    if (!socket_.SendEchoRequest(target, kIcmpId, seq)) {
+      return ProbeStatus::kUnreachable;
+    }
+    const auto reply =
+        socket_.WaitForReply(kIcmpId, std::chrono::milliseconds{timeout_ms_});
+    if (!reply) return ProbeStatus::kTimeout;
+    return ProbeStatus::kEchoReply;
+  }
+
+ private:
+  static constexpr std::uint16_t kIcmpId = 0x51ee;  // "SLEE(pwalk)"
+
+  RawIcmpSocket socket_;
+  int timeout_ms_;
+  std::atomic<std::uint16_t> sequence_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> MakeLiveIcmpTransport(int timeout_ms) {
+  auto socket = RawIcmpSocket::Open();
+  if (!socket) return nullptr;
+  return std::make_unique<LiveIcmpTransport>(std::move(*socket), timeout_ms);
+}
+
+}  // namespace sleepwalk::net

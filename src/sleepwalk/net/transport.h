@@ -1,0 +1,44 @@
+// Transport: the seam between probing policy and the network under test.
+//
+// Trinocular's probing logic (sleepwalk/probing) is written against this
+// interface so the same prober runs over the simulated Internet
+// (sleepwalk/sim) and over real ICMP (LiveIcmpTransport).
+#ifndef SLEEPWALK_NET_TRANSPORT_H_
+#define SLEEPWALK_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "sleepwalk/net/ipv4.h"
+
+namespace sleepwalk::net {
+
+/// Outcome of a single probe.
+enum class ProbeStatus : std::uint8_t {
+  kEchoReply,    ///< Positive response: address is up.
+  kTimeout,      ///< No answer within the probe timeout.
+  kUnreachable,  ///< Explicit ICMP unreachable / refused.
+};
+
+/// True when the probe counts as a positive response in the availability
+/// estimator (paper §2.1: "addresses ... will reply to an ICMP probe").
+constexpr bool IsPositive(ProbeStatus status) noexcept {
+  return status == ProbeStatus::kEchoReply;
+}
+
+/// Abstract probing transport. `when_sec` is the measurement time in
+/// seconds since the dataset epoch; simulated transports evaluate the
+/// world at that instant, live transports ignore it and use wall clock.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual ProbeStatus Probe(Ipv4Addr target, std::int64_t when_sec) = 0;
+};
+
+/// Live transport over a RawIcmpSocket. Construction fails (returns null)
+/// when no ICMP socket can be opened.
+std::unique_ptr<Transport> MakeLiveIcmpTransport(int timeout_ms = 1000);
+
+}  // namespace sleepwalk::net
+
+#endif  // SLEEPWALK_NET_TRANSPORT_H_

@@ -1,0 +1,33 @@
+#include "sleepwalk/probing/belief.h"
+
+#include <algorithm>
+
+namespace sleepwalk::probing {
+
+void BeliefModel::Update(double likelihood_up,
+                         double likelihood_down) noexcept {
+  const double numerator = belief_ * likelihood_up;
+  const double denominator = numerator + (1.0 - belief_) * likelihood_down;
+  if (denominator <= 0.0) return;
+  // Bounded memory: belief never saturates so deeply that fresh contrary
+  // evidence (one positive after a long outage) cannot flip it within a
+  // probe or two.
+  belief_ = std::clamp(numerator / denominator, 0.01, 0.99);
+}
+
+void BeliefModel::ObservePositive(double a) noexcept {
+  a = std::clamp(a, 0.01, 0.99);
+  Update(a, params_.pos_given_down);
+}
+
+void BeliefModel::ObserveNegative(double a) noexcept {
+  a = std::clamp(a, 0.01, 0.99);
+  Update(1.0 - a, 1.0 - params_.pos_given_down);
+}
+
+void BeliefModel::StartRound() noexcept {
+  belief_ = (1.0 - params_.inter_round_decay) * belief_ +
+            params_.inter_round_decay * params_.prior_up;
+}
+
+}  // namespace sleepwalk::probing

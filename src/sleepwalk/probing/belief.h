@@ -1,0 +1,61 @@
+// Bayesian up/down belief for one /24 block (the Trinocular model [31]).
+//
+// Trinocular maintains belief B(U) that a block is up and updates it per
+// probe with simple Bayesian inference:
+//   P(positive | up)   = a        (operational availability A-hat_o)
+//   P(positive | down) = epsilon  (essentially zero)
+//   P(negative | up)   = 1 - a
+//   P(negative | down) = 1 - epsilon
+// Probing in a round continues until belief is conclusive either way or
+// the per-round probe budget is exhausted. This is exactly why the paper
+// needs A-hat_o to never overestimate: with a too high, a couple of
+// negative probes drive belief down and produce false outages (§2.1.1).
+#ifndef SLEEPWALK_PROBING_BELIEF_H_
+#define SLEEPWALK_PROBING_BELIEF_H_
+
+namespace sleepwalk::probing {
+
+/// Tunables of the belief model.
+struct BeliefParams {
+  double prior_up = 0.9;        ///< initial / post-restart belief
+  double conclusive = 0.9;      ///< threshold: belief >= this is "up"
+  double pos_given_down = 1e-4; ///< epsilon: stray positives when down
+  double inter_round_decay = 0.05;  ///< drift toward prior between rounds
+};
+
+/// Evolving belief that a block is reachable.
+class BeliefModel {
+ public:
+  explicit BeliefModel(const BeliefParams& params = {}) noexcept
+      : params_(params), belief_(params.prior_up) {}
+
+  double belief() const noexcept { return belief_; }
+
+  /// Bayes update for a positive probe with operational availability `a`.
+  void ObservePositive(double a) noexcept;
+
+  /// Bayes update for a negative probe with operational availability `a`.
+  void ObserveNegative(double a) noexcept;
+
+  bool ConclusiveUp() const noexcept { return belief_ >= params_.conclusive; }
+  bool ConclusiveDown() const noexcept {
+    return belief_ <= 1.0 - params_.conclusive;
+  }
+
+  /// Called at round boundaries: belief drifts slightly toward the prior,
+  /// modelling state uncertainty growing between observations.
+  void StartRound() noexcept;
+
+  /// Resets to the prior (prober restart).
+  void Reset() noexcept { belief_ = params_.prior_up; }
+
+ private:
+  void Update(double likelihood_up, double likelihood_down) noexcept;
+
+  BeliefParams params_;
+  double belief_;
+};
+
+}  // namespace sleepwalk::probing
+
+#endif  // SLEEPWALK_PROBING_BELIEF_H_

@@ -1,0 +1,50 @@
+#include "sleepwalk/probing/prober.h"
+
+#include <utility>
+
+namespace sleepwalk::probing {
+
+AdaptiveProber::AdaptiveProber(net::Prefix24 block,
+                               std::vector<std::uint8_t> ever_active,
+                               std::uint64_t seed, const ProberConfig& config)
+    : block_(block), config_(config),
+      walker_(std::move(ever_active), seed ^ block.Index()),
+      belief_model_(config.belief) {}
+
+RoundRecord AdaptiveProber::RunRound(net::Transport& transport,
+                                     std::int64_t round,
+                                     std::int64_t when_sec,
+                                     double operational_availability) {
+  RoundRecord record;
+  record.round = round;
+  belief_model_.StartRound();
+
+  while (record.probes < config_.max_probes_per_round) {
+    const std::uint8_t octet = walker_.Next();
+    const auto status = transport.Probe(block_.Address(octet), when_sec);
+    ++record.probes;
+    if (net::IsPositive(status)) {
+      ++record.positives;
+      belief_model_.ObservePositive(operational_availability);
+      // Trinocular policy: the first positive proves the block up; stop
+      // to minimize traffic.
+      record.concluded_up = true;
+      break;
+    }
+    belief_model_.ObserveNegative(operational_availability);
+    if (belief_model_.ConclusiveDown()) {
+      record.concluded_down = true;
+      break;
+    }
+  }
+
+  record.belief = belief_model_.belief();
+  return record;
+}
+
+void AdaptiveProber::Restart() noexcept {
+  walker_.Restart();
+  belief_model_.Reset();
+}
+
+}  // namespace sleepwalk::probing

@@ -1,0 +1,73 @@
+// Per-block adaptive prober (the Trinocular probing engine [31]).
+//
+// Each 11-minute round the prober walks the block's ever-active addresses
+// in pseudorandom order, sending 1..15 probes:
+//  * a positive response concludes the block is up and stops probing
+//    ("stopping on first positive response" — the sampling bias §2.1.1
+//    the availability estimator must cope with);
+//  * enough negatives to drive belief conclusively down stop probing with
+//    an outage verdict;
+//  * otherwise probing stops at the per-round budget.
+// The round's (positives, total) counts feed the availability estimator
+// owned by the caller, which returns the operational A-hat_o used for the
+// next round's inference — closing the loop of §2.1.
+#ifndef SLEEPWALK_PROBING_PROBER_H_
+#define SLEEPWALK_PROBING_PROBER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sleepwalk/net/ipv4.h"
+#include "sleepwalk/net/transport.h"
+#include "sleepwalk/probing/belief.h"
+#include "sleepwalk/probing/walker.h"
+
+namespace sleepwalk::probing {
+
+/// Prober tunables. Defaults follow the paper/Trinocular: at most 15
+/// probes per round, which with 11-minute rounds keeps the average under
+/// ~20 probes/hour/block ("less than 1% of background radiation").
+struct ProberConfig {
+  int max_probes_per_round = 15;
+  BeliefParams belief;
+};
+
+/// What one round of probing observed.
+struct RoundRecord {
+  std::int64_t round = 0;
+  int probes = 0;     ///< t: total probes sent this round
+  int positives = 0;  ///< p: positive responses (0 or 1 with early stop)
+  bool concluded_up = false;
+  bool concluded_down = false;  ///< an outage verdict for this round
+  double belief = 0.0;          ///< belief after the round
+};
+
+/// Adaptive prober for a single /24 block.
+class AdaptiveProber {
+ public:
+  /// `ever_active` holds the last-octets of E(b) from historical data.
+  AdaptiveProber(net::Prefix24 block, std::vector<std::uint8_t> ever_active,
+                 std::uint64_t seed, const ProberConfig& config = {});
+
+  /// Runs one probing round at simulation time `when_sec`, using the
+  /// caller's current operational availability estimate.
+  RoundRecord RunRound(net::Transport& transport, std::int64_t round,
+                       std::int64_t when_sec, double operational_availability);
+
+  /// Simulates a prober software restart: belief and walk position reset.
+  void Restart() noexcept;
+
+  net::Prefix24 block() const noexcept { return block_; }
+  std::size_t ever_active_count() const noexcept { return walker_.size(); }
+  const BeliefModel& belief() const noexcept { return belief_model_; }
+
+ private:
+  net::Prefix24 block_;
+  ProberConfig config_;
+  AddressWalker walker_;
+  BeliefModel belief_model_;
+};
+
+}  // namespace sleepwalk::probing
+
+#endif  // SLEEPWALK_PROBING_PROBER_H_

@@ -1,0 +1,2 @@
+// RoundScheduler is header-only; this TU anchors the target.
+#include "sleepwalk/probing/scheduler.h"

@@ -1,0 +1,28 @@
+#include "sleepwalk/probing/walker.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sleepwalk::probing {
+
+AddressWalker::AddressWalker(std::vector<std::uint8_t> ever_active,
+                             std::uint64_t seed)
+    : order_(std::move(ever_active)) {
+  if (order_.empty()) {
+    throw std::invalid_argument{"AddressWalker: ever-active set is empty"};
+  }
+  Rng rng{seed};
+  // Fisher-Yates shuffle.
+  for (std::size_t i = order_.size() - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(rng.NextBelow(i + 1));
+    std::swap(order_[i], order_[j]);
+  }
+}
+
+std::uint8_t AddressWalker::Next() noexcept {
+  const std::uint8_t address = order_[cursor_];
+  cursor_ = (cursor_ + 1) % order_.size();
+  return address;
+}
+
+}  // namespace sleepwalk::probing

@@ -1,0 +1,44 @@
+// Pseudorandom address walker (paper §2.1.2).
+//
+// "[Trinocular's] policy of walking all responsive addresses in a
+//  pseudorandom order is ideal for analysis of diurnal blocks."
+//
+// The walker holds a fixed Fisher-Yates permutation of the block's
+// ever-active addresses and a cursor that persists across rounds, so over
+// time every ever-active address is sampled uniformly.
+#ifndef SLEEPWALK_PROBING_WALKER_H_
+#define SLEEPWALK_PROBING_WALKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::probing {
+
+/// Cyclic pseudorandom walk over a set of last-octets.
+class AddressWalker {
+ public:
+  /// `ever_active` lists the last-octets of E(b), the addresses known to
+  /// have responded historically. Must be non-empty.
+  AddressWalker(std::vector<std::uint8_t> ever_active, std::uint64_t seed);
+
+  /// Next address to probe; wraps around the permutation forever.
+  std::uint8_t Next() noexcept;
+
+  /// Returns the cursor to the start of the permutation — what happens
+  /// when the prober process restarts (§4: the 5.5-hour restart produces
+  /// a 4.3 cycles/day artifact, Fig 10).
+  void Restart() noexcept { cursor_ = 0; }
+
+  std::size_t size() const noexcept { return order_.size(); }
+  const std::vector<std::uint8_t>& order() const noexcept { return order_; }
+
+ private:
+  std::vector<std::uint8_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace sleepwalk::probing
+
+#endif  // SLEEPWALK_PROBING_WALKER_H_

@@ -1,0 +1,95 @@
+#include "sleepwalk/rdns/classifier.h"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+
+namespace sleepwalk::rdns {
+
+namespace {
+
+constexpr std::array<std::string_view, kKeywordCount> kKeywordTexts = {
+    "sta", "dyn", "srv", "rtr", "gw", "dhcp", "ppp", "dsl",
+    "dial", "cable", "ded", "res", "client", "sql", "wireless", "wifi",
+};
+
+constexpr KeywordMask kDiscardedMask =
+    MaskOf(LinkKeyword::kRtr) | MaskOf(LinkKeyword::kGw) |
+    MaskOf(LinkKeyword::kDed) | MaskOf(LinkKeyword::kClient) |
+    MaskOf(LinkKeyword::kSql) | MaskOf(LinkKeyword::kWireless) |
+    MaskOf(LinkKeyword::kWifi);
+
+std::string ToLower(std::string_view text) {
+  std::string out{text};
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::string_view KeywordText(LinkKeyword keyword) noexcept {
+  return kKeywordTexts[static_cast<std::size_t>(keyword)];
+}
+
+bool IsDiscardedKeyword(LinkKeyword keyword) noexcept {
+  return (kDiscardedMask & MaskOf(keyword)) != 0;
+}
+
+KeywordMask MatchAddressName(std::string_view reverse_name) noexcept {
+  if (reverse_name.empty()) return 0;
+  const std::string lowered = ToLower(reverse_name);
+  KeywordMask mask = 0;
+  for (int i = 0; i < kKeywordCount; ++i) {
+    if (lowered.find(kKeywordTexts[static_cast<std::size_t>(i)]) !=
+        std::string::npos) {
+      mask = static_cast<KeywordMask>(mask | (1u << i));
+    }
+  }
+  return mask;
+}
+
+BlockLinkLabel ClassifyBlock(std::span<const std::string> reverse_names,
+                             const ClassifierOptions& options) {
+  BlockLinkLabel result;
+  for (const auto& name : reverse_names) {
+    const KeywordMask mask = MatchAddressName(name);
+    for (int i = 0; i < kKeywordCount; ++i) {
+      if ((mask & (1u << i)) != 0) {
+        ++result.counts[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+
+  const int dominant =
+      *std::max_element(result.counts.begin(), result.counts.end());
+  if (dominant == 0) return result;
+
+  // Suppress minor features: fewer than 1/15th of the dominant count.
+  // Integer threshold: a feature survives when
+  //   count * divisor >= dominant  (i.e. count >= dominant/divisor).
+  for (int i = 0; i < kKeywordCount; ++i) {
+    const auto keyword = static_cast<LinkKeyword>(i);
+    const int count = result.counts[static_cast<std::size_t>(i)];
+    if (count == 0) continue;
+    if (count * options.suppression_divisor < dominant) continue;
+    if (!options.include_discarded && IsDiscardedKeyword(keyword)) continue;
+    result.label = static_cast<KeywordMask>(result.label | (1u << i));
+  }
+  const int surviving = std::popcount(static_cast<unsigned>(result.label));
+  result.has_any = surviving > 0;
+  result.multiple = surviving > 1;
+  return result;
+}
+
+std::vector<LinkKeyword> KeptKeywords() {
+  std::vector<LinkKeyword> kept;
+  for (int i = 0; i < kKeywordCount; ++i) {
+    const auto keyword = static_cast<LinkKeyword>(i);
+    if (!IsDiscardedKeyword(keyword)) kept.push_back(keyword);
+  }
+  return kept;
+}
+
+}  // namespace sleepwalk::rdns

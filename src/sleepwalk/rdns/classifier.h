@@ -1,0 +1,77 @@
+// Link-technology inference from reverse DNS names (paper §2.3.3, Fig 17).
+//
+// "We consider 16 keywords (sta, dyn, srv, rtr*, gw*, dhcp, ppp, dsl,
+//  dial, cable, ded*, res, client*, sql*, wireless*, wifi*). Of these, we
+//  discard the seven marked with asterisks because they are dominant in
+//  less than 1000 blocks."
+//
+// Per-address matching is non-exclusive substring search; per-block
+// labelling suppresses features below 1/15th of the dominant feature and
+// keeps everything else.
+#ifndef SLEEPWALK_RDNS_CLASSIFIER_H_
+#define SLEEPWALK_RDNS_CLASSIFIER_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sleepwalk::rdns {
+
+/// All 16 keywords, in the paper's order.
+enum class LinkKeyword : std::uint8_t {
+  kSta, kDyn, kSrv, kRtr, kGw, kDhcp, kPpp, kDsl,
+  kDial, kCable, kDed, kRes, kClient, kSql, kWireless, kWifi,
+};
+
+inline constexpr int kKeywordCount = 16;
+
+/// The keyword's matching string.
+std::string_view KeywordText(LinkKeyword keyword) noexcept;
+
+/// True for the seven asterisked keywords the paper discards (dominant in
+/// fewer than 1000 blocks): rtr, gw, ded, client, sql, wireless, wifi.
+bool IsDiscardedKeyword(LinkKeyword keyword) noexcept;
+
+/// Bitmask type over LinkKeyword; bit i corresponds to keyword i.
+using KeywordMask = std::uint16_t;
+
+constexpr KeywordMask MaskOf(LinkKeyword keyword) noexcept {
+  return static_cast<KeywordMask>(1u << static_cast<unsigned>(keyword));
+}
+
+/// Per-address feature extraction: every keyword found as a substring of
+/// the (lowercased) reverse name. "dhcp-dialup-001.example.com" yields
+/// dhcp | dial.
+KeywordMask MatchAddressName(std::string_view reverse_name) noexcept;
+
+/// A /24's inferred link-technology label.
+struct BlockLinkLabel {
+  std::array<int, kKeywordCount> counts{};  ///< addresses matching each kw
+  KeywordMask label = 0;   ///< surviving features after suppression
+  bool has_any = false;    ///< at least one feature survived
+  bool multiple = false;   ///< more than one feature survived
+};
+
+/// Classification knobs.
+struct ClassifierOptions {
+  /// Features with fewer than dominant/suppression_divisor matches are
+  /// dropped (paper: 1/15th).
+  int suppression_divisor = 15;
+  /// Keep the seven asterisked keywords instead of discarding them.
+  bool include_discarded = false;
+};
+
+/// Classifies a block from its (up to 256) address reverse names.
+BlockLinkLabel ClassifyBlock(std::span<const std::string> reverse_names,
+                             const ClassifierOptions& options = {});
+
+/// Names of the 9 kept keywords in Fig 17's display order
+/// (static, dynamic, server, dhcp, ppp, dsl, dialup, cable, residential).
+std::vector<LinkKeyword> KeptKeywords();
+
+}  // namespace sleepwalk::rdns
+
+#endif  // SLEEPWALK_RDNS_CLASSIFIER_H_

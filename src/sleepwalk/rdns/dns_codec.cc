@@ -1,0 +1,276 @@
+#include "sleepwalk/rdns/dns_codec.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sleepwalk::rdns {
+
+namespace {
+
+void PutU16(std::vector<std::uint8_t>& out, std::uint16_t value) {
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value & 0xff));
+}
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value & 0xff));
+}
+
+std::optional<std::uint16_t> GetU16(std::span<const std::uint8_t> data,
+                                    std::size_t& offset) {
+  if (offset + 2 > data.size()) return std::nullopt;
+  const auto value = static_cast<std::uint16_t>(
+      (data[offset] << 8) | data[offset + 1]);
+  offset += 2;
+  return value;
+}
+
+std::optional<std::uint32_t> GetU32(std::span<const std::uint8_t> data,
+                                    std::size_t& offset) {
+  if (offset + 4 > data.size()) return std::nullopt;
+  const std::uint32_t value = (static_cast<std::uint32_t>(data[offset]) << 24) |
+                              (static_cast<std::uint32_t>(data[offset + 1]) << 16) |
+                              (static_cast<std::uint32_t>(data[offset + 2]) << 8) |
+                              static_cast<std::uint32_t>(data[offset + 3]);
+  offset += 4;
+  return value;
+}
+
+void EncodeHeader(std::vector<std::uint8_t>& out, const DnsHeader& header) {
+  PutU16(out, header.id);
+  std::uint16_t flags = 0;
+  if (header.is_response) flags |= 0x8000;
+  if (header.authoritative) flags |= 0x0400;
+  if (header.truncated) flags |= 0x0200;
+  if (header.recursion_desired) flags |= 0x0100;
+  if (header.recursion_available) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(header.rcode) & 0x000f;
+  PutU16(out, flags);
+  PutU16(out, header.question_count);
+  PutU16(out, header.answer_count);
+  PutU16(out, header.authority_count);
+  PutU16(out, header.additional_count);
+}
+
+std::optional<DnsHeader> DecodeHeader(std::span<const std::uint8_t> data,
+                                      std::size_t& offset) {
+  DnsHeader header;
+  const auto id = GetU16(data, offset);
+  const auto flags = GetU16(data, offset);
+  const auto qd = GetU16(data, offset);
+  const auto an = GetU16(data, offset);
+  const auto ns = GetU16(data, offset);
+  const auto ar = GetU16(data, offset);
+  if (!id || !flags || !qd || !an || !ns || !ar) return std::nullopt;
+  header.id = *id;
+  header.is_response = (*flags & 0x8000) != 0;
+  header.authoritative = (*flags & 0x0400) != 0;
+  header.truncated = (*flags & 0x0200) != 0;
+  header.recursion_desired = (*flags & 0x0100) != 0;
+  header.recursion_available = (*flags & 0x0080) != 0;
+  header.rcode = static_cast<DnsRcode>(*flags & 0x000f);
+  header.question_count = *qd;
+  header.answer_count = *an;
+  header.authority_count = *ns;
+  header.additional_count = *ar;
+  return header;
+}
+
+}  // namespace
+
+std::string ReverseName(net::Ipv4Addr addr) {
+  const auto octets = addr.Octets();
+  std::string name;
+  name.reserve(29);
+  for (int i = 3; i >= 0; --i) {
+    name += std::to_string(octets[static_cast<std::size_t>(i)]);
+    name.push_back('.');
+  }
+  name += "in-addr.arpa";
+  return name;
+}
+
+std::optional<net::Ipv4Addr> ParseReverseName(std::string_view name) {
+  constexpr std::string_view kSuffix = ".in-addr.arpa";
+  if (name.size() <= kSuffix.size()) return std::nullopt;
+  // Accept an optional trailing root dot.
+  if (name.ends_with(".")) name.remove_suffix(1);
+  if (!name.ends_with(kSuffix)) return std::nullopt;
+  const std::string_view quad =
+      name.substr(0, name.size() - kSuffix.size());
+  const auto reversed = net::Ipv4Addr::Parse(quad);
+  if (!reversed) return std::nullopt;
+  const auto o = reversed->Octets();
+  return net::Ipv4Addr{o[3], o[2], o[1], o[0]};
+}
+
+bool EncodeName(std::string_view name, std::vector<std::uint8_t>& out) {
+  if (name.ends_with(".")) name.remove_suffix(1);
+  std::size_t total = 1;  // the root terminator
+  while (!name.empty()) {
+    const auto dot = name.find('.');
+    const std::string_view label =
+        dot == std::string_view::npos ? name : name.substr(0, dot);
+    if (label.empty() || label.size() > 63) return false;
+    total += label.size() + 1;
+    if (total > 255) return false;
+    out.push_back(static_cast<std::uint8_t>(label.size()));
+    out.insert(out.end(), label.begin(), label.end());
+    if (dot == std::string_view::npos) break;
+    name.remove_prefix(dot + 1);
+  }
+  out.push_back(0);
+  return true;
+}
+
+std::optional<std::string> DecodeName(std::span<const std::uint8_t> message,
+                                      std::size_t& offset) {
+  std::string name;
+  std::size_t position = offset;
+  std::optional<std::size_t> resume;  // offset after the first pointer
+  int jumps = 0;
+  constexpr int kMaxJumps = 16;  // defeats pointer loops
+
+  while (true) {
+    if (position >= message.size()) return std::nullopt;
+    const std::uint8_t length = message[position];
+    if ((length & 0xc0) == 0xc0) {
+      // Compression pointer: 14-bit offset into the message.
+      if (position + 1 >= message.size()) return std::nullopt;
+      if (++jumps > kMaxJumps) return std::nullopt;
+      const std::size_t target =
+          (static_cast<std::size_t>(length & 0x3f) << 8) |
+          message[position + 1];
+      if (!resume) resume = position + 2;
+      if (target >= position) return std::nullopt;  // forward loops
+      position = target;
+      continue;
+    }
+    if ((length & 0xc0) != 0) return std::nullopt;  // reserved tags
+    ++position;
+    if (length == 0) break;
+    if (position + length > message.size()) return std::nullopt;
+    if (!name.empty()) name.push_back('.');
+    for (std::uint8_t i = 0; i < length; ++i) {
+      name.push_back(static_cast<char>(
+          std::tolower(message[position + i])));
+    }
+    position += length;
+    if (name.size() > 255) return std::nullopt;
+  }
+
+  offset = resume.value_or(position);
+  return name;
+}
+
+std::vector<std::uint8_t> BuildPtrQuery(std::uint16_t id,
+                                        net::Ipv4Addr addr) {
+  std::vector<std::uint8_t> out;
+  DnsHeader header;
+  header.id = id;
+  header.question_count = 1;
+  EncodeHeader(out, header);
+  EncodeName(ReverseName(addr), out);
+  PutU16(out, static_cast<std::uint16_t>(DnsType::kPtr));
+  PutU16(out, 1);  // class IN
+  return out;
+}
+
+std::vector<std::uint8_t> BuildPtrResponse(std::uint16_t id,
+                                           net::Ipv4Addr addr,
+                                           std::string_view ptr_target,
+                                           DnsRcode rcode,
+                                           std::uint32_t ttl) {
+  std::vector<std::uint8_t> out;
+  DnsHeader header;
+  header.id = id;
+  header.is_response = true;
+  header.authoritative = true;
+  header.recursion_available = true;
+  header.rcode = ptr_target.empty() && rcode == DnsRcode::kNoError
+                     ? DnsRcode::kNxDomain
+                     : rcode;
+  header.question_count = 1;
+  header.answer_count = ptr_target.empty() ? 0 : 1;
+  EncodeHeader(out, header);
+
+  const std::size_t question_offset = out.size();
+  EncodeName(ReverseName(addr), out);
+  PutU16(out, static_cast<std::uint16_t>(DnsType::kPtr));
+  PutU16(out, 1);
+
+  if (!ptr_target.empty()) {
+    // Answer name: compression pointer back to the question QNAME.
+    out.push_back(static_cast<std::uint8_t>(0xc0 | (question_offset >> 8)));
+    out.push_back(static_cast<std::uint8_t>(question_offset & 0xff));
+    PutU16(out, static_cast<std::uint16_t>(DnsType::kPtr));
+    PutU16(out, 1);
+    PutU32(out, ttl);
+    std::vector<std::uint8_t> rdata;
+    EncodeName(ptr_target, rdata);
+    PutU16(out, static_cast<std::uint16_t>(rdata.size()));
+    out.insert(out.end(), rdata.begin(), rdata.end());
+  }
+  return out;
+}
+
+std::optional<DnsMessage> ParseMessage(std::span<const std::uint8_t> data) {
+  std::size_t offset = 0;
+  const auto header = DecodeHeader(data, offset);
+  if (!header) return std::nullopt;
+
+  DnsMessage message;
+  message.header = *header;
+
+  if (header->question_count > 0) {
+    // Only the first question is retained (multi-question messages are
+    // not used in practice); remaining questions are skipped.
+    for (std::uint16_t q = 0; q < header->question_count; ++q) {
+      auto name = DecodeName(data, offset);
+      if (!name) return std::nullopt;
+      const auto qtype = GetU16(data, offset);
+      const auto qclass = GetU16(data, offset);
+      if (!qtype || !qclass) return std::nullopt;
+      if (q == 0) {
+        message.question_name = std::move(*name);
+        message.question_type = static_cast<DnsType>(*qtype);
+      }
+    }
+  }
+
+  for (std::uint16_t a = 0; a < header->answer_count; ++a) {
+    DnsRecord record;
+    auto name = DecodeName(data, offset);
+    if (!name) return std::nullopt;
+    record.name = std::move(*name);
+    const auto rtype = GetU16(data, offset);
+    const auto rclass = GetU16(data, offset);
+    const auto ttl = GetU32(data, offset);
+    const auto rdlength = GetU16(data, offset);
+    if (!rtype || !rclass || !ttl || !rdlength) return std::nullopt;
+    if (offset + *rdlength > data.size()) return std::nullopt;
+    record.type = static_cast<DnsType>(*rtype);
+    record.ttl = *ttl;
+    const std::size_t rdata_start = offset;
+    record.rdata.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                        data.begin() + static_cast<std::ptrdiff_t>(
+                                           offset + *rdlength));
+    if (record.type == DnsType::kPtr || record.type == DnsType::kNs ||
+        record.type == DnsType::kCname) {
+      std::size_t name_offset = rdata_start;
+      auto target = DecodeName(data, name_offset);
+      if (!target || name_offset > rdata_start + *rdlength) {
+        return std::nullopt;
+      }
+      record.target = std::move(*target);
+    }
+    offset = rdata_start + *rdlength;
+    message.answers.push_back(std::move(record));
+  }
+  return message;
+}
+
+}  // namespace sleepwalk::rdns

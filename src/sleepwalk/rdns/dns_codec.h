@@ -1,0 +1,116 @@
+// DNS wire-format codec (RFC 1035) for reverse (PTR) lookups.
+//
+// The paper's link-type inference (§2.3.3) begins with "look up the
+// reverse domain name of each address in each analyzable block" — at
+// 3.7M blocks that is ~1e9 PTR queries. This module implements the wire
+// format those lookups ride on: header packing, QNAME encoding, message
+// compression pointers, and PTR record parsing. It performs no I/O;
+// dns_resolver.h layers the simulated and UDP transports on top.
+#ifndef SLEEPWALK_RDNS_DNS_CODEC_H_
+#define SLEEPWALK_RDNS_DNS_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sleepwalk/net/ipv4.h"
+
+namespace sleepwalk::rdns {
+
+/// DNS record types we speak.
+enum class DnsType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kPtr = 12,
+  kTxt = 16,
+};
+
+/// Response codes (RFC 1035 §4.1.1).
+enum class DnsRcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+/// Fixed 12-byte DNS header.
+struct DnsHeader {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  bool recursion_desired = true;
+  bool recursion_available = false;
+  bool truncated = false;
+  bool authoritative = false;
+  DnsRcode rcode = DnsRcode::kNoError;
+  std::uint16_t question_count = 0;
+  std::uint16_t answer_count = 0;
+  std::uint16_t authority_count = 0;
+  std::uint16_t additional_count = 0;
+};
+
+inline constexpr std::size_t kDnsHeaderSize = 12;
+
+/// One parsed resource record.
+struct DnsRecord {
+  std::string name;
+  DnsType type = DnsType::kPtr;
+  std::uint32_t ttl = 0;
+  /// For PTR/NS/CNAME: the decoded target name. Other types keep raw
+  /// RDATA bytes in `rdata`.
+  std::string target;
+  std::vector<std::uint8_t> rdata;
+};
+
+/// A parsed DNS message.
+struct DnsMessage {
+  DnsHeader header;
+  std::string question_name;  ///< first question's QNAME (lowercased)
+  DnsType question_type = DnsType::kPtr;
+  std::vector<DnsRecord> answers;
+};
+
+/// The reverse-lookup name for an address: "d.c.b.a.in-addr.arpa".
+std::string ReverseName(net::Ipv4Addr addr);
+
+/// Parses a "d.c.b.a.in-addr.arpa" name back to the address; nullopt for
+/// anything else.
+std::optional<net::Ipv4Addr> ParseReverseName(std::string_view name);
+
+/// Encodes a domain name into DNS label format, appended to `out`.
+/// Returns false for invalid names (label > 63 octets, total > 255).
+bool EncodeName(std::string_view name, std::vector<std::uint8_t>& out);
+
+/// Decodes a (possibly compressed) name starting at `offset` within the
+/// full `message`. On success returns the name (lowercased, no trailing
+/// dot) and advances `offset` past the name's in-place bytes. Rejects
+/// pointer loops and out-of-range pointers.
+std::optional<std::string> DecodeName(std::span<const std::uint8_t> message,
+                                      std::size_t& offset);
+
+/// Builds a PTR query for `addr` with the given transaction id.
+std::vector<std::uint8_t> BuildPtrQuery(std::uint16_t id,
+                                        net::Ipv4Addr addr);
+
+/// Builds a response to a PTR query: one PTR answer (or an empty answer
+/// section with the given rcode when `ptr_target` is empty). The
+/// question is re-encoded; the answer name uses a compression pointer to
+/// it — exercising the compression path on every simulated lookup.
+std::vector<std::uint8_t> BuildPtrResponse(std::uint16_t id,
+                                           net::Ipv4Addr addr,
+                                           std::string_view ptr_target,
+                                           DnsRcode rcode = DnsRcode::kNoError,
+                                           std::uint32_t ttl = 3600);
+
+/// Parses any DNS message (query or response). Returns nullopt on
+/// malformed input; never reads out of bounds.
+std::optional<DnsMessage> ParseMessage(std::span<const std::uint8_t> data);
+
+}  // namespace sleepwalk::rdns
+
+#endif  // SLEEPWALK_RDNS_DNS_CODEC_H_

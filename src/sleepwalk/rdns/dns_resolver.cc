@@ -1,0 +1,132 @@
+#include "sleepwalk/rdns/dns_resolver.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "sleepwalk/net/socket.h"
+
+namespace sleepwalk::rdns {
+
+void InMemoryPtrResolver::AddRecord(net::Ipv4Addr addr, std::string name) {
+  records_.insert_or_assign(addr.value(), std::move(name));
+}
+
+void InMemoryPtrResolver::AddBlock(net::Prefix24 block,
+                                   const std::vector<std::string>& names) {
+  for (std::size_t i = 0; i < names.size() && i < net::kBlockSize; ++i) {
+    if (names[i].empty()) continue;
+    AddRecord(block.Address(static_cast<std::uint8_t>(i)), names[i]);
+  }
+}
+
+std::optional<std::string> InMemoryPtrResolver::Resolve(net::Ipv4Addr addr) {
+  ++queries_;
+  const std::uint16_t id = next_id_++;
+
+  // Client side: build the query bytes.
+  const auto query_bytes = BuildPtrQuery(id, addr);
+
+  // Server side: parse the query and answer from the zone.
+  const auto query = ParseMessage(query_bytes);
+  if (!query || query->header.is_response ||
+      query->question_type != DnsType::kPtr) {
+    return std::nullopt;
+  }
+  const auto queried_addr = ParseReverseName(query->question_name);
+  if (!queried_addr) return std::nullopt;
+  const auto it = records_.find(queried_addr->value());
+  const std::string_view target =
+      it != records_.end() ? std::string_view{it->second}
+                           : std::string_view{};
+  const auto response_bytes = BuildPtrResponse(id, *queried_addr, target);
+
+  // Client side again: parse the response.
+  const auto response = ParseMessage(response_bytes);
+  if (!response || !response->header.is_response ||
+      response->header.id != id) {
+    return std::nullopt;
+  }
+  if (response->header.rcode != DnsRcode::kNoError ||
+      response->answers.empty()) {
+    return std::nullopt;
+  }
+  return response->answers.front().target;
+}
+
+namespace {
+
+class UdpPtrResolver final : public PtrResolver {
+ public:
+  UdpPtrResolver(net::FileDescriptor fd, net::Ipv4Addr server,
+                 int timeout_ms) noexcept
+      : fd_(std::move(fd)), server_(server), timeout_ms_(timeout_ms) {}
+
+  std::optional<std::string> Resolve(net::Ipv4Addr addr) override {
+    const std::uint16_t id = next_id_++;
+    const auto query = BuildPtrQuery(id, addr);
+
+    sockaddr_in dest{};
+    dest.sin_family = AF_INET;
+    dest.sin_port = htons(53);
+    dest.sin_addr.s_addr = htonl(server_.value());
+    if (::sendto(fd_.get(), query.data(), query.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&dest),
+                 sizeof(dest)) != static_cast<ssize_t>(query.size())) {
+      return std::nullopt;
+    }
+
+    pollfd pfd{fd_.get(), POLLIN, 0};
+    if (::poll(&pfd, 1, timeout_ms_) <= 0) return std::nullopt;
+
+    std::vector<std::uint8_t> buffer(1500);
+    const auto received =
+        ::recv(fd_.get(), buffer.data(), buffer.size(), 0);
+    if (received <= 0) return std::nullopt;
+
+    const auto response = ParseMessage(
+        {buffer.data(), static_cast<std::size_t>(received)});
+    if (!response || response->header.id != id ||
+        !response->header.is_response ||
+        response->header.rcode != DnsRcode::kNoError) {
+      return std::nullopt;
+    }
+    for (const auto& answer : response->answers) {
+      if (answer.type == DnsType::kPtr) return answer.target;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  net::FileDescriptor fd_;
+  net::Ipv4Addr server_;
+  int timeout_ms_;
+  std::uint16_t next_id_ = 0x1035;
+};
+
+}  // namespace
+
+std::unique_ptr<PtrResolver> MakeUdpPtrResolver(net::Ipv4Addr server,
+                                                int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return nullptr;
+  return std::make_unique<UdpPtrResolver>(net::FileDescriptor{fd}, server,
+                                          timeout_ms);
+}
+
+std::vector<std::string> ResolveBlock(PtrResolver& resolver,
+                                      net::Prefix24 block) {
+  std::vector<std::string> names(net::kBlockSize);
+  for (int i = 0; i < net::kBlockSize; ++i) {
+    auto name =
+        resolver.Resolve(block.Address(static_cast<std::uint8_t>(i)));
+    if (name) names[static_cast<std::size_t>(i)] = std::move(*name);
+  }
+  return names;
+}
+
+}  // namespace sleepwalk::rdns

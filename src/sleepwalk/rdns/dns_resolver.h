@@ -1,0 +1,68 @@
+// Reverse-DNS resolution on top of the wire codec.
+//
+// PtrResolver is the seam: the measurement pipeline asks for the PTR
+// name of an address and does not care whether the answer comes from a
+// simulated authoritative server (InMemoryPtrResolver, which round-trips
+// every lookup through real wire bytes) or a live UDP resolver
+// (UdpDnsClient).
+#ifndef SLEEPWALK_RDNS_DNS_RESOLVER_H_
+#define SLEEPWALK_RDNS_DNS_RESOLVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sleepwalk/net/ipv4.h"
+#include "sleepwalk/rdns/dns_codec.h"
+
+namespace sleepwalk::rdns {
+
+/// Abstract PTR lookup: name for an address, or nullopt (NXDOMAIN /
+/// timeout / malformed response).
+class PtrResolver {
+ public:
+  virtual ~PtrResolver() = default;
+  virtual std::optional<std::string> Resolve(net::Ipv4Addr addr) = 0;
+};
+
+/// An authoritative PTR zone held in memory. Every Resolve() builds a
+/// real query packet, "serves" it by parsing the query and building a
+/// compressed response, then parses the response — so the full codec
+/// path is exercised per lookup, exactly as a wire resolver would.
+class InMemoryPtrResolver final : public PtrResolver {
+ public:
+  /// Adds (or replaces) a PTR record.
+  void AddRecord(net::Ipv4Addr addr, std::string name);
+
+  /// Loads a whole /24's names (empty entries are skipped).
+  void AddBlock(net::Prefix24 block,
+                const std::vector<std::string>& names);
+
+  std::optional<std::string> Resolve(net::Ipv4Addr addr) override;
+
+  std::size_t record_count() const noexcept { return records_.size(); }
+  std::uint64_t queries_served() const noexcept { return queries_; }
+
+ private:
+  std::unordered_map<std::uint32_t, std::string> records_;
+  std::uint64_t queries_ = 0;
+  std::uint16_t next_id_ = 1;
+};
+
+/// Live PTR resolution over UDP (RFC 1035 §4.2.1) against a recursive
+/// resolver. Returns nullptr when no UDP socket can be opened.
+std::unique_ptr<PtrResolver> MakeUdpPtrResolver(
+    net::Ipv4Addr server = net::Ipv4Addr{8, 8, 8, 8},
+    int timeout_ms = 2000);
+
+/// Resolves all 256 names of a /24 (empty string where resolution
+/// fails) — the per-block input to the link-type classifier.
+std::vector<std::string> ResolveBlock(PtrResolver& resolver,
+                                      net::Prefix24 block);
+
+}  // namespace sleepwalk::rdns
+
+#endif  // SLEEPWALK_RDNS_DNS_RESOLVER_H_

@@ -1,0 +1,113 @@
+#include "sleepwalk/rdns/names.h"
+
+#include <array>
+#include <cstdio>
+
+namespace sleepwalk::rdns {
+
+namespace {
+
+std::string DashQuad(net::Ipv4Addr addr) {
+  const auto o = addr.Octets();
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%u-%u-%u-%u", o[0], o[1], o[2],
+                o[3]);
+  return buffer;
+}
+
+std::string PickTemplate(AccessTech tech, net::Ipv4Addr addr, Rng& rng) {
+  const auto quad = DashQuad(addr);
+  const auto last = std::to_string(addr.Octets()[3]);
+  switch (tech) {
+    case AccessTech::kStatic: {
+      constexpr std::array<std::string_view, 3> kPrefixes = {
+          "sta-", "static-", "sta"};
+      return std::string{kPrefixes[rng.NextBelow(kPrefixes.size())]} + quad;
+    }
+    case AccessTech::kDynamic: {
+      constexpr std::array<std::string_view, 3> kPrefixes = {
+          "dyn-", "dynamic-", "dyn"};
+      return std::string{kPrefixes[rng.NextBelow(kPrefixes.size())]} + quad;
+    }
+    case AccessTech::kServer: {
+      constexpr std::array<std::string_view, 3> kPrefixes = {"srv", "srv-",
+                                                             "server-srv"};
+      return std::string{kPrefixes[rng.NextBelow(kPrefixes.size())]} + last;
+    }
+    case AccessTech::kDhcp:
+      return rng.NextBool(0.5) ? "dhcp-" + quad : "dhcp" + last;
+    case AccessTech::kPpp:
+      return rng.NextBool(0.5) ? "ppp-" + quad : "ppp" + last;
+    case AccessTech::kDsl: {
+      constexpr std::array<std::string_view, 3> kPrefixes = {"dsl-", "adsl-",
+                                                             "dsl-pool-"};
+      return std::string{kPrefixes[rng.NextBelow(kPrefixes.size())]} + quad;
+    }
+    case AccessTech::kDialup: {
+      constexpr std::array<std::string_view, 3> kPrefixes = {
+          "dialup-", "dial-", "dhcp-dialup-"};
+      return std::string{kPrefixes[rng.NextBelow(kPrefixes.size())]} + last;
+    }
+    case AccessTech::kCable: {
+      constexpr std::array<std::string_view, 2> kPrefixes = {"cable-",
+                                                             "cablemodem-"};
+      return std::string{kPrefixes[rng.NextBelow(kPrefixes.size())]} + quad;
+    }
+    case AccessTech::kResidential: {
+      constexpr std::array<std::string_view, 2> kPrefixes = {"res-",
+                                                             "resnet-"};
+      return std::string{kPrefixes[rng.NextBelow(kPrefixes.size())]} + quad;
+    }
+    case AccessTech::kWireless:
+      return rng.NextBool(0.5) ? "wifi-" + last : "wireless-" + quad;
+    case AccessTech::kUnnamed:
+      return "host-" + quad;
+  }
+  return "host-" + quad;
+}
+
+}  // namespace
+
+std::string_view AccessTechName(AccessTech tech) noexcept {
+  switch (tech) {
+    case AccessTech::kStatic: return "static";
+    case AccessTech::kDynamic: return "dynamic";
+    case AccessTech::kServer: return "server";
+    case AccessTech::kDhcp: return "dhcp";
+    case AccessTech::kPpp: return "ppp";
+    case AccessTech::kDsl: return "dsl";
+    case AccessTech::kDialup: return "dialup";
+    case AccessTech::kCable: return "cable";
+    case AccessTech::kResidential: return "residential";
+    case AccessTech::kWireless: return "wireless";
+    case AccessTech::kUnnamed: return "unnamed";
+  }
+  return "unknown";
+}
+
+std::string SynthesizeName(AccessTech tech, net::Ipv4Addr addr,
+                           std::string_view isp_domain, Rng& rng) {
+  std::string name = PickTemplate(tech, addr, rng);
+  name.push_back('.');
+  name += isp_domain;
+  return name;
+}
+
+std::vector<std::string> SynthesizeBlockNames(net::Prefix24 block,
+                                              AccessTech tech,
+                                              std::string_view isp_domain,
+                                              double ptr_coverage, Rng& rng) {
+  std::vector<std::string> names(net::kBlockSize);
+  for (int i = 0; i < net::kBlockSize; ++i) {
+    if (!rng.NextBool(ptr_coverage)) continue;  // no PTR record
+    const auto addr = block.Address(static_cast<std::uint8_t>(i));
+    // Real access zones carry a sprinkling of infrastructure names
+    // (routers, unnamed hosts) that must not flip the block's label.
+    const bool generic = tech != AccessTech::kUnnamed && rng.NextBool(0.04);
+    names[static_cast<std::size_t>(i)] = SynthesizeName(
+        generic ? AccessTech::kUnnamed : tech, addr, isp_domain, rng);
+  }
+  return names;
+}
+
+}  // namespace sleepwalk::rdns

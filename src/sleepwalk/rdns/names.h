@@ -1,0 +1,58 @@
+// Reverse-DNS name synthesis for the simulated Internet.
+//
+// The paper classified 3.7M real blocks from their PTR records; we cannot
+// ship those, so the world generator assigns each block a true access
+// technology and this module renders it into realistic ISP-style reverse
+// names ("dhcp-dialup-001.example.com"). The classifier (classifier.h)
+// then has to recover the technology from the names alone — the same
+// inference problem the paper solves.
+#ifndef SLEEPWALK_RDNS_NAMES_H_
+#define SLEEPWALK_RDNS_NAMES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sleepwalk/net/ipv4.h"
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::rdns {
+
+/// Ground-truth access technology of a block (what the ISP actually
+/// deployed). kUnnamed models blocks whose PTR records carry no
+/// technology hints (the paper finds features in only 46.3% of blocks).
+enum class AccessTech : std::uint8_t {
+  kStatic,
+  kDynamic,
+  kServer,
+  kDhcp,
+  kPpp,
+  kDsl,
+  kDialup,
+  kCable,
+  kResidential,
+  kWireless,
+  kUnnamed,
+};
+
+/// Human-readable technology name ("dynamic", "dsl", ...).
+std::string_view AccessTechName(AccessTech tech) noexcept;
+
+/// Synthesizes the reverse name of one address. Returns an empty string
+/// for addresses without PTR records.
+std::string SynthesizeName(AccessTech tech, net::Ipv4Addr addr,
+                           std::string_view isp_domain, Rng& rng);
+
+/// Synthesizes names for a whole /24: `ptr_coverage` of addresses get
+/// records, the rest are empty strings. A small fraction of named
+/// addresses in technology blocks get generic (feature-free) names,
+/// as real zones mix infrastructure names into access pools.
+std::vector<std::string> SynthesizeBlockNames(net::Prefix24 block,
+                                              AccessTech tech,
+                                              std::string_view isp_domain,
+                                              double ptr_coverage, Rng& rng);
+
+}  // namespace sleepwalk::rdns
+
+#endif  // SLEEPWALK_RDNS_NAMES_H_

@@ -1,0 +1,161 @@
+#include "sleepwalk/report/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+
+#include "sleepwalk/report/table.h"
+
+namespace sleepwalk::report {
+
+namespace {
+
+constexpr std::string_view kShades = " .:-=+*#%@";
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+Range FindRange(std::span<const double> series) {
+  Range range{series.empty() ? 0.0 : series[0],
+              series.empty() ? 1.0 : series[0]};
+  for (const double v : series) {
+    range.lo = std::min(range.lo, v);
+    range.hi = std::max(range.hi, v);
+  }
+  if (range.hi <= range.lo) range.hi = range.lo + 1.0;
+  return range;
+}
+
+// Maps series index-space onto `width` columns by averaging each bucket.
+std::vector<double> Resample(std::span<const double> series, int width) {
+  std::vector<double> out(static_cast<std::size_t>(width), 0.0);
+  if (series.empty()) return out;
+  const double step =
+      static_cast<double>(series.size()) / static_cast<double>(width);
+  for (int c = 0; c < width; ++c) {
+    const auto begin = static_cast<std::size_t>(c * step);
+    auto end = static_cast<std::size_t>((c + 1) * step);
+    end = std::max(end, begin + 1);
+    end = std::min(end, series.size());
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) sum += series[i];
+    out[static_cast<std::size_t>(c)] =
+        sum / static_cast<double>(end - begin);
+  }
+  return out;
+}
+
+void RenderGrid(std::ostream& out,
+                const std::vector<std::string>& grid_rows, Range range,
+                std::size_t n_samples, const std::string& title) {
+  if (!title.empty()) out << title << "\n";
+  const int height = static_cast<int>(grid_rows.size());
+  for (int r = 0; r < height; ++r) {
+    const double y = range.hi - (range.hi - range.lo) *
+                                    static_cast<double>(r) /
+                                    static_cast<double>(height - 1);
+    out << Fixed(y, 2) << " |" << grid_rows[static_cast<std::size_t>(r)]
+        << "\n";
+  }
+  out << "     +" << std::string(grid_rows.empty() ? 0 : grid_rows[0].size(),
+                                 '-')
+      << "\n";
+  out << "      0 .. " << n_samples - 1 << " (samples)\n";
+}
+
+}  // namespace
+
+char ShadeChar(double fraction) noexcept {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto index = static_cast<std::size_t>(
+      std::lround(fraction * static_cast<double>(kShades.size() - 1)));
+  return kShades[index];
+}
+
+void PrintBarChart(std::ostream& out, std::span<const Bar> bars, int width,
+                   const std::string& value_suffix) {
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& bar : bars) {
+    max_value = std::max(max_value, bar.value);
+    label_width = std::max(label_width, bar.label.size());
+  }
+  if (max_value <= 0.0) max_value = 1.0;
+  for (const auto& bar : bars) {
+    const int length = static_cast<int>(
+        std::lround(bar.value / max_value * static_cast<double>(width)));
+    out << bar.label << std::string(label_width - bar.label.size(), ' ')
+        << " |" << std::string(static_cast<std::size_t>(length), '#')
+        << std::string(static_cast<std::size_t>(width - length), ' ') << "| "
+        << Fixed(bar.value, 4) << value_suffix << "\n";
+  }
+}
+
+void PrintSeries(std::ostream& out, std::span<const double> series, int width,
+                 int height, const std::string& title) {
+  if (series.empty() || width < 2 || height < 2) return;
+  const auto range = FindRange(series);
+  const auto columns = Resample(series, width);
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(height),
+      std::string(static_cast<std::size_t>(width), ' '));
+  for (int c = 0; c < width; ++c) {
+    const double norm =
+        (columns[static_cast<std::size_t>(c)] - range.lo) /
+        (range.hi - range.lo);
+    const int r = (height - 1) -
+                  static_cast<int>(std::lround(norm * (height - 1)));
+    grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = '*';
+  }
+  RenderGrid(out, grid, range, series.size(), title);
+}
+
+void PrintTwoSeries(std::ostream& out, std::span<const double> first,
+                    std::span<const double> second, int width, int height,
+                    const std::string& title) {
+  if (first.empty() || second.empty() || width < 2 || height < 2) return;
+  std::vector<double> all(first.begin(), first.end());
+  all.insert(all.end(), second.begin(), second.end());
+  const auto range = FindRange(all);
+  const auto a = Resample(first, width);
+  const auto b = Resample(second, width);
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(height),
+      std::string(static_cast<std::size_t>(width), ' '));
+  const auto plot = [&](const std::vector<double>& columns, char mark) {
+    for (int c = 0; c < width; ++c) {
+      const double norm =
+          (columns[static_cast<std::size_t>(c)] - range.lo) /
+          (range.hi - range.lo);
+      const int r = (height - 1) -
+                    static_cast<int>(std::lround(norm * (height - 1)));
+      char& cell =
+          grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+      cell = (cell == ' ' || cell == mark) ? mark : '#';
+    }
+  };
+  plot(a, '*');
+  plot(b, 'o');
+  RenderGrid(out, grid, range, std::max(first.size(), second.size()),
+             title + "  [*: first  o: second  #: both]");
+}
+
+void PrintDensityGrid(std::ostream& out,
+                      const std::vector<std::vector<double>>& cells,
+                      const std::string& title) {
+  if (!title.empty()) out << title << "\n";
+  double max_value = 0.0;
+  for (const auto& row : cells) {
+    for (const double v : row) max_value = std::max(max_value, v);
+  }
+  if (max_value <= 0.0) max_value = 1.0;
+  for (auto it = cells.rbegin(); it != cells.rend(); ++it) {
+    out << "|";
+    for (const double v : *it) out << ShadeChar(v / max_value);
+    out << "|\n";
+  }
+}
+
+}  // namespace sleepwalk::report

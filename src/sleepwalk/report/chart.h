@@ -1,0 +1,46 @@
+// ASCII charts: bar charts, CDF/series plots, and shaded density grids —
+// enough to render every figure of the paper in a terminal.
+#ifndef SLEEPWALK_REPORT_CHART_H_
+#define SLEEPWALK_REPORT_CHART_H_
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sleepwalk::report {
+
+/// One labelled bar.
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+
+/// Horizontal bar chart; bar lengths scaled to `width` characters.
+void PrintBarChart(std::ostream& out, std::span<const Bar> bars,
+                   int width = 50, const std::string& value_suffix = "");
+
+/// Line plot of a single series (y values on an implicit 0..n-1 x axis),
+/// rendered as a height x width character grid with axis annotations.
+void PrintSeries(std::ostream& out, std::span<const double> series,
+                 int width = 78, int height = 16,
+                 const std::string& title = "");
+
+/// Two series overlaid (e.g. true A vs estimated A-hat); first series is
+/// drawn with '*', second with 'o', overlap with '#'.
+void PrintTwoSeries(std::ostream& out, std::span<const double> first,
+                    std::span<const double> second, int width = 78,
+                    int height = 16, const std::string& title = "");
+
+/// Shaded density grid: each cell count mapped onto " .:-=+*#%@" by
+/// fraction of the maximum. Rows print top (high y) first.
+void PrintDensityGrid(std::ostream& out,
+                      const std::vector<std::vector<double>>& cells,
+                      const std::string& title = "");
+
+/// Shade character for a value in [0, 1].
+char ShadeChar(double fraction) noexcept;
+
+}  // namespace sleepwalk::report
+
+#endif  // SLEEPWALK_REPORT_CHART_H_

@@ -1,0 +1,42 @@
+#include "sleepwalk/report/csv.h"
+
+#include <cstdlib>
+
+namespace sleepwalk::report {
+
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string Escape(const std::string& cell) {
+  if (!NeedsQuoting(cell)) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << Escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvPathFor(const std::string& name) {
+  const char* dir = std::getenv("SLEEPWALK_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  return std::string{dir} + "/" + name;
+}
+
+}  // namespace sleepwalk::report

@@ -1,0 +1,33 @@
+// Minimal CSV writer so every bench can also emit machine-readable output
+// (written next to the binary when SLEEPWALK_CSV_DIR is set).
+#ifndef SLEEPWALK_REPORT_CSV_H_
+#define SLEEPWALK_REPORT_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sleepwalk::report {
+
+/// Writes rows of cells as RFC-4180 CSV. Quotes cells containing commas,
+/// quotes, or newlines.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; check ok() before use.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const noexcept { return static_cast<bool>(out_); }
+
+  void WriteRow(const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Returns "$SLEEPWALK_CSV_DIR/<name>" when the environment variable is
+/// set, or an empty string (caller skips CSV output) otherwise.
+std::string CsvPathFor(const std::string& name);
+
+}  // namespace sleepwalk::report
+
+#endif  // SLEEPWALK_REPORT_CSV_H_

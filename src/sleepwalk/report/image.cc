@@ -1,0 +1,71 @@
+#include "sleepwalk/report/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace sleepwalk::report {
+
+GrayImage::GrayImage(std::size_t width, std::size_t height)
+    : width_(width), height_(height), pixels_(width * height, 0) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument{"GrayImage: empty dimensions"};
+  }
+}
+
+void GrayImage::Set(std::size_t x, std::size_t y, std::uint8_t value) {
+  if (x >= width_ || y >= height_) {
+    throw std::out_of_range{"GrayImage::Set: pixel outside image"};
+  }
+  pixels_[y * width_ + x] = value;
+}
+
+std::uint8_t GrayImage::Get(std::size_t x, std::size_t y) const {
+  if (x >= width_ || y >= height_) {
+    throw std::out_of_range{"GrayImage::Get: pixel outside image"};
+  }
+  return pixels_[y * width_ + x];
+}
+
+GrayImage GrayImage::FromGrid(const std::vector<std::vector<double>>& rows,
+                              bool flip_rows, double gamma) {
+  if (rows.empty() || rows.front().empty()) {
+    throw std::invalid_argument{"GrayImage::FromGrid: empty grid"};
+  }
+  const std::size_t height = rows.size();
+  const std::size_t width = rows.front().size();
+  double max_value = 0.0;
+  for (const auto& row : rows) {
+    if (row.size() != width) {
+      throw std::invalid_argument{"GrayImage::FromGrid: ragged grid"};
+    }
+    for (const double v : row) max_value = std::max(max_value, v);
+  }
+  if (max_value <= 0.0) max_value = 1.0;
+
+  GrayImage image{width, height};
+  for (std::size_t r = 0; r < height; ++r) {
+    const std::size_t y = flip_rows ? height - 1 - r : r;
+    for (std::size_t x = 0; x < width; ++x) {
+      const double normalized =
+          std::clamp(rows[r][x] / max_value, 0.0, 1.0);
+      const double shaped =
+          gamma == 1.0 ? normalized : std::pow(normalized, gamma);
+      image.Set(x, y, static_cast<std::uint8_t>(
+                          std::lround(shaped * 255.0)));
+    }
+  }
+  return image;
+}
+
+bool GrayImage::WritePgm(const std::string& path) const {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) return false;
+  out << "P5\n" << width_ << ' ' << height_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels_.data()),
+            static_cast<std::streamsize>(pixels_.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace sleepwalk::report

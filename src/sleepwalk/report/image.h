@@ -1,0 +1,45 @@
+// Grayscale image output (binary PGM, P5) for the world-map figures.
+//
+// The paper's Figs 12-13 are grayscale world maps; PGM lets the benches
+// emit actual images next to their ASCII renderings, with no external
+// image library.
+#ifndef SLEEPWALK_REPORT_IMAGE_H_
+#define SLEEPWALK_REPORT_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sleepwalk::report {
+
+/// A simple grayscale raster: pixel(0,0) is the top-left corner.
+class GrayImage {
+ public:
+  GrayImage(std::size_t width, std::size_t height);
+
+  std::size_t width() const noexcept { return width_; }
+  std::size_t height() const noexcept { return height_; }
+
+  void Set(std::size_t x, std::size_t y, std::uint8_t value);
+  std::uint8_t Get(std::size_t x, std::size_t y) const;
+
+  /// Builds an image from a row-major value grid, normalizing [0, max]
+  /// onto [0, 255]. `rows[0]` becomes the TOP row when `flip_rows` is
+  /// false, the BOTTOM row when true (geographic grids store south
+  /// first). `gamma` < 1 brightens sparse data (the paper's maps use a
+  /// log-ish scale; gamma 0.5 approximates it).
+  static GrayImage FromGrid(const std::vector<std::vector<double>>& rows,
+                            bool flip_rows = false, double gamma = 1.0);
+
+  /// Writes binary PGM (P5). Returns false on I/O failure.
+  bool WritePgm(const std::string& path) const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<std::uint8_t> pixels_;
+};
+
+}  // namespace sleepwalk::report
+
+#endif  // SLEEPWALK_REPORT_IMAGE_H_

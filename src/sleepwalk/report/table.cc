@@ -1,0 +1,103 @@
+#include "sleepwalk/report/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sleepwalk::report {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+}
+
+void TextTable::SetAlign(std::size_t column, Align align) {
+  if (column < aligns_.size()) aligns_[column] = align;
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back({std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::AddRule() { pending_rule_ = true; }
+
+void TextTable::Print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto print_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << (c == 0 ? "+" : "+") << std::string(widths[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const auto pad = widths[c] - cells[c].size();
+      out << "| ";
+      if (aligns_[c] == Align::kRight) out << std::string(pad, ' ');
+      out << cells[c];
+      if (aligns_[c] == Align::kLeft) out << std::string(pad, ' ');
+      out << ' ';
+    }
+    out << "|\n";
+  };
+
+  print_rule();
+  print_cells(headers_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.rule_before) print_rule();
+    print_cells(row.cells);
+  }
+  print_rule();
+}
+
+std::string TextTable::ToString() const {
+  std::ostringstream out;
+  Print(out);
+  return out.str();
+}
+
+std::string Fixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string Scientific(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*e", digits, value);
+  return buffer;
+}
+
+std::string Percent(double fraction, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", digits, fraction * 100.0);
+  return buffer;
+}
+
+std::string WithCommas(long long value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int counter = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (counter > 0 && counter % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++counter;
+  }
+  if (negative) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sleepwalk::report

@@ -1,0 +1,62 @@
+// Plain-text table rendering for bench output that mirrors the paper's
+// tables.
+#ifndef SLEEPWALK_REPORT_TABLE_H_
+#define SLEEPWALK_REPORT_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sleepwalk::report {
+
+/// Column alignment.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: set headers, append rows of strings, stream out.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers; all columns default to
+  /// right alignment except the first.
+  explicit TextTable(std::vector<std::string> headers);
+
+  void SetAlign(std::size_t column, Align align);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal rule before the next row.
+  void AddRule();
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  void Print(std::ostream& out) const;
+  std::string ToString() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string Fixed(double value, int digits);
+
+/// Formats a double in scientific notation with `digits` significant
+/// decimals (e.g. "6.61e-08").
+std::string Scientific(double value, int digits);
+
+/// Formats a fraction as a percentage string ("12.3%").
+std::string Percent(double fraction, int digits = 1);
+
+/// Thousands-separated integer ("394,244") as in the paper's tables.
+std::string WithCommas(long long value);
+
+}  // namespace sleepwalk::report
+
+#endif  // SLEEPWALK_REPORT_TABLE_H_

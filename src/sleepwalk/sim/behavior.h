@@ -1,0 +1,54 @@
+// Per-address behaviour models for the simulated Internet.
+//
+// Address state must be a *pure function of time* (plus a noise key):
+// multiple observer sites and the ground-truth survey all evaluate the
+// same world independently, so no mutable per-address state is kept.
+// Day-to-day variation comes from hashing (block, address, day) into
+// uniform/Gaussian deviates.
+#ifndef SLEEPWALK_SIM_BEHAVIOR_H_
+#define SLEEPWALK_SIM_BEHAVIOR_H_
+
+#include <cstdint>
+
+namespace sleepwalk::sim {
+
+/// Seconds per day.
+inline constexpr std::int64_t kDaySeconds = 86400;
+
+/// Uniform [0,1) deviate from a hash key.
+double HashUniform(std::uint64_t key) noexcept;
+
+/// Standard normal deviate from a hash key (Box-Muller over two hashed
+/// uniforms).
+double HashGaussian(std::uint64_t key) noexcept;
+
+/// Parameters of one diurnal address: up for `on_duration_sec` starting
+/// at `on_start_sec` within each UTC day, with per-day Gaussian jitter on
+/// start (sigma_start_sec) and duration (sigma_duration_sec) — exactly
+/// the paper's §3.2.2 controlled model (phi, sigma_s, sigma_d).
+struct DiurnalParams {
+  double on_start_sec = 8.0 * 3600.0;
+  double on_duration_sec = 8.0 * 3600.0;
+  double sigma_start_sec = 0.0;
+  double sigma_duration_sec = 0.0;
+};
+
+/// True when a diurnal address is up at `when_sec`. `noise_key`
+/// identifies the address; jitter is drawn once per (address, day).
+/// Windows may cross midnight; both the current and previous day's
+/// windows are checked.
+bool DiurnalIsOn(const DiurnalParams& params, std::int64_t when_sec,
+                 std::uint64_t noise_key) noexcept;
+
+/// Intermittent (always-erratic) address: time is cut into
+/// `chunk_sec`-long chunks and the address is up in a chunk with
+/// probability `duty`, independently per chunk. Produces the dense
+/// low-availability pattern of the paper's Figure 2 without any 24-hour
+/// periodicity.
+bool IntermittentIsOn(double duty, std::int64_t chunk_sec,
+                      std::int64_t when_sec,
+                      std::uint64_t noise_key) noexcept;
+
+}  // namespace sleepwalk::sim
+
+#endif  // SLEEPWALK_SIM_BEHAVIOR_H_

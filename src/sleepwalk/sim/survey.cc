@@ -1,0 +1,45 @@
+#include "sleepwalk/sim/survey.h"
+
+namespace sleepwalk::sim {
+
+std::vector<double> TrueAvailabilitySeries(
+    const BlockSpec& spec, const probing::RoundScheduler& scheduler,
+    std::int64_t n_rounds) {
+  std::vector<double> series;
+  series.reserve(static_cast<std::size_t>(n_rounds));
+  for (std::int64_t round = 0; round < n_rounds; ++round) {
+    series.push_back(TrueAvailability(spec, scheduler.TimeOf(round)));
+  }
+  return series;
+}
+
+SurveyData RunSurvey(const BlockSpec& spec,
+                     const probing::RoundScheduler& scheduler,
+                     std::int64_t n_rounds, std::uint64_t seed,
+                     bool keep_bitmaps) {
+  SurveyData data;
+  data.availability.reserve(static_cast<std::size_t>(n_rounds));
+  Rng rng{seed};
+  const auto octets = EverActiveOctets(spec);
+  for (std::int64_t round = 0; round < n_rounds; ++round) {
+    const std::int64_t when = scheduler.TimeOf(round);
+    int responding = 0;
+    RoundBitmap bitmap;
+    if (keep_bitmaps) bitmap.assign(net::kBlockSize, false);
+    for (const auto octet : octets) {
+      const bool responds = AddressResponds(spec, octet, when, rng);
+      if (responds) {
+        ++responding;
+        if (keep_bitmaps) bitmap[octet] = true;
+      }
+    }
+    data.availability.push_back(
+        octets.empty() ? 0.0
+                       : static_cast<double>(responding) /
+                             static_cast<double>(octets.size()));
+    if (keep_bitmaps) data.bitmaps.push_back(std::move(bitmap));
+  }
+  return data;
+}
+
+}  // namespace sleepwalk::sim

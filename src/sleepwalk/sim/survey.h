@@ -1,0 +1,44 @@
+// Internet-survey ground truth (paper §2.5: "probes to every address in
+// about 2% of IPv4 /24 blocks, taken every 11 minutes for 2 weeks").
+//
+// A survey probes *all* addresses of a block each round, so its per-round
+// availability is the ground truth A that validates the sparse Trinocular
+// estimates (§3.1). Both the exact expectation and a sampled (actually-
+// probed) variant are provided.
+#ifndef SLEEPWALK_SIM_SURVEY_H_
+#define SLEEPWALK_SIM_SURVEY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sleepwalk/probing/scheduler.h"
+#include "sleepwalk/sim/block.h"
+
+namespace sleepwalk::sim {
+
+/// Full response bitmap of one survey round (index = last octet).
+using RoundBitmap = std::vector<bool>;
+
+/// A completed survey of one block.
+struct SurveyData {
+  std::vector<double> availability;  ///< A per round, over E(b).
+  std::vector<RoundBitmap> bitmaps;  ///< per-round responses (optional).
+};
+
+/// Exact expected availability per round: deterministic, cheap, used as
+/// the black "true A" line in Figs 1-3 and the §3.1.2 comparison.
+std::vector<double> TrueAvailabilitySeries(
+    const BlockSpec& spec, const probing::RoundScheduler& scheduler,
+    std::int64_t n_rounds);
+
+/// Survey by actually probing every address of E(b) each round through a
+/// per-survey RNG. `keep_bitmaps` additionally retains raw per-address
+/// responses (the top strip of Figs 1-3).
+SurveyData RunSurvey(const BlockSpec& spec,
+                     const probing::RoundScheduler& scheduler,
+                     std::int64_t n_rounds, std::uint64_t seed,
+                     bool keep_bitmaps = false);
+
+}  // namespace sleepwalk::sim
+
+#endif  // SLEEPWALK_SIM_SURVEY_H_

@@ -1,0 +1,323 @@
+#include "sleepwalk/sim/world.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <string_view>
+
+#include "sleepwalk/geo/region.h"
+#include "sleepwalk/world/iana.h"
+
+namespace sleepwalk::sim {
+
+namespace {
+
+using rdns::AccessTech;
+
+constexpr std::array<AccessTech, 11> kTechs = {
+    AccessTech::kStatic,      AccessTech::kDynamic, AccessTech::kServer,
+    AccessTech::kDhcp,        AccessTech::kPpp,     AccessTech::kDsl,
+    AccessTech::kDialup,      AccessTech::kCable,   AccessTech::kResidential,
+    AccessTech::kWireless,    AccessTech::kUnnamed,
+};
+
+// Technology mixes for fully-developed and developing deployments; a
+// country's mix interpolates by its wealth index.
+constexpr std::array<double, 11> kRichMix = {
+    0.22, 0.04, 0.08, 0.08, 0.01, 0.18, 0.01, 0.16, 0.06, 0.003, 0.157};
+constexpr std::array<double, 11> kPoorMix = {
+    0.05, 0.22, 0.03, 0.10, 0.07, 0.16, 0.04, 0.04, 0.02, 0.003, 0.207};
+
+// Relative diurnal propensity by technology (dynamic pools and PPP are
+// reassigned nightly; servers and static space essentially never sleep).
+// Shapes follow the paper's Fig 17 findings: dynamic ~19%, dsl ~11%,
+// dialup < 3%.
+constexpr std::array<double, 11> kTechDiurnalFactor = {
+    0.35, 2.0, 0.05, 1.35, 1.8, 1.15, 0.25, 0.6, 1.0, 1.5, 0.95};
+
+// Diurnal propensity multiplier by /8 allocation date: newer allocations
+// are denser and more dynamic (paper §5.3: +0.08%/month trend).
+double AllocFactor(int month_index) noexcept {
+  if (month_index < 0) return 1.0;
+  // 1983-01 -> 0.55, 2011-12 (month 347) -> ~1.6.
+  return 0.55 + 3.0e-3 * static_cast<double>(month_index);
+}
+
+double WealthIndex(const world::Country& country) noexcept {
+  return std::clamp((country.gdp_per_capita_usd - 3000.0) / 47000.0, 0.0,
+                    1.0);
+}
+
+std::array<double, 11> MixFor(const world::Country& country) noexcept {
+  const double w = WealthIndex(country);
+  std::array<double, 11> mix{};
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    mix[i] = w * kRichMix[i] + (1.0 - w) * kPoorMix[i];
+  }
+  return mix;
+}
+
+std::size_t SampleIndex(const std::array<double, 11>& weights, Rng& rng) {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  double pick = rng.NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    pick -= weights[i];
+    if (pick <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+// /8 pools per registry, from the embedded IANA table.
+std::vector<std::uint8_t> PoolFor(world::Registry registry) {
+  std::vector<std::uint8_t> pool;
+  for (int s = 1; s < 224; ++s) {
+    const auto allocation =
+        world::AllocationFor(static_cast<std::uint8_t>(s));
+    if (allocation && allocation->registry == registry) {
+      pool.push_back(static_cast<std::uint8_t>(s));
+    }
+  }
+  return pool;
+}
+
+// Geographic spread of a country's blocks, growing with its block count
+// as a crude size proxy.
+double SpreadDegrees(const world::Country& country) noexcept {
+  const double magnitude =
+      std::log10(std::max(country.block_count, 100) / 100.0);
+  return std::clamp(1.0 + 2.2 * magnitude, 1.0, 11.0);
+}
+
+struct IspSet {
+  std::vector<std::uint32_t> asns;   // one or more ASNs per ISP
+  std::vector<double> weights;       // zipf-ish popularity
+};
+
+}  // namespace
+
+SimWorld SimWorld::Generate(const WorldConfig& config) {
+  SimWorld world;
+  world.config_ = config;
+  Rng rng{config.seed};
+
+  const auto countries = world::Countries();
+  const double total_weight =
+      static_cast<double>(world::TotalBlockWeight());
+
+  // Per-registry /8 pools and sequential sub-block allocators.
+  std::unordered_map<int, std::vector<std::uint8_t>> registry_pools;
+  std::unordered_map<std::uint8_t, std::uint32_t> next_sub;
+
+  std::uint32_t next_asn = 64500;
+  const std::int64_t duration_sec =
+      static_cast<std::int64_t>(config.duration_days) * kDaySeconds;
+
+  for (const auto& country : countries) {
+    const int n_blocks = std::max(
+        std::max(1, config.min_blocks_per_country),
+        static_cast<int>(std::lround(static_cast<double>(
+            config.total_blocks) *
+            static_cast<double>(country.block_count) / total_weight)));
+
+    // Registry /8 pool for this country's region.
+    const auto registry =
+        world::RegistryForRegionName(world::RegionName(country.region));
+    auto& pool = registry_pools[static_cast<int>(registry)];
+    if (pool.empty()) pool = PoolFor(registry);
+
+    // ISPs: names feed the org clusterer; domains feed rDNS synthesis.
+    // Domains avoid the 16 link keywords so names only carry the
+    // technology tokens the synthesizer injects deliberately.
+    IspSet isps;
+    const int n_isps =
+        std::clamp(1 + country.block_count / 40000, 1, 6);
+    for (int i = 0; i < n_isps; ++i) {
+      static constexpr std::array<std::string_view, 6> kStyles = {
+          " TELECOM", " NET BACKBONE", " ONLINE", " COMMUNICATIONS",
+          " BROADBAND GROUP", " ACADEMIC NETWORK"};
+      const int n_ases = 1 + static_cast<int>(rng.NextBelow(3));
+      for (int a = 0; a < n_ases; ++a) {
+        asn::AsInfo info;
+        info.asn = next_asn++;
+        info.name = std::string{country.name} +
+                    std::string{kStyles[static_cast<std::size_t>(i) %
+                                        kStyles.size()]};
+        if (a > 0) info.name += "-" + std::to_string(a + 1);
+        info.country_code = std::string{country.code};
+        world.asn_domain_.insert_or_assign(
+            info.asn, "as" + std::to_string(info.asn) + ".example-" +
+                          std::string{country.code} + ".net");
+        world.as_registry_.push_back(std::move(info));
+        isps.asns.push_back(next_asn - 1);
+        isps.weights.push_back(1.0 /
+                               (1.0 + static_cast<double>(isps.asns.size())));
+      }
+    }
+
+    // Expected diurnal-propensity multiplier for normalization, so the
+    // country's realized fraction stays near its Table 3/4 target.
+    const auto mix = MixFor(country);
+    double expected_tech = 0.0;
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      expected_tech += mix[i] * kTechDiurnalFactor[i];
+    }
+    double expected_alloc = 0.0;
+    for (const auto s : pool) expected_alloc += AllocFactor(
+        world::AllocationMonthIndex(s));
+    expected_alloc /= static_cast<double>(pool.size());
+    const double normalizer = expected_tech * expected_alloc;
+
+    for (int b = 0; b < n_blocks; ++b) {
+      WorldBlock wb;
+      wb.country = &country;
+
+      // Address: pick a /8 from the registry pool, take its next /24.
+      std::uint8_t slash8 = pool[rng.NextBelow(pool.size())];
+      for (int attempts = 0; next_sub[slash8] >= 65536 && attempts < 64;
+           ++attempts) {
+        slash8 = pool[rng.NextBelow(pool.size())];
+      }
+      const std::uint32_t sub = next_sub[slash8]++;
+      wb.spec.block = net::Prefix24::FromIndex(
+          (static_cast<std::uint32_t>(slash8) << 16) | sub);
+      wb.spec.seed = MixHash(config.seed, wb.spec.block.Index(), 0xb10cu);
+
+      // Location: country centroid plus spread.
+      const double spread = SpreadDegrees(country);
+      wb.latitude = std::clamp(
+          country.latitude + rng.NextGaussian() * spread * 0.6, -85.0, 85.0);
+      wb.longitude = geo::WrapLongitude(country.longitude +
+                                        rng.NextGaussian() * spread);
+
+      // Technology and ASN.
+      wb.tech = kTechs[SampleIndex(mix, rng)];
+      {
+        std::array<double, 11> weights{};  // reuse sampler over ISP weights
+        const std::size_t n =
+            std::min(isps.asns.size(), weights.size());
+        for (std::size_t i = 0; i < n; ++i) weights[i] = isps.weights[i];
+        wb.asn = isps.asns[SampleIndex(weights, rng) % isps.asns.size()];
+      }
+
+      // Diurnal propensity: country base x technology x allocation age,
+      // normalized so the country's expected fraction matches its base.
+      const double tech_factor =
+          kTechDiurnalFactor[static_cast<std::size_t>(
+              std::find(kTechs.begin(), kTechs.end(), wb.tech) -
+              kTechs.begin())];
+      const double alloc_factor =
+          AllocFactor(world::AllocationMonthIndex(slash8));
+      const double p_diurnal = std::clamp(
+          country.true_diurnal_fraction * config.diurnal_scale *
+              tech_factor * alloc_factor / normalizer,
+          0.0, 0.92);
+      wb.truly_diurnal = rng.NextBool(p_diurnal);
+
+      auto& spec = wb.spec;
+      spec.response_prob =
+          static_cast<float>(0.72 + 0.26 * rng.NextDouble());
+
+      if (wb.truly_diurnal) {
+        spec.n_always = static_cast<std::uint8_t>(3 + rng.NextBelow(28));
+        spec.n_diurnal = static_cast<std::uint8_t>(30 + rng.NextBelow(130));
+        // Local morning start (07:00-09:30 local time) mapped to UTC.
+        const double local_start_h = 7.0 + 2.5 * rng.NextDouble();
+        double utc_start_h =
+            std::fmod(local_start_h - country.tz_offset_hours + 48.0, 24.0);
+        spec.on_start_sec = static_cast<float>(utc_start_h * 3600.0);
+        spec.on_duration_sec = static_cast<float>(
+            std::clamp(9.0 + 1.5 * rng.NextGaussian(), 5.0, 14.0) * 3600.0);
+        spec.phase_spread_sec =
+            static_cast<float>((0.5 + 3.5 * rng.NextDouble()) * 3600.0);
+        spec.sigma_start_sec =
+            static_cast<float>((0.3 + 0.9 * rng.NextDouble()) * 3600.0);
+        spec.sigma_duration_sec =
+            static_cast<float>((0.3 + 1.7 * rng.NextDouble()) * 3600.0);
+      } else if (rng.NextBool(config.sparse_fraction)) {
+        // Too sparse to probe: Trinocular drops |E(b)| < 15 (§3.2.4).
+        spec.n_always = static_cast<std::uint8_t>(2 + rng.NextBelow(11));
+      } else if (rng.NextBool(0.12)) {
+        // Dense but erratic, the paper's Figure 2 shape.
+        spec.n_always = static_cast<std::uint8_t>(2 + rng.NextBelow(9));
+        spec.n_intermittent =
+            static_cast<std::uint8_t>(80 + rng.NextBelow(165));
+        spec.intermittent_duty =
+            static_cast<float>(0.1 + 0.3 * rng.NextDouble());
+      } else {
+        // Always-on block, possibly with a small dynamic pocket (the
+        // paper's USC "surprise": pockets of dynamic addresses inside
+        // general-use blocks).
+        spec.n_always = static_cast<std::uint8_t>(16 + rng.NextBelow(190));
+        if (rng.NextBool(0.15)) {
+          spec.n_diurnal = static_cast<std::uint8_t>(rng.NextBelow(9));
+          spec.on_duration_sec = 9.0F * 3600.0F;
+          spec.phase_spread_sec = 2.0F * 3600.0F;
+        }
+      }
+
+      // Outage injection.
+      if (rng.NextBool(config.outage_fraction)) {
+        const auto start = static_cast<std::int64_t>(
+            rng.NextDouble() * 0.8 * static_cast<double>(duration_sec));
+        const std::int64_t length =
+            660 * (1 + static_cast<std::int64_t>(rng.NextBelow(36)));
+        spec.outage_start_sec = start;
+        spec.outage_end_sec = start + length;
+      }
+
+      world.index_.insert_or_assign(wb.spec.block.Index(),
+                                    world.blocks_.size());
+      world.blocks_.push_back(std::move(wb));
+    }
+  }
+  return world;
+}
+
+const WorldBlock* SimWorld::Find(net::Prefix24 block) const noexcept {
+  const auto it = index_.find(block.Index());
+  if (it == index_.end()) return nullptr;
+  return &blocks_[it->second];
+}
+
+std::unique_ptr<SimTransport> SimWorld::MakeTransport(
+    std::uint64_t site_seed) const {
+  auto transport = std::make_unique<SimTransport>(site_seed);
+  for (const auto& wb : blocks_) transport->AddBlock(&wb.spec);
+  return transport;
+}
+
+std::vector<geo::TrueLocation> SimWorld::TrueLocations() const {
+  std::vector<geo::TrueLocation> locations;
+  locations.reserve(blocks_.size());
+  for (const auto& wb : blocks_) {
+    locations.push_back({wb.spec.block, wb.latitude, wb.longitude,
+                         std::string{wb.country->code}});
+  }
+  return locations;
+}
+
+asn::IpToAsnMap SimWorld::BuildAsnMap() const {
+  asn::IpToAsnMap map;
+  for (const auto& info : as_registry_) map.RegisterAs(info);
+  for (const auto& wb : blocks_) {
+    // Team Cymru covers 99.41% of blocks; drop a hashed ~0.6%.
+    if (HashUniform(MixHash(wb.spec.seed, 0xa51u)) < 0.0059) continue;
+    map.Assign(wb.spec.block, wb.asn);
+  }
+  return map;
+}
+
+std::vector<std::string> SimWorld::NamesFor(const WorldBlock& block) const {
+  const auto it = asn_domain_.find(block.asn);
+  const std::string_view domain =
+      it != asn_domain_.end() ? std::string_view{it->second}
+                              : std::string_view{"example.net"};
+  Rng rng{MixHash(block.spec.seed, 0xd5u)};
+  const double coverage =
+      0.50 + 0.35 * WealthIndex(*block.country);
+  return rdns::SynthesizeBlockNames(block.spec.block, block.tech, domain,
+                                    coverage, rng);
+}
+
+}  // namespace sleepwalk::sim

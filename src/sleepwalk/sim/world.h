@@ -1,0 +1,99 @@
+// The simulated Internet: a country-weighted population of /24 blocks
+// with realistic behaviour mixes, addressing, ASNs, and reverse names.
+//
+// This is the data-gate substitute for the paper's A_12w / S_51w
+// collections (DESIGN.md §2): the generator encodes plausible ground
+// truth (who is diurnal, where, on what technology), and the measurement
+// pipeline must rediscover it from probe responses alone.
+#ifndef SLEEPWALK_SIM_WORLD_H_
+#define SLEEPWALK_SIM_WORLD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sleepwalk/asn/asmap.h"
+#include "sleepwalk/geo/geodb.h"
+#include "sleepwalk/net/ipv4.h"
+#include "sleepwalk/rdns/names.h"
+#include "sleepwalk/sim/block.h"
+#include "sleepwalk/world/economics.h"
+
+namespace sleepwalk::sim {
+
+/// Knobs of world generation.
+struct WorldConfig {
+  int total_blocks = 20000;
+  std::uint64_t seed = 42;
+  /// Floor on blocks per country. The real Internet gives Armenia 1,075
+  /// blocks and the US 672,104; at laptop scale a proportional share
+  /// would leave small countries with a statistically useless handful,
+  /// so country-level benches raise this floor.
+  int min_blocks_per_country = 1;
+  /// Fraction of blocks too sparse to probe (|E(b)| < 15); Trinocular
+  /// policy drops these (§3.2.4), making measured diurnal fractions a
+  /// lower bound.
+  double sparse_fraction = 0.05;
+  /// Fraction of blocks experiencing one outage during the campaign.
+  double outage_fraction = 0.02;
+  /// Campaign length, used to place outages.
+  int duration_days = 35;
+  /// Global multiplier on every country's diurnal propensity; Fig 11's
+  /// long-term trend bench sweeps this per era.
+  double diurnal_scale = 1.0;
+};
+
+/// One generated block with its ground-truth metadata.
+struct WorldBlock {
+  BlockSpec spec;
+  const world::Country* country = nullptr;
+  double latitude = 0.0;   ///< true location
+  double longitude = 0.0;
+  rdns::AccessTech tech = rdns::AccessTech::kUnnamed;
+  std::uint32_t asn = 0;
+  bool truly_diurnal = false;  ///< generator intent (strict-diurnal usage)
+};
+
+/// A generated world. Keep it alive for as long as any transport or
+/// lookup built from it is in use.
+class SimWorld {
+ public:
+  static SimWorld Generate(const WorldConfig& config);
+
+  const std::vector<WorldBlock>& blocks() const noexcept { return blocks_; }
+  const WorldConfig& config() const noexcept { return config_; }
+
+  const WorldBlock* Find(net::Prefix24 block) const noexcept;
+
+  /// A probing transport for one observer site. Independent sites use
+  /// different seeds: response-loss randomness differs, world truth does
+  /// not (§3.3 multi-site stability).
+  std::unique_ptr<SimTransport> MakeTransport(std::uint64_t site_seed) const;
+
+  /// True block locations, input for geo::GeoDatabase::FromTruth.
+  std::vector<geo::TrueLocation> TrueLocations() const;
+
+  /// Team-Cymru-style IP→ASN map (99.4% coverage as in §2.3.2).
+  asn::IpToAsnMap BuildAsnMap() const;
+
+  /// The AS registry (all generated ASes with names and countries).
+  const std::vector<asn::AsInfo>& as_registry() const noexcept {
+    return as_registry_;
+  }
+
+  /// Deterministically synthesizes the block's 256 reverse names.
+  std::vector<std::string> NamesFor(const WorldBlock& block) const;
+
+ private:
+  WorldConfig config_;
+  std::vector<WorldBlock> blocks_;
+  std::unordered_map<std::uint32_t, std::size_t> index_;
+  std::vector<asn::AsInfo> as_registry_;
+  std::unordered_map<std::uint32_t, std::string> asn_domain_;
+};
+
+}  // namespace sleepwalk::sim
+
+#endif  // SLEEPWALK_SIM_WORLD_H_

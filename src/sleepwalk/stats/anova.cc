@@ -1,0 +1,151 @@
+#include "sleepwalk/stats/anova.h"
+
+#include <cmath>
+#include <limits>
+
+#include "sleepwalk/stats/descriptive.h"
+#include "sleepwalk/stats/distributions.h"
+#include "sleepwalk/stats/regression.h"
+
+namespace sleepwalk::stats {
+
+AnovaTable OneWay(std::span<const std::vector<double>> groups) {
+  AnovaTable table;
+  const std::size_t k = groups.size();
+  if (k < 2) return table;
+
+  std::size_t n = 0;
+  double grand_sum = 0.0;
+  for (const auto& group : groups) {
+    n += group.size();
+    for (const double v : group) grand_sum += v;
+  }
+  if (n <= k) return table;
+  const double grand_mean = grand_sum / static_cast<double>(n);
+
+  double between_ss = 0.0;
+  double within_ss = 0.0;
+  for (const auto& group : groups) {
+    if (group.empty()) continue;
+    const double group_mean = Mean(group);
+    const double diff = group_mean - grand_mean;
+    between_ss += static_cast<double>(group.size()) * diff * diff;
+    for (const double v : group) {
+      const double d = v - group_mean;
+      within_ss += d * d;
+    }
+  }
+
+  AnovaTerm term;
+  term.name = "between";
+  term.sum_sq = between_ss;
+  term.df = static_cast<double>(k - 1);
+  term.mean_sq = between_ss / term.df;
+  table.residual_ss = within_ss;
+  table.residual_df = static_cast<double>(n - k);
+  const double residual_ms = within_ss / table.residual_df;
+  term.f = residual_ms > 0.0 ? term.mean_sq / residual_ms
+                             : std::numeric_limits<double>::infinity();
+  term.p_value = FSurvival(term.f, term.df, table.residual_df);
+  table.terms.push_back(std::move(term));
+  table.ok = true;
+  return table;
+}
+
+AnovaTable SequentialAnova(std::span<const ModelTerm> terms,
+                           std::span<const double> y) {
+  AnovaTable table;
+  const std::size_t n = y.size();
+  if (n < 3 || terms.empty()) return table;
+
+  std::vector<std::vector<double>> design;
+  design.emplace_back(n, 1.0);  // intercept
+
+  // Fit the intercept-only model: RSS = total SS around the mean.
+  const double mean_y = Mean(y);
+  double previous_rss = 0.0;
+  for (const double v : y) {
+    const double d = v - mean_y;
+    previous_rss += d * d;
+  }
+  std::size_t previous_rank = 1;
+
+  struct Step {
+    std::string name;
+    double ss;
+    double df;
+  };
+  std::vector<Step> steps;
+
+  MultipleFit fit;
+  for (const auto& term : terms) {
+    for (const auto& column : term.columns) {
+      if (column.size() != n) return table;
+      design.push_back(column);
+    }
+    fit = FitMultiple(design, y);
+    if (!fit.ok) return table;
+    const double term_ss = std::max(previous_rss - fit.residual_ss, 0.0);
+    const auto term_df = static_cast<double>(fit.rank - previous_rank);
+    steps.push_back({term.name, term_ss, term_df});
+    previous_rss = fit.residual_ss;
+    previous_rank = fit.rank;
+  }
+
+  table.residual_ss = fit.residual_ss;
+  table.residual_df = static_cast<double>(n - fit.rank);
+  if (table.residual_df <= 0.0) return table;
+  const double residual_ms = table.residual_ss / table.residual_df;
+
+  for (const auto& step : steps) {
+    AnovaTerm row;
+    row.name = step.name;
+    row.sum_sq = step.ss;
+    row.df = step.df;
+    if (step.df > 0.0) {
+      row.mean_sq = step.ss / step.df;
+      row.f = residual_ms > 0.0
+                  ? row.mean_sq / residual_ms
+                  : std::numeric_limits<double>::infinity();
+      row.p_value = FSurvival(row.f, row.df, table.residual_df);
+    } else {
+      // Aliased term: contributes nothing; report as untestable.
+      row.mean_sq = 0.0;
+      row.f = 0.0;
+      row.p_value = 1.0;
+    }
+    table.terms.push_back(std::move(row));
+  }
+  table.ok = true;
+  return table;
+}
+
+double SingleFactorPValue(std::span<const double> y,
+                          std::span<const double> x) {
+  std::vector<ModelTerm> terms(1);
+  terms[0].name = "x";
+  terms[0].columns.emplace_back(x.begin(), x.end());
+  const auto table = SequentialAnova(terms, y);
+  if (!table.ok || table.terms.empty()) return 1.0;
+  return table.terms.front().p_value;
+}
+
+double PairInteractionPValue(std::span<const double> y,
+                             std::span<const double> x1,
+                             std::span<const double> x2) {
+  if (x1.size() != y.size() || x2.size() != y.size()) return 1.0;
+  std::vector<ModelTerm> terms(3);
+  terms[0].name = "x1";
+  terms[0].columns.emplace_back(x1.begin(), x1.end());
+  terms[1].name = "x2";
+  terms[1].columns.emplace_back(x2.begin(), x2.end());
+  terms[2].name = "x1:x2";
+  std::vector<double> product(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) product[i] = x1[i] * x2[i];
+  terms[2].columns.push_back(std::move(product));
+  const auto table = SequentialAnova(terms, y);
+  if (!table.ok || table.terms.size() != 3) return 1.0;
+  return table.terms.back().p_value;
+}
+
+}  // namespace sleepwalk::stats

@@ -1,0 +1,66 @@
+// Analysis of variance (paper §2.4, Table 5).
+//
+// Two entry points:
+//  * OneWay(): classic one-way ANOVA across categorical groups.
+//  * SequentialAnova(): regression ANOVA with Type-I (sequential) sums of
+//    squares, the same decomposition R's aov() reports. This is what the
+//    paper uses to weigh continuous country-level factors (GDP,
+//    electricity, allocation age) against the diurnal fraction.
+#ifndef SLEEPWALK_STATS_ANOVA_H_
+#define SLEEPWALK_STATS_ANOVA_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sleepwalk::stats {
+
+/// One row of an ANOVA table.
+struct AnovaTerm {
+  std::string name;
+  double sum_sq = 0.0;
+  double df = 0.0;
+  double mean_sq = 0.0;
+  double f = 0.0;
+  double p_value = 1.0;
+};
+
+/// A full ANOVA decomposition.
+struct AnovaTable {
+  std::vector<AnovaTerm> terms;
+  double residual_ss = 0.0;
+  double residual_df = 0.0;
+  bool ok = false;
+};
+
+/// One-way ANOVA over `groups` (each inner vector one treatment group).
+/// Requires >= 2 groups and > k total observations.
+AnovaTable OneWay(std::span<const std::vector<double>> groups);
+
+/// One named model term: one or more design-matrix columns entered
+/// together (a continuous factor is one column; an interaction is the
+/// elementwise product column; a categorical factor is its dummy columns).
+struct ModelTerm {
+  std::string name;
+  std::vector<std::vector<double>> columns;
+};
+
+/// Sequential (Type-I) ANOVA: an intercept is implicit, then terms are
+/// added in order; each term's sum of squares is the drop in residual SS
+/// when it enters. F-tests use the full-model residual mean square.
+AnovaTable SequentialAnova(std::span<const ModelTerm> terms,
+                           std::span<const double> y);
+
+/// p-value of a single continuous factor: the `x` term of y ~ x.
+double SingleFactorPValue(std::span<const double> y,
+                          std::span<const double> x);
+
+/// p-value of the interaction term in y ~ x1 + x2 + x1:x2 — the paper's
+/// off-diagonal "pairwise combination" entries in Table 5.
+double PairInteractionPValue(std::span<const double> y,
+                             std::span<const double> x1,
+                             std::span<const double> x2);
+
+}  // namespace sleepwalk::stats
+
+#endif  // SLEEPWALK_STATS_ANOVA_H_

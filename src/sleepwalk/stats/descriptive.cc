@@ -1,0 +1,103 @@
+#include "sleepwalk/stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sleepwalk::stats {
+
+double Mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(std::span<const double> values) noexcept {
+  const std::size_t n = values.size();
+  if (n < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (const double v : values) {
+    const double d = v - mean;
+    sum_sq += d * d;
+  }
+  return sum_sq / static_cast<double>(n - 1);
+}
+
+double StdDev(std::span<const double> values) noexcept {
+  return std::sqrt(Variance(values));
+}
+
+double Quantile(std::span<const double> values, double p) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 1.0);
+  const double h = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  const double frac = h - std::floor(h);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double Median(std::span<const double> values) { return Quantile(values, 0.5); }
+
+Quartiles ComputeQuartiles(std::span<const double> values) {
+  Quartiles q;
+  q.q1 = Quantile(values, 0.25);
+  q.median = Quantile(values, 0.5);
+  q.q3 = Quantile(values, 0.75);
+  return q;
+}
+
+std::vector<double> Ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Tie group [i, j]: every member gets the average rank.
+    const double mid_rank = (static_cast<double>(i) +
+                             static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = mid_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(std::span<const double> x,
+                           std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const auto rx = Ranks(x);
+  const auto ry = Ranks(y);
+  return PearsonCorrelation(rx, ry);
+}
+
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y) noexcept {
+  const std::size_t n = x.size();
+  if (n != y.size() || n < 2) return 0.0;
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace sleepwalk::stats

@@ -1,0 +1,52 @@
+// Descriptive statistics used across validation and analysis benches.
+#ifndef SLEEPWALK_STATS_DESCRIPTIVE_H_
+#define SLEEPWALK_STATS_DESCRIPTIVE_H_
+
+#include <span>
+#include <vector>
+
+namespace sleepwalk::stats {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(std::span<const double> values) noexcept;
+
+/// Unbiased sample variance (divides by n-1); 0 for n < 2.
+double Variance(std::span<const double> values) noexcept;
+
+/// Sample standard deviation.
+double StdDev(std::span<const double> values) noexcept;
+
+/// p-th quantile (p in [0,1]) with linear interpolation between order
+/// statistics (type-7, the R default). NaN for empty input.
+double Quantile(std::span<const double> values, double p);
+
+/// Median (Quantile at 0.5).
+double Median(std::span<const double> values);
+
+/// Quartile summary of a sample.
+struct Quartiles {
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+};
+
+/// First/second/third quartiles. NaN-filled for empty input.
+Quartiles ComputeQuartiles(std::span<const double> values);
+
+/// Pearson correlation coefficient; 0 when either side has zero variance
+/// or sizes differ/are < 2.
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y) noexcept;
+
+/// Spearman rank correlation (Pearson over mid-ranks; ties averaged).
+/// Robust to monotone nonlinearity — the paper's rho for claims like
+/// "correlations between first allocation and GDP are poor, rho < 0.27".
+double SpearmanCorrelation(std::span<const double> x,
+                           std::span<const double> y);
+
+/// Mid-ranks of a sample (1-based; ties get the average of their ranks).
+std::vector<double> Ranks(std::span<const double> values);
+
+}  // namespace sleepwalk::stats
+
+#endif  // SLEEPWALK_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,31 @@
+// Statistical distribution functions needed for hypothesis testing.
+//
+// The ANOVA in §2.4 needs F-distribution tail probabilities (p-values).
+// These are computed from the regularized incomplete beta function, which
+// we implement with Lentz's continued-fraction method — the standard
+// approach (Numerical Recipes §6.4) accurate to ~1e-14 over our range.
+#ifndef SLEEPWALK_STATS_DISTRIBUTIONS_H_
+#define SLEEPWALK_STATS_DISTRIBUTIONS_H_
+
+namespace sleepwalk::stats {
+
+/// Regularized incomplete beta function I_x(a, b), for a, b > 0 and
+/// x in [0, 1]. Returns NaN for invalid arguments.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// CDF of the F distribution with (d1, d2) degrees of freedom.
+double FCdf(double f, double d1, double d2);
+
+/// Upper-tail probability of the F distribution: the ANOVA p-value for an
+/// observed statistic `f` with (d1, d2) degrees of freedom.
+double FSurvival(double f, double d1, double d2);
+
+/// Two-sided p-value of Student's t with `df` degrees of freedom.
+double StudentTTwoSided(double t, double df);
+
+/// Standard normal CDF.
+double NormalCdf(double z);
+
+}  // namespace sleepwalk::stats
+
+#endif  // SLEEPWALK_STATS_DISTRIBUTIONS_H_

@@ -1,0 +1,103 @@
+#include "sleepwalk/stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sleepwalk::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument{"Histogram: need bins > 0 and hi > lo"};
+  }
+}
+
+void Histogram::Add(double value, std::uint64_t weight) noexcept {
+  auto bin = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width_));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)] += weight;
+  total_ += weight;
+}
+
+double Histogram::BinLow(std::size_t bin) const noexcept {
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+double Histogram::BinCenter(std::size_t bin) const noexcept {
+  return BinLow(bin) + width_ / 2.0;
+}
+
+std::vector<double> Histogram::Cdf() const {
+  std::vector<double> cdf(counts_.size(), 0.0);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    cdf[i] = total_ > 0
+                 ? static_cast<double>(running) / static_cast<double>(total_)
+                 : 0.0;
+  }
+  return cdf;
+}
+
+std::vector<double> Histogram::Density() const {
+  std::vector<double> density(counts_.size(), 0.0);
+  if (total_ == 0) return density;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    density[i] =
+        static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return density;
+}
+
+Histogram2d::Histogram2d(double x_lo, double x_hi, std::size_t x_bins,
+                         double y_lo, double y_hi, std::size_t y_bins)
+    : x_lo_(x_lo), x_width_((x_hi - x_lo) / static_cast<double>(x_bins)),
+      y_lo_(y_lo), y_width_((y_hi - y_lo) / static_cast<double>(y_bins)),
+      x_bins_(x_bins), y_bins_(y_bins), counts_(x_bins * y_bins, 0),
+      column_weighted_sum_(x_bins, 0.0), column_weight_(x_bins, 0) {
+  if (x_bins == 0 || y_bins == 0 || !(x_hi > x_lo) || !(y_hi > y_lo)) {
+    throw std::invalid_argument{"Histogram2d: invalid shape"};
+  }
+}
+
+std::size_t Histogram2d::IndexOf(double value, double lo, double width,
+                                 std::size_t bins) const noexcept {
+  auto bin = static_cast<std::ptrdiff_t>(std::floor((value - lo) / width));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(bins) - 1);
+  return static_cast<std::size_t>(bin);
+}
+
+void Histogram2d::Add(double x, double y, std::uint64_t weight) noexcept {
+  const std::size_t xb = IndexOf(x, x_lo_, x_width_, x_bins_);
+  const std::size_t yb = IndexOf(y, y_lo_, y_width_, y_bins_);
+  auto& cell = counts_[yb * x_bins_ + xb];
+  cell += weight;
+  max_count_ = std::max(max_count_, cell);
+  total_ += weight;
+  column_weighted_sum_[xb] += y * static_cast<double>(weight);
+  column_weight_[xb] += weight;
+}
+
+std::uint64_t Histogram2d::count(std::size_t xb, std::size_t yb) const {
+  return counts_.at(yb * x_bins_ + xb);
+}
+
+double Histogram2d::XCenter(std::size_t xb) const noexcept {
+  return x_lo_ + (static_cast<double>(xb) + 0.5) * x_width_;
+}
+
+double Histogram2d::YCenter(std::size_t yb) const noexcept {
+  return y_lo_ + (static_cast<double>(yb) + 0.5) * y_width_;
+}
+
+double Histogram2d::YMeanInColumn(std::size_t xb) const {
+  const auto weight = column_weight_.at(xb);
+  if (weight == 0) return 0.0;
+  return column_weighted_sum_[xb] / static_cast<double>(weight);
+}
+
+}  // namespace sleepwalk::stats

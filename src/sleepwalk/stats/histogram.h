@@ -1,0 +1,79 @@
+// Fixed-bin 1-D and 2-D histograms for the density figures
+// (Figs 4, 5, 10, 14) and CDFs.
+#ifndef SLEEPWALK_STATS_HISTOGRAM_H_
+#define SLEEPWALK_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sleepwalk::stats {
+
+/// 1-D histogram with `bins` equal-width bins over [lo, hi). Values
+/// outside the range are clamped into the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double value, std::uint64_t weight = 1) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const noexcept { return total_; }
+
+  double BinLow(std::size_t bin) const noexcept;
+  double BinCenter(std::size_t bin) const noexcept;
+  double BinWidth() const noexcept { return width_; }
+
+  /// Cumulative fraction at the *upper* edge of each bin, in [0, 1].
+  std::vector<double> Cdf() const;
+
+  /// Fraction of the total in each bin.
+  std::vector<double> Density() const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// 2-D histogram over [x_lo, x_hi) x [y_lo, y_hi); the backing store for
+/// the paper's density plots.
+class Histogram2d {
+ public:
+  Histogram2d(double x_lo, double x_hi, std::size_t x_bins, double y_lo,
+              double y_hi, std::size_t y_bins);
+
+  void Add(double x, double y, std::uint64_t weight = 1) noexcept;
+
+  std::size_t x_bins() const noexcept { return x_bins_; }
+  std::size_t y_bins() const noexcept { return y_bins_; }
+  std::uint64_t count(std::size_t xb, std::size_t yb) const;
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t max_count() const noexcept { return max_count_; }
+
+  double XCenter(std::size_t xb) const noexcept;
+  double YCenter(std::size_t yb) const noexcept;
+
+  /// All y-values recorded in x-bin `xb` expanded by weight — the per-bin
+  /// sample set used for the quartile overlays in Figs 4-5 is tracked
+  /// separately by callers; here we return the weighted mean instead.
+  double YMeanInColumn(std::size_t xb) const;
+
+ private:
+  std::size_t IndexOf(double value, double lo, double width,
+                      std::size_t bins) const noexcept;
+
+  double x_lo_, x_width_;
+  double y_lo_, y_width_;
+  std::size_t x_bins_, y_bins_;
+  std::vector<std::uint64_t> counts_;        // row-major [yb * x_bins + xb]
+  std::vector<double> column_weighted_sum_;  // sum of y per x column
+  std::vector<std::uint64_t> column_weight_;
+  std::uint64_t total_ = 0;
+  std::uint64_t max_count_ = 0;
+};
+
+}  // namespace sleepwalk::stats
+
+#endif  // SLEEPWALK_STATS_HISTOGRAM_H_

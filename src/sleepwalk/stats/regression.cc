@@ -1,0 +1,134 @@
+#include "sleepwalk/stats/regression.h"
+
+#include <cmath>
+
+#include "sleepwalk/stats/descriptive.h"
+
+namespace sleepwalk::stats {
+
+SimpleFit FitSimple(std::span<const double> x, std::span<const double> y) {
+  SimpleFit fit;
+  const std::size_t n = x.size();
+  if (n != y.size() || n < 2) return fit;
+  fit.n = n;
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) {
+    fit.r = sxy / std::sqrt(sxx * syy);
+    fit.r_squared = fit.r * fit.r;
+  }
+  if (n > 2) {
+    const double residual_ss = syy - fit.slope * sxy;
+    const double sigma2 =
+        std::max(residual_ss, 0.0) / static_cast<double>(n - 2);
+    fit.slope_stderr = std::sqrt(sigma2 / sxx);
+  }
+  return fit;
+}
+
+MultipleFit FitMultiple(std::span<const std::vector<double>> columns,
+                        std::span<const double> y) {
+  MultipleFit fit;
+  const std::size_t n = y.size();
+  const std::size_t k = columns.size();
+  fit.n = n;
+  fit.coefficients.assign(k, 0.0);
+  if (n == 0 || k == 0) return fit;
+  for (const auto& column : columns) {
+    if (column.size() != n) return fit;
+  }
+
+  // Normal equations: (X'X) beta = X'y.
+  std::vector<std::vector<double>> xtx(k, std::vector<double>(k, 0.0));
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i; j < k; ++j) {
+      double sum = 0.0;
+      for (std::size_t r = 0; r < n; ++r) sum += columns[i][r] * columns[j][r];
+      xtx[i][j] = sum;
+      xtx[j][i] = sum;
+    }
+    double sum = 0.0;
+    for (std::size_t r = 0; r < n; ++r) sum += columns[i][r] * y[r];
+    xty[i] = sum;
+  }
+
+  // Gaussian elimination with partial pivoting; skip near-singular pivots
+  // (aliased columns) by zeroing their coefficient.
+  std::vector<std::size_t> order(k);
+  for (std::size_t i = 0; i < k; ++i) order[i] = i;
+  std::vector<bool> aliased(k, false);
+  const double scale_hint = [&] {
+    double max_diag = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      max_diag = std::max(max_diag, std::fabs(xtx[i][i]));
+    }
+    return max_diag > 0.0 ? max_diag : 1.0;
+  }();
+  const double pivot_tolerance = 1e-12 * scale_hint;
+
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < k; ++row) {
+      if (std::fabs(xtx[row][col]) > std::fabs(xtx[pivot][col])) pivot = row;
+    }
+    if (std::fabs(xtx[pivot][col]) <= pivot_tolerance) {
+      aliased[col] = true;
+      continue;
+    }
+    std::swap(xtx[col], xtx[pivot]);
+    std::swap(xty[col], xty[pivot]);
+    for (std::size_t row = col + 1; row < k; ++row) {
+      const double factor = xtx[row][col] / xtx[col][col];
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < k; ++j) xtx[row][j] -= factor * xtx[col][j];
+      xty[row] -= factor * xty[col];
+    }
+  }
+
+  for (std::size_t i = k; i-- > 0;) {
+    if (aliased[i]) {
+      fit.coefficients[i] = 0.0;
+      continue;
+    }
+    double sum = xty[i];
+    for (std::size_t j = i + 1; j < k; ++j) {
+      sum -= xtx[i][j] * fit.coefficients[j];
+    }
+    fit.coefficients[i] = sum / xtx[i][i];
+  }
+
+  fit.rank = k;
+  for (const bool a : aliased) {
+    if (a) --fit.rank;
+  }
+
+  const double mean_y = Mean(y);
+  for (std::size_t r = 0; r < n; ++r) {
+    double predicted = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      predicted += fit.coefficients[i] * columns[i][r];
+    }
+    const double residual = y[r] - predicted;
+    fit.residual_ss += residual * residual;
+    const double centered = y[r] - mean_y;
+    fit.total_ss += centered * centered;
+  }
+  fit.ok = true;
+  return fit;
+}
+
+}  // namespace sleepwalk::stats

@@ -1,0 +1,49 @@
+// Ordinary least squares: simple and multiple linear regression.
+//
+// Used for the stationarity test (§2.2 "linear fit of A"), the allocation-
+// age trend (Fig 15), the GDP fit (Fig 16), and as the engine underneath
+// the Type-I ANOVA (Table 5).
+#ifndef SLEEPWALK_STATS_REGRESSION_H_
+#define SLEEPWALK_STATS_REGRESSION_H_
+
+#include <span>
+#include <vector>
+
+namespace sleepwalk::stats {
+
+/// Result of a simple (one predictor) linear regression y = a + b*x.
+struct SimpleFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r = 0.0;          ///< Pearson correlation of x and y.
+  double r_squared = 0.0;  ///< Coefficient of determination.
+  double slope_stderr = 0.0;
+  std::size_t n = 0;
+};
+
+/// Fits y = a + b*x by least squares. Returns a zero fit for n < 2 or
+/// constant x.
+SimpleFit FitSimple(std::span<const double> x, std::span<const double> y);
+
+/// Result of a multiple regression y = X*beta (X includes any intercept
+/// column the caller provides).
+struct MultipleFit {
+  std::vector<double> coefficients;
+  double residual_ss = 0.0;  ///< Sum of squared residuals.
+  double total_ss = 0.0;     ///< Total sum of squares around the mean of y.
+  std::size_t n = 0;
+  std::size_t rank = 0;      ///< Number of linearly independent columns.
+  bool ok = false;
+};
+
+/// Solves least squares for the column-major design matrix `columns`
+/// (each inner vector one predictor column, all the same length as y).
+/// Uses normal equations with partial-pivot Gaussian elimination, adequate
+/// for the small factor counts used here. Rank-deficient columns get a
+/// zero coefficient (pivot skipped), matching R's aliased-term handling.
+MultipleFit FitMultiple(std::span<const std::vector<double>> columns,
+                        std::span<const double> y);
+
+}  // namespace sleepwalk::stats
+
+#endif  // SLEEPWALK_STATS_REGRESSION_H_

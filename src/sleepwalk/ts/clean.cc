@@ -1,0 +1,117 @@
+#include "sleepwalk/ts/clean.h"
+
+#include <algorithm>
+#include <map>
+
+namespace sleepwalk::ts {
+
+std::optional<EvenSeries> Regularize(const RawSeries& raw,
+                                     CleanStats* stats) {
+  if (raw.empty()) return std::nullopt;
+  CleanStats local_stats;
+
+  // Deduplicate: most recent observation per round wins. Observations are
+  // appended in arrival order, so a later entry supersedes an earlier one.
+  std::map<std::int64_t, double> by_round;
+  for (const auto& obs : raw.observations()) {
+    const auto [it, inserted] = by_round.insert_or_assign(obs.round, obs.value);
+    (void)it;
+    if (!inserted) ++local_stats.duplicates_dropped;
+  }
+
+  const std::int64_t first = by_round.begin()->first;
+  const std::int64_t last = by_round.rbegin()->first;
+  EvenSeries series;
+  series.first_round = first;
+  series.values.reserve(static_cast<std::size_t>(last - first + 1));
+
+  double previous = by_round.begin()->second;
+  double before_previous = previous;
+  bool previous_observed = true;
+  for (std::int64_t round = first; round <= last; ++round) {
+    const auto found = by_round.find(round);
+    double value = 0.0;
+    if (found != by_round.end()) {
+      value = found->second;
+    } else {
+      // A "single missing estimate" is a gap of exactly one round:
+      // observed neighbours on both sides.
+      const bool single_gap =
+          previous_observed && by_round.contains(round + 1);
+      if (single_gap) {
+        // Linear extrapolation from the previous two values.
+        value = previous + (previous - before_previous);
+        value = std::clamp(value, 0.0, 1.0);
+        ++local_stats.single_gaps_filled;
+      } else {
+        value = previous;  // hold across longer gaps
+        ++local_stats.long_gaps_filled;
+      }
+    }
+    series.values.push_back(value);
+    before_previous = previous;
+    previous = value;
+    previous_observed = found != by_round.end();
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return series;
+}
+
+std::optional<EvenSeries> TrimToMidnightUtc(const EvenSeries& series,
+                                            std::int64_t epoch_sec,
+                                            std::int64_t round_seconds) {
+  constexpr std::int64_t kDaySeconds = 86400;
+  if (series.values.empty() || round_seconds <= 0) return std::nullopt;
+
+  const std::int64_t start_sec =
+      epoch_sec + series.first_round * round_seconds;
+  // First round at or after the next midnight (or this one exactly).
+  std::int64_t first_midnight = (start_sec / kDaySeconds) * kDaySeconds;
+  if (first_midnight < start_sec) first_midnight += kDaySeconds;
+  const std::int64_t first_round =
+      (first_midnight - epoch_sec + round_seconds - 1) / round_seconds;
+
+  const std::int64_t end_sec =
+      epoch_sec +
+      (series.first_round + static_cast<std::int64_t>(series.size())) *
+          round_seconds;
+  const std::int64_t last_midnight = (end_sec / kDaySeconds) * kDaySeconds;
+  // Midnights rarely align exactly with 11-minute round boundaries; end
+  // at the round *nearest* the final midnight ("start and end near
+  // midnight UTC"), capped by the data we actually have.
+  std::int64_t end_round =
+      (last_midnight - epoch_sec + round_seconds / 2) / round_seconds;
+  end_round = std::min(
+      end_round,
+      series.first_round + static_cast<std::int64_t>(series.size()));
+
+  if (end_round <= first_round) return std::nullopt;
+  const std::int64_t offset = first_round - series.first_round;
+  const std::int64_t count = end_round - first_round;
+  if (offset < 0 || offset + count > static_cast<std::int64_t>(series.size())) {
+    return std::nullopt;
+  }
+  const std::int64_t span_sec = count * round_seconds;
+  if (span_sec < kDaySeconds) return std::nullopt;
+
+  EvenSeries trimmed;
+  trimmed.first_round = first_round;
+  trimmed.values.assign(
+      series.values.begin() + static_cast<std::ptrdiff_t>(offset),
+      series.values.begin() + static_cast<std::ptrdiff_t>(offset + count));
+  return trimmed;
+}
+
+int WholeDays(std::size_t samples, std::int64_t round_seconds) noexcept {
+  constexpr std::int64_t kDaySeconds = 86400;
+  // Nearest whole day: a midnight-trimmed series misses exact midnight
+  // by at most half a round, so rounding recovers the day count N_d the
+  // spectral test needs (a floor would report 13 days for a 14-day
+  // series ending 3 minutes before midnight and mis-aim the daily bin).
+  const std::int64_t span = static_cast<std::int64_t>(samples) *
+                            round_seconds;
+  return static_cast<int>((span + kDaySeconds / 2) / kDaySeconds);
+}
+
+}  // namespace sleepwalk::ts

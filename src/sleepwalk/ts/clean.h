@@ -1,0 +1,49 @@
+// Data cleaning for spectral analysis (paper §2.2 "Data cleaning").
+//
+// "We correct these by extrapolating single missing estimates, and
+//  trusting most recent observation when duplicates occur. We trim our
+//  timeseries to start and end near midnight UTC."
+#ifndef SLEEPWALK_TS_CLEAN_H_
+#define SLEEPWALK_TS_CLEAN_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "sleepwalk/ts/series.h"
+
+namespace sleepwalk::ts {
+
+/// Bookkeeping about what cleaning had to fix.
+struct CleanStats {
+  std::size_t duplicates_dropped = 0;
+  std::size_t single_gaps_filled = 0;
+  std::size_t long_gaps_filled = 0;  ///< gaps > 1 round, filled by hold.
+};
+
+/// Regularizes raw observations onto the even round grid
+/// [first_round, last_round]:
+///  * duplicate rounds: the most recent observation wins;
+///  * single missing rounds: filled by extrapolation from the previous
+///    two values (falling back to hold-last when at the series head);
+///  * longer gaps: filled by holding the last value (and counted, so
+///    callers can reject blocks with too much missing data).
+/// Returns nullopt for an empty input.
+std::optional<EvenSeries> Regularize(const RawSeries& raw,
+                                     CleanStats* stats = nullptr);
+
+/// Trims an even series so it starts and ends at midnight UTC boundaries
+/// (paper: "ties phase to physical time" and reduces FFT noise).
+/// `epoch_sec` is the UTC time of round 0; rounds are kRoundSeconds long.
+/// Returns nullopt when less than one full day survives trimming.
+std::optional<EvenSeries> TrimToMidnightUtc(const EvenSeries& series,
+                                            std::int64_t epoch_sec,
+                                            std::int64_t round_seconds =
+                                                kRoundSeconds);
+
+/// Number of whole observation days in a trimmed series.
+int WholeDays(std::size_t samples, std::int64_t round_seconds =
+                                       kRoundSeconds) noexcept;
+
+}  // namespace sleepwalk::ts
+
+#endif  // SLEEPWALK_TS_CLEAN_H_

@@ -1,0 +1,3 @@
+// series.h is header-only; this TU exists so the target always has at
+// least one object file and as the anchor for future out-of-line code.
+#include "sleepwalk/ts/series.h"

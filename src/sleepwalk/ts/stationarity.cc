@@ -1,0 +1,30 @@
+#include "sleepwalk/ts/stationarity.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "sleepwalk/stats/regression.h"
+
+namespace sleepwalk::ts {
+
+StationarityResult TestStationarity(std::span<const double> availability,
+                                    int ever_active_addresses,
+                                    double max_addresses_per_day,
+                                    std::int64_t round_seconds) {
+  StationarityResult result;
+  if (availability.size() < 2 || round_seconds <= 0) return result;
+
+  std::vector<double> x(availability.size());
+  std::iota(x.begin(), x.end(), 0.0);
+  const auto fit = stats::FitSimple(x, availability);
+  result.slope_per_round = fit.slope;
+
+  const double rounds_per_day = 86400.0 / static_cast<double>(round_seconds);
+  result.addresses_per_day = std::fabs(fit.slope) * rounds_per_day *
+                             static_cast<double>(ever_active_addresses);
+  result.stationary = result.addresses_per_day < max_addresses_per_day;
+  return result;
+}
+
+}  // namespace sleepwalk::ts

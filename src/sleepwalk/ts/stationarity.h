@@ -1,0 +1,35 @@
+// Stationarity screening (paper §2.2 "Data appropriateness").
+//
+// "We verified our data is roughly stationary ... by doing a linear fit of
+//  A over the observation and confirming slopes are near-zero ... about
+//  80.3% of these blocks are stationary, with a slope equivalent to less
+//  than 1 address change per day."
+#ifndef SLEEPWALK_TS_STATIONARITY_H_
+#define SLEEPWALK_TS_STATIONARITY_H_
+
+#include <cstdint>
+#include <span>
+
+#include "sleepwalk/ts/series.h"
+
+namespace sleepwalk::ts {
+
+/// Result of the linear-trend stationarity test.
+struct StationarityResult {
+  double slope_per_round = 0.0;        ///< availability units per round.
+  double addresses_per_day = 0.0;      ///< |slope| scaled to addresses/day.
+  bool stationary = false;
+};
+
+/// Fits availability ~ round and converts the slope to "address changes
+/// per day" using the block's ever-active address count. A block is
+/// stationary when that rate is below `max_addresses_per_day` (paper: 1).
+StationarityResult TestStationarity(std::span<const double> availability,
+                                    int ever_active_addresses,
+                                    double max_addresses_per_day = 1.0,
+                                    std::int64_t round_seconds =
+                                        kRoundSeconds);
+
+}  // namespace sleepwalk::ts
+
+#endif  // SLEEPWALK_TS_STATIONARITY_H_

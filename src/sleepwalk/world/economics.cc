@@ -1,0 +1,143 @@
+#include "sleepwalk/world/economics.h"
+
+#include <algorithm>
+#include <array>
+
+namespace sleepwalk::world {
+
+namespace {
+
+using enum Region;
+
+// Columns: code, name, region, lat, lon, tz, GDP/capita (PPP USD),
+// electricity kWh/capita, Internet users per host, /24 block count at
+// paper (A_12w) scale, ground-truth strict-diurnal fraction.
+//
+// GDP and diurnal fractions for the 20 Table-3 countries and the US are
+// the paper's published values; remaining rows are CIA-Factbook-era
+// approximations with diurnal fractions consistent with Table 4 regional
+// aggregates. Keep sorted by code (FindCountry binary-searches).
+constexpr std::array kCountries = {
+    Country{"AE", "United Arab Emirates", kWesternAsia, 24.0, 54.0, 4.0, 49800, 11260, 4.0, 2500, 0.030},
+    Country{"AM", "Armenia", kWesternAsia, 40.2, 45.0, 4.0, 5900, 1700, 30.0, 1075, 0.630},
+    Country{"AR", "Argentina", kSouthAmerica, -34.6, -64.0, -3.0, 18400, 2900, 9.0, 20382, 0.339},
+    Country{"AT", "Austria", kWesternEurope, 47.5, 14.5, 1.0, 43100, 8360, 2.2, 11000, 0.010},
+    Country{"AU", "Australia", kOceania, -25.3, 134.0, 10.0, 43300, 10710, 1.6, 24000, 0.034},
+    Country{"BD", "Bangladesh", kSouthernAsia, 23.7, 90.4, 6.0, 2100, 280, 90.0, 1700, 0.210},
+    Country{"BE", "Belgium", kWesternEurope, 50.8, 4.5, 1.0, 38500, 7970, 2.0, 14000, 0.011},
+    Country{"BG", "Bulgaria", kEasternEurope, 42.7, 25.3, 2.0, 14500, 4640, 8.0, 8000, 0.110},
+    Country{"BO", "Bolivia", kSouthAmerica, -16.5, -64.7, -4.0, 5200, 660, 25.0, 900, 0.280},
+    Country{"BR", "Brazil", kSouthAmerica, -14.2, -51.9, -3.0, 12100, 2430, 10.0, 79095, 0.185},
+    Country{"BY", "Belarus", kEasternEurope, 53.7, 27.9, 3.0, 15900, 3600, 12.0, 1748, 0.512},
+    Country{"CA", "Canada", kNorthernAmerica, 56.1, -106.3, -6.0, 43100, 15500, 1.2, 48000, 0.003},
+    Country{"CH", "Switzerland", kWesternEurope, 46.8, 8.2, 1.0, 46200, 7810, 1.5, 15000, 0.008},
+    Country{"CL", "Chile", kSouthAmerica, -35.7, -71.5, -4.0, 18700, 3570, 7.0, 8000, 0.180},
+    Country{"CN", "China", kEasternAsia, 35.9, 104.2, 8.0, 9300, 3475, 50.0, 394244, 0.498},
+    Country{"CO", "Colombia", kSouthAmerica, 4.6, -74.1, -5.0, 11000, 1180, 16.0, 9379, 0.261},
+    Country{"CZ", "Czech Republic", kEasternEurope, 49.8, 15.5, 1.0, 27600, 6260, 3.0, 14000, 0.060},
+    Country{"DE", "Germany", kWesternEurope, 51.2, 10.4, 1.0, 39700, 7080, 2.5, 95000, 0.012},
+    Country{"DK", "Denmark", kNorthernEurope, 56.3, 9.5, 1.0, 38300, 6040, 1.4, 12000, 0.012},
+    Country{"DO", "Dominican Republic", kCaribbean, 18.7, -70.2, -4.0, 9800, 1480, 18.0, 1200, 0.016},
+    Country{"DZ", "Algeria", kNorthernAfrica, 28.0, 1.7, 1.0, 7600, 1090, 40.0, 1600, 0.095},
+    Country{"EC", "Ecuador", kSouthAmerica, -1.8, -78.2, -5.0, 10200, 1320, 20.0, 2300, 0.230},
+    Country{"EG", "Egypt", kNorthernAfrica, 26.8, 30.8, 2.0, 6700, 1740, 35.0, 4500, 0.100},
+    Country{"ES", "Spain", kSouthernEurope, 40.5, -3.7, 1.0, 31100, 5600, 3.5, 38000, 0.100},
+    Country{"FI", "Finland", kNorthernEurope, 61.9, 25.7, 2.0, 37000, 15250, 1.2, 12000, 0.012},
+    Country{"FR", "France", kWesternEurope, 46.2, 2.2, 1.0, 36100, 7370, 2.3, 78000, 0.011},
+    Country{"GB", "United Kingdom", kNorthernEurope, 55.4, -3.4, 0.0, 37500, 5410, 1.8, 70000, 0.012},
+    Country{"GE", "Georgia", kWesternAsia, 42.3, 43.4, 4.0, 6000, 2070, 28.0, 1395, 0.546},
+    Country{"GR", "Greece", kSouthernEurope, 39.1, 21.8, 2.0, 24900, 5340, 5.0, 8000, 0.110},
+    Country{"GT", "Guatemala", kCentralAmerica, 15.8, -90.2, -6.0, 5300, 570, 30.0, 1800, 0.150},
+    Country{"HK", "Hong Kong", kEasternAsia, 22.4, 114.1, 8.0, 52300, 5900, 2.0, 18000, 0.030},
+    Country{"HR", "Croatia", kSouthernEurope, 45.1, 15.2, 1.0, 18100, 3740, 6.0, 3000, 0.120},
+    Country{"HU", "Hungary", kEasternEurope, 47.2, 19.5, 1.0, 20000, 3880, 4.0, 10000, 0.080},
+    Country{"ID", "Indonesia", kSouthEasternAsia, -0.8, 113.9, 7.0, 5100, 750, 60.0, 7617, 0.166},
+    Country{"IL", "Israel", kWesternAsia, 31.0, 34.9, 2.0, 32800, 6560, 2.5, 8000, 0.020},
+    Country{"IN", "India", kSouthernAsia, 20.6, 79.0, 5.5, 3900, 720, 90.0, 36470, 0.225},
+    Country{"IR", "Iran", kWesternAsia, 32.4, 53.7, 3.5, 13100, 2900, 45.0, 5000, 0.150},
+    Country{"IT", "Italy", kSouthernEurope, 41.9, 12.6, 1.0, 30600, 5400, 4.0, 48000, 0.130},
+    Country{"JM", "Jamaica", kCaribbean, 18.1, -77.3, -5.0, 9300, 2770, 20.0, 950, 0.016},
+    Country{"JP", "Japan", kEasternAsia, 36.2, 138.3, 9.0, 36900, 7750, 2.0, 300000, 0.008},
+    Country{"KG", "Kyrgyzstan", kCentralAsia, 41.2, 74.8, 6.0, 2400, 1640, 50.0, 450, 0.350},
+    Country{"KR", "South Korea", kEasternAsia, 35.9, 127.8, 9.0, 32800, 10160, 2.2, 65000, 0.050},
+    Country{"KZ", "Kazakhstan", kCentralAsia, 48.0, 66.9, 6.0, 14100, 4890, 18.0, 3832, 0.400},
+    Country{"LK", "Sri Lanka", kSouthernAsia, 7.9, 80.8, 5.5, 6100, 530, 55.0, 1100, 0.190},
+    Country{"MA", "Morocco", kNorthernAfrica, 31.8, -7.1, 0.0, 5400, 830, 45.0, 2115, 0.185},
+    Country{"MD", "Moldova", kEasternEurope, 47.4, 28.4, 2.0, 3500, 1370, 25.0, 1500, 0.180},
+    Country{"MX", "Mexico", kCentralAmerica, 23.6, -102.6, -6.0, 15600, 2000, 12.0, 28000, 0.120},
+    Country{"MY", "Malaysia", kSouthEasternAsia, 4.2, 102.0, 8.0, 17200, 4250, 12.0, 9747, 0.247},
+    Country{"NL", "Netherlands", kWesternEurope, 52.1, 5.3, 1.0, 42900, 6710, 1.5, 28000, 0.009},
+    Country{"NO", "Norway", kNorthernEurope, 60.5, 8.5, 1.0, 55900, 23170, 1.1, 14000, 0.010},
+    Country{"NZ", "New Zealand", kOceania, -40.9, 174.9, 12.0, 30200, 9080, 1.8, 3200, 0.040},
+    Country{"PE", "Peru", kSouthAmerica, -9.2, -75.0, -5.0, 10900, 1250, 22.0, 4600, 0.401},
+    Country{"PH", "Philippines", kSouthEasternAsia, 12.9, 121.8, 8.0, 4500, 650, 70.0, 5721, 0.239},
+    Country{"PK", "Pakistan", kSouthernAsia, 30.4, 69.3, 5.0, 2900, 450, 85.0, 4200, 0.170},
+    Country{"PL", "Poland", kEasternEurope, 51.9, 19.1, 1.0, 21100, 3940, 5.0, 35000, 0.070},
+    Country{"PT", "Portugal", kSouthernEurope, 39.4, -8.2, 0.0, 23800, 4660, 4.5, 9000, 0.120},
+    Country{"RO", "Romania", kEasternEurope, 45.9, 25.0, 2.0, 13400, 2580, 10.0, 15000, 0.130},
+    Country{"RS", "Serbia", kSouthernEurope, 44.0, 21.0, 1.0, 10600, 4330, 12.0, 4429, 0.393},
+    Country{"RU", "Russia", kEasternEurope, 56.0, 60.0, 4.0, 18000, 6540, 8.0, 53048, 0.159},
+    Country{"SA", "Saudi Arabia", kWesternAsia, 23.9, 45.1, 3.0, 31800, 8740, 10.0, 6000, 0.060},
+    Country{"SE", "Sweden", kNorthernEurope, 60.1, 18.6, 1.0, 41900, 14030, 1.2, 22000, 0.011},
+    Country{"SG", "Singapore", kSouthEasternAsia, 1.35, 103.8, 8.0, 61400, 8700, 2.0, 6000, 0.030},
+    Country{"SV", "El Salvador", kCentralAmerica, 13.8, -88.9, -6.0, 7600, 900, 35.0, 1145, 0.311},
+    Country{"TH", "Thailand", kSouthEasternAsia, 15.9, 101.0, 7.0, 10300, 2400, 25.0, 10986, 0.336},
+    Country{"TN", "Tunisia", kNorthernAfrica, 33.9, 9.6, 1.0, 9900, 1300, 30.0, 1900, 0.090},
+    Country{"TR", "Turkey", kWesternAsia, 38.96, 35.2, 2.0, 15200, 2780, 14.0, 17000, 0.090},
+    Country{"TW", "Taiwan", kEasternAsia, 23.7, 121.0, 8.0, 39600, 10400, 2.5, 35000, 0.080},
+    Country{"UA", "Ukraine", kEasternEurope, 48.4, 31.2, 2.0, 7500, 3660, 15.0, 16575, 0.289},
+    Country{"US", "United States", kNorthernAmerica, 39.8, -98.6, -6.0, 50700, 12185, 1.4, 672104, 0.002},
+    Country{"UY", "Uruguay", kSouthAmerica, -32.5, -55.8, -3.0, 16200, 2970, 8.0, 1800, 0.160},
+    Country{"UZ", "Uzbekistan", kCentralAsia, 41.4, 64.6, 5.0, 3600, 1630, 60.0, 700, 0.400},
+    Country{"VE", "Venezuela", kSouthAmerica, 6.4, -66.6, -4.5, 13600, 3420, 18.0, 5200, 0.190},
+    Country{"VN", "Vietnam", kSouthEasternAsia, 14.1, 108.3, 7.0, 3600, 1300, 65.0, 8197, 0.183},
+    Country{"ZA", "South Africa", kSouthernAfrica, -30.6, 22.9, 2.0, 11600, 4400, 12.0, 10000, 0.011},
+};
+
+static_assert(std::is_sorted(kCountries.begin(), kCountries.end(),
+                             [](const Country& a, const Country& b) {
+                               return a.code < b.code;
+                             }),
+              "country table must stay sorted by code");
+
+}  // namespace
+
+std::string_view RegionName(Region region) noexcept {
+  switch (region) {
+    case kNorthernAmerica: return "Northern America";
+    case kSouthernAfrica: return "Southern Africa";
+    case kWesternEurope: return "W. Europe";
+    case kNorthernEurope: return "Northern Europe";
+    case kCaribbean: return "Caribbean";
+    case kOceania: return "Oceania";
+    case kWesternAsia: return "W. Asia";
+    case kNorthernAfrica: return "Northern Africa";
+    case kSouthernEurope: return "Southern Europe";
+    case kCentralAmerica: return "Central America";
+    case kEasternEurope: return "Eastern Europe";
+    case kSouthernAsia: return "Southern Asia";
+    case kSouthAmerica: return "South America";
+    case kSouthEasternAsia: return "South-Eastern Asia";
+    case kEasternAsia: return "Eastern Asia";
+    case kCentralAsia: return "Central Asia";
+  }
+  return "unknown";
+}
+
+std::span<const Country> Countries() noexcept { return kCountries; }
+
+const Country* FindCountry(std::string_view code) noexcept {
+  const auto it = std::lower_bound(
+      kCountries.begin(), kCountries.end(), code,
+      [](const Country& c, std::string_view key) { return c.code < key; });
+  if (it == kCountries.end() || it->code != code) return nullptr;
+  return &*it;
+}
+
+std::int64_t TotalBlockWeight() noexcept {
+  std::int64_t total = 0;
+  for (const auto& country : kCountries) total += country.block_count;
+  return total;
+}
+
+}  // namespace sleepwalk::world

@@ -1,0 +1,78 @@
+// Country-level external factors (paper §2.3.1, §5.4, Tables 3-5).
+//
+// The paper joins diurnal measurements against the CIA World Factbook
+// (per-capita GDP, electricity consumption, Internet users per host) and
+// MaxMind country locations. Those datasets are public but not shipped
+// here; this module embeds a ~70-country snapshot with the paper's
+// Table 3 GDP values verbatim and Factbook-era approximations elsewhere
+// (see DESIGN.md substitution table).
+//
+// Each record also carries the simulator's ground-truth diurnal fraction
+// (from the paper's Tables 3-4) and the civil timezone used to phase
+// simulated diurnal behaviour. The *analysis* pipeline never reads the
+// ground-truth columns; it must rediscover them from probes.
+#ifndef SLEEPWALK_WORLD_ECONOMICS_H_
+#define SLEEPWALK_WORLD_ECONOMICS_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace sleepwalk::world {
+
+/// UN-style regions, exactly the groups of the paper's Table 4.
+enum class Region : std::uint8_t {
+  kNorthernAmerica,
+  kSouthernAfrica,
+  kWesternEurope,
+  kNorthernEurope,
+  kCaribbean,
+  kOceania,
+  kWesternAsia,
+  kNorthernAfrica,
+  kSouthernEurope,
+  kCentralAmerica,
+  kEasternEurope,
+  kSouthernAsia,
+  kSouthAmerica,
+  kSouthEasternAsia,
+  kEasternAsia,
+  kCentralAsia,
+};
+
+/// Display name matching Table 4 ("Northern America", "W. Europe", ...).
+std::string_view RegionName(Region region) noexcept;
+
+/// Number of distinct regions.
+inline constexpr int kRegionCount = 16;
+
+/// One country's external factors and simulation ground truth.
+struct Country {
+  std::string_view code;  ///< ISO 3166-1 alpha-2.
+  std::string_view name;
+  Region region;
+  double latitude = 0.0;   ///< population-weighted centroid, degrees.
+  double longitude = 0.0;  ///< east positive.
+  double tz_offset_hours = 0.0;  ///< single civil offset (China: one zone).
+  double gdp_per_capita_usd = 0.0;        ///< PPP, CIA Factbook era.
+  double electricity_kwh_per_capita = 0.0;
+  double internet_users_per_host = 0.0;
+  int block_count = 0;  ///< /24 blocks at paper scale (A_12w, Table 3/4).
+  /// Ground truth for the world generator: fraction of this country's
+  /// blocks that behave strictly diurnally. NOT read by the analyzer.
+  double true_diurnal_fraction = 0.0;
+};
+
+/// The full embedded table, sorted by country code.
+std::span<const Country> Countries() noexcept;
+
+/// Lookup by ISO code; nullptr when unknown.
+const Country* FindCountry(std::string_view code) noexcept;
+
+/// Sum of block_count across all countries (paper scale, ~3.45M).
+std::int64_t TotalBlockWeight() noexcept;
+
+}  // namespace sleepwalk::world
+
+#endif  // SLEEPWALK_WORLD_ECONOMICS_H_

@@ -1,0 +1,191 @@
+#include "sleepwalk/world/iana.h"
+
+#include <array>
+
+namespace sleepwalk::world {
+
+namespace {
+
+using enum Registry;
+
+struct Entry {
+  std::uint8_t first;
+  std::uint8_t last;  // inclusive
+  Registry registry;
+  int year;
+  int month;
+};
+
+// Approximation of the IANA IPv4 address-space registry (month precision,
+// contiguous same-registry runs collapsed). Sources: the public registry
+// as of 2013; legacy Class A dates from the registry's "1991-05"-style
+// WHOIS fields.
+constexpr std::array<Entry, 72> kEntries = {{
+    {0, 0, kReserved, 0, 1},      // "this network"
+    {1, 1, kApnic, 2010, 1},
+    {2, 2, kRipe, 2009, 9},
+    {3, 3, kLegacy, 1988, 5},     // GE
+    {4, 4, kLegacy, 1992, 12},    // Level 3
+    {5, 5, kRipe, 2010, 11},
+    {6, 7, kLegacy, 1994, 2},     // Army, DoD
+    {8, 8, kLegacy, 1992, 12},    // Level 3
+    {9, 9, kLegacy, 1992, 8},     // IBM
+    {10, 10, kReserved, 0, 1},    // RFC 1918
+    {11, 13, kLegacy, 1993, 5},   // DoD, AT&T, Xerox
+    {14, 14, kApnic, 2010, 4},
+    {15, 22, kLegacy, 1994, 7},   // HP .. DISA
+    {23, 23, kApnic, 2010, 11},
+    {24, 24, kArin, 2001, 5},
+    {25, 26, kLegacy, 1995, 1},   // UK MoD, DISA
+    {27, 27, kApnic, 2010, 1},
+    {28, 30, kLegacy, 1992, 7},   // DSI, DISA
+    {31, 31, kRipe, 2010, 5},
+    {32, 35, kLegacy, 1994, 6},   // AT&T .. Merit
+    {36, 36, kApnic, 2010, 10},
+    {37, 37, kRipe, 2010, 11},
+    {38, 38, kLegacy, 1994, 9},   // PSI
+    {39, 39, kApnic, 2011, 1},
+    {40, 40, kLegacy, 1994, 6},   // Eli Lilly
+    {41, 41, kAfrinic, 2005, 4},
+    {42, 42, kApnic, 2010, 10},
+    {43, 43, kLegacy, 1991, 1},   // Japan Inet (administered as legacy)
+    {44, 45, kLegacy, 1992, 7},   // amateur radio, Interop
+    {46, 46, kRipe, 2009, 9},
+    {47, 48, kLegacy, 1991, 1},   // Bell-Northern, Prudential
+    {49, 49, kApnic, 2010, 8},
+    {50, 50, kArin, 2010, 2},
+    {51, 57, kLegacy, 1994, 8},   // UK Govt .. SITA
+    {58, 59, kApnic, 2004, 4},
+    {60, 60, kApnic, 2003, 4},
+    {61, 61, kApnic, 1997, 4},
+    {62, 62, kRipe, 1997, 4},
+    {63, 63, kArin, 1997, 4},
+    {64, 68, kArin, 1999, 7},
+    {69, 72, kArin, 2002, 8},
+    {73, 76, kArin, 2005, 3},
+    {77, 80, kRipe, 2006, 8},
+    {81, 88, kRipe, 2003, 4},
+    {89, 95, kRipe, 2005, 6},
+    {96, 99, kArin, 2006, 10},
+    {100, 100, kArin, 2010, 11},
+    {101, 101, kApnic, 2010, 8},
+    {102, 102, kAfrinic, 2011, 2},
+    {103, 103, kApnic, 2011, 2},
+    {104, 104, kArin, 2011, 2},
+    {105, 105, kAfrinic, 2010, 11},
+    {106, 106, kApnic, 2011, 1},
+    {107, 107, kArin, 2010, 2},
+    {108, 108, kArin, 2008, 12},
+    {109, 109, kRipe, 2009, 1},
+    {110, 111, kApnic, 2008, 11},
+    {112, 113, kApnic, 2008, 5},
+    {114, 115, kApnic, 2007, 10},
+    {116, 118, kApnic, 2007, 1},
+    {119, 120, kApnic, 2007, 1},
+    {121, 122, kApnic, 2006, 1},
+    {123, 123, kApnic, 2006, 1},
+    {124, 126, kApnic, 2005, 1},
+    {127, 127, kReserved, 0, 1},  // loopback
+    {128, 172, kLegacy, 1993, 5}, // legacy Class B space ("Various")
+    {173, 174, kArin, 2008, 2},
+    {175, 175, kApnic, 2009, 8},
+    {176, 176, kRipe, 2010, 5},
+    {177, 177, kLacnic, 2010, 6},
+    {178, 178, kRipe, 2009, 1},
+}};
+
+constexpr std::array<Entry, 26> kEntriesHigh = {{
+    {179, 179, kLacnic, 2011, 2},
+    {180, 180, kApnic, 2009, 4},
+    {181, 181, kLacnic, 2010, 6},
+    {182, 183, kApnic, 2009, 8},
+    {184, 184, kArin, 2008, 12},
+    {185, 185, kRipe, 2011, 2},
+    {186, 187, kLacnic, 2007, 9},
+    {188, 188, kRipe, 2007, 10},
+    {189, 190, kLacnic, 2005, 6},
+    {191, 191, kLacnic, 1993, 5},
+    {192, 192, kLegacy, 1993, 5},
+    {193, 195, kRipe, 1993, 5},
+    {196, 196, kAfrinic, 1993, 5},
+    {197, 197, kAfrinic, 2008, 10},
+    {198, 199, kArin, 1993, 5},
+    {200, 201, kLacnic, 2002, 11},
+    {202, 203, kApnic, 1993, 5},
+    {204, 209, kArin, 1994, 3},
+    {210, 211, kApnic, 1996, 6},
+    {212, 213, kRipe, 1997, 10},
+    {214, 215, kLegacy, 1998, 3},  // US DoD
+    {216, 216, kArin, 1998, 4},
+    {217, 217, kRipe, 2000, 6},
+    {218, 219, kApnic, 2000, 12},
+    {220, 222, kApnic, 2001, 12},
+    {223, 223, kApnic, 2010, 4},
+    // 224-255: multicast + reserved, handled by the fallthrough.
+}};
+
+}  // namespace
+
+std::string_view RegistryName(Registry registry) noexcept {
+  switch (registry) {
+    case kArin: return "ARIN";
+    case kRipe: return "RIPE NCC";
+    case kApnic: return "APNIC";
+    case kLacnic: return "LACNIC";
+    case kAfrinic: return "AFRINIC";
+    case kLegacy: return "Legacy";
+    case kReserved: return "Reserved";
+  }
+  return "unknown";
+}
+
+std::optional<Slash8Allocation> AllocationFor(std::uint8_t slash8) noexcept {
+  const auto scan = [slash8](const auto& entries)
+      -> std::optional<Slash8Allocation> {
+    for (const auto& entry : entries) {
+      if (slash8 >= entry.first && slash8 <= entry.last) {
+        if (entry.registry == kReserved) return std::nullopt;
+        return Slash8Allocation{slash8, entry.registry, entry.year,
+                                entry.month};
+      }
+    }
+    return std::nullopt;
+  };
+  if (slash8 <= 178) return scan(kEntries);
+  if (slash8 <= 223) return scan(kEntriesHigh);
+  return std::nullopt;  // multicast / reserved
+}
+
+int AllocationMonthIndex(std::uint8_t slash8) noexcept {
+  const auto allocation = AllocationFor(slash8);
+  if (!allocation) return -1;
+  return (allocation->year - 1983) * 12 + (allocation->month - 1);
+}
+
+std::optional<double> AllocationAgeYears(std::uint8_t slash8,
+                                         double reference_year) noexcept {
+  const auto allocation = AllocationFor(slash8);
+  if (!allocation) return std::nullopt;
+  const double allocated = allocation->year +
+                           (allocation->month - 0.5) / 12.0;
+  return reference_year - allocated;
+}
+
+Registry RegistryForRegionName(std::string_view region_name) noexcept {
+  if (region_name == "Northern America") return kArin;
+  if (region_name == "Caribbean" || region_name == "Central America" ||
+      region_name == "South America") {
+    return kLacnic;
+  }
+  if (region_name == "W. Europe" || region_name == "Northern Europe" ||
+      region_name == "Southern Europe" || region_name == "Eastern Europe" ||
+      region_name == "W. Asia" || region_name == "Central Asia") {
+    return kRipe;
+  }
+  if (region_name == "Northern Africa" || region_name == "Southern Africa") {
+    return kAfrinic;
+  }
+  return kApnic;  // Eastern/Southern/South-Eastern Asia, Oceania
+}
+
+}  // namespace sleepwalk::world

@@ -1,0 +1,56 @@
+// IANA IPv4 /8 allocation registry (paper §5.3, Fig 15).
+//
+// The paper correlates diurnal fractions with the date each /8 was
+// delegated by IANA/ICANN to a regional registry. We embed an
+// approximation of the public registry (dates to month precision, a few
+// legacy ranges collapsed); Fig 15 only needs the allocation-date *trend*,
+// which survives this coarsening.
+#ifndef SLEEPWALK_WORLD_IANA_H_
+#define SLEEPWALK_WORLD_IANA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace sleepwalk::world {
+
+/// The registry (or legacy assignee class) a /8 was delegated to.
+enum class Registry : std::uint8_t {
+  kArin,
+  kRipe,
+  kApnic,
+  kLacnic,
+  kAfrinic,
+  kLegacy,    ///< pre-RIR direct assignments (mostly US organizations)
+  kReserved,  ///< private, loopback, multicast, future use
+};
+
+std::string_view RegistryName(Registry registry) noexcept;
+
+/// One /8's delegation record.
+struct Slash8Allocation {
+  std::uint8_t slash8 = 0;
+  Registry registry = Registry::kReserved;
+  int year = 0;   ///< delegation year (0 for reserved space)
+  int month = 1;  ///< 1-12
+};
+
+/// Delegation record for a /8; nullopt for reserved/unallocated space.
+std::optional<Slash8Allocation> AllocationFor(std::uint8_t slash8) noexcept;
+
+/// Months since January 1983 (the flag-day epoch the paper's Fig 15 axis
+/// effectively starts after); -1 for reserved space.
+int AllocationMonthIndex(std::uint8_t slash8) noexcept;
+
+/// Allocation age in years relative to `reference_year` (fractional).
+/// Returns nullopt for reserved space.
+std::optional<double> AllocationAgeYears(std::uint8_t slash8,
+                                         double reference_year) noexcept;
+
+/// The default registry for a region's address space, used by the world
+/// generator to place countries into plausible /8s.
+Registry RegistryForRegionName(std::string_view region_name) noexcept;
+
+}  // namespace sleepwalk::world
+
+#endif  // SLEEPWALK_WORLD_IANA_H_

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sleepwalk/asn/asmap.h"
+#include "sleepwalk/asn/orgs.h"
+
+namespace sleepwalk::asn {
+namespace {
+
+net::Prefix24 Block(std::uint32_t index) {
+  return net::Prefix24::FromIndex(index);
+}
+
+TEST(IpToAsnMap, AssignAndLookup) {
+  IpToAsnMap map;
+  map.RegisterAs({7018, "ATT-INTERNET4", "US"});
+  map.Assign(Block(1), 7018);
+  const auto asn = map.AsnFor(Block(1));
+  ASSERT_TRUE(asn.has_value());
+  EXPECT_EQ(*asn, 7018u);
+  const auto* info = map.InfoFor(7018);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->name, "ATT-INTERNET4");
+  EXPECT_EQ(info->country_code, "US");
+}
+
+TEST(IpToAsnMap, MissingBlockAndAs) {
+  IpToAsnMap map;
+  EXPECT_FALSE(map.AsnFor(Block(42)).has_value());
+  EXPECT_EQ(map.InfoFor(1), nullptr);
+}
+
+TEST(IpToAsnMap, ReassignmentOverwrites) {
+  IpToAsnMap map;
+  map.Assign(Block(5), 100);
+  map.Assign(Block(5), 200);
+  EXPECT_EQ(*map.AsnFor(Block(5)), 200u);
+}
+
+TEST(IpToAsnMap, Counts) {
+  IpToAsnMap map;
+  map.RegisterAs({1, "A", "US"});
+  map.RegisterAs({2, "B", "DE"});
+  map.Assign(Block(1), 1);
+  map.Assign(Block(2), 1);
+  map.Assign(Block(3), 2);
+  EXPECT_EQ(map.mapped_blocks(), 3u);
+  EXPECT_EQ(map.as_count(), 2u);
+}
+
+TEST(NormalizeName, LowercasesAndStripsPunctuation) {
+  EXPECT_EQ(NormalizeName("Time-Warner Cable, Inc."), "time warner cable");
+  EXPECT_EQ(NormalizeName("CHINANET backbone"), "chinanet backbone");
+}
+
+TEST(NormalizeName, DropsBoilerplate) {
+  EXPECT_EQ(NormalizeName("Example LLC"), "example");
+  EXPECT_EQ(NormalizeName("The Example Corporation"), "example");
+  EXPECT_EQ(NormalizeName("EXAMPLE-AS"), "example");
+}
+
+TEST(NormalizeName, EmptyAndAllBoilerplate) {
+  EXPECT_EQ(NormalizeName(""), "");
+  EXPECT_EQ(NormalizeName("Inc. LLC Ltd"), "");
+}
+
+std::vector<AsInfo> SampleRegistry() {
+  return {
+      {100, "Time Warner Cable Texas LLC", "US"},
+      {101, "Time Warner Cable Ohio", "US"},
+      {102, "Time Warner Cable-2", "US"},
+      {200, "Comcast Cable Communications", "US"},
+      {201, "Comcast Cable Communications-2", "US"},
+      {300, "China Telecom Backbone", "CN"},
+      {301, "China Telecom-2", "CN"},
+      {400, "Deutsche Telekom AG", "DE"},
+  };
+}
+
+TEST(OrgClusterer, ClustersBySharedLeadingTokens) {
+  const auto registry = SampleRegistry();
+  OrgClusterer clusterer{registry};
+  // time warner (x3), comcast cable (x2), china telecom (x2),
+  // deutsche telekom (x1) -> 4 clusters.
+  EXPECT_EQ(clusterer.cluster_count(), 4u);
+  EXPECT_EQ(clusterer.OrganizationOf(100), clusterer.OrganizationOf(101));
+  EXPECT_EQ(clusterer.OrganizationOf(100), clusterer.OrganizationOf(102));
+  EXPECT_NE(clusterer.OrganizationOf(100), clusterer.OrganizationOf(200));
+}
+
+TEST(OrgClusterer, KeywordFindsWholeOrganization) {
+  const auto registry = SampleRegistry();
+  OrgClusterer clusterer{registry};
+  const auto ases = clusterer.AsesForKeyword("Time Warner");
+  EXPECT_EQ(ases, (std::vector<std::uint32_t>{100, 101, 102}));
+}
+
+TEST(OrgClusterer, KeywordIsCaseAndPunctuationInsensitive) {
+  const auto registry = SampleRegistry();
+  OrgClusterer clusterer{registry};
+  EXPECT_EQ(clusterer.AsesForKeyword("TIME-WARNER").size(), 3u);
+  EXPECT_EQ(clusterer.AsesForKeyword("comcast").size(), 2u);
+}
+
+TEST(OrgClusterer, PartialTokenMatches) {
+  const auto registry = SampleRegistry();
+  OrgClusterer clusterer{registry};
+  // "telecom" matches china telecom but not deutsche telekom.
+  const auto ases = clusterer.AsesForKeyword("telecom");
+  EXPECT_EQ(ases, (std::vector<std::uint32_t>{300, 301}));
+}
+
+TEST(OrgClusterer, UnknownKeywordAndAsn) {
+  const auto registry = SampleRegistry();
+  OrgClusterer clusterer{registry};
+  EXPECT_TRUE(clusterer.AsesForKeyword("nonexistent isp").empty());
+  EXPECT_TRUE(clusterer.AsesForKeyword("").empty());
+  EXPECT_TRUE(clusterer.OrganizationOf(999).empty());
+}
+
+TEST(OrgClusterer, EmptyRegistry) {
+  OrgClusterer clusterer{std::vector<AsInfo>{}};
+  EXPECT_EQ(clusterer.cluster_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sleepwalk::asn

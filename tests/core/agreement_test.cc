@@ -1,0 +1,105 @@
+#include "sleepwalk/core/agreement.h"
+
+#include <gtest/gtest.h>
+
+namespace sleepwalk::core {
+namespace {
+
+BlockAnalysis Make(std::uint32_t index, Diurnality classification,
+                   bool probed = true, int days = 14) {
+  BlockAnalysis analysis;
+  analysis.block = net::Prefix24::FromIndex(index);
+  analysis.probed = probed;
+  analysis.observed_days = days;
+  analysis.diurnal.classification = classification;
+  return analysis;
+}
+
+TEST(AgreementClassOf, MapsClassifications) {
+  EXPECT_EQ(AgreementClassOf(Make(1, Diurnality::kStrictlyDiurnal)),
+            AgreementClass::kStrict);
+  EXPECT_EQ(AgreementClassOf(Make(1, Diurnality::kRelaxedDiurnal)),
+            AgreementClass::kRelaxed);
+  EXPECT_EQ(AgreementClassOf(Make(1, Diurnality::kNonDiurnal)),
+            AgreementClass::kNeither);
+}
+
+TEST(CompareRuns, FullAgreement) {
+  std::vector<BlockAnalysis> a;
+  std::vector<BlockAnalysis> b;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const auto cls = i < 3 ? Diurnality::kStrictlyDiurnal
+                   : i < 5 ? Diurnality::kRelaxedDiurnal
+                           : Diurnality::kNonDiurnal;
+    a.push_back(Make(i, cls));
+    b.push_back(Make(i, cls));
+  }
+  const auto matrix = CompareRuns(a, b);
+  EXPECT_EQ(matrix.compared, 10);
+  EXPECT_EQ(matrix.counts[0][0], 3);
+  EXPECT_EQ(matrix.counts[1][1], 2);
+  EXPECT_EQ(matrix.counts[2][2], 5);
+  EXPECT_DOUBLE_EQ(matrix.StrictAgain(), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.AtLeastRelaxed(), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.StrongDisagreement(), 0.0);
+}
+
+TEST(CompareRuns, PartialDisagreement) {
+  std::vector<BlockAnalysis> a = {
+      Make(0, Diurnality::kStrictlyDiurnal),
+      Make(1, Diurnality::kStrictlyDiurnal),
+      Make(2, Diurnality::kStrictlyDiurnal),
+      Make(3, Diurnality::kStrictlyDiurnal),
+  };
+  std::vector<BlockAnalysis> b = {
+      Make(0, Diurnality::kStrictlyDiurnal),
+      Make(1, Diurnality::kStrictlyDiurnal),
+      Make(2, Diurnality::kRelaxedDiurnal),
+      Make(3, Diurnality::kNonDiurnal),
+  };
+  const auto matrix = CompareRuns(a, b);
+  EXPECT_EQ(matrix.StrictAtFirst(), 4);
+  EXPECT_DOUBLE_EQ(matrix.StrictAgain(), 0.5);
+  EXPECT_DOUBLE_EQ(matrix.AtLeastRelaxed(), 0.75);
+  EXPECT_DOUBLE_EQ(matrix.StrongDisagreement(), 0.25);
+}
+
+TEST(CompareRuns, SkipsUnprobedAndShort) {
+  std::vector<BlockAnalysis> a = {
+      Make(0, Diurnality::kStrictlyDiurnal),
+      Make(1, Diurnality::kStrictlyDiurnal, /*probed=*/false),
+      Make(2, Diurnality::kStrictlyDiurnal, true, /*days=*/1),
+  };
+  std::vector<BlockAnalysis> b = {
+      Make(0, Diurnality::kStrictlyDiurnal),
+      Make(1, Diurnality::kStrictlyDiurnal),
+      Make(2, Diurnality::kStrictlyDiurnal),
+  };
+  const auto matrix = CompareRuns(a, b);
+  EXPECT_EQ(matrix.compared, 1);
+}
+
+TEST(CompareRuns, SkipsMisalignedBlocks) {
+  std::vector<BlockAnalysis> a = {Make(7, Diurnality::kNonDiurnal)};
+  std::vector<BlockAnalysis> b = {Make(8, Diurnality::kNonDiurnal)};
+  const auto matrix = CompareRuns(a, b);
+  EXPECT_EQ(matrix.compared, 0);
+}
+
+TEST(CompareRuns, EmptyAndMismatchedLengths) {
+  EXPECT_EQ(CompareRuns({}, {}).compared, 0);
+  std::vector<BlockAnalysis> a = {Make(0, Diurnality::kNonDiurnal),
+                                  Make(1, Diurnality::kNonDiurnal)};
+  std::vector<BlockAnalysis> b = {Make(0, Diurnality::kNonDiurnal)};
+  EXPECT_EQ(CompareRuns(a, b).compared, 1);
+}
+
+TEST(AgreementMatrix, RatesWithNoStrictBlocks) {
+  AgreementMatrix matrix;
+  EXPECT_DOUBLE_EQ(matrix.StrictAgain(), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.AtLeastRelaxed(), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.StrongDisagreement(), 0.0);
+}
+
+}  // namespace
+}  // namespace sleepwalk::core

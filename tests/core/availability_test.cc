@@ -1,0 +1,178 @@
+#include "sleepwalk/core/availability.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::core {
+namespace {
+
+TEST(AvailabilityEstimator, InitialValueSeedsEstimates) {
+  AvailabilityEstimator estimator{0.7};
+  EXPECT_NEAR(estimator.ShortTerm(), 0.7, 1e-12);
+  EXPECT_NEAR(estimator.LongTerm(), 0.7, 1e-12);
+  EXPECT_EQ(estimator.rounds_observed(), 0);
+}
+
+TEST(AvailabilityEstimator, IgnoresEmptyRounds) {
+  AvailabilityEstimator estimator{0.5};
+  estimator.Observe(0, 0);
+  estimator.Observe(1, -3);
+  EXPECT_EQ(estimator.rounds_observed(), 0);
+  EXPECT_NEAR(estimator.ShortTerm(), 0.5, 1e-12);
+}
+
+TEST(AvailabilityEstimator, ShortTermAdaptsFasterThanLongTerm) {
+  AvailabilityEstimator estimator{0.2};
+  // Feed consistent full-availability rounds.
+  for (int i = 0; i < 30; ++i) estimator.Observe(1, 1);
+  EXPECT_GT(estimator.ShortTerm(), 0.9);
+  EXPECT_LT(estimator.LongTerm(), estimator.ShortTerm());
+  EXPECT_GT(estimator.LongTerm(), 0.2);
+}
+
+TEST(AvailabilityEstimator, ConvergesToStationaryRatio) {
+  // Rounds alternating (1 of 2) and (1 of 2): A = 0.5.
+  AvailabilityEstimator estimator{0.9};
+  for (int i = 0; i < 500; ++i) estimator.Observe(1, 2);
+  EXPECT_NEAR(estimator.ShortTerm(), 0.5, 1e-6);
+  EXPECT_NEAR(estimator.LongTerm(), 0.5, 0.02);
+}
+
+// The core statistical property (paper §2.1.2): under Trinocular's
+// stop-on-first-positive sampling, E[p]/E[t] equals the true A while
+// E[p/t] exceeds it. The separate-EWMA estimator is therefore unbiased
+// where the ratio-EWMA variant overestimates.
+class SamplingBias : public ::testing::TestWithParam<double> {};
+
+TEST_P(SamplingBias, SeparateTrackingIsUnbiasedRatioIsNot) {
+  const double true_a = GetParam();
+  Rng rng{0xb1a5};
+  AvailabilityEstimator separate{true_a};
+  RatioEwmaEstimator ratio{true_a, 0.01};
+
+  for (int round = 0; round < 30000; ++round) {
+    // Trinocular-style round: probe until positive or 15 probes.
+    int probes = 0;
+    int positives = 0;
+    while (probes < 15) {
+      ++probes;
+      if (rng.NextBool(true_a)) {
+        positives = 1;
+        break;
+      }
+    }
+    separate.Observe(positives, probes);
+    ratio.Observe(positives, probes);
+  }
+
+  EXPECT_NEAR(separate.LongTerm(), true_a, 0.02)
+      << "separate p/t tracking must be unbiased";
+  if (true_a > 0.15 && true_a < 0.9) {
+    EXPECT_GT(ratio.Value(), true_a + 0.03)
+        << "EWMA of the ratio must overestimate (the paper's A_12w bug)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TrueAvailability, SamplingBias,
+                         ::testing::Values(0.2, 0.35, 0.5, 0.735, 0.9),
+                         [](const auto& info) {
+                           return "A" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+TEST(AvailabilityEstimator, OperationalStaysBelowTrueValue) {
+  // Paper Fig 5: A-hat_o underestimates ~94% of rounds once warmed up.
+  const double true_a = 0.6;
+  Rng rng{0x0b5e};
+  AvailabilityEstimator estimator{true_a};
+  int under = 0;
+  int total = 0;
+  for (int round = 0; round < 5000; ++round) {
+    int probes = 0;
+    int positives = 0;
+    while (probes < 15) {
+      ++probes;
+      if (rng.NextBool(true_a)) {
+        positives = 1;
+        break;
+      }
+    }
+    estimator.Observe(positives, probes);
+    if (round >= 500) {  // skip warm-up
+      ++total;
+      if (estimator.Operational() < true_a) ++under;
+    }
+  }
+  EXPECT_GT(static_cast<double>(under) / total, 0.90);
+}
+
+TEST(AvailabilityEstimator, OperationalFloorAtTenPercent) {
+  AvailabilityEstimator estimator{0.05};
+  for (int i = 0; i < 200; ++i) estimator.Observe(0, 15);
+  EXPECT_DOUBLE_EQ(estimator.Operational(), 0.1);
+}
+
+TEST(AvailabilityEstimator, OperationalUsesDeviationMargin) {
+  AvailabilityConfig config;
+  config.initial_deviation = 0.2;
+  AvailabilityEstimator estimator{0.8, config};
+  // A-hat_o = max(0.8 - 0.5 * 0.2, 0.1) = 0.7 before any observation.
+  EXPECT_NEAR(estimator.Operational(), 0.7, 1e-12);
+}
+
+TEST(AvailabilityEstimator, RecoversFromBadInitialEstimate) {
+  // "Our initial estimates ... may be off significantly if block usage
+  //  has changed."
+  AvailabilityEstimator estimator{0.95};
+  Rng rng{3};
+  const double true_a = 0.3;
+  for (int round = 0; round < 2000; ++round) {
+    int probes = 0;
+    int positives = 0;
+    while (probes < 15) {
+      ++probes;
+      if (rng.NextBool(true_a)) {
+        positives = 1;
+        break;
+      }
+    }
+    estimator.Observe(positives, probes);
+  }
+  EXPECT_NEAR(estimator.LongTerm(), true_a, 0.05);
+  EXPECT_LT(estimator.Operational(), true_a + 0.02);
+}
+
+TEST(AvailabilityEstimator, TracksOutageDrop) {
+  AvailabilityEstimator estimator{0.8};
+  for (int i = 0; i < 100; ++i) estimator.Observe(1, 1);
+  const double before = estimator.ShortTerm();
+  // Outage: all-negative rounds.
+  for (int i = 0; i < 20; ++i) estimator.Observe(0, 15);
+  EXPECT_LT(estimator.ShortTerm(), before / 3.0);
+}
+
+TEST(AvailabilityEstimator, ShortTermJitterIsBounded) {
+  // Quantized observations make A-hat_s jittery but it must stay in
+  // [0, 1].
+  AvailabilityEstimator estimator{0.5};
+  Rng rng{77};
+  for (int i = 0; i < 1000; ++i) {
+    const int t = 1 + static_cast<int>(rng.NextBelow(15));
+    const int p = rng.NextBool(0.5) ? 1 : 0;
+    estimator.Observe(p, t);
+    EXPECT_GE(estimator.ShortTerm(), 0.0);
+    EXPECT_LE(estimator.ShortTerm(), 1.0);
+  }
+}
+
+TEST(RatioEwmaEstimator, TracksCleanRatio) {
+  RatioEwmaEstimator estimator{0.0, 0.1};
+  for (int i = 0; i < 200; ++i) estimator.Observe(3, 4);
+  EXPECT_NEAR(estimator.Value(), 0.75, 1e-6);
+}
+
+}  // namespace
+}  // namespace sleepwalk::core

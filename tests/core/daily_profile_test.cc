@@ -1,0 +1,98 @@
+#include "sleepwalk/core/daily_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sleepwalk::core {
+namespace {
+
+// Series sampled every 660 s starting at midnight; value chosen by hour.
+std::vector<double> HourlyPattern(int days, double (*value_at)(int hour)) {
+  std::vector<double> series;
+  const int rounds = days * 86400 / 660;
+  series.reserve(static_cast<std::size_t>(rounds));
+  for (int i = 0; i < rounds; ++i) {
+    const int hour = static_cast<int>((static_cast<std::int64_t>(i) * 660 %
+                                       86400) / 3600);
+    series.push_back(value_at(hour));
+  }
+  return series;
+}
+
+TEST(DailyProfile, FlatSeriesHasZeroRange) {
+  const auto series = HourlyPattern(7, [](int) { return 0.8; });
+  const auto profile = ComputeDailyProfile(series);
+  EXPECT_NEAR(profile.Range(), 0.0, 1e-12);
+  EXPECT_NEAR(profile.DailyMean(), 0.8, 1e-12);
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_GT(profile.samples_by_hour[static_cast<std::size_t>(h)], 0);
+  }
+}
+
+TEST(DailyProfile, DiurnalRangeAndPhase) {
+  // Up 0.9 between 08:00 and 17:00, down 0.2 otherwise.
+  const auto series = HourlyPattern(14, [](int hour) {
+    return (hour >= 8 && hour < 17) ? 0.9 : 0.2;
+  });
+  const auto profile = ComputeDailyProfile(series);
+  EXPECT_NEAR(profile.maximum, 0.9, 1e-9);
+  EXPECT_NEAR(profile.minimum, 0.2, 1e-9);
+  EXPECT_NEAR(profile.Range(), 0.7, 1e-9);
+  EXPECT_GE(profile.max_hour, 8);
+  EXPECT_LT(profile.max_hour, 17);
+  EXPECT_TRUE(profile.min_hour < 8 || profile.min_hour >= 17);
+}
+
+TEST(DailyProfile, MeanByHourAverages) {
+  const auto series = HourlyPattern(3, [](int hour) {
+    return hour < 12 ? 0.4 : 0.6;
+  });
+  const auto profile = ComputeDailyProfile(series);
+  EXPECT_NEAR(profile.mean_by_hour[3], 0.4, 1e-9);
+  EXPECT_NEAR(profile.mean_by_hour[20], 0.6, 1e-9);
+  EXPECT_NEAR(profile.DailyMean(), 0.5, 1e-9);
+}
+
+TEST(DailyProfile, SnapshotErrorQuantifiesTheNaiveScanBias) {
+  // §5.6: a snapshot taken at night underestimates a diurnal block's
+  // daily mean by about half the range; an always-on block is safe to
+  // snapshot at any hour.
+  const auto diurnal = ComputeDailyProfile(HourlyPattern(
+      14, [](int hour) { return (hour >= 8 && hour < 16) ? 1.0 : 0.0; }));
+  EXPECT_GT(diurnal.SnapshotError(3), 0.25);   // night snapshot way off
+  EXPECT_GT(diurnal.SnapshotError(12), 0.25);  // midday also off (high)
+
+  const auto flat = ComputeDailyProfile(
+      HourlyPattern(14, [](int) { return 0.7; }));
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_LT(flat.SnapshotError(h), 1e-9);
+  }
+}
+
+TEST(DailyProfile, SnapshotErrorWrapsHour) {
+  const auto profile = ComputeDailyProfile(HourlyPattern(
+      7, [](int hour) { return hour == 0 ? 1.0 : 0.0; }));
+  EXPECT_DOUBLE_EQ(profile.SnapshotError(24), profile.SnapshotError(0));
+  EXPECT_DOUBLE_EQ(profile.SnapshotError(-24), profile.SnapshotError(0));
+}
+
+TEST(DailyProfile, ShortSeriesLeavesEmptyHours) {
+  // 10 rounds = under two hours of data.
+  std::vector<double> series(10, 0.5);
+  const auto profile = ComputeDailyProfile(series);
+  EXPECT_GT(profile.samples_by_hour[0], 0);
+  EXPECT_EQ(profile.samples_by_hour[12], 0);
+  EXPECT_NEAR(profile.DailyMean(), 0.5, 1e-12);
+}
+
+TEST(DailyProfile, EmptyAndDegenerate) {
+  const auto empty = ComputeDailyProfile({});
+  EXPECT_DOUBLE_EQ(empty.Range(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.DailyMean(), 0.0);
+  const std::vector<double> one = {0.3};
+  EXPECT_DOUBLE_EQ(ComputeDailyProfile(one, 0).DailyMean(), 0.0);
+}
+
+}  // namespace
+}  // namespace sleepwalk::core

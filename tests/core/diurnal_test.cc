@@ -1,0 +1,211 @@
+#include "sleepwalk/core/diurnal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::core {
+namespace {
+
+constexpr int kRoundsPerDay = 131;  // ~11-minute rounds
+
+// value = base + amplitude while "awake" (start..start+duration hours).
+std::vector<double> SquareDiurnal(int days, double start_hour,
+                                  double duration_hours, double base = 0.2,
+                                  double amplitude = 0.6) {
+  std::vector<double> series(static_cast<std::size_t>(days * kRoundsPerDay));
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double hour =
+        24.0 * static_cast<double>(i % kRoundsPerDay) / kRoundsPerDay;
+    const bool awake = hour >= start_hour && hour < start_hour + duration_hours;
+    series[i] = base + (awake ? amplitude : 0.0);
+  }
+  return series;
+}
+
+std::vector<double> SineDaily(int days, double phase = 0.0,
+                              double amplitude = 0.3) {
+  std::vector<double> series(static_cast<std::size_t>(days * kRoundsPerDay));
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double t = static_cast<double>(i) / kRoundsPerDay;  // days
+    series[i] = 0.5 + amplitude * std::cos(2.0 * std::numbers::pi * t + phase);
+  }
+  return series;
+}
+
+TEST(ClassifyDiurnal, PureDailySineIsStrict) {
+  const auto result = ClassifyDiurnal(SineDaily(14), 14);
+  EXPECT_EQ(result.classification, Diurnality::kStrictlyDiurnal);
+  EXPECT_EQ(result.daily_bin, 14u);
+  EXPECT_EQ(result.strongest_bin, 14u);
+  EXPECT_NEAR(result.strongest_cycles_per_day, 1.0, 1e-12);
+}
+
+TEST(ClassifyDiurnal, SquareWaveIsStrictDespiteHarmonics) {
+  // A square wave has strong harmonics, but the fundamental dominates;
+  // the strict rule compares against harmonics but only requires the
+  // daily bin to *exceed* them.
+  const auto result = ClassifyDiurnal(SquareDiurnal(14, 8.0, 8.0), 14);
+  EXPECT_EQ(result.classification, Diurnality::kStrictlyDiurnal);
+}
+
+TEST(ClassifyDiurnal, FlatSeriesIsNonDiurnal) {
+  const std::vector<double> flat(14 * kRoundsPerDay, 0.7);
+  const auto result = ClassifyDiurnal(flat, 14);
+  EXPECT_EQ(result.classification, Diurnality::kNonDiurnal);
+}
+
+TEST(ClassifyDiurnal, WhiteNoiseIsNonDiurnal) {
+  Rng rng{123};
+  std::vector<double> noise(14 * kRoundsPerDay);
+  for (auto& v : noise) v = 0.5 + 0.1 * rng.NextGaussian();
+  const auto result = ClassifyDiurnal(noise, 14);
+  EXPECT_EQ(result.classification, Diurnality::kNonDiurnal);
+}
+
+TEST(ClassifyDiurnal, NonDailyPeriodicityRejected) {
+  // A 6-hour cycle (4 cycles/day) peaks at bin 4*N_d: not daily, not the
+  // first harmonic -> non-diurnal.
+  std::vector<double> series(14 * kRoundsPerDay);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double t = static_cast<double>(i) / kRoundsPerDay;
+    series[i] = 0.5 + 0.3 * std::cos(2.0 * std::numbers::pi * 4.0 * t);
+  }
+  const auto result = ClassifyDiurnal(series, 14);
+  EXPECT_EQ(result.classification, Diurnality::kNonDiurnal);
+  EXPECT_NEAR(result.strongest_cycles_per_day, 4.0, 0.1);
+}
+
+TEST(ClassifyDiurnal, FirstHarmonicDominantIsRelaxed) {
+  // Strong 2-cycles/day with a little daily: the paper's relaxed class
+  // ("strongest frequency is at 1 cycle per day or the first harmonic").
+  std::vector<double> series(14 * kRoundsPerDay);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double t = static_cast<double>(i) / kRoundsPerDay;
+    series[i] = 0.5 + 0.3 * std::cos(2.0 * std::numbers::pi * 2.0 * t) +
+                0.05 * std::cos(2.0 * std::numbers::pi * t);
+  }
+  const auto result = ClassifyDiurnal(series, 14);
+  EXPECT_EQ(result.classification, Diurnality::kRelaxedDiurnal);
+}
+
+TEST(ClassifyDiurnal, WeakDominanceIsRelaxedNotStrict) {
+  // Daily strongest, but a non-harmonic competitor at 4.5 c/d within 2x:
+  // fails the strict dominance test, passes relaxed.
+  std::vector<double> series(14 * kRoundsPerDay);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double t = static_cast<double>(i) / kRoundsPerDay;
+    series[i] = 0.5 + 0.3 * std::cos(2.0 * std::numbers::pi * t) +
+                0.2 * std::cos(2.0 * std::numbers::pi * 4.5 * t);
+  }
+  const auto result = ClassifyDiurnal(series, 14);
+  EXPECT_EQ(result.classification, Diurnality::kRelaxedDiurnal);
+}
+
+TEST(ClassifyDiurnal, NoisyDiurnalStillDetected) {
+  Rng rng{9};
+  auto series = SquareDiurnal(14, 9.0, 9.0);
+  for (auto& v : series) v += 0.08 * rng.NextGaussian();
+  const auto result = ClassifyDiurnal(series, 14);
+  EXPECT_EQ(result.classification, Diurnality::kStrictlyDiurnal);
+}
+
+TEST(ClassifyDiurnal, TooShortSeriesIsNonDiurnal) {
+  const auto result = ClassifyDiurnal(SineDaily(1), 1);
+  EXPECT_EQ(result.classification, Diurnality::kNonDiurnal);
+  EXPECT_FALSE(ClassifyDiurnal({}, 0).IsDiurnal());
+}
+
+TEST(ClassifyDiurnal, PhaseTracksWakeTime) {
+  // Cosine with phase -phi peaks phi radians into the day. Our detector
+  // reports arg(alpha_Nd); verify the recovered phase matches.
+  for (const double phase : {-2.0, -1.0, 0.0, 1.0, 2.5}) {
+    const auto result = ClassifyDiurnal(SineDaily(14, phase), 14);
+    ASSERT_TRUE(result.IsStrict());
+    EXPECT_NEAR(result.phase, phase, 0.05) << "injected phase " << phase;
+  }
+}
+
+TEST(ClassifyDiurnal, PhaseShiftBetweenTimezones) {
+  // Two blocks waking 6 hours apart differ by pi/2 in daily phase.
+  const auto east = ClassifyDiurnal(SquareDiurnal(14, 2.0, 8.0), 14);
+  const auto west = ClassifyDiurnal(SquareDiurnal(14, 8.0, 8.0), 14);
+  ASSERT_TRUE(east.IsDiurnal());
+  ASSERT_TRUE(west.IsDiurnal());
+  double delta = east.phase - west.phase;
+  while (delta < -std::numbers::pi) delta += 2.0 * std::numbers::pi;
+  while (delta >= std::numbers::pi) delta -= 2.0 * std::numbers::pi;
+  EXPECT_NEAR(std::fabs(delta), std::numbers::pi / 2.0, 0.1);
+}
+
+TEST(ClassifyDiurnal, NeighborBinCatchesOffGridFrequency) {
+  // 35-day series whose daily frequency leaks between bins 35 and 36
+  // (sampling not exactly aligned): the detector checks N_d and N_d + 1.
+  const int days = 35;
+  std::vector<double> series(static_cast<std::size_t>(days * kRoundsPerDay));
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double t = static_cast<double>(i) / kRoundsPerDay;
+    // 1.014 cycles/day -> bin 35.5 at N_d = 35.
+    series[i] = 0.5 + 0.3 * std::cos(2.0 * std::numbers::pi * 1.0143 * t);
+  }
+  const auto result = ClassifyDiurnal(series, days);
+  EXPECT_TRUE(result.IsDiurnal());
+}
+
+TEST(ClassifyDiurnal, ThirtyFiveDayWindow) {
+  // The A_12w shape: 35 days, peak at k = 35 (paper Fig 6).
+  const auto result = ClassifyDiurnal(SquareDiurnal(35, 8.0, 8.0), 35);
+  EXPECT_TRUE(result.IsStrict());
+  EXPECT_GE(result.daily_bin, 35u);
+  EXPECT_LE(result.daily_bin, 36u);
+}
+
+TEST(ClassifySpectrum, MatchesClassifyDiurnal) {
+  const auto series = SineDaily(14);
+  const auto spectrum = fft::ComputeSpectrum(series);
+  const auto from_spectrum = ClassifySpectrum(spectrum, 14);
+  const auto from_series = ClassifyDiurnal(series, 14);
+  EXPECT_EQ(from_spectrum.classification, from_series.classification);
+  EXPECT_EQ(from_spectrum.daily_bin, from_series.daily_bin);
+  EXPECT_DOUBLE_EQ(from_spectrum.daily_amplitude,
+                   from_series.daily_amplitude);
+}
+
+TEST(ClassifyDiurnal, DominanceThresholdConfigurable) {
+  std::vector<double> series(14 * kRoundsPerDay);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double t = static_cast<double>(i) / kRoundsPerDay;
+    series[i] = 0.5 + 0.3 * std::cos(2.0 * std::numbers::pi * t) +
+                0.11 * std::cos(2.0 * std::numbers::pi * 4.5 * t);
+  }
+  DiurnalConfig strict_config;
+  strict_config.strict_dominance = 2.0;  // 0.3 vs 0.11: passes
+  EXPECT_TRUE(ClassifyDiurnal(series, 14, strict_config).IsStrict());
+  strict_config.strict_dominance = 4.0;  // needs 4x: fails
+  EXPECT_FALSE(ClassifyDiurnal(series, 14, strict_config).IsStrict());
+}
+
+// Sweep: strict detection must hold across wake durations (the paper
+// argues 6-10 h typical; we sweep wider).
+class DurationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DurationSweep, SquareWaveDetected) {
+  const double duration = GetParam();
+  const auto result = ClassifyDiurnal(SquareDiurnal(14, 7.0, duration), 14);
+  EXPECT_TRUE(result.IsDiurnal()) << "duration " << duration << " h";
+}
+
+INSTANTIATE_TEST_SUITE_P(Hours, DurationSweep,
+                         ::testing::Values(2.0, 4.0, 6.0, 8.0, 10.0, 12.0,
+                                           16.0, 20.0),
+                         [](const auto& info) {
+                           return "h" + std::to_string(static_cast<int>(
+                                            info.param));
+                         });
+
+}  // namespace
+}  // namespace sleepwalk::core

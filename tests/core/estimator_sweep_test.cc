@@ -1,0 +1,134 @@
+// Parameterized sweeps over the availability estimator's configuration
+// space: the paper's gains (0.1 / 0.01) are one point; these tests pin
+// down the qualitative tradeoffs that justify them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "sleepwalk/core/availability.h"
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::core {
+namespace {
+
+// Simulated Trinocular round at availability `a`.
+std::pair<int, int> Round(double a, Rng& rng) {
+  int probes = 0;
+  while (probes < 15) {
+    ++probes;
+    if (rng.NextBool(a)) return {1, probes};
+  }
+  return {0, probes};
+}
+
+// Sweep over (alpha_short, true availability).
+class AlphaSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(AlphaSweep, ConvergesUnbiasedAtAnyGain) {
+  const auto [alpha, true_a] = GetParam();
+  AvailabilityConfig config;
+  config.alpha_short = alpha;
+  AvailabilityEstimator estimator{0.5, config};
+  Rng rng{static_cast<std::uint64_t>(alpha * 1e4) ^
+          static_cast<std::uint64_t>(true_a * 1e3)};
+  // Long-run mean of the short-term estimate.
+  double sum = 0.0;
+  const int warmup = 2000;
+  const int rounds = 20000;
+  for (int i = 0; i < rounds; ++i) {
+    const auto [p, t] = Round(true_a, rng);
+    estimator.Observe(p, t);
+    if (i >= warmup) sum += estimator.ShortTerm();
+  }
+  const double mean = sum / (rounds - warmup);
+  EXPECT_NEAR(mean, true_a, 0.05)
+      << "alpha " << alpha << " A " << true_a;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AlphaSweep,
+    ::testing::Combine(::testing::Values(0.02, 0.05, 0.1, 0.3),
+                       ::testing::Values(0.25, 0.5, 0.8)),
+    [](const auto& info) {
+      return "a" + std::to_string(static_cast<int>(
+                       std::get<0>(info.param) * 100)) +
+             "_A" + std::to_string(static_cast<int>(
+                        std::get<1>(info.param) * 100));
+    });
+
+// Higher gain => faster adaptation but more jitter: the fundamental
+// EWMA tradeoff the paper navigates with two separate gains.
+TEST(GainTradeoff, FastGainAdaptsFasterButJittersMore) {
+  const double before = 0.9;
+  const double after = 0.3;
+  const auto measure = [&](double alpha) {
+    AvailabilityConfig config;
+    config.alpha_short = alpha;
+    AvailabilityEstimator estimator{before, config};
+    Rng rng{0x6a17 + static_cast<std::uint64_t>(alpha * 1000)};
+    // Step change at round 0: count rounds until within 0.1 of `after`.
+    int adaptation_rounds = -1;
+    std::vector<double> steady;
+    for (int i = 0; i < 4000; ++i) {
+      const auto [p, t] = Round(after, rng);
+      estimator.Observe(p, t);
+      if (adaptation_rounds < 0 &&
+          std::fabs(estimator.ShortTerm() - after) < 0.1) {
+        adaptation_rounds = i;
+      }
+      if (i > 2000) steady.push_back(estimator.ShortTerm());
+    }
+    double variance = 0.0;
+    double mean = 0.0;
+    for (const double v : steady) mean += v;
+    mean /= static_cast<double>(steady.size());
+    for (const double v : steady) variance += (v - mean) * (v - mean);
+    variance /= static_cast<double>(steady.size());
+    return std::pair{adaptation_rounds, variance};
+  };
+
+  const auto [fast_rounds, fast_var] = measure(0.1);
+  const auto [slow_rounds, slow_var] = measure(0.01);
+  EXPECT_GE(fast_rounds, 0);
+  EXPECT_GE(slow_rounds, 0);
+  EXPECT_LT(fast_rounds, slow_rounds) << "alpha=0.1 must adapt faster";
+  EXPECT_GT(fast_var, slow_var) << "alpha=0.1 must jitter more";
+}
+
+// The operational estimate's conservatism must hold across the whole
+// availability range, not just the default config.
+class OperationalSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OperationalSweep, RarelyOverestimates) {
+  const double true_a = GetParam();
+  AvailabilityEstimator estimator{true_a};
+  Rng rng{static_cast<std::uint64_t>(true_a * 7919)};
+  int over = 0;
+  int total = 0;
+  for (int i = 0; i < 8000; ++i) {
+    const auto [p, t] = Round(true_a, rng);
+    estimator.Observe(p, t);
+    if (i >= 1000 && true_a > 0.12) {  // skip the floor regime
+      ++total;
+      if (estimator.Operational() > true_a) ++over;
+    }
+  }
+  if (total > 0) {
+    EXPECT_LT(static_cast<double>(over) / total, 0.10)
+        << "A = " << true_a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TrueA, OperationalSweep,
+                         ::testing::Values(0.15, 0.3, 0.45, 0.6, 0.75,
+                                           0.9),
+                         [](const auto& info) {
+                           return "A" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace sleepwalk::core

@@ -1,0 +1,119 @@
+#include "sleepwalk/core/quick_screen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "sleepwalk/core/diurnal.h"
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::core {
+namespace {
+
+constexpr int kRoundsPerDay = 131;
+
+std::vector<double> DailySine(int days, double amplitude, double noise,
+                              std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<double> series(static_cast<std::size_t>(days * kRoundsPerDay));
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double t = static_cast<double>(i) / kRoundsPerDay;
+    series[i] = 0.5 + amplitude * std::cos(2.0 * std::numbers::pi * t) +
+                noise * rng.NextGaussian();
+  }
+  return series;
+}
+
+TEST(QuickScreen, PureDiurnalScoresHigh) {
+  const auto result = QuickDiurnalScreen(DailySine(14, 0.3, 0.0, 1), 14);
+  EXPECT_TRUE(result.pass);
+  // A pure sinusoid scores ~sqrt(n/2) ~= 30 for a 14-day series.
+  EXPECT_GT(result.score, 20.0);
+}
+
+TEST(QuickScreen, WhiteNoiseScoresLow) {
+  Rng rng{5};
+  std::vector<double> noise(14 * kRoundsPerDay);
+  for (auto& v : noise) v = 0.5 + 0.1 * rng.NextGaussian();
+  const auto result = QuickDiurnalScreen(noise, 14);
+  EXPECT_FALSE(result.pass);
+  EXPECT_LT(result.score, 2.0);
+}
+
+TEST(QuickScreen, FlatSeriesScoresZero) {
+  const std::vector<double> flat(14 * kRoundsPerDay, 0.7);
+  const auto result = QuickDiurnalScreen(flat, 14);
+  EXPECT_FALSE(result.pass);
+  EXPECT_DOUBLE_EQ(result.score, 0.0);
+}
+
+TEST(QuickScreen, NoisyDiurnalStillPasses) {
+  const auto result = QuickDiurnalScreen(DailySine(14, 0.25, 0.1, 7), 14);
+  EXPECT_TRUE(result.pass);
+}
+
+TEST(QuickScreen, HarmonicOnlySignalPasses) {
+  // Energy at 2 cycles/day only (relaxed-diurnal shape).
+  std::vector<double> series(14 * kRoundsPerDay);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double t = static_cast<double>(i) / kRoundsPerDay;
+    series[i] = 0.5 + 0.3 * std::cos(2.0 * std::numbers::pi * 2.0 * t);
+  }
+  const auto result = QuickDiurnalScreen(series, 14);
+  EXPECT_TRUE(result.pass);
+  EXPECT_GT(result.harmonic_amplitude, result.daily_amplitude);
+}
+
+TEST(QuickScreen, OffDailyPeriodicityFails) {
+  // Power at 5 cycles/day: strong periodicity, but not daily — the
+  // screen must not pass it (neither must the full classifier).
+  std::vector<double> series(14 * kRoundsPerDay);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double t = static_cast<double>(i) / kRoundsPerDay;
+    series[i] = 0.5 + 0.3 * std::cos(2.0 * std::numbers::pi * 5.0 * t);
+  }
+  EXPECT_FALSE(QuickDiurnalScreen(series, 14).pass);
+}
+
+TEST(QuickScreen, DegenerateInputs) {
+  EXPECT_FALSE(QuickDiurnalScreen({}, 14).pass);
+  const std::vector<double> short_series(5, 0.5);
+  EXPECT_FALSE(QuickDiurnalScreen(short_series, 14).pass);
+  EXPECT_FALSE(QuickDiurnalScreen(DailySine(14, 0.3, 0.0, 1), 1).pass);
+}
+
+// The screening contract: (almost) no true diurnal block is rejected —
+// the screen only saves FFTs on clearly non-diurnal blocks.
+class ScreenRecall : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScreenRecall, DiurnalBlocksPassAcrossNoiseLevels) {
+  const double noise = GetParam();
+  int passed = 0;
+  const int trials = 30;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto series =
+        DailySine(14, 0.2, noise, 100 + static_cast<std::uint64_t>(trial));
+    const auto screen = QuickDiurnalScreen(series, 14);
+    const auto full = ClassifyDiurnal(series, 14);
+    // If the full classifier says diurnal, the screen must agree.
+    if (full.IsDiurnal()) {
+      EXPECT_TRUE(screen.pass) << "screen rejected a diurnal block";
+    }
+    if (screen.pass) ++passed;
+  }
+  if (noise < 0.15) {
+    EXPECT_EQ(passed, trials);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, ScreenRecall,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.2, 0.4),
+                         [](const auto& info) {
+                           return "noise" + std::to_string(static_cast<int>(
+                                                info.param * 100));
+                         });
+
+}  // namespace
+}  // namespace sleepwalk::core

@@ -1,0 +1,215 @@
+#include "sleepwalk/fft/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::fft {
+namespace {
+
+constexpr double kTolerance = 1e-9;
+
+std::vector<Complex> RandomSignal(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<Complex> signal(n);
+  for (auto& value : signal) {
+    value = Complex{rng.NextDouble() * 2.0 - 1.0,
+                    rng.NextDouble() * 2.0 - 1.0};
+  }
+  return signal;
+}
+
+double MaxError(const std::vector<Complex>& a, const std::vector<Complex>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double max_error = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_error = std::max(max_error, std::abs(a[i] - b[i]));
+  }
+  return max_error;
+}
+
+TEST(IsPowerOfTwo, Basics) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(1000));
+}
+
+TEST(Forward, EmptyInput) { EXPECT_TRUE(Forward({}).empty()); }
+
+TEST(Forward, SingleSampleIsIdentity) {
+  const std::vector<Complex> input = {Complex{3.5, -1.25}};
+  const auto output = Forward(input);
+  ASSERT_EQ(output.size(), 1u);
+  EXPECT_NEAR(std::abs(output[0] - input[0]), 0.0, kTolerance);
+}
+
+TEST(Forward, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> input(16, Complex{});
+  input[0] = Complex{1.0, 0.0};
+  const auto output = Forward(input);
+  for (const auto& bin : output) {
+    EXPECT_NEAR(bin.real(), 1.0, kTolerance);
+    EXPECT_NEAR(bin.imag(), 0.0, kTolerance);
+  }
+}
+
+TEST(Forward, ConstantGivesDcOnly) {
+  const std::vector<Complex> input(32, Complex{2.0, 0.0});
+  const auto output = Forward(input);
+  EXPECT_NEAR(output[0].real(), 64.0, kTolerance);
+  for (std::size_t k = 1; k < output.size(); ++k) {
+    EXPECT_NEAR(std::abs(output[k]), 0.0, 1e-8) << "bin " << k;
+  }
+}
+
+TEST(Forward, PureSinusoidPeaksAtItsBin) {
+  const std::size_t n = 64;
+  const std::size_t k0 = 5;
+  std::vector<Complex> input(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    const double angle = 2.0 * std::numbers::pi *
+                         static_cast<double>(k0 * m) /
+                         static_cast<double>(n);
+    input[m] = Complex{std::cos(angle), 0.0};
+  }
+  const auto output = Forward(input);
+  // cos splits between bins k0 and n - k0, each with amplitude n/2.
+  EXPECT_NEAR(std::abs(output[k0]), static_cast<double>(n) / 2.0, 1e-8);
+  EXPECT_NEAR(std::abs(output[n - k0]), static_cast<double>(n) / 2.0, 1e-8);
+  for (std::size_t k = 1; k < n / 2; ++k) {
+    if (k == k0) continue;
+    EXPECT_NEAR(std::abs(output[k]), 0.0, 1e-8) << "bin " << k;
+  }
+}
+
+TEST(Forward, PhaseOfShiftedCosine) {
+  // cos(2*pi*k0*m/n - phi) has coefficient with arg = -phi at bin k0.
+  const std::size_t n = 128;
+  const std::size_t k0 = 3;
+  const double phi = 0.7;
+  std::vector<Complex> input(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    const double angle = 2.0 * std::numbers::pi *
+                             static_cast<double>(k0 * m) /
+                             static_cast<double>(n) -
+                         phi;
+    input[m] = Complex{std::cos(angle), 0.0};
+  }
+  const auto output = Forward(input);
+  EXPECT_NEAR(std::arg(output[k0]), -phi, 1e-9);
+}
+
+// Property suite: FFT must agree with the naive DFT oracle for both
+// power-of-two (radix-2 path) and arbitrary (Bluestein path) sizes.
+class FftMatchesNaive : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftMatchesNaive, OnRandomSignal) {
+  const std::size_t n = GetParam();
+  const auto signal = RandomSignal(n, 0x1000 + n);
+  const auto expected = DftNaive(signal);
+  const auto actual = Forward(signal);
+  EXPECT_LT(MaxError(actual, expected), 1e-7 * static_cast<double>(n))
+      << "size " << n;
+}
+
+TEST_P(FftMatchesNaive, InverseRoundTrips) {
+  const std::size_t n = GetParam();
+  const auto signal = RandomSignal(n, 0x2000 + n);
+  const auto round_trip = Inverse(Forward(signal));
+  EXPECT_LT(MaxError(round_trip, signal), 1e-9 * static_cast<double>(n));
+}
+
+TEST_P(FftMatchesNaive, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  const auto signal = RandomSignal(n, 0x3000 + n);
+  const auto spectrum = Forward(signal);
+  double time_energy = 0.0;
+  for (const auto& v : signal) time_energy += std::norm(v);
+  double freq_energy = 0.0;
+  for (const auto& v : spectrum) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-8 * time_energy);
+}
+
+TEST_P(FftMatchesNaive, Linearity) {
+  const std::size_t n = GetParam();
+  const auto a = RandomSignal(n, 0x4000 + n);
+  const auto b = RandomSignal(n, 0x5000 + n);
+  std::vector<Complex> combined(n);
+  const Complex alpha{2.0, -0.5};
+  for (std::size_t i = 0; i < n; ++i) combined[i] = alpha * a[i] + b[i];
+  const auto fa = Forward(a);
+  const auto fb = Forward(b);
+  const auto fc = Forward(combined);
+  double max_error = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    max_error = std::max(max_error, std::abs(fc[k] - (alpha * fa[k] + fb[k])));
+  }
+  EXPECT_LT(max_error, 1e-7 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, FftMatchesNaive,
+    ::testing::Values<std::size_t>(2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 45,
+                                   64, 97, 100, 128, 183, 256, 360, 512),
+    [](const auto& info) { return "n" + std::to_string(info.param); });
+
+TEST(Bluestein, PrimeSizeMatchesNaive) {
+  // 4581 = 3 * 1527: the realistic 35-day 11-minute series length.
+  const std::size_t n = 4581;
+  const auto signal = RandomSignal(n, 99);
+  const auto fast = Forward(signal);
+  // Spot-check a handful of bins against direct evaluation.
+  for (const std::size_t k : {0u, 1u, 35u, 36u, 70u, 2290u}) {
+    Complex direct{};
+    for (std::size_t m = 0; m < n; ++m) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * m) /
+                           static_cast<double>(n);
+      direct += signal[m] * Complex{std::cos(angle), std::sin(angle)};
+    }
+    EXPECT_LT(std::abs(fast[k] - direct), 1e-6) << "bin " << k;
+  }
+}
+
+TEST(FftRadix2InPlace, ForwardThenInverseScalesByN) {
+  auto signal = RandomSignal(64, 7);
+  const auto original = signal;
+  FftRadix2InPlace(signal, /*inverse=*/false);
+  FftRadix2InPlace(signal, /*inverse=*/true);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    EXPECT_LT(std::abs(signal[i] / 64.0 - original[i]), 1e-10);
+  }
+}
+
+TEST(ForwardReal, MatchesComplexTransform) {
+  Rng rng{11};
+  std::vector<double> real(37);
+  for (auto& v : real) v = rng.NextDouble();
+  std::vector<Complex> as_complex(real.size());
+  for (std::size_t i = 0; i < real.size(); ++i) {
+    as_complex[i] = Complex{real[i], 0.0};
+  }
+  EXPECT_LT(MaxError(ForwardReal(real), Forward(as_complex)), 1e-12);
+}
+
+TEST(ForwardReal, ConjugateSymmetry) {
+  Rng rng{13};
+  std::vector<double> real(24);
+  for (auto& v : real) v = rng.NextDouble();
+  const auto spectrum = ForwardReal(real);
+  for (std::size_t k = 1; k < real.size() / 2; ++k) {
+    EXPECT_LT(std::abs(spectrum[k] - std::conj(spectrum[real.size() - k])),
+              1e-10)
+        << "bin " << k;
+  }
+}
+
+}  // namespace
+}  // namespace sleepwalk::fft

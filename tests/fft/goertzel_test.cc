@@ -1,0 +1,78 @@
+#include "sleepwalk/fft/goertzel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "sleepwalk/fft/fft.h"
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::fft {
+namespace {
+
+std::vector<double> RandomReal(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<double> signal(n);
+  for (auto& v : signal) v = rng.NextDouble() * 2.0 - 1.0;
+  return signal;
+}
+
+TEST(Goertzel, EmptyInputIsZero) {
+  EXPECT_EQ(Goertzel({}, 3), Complex(0.0, 0.0));
+}
+
+TEST(Goertzel, DcBinIsSum) {
+  const std::vector<double> signal = {1.0, 2.0, 3.0, 4.0};
+  const auto bin = Goertzel(signal, 0);
+  EXPECT_NEAR(bin.real(), 10.0, 1e-12);
+  EXPECT_NEAR(bin.imag(), 0.0, 1e-12);
+}
+
+TEST(Goertzel, SingleDelayedImpulse) {
+  // x = [0, 1, 0, 0]: X(1) = e^{-j*pi/2} = -j.
+  const std::vector<double> signal = {0.0, 1.0, 0.0, 0.0};
+  const auto bin = Goertzel(signal, 1);
+  EXPECT_NEAR(bin.real(), 0.0, 1e-12);
+  EXPECT_NEAR(bin.imag(), -1.0, 1e-12);
+}
+
+// Property: Goertzel equals the FFT at every bin, for several sizes.
+class GoertzelMatchesFft : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoertzelMatchesFft, AllBins) {
+  const std::size_t n = GetParam();
+  const auto signal = RandomReal(n, 0x60e7 + n);
+  const auto spectrum = ForwardReal(signal);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto bin = Goertzel(signal, k);
+    EXPECT_LT(std::abs(bin - spectrum[k]), 1e-8 * static_cast<double>(n))
+        << "size " << n << " bin " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GoertzelMatchesFft,
+                         ::testing::Values<std::size_t>(2, 3, 8, 13, 32, 45,
+                                                        100, 131),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(Goertzel, DailyBinOfSyntheticDiurnalSeries) {
+  // 14 days, 131 samples/day square-ish wave: bin 14 dominates.
+  const std::size_t per_day = 131;
+  const std::size_t n = 14 * per_day;
+  std::vector<double> series(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double hour = 24.0 * static_cast<double>(i % per_day) /
+                        static_cast<double>(per_day);
+    series[i] = (hour >= 8.0 && hour < 16.0) ? 0.9 : 0.2;
+  }
+  const double daily = std::abs(Goertzel(series, 14));
+  const double off = std::abs(Goertzel(series, 10));
+  EXPECT_GT(daily, 10.0 * off);
+}
+
+}  // namespace
+}  // namespace sleepwalk::fft

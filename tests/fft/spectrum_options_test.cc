@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "sleepwalk/fft/spectrum.h"
+
+namespace sleepwalk::fft {
+namespace {
+
+std::vector<double> Tone(std::size_t n, std::size_t k0, double amplitude) {
+  std::vector<double> signal(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    signal[m] = amplitude * std::cos(2.0 * std::numbers::pi *
+                                     static_cast<double>(k0 * m) /
+                                     static_cast<double>(n));
+  }
+  return signal;
+}
+
+TEST(SpectrumOptions, DetrendRemovesLinearRamp) {
+  // Tone + strong linear trend: without detrending the low bins swamp
+  // the tone; with it the tone wins.
+  const std::size_t n = 512;
+  auto signal = Tone(n, 20, 0.2);
+  for (std::size_t i = 0; i < n; ++i) {
+    signal[i] += 3.0 * static_cast<double>(i) / static_cast<double>(n);
+  }
+  SpectrumOptions plain;
+  const auto without = ComputeSpectrum(signal, plain);
+  SpectrumOptions detrended;
+  detrended.detrend = true;
+  const auto with = ComputeSpectrum(signal, detrended);
+
+  EXPECT_NE(StrongestBin(without), 20u) << "trend leakage should win";
+  EXPECT_EQ(StrongestBin(with), 20u);
+}
+
+TEST(SpectrumOptions, DetrendPreservesToneAmplitude) {
+  const std::size_t n = 256;
+  auto signal = Tone(n, 10, 1.0);
+  for (std::size_t i = 0; i < n; ++i) signal[i] += 0.01 * i;
+  SpectrumOptions options;
+  options.detrend = true;
+  const auto spectrum = ComputeSpectrum(signal, options);
+  EXPECT_NEAR(spectrum.amplitude[10], static_cast<double>(n) / 2.0,
+              static_cast<double>(n) * 0.02);
+}
+
+TEST(SpectrumOptions, HannHalvesCoherentGain) {
+  const std::size_t n = 1024;
+  const auto signal = Tone(n, 16, 1.0);
+  SpectrumOptions rectangular;
+  const auto plain = ComputeSpectrum(signal, rectangular);
+  SpectrumOptions windowed;
+  windowed.hann_window = true;
+  const auto hann = ComputeSpectrum(signal, windowed);
+  // Hann coherent gain is 0.5.
+  EXPECT_NEAR(hann.amplitude[16] / plain.amplitude[16], 0.5, 0.02);
+}
+
+TEST(SpectrumOptions, HannSuppressesLeakageOfOffGridTone) {
+  // A tone between bins leaks broadly with a rectangular window; Hann
+  // confines it. Compare energy far from the peak.
+  const std::size_t n = 1024;
+  std::vector<double> signal(n);
+  for (std::size_t m = 0; m < n; ++m) {
+    signal[m] = std::cos(2.0 * std::numbers::pi * 16.5 *
+                         static_cast<double>(m) / static_cast<double>(n));
+  }
+  SpectrumOptions rectangular;
+  const auto plain = ComputeSpectrum(signal, rectangular);
+  SpectrumOptions windowed;
+  windowed.hann_window = true;
+  const auto hann = ComputeSpectrum(signal, windowed);
+
+  double far_plain = 0.0;
+  double far_hann = 0.0;
+  for (std::size_t k = 60; k < plain.size(); ++k) {
+    far_plain += plain.amplitude[k];
+    far_hann += hann.amplitude[k];
+  }
+  EXPECT_LT(far_hann, far_plain / 10.0);
+}
+
+TEST(SpectrumOptions, BoolOverloadStillWorks) {
+  const auto signal = Tone(128, 5, 1.0);
+  const auto a = ComputeSpectrum(signal, true);
+  SpectrumOptions options;
+  const auto b = ComputeSpectrum(signal, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.amplitude[k], b.amplitude[k]);
+  }
+}
+
+TEST(SpectrumOptions, EmptySeries) {
+  SpectrumOptions options;
+  options.detrend = true;
+  options.hann_window = true;
+  const auto spectrum = ComputeSpectrum({}, options);
+  EXPECT_EQ(spectrum.size(), 0u);
+}
+
+}  // namespace
+}  // namespace sleepwalk::fft

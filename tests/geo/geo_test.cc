@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "sleepwalk/geo/geodb.h"
+#include "sleepwalk/geo/grid.h"
+#include "sleepwalk/geo/region.h"
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::geo {
+namespace {
+
+TEST(Region, DegRadRoundTrip) {
+  EXPECT_NEAR(RadToDeg(DegToRad(123.4)), 123.4, 1e-12);
+  EXPECT_NEAR(DegToRad(180.0), std::numbers::pi, 1e-15);
+}
+
+TEST(Region, WrapLongitude) {
+  EXPECT_NEAR(WrapLongitude(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(WrapLongitude(190.0), -170.0, 1e-12);
+  EXPECT_NEAR(WrapLongitude(-190.0), 170.0, 1e-12);
+  EXPECT_NEAR(WrapLongitude(360.0), 0.0, 1e-12);
+  EXPECT_NEAR(WrapLongitude(540.0), 180.0 - 360.0, 1e-12);
+  EXPECT_NEAR(WrapLongitude(179.9), 179.9, 1e-12);
+}
+
+TEST(Region, WrapAngle) {
+  EXPECT_NEAR(WrapAngle(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(WrapAngle(3.0 * std::numbers::pi), -std::numbers::pi, 1e-12);
+  EXPECT_NEAR(WrapAngle(-3.0 * std::numbers::pi), -std::numbers::pi, 1e-12);
+  EXPECT_NEAR(WrapAngle(1.0), 1.0, 1e-12);
+}
+
+TEST(Region, UnrollPhaseCentersOnLongitude) {
+  // Phase -3 at longitude +170 deg (2.967 rad) should unroll to +3.28.
+  const double unrolled = UnrollPhase(-3.0, 170.0);
+  const double center = DegToRad(170.0);
+  EXPECT_GE(unrolled, center - std::numbers::pi);
+  EXPECT_LT(unrolled, center + std::numbers::pi);
+  EXPECT_NEAR(unrolled, -3.0 + 2.0 * std::numbers::pi, 1e-12);
+}
+
+TEST(Region, UnrollPhaseIdentityWhenClose) {
+  EXPECT_NEAR(UnrollPhase(0.1, 0.0), 0.1, 1e-12);
+  EXPECT_NEAR(UnrollPhase(-0.5, -20.0), -0.5, 1e-12);
+}
+
+TEST(Region, KmToDegreesLon) {
+  // At the equator ~111.32 km per degree.
+  EXPECT_NEAR(KmToDegreesLon(111.32, 0.0), 1.0, 1e-9);
+  // At 60N a degree of longitude is half as long.
+  EXPECT_NEAR(KmToDegreesLon(111.32, 60.0), 2.0, 1e-9);
+  // Near the pole, avoid division blowup.
+  EXPECT_DOUBLE_EQ(KmToDegreesLon(10.0, 90.0), 0.0);
+}
+
+std::vector<TrueLocation> MakeTruth(std::size_t n) {
+  std::vector<TrueLocation> truth;
+  truth.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TrueLocation loc;
+    loc.block = net::Prefix24::FromIndex(static_cast<std::uint32_t>(
+        (100u << 16) + i));
+    loc.latitude = 35.0;
+    loc.longitude = 104.0;
+    loc.country_code = "CN";
+    truth.push_back(loc);
+  }
+  return truth;
+}
+
+TEST(GeoDatabase, CoverageApproximatelyHonored) {
+  const auto truth = MakeTruth(5000);
+  GeoDatabase::Options options;
+  options.coverage = 0.93;
+  const auto db = GeoDatabase::FromTruth(truth, options);
+  const double fraction =
+      static_cast<double>(db.size()) / static_cast<double>(truth.size());
+  EXPECT_NEAR(fraction, 0.93, 0.02);
+}
+
+TEST(GeoDatabase, LookupMissForUncoveredBlock) {
+  const auto truth = MakeTruth(10);
+  GeoDatabase::Options options;
+  options.coverage = 1.0;
+  options.centroid_fraction = 0.0;
+  const auto db = GeoDatabase::FromTruth(truth, options);
+  EXPECT_EQ(db.size(), truth.size());
+  EXPECT_EQ(db.Lookup(net::Prefix24::FromIndex(999)), nullptr);
+}
+
+TEST(GeoDatabase, JitterIsCityScale) {
+  const auto truth = MakeTruth(2000);
+  GeoDatabase::Options options;
+  options.coverage = 1.0;
+  options.centroid_fraction = 0.0;
+  options.jitter_km = 40.0;
+  const auto db = GeoDatabase::FromTruth(truth, options);
+  double sum_lat_err_km = 0.0;
+  std::size_t found = 0;
+  for (const auto& loc : truth) {
+    const auto* record = db.Lookup(loc.block);
+    ASSERT_NE(record, nullptr);
+    EXPECT_EQ(record->country_code, "CN");
+    sum_lat_err_km +=
+        std::fabs(record->latitude - loc.latitude) * kKmPerDegreeLat;
+    ++found;
+  }
+  const double mean_err = sum_lat_err_km / static_cast<double>(found);
+  // |N(0, 40km)| has mean ~32 km.
+  EXPECT_GT(mean_err, 15.0);
+  EXPECT_LT(mean_err, 50.0);
+}
+
+TEST(GeoDatabase, CentroidFallbackUsesCountryCentroid) {
+  const auto truth = MakeTruth(500);
+  GeoDatabase::Options options;
+  options.coverage = 1.0;
+  options.centroid_fraction = 1.0;  // force every entry to centroid
+  const auto db = GeoDatabase::FromTruth(truth, options);
+  const auto* record = db.Lookup(truth.front().block);
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(record->centroid_only);
+  // China's centroid from the worlddata table.
+  EXPECT_NEAR(record->latitude, 35.9, 1e-9);
+  EXPECT_NEAR(record->longitude, 104.2, 1e-9);
+}
+
+TEST(GeoDatabase, DeterministicForSameSeed) {
+  const auto truth = MakeTruth(200);
+  GeoDatabase::Options options;
+  const auto db1 = GeoDatabase::FromTruth(truth, options);
+  const auto db2 = GeoDatabase::FromTruth(truth, options);
+  EXPECT_EQ(db1.size(), db2.size());
+  for (const auto& loc : truth) {
+    const auto* r1 = db1.Lookup(loc.block);
+    const auto* r2 = db2.Lookup(loc.block);
+    ASSERT_EQ(r1 == nullptr, r2 == nullptr);
+    if (r1 != nullptr) {
+      EXPECT_DOUBLE_EQ(r1->latitude, r2->latitude);
+      EXPECT_DOUBLE_EQ(r1->longitude, r2->longitude);
+    }
+  }
+}
+
+TEST(GeoGrid, DefaultIs2By2Degrees) {
+  GeoGrid grid;
+  EXPECT_EQ(grid.rows(), 90u);
+  EXPECT_EQ(grid.cols(), 180u);
+}
+
+TEST(GeoGrid, AddAndQuery) {
+  GeoGrid grid{2.0};
+  grid.Add(35.0, 104.0, true);
+  grid.Add(35.5, 104.5, false);
+  // (35, 104): row (35+90)/2 = 62, col (104+180)/2 = 142.
+  EXPECT_EQ(grid.TotalAt(62, 142), 2u);
+  EXPECT_EQ(grid.DiurnalAt(62, 142), 1u);
+  EXPECT_DOUBLE_EQ(grid.DiurnalFractionAt(62, 142), 0.5);
+  EXPECT_EQ(grid.total(), 2u);
+}
+
+TEST(GeoGrid, EmptyCellFractionIsZero) {
+  GeoGrid grid{2.0};
+  EXPECT_DOUBLE_EQ(grid.DiurnalFractionAt(0, 0), 0.0);
+}
+
+TEST(GeoGrid, EdgeCoordinatesClamp) {
+  GeoGrid grid{2.0};
+  grid.Add(90.0, 180.0, false);
+  grid.Add(-90.0, -180.0, false);
+  EXPECT_EQ(grid.total(), 2u);
+  EXPECT_EQ(grid.TotalAt(89, 179), 1u);
+  EXPECT_EQ(grid.TotalAt(0, 0), 1u);
+}
+
+TEST(GeoGrid, CoarsenPreservesCounts) {
+  GeoGrid grid{2.0};
+  for (int i = 0; i < 10; ++i) grid.Add(35.0, 104.0, i % 2 == 0);
+  const auto counts = grid.Coarsen(18, 36, /*fractions=*/false);
+  double total = 0.0;
+  for (const auto& row : counts) {
+    for (const double v : row) total += v;
+  }
+  EXPECT_DOUBLE_EQ(total, 10.0);
+}
+
+TEST(GeoGrid, CoarsenFractions) {
+  GeoGrid grid{2.0};
+  for (int i = 0; i < 4; ++i) grid.Add(10.0, 10.0, i < 1);  // 25% diurnal
+  const auto fractions = grid.Coarsen(18, 36, /*fractions=*/true);
+  double max_fraction = 0.0;
+  for (const auto& row : fractions) {
+    for (const double v : row) max_fraction = std::max(max_fraction, v);
+  }
+  EXPECT_NEAR(max_fraction, 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace sleepwalk::geo

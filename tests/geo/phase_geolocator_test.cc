@@ -1,0 +1,94 @@
+#include "sleepwalk/geo/phase_geolocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::geo {
+namespace {
+
+// The linear phase/longitude law the paper measures: phase grows with
+// longitude (eastern blocks wake earlier in UTC).
+double PhaseFor(double longitude) {
+  return longitude / 180.0 * std::numbers::pi;
+}
+
+TEST(PhaseGeolocator, EmptyPredictsNothing) {
+  PhaseGeolocator geolocator;
+  EXPECT_FALSE(geolocator.Predict(0.0).has_value());
+  EXPECT_EQ(geolocator.calibration_size(), 0u);
+}
+
+TEST(PhaseGeolocator, RecoversCalibrationLongitudes) {
+  PhaseGeolocator geolocator{36};
+  Rng rng{1};
+  for (int i = 0; i < 2000; ++i) {
+    const double lon = rng.NextDouble() * 360.0 - 180.0;
+    geolocator.AddCalibration(PhaseFor(lon) + 0.02 * rng.NextGaussian(),
+                              lon);
+  }
+  for (const double lon : {-150.0, -60.0, 0.0, 45.0, 120.0, 170.0}) {
+    const auto prediction = geolocator.Predict(PhaseFor(lon));
+    ASSERT_TRUE(prediction.has_value()) << lon;
+    EXPECT_NEAR(prediction->longitude_degrees, lon, 12.0) << lon;
+    EXPECT_LT(prediction->stddev_degrees, 15.0);
+    EXPECT_GT(prediction->calibration_samples, 10u);
+  }
+}
+
+TEST(PhaseGeolocator, AntimeridianMeanIsCircular) {
+  // Samples straddling +/-180: a naive arithmetic mean would report ~0.
+  PhaseGeolocator geolocator{8};
+  for (int i = 0; i < 50; ++i) {
+    geolocator.AddCalibration(3.0, 175.0);
+    geolocator.AddCalibration(3.0, -175.0);
+  }
+  const auto prediction = geolocator.Predict(3.0);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_GT(std::fabs(prediction->longitude_degrees), 170.0);
+}
+
+TEST(PhaseGeolocator, FallsBackToNeighbourBin) {
+  PhaseGeolocator geolocator{24};
+  geolocator.AddCalibration(0.0, 10.0);
+  // A phase one bin away still gets a prediction from the neighbour.
+  const double one_bin = 2.0 * std::numbers::pi / 24.0;
+  const auto prediction = geolocator.Predict(one_bin * 0.9);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_NEAR(prediction->longitude_degrees, 10.0, 1e-9);
+}
+
+TEST(PhaseGeolocator, SpreadReportedHonestly) {
+  // A phase bin fed from two distant longitudes must report a large
+  // stddev — the paper's "some phases only identify the hemisphere".
+  PhaseGeolocator geolocator{12};
+  for (int i = 0; i < 30; ++i) {
+    geolocator.AddCalibration(1.0, -60.0);
+    geolocator.AddCalibration(1.0, 20.0);
+  }
+  const auto prediction = geolocator.Predict(1.0);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_GT(prediction->stddev_degrees, 30.0);
+}
+
+TEST(PhaseGeolocator, SingleSampleHasMaxUncertainty) {
+  PhaseGeolocator geolocator;
+  geolocator.AddCalibration(0.5, 42.0);
+  const auto prediction = geolocator.Predict(0.5);
+  ASSERT_TRUE(prediction.has_value());
+  EXPECT_DOUBLE_EQ(prediction->stddev_degrees, 180.0);
+}
+
+TEST(PhaseGeolocator, WrappedPhasesShareBins) {
+  PhaseGeolocator geolocator{16};
+  geolocator.AddCalibration(0.1, 30.0);
+  const auto wrapped = geolocator.Predict(0.1 + 2.0 * std::numbers::pi);
+  ASSERT_TRUE(wrapped.has_value());
+  EXPECT_NEAR(wrapped->longitude_degrees, 30.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sleepwalk::geo

@@ -1,0 +1,74 @@
+#include "sleepwalk/net/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace sleepwalk::net {
+namespace {
+
+TEST(Checksum, EmptyBufferIsAllOnes) {
+  EXPECT_EQ(Checksum({}), 0xffff);
+}
+
+TEST(Checksum, KnownRfc1071Example) {
+  // The classic example from RFC 1071 §3: data 00 01 f2 03 f4 f5 f6 f7
+  // sums to 0xddf2 (with carry folding); checksum is its complement.
+  const std::array<std::uint8_t, 8> data = {0x00, 0x01, 0xf2, 0x03,
+                                            0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(Checksum(data), static_cast<std::uint16_t>(~0xddf2 & 0xffff));
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::array<std::uint8_t, 3> data = {0x01, 0x02, 0x03};
+  // Words: 0x0102, 0x0300 -> sum 0x0402 -> ~ = 0xfbfd.
+  EXPECT_EQ(Checksum(data), 0xfbfd);
+}
+
+TEST(Checksum, VerificationOfValidPacketYieldsZero) {
+  // A buffer whose checksum field is filled correctly re-checksums to 0.
+  std::vector<std::uint8_t> packet = {0x08, 0x00, 0x00, 0x00,
+                                      0x12, 0x34, 0x00, 0x01};
+  const std::uint16_t sum = Checksum(packet);
+  packet[2] = static_cast<std::uint8_t>(sum >> 8);
+  packet[3] = static_cast<std::uint8_t>(sum & 0xff);
+  EXPECT_EQ(Checksum(packet), 0);
+}
+
+TEST(InternetChecksum, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data(57);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  const std::uint16_t expected = Checksum(data);
+
+  // Feed in every possible two-way split, including odd splits that
+  // leave a byte pending across the boundary.
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    InternetChecksum acc;
+    acc.Add(std::span{data.data(), split});
+    acc.Add(std::span{data.data() + split, data.size() - split});
+    EXPECT_EQ(acc.Finish(), expected) << "split at " << split;
+  }
+}
+
+TEST(InternetChecksum, ManySmallChunksMatchOneShot) {
+  std::vector<std::uint8_t> data(101);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(255 - i);
+  }
+  InternetChecksum acc;
+  for (const auto byte : data) acc.Add(std::span{&byte, 1});
+  EXPECT_EQ(acc.Finish(), Checksum(data));
+}
+
+TEST(Checksum, CarryFolding) {
+  // All-0xff data forces repeated carry folds.
+  const std::vector<std::uint8_t> data(64, 0xff);
+  EXPECT_EQ(Checksum(data), 0x0000);
+}
+
+}  // namespace
+}  // namespace sleepwalk::net

@@ -1,0 +1,125 @@
+// Robustness (fuzz-style property) tests for the wire-facing parsers:
+// random and mutated inputs must never crash, overread, or produce
+// internally inconsistent results. These parsers face the open Internet
+// in a live deployment.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sleepwalk/net/checksum.h"
+#include "sleepwalk/net/icmp.h"
+#include "sleepwalk/net/ipv4.h"
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::net {
+namespace {
+
+std::string RandomString(Rng& rng, std::size_t max_len) {
+  std::string s(rng.NextBelow(max_len + 1), '\0');
+  for (auto& c : s) {
+    // Bias toward digits and dots so some inputs get deep into parsing.
+    const auto pick = rng.NextBelow(4);
+    if (pick == 0) c = '.';
+    else if (pick < 3) c = static_cast<char>('0' + rng.NextBelow(10));
+    else c = static_cast<char>(rng.NextBelow(256));
+  }
+  return s;
+}
+
+TEST(Ipv4Fuzz, ParseNeverCrashesAndRoundTrips) {
+  Rng rng{0xf0221};
+  int parsed = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const auto text = RandomString(rng, 20);
+    const auto addr = Ipv4Addr::Parse(text);
+    if (addr.has_value()) {
+      ++parsed;
+      // Anything accepted must round-trip to canonical form, and the
+      // canonical form must parse back to the same value.
+      const auto canonical = addr->ToString();
+      const auto reparsed = Ipv4Addr::Parse(canonical);
+      ASSERT_TRUE(reparsed.has_value()) << text;
+      EXPECT_EQ(*reparsed, *addr) << text;
+    }
+  }
+  EXPECT_GT(parsed, 0) << "the generator should hit some valid inputs";
+}
+
+TEST(Prefix24Fuzz, ParseNeverCrashes) {
+  Rng rng{0xf0222};
+  for (int trial = 0; trial < 20000; ++trial) {
+    auto text = RandomString(rng, 16);
+    if (rng.NextBool(0.5)) text += "/24";
+    const auto prefix = Prefix24::Parse(text);
+    if (prefix.has_value()) {
+      EXPECT_EQ((prefix->base().value() & 0xff), 0u) << text;
+    }
+  }
+  SUCCEED();
+}
+
+TEST(IcmpFuzz, ParseEchoOnRandomBytes) {
+  Rng rng{0xf0223};
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<std::uint8_t> junk(rng.NextBelow(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.NextBelow(256));
+    const auto echo = ParseEcho(junk);
+    if (echo.has_value()) {
+      // Anything accepted must have a valid checksum by construction.
+      EXPECT_EQ(Checksum(junk), 0);
+    }
+  }
+  SUCCEED();
+}
+
+TEST(IcmpFuzz, BitFlippedPacketsRejectedOrConsistent) {
+  Rng rng{0xf0224};
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto valid = BuildEchoRequest(0x51ee, 99, payload);
+  int rejected = 0;
+  const int trials = 5000;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto mutated = valid;
+    const auto index = rng.NextBelow(mutated.size());
+    const auto flip = static_cast<std::uint8_t>(1 + rng.NextBelow(255));
+    mutated[index] ^= flip;
+    if (!ParseEcho(mutated).has_value()) ++rejected;
+  }
+  // Single-byte corruption always breaks the checksum unless it lands
+  // compensatingly — which a single flip cannot — except flips within
+  // the checksum field itself that are detected too. Everything must be
+  // rejected.
+  EXPECT_EQ(rejected, trials);
+}
+
+TEST(Ipv4HeaderFuzz, RandomBytesNeverCrash) {
+  Rng rng{0xf0225};
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<std::uint8_t> junk(rng.NextBelow(80));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.NextBelow(256));
+    const auto header = ParseIpv4Header(junk);
+    if (header.has_value()) {
+      EXPECT_GE(header->ihl, 5);
+      EXPECT_LE(header->header_bytes, junk.size());
+    }
+  }
+  SUCCEED();
+}
+
+TEST(ChecksumProperty, AppendingChecksumYieldsZero) {
+  // RFC 1071 invariant on random payloads: a message followed by its
+  // own checksum verifies to zero.
+  Rng rng{0xf0226};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> data(2 * (1 + rng.NextBelow(40)));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.NextBelow(256));
+    const std::uint16_t sum = Checksum(data);
+    data.push_back(static_cast<std::uint8_t>(sum >> 8));
+    data.push_back(static_cast<std::uint8_t>(sum & 0xff));
+    EXPECT_EQ(Checksum(data), 0) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace sleepwalk::net

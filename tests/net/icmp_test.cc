@@ -1,0 +1,132 @@
+#include "sleepwalk/net/icmp.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sleepwalk/net/checksum.h"
+
+namespace sleepwalk::net {
+namespace {
+
+TEST(IcmpEcho, BuildRequestHasValidChecksum) {
+  const auto packet = BuildEchoRequest(0x1234, 0x0001);
+  ASSERT_EQ(packet.size(), kIcmpHeaderSize);
+  EXPECT_EQ(packet[0], 8);  // echo request
+  EXPECT_EQ(packet[1], 0);
+  EXPECT_EQ(Checksum(packet), 0) << "checksum over a valid packet is 0";
+}
+
+TEST(IcmpEcho, BuildReplyType) {
+  const auto packet = BuildEchoReply(1, 2);
+  EXPECT_EQ(packet[0], 0);  // echo reply
+  EXPECT_EQ(Checksum(packet), 0);
+}
+
+TEST(IcmpEcho, RoundTripWithPayload) {
+  const std::vector<std::uint8_t> payload = {0xde, 0xad, 0xbe, 0xef, 0x42};
+  const auto packet = BuildEchoRequest(0x51ee, 7, payload);
+  const auto echo = ParseEcho(packet);
+  ASSERT_TRUE(echo.has_value());
+  EXPECT_EQ(echo->type, IcmpType::kEchoRequest);
+  EXPECT_EQ(echo->id, 0x51ee);
+  EXPECT_EQ(echo->sequence, 7);
+  EXPECT_EQ(echo->payload, payload);
+}
+
+TEST(IcmpEcho, ParseRejectsShortBuffer) {
+  const std::vector<std::uint8_t> junk = {8, 0, 0};
+  EXPECT_FALSE(ParseEcho(junk).has_value());
+  EXPECT_FALSE(ParseEcho({}).has_value());
+}
+
+TEST(IcmpEcho, ParseRejectsCorruptedChecksum) {
+  auto packet = BuildEchoRequest(1, 1);
+  packet[4] ^= 0xff;  // flip id bits without fixing the checksum
+  EXPECT_FALSE(ParseEcho(packet).has_value());
+}
+
+TEST(IcmpEcho, ParseRejectsNonEchoTypes) {
+  auto packet = BuildEchoRequest(1, 1);
+  packet[0] = 3;  // destination unreachable
+  // Refresh checksum so only the type check rejects it.
+  packet[2] = packet[3] = 0;
+  const auto sum = Checksum(packet);
+  packet[2] = static_cast<std::uint8_t>(sum >> 8);
+  packet[3] = static_cast<std::uint8_t>(sum & 0xff);
+  EXPECT_FALSE(ParseEcho(packet).has_value());
+}
+
+// Property: round trip across many (id, seq) combinations.
+class IcmpIdSeq
+    : public ::testing::TestWithParam<std::pair<std::uint16_t, std::uint16_t>> {
+};
+
+TEST_P(IcmpIdSeq, RoundTrips) {
+  const auto [id, seq] = GetParam();
+  const auto echo = ParseEcho(BuildEchoRequest(id, seq));
+  ASSERT_TRUE(echo.has_value());
+  EXPECT_EQ(echo->id, id);
+  EXPECT_EQ(echo->sequence, seq);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spread, IcmpIdSeq,
+    ::testing::Values(std::pair<std::uint16_t, std::uint16_t>{0, 0},
+                      std::pair<std::uint16_t, std::uint16_t>{1, 65535},
+                      std::pair<std::uint16_t, std::uint16_t>{65535, 1},
+                      std::pair<std::uint16_t, std::uint16_t>{0x8000, 0x7fff},
+                      std::pair<std::uint16_t, std::uint16_t>{0xabcd, 0x1234}));
+
+std::vector<std::uint8_t> MinimalIpv4Header() {
+  std::vector<std::uint8_t> header(20, 0);
+  header[0] = 0x45;  // version 4, ihl 5
+  header[8] = 64;    // ttl
+  header[9] = kProtocolIcmp;
+  header[12] = 192; header[13] = 0; header[14] = 2; header[15] = 1;
+  header[16] = 198; header[17] = 51; header[18] = 100; header[19] = 2;
+  return header;
+}
+
+TEST(Ipv4Header, ParsesMinimalHeader) {
+  const auto header = ParseIpv4Header(MinimalIpv4Header());
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->ihl, 5);
+  EXPECT_EQ(header->header_bytes, 20u);
+  EXPECT_EQ(header->ttl, 64);
+  EXPECT_EQ(header->protocol, kProtocolIcmp);
+  EXPECT_EQ(header->source.ToString(), "192.0.2.1");
+  EXPECT_EQ(header->destination.ToString(), "198.51.100.2");
+}
+
+TEST(Ipv4Header, ParsesHeaderWithOptions) {
+  auto raw = MinimalIpv4Header();
+  raw[0] = 0x46;  // ihl = 6 -> 24 bytes
+  raw.resize(24, 0);
+  const auto header = ParseIpv4Header(raw);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->header_bytes, 24u);
+}
+
+TEST(Ipv4Header, RejectsWrongVersion) {
+  auto raw = MinimalIpv4Header();
+  raw[0] = 0x65;  // version 6
+  EXPECT_FALSE(ParseIpv4Header(raw).has_value());
+}
+
+TEST(Ipv4Header, RejectsTruncated) {
+  auto raw = MinimalIpv4Header();
+  raw.resize(12);
+  EXPECT_FALSE(ParseIpv4Header(raw).has_value());
+  raw[0] = 0x4f;  // claims 60-byte header in a 12-byte buffer
+  EXPECT_FALSE(ParseIpv4Header(raw).has_value());
+}
+
+TEST(Ipv4Header, RejectsBogusIhl) {
+  auto raw = MinimalIpv4Header();
+  raw[0] = 0x44;  // ihl = 4 < 5
+  EXPECT_FALSE(ParseIpv4Header(raw).has_value());
+}
+
+}  // namespace
+}  // namespace sleepwalk::net

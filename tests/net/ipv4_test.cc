@@ -1,0 +1,129 @@
+#include "sleepwalk/net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace sleepwalk::net {
+namespace {
+
+TEST(Ipv4Addr, DefaultIsZero) {
+  EXPECT_EQ(Ipv4Addr{}.value(), 0u);
+  EXPECT_EQ(Ipv4Addr{}.ToString(), "0.0.0.0");
+}
+
+TEST(Ipv4Addr, OctetConstructorOrdersBytes) {
+  const Ipv4Addr addr{192, 0, 2, 1};
+  EXPECT_EQ(addr.value(), 0xc0000201u);
+  EXPECT_EQ(addr.ToString(), "192.0.2.1");
+}
+
+TEST(Ipv4Addr, OctetsRoundTrip) {
+  const Ipv4Addr addr{10, 20, 30, 40};
+  const auto octets = addr.Octets();
+  EXPECT_EQ(octets[0], 10);
+  EXPECT_EQ(octets[1], 20);
+  EXPECT_EQ(octets[2], 30);
+  EXPECT_EQ(octets[3], 40);
+}
+
+TEST(Ipv4Addr, ParseValid) {
+  const auto addr = Ipv4Addr::Parse("1.9.21.255");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->ToString(), "1.9.21.255");
+}
+
+TEST(Ipv4Addr, ParseBoundaries) {
+  EXPECT_EQ(Ipv4Addr::Parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Addr::Parse("255.255.255.255")->value(), 0xffffffffu);
+}
+
+TEST(Ipv4Addr, ParseRejectsOutOfRangeOctet) {
+  EXPECT_FALSE(Ipv4Addr::Parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4Addr::Parse("1.2.3.999").has_value());
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::Parse("").has_value());
+  EXPECT_FALSE(Ipv4Addr::Parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Addr::Parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::Parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Addr::Parse("1.2.3.4 ").has_value());
+  EXPECT_FALSE(Ipv4Addr::Parse(" 1.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Addr::Parse("1.2.3.-4").has_value());
+}
+
+TEST(Ipv4Addr, ParseRejectsLeadingZeros) {
+  EXPECT_FALSE(Ipv4Addr::Parse("01.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4Addr::Parse("1.2.3.04").has_value());
+  EXPECT_TRUE(Ipv4Addr::Parse("0.2.3.4").has_value());
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr(1, 0, 0, 0), Ipv4Addr(2, 0, 0, 0));
+  EXPECT_EQ(Ipv4Addr(1, 2, 3, 4), Ipv4Addr(1, 2, 3, 4));
+}
+
+// Property: ToString and Parse are inverse over a spread of addresses.
+class Ipv4RoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(Ipv4RoundTrip, ParseOfToStringIsIdentity) {
+  const Ipv4Addr addr{GetParam()};
+  const auto parsed = Ipv4Addr::Parse(addr.ToString());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, addr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Spread, Ipv4RoundTrip,
+    ::testing::Values(0u, 1u, 0xffu, 0x100u, 0x01090915u, 0x7f000001u,
+                      0xc0a80101u, 0xdeadbeefu, 0xfffffffeu, 0xffffffffu));
+
+TEST(Prefix24, TruncatesToBlock) {
+  const Prefix24 prefix{Ipv4Addr{1, 9, 21, 200}};
+  EXPECT_EQ(prefix.base().ToString(), "1.9.21.0");
+  EXPECT_EQ(prefix.ToString(), "1.9.21/24");
+}
+
+TEST(Prefix24, IndexRoundTrip) {
+  const Prefix24 prefix{Ipv4Addr{10, 11, 12, 13}};
+  EXPECT_EQ(Prefix24::FromIndex(prefix.Index()), prefix);
+}
+
+TEST(Prefix24, AddressBuildsLastOctet) {
+  const Prefix24 prefix{Ipv4Addr{1, 9, 21, 0}};
+  EXPECT_EQ(prefix.Address(42).ToString(), "1.9.21.42");
+  EXPECT_EQ(prefix.Address(0), prefix.base());
+  EXPECT_EQ(prefix.Address(255).ToString(), "1.9.21.255");
+}
+
+TEST(Prefix24, Contains) {
+  const Prefix24 prefix{Ipv4Addr{1, 9, 21, 0}};
+  EXPECT_TRUE(prefix.Contains(Ipv4Addr(1, 9, 21, 0)));
+  EXPECT_TRUE(prefix.Contains(Ipv4Addr(1, 9, 21, 255)));
+  EXPECT_FALSE(prefix.Contains(Ipv4Addr(1, 9, 22, 0)));
+  EXPECT_FALSE(prefix.Contains(Ipv4Addr(2, 9, 21, 5)));
+}
+
+TEST(Prefix24, ParseSlashNotation) {
+  const auto prefix = Prefix24::Parse("93.208.233/24");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(prefix->base().ToString(), "93.208.233.0");
+}
+
+TEST(Prefix24, ParseDottedQuadTruncates) {
+  const auto prefix = Prefix24::Parse("27.186.9.77");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(prefix->ToString(), "27.186.9/24");
+}
+
+TEST(Prefix24, ParseRejectsWrongMask) {
+  EXPECT_FALSE(Prefix24::Parse("1.2.3/16").has_value());
+  EXPECT_FALSE(Prefix24::Parse("1.2.3/").has_value());
+  EXPECT_FALSE(Prefix24::Parse("1.2/24").has_value());
+  EXPECT_FALSE(Prefix24::Parse("1.2.3.4/24").has_value());
+}
+
+TEST(Prefix24, BlockSizeConstant) { EXPECT_EQ(kBlockSize, 256); }
+
+}  // namespace
+}  // namespace sleepwalk::net

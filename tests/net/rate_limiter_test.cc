@@ -1,0 +1,88 @@
+#include "sleepwalk/net/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+namespace sleepwalk::net {
+namespace {
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket bucket{1.0, 5.0};
+  EXPECT_DOUBLE_EQ(bucket.Available(0.0), 5.0);
+  EXPECT_TRUE(bucket.TryAcquire(0.0, 5.0));
+  EXPECT_FALSE(bucket.TryAcquire(0.0, 0.5));
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket bucket{2.0, 10.0};
+  ASSERT_TRUE(bucket.TryAcquire(0.0, 10.0));
+  EXPECT_FALSE(bucket.TryAcquire(1.0, 3.0));  // only 2 accrued
+  EXPECT_TRUE(bucket.TryAcquire(1.0, 2.0));
+  EXPECT_TRUE(bucket.TryAcquire(6.0, 10.0));  // capped at burst
+}
+
+TEST(TokenBucket, BurstCapsAccumulation) {
+  TokenBucket bucket{100.0, 3.0};
+  bucket.TryAcquire(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(bucket.Available(1000.0), 3.0);
+}
+
+TEST(TokenBucket, FailedAcquireDoesNotDeduct) {
+  TokenBucket bucket{1.0, 2.0};
+  EXPECT_FALSE(bucket.TryAcquire(0.0, 5.0));
+  EXPECT_TRUE(bucket.TryAcquire(0.0, 2.0));
+}
+
+TEST(TokenBucket, DelayUntilAvailable) {
+  TokenBucket bucket{2.0, 4.0};
+  ASSERT_TRUE(bucket.TryAcquire(0.0, 4.0));
+  EXPECT_NEAR(bucket.DelayUntilAvailable(0.0, 1.0), 0.5, 1e-9);
+  EXPECT_NEAR(bucket.DelayUntilAvailable(0.0, 4.0), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(bucket.DelayUntilAvailable(2.0, 4.0), 0.0);
+}
+
+TEST(TokenBucket, ZeroRateNeverRefills) {
+  TokenBucket bucket{0.0, 1.0};
+  ASSERT_TRUE(bucket.TryAcquire(0.0, 1.0));
+  EXPECT_FALSE(bucket.TryAcquire(1e9, 1.0));
+  EXPECT_DOUBLE_EQ(bucket.DelayUntilAvailable(1e9, 1.0), -1.0);
+}
+
+TEST(TokenBucket, ClockGoingBackwardsIsHarmless) {
+  TokenBucket bucket{1.0, 5.0};
+  ASSERT_TRUE(bucket.TryAcquire(10.0, 5.0));
+  EXPECT_DOUBLE_EQ(bucket.Available(5.0), 0.0);   // no time credit
+  EXPECT_DOUBLE_EQ(bucket.Available(11.0), 1.0);  // resumes from 10.0
+}
+
+TEST(TokenBucket, TrinocularBudgetShape) {
+  auto bucket = MakeTrinocularBudget();
+  EXPECT_NEAR(bucket.rate() * 3600.0, kTrinocularProbesPerHour, 1e-9);
+  EXPECT_DOUBLE_EQ(bucket.burst(), 15.0);
+  // A full 15-probe round is affordable immediately...
+  EXPECT_TRUE(bucket.TryAcquire(0.0, 15.0));
+  // ...but the next full round needs most of an hour of refill.
+  EXPECT_FALSE(bucket.TryAcquire(600.0, 15.0));
+  EXPECT_TRUE(bucket.TryAcquire(3600.0, 15.0));
+}
+
+TEST(TokenBucket, LongRunRateConverges) {
+  // Acquire single probes as fast as allowed for a simulated day; the
+  // realized rate must match the configured rate.
+  auto bucket = MakeTrinocularBudget();
+  double now = 0.0;
+  int acquired = 0;
+  while (now < 86400.0) {
+    if (bucket.TryAcquire(now)) {
+      ++acquired;
+    } else {
+      const double delay = bucket.DelayUntilAvailable(now);
+      now += delay;
+      continue;
+    }
+  }
+  // 24h * 19/h = 456, plus the initial burst of 15.
+  EXPECT_NEAR(acquired, 456 + 15, 3);
+}
+
+}  // namespace
+}  // namespace sleepwalk::net

@@ -1,0 +1,111 @@
+#include "sleepwalk/net/socket.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "sleepwalk/net/transport.h"
+
+namespace sleepwalk::net {
+namespace {
+
+bool FdIsOpen(int fd) { return ::fcntl(fd, F_GETFD) != -1; }
+
+TEST(FileDescriptor, ClosesOnDestruction) {
+  int raw = -1;
+  {
+    int pipe_fds[2];
+    ASSERT_EQ(::pipe(pipe_fds), 0);
+    FileDescriptor a{pipe_fds[0]};
+    FileDescriptor b{pipe_fds[1]};
+    raw = pipe_fds[0];
+    EXPECT_TRUE(FdIsOpen(raw));
+    EXPECT_TRUE(a.valid());
+  }
+  EXPECT_FALSE(FdIsOpen(raw));
+}
+
+TEST(FileDescriptor, MoveTransfersOwnership) {
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  FileDescriptor tail{pipe_fds[1]};
+  FileDescriptor a{pipe_fds[0]};
+  FileDescriptor b{std::move(a)};
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing it
+  EXPECT_TRUE(b.valid());
+  EXPECT_TRUE(FdIsOpen(b.get()));
+}
+
+TEST(FileDescriptor, MoveAssignClosesPrevious) {
+  int first_pipe[2];
+  int second_pipe[2];
+  ASSERT_EQ(::pipe(first_pipe), 0);
+  ASSERT_EQ(::pipe(second_pipe), 0);
+  FileDescriptor keep_first_write{first_pipe[1]};
+  FileDescriptor keep_second_write{second_pipe[1]};
+
+  FileDescriptor a{first_pipe[0]};
+  FileDescriptor b{second_pipe[0]};
+  const int old = a.get();
+  a = std::move(b);
+  EXPECT_FALSE(FdIsOpen(old));
+  EXPECT_EQ(a.get(), second_pipe[0]);
+}
+
+TEST(FileDescriptor, ResetIsIdempotent) {
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  FileDescriptor tail{pipe_fds[1]};
+  FileDescriptor fd{pipe_fds[0]};
+  fd.Reset();
+  EXPECT_FALSE(fd.valid());
+  fd.Reset();  // second reset must be harmless
+  EXPECT_FALSE(fd.valid());
+}
+
+TEST(FileDescriptor, DefaultIsInvalid) {
+  FileDescriptor fd;
+  EXPECT_FALSE(fd.valid());
+  EXPECT_EQ(fd.get(), -1);
+}
+
+// The live socket paths require CAP_NET_RAW or ping_group_range; run them
+// opportunistically and skip cleanly in restricted environments.
+TEST(RawIcmpSocket, OpenReportsErrorOrSucceeds) {
+  std::string error;
+  auto socket = RawIcmpSocket::Open(&error);
+  if (!socket.has_value()) {
+    EXPECT_FALSE(error.empty());
+    GTEST_SKIP() << "no ICMP socket permission: " << error;
+  }
+  SUCCEED();
+}
+
+TEST(RawIcmpSocket, LoopbackPing) {
+  auto socket = RawIcmpSocket::Open();
+  if (!socket.has_value()) GTEST_SKIP() << "no ICMP socket permission";
+  const Ipv4Addr loopback{127, 0, 0, 1};
+  ASSERT_TRUE(socket->SendEchoRequest(loopback, 0x51ee, 1));
+  const auto reply =
+      socket->WaitForReply(0x51ee, std::chrono::milliseconds{2000});
+  if (!reply.has_value()) {
+    GTEST_SKIP() << "loopback did not answer (ICMP disabled?)";
+  }
+  EXPECT_EQ(reply->from, loopback);
+  EXPECT_EQ(reply->sequence, 1);
+}
+
+TEST(LiveIcmpTransport, FactoryIsNullWithoutPermission) {
+  auto transport = MakeLiveIcmpTransport(100);
+  if (transport == nullptr) {
+    SUCCEED() << "factory correctly returned null";
+    return;
+  }
+  // If we do have permission, probing loopback should be positive.
+  const auto status = transport->Probe(Ipv4Addr{127, 0, 0, 1}, 0);
+  EXPECT_TRUE(status == ProbeStatus::kEchoReply ||
+              status == ProbeStatus::kTimeout);
+}
+
+}  // namespace
+}  // namespace sleepwalk::net

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sleepwalk/probing/belief.h"
+#include "sleepwalk/probing/prober.h"
+#include "sleepwalk/probing/scheduler.h"
+#include "sleepwalk/probing/walker.h"
+
+namespace sleepwalk::probing {
+namespace {
+
+TEST(BeliefModel, StartsAtPrior) {
+  BeliefModel model;
+  EXPECT_DOUBLE_EQ(model.belief(), 0.9);
+  EXPECT_TRUE(model.ConclusiveUp());
+}
+
+TEST(BeliefModel, PositiveDrivesBeliefUp) {
+  BeliefParams params;
+  params.prior_up = 0.5;
+  BeliefModel model{params};
+  model.ObservePositive(0.3);
+  EXPECT_GE(model.belief(), 0.99);
+  EXPECT_TRUE(model.ConclusiveUp());
+}
+
+TEST(BeliefModel, NegativesDriveBeliefDown) {
+  BeliefModel model;
+  // With high availability, a few negatives are conclusive evidence of
+  // an outage.
+  int probes = 0;
+  while (!model.ConclusiveDown() && probes < 20) {
+    model.ObserveNegative(0.9);
+    ++probes;
+  }
+  EXPECT_TRUE(model.ConclusiveDown());
+  EXPECT_LE(probes, 4) << "high-A blocks should conclude down quickly";
+}
+
+TEST(BeliefModel, LowAvailabilityNeedsMoreNegatives) {
+  BeliefModel high;
+  BeliefModel low;
+  int high_probes = 0;
+  int low_probes = 0;
+  while (!high.ConclusiveDown() && high_probes < 50) {
+    high.ObserveNegative(0.9);
+    ++high_probes;
+  }
+  while (!low.ConclusiveDown() && low_probes < 50) {
+    low.ObserveNegative(0.2);
+    ++low_probes;
+  }
+  EXPECT_LT(high_probes, low_probes)
+      << "this asymmetry is why A-hat_o must not overestimate (§2.1.1)";
+}
+
+TEST(BeliefModel, PositiveRecoversFromDown) {
+  BeliefModel model;
+  for (int i = 0; i < 10; ++i) model.ObserveNegative(0.8);
+  EXPECT_TRUE(model.ConclusiveDown());
+  model.ObservePositive(0.8);
+  EXPECT_TRUE(model.ConclusiveUp());
+}
+
+TEST(BeliefModel, StartRoundDecaysTowardPrior) {
+  BeliefModel model;
+  for (int i = 0; i < 10; ++i) model.ObserveNegative(0.8);
+  const double before = model.belief();
+  model.StartRound();
+  EXPECT_GT(model.belief(), before);
+  EXPECT_LT(model.belief(), 0.9);
+}
+
+TEST(BeliefModel, ResetRestoresPrior) {
+  BeliefModel model;
+  for (int i = 0; i < 5; ++i) model.ObserveNegative(0.8);
+  model.Reset();
+  EXPECT_DOUBLE_EQ(model.belief(), 0.9);
+}
+
+TEST(BeliefModel, BeliefStaysInOpenUnitInterval) {
+  BeliefModel model;
+  for (int i = 0; i < 1000; ++i) model.ObserveNegative(0.99);
+  EXPECT_GT(model.belief(), 0.0);
+  for (int i = 0; i < 1000; ++i) model.ObservePositive(0.99);
+  EXPECT_LT(model.belief(), 1.0);
+}
+
+std::vector<std::uint8_t> Octets(int count, int first = 1) {
+  std::vector<std::uint8_t> octets;
+  for (int i = 0; i < count; ++i) {
+    octets.push_back(static_cast<std::uint8_t>(first + i));
+  }
+  return octets;
+}
+
+TEST(AddressWalker, VisitsEveryAddressOncePerCycle) {
+  AddressWalker walker{Octets(50), 7};
+  std::set<std::uint8_t> seen;
+  for (int i = 0; i < 50; ++i) seen.insert(walker.Next());
+  EXPECT_EQ(seen.size(), 50u) << "one cycle must be a permutation";
+}
+
+TEST(AddressWalker, OrderIsShuffled) {
+  AddressWalker walker{Octets(100), 7};
+  int in_place = 0;
+  const auto& order = walker.order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == static_cast<std::uint8_t>(1 + i)) ++in_place;
+  }
+  EXPECT_LT(in_place, 20) << "shuffle left too many fixed points";
+}
+
+TEST(AddressWalker, DifferentSeedsDifferentOrders) {
+  AddressWalker a{Octets(64), 1};
+  AddressWalker b{Octets(64), 2};
+  EXPECT_NE(a.order(), b.order());
+}
+
+TEST(AddressWalker, CursorPersistsAcrossCycles) {
+  AddressWalker walker{Octets(10), 3};
+  std::vector<std::uint8_t> first_cycle;
+  for (int i = 0; i < 10; ++i) first_cycle.push_back(walker.Next());
+  std::vector<std::uint8_t> second_cycle;
+  for (int i = 0; i < 10; ++i) second_cycle.push_back(walker.Next());
+  EXPECT_EQ(first_cycle, second_cycle) << "the permutation is fixed";
+}
+
+TEST(AddressWalker, RestartRewindsToStart) {
+  AddressWalker walker{Octets(10), 3};
+  const auto first = walker.Next();
+  walker.Next();
+  walker.Next();
+  walker.Restart();
+  EXPECT_EQ(walker.Next(), first);
+}
+
+TEST(AddressWalker, EmptySetThrows) {
+  EXPECT_THROW((AddressWalker{{}, 1}), std::invalid_argument);
+}
+
+TEST(RoundScheduler, TimeOfRound) {
+  ScheduleConfig config;
+  config.round_seconds = 660;
+  config.epoch_sec = 1000;
+  RoundScheduler scheduler{config};
+  EXPECT_EQ(scheduler.TimeOf(0), 1000);
+  EXPECT_EQ(scheduler.TimeOf(10), 1000 + 6600);
+}
+
+TEST(RoundScheduler, RestartEvery30Rounds) {
+  RoundScheduler scheduler{ScheduleConfig{}};
+  EXPECT_FALSE(scheduler.IsRestartRound(0));
+  EXPECT_FALSE(scheduler.IsRestartRound(29));
+  EXPECT_TRUE(scheduler.IsRestartRound(30));
+  EXPECT_TRUE(scheduler.IsRestartRound(60));
+  EXPECT_FALSE(scheduler.IsRestartRound(31));
+}
+
+TEST(RoundScheduler, RestartsDisabled) {
+  ScheduleConfig config;
+  config.restart_every_rounds = 0;
+  RoundScheduler scheduler{config};
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_FALSE(scheduler.IsRestartRound(round));
+  }
+}
+
+TEST(RoundScheduler, RoundCounts) {
+  RoundScheduler scheduler{ScheduleConfig{}};
+  EXPECT_EQ(scheduler.RoundsPerDay(), 130);  // floor(86400/660)
+  EXPECT_EQ(scheduler.RoundsForDays(14), 1833);  // ceil(14*86400/660)
+  EXPECT_EQ(scheduler.RoundsForDays(35), 4582);  // ceil(35*86400/660)
+}
+
+// A deterministic scripted transport for prober tests.
+class ScriptedTransport final : public net::Transport {
+ public:
+  /// Probes answer positively when `up` is true, with address
+  /// `always_dead` never answering.
+  explicit ScriptedTransport(bool up, int always_dead = -1)
+      : up_(up), always_dead_(always_dead) {}
+
+  net::ProbeStatus Probe(net::Ipv4Addr target,
+                         std::int64_t /*when*/) override {
+    ++probes_;
+    const int octet = target.Octets()[3];
+    if (!up_ || octet == always_dead_) return net::ProbeStatus::kTimeout;
+    return net::ProbeStatus::kEchoReply;
+  }
+
+  void set_up(bool up) { up_ = up; }
+  int probes() const { return probes_; }
+
+ private:
+  bool up_;
+  int always_dead_;
+  int probes_ = 0;
+};
+
+TEST(AdaptiveProber, StopsOnFirstPositive) {
+  ScriptedTransport transport{/*up=*/true};
+  AdaptiveProber prober{net::Prefix24::FromIndex(1), Octets(100), 1};
+  const auto record = prober.RunRound(transport, 0, 0, 0.9);
+  EXPECT_EQ(record.probes, 1);
+  EXPECT_EQ(record.positives, 1);
+  EXPECT_TRUE(record.concluded_up);
+  EXPECT_FALSE(record.concluded_down);
+}
+
+TEST(AdaptiveProber, ConcludesDownWithinBudget) {
+  ScriptedTransport transport{/*up=*/false};
+  AdaptiveProber prober{net::Prefix24::FromIndex(2), Octets(100), 1};
+  const auto record = prober.RunRound(transport, 0, 0, 0.9);
+  EXPECT_TRUE(record.concluded_down);
+  EXPECT_EQ(record.positives, 0);
+  EXPECT_LE(record.probes, 15);
+  EXPECT_GE(record.probes, 2);
+}
+
+TEST(AdaptiveProber, NeverExceedsProbeBudget) {
+  ScriptedTransport transport{/*up=*/false};
+  ProberConfig config;
+  config.max_probes_per_round = 15;
+  AdaptiveProber prober{net::Prefix24::FromIndex(3), Octets(200), 1, config};
+  for (std::int64_t round = 0; round < 50; ++round) {
+    const auto record = prober.RunRound(transport, round, round * 660, 0.15);
+    EXPECT_LE(record.probes, 15);
+    EXPECT_GE(record.probes, 1);
+  }
+}
+
+TEST(AdaptiveProber, LowOperationalAvailabilityProbesMore) {
+  // With a low A-hat_o, each negative is weak evidence, so probing per
+  // round increases (paper Fig 2: mean 5.08 probes/round at A=0.19).
+  ScriptedTransport down_transport{/*up=*/false};
+  AdaptiveProber prober_high{net::Prefix24::FromIndex(4), Octets(100), 1};
+  AdaptiveProber prober_low{net::Prefix24::FromIndex(5), Octets(100), 1};
+  const auto high = prober_high.RunRound(down_transport, 0, 0, 0.9);
+  const auto low = prober_low.RunRound(down_transport, 0, 0, 0.2);
+  EXPECT_GT(low.probes, high.probes);
+}
+
+TEST(AdaptiveProber, DetectsOutageAndRecovery) {
+  ScriptedTransport transport{/*up=*/true};
+  AdaptiveProber prober{net::Prefix24::FromIndex(6), Octets(50), 1};
+  auto record = prober.RunRound(transport, 0, 0, 0.8);
+  EXPECT_TRUE(record.concluded_up);
+
+  transport.set_up(false);
+  bool saw_down = false;
+  for (std::int64_t round = 1; round < 5; ++round) {
+    record = prober.RunRound(transport, round, round * 660, 0.8);
+    if (record.concluded_down) saw_down = true;
+  }
+  EXPECT_TRUE(saw_down);
+
+  transport.set_up(true);
+  record = prober.RunRound(transport, 10, 6600, 0.8);
+  EXPECT_TRUE(record.concluded_up);
+}
+
+TEST(AdaptiveProber, RestartResetsWalkAndBelief) {
+  ScriptedTransport transport{/*up=*/false};
+  AdaptiveProber prober{net::Prefix24::FromIndex(7), Octets(30), 1};
+  prober.RunRound(transport, 0, 0, 0.9);
+  EXPECT_TRUE(prober.belief().ConclusiveDown());
+  prober.Restart();
+  EXPECT_DOUBLE_EQ(prober.belief().belief(), 0.9);
+}
+
+TEST(AdaptiveProber, EverActiveCount) {
+  AdaptiveProber prober{net::Prefix24::FromIndex(8), Octets(42), 1};
+  EXPECT_EQ(prober.ever_active_count(), 42u);
+}
+
+}  // namespace
+}  // namespace sleepwalk::probing

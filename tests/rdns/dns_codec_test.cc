@@ -1,0 +1,229 @@
+#include "sleepwalk/rdns/dns_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::rdns {
+namespace {
+
+TEST(ReverseName, Formats) {
+  EXPECT_EQ(ReverseName(net::Ipv4Addr(192, 0, 2, 1)),
+            "1.2.0.192.in-addr.arpa");
+  EXPECT_EQ(ReverseName(net::Ipv4Addr(0, 0, 0, 0)),
+            "0.0.0.0.in-addr.arpa");
+  EXPECT_EQ(ReverseName(net::Ipv4Addr(255, 255, 255, 255)),
+            "255.255.255.255.in-addr.arpa");
+}
+
+TEST(ReverseName, ParseRoundTrip) {
+  for (const auto addr :
+       {net::Ipv4Addr{1, 9, 21, 42}, net::Ipv4Addr{10, 0, 0, 1},
+        net::Ipv4Addr{203, 0, 113, 250}}) {
+    const auto parsed = ParseReverseName(ReverseName(addr));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, addr);
+  }
+}
+
+TEST(ReverseName, ParseAcceptsTrailingDot) {
+  const auto parsed = ParseReverseName("1.2.0.192.in-addr.arpa.");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ToString(), "192.0.2.1");
+}
+
+TEST(ReverseName, ParseRejectsNonReverse) {
+  EXPECT_FALSE(ParseReverseName("example.com").has_value());
+  EXPECT_FALSE(ParseReverseName("1.2.3.in-addr.arpa").has_value());
+  EXPECT_FALSE(ParseReverseName("a.b.c.d.in-addr.arpa").has_value());
+  EXPECT_FALSE(ParseReverseName("").has_value());
+  EXPECT_FALSE(ParseReverseName("in-addr.arpa").has_value());
+}
+
+TEST(EncodeName, BasicLabels) {
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(EncodeName("www.example.com", out));
+  const std::vector<std::uint8_t> expected = {
+      3, 'w', 'w', 'w', 7, 'e', 'x', 'a', 'm', 'p', 'l', 'e',
+      3, 'c', 'o', 'm', 0};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(EncodeName, TrailingDotAccepted) {
+  std::vector<std::uint8_t> with_dot;
+  std::vector<std::uint8_t> without;
+  ASSERT_TRUE(EncodeName("example.com.", with_dot));
+  ASSERT_TRUE(EncodeName("example.com", without));
+  EXPECT_EQ(with_dot, without);
+}
+
+TEST(EncodeName, RejectsOversizedLabel) {
+  std::vector<std::uint8_t> out;
+  const std::string big_label(64, 'a');
+  EXPECT_FALSE(EncodeName(big_label + ".com", out));
+}
+
+TEST(EncodeName, RejectsOversizedName) {
+  std::vector<std::uint8_t> out;
+  std::string name;
+  for (int i = 0; i < 50; ++i) name += "abcdef.";
+  name += "com";
+  EXPECT_FALSE(EncodeName(name, out));
+}
+
+TEST(EncodeName, RejectsEmptyLabel) {
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(EncodeName("a..b", out));
+}
+
+TEST(DecodeName, RoundTripsAndLowercases) {
+  std::vector<std::uint8_t> buffer;
+  ASSERT_TRUE(EncodeName("DSL-Pool.Example.NET", buffer));
+  std::size_t offset = 0;
+  const auto name = DecodeName(buffer, offset);
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(*name, "dsl-pool.example.net");
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(DecodeName, FollowsCompressionPointer) {
+  // Message: [name at 0][pointer at end -> 0].
+  std::vector<std::uint8_t> buffer;
+  ASSERT_TRUE(EncodeName("host.example.com", buffer));
+  const std::size_t pointer_at = buffer.size();
+  buffer.push_back(0xc0);
+  buffer.push_back(0x00);
+  std::size_t offset = pointer_at;
+  const auto name = DecodeName(buffer, offset);
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(*name, "host.example.com");
+  EXPECT_EQ(offset, pointer_at + 2) << "offset resumes after the pointer";
+}
+
+TEST(DecodeName, PartialNameThenPointer) {
+  // "mail" + pointer to "example.com" inside an earlier name.
+  std::vector<std::uint8_t> buffer;
+  ASSERT_TRUE(EncodeName("www.example.com", buffer));
+  const std::size_t example_offset = 4;  // skip "3www"
+  const std::size_t start = buffer.size();
+  buffer.push_back(4);
+  buffer.push_back('m');
+  buffer.push_back('a');
+  buffer.push_back('i');
+  buffer.push_back('l');
+  buffer.push_back(static_cast<std::uint8_t>(0xc0 | (example_offset >> 8)));
+  buffer.push_back(static_cast<std::uint8_t>(example_offset & 0xff));
+  std::size_t offset = start;
+  const auto name = DecodeName(buffer, offset);
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(*name, "mail.example.com");
+}
+
+TEST(DecodeName, RejectsPointerLoop) {
+  // A pointer that refers to itself-ish via an earlier pointer.
+  std::vector<std::uint8_t> buffer = {0xc0, 0x02, 0xc0, 0x00};
+  std::size_t offset = 2;
+  EXPECT_FALSE(DecodeName(buffer, offset).has_value());
+}
+
+TEST(DecodeName, RejectsForwardPointer) {
+  std::vector<std::uint8_t> buffer = {0xc0, 0x02, 0x00};
+  std::size_t offset = 0;
+  EXPECT_FALSE(DecodeName(buffer, offset).has_value());
+}
+
+TEST(DecodeName, RejectsTruncation) {
+  std::vector<std::uint8_t> buffer;
+  ASSERT_TRUE(EncodeName("host.example.com", buffer));
+  for (std::size_t cut = 0; cut < buffer.size(); ++cut) {
+    std::size_t offset = 0;
+    const std::span<const std::uint8_t> truncated{buffer.data(), cut};
+    EXPECT_FALSE(DecodeName(truncated, offset).has_value())
+        << "cut at " << cut;
+  }
+}
+
+TEST(PtrQuery, BuildAndParse) {
+  const net::Ipv4Addr addr{198, 51, 100, 7};
+  const auto query = BuildPtrQuery(0xbeef, addr);
+  const auto message = ParseMessage(query);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->header.id, 0xbeef);
+  EXPECT_FALSE(message->header.is_response);
+  EXPECT_EQ(message->header.question_count, 1);
+  EXPECT_EQ(message->question_type, DnsType::kPtr);
+  EXPECT_EQ(message->question_name, "7.100.51.198.in-addr.arpa");
+}
+
+TEST(PtrResponse, BuildAndParseWithCompression) {
+  const net::Ipv4Addr addr{192, 0, 2, 33};
+  const auto response =
+      BuildPtrResponse(7, addr, "dyn-192-0-2-33.example.net");
+  const auto message = ParseMessage(response);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_TRUE(message->header.is_response);
+  EXPECT_EQ(message->header.rcode, DnsRcode::kNoError);
+  ASSERT_EQ(message->answers.size(), 1u);
+  const auto& answer = message->answers.front();
+  EXPECT_EQ(answer.type, DnsType::kPtr);
+  // The answer's owner name was compressed to a pointer at the question.
+  EXPECT_EQ(answer.name, "33.2.0.192.in-addr.arpa");
+  EXPECT_EQ(answer.target, "dyn-192-0-2-33.example.net");
+  EXPECT_EQ(answer.ttl, 3600u);
+}
+
+TEST(PtrResponse, EmptyTargetIsNxDomain) {
+  const auto response = BuildPtrResponse(9, net::Ipv4Addr{10, 0, 0, 1}, "");
+  const auto message = ParseMessage(response);
+  ASSERT_TRUE(message.has_value());
+  EXPECT_EQ(message->header.rcode, DnsRcode::kNxDomain);
+  EXPECT_TRUE(message->answers.empty());
+}
+
+TEST(ParseMessage, RejectsShortHeader) {
+  const std::vector<std::uint8_t> tiny = {0, 1, 2};
+  EXPECT_FALSE(ParseMessage(tiny).has_value());
+}
+
+TEST(ParseMessage, RejectsTruncatedAnswers) {
+  const auto response = BuildPtrResponse(
+      1, net::Ipv4Addr{192, 0, 2, 1}, "host.example.com");
+  // Cut anywhere after the header: must never crash, and usually fails.
+  for (std::size_t cut = kDnsHeaderSize; cut < response.size(); ++cut) {
+    const std::span<const std::uint8_t> truncated{response.data(), cut};
+    const auto message = ParseMessage(truncated);
+    // Either rejected, or parsed with fewer answers than claimed -> the
+    // claimed-count path must have failed cleanly.
+    if (message.has_value()) {
+      EXPECT_LT(message->answers.size(), 2u);
+    }
+  }
+}
+
+TEST(ParseMessage, FuzzRandomBytesNeverCrash) {
+  Rng rng{0xd5f2};
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> junk(rng.NextBelow(64));
+    for (auto& byte : junk) {
+      byte = static_cast<std::uint8_t>(rng.NextBelow(256));
+    }
+    (void)ParseMessage(junk);  // must not crash or overread
+  }
+  SUCCEED();
+}
+
+TEST(ParseMessage, FuzzBitFlippedResponses) {
+  Rng rng{0xf11b};
+  const auto valid = BuildPtrResponse(
+      0x1234, net::Ipv4Addr{203, 0, 113, 9}, "adsl-9.example-jp.net");
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto mutated = valid;
+    const auto index = rng.NextBelow(mutated.size());
+    mutated[index] ^= static_cast<std::uint8_t>(1 + rng.NextBelow(255));
+    (void)ParseMessage(mutated);  // must not crash
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sleepwalk::rdns

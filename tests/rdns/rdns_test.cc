@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sleepwalk/rdns/classifier.h"
+#include "sleepwalk/rdns/names.h"
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::rdns {
+namespace {
+
+TEST(KeywordText, PaperOrder) {
+  EXPECT_EQ(KeywordText(LinkKeyword::kSta), "sta");
+  EXPECT_EQ(KeywordText(LinkKeyword::kDyn), "dyn");
+  EXPECT_EQ(KeywordText(LinkKeyword::kWifi), "wifi");
+  EXPECT_EQ(kKeywordCount, 16);
+}
+
+TEST(DiscardedKeywords, TheSevenAsterisked) {
+  // rtr*, gw*, ded*, client*, sql*, wireless*, wifi*.
+  EXPECT_TRUE(IsDiscardedKeyword(LinkKeyword::kRtr));
+  EXPECT_TRUE(IsDiscardedKeyword(LinkKeyword::kGw));
+  EXPECT_TRUE(IsDiscardedKeyword(LinkKeyword::kDed));
+  EXPECT_TRUE(IsDiscardedKeyword(LinkKeyword::kClient));
+  EXPECT_TRUE(IsDiscardedKeyword(LinkKeyword::kSql));
+  EXPECT_TRUE(IsDiscardedKeyword(LinkKeyword::kWireless));
+  EXPECT_TRUE(IsDiscardedKeyword(LinkKeyword::kWifi));
+  int discarded = 0;
+  for (int i = 0; i < kKeywordCount; ++i) {
+    if (IsDiscardedKeyword(static_cast<LinkKeyword>(i))) ++discarded;
+  }
+  EXPECT_EQ(discarded, 7);
+}
+
+TEST(MatchAddressName, PaperExampleIsNonExclusive) {
+  // "a reverse name of dhcp-dialup-001.example.com is marked as both
+  //  DHCP and dial-up".
+  const auto mask = MatchAddressName("dhcp-dialup-001.example.com");
+  EXPECT_NE(mask & MaskOf(LinkKeyword::kDhcp), 0);
+  EXPECT_NE(mask & MaskOf(LinkKeyword::kDial), 0);
+  EXPECT_EQ(mask & MaskOf(LinkKeyword::kCable), 0);
+}
+
+TEST(MatchAddressName, CaseInsensitive) {
+  const auto mask = MatchAddressName("DSL-Pool-1-2-3-4.Example.NET");
+  EXPECT_NE(mask & MaskOf(LinkKeyword::kDsl), 0);
+}
+
+TEST(MatchAddressName, SubstringSemantics) {
+  // "static" contains "sta"; "adsl" contains "dsl"; "residence" contains
+  // "res" — the paper's matching is plain substring search, prefix
+  // collisions included.
+  EXPECT_NE(MatchAddressName("static-1.example.com") &
+                MaskOf(LinkKeyword::kSta), 0);
+  EXPECT_NE(MatchAddressName("adsl-1.example.com") &
+                MaskOf(LinkKeyword::kDsl), 0);
+  EXPECT_NE(MatchAddressName("residence-1.example.com") &
+                MaskOf(LinkKeyword::kRes), 0);
+  const auto wireless = MatchAddressName("wireless-1.example.com");
+  EXPECT_NE(wireless & MaskOf(LinkKeyword::kWireless), 0);
+}
+
+TEST(MatchAddressName, EmptyAndFeatureless) {
+  EXPECT_EQ(MatchAddressName(""), 0);
+  EXPECT_EQ(MatchAddressName("host-1-2-3-4.example.com"), 0);
+}
+
+std::vector<std::string> Names(int count, const std::string& stem) {
+  std::vector<std::string> names;
+  for (int i = 0; i < count; ++i) {
+    names.push_back(stem + std::to_string(i) + ".example.com");
+  }
+  return names;
+}
+
+TEST(ClassifyBlock, SingleDominantFeature) {
+  const auto names = Names(100, "dyn-");
+  const auto label = ClassifyBlock(names);
+  EXPECT_TRUE(label.has_any);
+  EXPECT_FALSE(label.multiple);
+  EXPECT_NE(label.label & MaskOf(LinkKeyword::kDyn), 0);
+  EXPECT_EQ(label.counts[static_cast<int>(LinkKeyword::kDyn)], 100);
+}
+
+TEST(ClassifyBlock, SuppressesMinorFeatures) {
+  // 150 dsl names and 5 dhcp names: 5 * 15 < 150, so dhcp is suppressed.
+  auto names = Names(150, "dsl-");
+  const auto extra = Names(5, "dhcp-");
+  names.insert(names.end(), extra.begin(), extra.end());
+  const auto label = ClassifyBlock(names);
+  EXPECT_NE(label.label & MaskOf(LinkKeyword::kDsl), 0);
+  EXPECT_EQ(label.label & MaskOf(LinkKeyword::kDhcp), 0);
+  EXPECT_FALSE(label.multiple);
+}
+
+TEST(ClassifyBlock, KeepsFeaturesAboveOneFifteenth) {
+  // 150 dsl and 10 dhcp: 10 * 15 == 150, feature survives.
+  auto names = Names(150, "dsl-");
+  const auto extra = Names(10, "dhcp-");
+  names.insert(names.end(), extra.begin(), extra.end());
+  const auto label = ClassifyBlock(names);
+  EXPECT_NE(label.label & MaskOf(LinkKeyword::kDhcp), 0);
+  EXPECT_TRUE(label.multiple);
+}
+
+TEST(ClassifyBlock, DiscardedKeywordsExcludedByDefault) {
+  const auto names = Names(50, "rtr-");
+  const auto label = ClassifyBlock(names);
+  EXPECT_FALSE(label.has_any);
+  // ... but counts are still tracked.
+  EXPECT_EQ(label.counts[static_cast<int>(LinkKeyword::kRtr)], 50);
+}
+
+TEST(ClassifyBlock, IncludeDiscardedOption) {
+  const auto names = Names(50, "wifi-");
+  ClassifierOptions options;
+  options.include_discarded = true;
+  const auto label = ClassifyBlock(names, options);
+  EXPECT_NE(label.label & MaskOf(LinkKeyword::kWifi), 0);
+}
+
+TEST(ClassifyBlock, EmptyNamesNoFeatures) {
+  const std::vector<std::string> names(256);
+  const auto label = ClassifyBlock(names);
+  EXPECT_FALSE(label.has_any);
+  EXPECT_EQ(label.label, 0);
+}
+
+TEST(KeptKeywords, NineSurvive) {
+  const auto kept = KeptKeywords();
+  EXPECT_EQ(kept.size(), 9u);
+  for (const auto keyword : kept) {
+    EXPECT_FALSE(IsDiscardedKeyword(keyword));
+  }
+}
+
+TEST(SynthesizeName, CarriesTechnologyToken) {
+  Rng rng{1};
+  for (int i = 0; i < 20; ++i) {
+    const auto name = SynthesizeName(
+        AccessTech::kDsl, net::Ipv4Addr{10, 0, 0, 1}, "example.net", rng);
+    EXPECT_NE(MatchAddressName(name) & MaskOf(LinkKeyword::kDsl), 0)
+        << name;
+    EXPECT_NE(name.find("example.net"), std::string::npos);
+  }
+}
+
+TEST(SynthesizeName, UnnamedHasNoFeatures) {
+  Rng rng{2};
+  for (int i = 0; i < 20; ++i) {
+    const auto name = SynthesizeName(
+        AccessTech::kUnnamed, net::Ipv4Addr{10, 0, 0, 7}, "example.net", rng);
+    EXPECT_EQ(MatchAddressName(name), 0) << name;
+  }
+}
+
+TEST(SynthesizeBlockNames, CoverageRespected) {
+  Rng rng{3};
+  const auto block = net::Prefix24::FromIndex(1000);
+  const auto names = SynthesizeBlockNames(block, AccessTech::kDynamic,
+                                          "example.net", 0.7, rng);
+  ASSERT_EQ(names.size(), 256u);
+  int named = 0;
+  for (const auto& name : names) {
+    if (!name.empty()) ++named;
+  }
+  EXPECT_GT(named, 256 * 0.55);
+  EXPECT_LT(named, 256 * 0.85);
+}
+
+TEST(SynthesizeBlockNames, ClassifierRecoversTechnology) {
+  // End-to-end: synthesized names for each named technology classify
+  // back to the matching keyword.
+  struct Case {
+    AccessTech tech;
+    LinkKeyword keyword;
+  };
+  const Case cases[] = {
+      {AccessTech::kStatic, LinkKeyword::kSta},
+      {AccessTech::kDynamic, LinkKeyword::kDyn},
+      {AccessTech::kServer, LinkKeyword::kSrv},
+      {AccessTech::kDhcp, LinkKeyword::kDhcp},
+      {AccessTech::kPpp, LinkKeyword::kPpp},
+      {AccessTech::kDsl, LinkKeyword::kDsl},
+      {AccessTech::kDialup, LinkKeyword::kDial},
+      {AccessTech::kCable, LinkKeyword::kCable},
+      {AccessTech::kResidential, LinkKeyword::kRes},
+  };
+  for (const auto& test_case : cases) {
+    Rng rng{42};
+    const auto names = SynthesizeBlockNames(
+        net::Prefix24::FromIndex(7), test_case.tech, "example.net", 0.8,
+        rng);
+    const auto label = ClassifyBlock(names);
+    EXPECT_NE(label.label & MaskOf(test_case.keyword), 0)
+        << AccessTechName(test_case.tech);
+  }
+}
+
+TEST(AccessTechName, AllNamed) {
+  EXPECT_EQ(AccessTechName(AccessTech::kDynamic), "dynamic");
+  EXPECT_EQ(AccessTechName(AccessTech::kDialup), "dialup");
+  EXPECT_EQ(AccessTechName(AccessTech::kUnnamed), "unnamed");
+}
+
+}  // namespace
+}  // namespace sleepwalk::rdns

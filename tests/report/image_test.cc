@@ -1,0 +1,104 @@
+#include "sleepwalk/report/image.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace sleepwalk::report {
+namespace {
+
+TEST(GrayImage, SetGet) {
+  GrayImage image{4, 3};
+  EXPECT_EQ(image.width(), 4u);
+  EXPECT_EQ(image.height(), 3u);
+  image.Set(2, 1, 200);
+  EXPECT_EQ(image.Get(2, 1), 200);
+  EXPECT_EQ(image.Get(0, 0), 0);
+}
+
+TEST(GrayImage, InvalidDimensionsThrow) {
+  EXPECT_THROW((GrayImage{0, 5}), std::invalid_argument);
+  EXPECT_THROW((GrayImage{5, 0}), std::invalid_argument);
+}
+
+TEST(GrayImage, OutOfBoundsThrows) {
+  GrayImage image{2, 2};
+  EXPECT_THROW(image.Set(2, 0, 1), std::out_of_range);
+  EXPECT_THROW((void)image.Get(0, 2), std::out_of_range);
+}
+
+TEST(FromGrid, NormalizesToMax) {
+  const std::vector<std::vector<double>> grid = {{0.0, 5.0}, {10.0, 2.5}};
+  const auto image = GrayImage::FromGrid(grid);
+  EXPECT_EQ(image.Get(0, 0), 0);
+  EXPECT_EQ(image.Get(1, 0), 128);  // 5/10 -> 127.5 rounds to 128
+  EXPECT_EQ(image.Get(0, 1), 255);
+  EXPECT_EQ(image.Get(1, 1), 64);
+}
+
+TEST(FromGrid, FlipRowsPutsFirstRowAtBottom) {
+  const std::vector<std::vector<double>> grid = {{1.0}, {0.0}};
+  const auto normal = GrayImage::FromGrid(grid, /*flip_rows=*/false);
+  EXPECT_EQ(normal.Get(0, 0), 255);
+  EXPECT_EQ(normal.Get(0, 1), 0);
+  const auto flipped = GrayImage::FromGrid(grid, /*flip_rows=*/true);
+  EXPECT_EQ(flipped.Get(0, 0), 0);
+  EXPECT_EQ(flipped.Get(0, 1), 255);
+}
+
+TEST(FromGrid, GammaBrightensSparseValues) {
+  const std::vector<std::vector<double>> grid = {{0.04, 1.0}};
+  const auto linear = GrayImage::FromGrid(grid, false, 1.0);
+  const auto bright = GrayImage::FromGrid(grid, false, 0.5);
+  EXPECT_GT(bright.Get(0, 0), linear.Get(0, 0));
+  EXPECT_EQ(bright.Get(1, 0), 255);
+}
+
+TEST(FromGrid, RejectsBadGrids) {
+  EXPECT_THROW(GrayImage::FromGrid({}), std::invalid_argument);
+  EXPECT_THROW(GrayImage::FromGrid({{}}), std::invalid_argument);
+  EXPECT_THROW(GrayImage::FromGrid({{1.0, 2.0}, {3.0}}),
+               std::invalid_argument);
+}
+
+TEST(FromGrid, AllZeroGridIsBlack) {
+  const std::vector<std::vector<double>> grid = {{0.0, 0.0}};
+  const auto image = GrayImage::FromGrid(grid);
+  EXPECT_EQ(image.Get(0, 0), 0);
+  EXPECT_EQ(image.Get(1, 0), 0);
+}
+
+TEST(WritePgm, ProducesValidHeaderAndPayload) {
+  GrayImage image{3, 2};
+  image.Set(0, 0, 10);
+  image.Set(2, 1, 250);
+  const auto path = ::testing::TempDir() + "/sleepwalk_image_test.pgm";
+  ASSERT_TRUE(image.WritePgm(path));
+
+  std::ifstream in{path, std::ios::binary};
+  std::string magic;
+  std::size_t width = 0;
+  std::size_t height = 0;
+  int maxval = 0;
+  in >> magic >> width >> height >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(width, 3u);
+  EXPECT_EQ(height, 2u);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // the single whitespace after the header
+  std::vector<char> pixels(6);
+  in.read(pixels.data(), 6);
+  ASSERT_TRUE(in);
+  EXPECT_EQ(static_cast<unsigned char>(pixels[0]), 10);
+  EXPECT_EQ(static_cast<unsigned char>(pixels[5]), 250);
+  std::remove(path.c_str());
+}
+
+TEST(WritePgm, FailsOnUnwritablePath) {
+  GrayImage image{1, 1};
+  EXPECT_FALSE(image.WritePgm("/nonexistent_dir/x.pgm"));
+}
+
+}  // namespace
+}  // namespace sleepwalk::report

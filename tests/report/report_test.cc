@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sleepwalk/report/chart.h"
+#include "sleepwalk/report/csv.h"
+#include "sleepwalk/report/table.h"
+
+namespace sleepwalk::report {
+namespace {
+
+TEST(TextTable, RendersHeadersAndRows) {
+  TextTable table{{"country", "blocks", "frac"}};
+  table.AddRow({"CN", "394244", "0.498"});
+  table.AddRow({"US", "672104", "0.002"});
+  const auto text = table.ToString();
+  EXPECT_NE(text.find("country"), std::string::npos);
+  EXPECT_NE(text.find("394244"), std::string::npos);
+  EXPECT_NE(text.find("0.002"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, PadsShortRowsAndDropsExtras) {
+  TextTable table{{"a", "b"}};
+  table.AddRow({"only"});
+  table.AddRow({"x", "y", "dropped"});
+  const auto text = table.ToString();
+  EXPECT_EQ(text.find("dropped"), std::string::npos);
+}
+
+TEST(TextTable, RuleSeparatesSections) {
+  TextTable table{{"k", "v"}};
+  table.AddRow({"one", "1"});
+  table.AddRule();
+  table.AddRow({"two", "2"});
+  const auto text = table.ToString();
+  // Expect at least 4 horizontal rules: top, under header, mid, bottom.
+  std::size_t rules = 0;
+  std::istringstream stream{text};
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.find("+--") != std::string::npos) ++rules;
+  }
+  EXPECT_GE(rules, 4u);
+}
+
+TEST(Formatting, Fixed) {
+  EXPECT_EQ(Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(Fixed(-0.5, 3), "-0.500");
+  EXPECT_EQ(Fixed(0.0, 0), "0");
+}
+
+TEST(Formatting, Scientific) {
+  EXPECT_EQ(Scientific(6.61e-8, 2), "6.61e-08");
+  EXPECT_EQ(Scientific(0.001476, 3), "1.476e-03");
+}
+
+TEST(Formatting, Percent) {
+  EXPECT_EQ(Percent(0.123), "12.3%");
+  EXPECT_EQ(Percent(1.0, 0), "100%");
+  EXPECT_EQ(Percent(0.0009, 2), "0.09%");
+}
+
+TEST(Formatting, WithCommas) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1000), "1,000");
+  EXPECT_EQ(WithCommas(394244), "394,244");
+  EXPECT_EQ(WithCommas(2795099), "2,795,099");
+  EXPECT_EQ(WithCommas(-1234567), "-1,234,567");
+}
+
+TEST(Chart, ShadeCharEndpoints) {
+  EXPECT_EQ(ShadeChar(0.0), ' ');
+  EXPECT_EQ(ShadeChar(1.0), '@');
+  EXPECT_EQ(ShadeChar(-1.0), ' ');
+  EXPECT_EQ(ShadeChar(2.0), '@');
+}
+
+TEST(Chart, BarChartScalesToWidth) {
+  std::ostringstream out;
+  const std::vector<Bar> bars = {{"dynamic", 0.19}, {"dialup", 0.03}};
+  PrintBarChart(out, bars, 20);
+  const auto text = out.str();
+  EXPECT_NE(text.find("dynamic"), std::string::npos);
+  // The largest bar fills the full width.
+  EXPECT_NE(text.find(std::string(20, '#')), std::string::npos);
+}
+
+TEST(Chart, SeriesSmokeTest) {
+  std::ostringstream out;
+  std::vector<double> series(200);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] = static_cast<double>(i % 50) / 50.0;
+  }
+  PrintSeries(out, series, 60, 10, "sawtooth");
+  EXPECT_NE(out.str().find("sawtooth"), std::string::npos);
+  EXPECT_GT(out.str().size(), 100u);
+}
+
+TEST(Chart, TwoSeriesUsesDistinctMarks) {
+  std::ostringstream out;
+  const std::vector<double> low(100, 0.1);
+  const std::vector<double> high(100, 0.9);
+  PrintTwoSeries(out, low, high, 40, 8);
+  const auto text = out.str();
+  EXPECT_NE(text.find('*'), std::string::npos);
+  EXPECT_NE(text.find('o'), std::string::npos);
+}
+
+TEST(Chart, DensityGridRendersRows) {
+  std::ostringstream out;
+  const std::vector<std::vector<double>> cells = {{0.0, 1.0}, {2.0, 0.0}};
+  PrintDensityGrid(out, cells, "grid");
+  const auto text = out.str();
+  EXPECT_NE(text.find("grid"), std::string::npos);
+  EXPECT_NE(text.find('@'), std::string::npos);
+}
+
+TEST(Csv, WritesAndEscapes) {
+  const std::string path = ::testing::TempDir() + "/sleepwalk_csv_test.csv";
+  {
+    CsvWriter writer{path};
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRow({"plain", "with,comma", "with\"quote"});
+  }
+  std::ifstream in{path};
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "plain,\"with,comma\",\"with\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, PathForRespectsEnvironment) {
+  ::unsetenv("SLEEPWALK_CSV_DIR");
+  EXPECT_TRUE(CsvPathFor("x.csv").empty());
+  ::setenv("SLEEPWALK_CSV_DIR", "/tmp", 1);
+  EXPECT_EQ(CsvPathFor("x.csv"), "/tmp/x.csv");
+  ::unsetenv("SLEEPWALK_CSV_DIR");
+}
+
+}  // namespace
+}  // namespace sleepwalk::report

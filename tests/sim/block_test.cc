@@ -1,0 +1,182 @@
+#include "sleepwalk/sim/block.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sleepwalk/sim/survey.h"
+
+namespace sleepwalk::sim {
+namespace {
+
+BlockSpec SimpleSpec() {
+  BlockSpec spec;
+  spec.block = net::Prefix24::FromIndex(100);
+  spec.seed = 0xabc;
+  spec.n_always = 50;
+  spec.n_diurnal = 100;
+  spec.response_prob = 1.0F;
+  spec.on_start_sec = 8.0F * 3600.0F;
+  spec.on_duration_sec = 8.0F * 3600.0F;
+  return spec;
+}
+
+TEST(BlockSpec, EverActiveCount) {
+  const auto spec = SimpleSpec();
+  EXPECT_EQ(spec.EverActiveCount(), 150);
+  EXPECT_EQ(EverActiveOctets(spec).size(), 150u);
+  EXPECT_EQ(EverActiveOctets(spec).front(), 1);
+  EXPECT_EQ(EverActiveOctets(spec).back(), 150);
+}
+
+TEST(AddressIsOn, LayoutCategories) {
+  const auto spec = SimpleSpec();
+  const std::int64_t noon = 12 * 3600;
+  const std::int64_t night = 2 * 3600;
+  // .0 never responds.
+  EXPECT_FALSE(AddressIsOn(spec, 0, noon));
+  // Always-on addresses (octets 1..50) respond at any hour.
+  EXPECT_TRUE(AddressIsOn(spec, 1, noon));
+  EXPECT_TRUE(AddressIsOn(spec, 50, night));
+  // Diurnal addresses (51..150) are up at noon, down at night.
+  EXPECT_TRUE(AddressIsOn(spec, 51, noon));
+  EXPECT_FALSE(AddressIsOn(spec, 51, night));
+  // Beyond the ever-active range: never.
+  EXPECT_FALSE(AddressIsOn(spec, 151, noon));
+  EXPECT_FALSE(AddressIsOn(spec, 255, noon));
+}
+
+TEST(TrueAvailability, DayNightLevels) {
+  const auto spec = SimpleSpec();
+  // Noon: all 150 up -> A = 1.0. Night: only 50 of 150 -> A = 1/3.
+  EXPECT_NEAR(TrueAvailability(spec, 12 * 3600), 1.0, 1e-12);
+  EXPECT_NEAR(TrueAvailability(spec, 2 * 3600), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TrueAvailability, ScalesWithResponseProb) {
+  auto spec = SimpleSpec();
+  spec.response_prob = 0.8F;
+  EXPECT_NEAR(TrueAvailability(spec, 12 * 3600), 0.8, 1e-6);
+}
+
+TEST(TrueAvailability, EmptyBlockIsZero) {
+  BlockSpec spec;
+  EXPECT_DOUBLE_EQ(TrueAvailability(spec, 0), 0.0);
+}
+
+TEST(TrueAvailability, PhaseSpreadStaggersRamp) {
+  auto spec = SimpleSpec();
+  spec.n_always = 0;
+  spec.phase_spread_sec = 4.0F * 3600.0F;  // starts spread over 8-12 h
+  // At 09:00 only part of the diurnal pool has started.
+  const double early = TrueAvailability(spec, 9 * 3600);
+  const double late = TrueAvailability(spec, 13 * 3600);
+  EXPECT_GT(early, 0.05);
+  EXPECT_LT(early, 0.95);
+  EXPECT_NEAR(late, 1.0, 1e-12);  // all started by 12:00, none ended yet
+}
+
+TEST(Outage, SuppressesEverything) {
+  auto spec = SimpleSpec();
+  spec.outage_start_sec = 10 * 3600;
+  spec.outage_end_sec = 11 * 3600;
+  EXPECT_GT(TrueAvailability(spec, 9 * 3600), 0.0);
+  EXPECT_DOUBLE_EQ(TrueAvailability(spec, 10 * 3600 + 30), 0.0);
+  EXPECT_FALSE(AddressIsOn(spec, 1, 10 * 3600 + 30));
+  EXPECT_GT(TrueAvailability(spec, 11 * 3600 + 1), 0.0);
+}
+
+TEST(AddressResponds, HonorsResponseProbability) {
+  auto spec = SimpleSpec();
+  spec.response_prob = 0.6F;
+  Rng rng{99};
+  int responses = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    if (AddressResponds(spec, 1, 12 * 3600, rng)) ++responses;
+  }
+  EXPECT_NEAR(static_cast<double>(responses) / trials, 0.6, 0.03);
+}
+
+TEST(AddressResponds, OffAddressNeverResponds) {
+  const auto spec = SimpleSpec();
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(AddressResponds(spec, 200, 12 * 3600, rng));
+    EXPECT_FALSE(AddressResponds(spec, 51, 2 * 3600, rng));
+  }
+}
+
+TEST(DiurnalStartOf, SpreadWithinConfiguredRange) {
+  auto spec = SimpleSpec();
+  spec.phase_spread_sec = 3.0F * 3600.0F;
+  for (int octet = 51; octet <= 150; ++octet) {
+    const double start =
+        DiurnalStartOf(spec, static_cast<std::uint8_t>(octet));
+    EXPECT_GE(start, 8.0 * 3600.0);
+    EXPECT_LT(start, 11.0 * 3600.0);
+  }
+}
+
+TEST(SimTransport, RoutesToRegisteredBlock) {
+  const auto spec = SimpleSpec();
+  SimTransport transport{5};
+  transport.AddBlock(&spec);
+  const auto up = transport.Probe(spec.block.Address(1), 12 * 3600);
+  EXPECT_EQ(up, net::ProbeStatus::kEchoReply);
+  const auto down = transport.Probe(spec.block.Address(200), 12 * 3600);
+  EXPECT_EQ(down, net::ProbeStatus::kTimeout);
+  EXPECT_EQ(transport.probes_sent(), 2u);
+}
+
+TEST(SimTransport, UnknownBlockUnreachable) {
+  SimTransport transport{5};
+  EXPECT_EQ(transport.Probe(net::Ipv4Addr{9, 9, 9, 9}, 0),
+            net::ProbeStatus::kUnreachable);
+}
+
+TEST(Survey, TrueSeriesShowsDailyBumps) {
+  const auto spec = SimpleSpec();
+  probing::RoundScheduler scheduler{probing::ScheduleConfig{}};
+  const auto series =
+      TrueAvailabilitySeries(spec, scheduler, scheduler.RoundsForDays(2));
+  // Noon of day 0 is round ~65; 2 am is round ~11.
+  EXPECT_NEAR(series[65], 1.0, 1e-12);
+  EXPECT_NEAR(series[11], 1.0 / 3.0, 1e-12);
+}
+
+TEST(Survey, SampledTracksTruth) {
+  auto spec = SimpleSpec();
+  spec.response_prob = 0.9F;
+  probing::RoundScheduler scheduler{probing::ScheduleConfig{}};
+  const auto n = scheduler.RoundsForDays(1);
+  const auto truth = TrueAvailabilitySeries(spec, scheduler, n);
+  const auto survey = RunSurvey(spec, scheduler, n, 42);
+  ASSERT_EQ(survey.availability.size(), truth.size());
+  double max_error = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    max_error = std::max(max_error,
+                         std::abs(survey.availability[i] - truth[i]));
+  }
+  // Binomial(150, p) noise: a few percent.
+  EXPECT_LT(max_error, 0.15);
+}
+
+TEST(Survey, BitmapsMatchAvailability) {
+  const auto spec = SimpleSpec();
+  probing::RoundScheduler scheduler{probing::ScheduleConfig{}};
+  const auto survey = RunSurvey(spec, scheduler, 10, 7, /*keep_bitmaps=*/true);
+  ASSERT_EQ(survey.bitmaps.size(), 10u);
+  for (std::size_t round = 0; round < 10; ++round) {
+    int set = 0;
+    for (const bool bit : survey.bitmaps[round]) {
+      if (bit) ++set;
+    }
+    EXPECT_NEAR(static_cast<double>(set) / 150.0,
+                survey.availability[round], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sleepwalk::sim

@@ -1,0 +1,71 @@
+// Guard rails on the generated world's reverse-DNS zones: the ISP
+// domains appended to every name must be free of the classifier's 16
+// keywords, or the link-type inference (Fig 17) would be polluted by
+// the domain rather than driven by the host label.
+#include <gtest/gtest.h>
+
+#include "sleepwalk/rdns/classifier.h"
+#include "sleepwalk/sim/world.h"
+
+namespace sleepwalk::sim {
+namespace {
+
+TEST(WorldNames, IspDomainsCarryNoKeywords) {
+  WorldConfig config;
+  config.total_blocks = 400;
+  config.seed = 0xd0;
+  const auto world = SimWorld::Generate(config);
+  int unnamed_blocks_checked = 0;
+  for (const auto& block : world.blocks()) {
+    if (block.tech != rdns::AccessTech::kUnnamed) continue;
+    // Unnamed-technology blocks get generic host labels; any keyword
+    // match must therefore come from the domain — there must be none.
+    const auto names = world.NamesFor(block);
+    for (const auto& name : names) {
+      if (name.empty()) continue;
+      EXPECT_EQ(rdns::MatchAddressName(name), 0) << name;
+    }
+    if (++unnamed_blocks_checked >= 40) break;
+  }
+  EXPECT_GT(unnamed_blocks_checked, 5);
+}
+
+TEST(WorldNames, NamedBlocksClassifyToTheirTechnology) {
+  WorldConfig config;
+  config.total_blocks = 600;
+  config.seed = 0xd1;
+  const auto world = SimWorld::Generate(config);
+  int agree = 0;
+  int checked = 0;
+  const auto expected_keyword = [](rdns::AccessTech tech)
+      -> std::optional<rdns::LinkKeyword> {
+    using rdns::AccessTech;
+    using rdns::LinkKeyword;
+    switch (tech) {
+      case AccessTech::kStatic: return LinkKeyword::kSta;
+      case AccessTech::kDynamic: return LinkKeyword::kDyn;
+      case AccessTech::kServer: return LinkKeyword::kSrv;
+      case AccessTech::kDhcp: return LinkKeyword::kDhcp;
+      case AccessTech::kPpp: return LinkKeyword::kPpp;
+      case AccessTech::kDsl: return LinkKeyword::kDsl;
+      case AccessTech::kDialup: return LinkKeyword::kDial;
+      case AccessTech::kCable: return LinkKeyword::kCable;
+      case AccessTech::kResidential: return LinkKeyword::kRes;
+      default: return std::nullopt;
+    }
+  };
+  for (const auto& block : world.blocks()) {
+    const auto keyword = expected_keyword(block.tech);
+    if (!keyword) continue;
+    const auto label = rdns::ClassifyBlock(world.NamesFor(block));
+    ++checked;
+    if ((label.label & rdns::MaskOf(*keyword)) != 0) ++agree;
+  }
+  ASSERT_GT(checked, 100);
+  // PTR coverage and the generic-name sprinkling lose a few blocks but
+  // classification must recover the technology almost always.
+  EXPECT_GT(static_cast<double>(agree) / checked, 0.95);
+}
+
+}  // namespace
+}  // namespace sleepwalk::sim

@@ -1,0 +1,231 @@
+#include "sleepwalk/sim/world.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sleepwalk/rdns/classifier.h"
+#include "sleepwalk/world/iana.h"
+
+namespace sleepwalk::sim {
+namespace {
+
+WorldConfig SmallConfig() {
+  WorldConfig config;
+  config.total_blocks = 2000;
+  config.seed = 7;
+  return config;
+}
+
+TEST(SimWorld, GeneratesRequestedScale) {
+  const auto world = SimWorld::Generate(SmallConfig());
+  // Rounding per country can add a few blocks.
+  EXPECT_GT(world.blocks().size(), 1800u);
+  EXPECT_LT(world.blocks().size(), 2300u);
+}
+
+TEST(SimWorld, BlocksAreUniqueAndIndexed) {
+  const auto world = SimWorld::Generate(SmallConfig());
+  std::set<std::uint32_t> indices;
+  for (const auto& block : world.blocks()) {
+    EXPECT_TRUE(indices.insert(block.spec.block.Index()).second);
+    EXPECT_EQ(world.Find(block.spec.block), &block);
+  }
+  EXPECT_EQ(world.Find(net::Prefix24::FromIndex(0xffffff)), nullptr);
+}
+
+TEST(SimWorld, DeterministicForSeed) {
+  const auto a = SimWorld::Generate(SmallConfig());
+  const auto b = SimWorld::Generate(SmallConfig());
+  ASSERT_EQ(a.blocks().size(), b.blocks().size());
+  for (std::size_t i = 0; i < a.blocks().size(); ++i) {
+    EXPECT_EQ(a.blocks()[i].spec.block, b.blocks()[i].spec.block);
+    EXPECT_EQ(a.blocks()[i].truly_diurnal, b.blocks()[i].truly_diurnal);
+    EXPECT_EQ(a.blocks()[i].tech, b.blocks()[i].tech);
+  }
+}
+
+TEST(SimWorld, CountryWeightingRoughlyHonored) {
+  WorldConfig config;
+  config.total_blocks = 10000;
+  const auto world = SimWorld::Generate(config);
+  std::map<std::string_view, int> per_country;
+  for (const auto& block : world.blocks()) {
+    ++per_country[block.country->code];
+  }
+  // US (~19.5% of weight) and CN (~11.4%) dominate.
+  EXPECT_GT(per_country["US"], per_country["DE"]);
+  EXPECT_GT(per_country["CN"], per_country["IN"]);
+  EXPECT_GT(per_country["US"], 1000);
+  EXPECT_GT(per_country["CN"], 600);
+  // Every country present.
+  EXPECT_GE(per_country.size(), 60u);
+}
+
+TEST(SimWorld, DiurnalFractionTracksCountryTruth) {
+  WorldConfig config;
+  config.total_blocks = 12000;
+  const auto world = SimWorld::Generate(config);
+  std::map<std::string_view, std::pair<int, int>> stats;  // diurnal, total
+  for (const auto& block : world.blocks()) {
+    auto& [diurnal, total] = stats[block.country->code];
+    if (block.truly_diurnal) ++diurnal;
+    ++total;
+  }
+  const auto fraction = [&](std::string_view code) {
+    const auto& [diurnal, total] = stats[code];
+    return total > 0 ? static_cast<double>(diurnal) / total : 0.0;
+  };
+  // The generated truth should order countries like the paper's Table 3.
+  EXPECT_GT(fraction("CN"), 0.30);
+  EXPECT_LT(fraction("US"), 0.03);
+  EXPECT_LT(fraction("JP"), 0.06);
+  EXPECT_GT(fraction("CN"), fraction("BR"));
+  EXPECT_GT(fraction("BR"), fraction("US"));
+}
+
+TEST(SimWorld, RegistryMatchesRegion) {
+  const auto world = SimWorld::Generate(SmallConfig());
+  for (const auto& block : world.blocks()) {
+    const auto slash8 =
+        static_cast<std::uint8_t>(block.spec.block.Index() >> 16);
+    const auto allocation = world::AllocationFor(slash8);
+    ASSERT_TRUE(allocation.has_value())
+        << "block in reserved /8 " << static_cast<int>(slash8);
+    const auto expected = world::RegistryForRegionName(
+        world::RegionName(block.country->region));
+    EXPECT_EQ(allocation->registry, expected)
+        << block.country->name << " in /8 " << static_cast<int>(slash8);
+  }
+}
+
+TEST(SimWorld, EverActiveWithinOctetRange) {
+  const auto world = SimWorld::Generate(SmallConfig());
+  for (const auto& block : world.blocks()) {
+    EXPECT_LE(block.spec.EverActiveCount(), 255);
+    EXPECT_GE(block.spec.EverActiveCount(), 2);
+  }
+}
+
+TEST(SimWorld, SparseBlocksExist) {
+  const auto world = SimWorld::Generate(SmallConfig());
+  int sparse = 0;
+  for (const auto& block : world.blocks()) {
+    if (block.spec.EverActiveCount() < 15) ++sparse;
+  }
+  const double fraction =
+      static_cast<double>(sparse) / static_cast<double>(world.blocks().size());
+  EXPECT_GT(fraction, 0.01);
+  EXPECT_LT(fraction, 0.15);
+}
+
+TEST(SimWorld, OutageFractionRoughlyHonored) {
+  WorldConfig config;
+  config.total_blocks = 5000;
+  config.outage_fraction = 0.10;
+  const auto world = SimWorld::Generate(config);
+  int with_outage = 0;
+  for (const auto& block : world.blocks()) {
+    if (block.spec.outage_start_sec >= 0) {
+      ++with_outage;
+      EXPECT_GT(block.spec.outage_end_sec, block.spec.outage_start_sec);
+    }
+  }
+  const double fraction = static_cast<double>(with_outage) /
+                          static_cast<double>(world.blocks().size());
+  EXPECT_NEAR(fraction, 0.10, 0.03);
+}
+
+TEST(SimWorld, TrueLocationsCoverAllBlocks) {
+  const auto world = SimWorld::Generate(SmallConfig());
+  const auto locations = world.TrueLocations();
+  EXPECT_EQ(locations.size(), world.blocks().size());
+  for (const auto& loc : locations) {
+    EXPECT_GE(loc.latitude, -90.0);
+    EXPECT_LE(loc.latitude, 90.0);
+    EXPECT_GE(loc.longitude, -180.0);
+    EXPECT_LE(loc.longitude, 180.0);
+    EXPECT_EQ(loc.country_code.size(), 2u);
+  }
+}
+
+TEST(SimWorld, AsnMapCoverage) {
+  const auto world = SimWorld::Generate(SmallConfig());
+  const auto map = world.BuildAsnMap();
+  const double coverage = static_cast<double>(map.mapped_blocks()) /
+                          static_cast<double>(world.blocks().size());
+  EXPECT_NEAR(coverage, 0.994, 0.01);
+  // Every mapped ASN resolves to a registered AS with a name.
+  for (const auto& block : world.blocks()) {
+    const auto asn = map.AsnFor(block.spec.block);
+    if (!asn.has_value()) continue;
+    const auto* info = map.InfoFor(*asn);
+    ASSERT_NE(info, nullptr);
+    EXPECT_FALSE(info->name.empty());
+    EXPECT_EQ(info->country_code, block.country->code);
+  }
+}
+
+TEST(SimWorld, NamesMatchTechnology) {
+  const auto world = SimWorld::Generate(SmallConfig());
+  int checked = 0;
+  for (const auto& block : world.blocks()) {
+    if (block.tech == rdns::AccessTech::kUnnamed) continue;
+    const auto names = world.NamesFor(block);
+    ASSERT_EQ(names.size(), 256u);
+    const auto label = rdns::ClassifyBlock(names, {.include_discarded = true});
+    // The dominant feature should reflect the assigned technology for
+    // most blocks (generic sprinkling can't flip it).
+    int max_count = 0;
+    for (const int count : label.counts) max_count = std::max(max_count, count);
+    EXPECT_GT(max_count, 0) << rdns::AccessTechName(block.tech);
+    if (++checked > 200) break;
+  }
+  EXPECT_GT(checked, 50);
+}
+
+TEST(SimWorld, TransportsShareTruthButNotNoise) {
+  const auto world = SimWorld::Generate(SmallConfig());
+  auto site_a = world.MakeTransport(1);
+  auto site_b = world.MakeTransport(2);
+  // Probe a stable always-on address from both sites: both should
+  // usually succeed (same world truth).
+  const auto& block = world.blocks().front();
+  int a_up = 0;
+  int b_up = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (site_a->Probe(block.spec.block.Address(1), 12 * 3600) ==
+        net::ProbeStatus::kEchoReply) {
+      ++a_up;
+    }
+    if (site_b->Probe(block.spec.block.Address(1), 12 * 3600) ==
+        net::ProbeStatus::kEchoReply) {
+      ++b_up;
+    }
+  }
+  EXPECT_GT(a_up, 25);
+  EXPECT_GT(b_up, 25);
+}
+
+TEST(SimWorld, DiurnalScaleMultiplier) {
+  WorldConfig low = SmallConfig();
+  low.total_blocks = 6000;
+  WorldConfig high = low;
+  low.diurnal_scale = 0.5;
+  high.diurnal_scale = 1.5;
+  const auto world_low = SimWorld::Generate(low);
+  const auto world_high = SimWorld::Generate(high);
+  const auto count = [](const SimWorld& world) {
+    int diurnal = 0;
+    for (const auto& block : world.blocks()) {
+      if (block.truly_diurnal) ++diurnal;
+    }
+    return diurnal;
+  };
+  EXPECT_GT(count(world_high), 2 * count(world_low));
+}
+
+}  // namespace
+}  // namespace sleepwalk::sim

@@ -1,0 +1,202 @@
+#include "sleepwalk/stats/anova.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sleepwalk/stats/distributions.h"
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::stats {
+namespace {
+
+TEST(OneWay, HandComputedExample) {
+  // Groups with means 2, 3, 7; between SS = 42 (df 2), within SS = 6
+  // (df 6), F = 21.
+  const std::vector<std::vector<double>> groups = {
+      {1.0, 2.0, 3.0}, {2.0, 3.0, 4.0}, {6.0, 7.0, 8.0}};
+  const auto table = OneWay(groups);
+  ASSERT_TRUE(table.ok);
+  ASSERT_EQ(table.terms.size(), 1u);
+  const auto& term = table.terms.front();
+  EXPECT_NEAR(term.sum_sq, 42.0, 1e-10);
+  EXPECT_DOUBLE_EQ(term.df, 2.0);
+  EXPECT_NEAR(table.residual_ss, 6.0, 1e-10);
+  EXPECT_DOUBLE_EQ(table.residual_df, 6.0);
+  EXPECT_NEAR(term.f, 21.0, 1e-10);
+  EXPECT_GT(term.p_value, 0.0015);
+  EXPECT_LT(term.p_value, 0.0025);
+}
+
+TEST(OneWay, IdenticalGroupsGiveHighP) {
+  const std::vector<std::vector<double>> groups = {
+      {1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}};
+  const auto table = OneWay(groups);
+  ASSERT_TRUE(table.ok);
+  EXPECT_NEAR(table.terms.front().sum_sq, 0.0, 1e-12);
+  EXPECT_GT(table.terms.front().p_value, 0.99);
+}
+
+TEST(OneWay, RejectsDegenerateInputs) {
+  EXPECT_FALSE(OneWay({}).ok);
+  const std::vector<std::vector<double>> one_group = {{1.0, 2.0}};
+  EXPECT_FALSE(OneWay(one_group).ok);
+  const std::vector<std::vector<double>> too_few = {{1.0}, {2.0}};
+  EXPECT_FALSE(OneWay(too_few).ok);
+}
+
+TEST(OneWay, IgnoresEmptyGroupGracefully) {
+  const std::vector<std::vector<double>> groups = {
+      {1.0, 2.0, 3.0}, {}, {4.0, 5.0, 6.0}};
+  const auto table = OneWay(groups);
+  ASSERT_TRUE(table.ok);
+  EXPECT_GT(table.terms.front().f, 0.0);
+}
+
+std::vector<ModelTerm> OneColumnTerm(const std::string& name,
+                                     const std::vector<double>& column) {
+  std::vector<ModelTerm> terms(1);
+  terms[0].name = name;
+  terms[0].columns.push_back(column);
+  return terms;
+}
+
+TEST(SequentialAnova, SignalFactorIsSignificant) {
+  Rng rng{17};
+  const std::size_t n = 60;
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.NextDouble() * 10.0;
+    y[i] = 2.0 * x[i] + rng.NextGaussian() * 0.5;
+  }
+  const auto table = SequentialAnova(OneColumnTerm("x", x), y);
+  ASSERT_TRUE(table.ok);
+  EXPECT_LT(table.terms.front().p_value, 1e-10);
+}
+
+TEST(SequentialAnova, NoiseFactorIsNotSignificant) {
+  Rng rng{23};
+  const std::size_t n = 60;
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.NextDouble();
+    y[i] = rng.NextGaussian();
+  }
+  const auto table = SequentialAnova(OneColumnTerm("noise", x), y);
+  ASSERT_TRUE(table.ok);
+  EXPECT_GT(table.terms.front().p_value, 0.01);
+}
+
+TEST(SequentialAnova, SumsOfSquaresDecompose) {
+  Rng rng{31};
+  const std::size_t n = 40;
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x1[i] = rng.NextDouble();
+    x2[i] = rng.NextDouble();
+    y[i] = x1[i] - 0.5 * x2[i] + 0.3 * rng.NextGaussian();
+  }
+  std::vector<ModelTerm> terms(2);
+  terms[0].name = "x1";
+  terms[0].columns.push_back(x1);
+  terms[1].name = "x2";
+  terms[1].columns.push_back(x2);
+  const auto table = SequentialAnova(terms, y);
+  ASSERT_TRUE(table.ok);
+  ASSERT_EQ(table.terms.size(), 2u);
+
+  // Type-I SS plus residual SS must equal the total SS around the mean.
+  double total = 0.0;
+  double mean = 0.0;
+  for (const double v : y) mean += v;
+  mean /= static_cast<double>(n);
+  for (const double v : y) total += (v - mean) * (v - mean);
+  const double decomposed = table.terms[0].sum_sq + table.terms[1].sum_sq +
+                            table.residual_ss;
+  EXPECT_NEAR(decomposed, total, 1e-8 * total);
+  EXPECT_DOUBLE_EQ(table.residual_df, static_cast<double>(n - 3));
+}
+
+TEST(SequentialAnova, OrderMattersForCorrelatedPredictors) {
+  // With collinear-ish predictors the first term absorbs shared variance:
+  // that is the defining property of Type-I (sequential) SS.
+  Rng rng{41};
+  const std::size_t n = 80;
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x1[i] = rng.NextDouble();
+    x2[i] = 0.9 * x1[i] + 0.1 * rng.NextDouble();
+    y[i] = x1[i] + x2[i] + 0.1 * rng.NextGaussian();
+  }
+  std::vector<ModelTerm> forward(2);
+  forward[0] = {"x1", {x1}};
+  forward[1] = {"x2", {x2}};
+  std::vector<ModelTerm> reverse(2);
+  reverse[0] = {"x2", {x2}};
+  reverse[1] = {"x1", {x1}};
+  const auto t1 = SequentialAnova(forward, y);
+  const auto t2 = SequentialAnova(reverse, y);
+  ASSERT_TRUE(t1.ok);
+  ASSERT_TRUE(t2.ok);
+  EXPECT_GT(t1.terms[0].sum_sq, t1.terms[1].sum_sq);
+  EXPECT_GT(t2.terms[0].sum_sq, t2.terms[1].sum_sq);
+  // Residuals agree regardless of entry order.
+  EXPECT_NEAR(t1.residual_ss, t2.residual_ss, 1e-8);
+}
+
+TEST(SingleFactorPValue, MatchesSequential) {
+  Rng rng{55};
+  const std::size_t n = 30;
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.NextDouble();
+    y[i] = 3.0 * x[i] + rng.NextGaussian();
+  }
+  const double p = SingleFactorPValue(y, x);
+  const auto table = SequentialAnova(OneColumnTerm("x", x), y);
+  EXPECT_DOUBLE_EQ(p, table.terms.front().p_value);
+}
+
+TEST(PairInteractionPValue, DetectsPureInteraction) {
+  Rng rng{67};
+  const std::size_t n = 100;
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x1[i] = rng.NextDouble() * 2.0 - 1.0;
+    x2[i] = rng.NextDouble() * 2.0 - 1.0;
+    y[i] = 5.0 * x1[i] * x2[i] + 0.2 * rng.NextGaussian();
+  }
+  EXPECT_LT(PairInteractionPValue(y, x1, x2), 1e-10);
+}
+
+TEST(PairInteractionPValue, AdditiveModelHasNoInteraction) {
+  Rng rng{71};
+  const std::size_t n = 100;
+  std::vector<double> x1(n);
+  std::vector<double> x2(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x1[i] = rng.NextDouble();
+    x2[i] = rng.NextDouble();
+    y[i] = 2.0 * x1[i] - x2[i] + 0.3 * rng.NextGaussian();
+  }
+  EXPECT_GT(PairInteractionPValue(y, x1, x2), 0.01);
+}
+
+TEST(PairInteractionPValue, SizeMismatchReturnsOne) {
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  const std::vector<double> x = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(PairInteractionPValue(y, x, x), 1.0);
+}
+
+}  // namespace
+}  // namespace sleepwalk::stats

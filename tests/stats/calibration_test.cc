@@ -1,0 +1,135 @@
+// Statistical calibration: the hypothesis tests must have their nominal
+// error rates, or every p-value in Table 5 is meaningless.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sleepwalk/stats/anova.h"
+#include "sleepwalk/stats/descriptive.h"
+#include "sleepwalk/stats/distributions.h"
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::stats {
+namespace {
+
+// Under the null hypothesis (factor unrelated to outcome) the p-value
+// must be uniform on [0,1]: P(p < alpha) = alpha.
+TEST(Calibration, SingleFactorPValueUniformUnderNull) {
+  Rng rng{0xca11b};
+  const int trials = 2000;
+  const std::size_t n = 30;
+  int below_05 = 0;
+  int below_20 = 0;
+  int below_50 = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> x(n);
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = rng.NextGaussian();
+      y[i] = rng.NextGaussian();
+    }
+    const double p = SingleFactorPValue(y, x);
+    if (p < 0.05) ++below_05;
+    if (p < 0.20) ++below_20;
+    if (p < 0.50) ++below_50;
+  }
+  EXPECT_NEAR(static_cast<double>(below_05) / trials, 0.05, 0.015);
+  EXPECT_NEAR(static_cast<double>(below_20) / trials, 0.20, 0.03);
+  EXPECT_NEAR(static_cast<double>(below_50) / trials, 0.50, 0.04);
+}
+
+TEST(Calibration, OneWayAnovaFalsePositiveRate) {
+  Rng rng{0xca12b};
+  const int trials = 1500;
+  int significant = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    // Three groups of 8, all from the same distribution.
+    std::vector<std::vector<double>> groups(3, std::vector<double>(8));
+    for (auto& group : groups) {
+      for (auto& v : group) v = rng.NextGaussian();
+    }
+    const auto table = OneWay(groups);
+    ASSERT_TRUE(table.ok);
+    if (table.terms.front().p_value < 0.05) ++significant;
+  }
+  EXPECT_NEAR(static_cast<double>(significant) / trials, 0.05, 0.02);
+}
+
+TEST(Calibration, FStatisticMatchesTheoreticalCdf) {
+  // Monte Carlo F(3, 16) statistics vs the analytic CDF at its deciles.
+  Rng rng{0xca13b};
+  const int trials = 4000;
+  std::vector<double> statistics;
+  statistics.reserve(trials);
+  for (int trial = 0; trial < trials; ++trial) {
+    // F = (chi2_3/3) / (chi2_16/16) via sums of squared normals.
+    double num = 0.0;
+    double den = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      const double z = rng.NextGaussian();
+      num += z * z;
+    }
+    for (int i = 0; i < 16; ++i) {
+      const double z = rng.NextGaussian();
+      den += z * z;
+    }
+    statistics.push_back((num / 3.0) / (den / 16.0));
+  }
+  std::sort(statistics.begin(), statistics.end());
+  for (double q = 0.1; q < 0.95; q += 0.2) {
+    const double empirical =
+        statistics[static_cast<std::size_t>(q * trials)];
+    EXPECT_NEAR(FCdf(empirical, 3.0, 16.0), q, 0.03) << "quantile " << q;
+  }
+}
+
+TEST(Calibration, InteractionPValueUniformUnderAdditiveNull) {
+  // Additive truth, no interaction: the interaction test must not fire
+  // above its nominal rate.
+  Rng rng{0xca14b};
+  const int trials = 1000;
+  const std::size_t n = 40;
+  int significant = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> x1(n);
+    std::vector<double> x2(n);
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x1[i] = rng.NextDouble();
+      x2[i] = rng.NextDouble();
+      y[i] = x1[i] - x2[i] + 0.5 * rng.NextGaussian();
+    }
+    if (PairInteractionPValue(y, x1, x2) < 0.05) ++significant;
+  }
+  EXPECT_NEAR(static_cast<double>(significant) / trials, 0.05, 0.02);
+}
+
+TEST(Calibration, PowerGrowsWithEffectSize) {
+  // Sanity on the other side: a real effect is detected increasingly
+  // often as it grows.
+  Rng rng{0xca15b};
+  const std::size_t n = 25;
+  const int trials = 300;
+  double previous_power = -1.0;
+  for (const double effect : {0.0, 0.3, 0.8, 2.0}) {
+    int detected = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      std::vector<double> x(n);
+      std::vector<double> y(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        x[i] = rng.NextGaussian();
+        y[i] = effect * x[i] + rng.NextGaussian();
+      }
+      if (SingleFactorPValue(y, x) < 0.05) ++detected;
+    }
+    const double power = static_cast<double>(detected) / trials;
+    EXPECT_GT(power, previous_power - 0.05)
+        << "power must not shrink as the effect grows";
+    previous_power = power;
+  }
+  EXPECT_GT(previous_power, 0.95) << "a 2-sigma effect is near-certain";
+}
+
+}  // namespace
+}  // namespace sleepwalk::stats

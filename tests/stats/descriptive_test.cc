@@ -1,0 +1,104 @@
+#include "sleepwalk/stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sleepwalk::stats {
+namespace {
+
+TEST(Mean, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+}
+
+TEST(Variance, KnownSample) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sum of squared deviations = 32; sample variance = 32/7.
+  EXPECT_NEAR(Variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Variance, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  const std::vector<double> one = {5.0};
+  EXPECT_DOUBLE_EQ(Variance(one), 0.0);
+  const std::vector<double> constant = {3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(Variance(constant), 0.0);
+}
+
+TEST(Quantile, Type7Interpolation) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  // R: quantile(1:4, 0.25, type=7) == 1.75
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.75), 3.25);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::vector<double> v = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(Median(v), 5.0);
+}
+
+TEST(Quantile, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(Quantile({}, 0.5)));
+}
+
+TEST(Quantile, ClampsP) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.5), 2.0);
+}
+
+TEST(ComputeQuartiles, MatchesQuantiles) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  const auto q = ComputeQuartiles(v);
+  EXPECT_DOUBLE_EQ(q.q1, Quantile(v, 0.25));
+  EXPECT_DOUBLE_EQ(q.median, 4.5);
+  EXPECT_DOUBLE_EQ(q.q3, Quantile(v, 0.75));
+}
+
+TEST(PearsonCorrelation, PerfectPositive) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, PerfectNegative) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {6.0, 4.0, 2.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, KnownValue) {
+  // Hand-checked: r of these five pairs is ~0.7746.
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y = {2.0, 1.0, 4.0, 3.0, 5.0};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.8, 1e-12);
+}
+
+TEST(PearsonCorrelation, DegenerateCases) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> constant = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, constant), 0.0);
+  const std::vector<double> short_x = {1.0};
+  const std::vector<double> short_y = {2.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(short_x, short_y), 0.0);
+  const std::vector<double> mismatched = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, mismatched), 0.0);
+}
+
+TEST(PearsonCorrelation, InvariantToAffineTransform) {
+  const std::vector<double> x = {1.0, 4.0, 2.0, 8.0, 5.0};
+  const std::vector<double> y = {2.0, 3.0, 7.0, 1.0, 9.0};
+  std::vector<double> scaled(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) scaled[i] = 3.0 * x[i] - 7.0;
+  EXPECT_NEAR(PearsonCorrelation(x, y), PearsonCorrelation(scaled, y), 1e-12);
+}
+
+}  // namespace
+}  // namespace sleepwalk::stats

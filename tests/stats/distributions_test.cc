@@ -1,0 +1,132 @@
+#include "sleepwalk/stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sleepwalk::stats {
+namespace {
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, InvalidArguments) {
+  EXPECT_TRUE(std::isnan(RegularizedIncompleteBeta(0.0, 1.0, 0.5)));
+  EXPECT_TRUE(std::isnan(RegularizedIncompleteBeta(1.0, -1.0, 0.5)));
+  EXPECT_TRUE(std::isnan(RegularizedIncompleteBeta(1.0, 1.0,
+                                                   std::nan(""))));
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (const double x : {0.1, 0.25, 0.5, 0.77, 0.99}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-13);
+  }
+}
+
+TEST(IncompleteBeta, ClosedFormA1) {
+  // I_x(1, b) = 1 - (1-x)^b.
+  for (const double b : {1.0, 2.5, 7.0}) {
+    for (const double x : {0.1, 0.4, 0.9}) {
+      EXPECT_NEAR(RegularizedIncompleteBeta(1.0, b, x),
+                  1.0 - std::pow(1.0 - x, b), 1e-12);
+    }
+  }
+}
+
+TEST(IncompleteBeta, KnownPolynomialValues) {
+  // I_x(2, 3) = 6x^2 - 8x^3 + 3x^4; at x=0.5 this is 11/16.
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 3.0, 0.5), 0.6875, 1e-12);
+  // I_x(2, 2) = 3x^2 - 2x^3; at x=0.25 this is 0.15625.
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 2.0, 0.25), 0.15625, 1e-12);
+}
+
+TEST(IncompleteBeta, SymmetryRelation) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (const double x : {0.05, 0.3, 0.6, 0.95}) {
+    const double lhs = RegularizedIncompleteBeta(3.5, 1.25, x);
+    const double rhs = 1.0 - RegularizedIncompleteBeta(1.25, 3.5, 1.0 - x);
+    EXPECT_NEAR(lhs, rhs, 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, Monotone) {
+  double previous = -1.0;
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    const double value = RegularizedIncompleteBeta(2.7, 4.1, x);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+}
+
+TEST(FDistribution, CdfPlusSurvivalIsOne) {
+  for (const double f : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    EXPECT_NEAR(FCdf(f, 3.0, 12.0) + FSurvival(f, 3.0, 12.0), 1.0, 1e-12);
+  }
+}
+
+TEST(FDistribution, F11ClosedForm) {
+  // F(1,1): CDF(f) = (2/pi) * atan(sqrt(f)).
+  for (const double f : {0.25, 1.0, 4.0, 100.0}) {
+    EXPECT_NEAR(FCdf(f, 1.0, 1.0),
+                2.0 / M_PI * std::atan(std::sqrt(f)), 1e-12);
+  }
+}
+
+TEST(FDistribution, MedianOfF11IsOne) {
+  EXPECT_NEAR(FCdf(1.0, 1.0, 1.0), 0.5, 1e-12);
+}
+
+TEST(FDistribution, ReciprocalSymmetry) {
+  // P(F(d1,d2) <= f) = P(F(d2,d1) >= 1/f).
+  for (const double f : {0.3, 1.7, 5.0}) {
+    EXPECT_NEAR(FCdf(f, 4.0, 9.0), FSurvival(1.0 / f, 9.0, 4.0), 1e-12);
+  }
+}
+
+TEST(FDistribution, KnownCriticalValue) {
+  // R: qf(0.95, 2, 10) = 4.102821; so the survival there is 0.05.
+  EXPECT_NEAR(FSurvival(4.102821, 2.0, 10.0), 0.05, 1e-6);
+  // R: qf(0.99, 1, 30) = 7.562476.
+  EXPECT_NEAR(FSurvival(7.562476, 1.0, 30.0), 0.01, 1e-6);
+}
+
+TEST(FDistribution, EdgeCases) {
+  EXPECT_DOUBLE_EQ(FSurvival(0.0, 2.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(FSurvival(-3.0, 2.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(FCdf(0.0, 2.0, 5.0), 0.0);
+  EXPECT_TRUE(std::isnan(FSurvival(1.0, 0.0, 5.0)));
+  // Huge F: p-value must underflow toward 0 without cancellation noise.
+  EXPECT_LT(FSurvival(1e6, 2.0, 50.0), 1e-10);
+  EXPECT_GE(FSurvival(1e6, 2.0, 50.0), 0.0);
+}
+
+TEST(StudentT, MatchesFWithOneNumeratorDf) {
+  // t^2(df) ~ F(1, df), so the two-sided t p-value equals the F survival.
+  for (const double t : {0.5, 1.0, 2.0, 3.5}) {
+    for (const double df : {3.0, 10.0, 30.0}) {
+      EXPECT_NEAR(StudentTTwoSided(t, df), FSurvival(t * t, 1.0, df), 1e-12);
+    }
+  }
+}
+
+TEST(StudentT, KnownCriticalValue) {
+  // R: qt(0.975, 10) = 2.228139; two-sided p there is 0.05.
+  EXPECT_NEAR(StudentTTwoSided(2.228139, 10.0), 0.05, 1e-6);
+}
+
+TEST(StudentT, ZeroStatisticGivesPOne) {
+  EXPECT_NEAR(StudentTTwoSided(0.0, 5.0), 1.0, 1e-12);
+}
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(NormalCdf(1.959964), 0.975, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.959964), 0.025, 1e-6);
+  EXPECT_NEAR(NormalCdf(5.0), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace sleepwalk::stats

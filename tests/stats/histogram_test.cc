@@ -1,0 +1,117 @@
+#include "sleepwalk/stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace sleepwalk::stats {
+namespace {
+
+TEST(Histogram, BasicBinning) {
+  Histogram h{0.0, 1.0, 10};
+  h.Add(0.05);
+  h.Add(0.15);
+  h.Add(0.151);
+  h.Add(0.95);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h{0.0, 1.0, 4};
+  h.Add(-5.0);
+  h.Add(2.0);
+  h.Add(1.0);  // exactly hi lands in the top bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 2u);
+}
+
+TEST(Histogram, Weights) {
+  Histogram h{0.0, 10.0, 5};
+  h.Add(1.0, 7);
+  EXPECT_EQ(h.count(0), 7u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h{2.0, 4.0, 4};
+  EXPECT_DOUBLE_EQ(h.BinWidth(), 0.5);
+  EXPECT_DOUBLE_EQ(h.BinLow(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 2.25);
+  EXPECT_DOUBLE_EQ(h.BinLow(3), 3.5);
+}
+
+TEST(Histogram, CdfIsMonotoneAndEndsAtOne) {
+  Histogram h{0.0, 1.0, 8};
+  for (int i = 0; i < 100; ++i) h.Add(static_cast<double>(i) / 100.0);
+  const auto cdf = h.Cdf();
+  double previous = 0.0;
+  for (const double value : cdf) {
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+}
+
+TEST(Histogram, EmptyCdfIsZero) {
+  Histogram h{0.0, 1.0, 4};
+  for (const double value : h.Cdf()) EXPECT_DOUBLE_EQ(value, 0.0);
+}
+
+TEST(Histogram, DensitySumsToOne) {
+  Histogram h{0.0, 1.0, 5};
+  h.Add(0.1);
+  h.Add(0.3);
+  h.Add(0.9);
+  double sum = 0.0;
+  for (const double d : h.Density()) sum += d;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, InvalidShapeThrows) {
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), std::invalid_argument);
+  EXPECT_THROW((Histogram{1.0, 0.0, 4}), std::invalid_argument);
+}
+
+TEST(Histogram2d, BasicBinning) {
+  Histogram2d h{0.0, 1.0, 4, 0.0, 1.0, 4};
+  h.Add(0.1, 0.9);
+  h.Add(0.1, 0.9);
+  h.Add(0.6, 0.1);
+  EXPECT_EQ(h.count(0, 3), 2u);
+  EXPECT_EQ(h.count(2, 0), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.max_count(), 2u);
+}
+
+TEST(Histogram2d, CentersAreMidCell) {
+  Histogram2d h{0.0, 4.0, 4, -2.0, 2.0, 2};
+  EXPECT_DOUBLE_EQ(h.XCenter(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.XCenter(3), 3.5);
+  EXPECT_DOUBLE_EQ(h.YCenter(0), -1.0);
+  EXPECT_DOUBLE_EQ(h.YCenter(1), 1.0);
+}
+
+TEST(Histogram2d, ColumnMeans) {
+  Histogram2d h{0.0, 1.0, 2, 0.0, 10.0, 10};
+  h.Add(0.25, 2.0);
+  h.Add(0.25, 4.0);
+  h.Add(0.75, 9.0);
+  EXPECT_DOUBLE_EQ(h.YMeanInColumn(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.YMeanInColumn(1), 9.0);
+}
+
+TEST(Histogram2d, EmptyColumnMeanIsZero) {
+  Histogram2d h{0.0, 1.0, 2, 0.0, 1.0, 2};
+  EXPECT_DOUBLE_EQ(h.YMeanInColumn(0), 0.0);
+}
+
+TEST(Histogram2d, InvalidShapeThrows) {
+  EXPECT_THROW((Histogram2d{0.0, 1.0, 0, 0.0, 1.0, 2}),
+               std::invalid_argument);
+  EXPECT_THROW((Histogram2d{0.0, 1.0, 2, 1.0, 1.0, 2}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sleepwalk::stats

@@ -1,0 +1,135 @@
+#include "sleepwalk/stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::stats {
+namespace {
+
+TEST(FitSimple, ExactLine) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = 2.5 * x[i] - 1.0;
+  const auto fit = FitSimple(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope_stderr, 0.0, 1e-9);
+}
+
+TEST(FitSimple, DegenerateInputs) {
+  EXPECT_EQ(FitSimple({}, {}).n, 0u);
+  const std::vector<double> one = {1.0};
+  EXPECT_EQ(FitSimple(one, one).n, 0u);
+  const std::vector<double> x = {2.0, 2.0, 2.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(FitSimple(x, y).slope, 0.0);  // constant x: no fit
+  const std::vector<double> mismatched = {1.0, 2.0};
+  EXPECT_EQ(FitSimple(x, mismatched).n, 0u);
+}
+
+TEST(FitSimple, RecoverSlopeUnderNoise) {
+  Rng rng{7};
+  std::vector<double> x(500);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i) / 100.0;
+    y[i] = 3.0 * x[i] + 5.0 + 0.1 * rng.NextGaussian();
+  }
+  const auto fit = FitSimple(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.02);
+  EXPECT_NEAR(fit.intercept, 5.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+  // The true slope should be within a few standard errors.
+  EXPECT_LT(std::fabs(fit.slope - 3.0), 4.0 * fit.slope_stderr);
+}
+
+TEST(FitSimple, NegativeCorrelation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y = {10.0, 8.5, 6.0, 4.5, 2.0};
+  const auto fit = FitSimple(x, y);
+  EXPECT_LT(fit.slope, 0.0);
+  EXPECT_LT(fit.r, -0.99);
+}
+
+std::vector<std::vector<double>> DesignWithIntercept(
+    const std::vector<std::vector<double>>& predictors, std::size_t n) {
+  std::vector<std::vector<double>> columns;
+  columns.emplace_back(n, 1.0);
+  for (const auto& p : predictors) columns.push_back(p);
+  return columns;
+}
+
+TEST(FitMultiple, ExactPlane) {
+  const std::size_t n = 6;
+  std::vector<double> x1 = {0, 1, 2, 0, 1, 2};
+  std::vector<double> x2 = {0, 0, 0, 1, 1, 1};
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = 1.0 + 2.0 * x1[i] - 3.0 * x2[i];
+  const auto fit = FitMultiple(DesignWithIntercept({x1, x2}, n), y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_EQ(fit.rank, 3u);
+  EXPECT_NEAR(fit.coefficients[0], 1.0, 1e-10);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 1e-10);
+  EXPECT_NEAR(fit.coefficients[2], -3.0, 1e-10);
+  EXPECT_NEAR(fit.residual_ss, 0.0, 1e-10);
+}
+
+TEST(FitMultiple, MatchesSimpleRegression) {
+  Rng rng{11};
+  const std::size_t n = 50;
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.NextDouble() * 10.0;
+    y[i] = 4.0 - 0.7 * x[i] + rng.NextGaussian();
+  }
+  const auto simple = FitSimple(x, y);
+  const auto multiple = FitMultiple(DesignWithIntercept({x}, n), y);
+  ASSERT_TRUE(multiple.ok);
+  EXPECT_NEAR(multiple.coefficients[0], simple.intercept, 1e-9);
+  EXPECT_NEAR(multiple.coefficients[1], simple.slope, 1e-9);
+}
+
+TEST(FitMultiple, AliasedColumnGetsZero) {
+  const std::size_t n = 8;
+  Rng rng{3};
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.NextDouble();
+  std::vector<double> duplicate = x;  // perfectly collinear
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = 2.0 * x[i] + 1.0;
+  const auto fit = FitMultiple(DesignWithIntercept({x, duplicate}, n), y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_EQ(fit.rank, 2u);  // intercept + one of the twins
+  EXPECT_NEAR(fit.residual_ss, 0.0, 1e-9);
+}
+
+TEST(FitMultiple, TotalSsIsAroundMean) {
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  std::vector<std::vector<double>> columns;
+  columns.emplace_back(3, 1.0);
+  const auto fit = FitMultiple(columns, y);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.total_ss, 2.0, 1e-12);
+  EXPECT_NEAR(fit.residual_ss, 2.0, 1e-12);  // intercept-only model
+}
+
+TEST(FitMultiple, RejectsShapeMismatch) {
+  std::vector<std::vector<double>> columns;
+  columns.emplace_back(3, 1.0);
+  columns.emplace_back(2, 1.0);  // wrong length
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(FitMultiple(columns, y).ok);
+}
+
+TEST(FitMultiple, EmptyInputsRejected) {
+  EXPECT_FALSE(FitMultiple({}, {}).ok);
+}
+
+}  // namespace
+}  // namespace sleepwalk::stats

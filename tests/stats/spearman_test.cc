@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sleepwalk/stats/descriptive.h"
+
+namespace sleepwalk::stats {
+namespace {
+
+TEST(Ranks, SimpleOrdering) {
+  const std::vector<double> v = {30.0, 10.0, 20.0};
+  EXPECT_EQ(Ranks(v), (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(Ranks, TiesGetAverageRank) {
+  const std::vector<double> v = {1.0, 2.0, 2.0, 3.0};
+  EXPECT_EQ(Ranks(v), (std::vector<double>{1.0, 2.5, 2.5, 4.0}));
+}
+
+TEST(Ranks, AllEqual) {
+  const std::vector<double> v = {5.0, 5.0, 5.0};
+  EXPECT_EQ(Ranks(v), (std::vector<double>{2.0, 2.0, 2.0}));
+}
+
+TEST(Spearman, PerfectMonotoneNonlinear) {
+  // Spearman sees through monotone nonlinearity where Pearson dips.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.5 * i));
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(x, y), 0.9);
+}
+
+TEST(Spearman, PerfectInverse) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {100.0, 10.0, 1.0, 0.1};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(Spearman, KnownTextbookValue) {
+  // Classic example: rho = 1 - 6*sum(d^2)/(n(n^2-1)).
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y = {2.0, 1.0, 4.0, 3.0, 5.0};
+  // d = (1, -1, 1, -1, 0) -> sum d^2 = 4 -> rho = 1 - 24/120 = 0.8.
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 0.8, 1e-12);
+}
+
+TEST(Spearman, DegenerateInputs) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> bad = {1.0};
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation(x, bad), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation({}, {}), 0.0);
+  const std::vector<double> constant = {3.0, 3.0, 3.0};
+  const std::vector<double> varying = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(SpearmanCorrelation(constant, varying), 0.0);
+}
+
+TEST(Spearman, InvariantToMonotoneTransform) {
+  const std::vector<double> x = {3.0, 1.0, 4.0, 1.5, 5.0, 9.0, 2.0};
+  const std::vector<double> y = {2.0, 7.0, 1.0, 8.0, 2.5, 0.5, 9.0};
+  std::vector<double> x_cubed(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) x_cubed[i] = x[i] * x[i] * x[i];
+  EXPECT_NEAR(SpearmanCorrelation(x, y),
+              SpearmanCorrelation(x_cubed, y), 1e-12);
+}
+
+}  // namespace
+}  // namespace sleepwalk::stats

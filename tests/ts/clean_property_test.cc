@@ -1,0 +1,142 @@
+// Property tests for the cleaning pipeline: invariants that must hold
+// for ANY probe stream, not just the crafted unit cases.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sleepwalk/ts/clean.h"
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::ts {
+namespace {
+
+RawSeries RandomRaw(Rng& rng, int span) {
+  RawSeries raw;
+  std::int64_t round = static_cast<std::int64_t>(rng.NextBelow(1000));
+  const int events = 1 + static_cast<int>(rng.NextBelow(
+                             static_cast<std::uint64_t>(span)));
+  for (int i = 0; i < events; ++i) {
+    raw.Add(round, rng.NextDouble());
+    // Mixture of advance-by-one (normal), skips (missing rounds), and
+    // repeats (duplicates) — the paper's ~5% irregularity, exaggerated.
+    const auto move = rng.NextBelow(10);
+    if (move < 6) round += 1;
+    else if (move < 8) round += 1 + static_cast<std::int64_t>(
+                                    rng.NextBelow(4));
+    // else: repeat the same round
+  }
+  return raw;
+}
+
+TEST(RegularizeProperty, OutputIsAlwaysDenseAndCoversRange) {
+  Rng rng{0x9e9};
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto raw = RandomRaw(rng, 200);
+    const auto even = Regularize(raw);
+    ASSERT_TRUE(even.has_value());
+
+    std::int64_t min_round = raw.observations().front().round;
+    std::int64_t max_round = min_round;
+    for (const auto& obs : raw.observations()) {
+      min_round = std::min(min_round, obs.round);
+      max_round = std::max(max_round, obs.round);
+    }
+    EXPECT_EQ(even->first_round, min_round);
+    EXPECT_EQ(static_cast<std::int64_t>(even->size()),
+              max_round - min_round + 1);
+    for (const double v : even->values) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(RegularizeProperty, ObservedRoundsKeepTheirLatestValue) {
+  Rng rng{0xaea};
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto raw = RandomRaw(rng, 150);
+    const auto even = Regularize(raw);
+    ASSERT_TRUE(even.has_value());
+    // Latest observation per round (arrival order).
+    std::map<std::int64_t, double> latest;
+    for (const auto& obs : raw.observations()) {
+      latest[obs.round] = obs.value;
+    }
+    for (const auto& [round, value] : latest) {
+      const auto index =
+          static_cast<std::size_t>(round - even->first_round);
+      EXPECT_DOUBLE_EQ(even->values[index], value) << "round " << round;
+    }
+  }
+}
+
+TEST(RegularizeProperty, IdempotentOnCleanInput) {
+  Rng rng{0xbeb};
+  RawSeries raw;
+  for (int i = 0; i < 100; ++i) raw.Add(i, rng.NextDouble());
+  const auto once = Regularize(raw);
+  ASSERT_TRUE(once.has_value());
+  RawSeries again_raw;
+  for (std::size_t i = 0; i < once->size(); ++i) {
+    again_raw.Add(once->first_round + static_cast<std::int64_t>(i),
+                  once->values[i]);
+  }
+  CleanStats stats;
+  const auto twice = Regularize(again_raw, &stats);
+  ASSERT_TRUE(twice.has_value());
+  EXPECT_EQ(twice->values, once->values);
+  EXPECT_EQ(stats.duplicates_dropped, 0u);
+  EXPECT_EQ(stats.single_gaps_filled, 0u);
+  EXPECT_EQ(stats.long_gaps_filled, 0u);
+}
+
+TEST(TrimProperty, AlwaysStartsAndEndsNearMidnight) {
+  Rng rng{0xcec};
+  for (int trial = 0; trial < 200; ++trial) {
+    EvenSeries series;
+    series.first_round = static_cast<std::int64_t>(rng.NextBelow(300));
+    series.values.assign(200 + rng.NextBelow(2000), 0.5);
+    const std::int64_t epoch =
+        static_cast<std::int64_t>(rng.NextBelow(86400 * 3));
+    const auto trimmed = TrimToMidnightUtc(series, epoch);
+    if (!trimmed.has_value()) continue;  // too short after trimming
+
+    const std::int64_t start_sec =
+        epoch + trimmed->first_round * kRoundSeconds;
+    const std::int64_t end_sec =
+        epoch + (trimmed->first_round +
+                 static_cast<std::int64_t>(trimmed->size())) *
+                    kRoundSeconds;
+    // Start within one round after a midnight; end within half a round
+    // of a midnight (nearest-round policy).
+    EXPECT_LT(start_sec % 86400, kRoundSeconds) << "trial " << trial;
+    const std::int64_t end_offset = end_sec % 86400;
+    EXPECT_TRUE(end_offset <= kRoundSeconds ||
+                end_offset >= 86400 - kRoundSeconds)
+        << "trial " << trial << " end offset " << end_offset;
+    // Trimmed series is a contiguous slice of the original values.
+    EXPECT_GE(trimmed->first_round, series.first_round);
+    EXPECT_LE(trimmed->size(), series.size());
+  }
+}
+
+TEST(TrimProperty, OutputSpansWholeDaysWithinHalfRound) {
+  Rng rng{0xded};
+  for (int trial = 0; trial < 200; ++trial) {
+    EvenSeries series;
+    series.first_round = 0;
+    series.values.assign(400 + rng.NextBelow(4000), 0.5);
+    const auto trimmed = TrimToMidnightUtc(series, 0);
+    if (!trimmed.has_value()) continue;
+    const std::int64_t span_sec =
+        static_cast<std::int64_t>(trimmed->size()) * kRoundSeconds;
+    const std::int64_t remainder = span_sec % 86400;
+    EXPECT_TRUE(remainder <= kRoundSeconds ||
+                remainder >= 86400 - kRoundSeconds)
+        << "span " << span_sec;
+  }
+}
+
+}  // namespace
+}  // namespace sleepwalk::ts

@@ -1,0 +1,140 @@
+#include "sleepwalk/ts/clean.h"
+
+#include <gtest/gtest.h>
+
+namespace sleepwalk::ts {
+namespace {
+
+TEST(Regularize, EmptyInputIsNullopt) {
+  EXPECT_FALSE(Regularize(RawSeries{}).has_value());
+}
+
+TEST(Regularize, AlreadyEvenPassesThrough) {
+  RawSeries raw;
+  raw.Add(10, 0.1);
+  raw.Add(11, 0.2);
+  raw.Add(12, 0.3);
+  CleanStats stats;
+  const auto even = Regularize(raw, &stats);
+  ASSERT_TRUE(even.has_value());
+  EXPECT_EQ(even->first_round, 10);
+  EXPECT_EQ(even->values, (std::vector<double>{0.1, 0.2, 0.3}));
+  EXPECT_EQ(stats.duplicates_dropped, 0u);
+  EXPECT_EQ(stats.single_gaps_filled, 0u);
+  EXPECT_EQ(stats.long_gaps_filled, 0u);
+}
+
+TEST(Regularize, DuplicateKeepsMostRecent) {
+  RawSeries raw;
+  raw.Add(0, 0.5);
+  raw.Add(1, 0.6);
+  raw.Add(1, 0.9);  // later observation of the same round wins
+  CleanStats stats;
+  const auto even = Regularize(raw, &stats);
+  ASSERT_TRUE(even.has_value());
+  EXPECT_DOUBLE_EQ(even->values[1], 0.9);
+  EXPECT_EQ(stats.duplicates_dropped, 1u);
+}
+
+TEST(Regularize, SingleGapExtrapolates) {
+  RawSeries raw;
+  raw.Add(0, 0.2);
+  raw.Add(1, 0.3);
+  // round 2 missing
+  raw.Add(3, 0.5);
+  CleanStats stats;
+  const auto even = Regularize(raw, &stats);
+  ASSERT_TRUE(even.has_value());
+  ASSERT_EQ(even->values.size(), 4u);
+  // Extrapolation from (0.2, 0.3): next = 0.3 + (0.3 - 0.2) = 0.4.
+  EXPECT_NEAR(even->values[2], 0.4, 1e-12);
+  EXPECT_EQ(stats.single_gaps_filled, 1u);
+}
+
+TEST(Regularize, ExtrapolationClampsToUnitRange) {
+  RawSeries raw;
+  raw.Add(0, 0.5);
+  raw.Add(1, 0.99);
+  raw.Add(3, 0.9);  // gap at round 2; raw extrapolation would exceed 1
+  const auto even = Regularize(raw);
+  ASSERT_TRUE(even.has_value());
+  EXPECT_LE(even->values[2], 1.0);
+}
+
+TEST(Regularize, LongGapHoldsLastValue) {
+  RawSeries raw;
+  raw.Add(0, 0.7);
+  raw.Add(5, 0.1);
+  CleanStats stats;
+  const auto even = Regularize(raw, &stats);
+  ASSERT_TRUE(even.has_value());
+  ASSERT_EQ(even->values.size(), 6u);
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(even->values[i], 0.7) << "round " << i;
+  }
+  EXPECT_DOUBLE_EQ(even->values[5], 0.1);
+  EXPECT_EQ(stats.long_gaps_filled, 4u);
+  EXPECT_EQ(stats.single_gaps_filled, 0u);
+}
+
+TEST(Regularize, SingleObservation) {
+  RawSeries raw;
+  raw.Add(7, 0.42);
+  const auto even = Regularize(raw);
+  ASSERT_TRUE(even.has_value());
+  EXPECT_EQ(even->first_round, 7);
+  EXPECT_EQ(even->values.size(), 1u);
+}
+
+TEST(TrimToMidnight, AlignedSeriesKeepsWholeDays) {
+  // Epoch at midnight; 660-s rounds; 300 rounds span 2.29 days. The
+  // last midnight (172800 s) falls at round 261.8, so the trim ends at
+  // the nearest round, 262.
+  EvenSeries series;
+  series.first_round = 0;
+  series.values.assign(300, 0.5);
+  const auto trimmed = TrimToMidnightUtc(series, /*epoch_sec=*/0);
+  ASSERT_TRUE(trimmed.has_value());
+  EXPECT_EQ(trimmed->first_round, 0);
+  EXPECT_EQ(trimmed->values.size(), 262u);
+  EXPECT_EQ(WholeDays(trimmed->values.size()), 2);
+}
+
+TEST(TrimToMidnight, UnalignedStartAdvancesToMidnight) {
+  // Epoch 6 hours after midnight: the first kept round is the first one
+  // at or after the next midnight (64800 s after epoch).
+  EvenSeries series;
+  series.first_round = 0;
+  series.values.assign(400, 0.5);
+  const auto trimmed = TrimToMidnightUtc(series, /*epoch_sec=*/6 * 3600);
+  ASSERT_TRUE(trimmed.has_value());
+  // Next midnight is 64800 s after epoch -> round ceil(64800/660) = 99.
+  EXPECT_EQ(trimmed->first_round, 99);
+  // The trimmed start must land within one round after a midnight.
+  const std::int64_t start_sec = 6 * 3600 + trimmed->first_round * 660;
+  EXPECT_LT(start_sec % 86400, 660);
+}
+
+TEST(TrimToMidnight, TooShortIsNullopt) {
+  EvenSeries series;
+  series.first_round = 0;
+  series.values.assign(50, 0.5);  // ~9 hours, less than one day
+  EXPECT_FALSE(TrimToMidnightUtc(series, 0).has_value());
+}
+
+TEST(TrimToMidnight, EmptyIsNullopt) {
+  EXPECT_FALSE(TrimToMidnightUtc(EvenSeries{}, 0).has_value());
+}
+
+TEST(WholeDays, CountsNearestDay) {
+  EXPECT_EQ(WholeDays(0), 0);
+  EXPECT_EQ(WholeDays(65), 0);    // ~12 h rounds to zero days
+  EXPECT_EQ(WholeDays(130), 1);   // 23.8 h rounds to one day
+  EXPECT_EQ(WholeDays(131), 1);   // 24.02 h
+  EXPECT_EQ(WholeDays(1833), 14); // the paper's 14-day survey
+  EXPECT_EQ(WholeDays(1834), 14);
+  EXPECT_EQ(WholeDays(4582), 35); // 35-day A_12w
+}
+
+}  // namespace
+}  // namespace sleepwalk::ts

@@ -1,0 +1,84 @@
+#include "sleepwalk/ts/stationarity.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::ts {
+namespace {
+
+TEST(Stationarity, FlatSeriesIsStationary) {
+  const std::vector<double> series(500, 0.6);
+  const auto result = TestStationarity(series, /*ever_active=*/100);
+  EXPECT_TRUE(result.stationary);
+  EXPECT_NEAR(result.slope_per_round, 0.0, 1e-12);
+  EXPECT_NEAR(result.addresses_per_day, 0.0, 1e-9);
+}
+
+TEST(Stationarity, NoisyFlatSeriesIsStationary) {
+  Rng rng{5};
+  std::vector<double> series(1834);
+  for (auto& v : series) v = 0.5 + 0.02 * rng.NextGaussian();
+  const auto result = TestStationarity(series, 100);
+  EXPECT_TRUE(result.stationary);
+}
+
+TEST(Stationarity, StrongTrendIsNotStationary) {
+  // Availability climbing 0.3 over two weeks in a 200-address block:
+  // about 4 addresses/day, well over the 1/day threshold.
+  std::vector<double> series(1834);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] = 0.3 + 0.3 * static_cast<double>(i) /
+                          static_cast<double>(series.size());
+  }
+  const auto result = TestStationarity(series, 200);
+  EXPECT_FALSE(result.stationary);
+  EXPECT_GT(result.addresses_per_day, 1.0);
+}
+
+TEST(Stationarity, ThresholdScalesWithBlockSize) {
+  // The same relative trend is stationary for a tiny block but not for a
+  // huge one, because the threshold is absolute addresses/day (paper:
+  // "slope equivalent to less than 1 address change per day").
+  std::vector<double> series(1834);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] = 0.5 + 0.05 * static_cast<double>(i) /
+                          static_cast<double>(series.size());
+  }
+  EXPECT_TRUE(TestStationarity(series, 20).stationary);
+  EXPECT_FALSE(TestStationarity(series, 2000).stationary);
+}
+
+TEST(Stationarity, DiurnalSeriesIsStationary) {
+  // A daily oscillation has no linear trend: slope near zero.
+  std::vector<double> series(1834);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double day_fraction =
+        static_cast<double>(i % 131) / 131.0;
+    series[i] = day_fraction < 0.4 ? 0.8 : 0.3;
+  }
+  const auto result = TestStationarity(series, 150);
+  EXPECT_TRUE(result.stationary);
+}
+
+TEST(Stationarity, DegenerateInputs) {
+  EXPECT_FALSE(TestStationarity({}, 100).stationary);
+  const std::vector<double> one = {0.5};
+  EXPECT_FALSE(TestStationarity(one, 100).stationary);
+}
+
+TEST(Stationarity, CustomThreshold) {
+  std::vector<double> series(1000);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] = 0.5 + 0.0001 * static_cast<double>(i);
+  }
+  const auto strict = TestStationarity(series, 100, /*max=*/0.5);
+  const auto loose = TestStationarity(series, 100, /*max=*/10.0);
+  EXPECT_FALSE(strict.stationary);
+  EXPECT_TRUE(loose.stationary);
+}
+
+}  // namespace
+}  // namespace sleepwalk::ts

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sleepwalk/world/economics.h"
+#include "sleepwalk/world/iana.h"
+
+namespace sleepwalk::world {
+namespace {
+
+TEST(Countries, TableIsNonTrivialAndSorted) {
+  const auto countries = Countries();
+  EXPECT_GE(countries.size(), 60u);
+  for (std::size_t i = 1; i < countries.size(); ++i) {
+    EXPECT_LT(countries[i - 1].code, countries[i].code);
+  }
+}
+
+TEST(Countries, CodesAreUnique) {
+  std::set<std::string_view> codes;
+  for (const auto& c : Countries()) {
+    EXPECT_TRUE(codes.insert(c.code).second) << c.code;
+  }
+}
+
+TEST(Countries, PaperTable3ValuesAreVerbatim) {
+  // Spot-check the paper's Table 3 rows.
+  const auto* cn = FindCountry("CN");
+  ASSERT_NE(cn, nullptr);
+  EXPECT_EQ(cn->block_count, 394244);
+  EXPECT_DOUBLE_EQ(cn->gdp_per_capita_usd, 9300);
+  EXPECT_DOUBLE_EQ(cn->true_diurnal_fraction, 0.498);
+  EXPECT_EQ(cn->region, Region::kEasternAsia);
+
+  const auto* us = FindCountry("US");
+  ASSERT_NE(us, nullptr);
+  EXPECT_EQ(us->block_count, 672104);
+  EXPECT_DOUBLE_EQ(us->gdp_per_capita_usd, 50700);
+  EXPECT_DOUBLE_EQ(us->true_diurnal_fraction, 0.002);
+
+  const auto* am = FindCountry("AM");
+  ASSERT_NE(am, nullptr);
+  EXPECT_DOUBLE_EQ(am->true_diurnal_fraction, 0.630);
+  EXPECT_EQ(am->region, Region::kWesternAsia);
+}
+
+TEST(Countries, FindUnknownReturnsNull) {
+  EXPECT_EQ(FindCountry("XX"), nullptr);
+  EXPECT_EQ(FindCountry(""), nullptr);
+  EXPECT_EQ(FindCountry("USA"), nullptr);
+}
+
+TEST(Countries, AllFieldsPlausible) {
+  for (const auto& c : Countries()) {
+    EXPECT_EQ(c.code.size(), 2u) << c.name;
+    EXPECT_GE(c.latitude, -90.0);
+    EXPECT_LE(c.latitude, 90.0);
+    EXPECT_GE(c.longitude, -180.0);
+    EXPECT_LE(c.longitude, 180.0);
+    EXPECT_GE(c.tz_offset_hours, -12.0);
+    EXPECT_LE(c.tz_offset_hours, 14.0);
+    EXPECT_GT(c.gdp_per_capita_usd, 0.0);
+    EXPECT_GT(c.electricity_kwh_per_capita, 0.0);
+    EXPECT_GT(c.internet_users_per_host, 0.0);
+    EXPECT_GT(c.block_count, 0);
+    EXPECT_GE(c.true_diurnal_fraction, 0.0);
+    EXPECT_LE(c.true_diurnal_fraction, 1.0);
+  }
+}
+
+TEST(Countries, TimezoneRoughlyTracksLongitude) {
+  // Civil timezones deviate from solar time, but rarely by more than a
+  // few hours (China being the famous single-zone outlier).
+  for (const auto& c : Countries()) {
+    const double solar_offset = c.longitude / 15.0;
+    EXPECT_LT(std::abs(c.tz_offset_hours - solar_offset), 4.0)
+        << c.name << " tz " << c.tz_offset_hours << " lon " << c.longitude;
+  }
+}
+
+TEST(Countries, TotalWeightMatchesPaperScale) {
+  // The paper geolocates ~3.45M blocks; our table should be in that
+  // ballpark (same order of magnitude).
+  const auto total = TotalBlockWeight();
+  EXPECT_GT(total, 2'500'000);
+  EXPECT_LT(total, 4'500'000);
+}
+
+TEST(Regions, NamesMatchTable4) {
+  EXPECT_EQ(RegionName(Region::kNorthernAmerica), "Northern America");
+  EXPECT_EQ(RegionName(Region::kWesternEurope), "W. Europe");
+  EXPECT_EQ(RegionName(Region::kCentralAsia), "Central Asia");
+  EXPECT_EQ(RegionName(Region::kSouthEasternAsia), "South-Eastern Asia");
+}
+
+TEST(Regions, EveryRegionHasACountry) {
+  std::set<Region> seen;
+  for (const auto& c : Countries()) seen.insert(c.region);
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kRegionCount));
+}
+
+TEST(Iana, ReservedSpaceHasNoAllocation) {
+  EXPECT_FALSE(AllocationFor(0).has_value());
+  EXPECT_FALSE(AllocationFor(10).has_value());   // RFC 1918
+  EXPECT_FALSE(AllocationFor(127).has_value());  // loopback
+  EXPECT_FALSE(AllocationFor(224).has_value());  // multicast
+  EXPECT_FALSE(AllocationFor(255).has_value());
+}
+
+TEST(Iana, KnownAllocations) {
+  const auto one = AllocationFor(1);
+  ASSERT_TRUE(one.has_value());
+  EXPECT_EQ(one->registry, Registry::kApnic);
+  EXPECT_EQ(one->year, 2010);
+
+  const auto nine = AllocationFor(9);
+  ASSERT_TRUE(nine.has_value());
+  EXPECT_EQ(nine->registry, Registry::kLegacy);
+
+  const auto ripe = AllocationFor(193);
+  ASSERT_TRUE(ripe.has_value());
+  EXPECT_EQ(ripe->registry, Registry::kRipe);
+  EXPECT_EQ(ripe->year, 1993);
+}
+
+TEST(Iana, AllUnicastSlash8sCovered) {
+  // Every /8 in 1..223 except the reserved trio must have a record.
+  for (int s = 1; s <= 223; ++s) {
+    if (s == 10 || s == 127) continue;
+    EXPECT_TRUE(AllocationFor(static_cast<std::uint8_t>(s)).has_value())
+        << "/8 " << s;
+  }
+}
+
+TEST(Iana, MonthIndexIsMonotoneInDate) {
+  // 61/8 (1997) allocated before 1/8 (2010).
+  EXPECT_LT(AllocationMonthIndex(61), AllocationMonthIndex(1));
+  EXPECT_EQ(AllocationMonthIndex(0), -1);
+}
+
+TEST(Iana, AgeYears) {
+  const auto age = AllocationAgeYears(61, 2013.3);  // allocated 1997-04
+  ASSERT_TRUE(age.has_value());
+  EXPECT_NEAR(*age, 16.0, 0.5);
+  EXPECT_FALSE(AllocationAgeYears(127, 2013.3).has_value());
+}
+
+TEST(Iana, RegistryNames) {
+  EXPECT_EQ(RegistryName(Registry::kApnic), "APNIC");
+  EXPECT_EQ(RegistryName(Registry::kRipe), "RIPE NCC");
+}
+
+TEST(Iana, RegionToRegistryMapping) {
+  EXPECT_EQ(RegistryForRegionName("Northern America"), Registry::kArin);
+  EXPECT_EQ(RegistryForRegionName("South America"), Registry::kLacnic);
+  EXPECT_EQ(RegistryForRegionName("W. Europe"), Registry::kRipe);
+  EXPECT_EQ(RegistryForRegionName("Eastern Asia"), Registry::kApnic);
+  EXPECT_EQ(RegistryForRegionName("Northern Africa"), Registry::kAfrinic);
+  EXPECT_EQ(RegistryForRegionName("Central Asia"), Registry::kRipe);
+}
+
+TEST(Iana, EveryRegistryHasAllocatedSpace) {
+  std::set<Registry> seen;
+  for (int s = 1; s <= 223; ++s) {
+    const auto allocation = AllocationFor(static_cast<std::uint8_t>(s));
+    if (allocation) seen.insert(allocation->registry);
+  }
+  EXPECT_TRUE(seen.contains(Registry::kArin));
+  EXPECT_TRUE(seen.contains(Registry::kRipe));
+  EXPECT_TRUE(seen.contains(Registry::kApnic));
+  EXPECT_TRUE(seen.contains(Registry::kLacnic));
+  EXPECT_TRUE(seen.contains(Registry::kAfrinic));
+  EXPECT_TRUE(seen.contains(Registry::kLegacy));
+}
+
+}  // namespace
+}  // namespace sleepwalk::world
