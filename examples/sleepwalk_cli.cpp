@@ -45,6 +45,15 @@ class Flags {
     return text.empty() ? fallback : std::atol(text.c_str());
   }
 
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto text = Get(key);
+    return text.empty() ? fallback : std::atof(text.c_str());
+  }
+
+  bool Has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+
  private:
   std::map<std::string, std::string> values_;
 };
@@ -53,7 +62,13 @@ int Usage() {
   std::cout <<
       "usage: sleepwalk_cli <command> [--flag value ...]\n"
       "  measure --out FILE [--blocks N] [--days D] [--seed S] [--site K]\n"
-      "      generate a simulated world and run a probing campaign\n"
+      "          [--loss P] [--burst P] [--rate-limit N] [--dead N]\n"
+      "          [--checkpoint FILE] [--checkpoint-every R]\n"
+      "      generate a simulated world and run a probing campaign;\n"
+      "      fault flags inject deterministic measurement-plane breakage\n"
+      "      (--loss: i.i.d. drop rate; --burst: long-run Gilbert-Elliott\n"
+      "      bursty loss; --dead: first N blocks error persistently) and\n"
+      "      --checkpoint makes the campaign killable/resumable\n"
       "  analyze --in FILE\n"
       "      diurnal summary of a saved dataset\n"
       "  compare --a FILE --b FILE\n"
@@ -88,15 +103,45 @@ int CmdMeasure(const Flags& flags) {
     targets.push_back({block.spec.block, sim::EverActiveOctets(block.spec),
                        sim::TrueAvailability(block.spec, 13 * 3600)});
   }
-  core::AnalyzerConfig config;
-  const probing::RoundScheduler scheduler{config.schedule};
-  const auto result = core::RunCampaign(
-      std::move(targets), *transport, scheduler.RoundsForDays(days), config,
-      site);
+  core::SupervisorConfig config;
+  config.seed = site;
+  config.checkpoint_path = flags.Get("checkpoint");
+  config.checkpoint_every_rounds = flags.GetInt("checkpoint-every", 500);
+  const probing::RoundScheduler scheduler{config.analyzer.schedule};
+
+  // Optional fault plan: deterministic loss / rate limiting / dead blocks
+  // injected between the prober and the (simulated) network.
+  faults::FaultPlan plan;
+  plan.seed = world_config.seed;
+  plan.iid_loss = flags.GetDouble("loss", 0.0);
+  if (const double burst = flags.GetDouble("burst", 0.0); burst > 0.0) {
+    plan.burst.enabled = true;
+    const double bad = burst / plan.burst.loss_bad;
+    plan.burst.p_good_to_bad =
+        bad < 1.0 ? plan.burst.p_bad_to_good * bad / (1.0 - bad) : 1.0;
+  }
+  plan.rate_limit_per_window =
+      static_cast<int>(flags.GetInt("rate-limit", 0));
+  const auto dead = flags.GetInt("dead", 0);
+  for (long i = 0; i < dead && i < static_cast<long>(targets.size()); ++i) {
+    plan.dead_blocks.insert(
+        targets[static_cast<std::size_t>(i)].block.Index());
+  }
+  const bool faulty = plan.iid_loss > 0.0 || plan.burst.enabled ||
+                      plan.rate_limit_per_window > 0 ||
+                      !plan.dead_blocks.empty();
+
+  faults::FaultyTransport faulty_transport{*transport, plan};
+  net::Transport& wire = faulty ? static_cast<net::Transport&>(
+                                      faulty_transport)
+                                : *transport;
+  const auto outcome = core::RunResilientCampaign(
+      std::move(targets), wire, scheduler.RoundsForDays(days), config);
+  const auto& result = outcome.result;
 
   if (!core::WriteDataset(out, result.analyses,
-                          config.schedule.round_seconds,
-                          config.schedule.epoch_sec)) {
+                          config.analyzer.schedule.round_seconds,
+                          config.analyzer.schedule.epoch_sec)) {
     std::cerr << "measure: cannot write " << out << "\n";
     return 1;
   }
@@ -104,6 +149,16 @@ int CmdMeasure(const Flags& flags) {
             << result.counts.skipped << " skipped); strict diurnal "
             << report::Percent(result.counts.StrictFraction(), 1)
             << "; dataset written to " << out << "\n";
+  if (outcome.resumed) std::cout << "resumed from checkpoint\n";
+  for (const auto& prefix : outcome.quarantined) {
+    std::cout << "quarantined " << prefix.ToString() << "\n";
+  }
+  if (faulty || !config.checkpoint_path.empty()) {
+    auto stats = outcome.stats;
+    stats.probes.Merge(faulty ? faulty_transport.accounting()
+                              : report::ProbeAccounting{});
+    report::PrintResilienceReport(std::cout, stats);
+  }
   return 0;
 }
 

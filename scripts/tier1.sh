@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the plain build + full test suite, then the fault
+# subsystem again under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# The sanitizer pass exists because the resilience paths are exactly the
+# ones that juggle raw state buffers (checkpoint serialization, transport
+# snapshot/restore, mid-round rollback) — the code most likely to hide a
+# lifetime or aliasing bug that a passing assertion can't see.
+#
+# Usage: scripts/tier1.sh [--skip-sanitize]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== tier-1: plain build + full ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${jobs}"
+ctest --test-dir build --output-on-failure -j "${jobs}"
+
+if [[ "${1:-}" == "--skip-sanitize" ]]; then
+  echo "== tier-1: sanitizer pass skipped =="
+  exit 0
+fi
+
+echo "== tier-1: ASan+UBSan build of the fault/resilience tests =="
+cmake -B build-asan -S . \
+  -DSLEEPWALK_SANITIZE="address;undefined" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j "${jobs}" --target faults_test integration_test
+ctest --test-dir build-asan --output-on-failure -j "${jobs}" \
+  -R 'FaultPlan|GilbertElliott|FaultyTransport|Supervisor|ResilienceReport|Determinism|RestartArtifact'
+
+echo "== tier-1: all green =="

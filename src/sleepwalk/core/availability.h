@@ -36,6 +36,17 @@ struct AvailabilityConfig {
   double initial_deviation = 0.1;
 };
 
+/// Snapshot of an estimator's EWMA state, persisted by campaign
+/// checkpoints so a resumed run continues the exact same trajectories.
+struct AvailabilityState {
+  double p_short = 0.0;
+  double t_short = 1.0;
+  double p_long = 0.0;
+  double t_long = 1.0;
+  double deviation = 0.0;
+  int rounds = 0;
+};
+
 /// The paper's three-estimate availability tracker for one /24 block.
 class AvailabilityEstimator {
  public:
@@ -63,6 +74,19 @@ class AvailabilityEstimator {
   double Operational() const noexcept;
 
   int rounds_observed() const noexcept { return rounds_; }
+
+  /// Captures / restores the full EWMA state (checkpoint/resume).
+  AvailabilityState ExportState() const noexcept {
+    return {p_short_, t_short_, p_long_, t_long_, deviation_, rounds_};
+  }
+  void RestoreState(const AvailabilityState& state) noexcept {
+    p_short_ = state.p_short;
+    t_short_ = state.t_short;
+    p_long_ = state.p_long;
+    t_long_ = state.t_long;
+    deviation_ = state.deviation;
+    rounds_ = state.rounds;
+  }
 
  private:
   AvailabilityConfig config_;

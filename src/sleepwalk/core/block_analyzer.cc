@@ -12,7 +12,10 @@ BlockAnalyzer::BlockAnalyzer(net::Prefix24 block,
     : block_(block), config_(config), scheduler_(config.schedule),
       estimator_(initial_availability, config.availability),
       ever_active_(static_cast<int>(ever_active.size())) {
-  if (ever_active_ >= config_.min_ever_active) {
+  // The empty check is not redundant with the policy minimum: a config
+  // with min_ever_active <= 0 must degrade to "block skipped", not feed
+  // an empty set into the walker (which rejects it by throwing).
+  if (!ever_active.empty() && ever_active_ >= config_.min_ever_active) {
     prober_.emplace(block, std::move(ever_active), seed, config_.prober);
   }
 }
@@ -48,6 +51,33 @@ void BlockAnalyzer::RunCampaign(net::Transport& transport,
   for (std::int64_t round = 0; round < n_rounds; ++round) {
     RunRound(transport, round);
   }
+}
+
+BlockAnalyzerState BlockAnalyzer::ExportState() const {
+  BlockAnalyzerState state;
+  state.estimator = estimator_.ExportState();
+  state.has_prober = prober_.has_value();
+  if (prober_) state.prober = prober_->ExportState();
+  state.raw = raw_.observations();
+  state.total_probes = total_probes_;
+  state.rounds_run = rounds_run_;
+  state.down_rounds = down_rounds_;
+  state.previous_down = previous_down_;
+  state.outage_starts = outage_starts_;
+  state.outages = outages_;
+  return state;
+}
+
+void BlockAnalyzer::RestoreState(BlockAnalyzerState state) {
+  estimator_.RestoreState(state.estimator);
+  if (prober_ && state.has_prober) prober_->RestoreState(state.prober);
+  raw_.RestoreObservations(std::move(state.raw));
+  total_probes_ = state.total_probes;
+  rounds_run_ = state.rounds_run;
+  down_rounds_ = state.down_rounds;
+  previous_down_ = state.previous_down;
+  outage_starts_ = std::move(state.outage_starts);
+  outages_ = std::move(state.outages);
 }
 
 BlockAnalysis BlockAnalyzer::Finish() const {

@@ -70,12 +70,29 @@ struct BlockAnalysis {
   std::vector<OutageEpisode> outages;       ///< contiguous down episodes
 };
 
+/// Round-boundary snapshot of one analyzer's mutable state. Everything
+/// not derivable from (BlockTarget, seed, config): the estimator's EWMAs,
+/// the prober's cursor/belief, the accumulated raw A-hat_s series, and
+/// the outage bookkeeping. Serialized into campaign checkpoints.
+struct BlockAnalyzerState {
+  AvailabilityState estimator;
+  bool has_prober = false;
+  probing::ProberState prober;
+  std::vector<ts::Observation> raw;
+  std::int64_t total_probes = 0;
+  std::int64_t rounds_run = 0;
+  int down_rounds = 0;
+  bool previous_down = false;
+  std::vector<std::int64_t> outage_starts;
+  std::vector<OutageEpisode> outages;
+};
+
 /// Drives one block through a probing campaign.
 class BlockAnalyzer {
  public:
   /// `ever_active` lists E(b)'s last-octets (from "historical data");
   /// `initial_availability` seeds the estimator. When E(b) is smaller
-  /// than the policy minimum the analyzer refuses to probe.
+  /// than the policy minimum (or empty) the analyzer refuses to probe.
   BlockAnalyzer(net::Prefix24 block, std::vector<std::uint8_t> ever_active,
                 double initial_availability, std::uint64_t seed,
                 const AnalyzerConfig& config = {});
@@ -96,6 +113,31 @@ class BlockAnalyzer {
 
   /// Raw (uncleaned) A-hat_s observations recorded so far.
   const ts::RawSeries& raw_series() const noexcept { return raw_; }
+
+  /// Forces a prober restart outside the schedule — fault injection of
+  /// the §4 restart artifact, or a real supervisor-driven recovery.
+  void ForceRestart() noexcept {
+    if (prober_) prober_->Restart();
+  }
+
+  /// Prober-only snapshot, cheap enough to take every round: restoring it
+  /// rolls back a round that died mid-probing (transport error) so the
+  /// round can be retried without double-applying belief updates.
+  probing::ProberState prober_state() const noexcept {
+    return prober_ ? prober_->ExportState() : probing::ProberState{};
+  }
+  void restore_prober_state(const probing::ProberState& state) noexcept {
+    if (prober_) prober_->RestoreState(state);
+  }
+
+  /// Captures / restores everything mutable (checkpoint/resume). The
+  /// analyzer must have been constructed from the same target, seed and
+  /// config for RestoreState to make sense.
+  BlockAnalyzerState ExportState() const;
+  void RestoreState(BlockAnalyzerState state);
+
+  /// Rounds executed so far (resume continues from here).
+  std::int64_t rounds_run() const noexcept { return rounds_run_; }
 
   /// Finalizes: cleans, trims, tests stationarity, classifies.
   BlockAnalysis Finish() const;

@@ -1,0 +1,350 @@
+#include "sleepwalk/core/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'L', 'C', 'K'};
+
+template <typename T>
+void Put(std::ofstream& out, T value) {
+  // Host is little-endian on every supported target (see dataset.cc).
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool Get(std::ifstream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  return static_cast<bool>(in);
+}
+
+// Sanity bound on any serialized count: a campaign has < 2^32 of
+// anything, and a corrupt header must not drive a multi-GB resize.
+constexpr std::uint64_t kMaxCount = 1ull << 32;
+
+void PutStats(std::ofstream& out, const report::ResilienceStats& stats) {
+  const auto& p = stats.probes;
+  Put(out, p.attempts);
+  Put(out, p.errors);
+  Put(out, p.answered);
+  Put(out, p.lost);
+  Put(out, p.rate_limited);
+  Put(out, p.unreachable);
+  Put(out, stats.rounds_attempted);
+  Put(out, stats.rounds_failed);
+  Put(out, stats.rounds_gapped);
+  Put(out, stats.retries);
+  Put(out, stats.backoff_seconds);
+  Put(out, stats.forced_restarts);
+  Put(out, stats.quarantined_blocks);
+  Put(out, stats.checkpoints_written);
+  Put(out, static_cast<std::uint8_t>(stats.resumed_from_checkpoint));
+}
+
+bool GetStats(std::ifstream& in, report::ResilienceStats& stats) {
+  auto& p = stats.probes;
+  std::uint8_t resumed = 0;
+  const bool ok =
+      Get(in, p.attempts) && Get(in, p.errors) && Get(in, p.answered) &&
+      Get(in, p.lost) && Get(in, p.rate_limited) && Get(in, p.unreachable) &&
+      Get(in, stats.rounds_attempted) && Get(in, stats.rounds_failed) &&
+      Get(in, stats.rounds_gapped) && Get(in, stats.retries) &&
+      Get(in, stats.backoff_seconds) && Get(in, stats.forced_restarts) &&
+      Get(in, stats.quarantined_blocks) &&
+      Get(in, stats.checkpoints_written) && Get(in, resumed);
+  stats.resumed_from_checkpoint = resumed != 0;
+  return ok;
+}
+
+void PutAnalysis(std::ofstream& out, const BlockAnalysis& analysis) {
+  Put(out, analysis.block.Index());
+  Put(out, static_cast<std::uint8_t>(analysis.probed));
+  Put(out, static_cast<std::int32_t>(analysis.ever_active));
+  Put(out, analysis.short_series.first_round);
+  Put(out, static_cast<std::uint64_t>(analysis.short_series.size()));
+  for (const double value : analysis.short_series.values) Put(out, value);
+  Put(out, static_cast<std::int32_t>(analysis.observed_days));
+  Put(out, static_cast<std::uint8_t>(analysis.diurnal.classification));
+  Put(out, static_cast<std::int32_t>(analysis.diurnal.n_days));
+  Put(out, static_cast<std::uint64_t>(analysis.diurnal.daily_bin));
+  Put(out, analysis.diurnal.daily_amplitude);
+  Put(out, analysis.diurnal.phase);
+  Put(out, static_cast<std::uint64_t>(analysis.diurnal.strongest_bin));
+  Put(out, analysis.diurnal.strongest_amplitude);
+  Put(out, analysis.diurnal.strongest_cycles_per_day);
+  Put(out, analysis.stationarity.slope_per_round);
+  Put(out, analysis.stationarity.addresses_per_day);
+  Put(out, static_cast<std::uint8_t>(analysis.stationarity.stationary));
+  Put(out, analysis.mean_short);
+  Put(out, analysis.final_operational);
+  Put(out, analysis.mean_probes_per_round);
+  Put(out, static_cast<std::int32_t>(analysis.down_rounds));
+  Put(out, static_cast<std::uint64_t>(analysis.outage_starts.size()));
+  for (const auto start : analysis.outage_starts) Put(out, start);
+  Put(out, static_cast<std::uint64_t>(analysis.outages.size()));
+  for (const auto& outage : analysis.outages) {
+    Put(out, outage.start_round);
+    Put(out, outage.rounds);
+  }
+}
+
+bool GetAnalysis(std::ifstream& in, BlockAnalysis& analysis) {
+  std::uint32_t index = 0;
+  std::uint8_t probed = 0;
+  std::int32_t ever_active = 0;
+  std::uint64_t n_samples = 0;
+  if (!Get(in, index) || !Get(in, probed) || !Get(in, ever_active) ||
+      !Get(in, analysis.short_series.first_round) || !Get(in, n_samples) ||
+      n_samples > kMaxCount) {
+    return false;
+  }
+  analysis.block = net::Prefix24::FromIndex(index);
+  analysis.probed = probed != 0;
+  analysis.ever_active = ever_active;
+  analysis.short_series.values.resize(n_samples);
+  for (auto& value : analysis.short_series.values) {
+    if (!Get(in, value)) return false;
+  }
+  std::int32_t observed_days = 0;
+  std::uint8_t classification = 0;
+  std::int32_t n_days = 0;
+  std::uint64_t daily_bin = 0;
+  std::uint64_t strongest_bin = 0;
+  std::uint8_t stationary = 0;
+  std::int32_t down_rounds = 0;
+  std::uint64_t n_starts = 0;
+  if (!Get(in, observed_days) || !Get(in, classification) ||
+      !Get(in, n_days) || !Get(in, daily_bin) ||
+      !Get(in, analysis.diurnal.daily_amplitude) ||
+      !Get(in, analysis.diurnal.phase) || !Get(in, strongest_bin) ||
+      !Get(in, analysis.diurnal.strongest_amplitude) ||
+      !Get(in, analysis.diurnal.strongest_cycles_per_day) ||
+      !Get(in, analysis.stationarity.slope_per_round) ||
+      !Get(in, analysis.stationarity.addresses_per_day) ||
+      !Get(in, stationary) || !Get(in, analysis.mean_short) ||
+      !Get(in, analysis.final_operational) ||
+      !Get(in, analysis.mean_probes_per_round) || !Get(in, down_rounds) ||
+      !Get(in, n_starts) || n_starts > kMaxCount) {
+    return false;
+  }
+  analysis.observed_days = observed_days;
+  analysis.diurnal.classification = static_cast<Diurnality>(classification);
+  analysis.diurnal.n_days = n_days;
+  analysis.diurnal.daily_bin = static_cast<std::size_t>(daily_bin);
+  analysis.diurnal.strongest_bin = static_cast<std::size_t>(strongest_bin);
+  analysis.stationarity.stationary = stationary != 0;
+  analysis.down_rounds = down_rounds;
+  analysis.outage_starts.resize(n_starts);
+  for (auto& start : analysis.outage_starts) {
+    if (!Get(in, start)) return false;
+  }
+  std::uint64_t n_outages = 0;
+  if (!Get(in, n_outages) || n_outages > kMaxCount) return false;
+  analysis.outages.resize(n_outages);
+  for (auto& outage : analysis.outages) {
+    if (!Get(in, outage.start_round) || !Get(in, outage.rounds)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PutAnalyzerState(std::ofstream& out, const BlockAnalyzerState& state) {
+  Put(out, state.estimator.p_short);
+  Put(out, state.estimator.t_short);
+  Put(out, state.estimator.p_long);
+  Put(out, state.estimator.t_long);
+  Put(out, state.estimator.deviation);
+  Put(out, static_cast<std::int32_t>(state.estimator.rounds));
+  Put(out, static_cast<std::uint8_t>(state.has_prober));
+  Put(out, state.prober.cursor);
+  Put(out, state.prober.belief);
+  Put(out, static_cast<std::uint64_t>(state.raw.size()));
+  for (const auto& observation : state.raw) {
+    Put(out, observation.round);
+    Put(out, observation.value);
+  }
+  Put(out, state.total_probes);
+  Put(out, state.rounds_run);
+  Put(out, static_cast<std::int32_t>(state.down_rounds));
+  Put(out, static_cast<std::uint8_t>(state.previous_down));
+  Put(out, static_cast<std::uint64_t>(state.outage_starts.size()));
+  for (const auto start : state.outage_starts) Put(out, start);
+  Put(out, static_cast<std::uint64_t>(state.outages.size()));
+  for (const auto& outage : state.outages) {
+    Put(out, outage.start_round);
+    Put(out, outage.rounds);
+  }
+}
+
+bool GetAnalyzerState(std::ifstream& in, BlockAnalyzerState& state) {
+  std::int32_t estimator_rounds = 0;
+  std::uint8_t has_prober = 0;
+  std::uint64_t n_raw = 0;
+  if (!Get(in, state.estimator.p_short) || !Get(in, state.estimator.t_short) ||
+      !Get(in, state.estimator.p_long) || !Get(in, state.estimator.t_long) ||
+      !Get(in, state.estimator.deviation) || !Get(in, estimator_rounds) ||
+      !Get(in, has_prober) || !Get(in, state.prober.cursor) ||
+      !Get(in, state.prober.belief) || !Get(in, n_raw) ||
+      n_raw > kMaxCount) {
+    return false;
+  }
+  state.estimator.rounds = estimator_rounds;
+  state.has_prober = has_prober != 0;
+  state.raw.resize(n_raw);
+  for (auto& observation : state.raw) {
+    if (!Get(in, observation.round) || !Get(in, observation.value)) {
+      return false;
+    }
+  }
+  std::int32_t down_rounds = 0;
+  std::uint8_t previous_down = 0;
+  std::uint64_t n_starts = 0;
+  if (!Get(in, state.total_probes) || !Get(in, state.rounds_run) ||
+      !Get(in, down_rounds) || !Get(in, previous_down) ||
+      !Get(in, n_starts) || n_starts > kMaxCount) {
+    return false;
+  }
+  state.down_rounds = down_rounds;
+  state.previous_down = previous_down != 0;
+  state.outage_starts.resize(n_starts);
+  for (auto& start : state.outage_starts) {
+    if (!Get(in, start)) return false;
+  }
+  std::uint64_t n_outages = 0;
+  if (!Get(in, n_outages) || n_outages > kMaxCount) return false;
+  state.outages.resize(n_outages);
+  for (auto& outage : state.outages) {
+    if (!Get(in, outage.start_round) || !Get(in, outage.rounds)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t CampaignFingerprint(const std::vector<BlockTarget>& targets,
+                                  std::int64_t n_rounds, std::uint64_t seed,
+                                  const AnalyzerConfig& config) {
+  std::uint64_t hash = MixHash(seed, static_cast<std::uint64_t>(n_rounds),
+                               targets.size());
+  hash = MixHash(hash,
+                 static_cast<std::uint64_t>(config.schedule.round_seconds),
+                 static_cast<std::uint64_t>(
+                     config.schedule.restart_every_rounds));
+  hash = MixHash(hash, static_cast<std::uint64_t>(config.schedule.epoch_sec),
+                 static_cast<std::uint64_t>(config.min_ever_active));
+  for (const auto& target : targets) {
+    hash = MixHash(hash, target.block.Index(), target.ever_active.size());
+  }
+  return hash;
+}
+
+bool WriteCheckpoint(const std::string& path, const Checkpoint& checkpoint) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+    if (!out) return false;
+
+    out.write(kMagic, sizeof(kMagic));
+    Put(out, kCheckpointVersion);
+    Put(out, checkpoint.fingerprint);
+    Put(out, checkpoint.counts.strict);
+    Put(out, checkpoint.counts.relaxed);
+    Put(out, checkpoint.counts.non_diurnal);
+    Put(out, checkpoint.counts.skipped);
+    PutStats(out, checkpoint.stats);
+    Put(out, static_cast<std::uint64_t>(checkpoint.completed.size()));
+    for (const auto& analysis : checkpoint.completed) {
+      PutAnalysis(out, analysis);
+    }
+    Put(out, static_cast<std::uint64_t>(checkpoint.quarantined.size()));
+    for (const auto index : checkpoint.quarantined) Put(out, index);
+    Put(out, checkpoint.next_block);
+    Put(out, static_cast<std::uint8_t>(checkpoint.has_inflight));
+    if (checkpoint.has_inflight) {
+      Put(out, checkpoint.inflight_next_round);
+      Put(out, static_cast<std::int32_t>(
+                   checkpoint.inflight_consecutive_failures));
+      PutAnalyzerState(out, checkpoint.inflight);
+    }
+    Put(out, static_cast<std::uint64_t>(checkpoint.transport_state.size()));
+    out.write(
+        reinterpret_cast<const char*>(checkpoint.transport_state.data()),
+        static_cast<std::streamsize>(checkpoint.transport_state.size()));
+    if (!out) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<Checkpoint> ReadCheckpoint(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  std::uint32_t version = 0;
+  if (!Get(in, version) || version != kCheckpointVersion) {
+    return std::nullopt;
+  }
+
+  Checkpoint checkpoint;
+  if (!Get(in, checkpoint.fingerprint) ||
+      !Get(in, checkpoint.counts.strict) ||
+      !Get(in, checkpoint.counts.relaxed) ||
+      !Get(in, checkpoint.counts.non_diurnal) ||
+      !Get(in, checkpoint.counts.skipped) ||
+      !GetStats(in, checkpoint.stats)) {
+    return std::nullopt;
+  }
+  std::uint64_t completed_count = 0;
+  if (!Get(in, completed_count) || completed_count > kMaxCount) {
+    return std::nullopt;
+  }
+  checkpoint.completed.resize(completed_count);
+  for (auto& analysis : checkpoint.completed) {
+    if (!GetAnalysis(in, analysis)) return std::nullopt;
+  }
+  std::uint64_t quarantined_count = 0;
+  if (!Get(in, quarantined_count) || quarantined_count > kMaxCount) {
+    return std::nullopt;
+  }
+  checkpoint.quarantined.resize(quarantined_count);
+  for (auto& index : checkpoint.quarantined) {
+    if (!Get(in, index)) return std::nullopt;
+  }
+  std::uint8_t has_inflight = 0;
+  if (!Get(in, checkpoint.next_block) || !Get(in, has_inflight)) {
+    return std::nullopt;
+  }
+  checkpoint.has_inflight = has_inflight != 0;
+  if (checkpoint.has_inflight) {
+    std::int32_t failures = 0;
+    if (!Get(in, checkpoint.inflight_next_round) || !Get(in, failures) ||
+        !GetAnalyzerState(in, checkpoint.inflight)) {
+      return std::nullopt;
+    }
+    checkpoint.inflight_consecutive_failures = failures;
+  }
+  std::uint64_t transport_bytes = 0;
+  if (!Get(in, transport_bytes) || transport_bytes > kMaxCount) {
+    return std::nullopt;
+  }
+  checkpoint.transport_state.resize(transport_bytes);
+  in.read(reinterpret_cast<char*>(checkpoint.transport_state.data()),
+          static_cast<std::streamsize>(transport_bytes));
+  if (!in) return std::nullopt;
+  return checkpoint;
+}
+
+}  // namespace sleepwalk::core

@@ -1,0 +1,74 @@
+// Campaign checkpoint persistence.
+//
+// A killed A_12w-style campaign used to lose everything; a checkpoint
+// makes the campaign resumable *bit-identically*: it captures the
+// completed per-block analyses at full double precision, the in-flight
+// block's mutable state (estimator EWMAs, prober cursor/belief, raw
+// A-hat_s observations, outage bookkeeping), the aggregate counts,
+// resilience statistics, and the transport's serialized state (for
+// stateful/simulated transports).
+//
+// Format "SLCK" v1 (little-endian, like dataset.cc's "SLPW"):
+//   magic "SLCK" | u32 version | u64 campaign_fingerprint
+//   | counts (4 x i64) | resilience stats | u64 completed_count
+//   | completed BlockAnalysis records (full f64 series)
+//   | u64 quarantined_count | u32 prefix indices
+//   | u64 next_block | u8 has_inflight
+//   | [inflight: i64 next_round | i32 consecutive_failures
+//      | BlockAnalyzerState]
+//   | u64 transport_state_bytes | bytes
+// The fingerprint binds a checkpoint to its campaign: resuming with
+// different targets, rounds, seed, or schedule is refused rather than
+// silently producing a franken-dataset.
+#ifndef SLEEPWALK_CORE_CHECKPOINT_H_
+#define SLEEPWALK_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sleepwalk/core/block_analyzer.h"
+#include "sleepwalk/core/pipeline.h"
+#include "sleepwalk/report/resilience.h"
+
+namespace sleepwalk::core {
+
+/// Checkpoint format version; bump on any layout change.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Everything a resumed campaign needs.
+struct Checkpoint {
+  std::uint64_t fingerprint = 0;
+  DiurnalCounts counts;
+  report::ResilienceStats stats;
+  std::vector<BlockAnalysis> completed;
+  std::vector<std::uint32_t> quarantined;  ///< prefix indices abandoned
+  std::uint64_t next_block = 0;  ///< index of the first unfinished target
+
+  bool has_inflight = false;
+  std::int64_t inflight_next_round = 0;
+  int inflight_consecutive_failures = 0;
+  BlockAnalyzerState inflight;
+
+  std::vector<std::uint8_t> transport_state;
+};
+
+/// Identity of a campaign: seed, rounds, schedule, and the target list.
+/// Two campaigns share a fingerprint iff a checkpoint from one is a valid
+/// resume point for the other.
+std::uint64_t CampaignFingerprint(const std::vector<BlockTarget>& targets,
+                                  std::int64_t n_rounds, std::uint64_t seed,
+                                  const AnalyzerConfig& config);
+
+/// Atomically writes `checkpoint` to `path` (tmp file + rename), so a
+/// crash mid-write leaves the previous checkpoint intact.
+bool WriteCheckpoint(const std::string& path, const Checkpoint& checkpoint);
+
+/// Reads a checkpoint; nullopt on I/O error, bad magic, version mismatch,
+/// or truncation.
+std::optional<Checkpoint> ReadCheckpoint(const std::string& path);
+
+}  // namespace sleepwalk::core
+
+#endif  // SLEEPWALK_CORE_CHECKPOINT_H_

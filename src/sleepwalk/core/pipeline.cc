@@ -2,42 +2,24 @@
 
 #include <utility>
 
+#include "sleepwalk/core/supervisor.h"
+
 namespace sleepwalk::core {
 
 DatasetResult RunCampaign(
     std::vector<BlockTarget> targets, net::Transport& transport,
     std::int64_t n_rounds, const AnalyzerConfig& config, std::uint64_t seed,
     const std::function<void(std::size_t, std::size_t)>& progress) {
-  DatasetResult result;
-  result.analyses.reserve(targets.size());
-
-  for (std::size_t i = 0; i < targets.size(); ++i) {
-    auto& target = targets[i];
-    BlockAnalyzer analyzer{target.block, std::move(target.ever_active),
-                           target.initial_availability,
-                           seed ^ target.block.Index(), config};
-    analyzer.RunCampaign(transport, n_rounds);
-    auto analysis = analyzer.Finish();
-
-    if (!analysis.probed || analysis.observed_days < 2) {
-      ++result.counts.skipped;
-    } else {
-      switch (analysis.diurnal.classification) {
-        case Diurnality::kStrictlyDiurnal:
-          ++result.counts.strict;
-          break;
-        case Diurnality::kRelaxedDiurnal:
-          ++result.counts.relaxed;
-          break;
-        case Diurnality::kNonDiurnal:
-          ++result.counts.non_diurnal;
-          break;
-      }
-    }
-    result.analyses.push_back(std::move(analysis));
-    if (progress) progress(i + 1, targets.size());
-  }
-  return result;
+  // The plain campaign is the resilient one with recovery switched off:
+  // no checkpointing, no injected faults, and on a well-behaved transport
+  // the retry/quarantine paths never trigger.
+  SupervisorConfig supervisor;
+  supervisor.analyzer = config;
+  supervisor.seed = seed;
+  supervisor.progress = progress;
+  return RunResilientCampaign(std::move(targets), transport, n_rounds,
+                              supervisor)
+      .result;
 }
 
 }  // namespace sleepwalk::core

@@ -1,0 +1,253 @@
+#include "sleepwalk/core/supervisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sleepwalk/core/checkpoint.h"
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::core {
+
+namespace {
+
+/// Deterministic jittered exponential backoff. The jitter draw is a
+/// stateless hash of (seed, block, round, attempt), so retry timing never
+/// perturbs any RNG stream a checkpoint would have to capture.
+double BackoffDelay(const RetryConfig& retry, std::uint64_t seed,
+                    std::uint32_t block, std::int64_t round, int attempt) {
+  double delay = retry.base_delay_sec * std::ldexp(1.0, attempt);
+  delay = std::min(delay, retry.max_delay_sec);
+  if (retry.jitter > 0.0) {
+    const std::uint64_t h =
+        MixHash(seed ^ 0xbac0ffULL, (static_cast<std::uint64_t>(block) << 32) |
+                                        static_cast<std::uint64_t>(attempt),
+                static_cast<std::uint64_t>(round));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    delay *= 1.0 + retry.jitter * (2.0 * u - 1.0);
+  }
+  return std::max(delay, 0.0);
+}
+
+bool InGap(const SupervisorConfig& config, std::int64_t round) noexcept {
+  for (const auto& [first, last] : config.gap_round_windows) {
+    if (round >= first && round < last) return true;
+  }
+  return false;
+}
+
+bool IsForcedRestart(const SupervisorConfig& config,
+                     std::int64_t round) noexcept {
+  return std::find(config.forced_restart_rounds.begin(),
+                   config.forced_restart_rounds.end(),
+                   round) != config.forced_restart_rounds.end();
+}
+
+void Classify(const BlockAnalysis& analysis, bool quarantined,
+              DiurnalCounts& counts) {
+  // Quarantined blocks degrade to partial results: whatever was measured
+  // is kept in the analysis record, but the aggregate counts treat the
+  // block as skipped rather than classifying a truncated series.
+  if (quarantined || !analysis.probed || analysis.observed_days < 2) {
+    ++counts.skipped;
+    return;
+  }
+  switch (analysis.diurnal.classification) {
+    case Diurnality::kStrictlyDiurnal:
+      ++counts.strict;
+      break;
+    case Diurnality::kRelaxedDiurnal:
+      ++counts.relaxed;
+      break;
+    case Diurnality::kNonDiurnal:
+      ++counts.non_diurnal;
+      break;
+  }
+}
+
+/// Serializes the current transport state when the transport supports it.
+std::vector<std::uint8_t> SnapshotTransport(net::Transport& transport) {
+  std::vector<std::uint8_t> bytes;
+  if (const auto* stateful =
+          dynamic_cast<const net::StatefulTransport*>(&transport)) {
+    stateful->SaveState(bytes);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
+                                     net::Transport& transport,
+                                     std::int64_t n_rounds,
+                                     const SupervisorConfig& config) {
+  CampaignOutcome outcome;
+  outcome.result.analyses.reserve(targets.size());
+
+  const std::uint64_t fingerprint =
+      CampaignFingerprint(targets, n_rounds, config.seed, config.analyzer);
+
+  std::size_t first_block = 0;
+  std::int64_t resume_round = 0;
+  int consecutive_failures = 0;
+  bool resume_inflight = false;
+  BlockAnalyzerState inflight_state;
+
+  if (!config.checkpoint_path.empty()) {
+    if (auto checkpoint = ReadCheckpoint(config.checkpoint_path);
+        checkpoint && checkpoint->fingerprint == fingerprint &&
+        checkpoint->completed.size() == checkpoint->next_block &&
+        checkpoint->next_block <= targets.size()) {
+      // Restore the transport stream first: if the snapshot does not fit
+      // this transport, the checkpoint belongs to a different setup and
+      // resuming would not be bit-identical — start over instead.
+      bool transport_ok = true;
+      if (!checkpoint->transport_state.empty()) {
+        auto* stateful = dynamic_cast<net::StatefulTransport*>(&transport);
+        transport_ok =
+            stateful && stateful->RestoreState(checkpoint->transport_state);
+      }
+      if (transport_ok) {
+        outcome.result.analyses = std::move(checkpoint->completed);
+        outcome.result.counts = checkpoint->counts;
+        outcome.stats = checkpoint->stats;
+        for (const auto index : checkpoint->quarantined) {
+          outcome.quarantined.push_back(net::Prefix24::FromIndex(index));
+        }
+        first_block = checkpoint->next_block;
+        if (checkpoint->has_inflight) {
+          resume_inflight = true;
+          resume_round = checkpoint->inflight_next_round;
+          consecutive_failures = checkpoint->inflight_consecutive_failures;
+          inflight_state = std::move(checkpoint->inflight);
+        }
+        outcome.resumed = true;
+        outcome.stats.resumed_from_checkpoint = true;
+      }
+    }
+  }
+
+  // Global (this-process) round counter driving checkpoint cadence and
+  // the stop_after_rounds kill switch; gap rounds count — they consume
+  // wall-clock just like probed rounds.
+  std::int64_t processed_rounds = 0;
+
+  const auto save = [&](std::size_t next_block, bool has_inflight,
+                        std::int64_t next_round, int failures,
+                        const BlockAnalyzer* analyzer) {
+    if (config.checkpoint_path.empty()) return;
+    Checkpoint checkpoint;
+    checkpoint.fingerprint = fingerprint;
+    checkpoint.counts = outcome.result.counts;
+    checkpoint.completed = outcome.result.analyses;
+    for (const auto& block : outcome.quarantined) {
+      checkpoint.quarantined.push_back(block.Index());
+    }
+    checkpoint.next_block = next_block;
+    checkpoint.has_inflight = has_inflight;
+    if (has_inflight) {
+      checkpoint.inflight_next_round = next_round;
+      checkpoint.inflight_consecutive_failures = failures;
+      checkpoint.inflight = analyzer->ExportState();
+    }
+    checkpoint.transport_state = SnapshotTransport(transport);
+    ++outcome.stats.checkpoints_written;  // the snapshot counts itself
+    checkpoint.stats = outcome.stats;
+    if (!WriteCheckpoint(config.checkpoint_path, checkpoint)) {
+      --outcome.stats.checkpoints_written;
+    }
+  };
+
+  for (std::size_t i = first_block; i < targets.size(); ++i) {
+    auto& target = targets[i];
+    const std::uint32_t block_index = target.block.Index();
+    BlockAnalyzer analyzer{target.block, std::move(target.ever_active),
+                           target.initial_availability,
+                           config.seed ^ block_index, config.analyzer};
+    std::int64_t start_round = 0;
+    if (resume_inflight) {
+      analyzer.RestoreState(std::move(inflight_state));
+      start_round = resume_round;
+      resume_inflight = false;
+    } else {
+      consecutive_failures = 0;
+    }
+
+    bool quarantined = false;
+    for (std::int64_t round = start_round; round < n_rounds; ++round) {
+      if (InGap(config, round)) {
+        // The prober slept through this round: no probes, no A-hat_s
+        // sample. The cleaning stage later interpolates the hole.
+        ++outcome.stats.rounds_gapped;
+      } else {
+        if (IsForcedRestart(config, round)) {
+          analyzer.ForceRestart();
+          ++outcome.stats.forced_restarts;
+        }
+        ++outcome.stats.rounds_attempted;
+
+        bool succeeded = false;
+        for (int attempt = 0; attempt < std::max(config.retry.max_attempts, 1);
+             ++attempt) {
+          const auto snapshot = analyzer.prober_state();
+          try {
+            analyzer.RunRound(transport, round);
+            succeeded = true;
+            break;
+          } catch (const net::TransportError&) {
+            // Roll back the half-run round so a retry does not
+            // double-apply belief and walker-cursor updates.
+            analyzer.restore_prober_state(snapshot);
+            if (attempt + 1 >= std::max(config.retry.max_attempts, 1)) break;
+            ++outcome.stats.retries;
+            const double delay = BackoffDelay(config.retry, config.seed,
+                                              block_index, round, attempt);
+            outcome.stats.backoff_seconds += delay;
+            if (config.sleeper) config.sleeper(delay);
+          }
+        }
+
+        if (succeeded) {
+          consecutive_failures = 0;
+        } else {
+          ++outcome.stats.rounds_failed;
+          ++consecutive_failures;
+          if (config.quarantine_after_failures > 0 &&
+              consecutive_failures >= config.quarantine_after_failures) {
+            quarantined = true;
+            ++outcome.stats.quarantined_blocks;
+            outcome.quarantined.push_back(target.block);
+          }
+        }
+      }
+
+      ++processed_rounds;
+      const bool stopping = config.stop_after_rounds > 0 &&
+                            processed_rounds >= config.stop_after_rounds;
+      if (quarantined) break;
+      if (stopping || (config.checkpoint_every_rounds > 0 &&
+                       processed_rounds % config.checkpoint_every_rounds ==
+                           0)) {
+        // Always in-flight, even after the final round: resume restores
+        // the analyzer (round loop is empty) and goes straight to
+        // Finish(), instead of re-running the block from scratch.
+        save(i, /*has_inflight=*/true, round + 1, consecutive_failures,
+             &analyzer);
+        if (stopping) {
+          outcome.stopped_early = true;
+          return outcome;
+        }
+      }
+    }
+
+    auto analysis = analyzer.Finish();
+    Classify(analysis, quarantined, outcome.result.counts);
+    outcome.result.analyses.push_back(std::move(analysis));
+    save(i + 1, /*has_inflight=*/false, 0, 0, nullptr);
+    if (config.progress) config.progress(i + 1, targets.size());
+  }
+
+  return outcome;
+}
+
+}  // namespace sleepwalk::core

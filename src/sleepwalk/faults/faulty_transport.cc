@@ -1,0 +1,119 @@
+#include "sleepwalk/faults/faulty_transport.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sleepwalk::faults {
+
+FaultyTransport::FaultyTransport(net::Transport& inner, FaultPlan plan)
+    : inner_(inner), plan_(std::move(plan)) {}
+
+bool FaultyTransport::BurstStateAt(std::uint32_t block,
+                                   std::int64_t window) noexcept {
+  auto& cursor = chains_[block];
+  const bool bad =
+      GilbertElliottStateAt(plan_.burst, plan_.seed, block, window,
+                            cursor.window, cursor.bad);
+  // Only advance the cursor forward: a retried round re-queries an older
+  // window, and rewinding the cache would make the recompute O(window).
+  if (window >= cursor.window) {
+    cursor.window = window;
+    cursor.bad = bad;
+  }
+  return bad;
+}
+
+net::ProbeStatus FaultyTransport::Probe(net::Ipv4Addr target,
+                                        std::int64_t when_sec) {
+  ++accounting_.attempts;
+  const std::uint32_t block = net::Prefix24{target}.Index();
+  if (when_sec != current_when_ || block != current_block_) {
+    current_when_ = when_sec;
+    current_block_ = block;
+    window_probes_ = 0;
+    attempt_counts_.clear();
+  }
+  const std::uint32_t attempt = attempt_counts_[target.value()]++;
+
+  if (plan_.IsDead(block) || InAnyWindow(plan_.error_windows, when_sec)) {
+    ++accounting_.errors;
+    throw net::TransportError{"injected transport fault"};
+  }
+
+  ++window_probes_;
+  if (plan_.rate_limit_per_window > 0 &&
+      window_probes_ > plan_.rate_limit_per_window) {
+    ++accounting_.rate_limited;
+    return net::ProbeStatus::kTimeout;
+  }
+  if (InAnyWindow(plan_.unreachable_windows, when_sec)) {
+    ++accounting_.unreachable;
+    return net::ProbeStatus::kUnreachable;
+  }
+  if (InAnyWindow(plan_.timeout_windows, when_sec)) {
+    ++accounting_.lost;
+    return net::ProbeStatus::kTimeout;
+  }
+
+  // Loss: i.i.d. and bursty drops are independent events; a probe
+  // survives only when it dodges both.
+  double loss = plan_.iid_loss;
+  if (plan_.burst.enabled) {
+    const std::int64_t window =
+        plan_.window_seconds > 0 ? when_sec / plan_.window_seconds : 0;
+    const double burst_loss = BurstStateAt(block, window)
+                                  ? plan_.burst.loss_bad
+                                  : plan_.burst.loss_good;
+    loss = 1.0 - (1.0 - loss) * (1.0 - burst_loss);
+  }
+  if (loss > 0.0) {
+    const double u =
+        HashUnit(plan_.seed ^ 0x10550001ULL,
+                 (static_cast<std::uint64_t>(target.value()) << 32) |
+                     static_cast<std::uint64_t>(attempt),
+                 static_cast<std::uint64_t>(when_sec));
+    if (u < loss) {
+      ++accounting_.lost;
+      return net::ProbeStatus::kTimeout;
+    }
+  }
+
+  const auto status = inner_.Probe(target, when_sec);
+  switch (status) {
+    case net::ProbeStatus::kEchoReply:
+      ++accounting_.answered;
+      break;
+    case net::ProbeStatus::kTimeout:
+      ++accounting_.lost;
+      break;
+    case net::ProbeStatus::kUnreachable:
+      ++accounting_.unreachable;
+      break;
+  }
+  return status;
+}
+
+void FaultyTransport::SaveState(std::vector<std::uint8_t>& out) const {
+  const auto append = [&out](const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out.insert(out.end(), p, p + bytes);
+  };
+  append(&accounting_, sizeof(accounting_));
+  if (const auto* stateful =
+          dynamic_cast<const net::StatefulTransport*>(&inner_)) {
+    stateful->SaveState(out);
+  }
+}
+
+bool FaultyTransport::RestoreState(std::span<const std::uint8_t> in) {
+  if (in.size() < sizeof(accounting_)) return false;
+  std::copy_n(in.data(), sizeof(accounting_),
+              reinterpret_cast<std::uint8_t*>(&accounting_));
+  const auto rest = in.subspan(sizeof(accounting_));
+  if (auto* stateful = dynamic_cast<net::StatefulTransport*>(&inner_)) {
+    return stateful->RestoreState(rest);
+  }
+  return rest.empty();
+}
+
+}  // namespace sleepwalk::faults

@@ -1,0 +1,82 @@
+#include "sleepwalk/faults/plan.h"
+
+#include <algorithm>
+
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::faults {
+
+bool InAnyWindow(std::span<const FaultWindow> windows,
+                 std::int64_t when_sec) noexcept {
+  return std::any_of(windows.begin(), windows.end(),
+                     [when_sec](const FaultWindow& window) {
+                       return window.Contains(when_sec);
+                     });
+}
+
+std::vector<std::int64_t> PeriodicRestarts(std::int64_t every_rounds,
+                                           std::int64_t n_rounds) {
+  std::vector<std::int64_t> rounds;
+  if (every_rounds <= 0) return rounds;
+  for (std::int64_t round = every_rounds; round < n_rounds;
+       round += every_rounds) {
+    rounds.push_back(round);
+  }
+  return rounds;
+}
+
+std::vector<FaultWindow> RandomWindows(std::uint64_t seed, int count,
+                                       std::int64_t campaign_seconds,
+                                       std::int64_t mean_seconds) {
+  std::vector<FaultWindow> windows;
+  if (count <= 0 || campaign_seconds <= 0 || mean_seconds <= 0) {
+    return windows;
+  }
+  Rng rng{seed ^ 0x51eef0c5ULL};
+  windows.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto start = static_cast<std::int64_t>(
+        rng.NextBelow(static_cast<std::uint64_t>(campaign_seconds)));
+    // Length in [mean/2, 3*mean/2): bounded so a "transient" storm cannot
+    // randomly swallow the campaign.
+    const auto length =
+        mean_seconds / 2 +
+        static_cast<std::int64_t>(rng.NextBelow(
+            static_cast<std::uint64_t>(std::max<std::int64_t>(
+                1, mean_seconds))));
+    windows.push_back({start, std::min(start + length, campaign_seconds)});
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const FaultWindow& a, const FaultWindow& b) {
+              return a.start_sec < b.start_sec;
+            });
+  return windows;
+}
+
+double HashUnit(std::uint64_t a, std::uint64_t b, std::uint64_t c) noexcept {
+  return static_cast<double>(MixHash(a, b, c) >> 11) * 0x1.0p-53;
+}
+
+bool GilbertElliottStateAt(const GilbertElliott& model, std::uint64_t seed,
+                           std::uint32_t block, std::int64_t window,
+                           std::int64_t cached_window,
+                           bool cached_state) noexcept {
+  if (!model.enabled || window < 0) return false;
+  // The chain starts good at window 0 and evolves one transition draw per
+  // window, each a pure function of (seed, block, step) — so any two
+  // computations of the same window agree, cached cursor or not.
+  std::int64_t step = 0;
+  bool bad = false;
+  if (cached_window >= 0 && cached_window <= window) {
+    step = cached_window;
+    bad = cached_state;
+  }
+  for (; step < window; ++step) {
+    const double u = HashUnit(seed ^ 0x6e11b075ULL, block,
+                              static_cast<std::uint64_t>(step));
+    bad = bad ? (u >= model.p_bad_to_good) : (u < model.p_good_to_bad);
+  }
+  return bad;
+}
+
+}  // namespace sleepwalk::faults

@@ -1,0 +1,130 @@
+// FaultPlan: a deterministic, seeded schedule of measurement-plane
+// faults.
+//
+// The paper's pipeline only works because it survives a hostile
+// measurement plane: §2.1's estimator absorbs biased, quantized probing;
+// §4 shows a mere prober *restart* manufacturing a phantom 4.3 cycles/day
+// spectral line (Fig 10); and the cleaning stage (§2.2) exists because
+// real campaigns drop rounds. A FaultPlan makes those failures
+// injectable and reproducible: wrap any net::Transport in a
+// FaultyTransport and the same seed replays the same packet loss, ICMP
+// rate limiting, unreachable storms, transport breakage, prober restarts
+// and clock gaps — so tests and benches can measure how much each fault
+// distorts the diurnal verdicts.
+//
+// Loss models:
+//  * i.i.d.: every probe dropped with probability `iid_loss`;
+//  * bursty (Gilbert-Elliott): a two-state Markov chain per /24 stepping
+//    once per `window_seconds` (one probing round), dropping probes with
+//    `loss_good` / `loss_bad` depending on state. Burstiness is what
+//    turns "2% loss" into multi-round outage look-alikes.
+//
+// All per-probe randomness is derived statelessly from
+// (seed, target, window, attempt), and the Gilbert-Elliott chain state at
+// window w is a pure function of (seed, block, w) — so a campaign resumed
+// from a round-boundary checkpoint sees the exact fault sequence an
+// uninterrupted run would have seen.
+#ifndef SLEEPWALK_FAULTS_PLAN_H_
+#define SLEEPWALK_FAULTS_PLAN_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace sleepwalk::faults {
+
+/// A half-open time window [start_sec, end_sec) in campaign time.
+struct FaultWindow {
+  std::int64_t start_sec = 0;
+  std::int64_t end_sec = 0;
+
+  bool Contains(std::int64_t when_sec) const noexcept {
+    return when_sec >= start_sec && when_sec < end_sec;
+  }
+};
+
+/// True when any window contains `when_sec`.
+bool InAnyWindow(std::span<const FaultWindow> windows,
+                 std::int64_t when_sec) noexcept;
+
+/// Gilbert-Elliott bursty-loss parameters. Defaults model occasional
+/// multi-round loss bursts on an otherwise clean path.
+struct GilbertElliott {
+  bool enabled = false;
+  double p_good_to_bad = 0.05;  ///< per-window entry into the bad state
+  double p_bad_to_good = 0.3;   ///< per-window recovery
+  double loss_good = 0.0;       ///< drop probability in the good state
+  double loss_bad = 0.8;        ///< drop probability in the bad state
+
+  /// Long-run fraction of windows spent in the bad state.
+  double StationaryBad() const noexcept {
+    const double denom = p_good_to_bad + p_bad_to_good;
+    return denom > 0.0 ? p_good_to_bad / denom : 0.0;
+  }
+
+  /// Long-run expected loss rate.
+  double ExpectedLoss() const noexcept {
+    const double bad = StationaryBad();
+    return bad * loss_bad + (1.0 - bad) * loss_good;
+  }
+};
+
+/// The full fault schedule for one campaign.
+struct FaultPlan {
+  std::uint64_t seed = 0xfa017;    ///< per-probe randomness key
+  std::int64_t window_seconds = 660;  ///< GE step = one probing round
+
+  // --- transport-level faults (consumed by FaultyTransport) ---
+  double iid_loss = 0.0;           ///< i.i.d. drop probability
+  GilbertElliott burst;            ///< bursty loss overlay
+  /// Probes per (block, round instant) before an ICMP rate limiter
+  /// starts dropping; 0 disables.
+  int rate_limit_per_window = 0;
+  std::vector<FaultWindow> timeout_windows;      ///< every probe times out
+  std::vector<FaultWindow> unreachable_windows;  ///< kUnreachable storms
+  std::vector<FaultWindow> error_windows;  ///< transport throws (breakage)
+  /// /24 prefix indices that persistently error — the blocks a resilient
+  /// supervisor must quarantine instead of aborting the campaign.
+  std::unordered_set<std::uint32_t> dead_blocks;
+
+  // --- supervisor-level faults (consumed by the campaign supervisor) ---
+  /// Rounds at which the prober is restarted (§4's artifact on demand).
+  std::vector<std::int64_t> restart_rounds;
+  /// Half-open round ranges [first, last) the prober sleeps through
+  /// (process dead / clock gap): no probes, no observations.
+  std::vector<std::pair<std::int64_t, std::int64_t>> gap_round_windows;
+
+  bool IsDead(std::uint32_t prefix_index) const noexcept {
+    return dead_blocks.count(prefix_index) != 0;
+  }
+};
+
+/// Restart schedule every `every_rounds` rounds over [1, n_rounds)
+/// (round 0 is a fresh start already, as in probing::RoundScheduler).
+std::vector<std::int64_t> PeriodicRestarts(std::int64_t every_rounds,
+                                           std::int64_t n_rounds);
+
+/// `count` seeded random windows of ~`mean_seconds` length placed
+/// uniformly in [0, campaign_seconds); deterministic in `seed`.
+std::vector<FaultWindow> RandomWindows(std::uint64_t seed, int count,
+                                       std::int64_t campaign_seconds,
+                                       std::int64_t mean_seconds);
+
+/// Uniform [0, 1) draw from up to three keys — the stateless randomness
+/// every fault decision uses.
+double HashUnit(std::uint64_t a, std::uint64_t b, std::uint64_t c) noexcept;
+
+/// Gilbert-Elliott chain state (true = bad) for `block` at chain step
+/// `window`, as a pure function of the plan seed. O(window) when computed
+/// from scratch; FaultyTransport caches per-block cursors so sequential
+/// campaigns pay O(1) amortized.
+bool GilbertElliottStateAt(const GilbertElliott& model, std::uint64_t seed,
+                           std::uint32_t block, std::int64_t window,
+                           std::int64_t cached_window = -1,
+                           bool cached_state = false) noexcept;
+
+}  // namespace sleepwalk::faults
+
+#endif  // SLEEPWALK_FAULTS_PLAN_H_

@@ -68,6 +68,7 @@ std::optional<EchoReply> RawIcmpSocket::WaitForReply(
     if (remaining.count() <= 0) return std::nullopt;
     pollfd pfd{fd_.get(), POLLIN, 0};
     const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready < 0 && errno == EINTR) continue;  // signal, not a timeout
     if (ready <= 0) return std::nullopt;
 
     sockaddr_in from{};

@@ -1,5 +1,8 @@
 #include "sleepwalk/net/transport.h"
 
+#include <cerrno>
+
+#include <algorithm>
 #include <atomic>
 
 #include "sleepwalk/net/socket.h"
@@ -8,15 +11,29 @@ namespace sleepwalk::net {
 
 namespace {
 
+/// Errors that mean "try again", not "the network rejected the probe".
+bool IsTransientErrno(int err) noexcept {
+  return err == EINTR || err == EAGAIN || err == EWOULDBLOCK ||
+         err == ENOBUFS || err == ENOMEM;
+}
+
 class LiveIcmpTransport final : public Transport {
  public:
   LiveIcmpTransport(RawIcmpSocket socket, int timeout_ms) noexcept
-      : socket_(std::move(socket)), timeout_ms_(timeout_ms) {}
+      : socket_(std::move(socket)), timeout_ms_(std::max(timeout_ms, 1)) {}
 
   ProbeStatus Probe(Ipv4Addr target, std::int64_t /*when_sec*/) override {
     const auto seq = static_cast<std::uint16_t>(sequence_.fetch_add(1));
-    if (!socket_.SendEchoRequest(target, kIcmpId, seq)) {
-      return ProbeStatus::kUnreachable;
+    // One bounded retry on transient send errors: an EINTR'd sendto must
+    // not masquerade as an ICMP unreachable — that would feed phantom
+    // hard-down evidence into the belief model.
+    bool sent = socket_.SendEchoRequest(target, kIcmpId, seq);
+    if (!sent && IsTransientErrno(errno)) {
+      sent = socket_.SendEchoRequest(target, kIcmpId, seq);
+    }
+    if (!sent) {
+      return IsTransientErrno(errno) ? ProbeStatus::kTimeout
+                                     : ProbeStatus::kUnreachable;
     }
     const auto reply =
         socket_.WaitForReply(kIcmpId, std::chrono::milliseconds{timeout_ms_});

@@ -8,6 +8,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "sleepwalk/net/ipv4.h"
 
@@ -26,6 +30,16 @@ constexpr bool IsPositive(ProbeStatus status) noexcept {
   return status == ProbeStatus::kEchoReply;
 }
 
+/// Thrown by transports whose probing machinery itself failed (socket
+/// torn down, injected fault window, ...): distinct from a probe that was
+/// sent and went unanswered. The campaign supervisor retries these with
+/// backoff and eventually quarantines the block.
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 /// Abstract probing transport. `when_sec` is the measurement time in
 /// seconds since the dataset epoch; simulated transports evaluate the
 /// world at that instant, live transports ignore it and use wall clock.
@@ -35,8 +49,22 @@ class Transport {
   virtual ProbeStatus Probe(Ipv4Addr target, std::int64_t when_sec) = 0;
 };
 
+/// A transport whose internal randomness/counters can be persisted, so a
+/// checkpointed campaign resumes bit-identically to an uninterrupted run.
+/// Live transports have no meaningful state to save; simulated ones do.
+class StatefulTransport : public Transport {
+ public:
+  /// Appends an opaque serialized state blob to `out`.
+  virtual void SaveState(std::vector<std::uint8_t>& out) const = 0;
+  /// Restores state written by SaveState; false on malformed input.
+  virtual bool RestoreState(std::span<const std::uint8_t> in) = 0;
+};
+
 /// Live transport over a RawIcmpSocket. Construction fails (returns null)
-/// when no ICMP socket can be opened.
+/// when no ICMP socket can be opened. Non-positive `timeout_ms` is
+/// clamped to 1 ms. Transient send errors (EINTR/EAGAIN) are retried once
+/// and then reported as kTimeout — only hard network errors (for example
+/// ENETUNREACH) surface as kUnreachable.
 std::unique_ptr<Transport> MakeLiveIcmpTransport(int timeout_ms = 1000);
 
 }  // namespace sleepwalk::net

@@ -49,6 +49,11 @@ class BeliefModel {
   /// Resets to the prior (prober restart).
   void Reset() noexcept { belief_ = params_.prior_up; }
 
+  /// Restores a checkpointed belief value (clamped to [0, 1]).
+  void RestoreBelief(double belief) noexcept {
+    belief_ = belief < 0.0 ? 0.0 : belief > 1.0 ? 1.0 : belief;
+  }
+
  private:
   void Update(double likelihood_up, double likelihood_down) noexcept;
 

@@ -1,14 +1,29 @@
 #include "sleepwalk/probing/prober.h"
 
+#include <stdexcept>
 #include <utility>
 
 namespace sleepwalk::probing {
+
+namespace {
+
+std::vector<std::uint8_t> RequireNonEmpty(
+    std::vector<std::uint8_t> ever_active) {
+  if (ever_active.empty()) {
+    throw std::invalid_argument{
+        "AdaptiveProber: ever-active set is empty; the Trinocular policy "
+        "(min_ever_active) should have rejected this block upstream"};
+  }
+  return ever_active;
+}
+
+}  // namespace
 
 AdaptiveProber::AdaptiveProber(net::Prefix24 block,
                                std::vector<std::uint8_t> ever_active,
                                std::uint64_t seed, const ProberConfig& config)
     : block_(block), config_(config),
-      walker_(std::move(ever_active), seed ^ block.Index()),
+      walker_(RequireNonEmpty(std::move(ever_active)), seed ^ block.Index()),
       belief_model_(config.belief) {}
 
 RoundRecord AdaptiveProber::RunRound(net::Transport& transport,
@@ -45,6 +60,16 @@ RoundRecord AdaptiveProber::RunRound(net::Transport& transport,
 void AdaptiveProber::Restart() noexcept {
   walker_.Restart();
   belief_model_.Reset();
+}
+
+ProberState AdaptiveProber::ExportState() const noexcept {
+  return {static_cast<std::uint64_t>(walker_.cursor()),
+          belief_model_.belief()};
+}
+
+void AdaptiveProber::RestoreState(const ProberState& state) noexcept {
+  walker_.set_cursor(static_cast<std::size_t>(state.cursor));
+  belief_model_.RestoreBelief(state.belief);
 }
 
 }  // namespace sleepwalk::probing

@@ -42,10 +42,19 @@ struct RoundRecord {
   double belief = 0.0;          ///< belief after the round
 };
 
+/// Round-boundary snapshot of a prober's mutable state: enough to resume
+/// a checkpointed campaign, or to roll back a round aborted mid-way by a
+/// transport error before retrying it.
+struct ProberState {
+  std::uint64_t cursor = 0;
+  double belief = 0.0;
+};
+
 /// Adaptive prober for a single /24 block.
 class AdaptiveProber {
  public:
   /// `ever_active` holds the last-octets of E(b) from historical data.
+  /// Must be non-empty; throws std::invalid_argument otherwise.
   AdaptiveProber(net::Prefix24 block, std::vector<std::uint8_t> ever_active,
                  std::uint64_t seed, const ProberConfig& config = {});
 
@@ -56,6 +65,10 @@ class AdaptiveProber {
 
   /// Simulates a prober software restart: belief and walk position reset.
   void Restart() noexcept;
+
+  /// Captures / restores the mutable state (walker cursor + belief).
+  ProberState ExportState() const noexcept;
+  void RestoreState(const ProberState& state) noexcept;
 
   net::Prefix24 block() const noexcept { return block_; }
   std::size_t ever_active_count() const noexcept { return walker_.size(); }

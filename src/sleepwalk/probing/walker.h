@@ -20,7 +20,8 @@ namespace sleepwalk::probing {
 class AddressWalker {
  public:
   /// `ever_active` lists the last-octets of E(b), the addresses known to
-  /// have responded historically. Must be non-empty.
+  /// have responded historically. Must be non-empty: an empty set is
+  /// rejected with std::invalid_argument (Next() would otherwise be UB).
   AddressWalker(std::vector<std::uint8_t> ever_active, std::uint64_t seed);
 
   /// Next address to probe; wraps around the permutation forever.
@@ -33,6 +34,14 @@ class AddressWalker {
 
   std::size_t size() const noexcept { return order_.size(); }
   const std::vector<std::uint8_t>& order() const noexcept { return order_; }
+
+  /// Walk position, exposed for checkpointing. The permutation itself is
+  /// a pure function of (ever_active, seed), so cursor alone restores the
+  /// walk.
+  std::size_t cursor() const noexcept { return cursor_; }
+  void set_cursor(std::size_t cursor) noexcept {
+    cursor_ = cursor % order_.size();
+  }
 
  private:
   std::vector<std::uint8_t> order_;

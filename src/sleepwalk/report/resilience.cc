@@ -1,0 +1,73 @@
+#include "sleepwalk/report/resilience.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "sleepwalk/report/table.h"
+
+namespace sleepwalk::report {
+
+void PrintResilienceReport(std::ostream& out, const ResilienceStats& stats) {
+  const auto& p = stats.probes;
+  TextTable table{{"resilience", "count"}};
+  table.AddRow({"probe attempts", WithCommas(
+      static_cast<long long>(p.attempts))});
+  table.AddRow({"  sent", WithCommas(static_cast<long long>(p.sent()))});
+  table.AddRow({"  answered", WithCommas(
+      static_cast<long long>(p.answered))});
+  table.AddRow({"  lost (timeout)", WithCommas(
+      static_cast<long long>(p.lost))});
+  table.AddRow({"  rate-limited", WithCommas(
+      static_cast<long long>(p.rate_limited))});
+  table.AddRow({"  unreachable", WithCommas(
+      static_cast<long long>(p.unreachable))});
+  table.AddRow({"  transport errors", WithCommas(
+      static_cast<long long>(p.errors))});
+  table.AddRule();
+  table.AddRow({"rounds attempted", WithCommas(
+      static_cast<long long>(stats.rounds_attempted))});
+  table.AddRow({"rounds failed", WithCommas(
+      static_cast<long long>(stats.rounds_failed))});
+  table.AddRow({"rounds gapped", WithCommas(
+      static_cast<long long>(stats.rounds_gapped))});
+  table.AddRow({"round retries", WithCommas(
+      static_cast<long long>(stats.retries))});
+  table.AddRow({"backoff budget (s)", Fixed(stats.backoff_seconds, 2)});
+  table.AddRow({"forced restarts", WithCommas(
+      static_cast<long long>(stats.forced_restarts))});
+  table.AddRow({"quarantined blocks", WithCommas(
+      static_cast<long long>(stats.quarantined_blocks))});
+  table.AddRow({"checkpoints written", WithCommas(
+      static_cast<long long>(stats.checkpoints_written))});
+  table.AddRow({"resumed from checkpoint",
+                stats.resumed_from_checkpoint ? "yes" : "no"});
+  table.Print(out);
+  if (!p.Balanced()) {
+    out << "WARNING: probe accounting does not balance (sent "
+        << p.sent() << " != answered " << p.answered << " + lost "
+        << p.lost << " + rate-limited " << p.rate_limited
+        << " + unreachable " << p.unreachable << ")\n";
+  }
+}
+
+std::string ResilienceCsvHeader() {
+  return "attempts,errors,answered,lost,rate_limited,unreachable,"
+         "rounds_attempted,rounds_failed,rounds_gapped,retries,"
+         "backoff_seconds,forced_restarts,quarantined_blocks,"
+         "checkpoints_written,resumed";
+}
+
+std::string ResilienceCsvRow(const ResilienceStats& stats) {
+  std::ostringstream row;
+  const auto& p = stats.probes;
+  row << p.attempts << ',' << p.errors << ',' << p.answered << ','
+      << p.lost << ',' << p.rate_limited << ',' << p.unreachable << ','
+      << stats.rounds_attempted << ',' << stats.rounds_failed << ','
+      << stats.rounds_gapped << ',' << stats.retries << ','
+      << stats.backoff_seconds << ',' << stats.forced_restarts << ','
+      << stats.quarantined_blocks << ',' << stats.checkpoints_written << ','
+      << (stats.resumed_from_checkpoint ? 1 : 0);
+  return row.str();
+}
+
+}  // namespace sleepwalk::report

@@ -1,0 +1,86 @@
+// Per-campaign resilience accounting.
+//
+// A measurement campaign over a hostile network must be able to *state*
+// how much signal survived: probes sent vs answered vs lost vs
+// rate-limited, how often rounds were retried, which blocks were
+// quarantined, how many checkpoints protected the run. Experiments print
+// this next to their diurnal fractions so "20% of blocks are diurnal"
+// always carries its denominator's health.
+#ifndef SLEEPWALK_REPORT_RESILIENCE_H_
+#define SLEEPWALK_REPORT_RESILIENCE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace sleepwalk::report {
+
+/// Transport-level probe accounting. Every Probe() call lands in exactly
+/// one bucket: attempts = errors (never sent) + sent, and
+/// sent = answered + lost + rate_limited + unreachable.
+struct ProbeAccounting {
+  std::uint64_t attempts = 0;      ///< Probe() invocations
+  std::uint64_t errors = 0;        ///< transport threw; probe never sent
+  std::uint64_t answered = 0;      ///< echo replies
+  std::uint64_t lost = 0;          ///< timeouts (real or injected loss)
+  std::uint64_t rate_limited = 0;  ///< dropped by an ICMP rate limit
+  std::uint64_t unreachable = 0;   ///< explicit ICMP unreachable
+
+  std::uint64_t sent() const noexcept { return attempts - errors; }
+
+  /// True when every probe is accounted for.
+  bool Balanced() const noexcept {
+    return sent() == answered + lost + rate_limited + unreachable;
+  }
+
+  void Merge(const ProbeAccounting& other) noexcept {
+    attempts += other.attempts;
+    errors += other.errors;
+    answered += other.answered;
+    lost += other.lost;
+    rate_limited += other.rate_limited;
+    unreachable += other.unreachable;
+  }
+};
+
+/// Supervisor-level recovery accounting for one campaign.
+struct ResilienceStats {
+  ProbeAccounting probes;
+
+  std::uint64_t rounds_attempted = 0;  ///< block-rounds the supervisor ran
+  std::uint64_t rounds_failed = 0;     ///< rounds lost after all retries
+  std::uint64_t rounds_gapped = 0;     ///< rounds skipped by clock gaps
+  std::uint64_t retries = 0;           ///< round re-executions
+  double backoff_seconds = 0.0;        ///< total retry delay budgeted
+
+  std::uint64_t forced_restarts = 0;      ///< injected prober restarts
+  std::uint64_t quarantined_blocks = 0;   ///< blocks abandoned as dead
+  std::uint64_t checkpoints_written = 0;
+  bool resumed_from_checkpoint = false;
+
+  void Merge(const ResilienceStats& other) noexcept {
+    probes.Merge(other.probes);
+    rounds_attempted += other.rounds_attempted;
+    rounds_failed += other.rounds_failed;
+    rounds_gapped += other.rounds_gapped;
+    retries += other.retries;
+    backoff_seconds += other.backoff_seconds;
+    forced_restarts += other.forced_restarts;
+    quarantined_blocks += other.quarantined_blocks;
+    checkpoints_written += other.checkpoints_written;
+    resumed_from_checkpoint =
+        resumed_from_checkpoint || other.resumed_from_checkpoint;
+  }
+};
+
+/// Renders the stats as a two-column text table.
+void PrintResilienceReport(std::ostream& out, const ResilienceStats& stats);
+
+/// One CSV row (header written when `header` is true):
+/// attempts,errors,answered,lost,rate_limited,unreachable,...
+std::string ResilienceCsvHeader();
+std::string ResilienceCsvRow(const ResilienceStats& stats);
+
+}  // namespace sleepwalk::report
+
+#endif  // SLEEPWALK_REPORT_RESILIENCE_H_

@@ -1,5 +1,7 @@
 #include "sleepwalk/sim/block.h"
 
+#include <algorithm>
+
 namespace sleepwalk::sim {
 
 namespace {
@@ -118,6 +120,42 @@ net::ProbeStatus SimTransport::Probe(net::Ipv4Addr target,
   return AddressResponds(*it->second, octet, when_sec, rng_)
              ? net::ProbeStatus::kEchoReply
              : net::ProbeStatus::kTimeout;
+}
+
+void SimTransport::SaveState(std::vector<std::uint8_t>& out) const {
+  const auto rng = rng_.SaveState();
+  const auto append = [&out](const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out.insert(out.end(), p, p + bytes);
+  };
+  for (const auto word : rng.words) append(&word, sizeof(word));
+  const std::uint8_t have_spare = rng.have_spare ? 1 : 0;
+  append(&have_spare, sizeof(have_spare));
+  append(&rng.spare, sizeof(rng.spare));
+  append(&probes_sent_, sizeof(probes_sent_));
+}
+
+bool SimTransport::RestoreState(std::span<const std::uint8_t> in) {
+  Rng::State rng;
+  std::size_t offset = 0;
+  const auto take = [&in, &offset](void* data, std::size_t bytes) {
+    if (offset + bytes > in.size()) return false;
+    std::copy_n(in.data() + offset, bytes, static_cast<std::uint8_t*>(data));
+    offset += bytes;
+    return true;
+  };
+  for (auto& word : rng.words) {
+    if (!take(&word, sizeof(word))) return false;
+  }
+  std::uint8_t have_spare = 0;
+  if (!take(&have_spare, sizeof(have_spare)) ||
+      !take(&rng.spare, sizeof(rng.spare)) ||
+      !take(&probes_sent_, sizeof(probes_sent_))) {
+    return false;
+  }
+  rng.have_spare = have_spare != 0;
+  rng_.RestoreState(rng);
+  return offset == in.size();
 }
 
 }  // namespace sleepwalk::sim

@@ -80,8 +80,10 @@ double DiurnalStartOf(const BlockSpec& spec, std::uint8_t octet) noexcept;
 
 /// net::Transport over a set of BlockSpecs. Each site gets its own
 /// SimTransport (own RNG seed): response-loss draws are independent
-/// across sites while the underlying world state is shared.
-class SimTransport final : public net::Transport {
+/// across sites while the underlying world state is shared. Stateful: the
+/// response-loss RNG stream advances per probe, so checkpoints persist it
+/// to keep resumed campaigns bit-identical.
+class SimTransport final : public net::StatefulTransport {
  public:
   explicit SimTransport(std::uint64_t site_seed) : rng_(site_seed) {}
 
@@ -89,6 +91,9 @@ class SimTransport final : public net::Transport {
   void AddBlock(const BlockSpec* spec);
 
   net::ProbeStatus Probe(net::Ipv4Addr target, std::int64_t when_sec) override;
+
+  void SaveState(std::vector<std::uint8_t>& out) const override;
+  bool RestoreState(std::span<const std::uint8_t> in) override;
 
   std::uint64_t probes_sent() const noexcept { return probes_sent_; }
 

@@ -15,14 +15,20 @@
 #include "sleepwalk/core/daily_profile.h"
 #include "sleepwalk/core/dataset.h"
 #include "sleepwalk/core/diurnal.h"
+#include "sleepwalk/core/checkpoint.h"
 #include "sleepwalk/core/pipeline.h"
 #include "sleepwalk/core/quick_screen.h"
+#include "sleepwalk/core/supervisor.h"
 
 // Probing substrate (Trinocular).
 #include "sleepwalk/probing/belief.h"
 #include "sleepwalk/probing/prober.h"
 #include "sleepwalk/probing/scheduler.h"
 #include "sleepwalk/probing/walker.h"
+
+// Fault injection (deterministic measurement-plane breakage).
+#include "sleepwalk/faults/faulty_transport.h"
+#include "sleepwalk/faults/plan.h"
 
 // Networking primitives.
 #include "sleepwalk/net/checksum.h"
@@ -69,6 +75,7 @@
 #include "sleepwalk/report/chart.h"
 #include "sleepwalk/report/csv.h"
 #include "sleepwalk/report/image.h"
+#include "sleepwalk/report/resilience.h"
 #include "sleepwalk/report/table.h"
 
 #endif  // SLEEPWALK_SLEEPWALK_H_

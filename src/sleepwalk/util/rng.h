@@ -79,6 +79,21 @@ class Rng {
   /// Standard normal deviate (Marsaglia polar method).
   double NextGaussian() noexcept;
 
+  /// Full generator state, exposed so checkpoints can persist and restore
+  /// an in-flight stream (bit-identical resume across process restarts).
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    bool have_spare = false;
+    double spare = 0.0;
+  };
+
+  State SaveState() const noexcept { return {state_, have_spare_, spare_}; }
+  void RestoreState(const State& state) noexcept {
+    state_ = state.words;
+    have_spare_ = state.have_spare;
+    spare_ = state.spare;
+  }
+
  private:
   static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -98,6 +98,16 @@ TEST(BlockAnalyzer, PolicyThresholdConfigurable) {
   EXPECT_TRUE(analysis.probed);
 }
 
+TEST(BlockAnalyzer, EmptyEverActiveDegradesToSkippedEvenWithZeroPolicy) {
+  // min_ever_active <= 0 must not feed an empty E(b) into the walker
+  // (which would throw); the block degrades to "skipped".
+  AnalyzerConfig config;
+  config.min_ever_active = 0;
+  BlockAnalyzer analyzer{net::Prefix24::FromIndex(504), {}, 0.5, 1, config};
+  EXPECT_FALSE(analyzer.probing_enabled());
+  EXPECT_FALSE(analyzer.Finish().probed);
+}
+
 TEST(BlockAnalyzer, ProbeBudgetStaysTrinocularScale) {
   // Paper: outage detection needs < 20 probes/hour/block. 11-minute
   // rounds -> ~5.45 rounds/hour, so mean probes/round must stay small

@@ -1,0 +1,145 @@
+// FaultPlan primitives: windows, Gilbert-Elliott chains, schedules.
+#include <gtest/gtest.h>
+
+#include "sleepwalk/faults/plan.h"
+
+namespace sleepwalk::faults {
+namespace {
+
+TEST(FaultWindow, ContainsIsHalfOpen) {
+  const FaultWindow window{100, 200};
+  EXPECT_FALSE(window.Contains(99));
+  EXPECT_TRUE(window.Contains(100));
+  EXPECT_TRUE(window.Contains(199));
+  EXPECT_FALSE(window.Contains(200));
+}
+
+TEST(FaultWindow, InAnyWindowScansAll) {
+  const std::vector<FaultWindow> windows{{0, 10}, {50, 60}};
+  EXPECT_TRUE(InAnyWindow(windows, 5));
+  EXPECT_TRUE(InAnyWindow(windows, 55));
+  EXPECT_FALSE(InAnyWindow(windows, 30));
+  EXPECT_FALSE(InAnyWindow({}, 30));
+}
+
+TEST(GilbertElliott, StationaryBadMatchesTransitionRates) {
+  GilbertElliott model;
+  model.p_good_to_bad = 0.05;
+  model.p_bad_to_good = 0.3;
+  EXPECT_NEAR(model.StationaryBad(), 0.05 / 0.35, 1e-12);
+  model.loss_bad = 0.8;
+  model.loss_good = 0.0;
+  EXPECT_NEAR(model.ExpectedLoss(), (0.05 / 0.35) * 0.8, 1e-12);
+}
+
+TEST(GilbertElliott, ChainStateIsPureFunctionOfInputs) {
+  GilbertElliott model;
+  model.enabled = true;
+  for (std::int64_t window = 0; window < 200; ++window) {
+    EXPECT_EQ(GilbertElliottStateAt(model, 42, 7, window),
+              GilbertElliottStateAt(model, 42, 7, window))
+        << window;
+  }
+  // Different block or seed gives a different (well, almost surely
+  // different somewhere) trajectory.
+  bool any_block_difference = false;
+  bool any_seed_difference = false;
+  for (std::int64_t window = 0; window < 200; ++window) {
+    if (GilbertElliottStateAt(model, 42, 7, window) !=
+        GilbertElliottStateAt(model, 42, 8, window)) {
+      any_block_difference = true;
+    }
+    if (GilbertElliottStateAt(model, 42, 7, window) !=
+        GilbertElliottStateAt(model, 43, 7, window)) {
+      any_seed_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_block_difference);
+  EXPECT_TRUE(any_seed_difference);
+}
+
+TEST(GilbertElliott, CachedCursorMatchesFromScratch) {
+  GilbertElliott model;
+  model.enabled = true;
+  std::int64_t cached_window = -1;
+  bool cached_state = false;
+  for (std::int64_t window = 0; window < 300; ++window) {
+    const bool scratch = GilbertElliottStateAt(model, 9, 3, window);
+    const bool cached = GilbertElliottStateAt(model, 9, 3, window,
+                                              cached_window, cached_state);
+    EXPECT_EQ(scratch, cached) << window;
+    cached_window = window;
+    cached_state = cached;
+  }
+}
+
+TEST(GilbertElliott, LongRunBadFractionNearStationary) {
+  GilbertElliott model;
+  model.enabled = true;
+  model.p_good_to_bad = 0.05;
+  model.p_bad_to_good = 0.3;
+  const int n = 20000;
+  int bad = 0;
+  std::int64_t cached_window = -1;
+  bool cached_state = false;
+  for (std::int64_t window = 0; window < n; ++window) {
+    cached_state = GilbertElliottStateAt(model, 0xbeef, 1, window,
+                                         cached_window, cached_state);
+    cached_window = window;
+    if (cached_state) ++bad;
+  }
+  EXPECT_NEAR(static_cast<double>(bad) / n, model.StationaryBad(), 0.02);
+}
+
+TEST(FaultPlan, PeriodicRestartsSkipRoundZero) {
+  const auto rounds = PeriodicRestarts(30, 100);
+  ASSERT_EQ(rounds.size(), 3u);
+  EXPECT_EQ(rounds[0], 30);
+  EXPECT_EQ(rounds[1], 60);
+  EXPECT_EQ(rounds[2], 90);
+  EXPECT_TRUE(PeriodicRestarts(0, 100).empty());
+  EXPECT_TRUE(PeriodicRestarts(200, 100).empty());
+}
+
+TEST(FaultPlan, RandomWindowsDeterministicAndInRange) {
+  const std::int64_t campaign = 86400;
+  const auto a = RandomWindows(7, 5, campaign, 600);
+  const auto b = RandomWindows(7, 5, campaign, 600);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start_sec, b[i].start_sec);
+    EXPECT_EQ(a[i].end_sec, b[i].end_sec);
+    EXPECT_GE(a[i].start_sec, 0);
+    EXPECT_LT(a[i].start_sec, campaign);
+    EXPECT_GT(a[i].end_sec, a[i].start_sec);
+  }
+  const auto c = RandomWindows(8, 5, campaign, 600);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].start_sec != c[i].start_sec) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultPlan, HashUnitIsUniformish) {
+  double sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double u = HashUnit(1, 2, static_cast<std::uint64_t>(i));
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(FaultPlan, DeadBlockLookup) {
+  FaultPlan plan;
+  plan.dead_blocks = {17u, 99u};
+  EXPECT_TRUE(plan.IsDead(17));
+  EXPECT_TRUE(plan.IsDead(99));
+  EXPECT_FALSE(plan.IsDead(18));
+}
+
+}  // namespace
+}  // namespace sleepwalk::faults

@@ -141,6 +141,31 @@ TEST(AddressWalker, EmptySetThrows) {
   EXPECT_THROW((AddressWalker{{}, 1}), std::invalid_argument);
 }
 
+TEST(AddressWalker, CursorSaveRestoreResumesSequence) {
+  AddressWalker a{{1, 2, 3, 4, 5}, 99};
+  for (int i = 0; i < 3; ++i) a.Next();
+  const auto cursor = a.cursor();
+  AddressWalker b{{1, 2, 3, 4, 5}, 99};
+  b.set_cursor(cursor);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), b.Next()) << i;
+}
+
+TEST(AdaptiveProber, EmptyEverActiveThrows) {
+  // The prober must reject an empty E(b) with a clear message instead of
+  // letting the walker throw from deep inside.
+  EXPECT_THROW((AdaptiveProber{net::Prefix24::FromIndex(1), {}, 1}),
+               std::invalid_argument);
+}
+
+TEST(AdaptiveProber, StateExportRestoreRoundTrips) {
+  AdaptiveProber prober{net::Prefix24::FromIndex(9), Octets(40), 7};
+  const auto state = prober.ExportState();
+  AdaptiveProber other{net::Prefix24::FromIndex(9), Octets(40), 7};
+  other.RestoreState(state);
+  EXPECT_EQ(other.ExportState().cursor, state.cursor);
+  EXPECT_DOUBLE_EQ(other.ExportState().belief, state.belief);
+}
+
 TEST(RoundScheduler, TimeOfRound) {
   ScheduleConfig config;
   config.round_seconds = 660;
