@@ -2,15 +2,31 @@
 // FFT variants vs Goertzel, the availability estimator, the adaptive
 // prober, and end-to-end block analysis. Quantifies the Goertzel-vs-FFT
 // tradeoff called out in DESIGN.md §5.
+//
+// The custom main additionally runs the observability ablation and
+// writes BENCH_obs.json (override the path with SLEEPWALK_BENCH_OBS_OUT,
+// empty string to skip): classify throughput with (a) no obs touchpoints
+// compiled in the call, (b) a null obs::Context (the one-branch
+// configuration every campaign without sinks pays), (c) full sinks. The
+// contract in obs/context.h is (b) within 2% of (a) on this hot path.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "sleepwalk/core/block_analyzer.h"
+#include "sleepwalk/core/diurnal.h"
 #include "sleepwalk/core/quick_screen.h"
 #include "sleepwalk/fft/fft.h"
 #include "sleepwalk/fft/goertzel.h"
 #include "sleepwalk/fft/spectrum.h"
+#include "sleepwalk/obs/context.h"
 #include "sleepwalk/sim/block.h"
 #include "sleepwalk/util/rng.h"
 
@@ -69,6 +85,29 @@ void BM_SpectrumAndClassify(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpectrumAndClassify);
+
+void BM_SpectrumAndClassifyNullObs(benchmark::State& state) {
+  // Same workload through the instrumentation seam with no sinks: the
+  // delta vs BM_SpectrumAndClassify is the null-context overhead.
+  const auto series = MakeSeries(1833);
+  const obs::Context context;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ClassifyDiurnal(series, 14, {}, &context));
+  }
+}
+BENCHMARK(BM_SpectrumAndClassifyNullObs);
+
+void BM_SpectrumAndClassifyInstrumented(benchmark::State& state) {
+  const auto series = MakeSeries(1833);
+  obs::Registry registry;
+  obs::Tracer tracer;
+  obs::Logger logger;  // no sinks: logging is off, tracing is live
+  const obs::Context context{&logger, &registry, &tracer};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ClassifyDiurnal(series, 14, {}, &context));
+  }
+}
+BENCHMARK(BM_SpectrumAndClassifyInstrumented);
 
 void BM_QuickScreen(benchmark::State& state) {
   // The O(n) Goertzel prefilter vs the full classify above: the
@@ -129,7 +168,123 @@ void BM_BlockCampaign14Days(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockCampaign14Days);
 
+// --- observability ablation -> BENCH_obs.json --------------------------
+
+/// ns/call of `fn` for one batch of `iters` calls.
+template <typename Fn>
+double BatchNsPerCall(Fn&& fn, int iters) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::nano>(elapsed).count() / iters;
+}
+
+double Median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+std::string FormatFixed(double value, int decimals) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(decimals);
+  out << value;
+  return out.str();
+}
+
+/// Times ClassifyDiurnal (the analyze hot path: Bluestein FFT + spectral
+/// classification of a 14-day series) bare, through a null obs::Context,
+/// and fully instrumented, and writes the ablation as JSON.
+int WriteObsAblation(const std::string& path) {
+  const auto series = MakeSeries(1833);
+  const int repeats = 15;
+  const int iters = 40;
+
+  const obs::Context null_context;
+  obs::Registry registry;
+  obs::Tracer tracer;
+  obs::Logger logger;
+  const obs::Context full_context{&logger, &registry, &tracer};
+
+  const auto bare = [&] {
+    benchmark::DoNotOptimize(core::ClassifyDiurnal(series, 14));
+  };
+  const auto with_null = [&] {
+    benchmark::DoNotOptimize(
+        core::ClassifyDiurnal(series, 14, {}, &null_context));
+  };
+  const auto with_sinks = [&] {
+    benchmark::DoNotOptimize(
+        core::ClassifyDiurnal(series, 14, {}, &full_context));
+  };
+
+  // Warm-up, then interleave the three variants within every repeat so
+  // slow machine-level drift (thermal, noisy neighbours) cancels out of
+  // the comparison instead of biasing whichever variant ran last.
+  bare();
+  with_null();
+  with_sinks();
+  std::vector<double> baseline_samples;
+  std::vector<double> null_samples;
+  std::vector<double> instrumented_samples;
+  for (int r = 0; r < repeats; ++r) {
+    baseline_samples.push_back(BatchNsPerCall(bare, iters));
+    null_samples.push_back(BatchNsPerCall(with_null, iters));
+    instrumented_samples.push_back(BatchNsPerCall(with_sinks, iters));
+  }
+  const double baseline_ns = Median(std::move(baseline_samples));
+  const double null_ns = Median(std::move(null_samples));
+  const double instrumented_ns = Median(std::move(instrumented_samples));
+
+  const auto overhead_pct = [&](double ns) {
+    return baseline_ns > 0.0 ? (ns - baseline_ns) / baseline_ns * 100.0 : 0.0;
+  };
+  const double null_overhead = overhead_pct(null_ns);
+  const double instrumented_overhead = overhead_pct(instrumented_ns);
+
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) {
+    std::cerr << "micro_perf: cannot write " << path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"classify_diurnal_14day_1833_samples\",\n"
+      << "  \"repeats\": " << repeats << ",\n"
+      << "  \"iters_per_repeat\": " << iters << ",\n"
+      << "  \"baseline_ns_per_call\": " << FormatFixed(baseline_ns, 1)
+      << ",\n"
+      << "  \"null_context_ns_per_call\": " << FormatFixed(null_ns, 1)
+      << ",\n"
+      << "  \"instrumented_ns_per_call\": "
+      << FormatFixed(instrumented_ns, 1) << ",\n"
+      << "  \"null_context_overhead_pct\": "
+      << FormatFixed(null_overhead, 2) << ",\n"
+      << "  \"instrumented_overhead_pct\": "
+      << FormatFixed(instrumented_overhead, 2) << ",\n"
+      << "  \"budget_pct\": 2.0,\n"
+      << "  \"null_context_within_budget\": "
+      << (null_overhead < 2.0 ? "true" : "false") << "\n"
+      << "}\n";
+  std::cout << "obs ablation: baseline " << FormatFixed(baseline_ns, 0)
+            << " ns, null-context " << FormatFixed(null_ns, 0) << " ns ("
+            << FormatFixed(null_overhead, 2) << "%), instrumented "
+            << FormatFixed(instrumented_ns, 0) << " ns ("
+            << FormatFixed(instrumented_overhead, 2) << "%) -> " << path
+            << "\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace sleepwalk
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::string path = "BENCH_obs.json";
+  if (const char* env = std::getenv("SLEEPWALK_BENCH_OBS_OUT")) path = env;
+  if (path.empty()) return 0;  // ablation disabled
+  return sleepwalk::WriteObsAblation(path);
+}

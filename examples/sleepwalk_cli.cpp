@@ -13,6 +13,7 @@
 //   sleepwalk_cli compare --a /tmp/a12w.slpw --b /tmp/a12j.slpw
 //   sleepwalk_cli block --in /tmp/a12w.slpw --index 3
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -64,11 +65,18 @@ int Usage() {
       "  measure --out FILE [--blocks N] [--days D] [--seed S] [--site K]\n"
       "          [--loss P] [--burst P] [--rate-limit N] [--dead N]\n"
       "          [--checkpoint FILE] [--checkpoint-every R]\n"
+      "          [--log-level L] [--log-json FILE] [--metrics-out FILE]\n"
+      "          [--trace-out FILE]\n"
       "      generate a simulated world and run a probing campaign;\n"
       "      fault flags inject deterministic measurement-plane breakage\n"
       "      (--loss: i.i.d. drop rate; --burst: long-run Gilbert-Elliott\n"
       "      bursty loss; --dead: first N blocks error persistently) and\n"
-      "      --checkpoint makes the campaign killable/resumable\n"
+      "      --checkpoint makes the campaign killable/resumable.\n"
+      "      Telemetry (inert; results are byte-identical either way):\n"
+      "      --log-level trace|debug|info|warn|error|off adds a text log\n"
+      "      on stderr, --log-json a structured JSONL event log,\n"
+      "      --metrics-out a metrics dump (Prometheus text, or CSV when\n"
+      "      FILE ends in .csv), --trace-out a flame-ordered phase trace\n"
       "  analyze --in FILE\n"
       "      diurnal summary of a saved dataset\n"
       "  compare --a FILE --b FILE\n"
@@ -77,6 +85,76 @@ int Usage() {
       "      one block's series, daily profile and classification\n";
   return 2;
 }
+
+/// Owns the telemetry sinks behind one obs::Context for a CLI run.
+/// Simulation campaigns are deterministic, so the logger/tracer never
+/// read a wall clock and same-seed runs emit byte-identical files.
+class ObsSinks {
+ public:
+  explicit ObsSinks(const Flags& flags)
+      : logger_{obs::LogConfig{
+            obs::ParseLevel(flags.Get("log-level"), obs::Level::kInfo),
+            /*deterministic=*/true}},
+        metrics_path_{flags.Get("metrics-out")},
+        trace_path_{flags.Get("trace-out")} {
+    if (flags.Has("log-level")) logger_.AddTextSink(&std::cerr);
+    if (const auto path = flags.Get("log-json"); !path.empty()) {
+      jsonl_.open(path, std::ios::trunc);
+      if (jsonl_) {
+        logger_.AddJsonlSink(&jsonl_);
+      } else {
+        std::cerr << "measure: cannot open --log-json " << path << "\n";
+      }
+    }
+  }
+
+  obs::Context Context() {
+    obs::Context context;
+    if (logger_.Enabled(logger_.config().level)) context.log = &logger_;
+    if (!metrics_path_.empty()) context.metrics = &registry_;
+    if (!trace_path_.empty()) context.tracer = &tracer_;
+    return context;
+  }
+
+  /// Writes the metrics and trace files; returns false on any I/O error.
+  bool Flush() {
+    bool ok = true;
+    if (!metrics_path_.empty()) {
+      std::ofstream out{metrics_path_, std::ios::trunc};
+      if (out) {
+        const auto n = metrics_path_.size();
+        if (n >= 4 && metrics_path_.compare(n - 4, 4, ".csv") == 0) {
+          registry_.WriteCsv(out);
+        } else {
+          registry_.WritePrometheus(out);
+        }
+      }
+      if (!out) {
+        std::cerr << "measure: cannot write --metrics-out "
+                  << metrics_path_ << "\n";
+        ok = false;
+      }
+    }
+    if (!trace_path_.empty()) {
+      std::ofstream out{trace_path_, std::ios::trunc};
+      if (out) tracer_.WriteJsonl(out);
+      if (!out) {
+        std::cerr << "measure: cannot write --trace-out " << trace_path_
+                  << "\n";
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+ private:
+  obs::Logger logger_;
+  obs::Registry registry_;
+  obs::Tracer tracer_;
+  std::ofstream jsonl_;
+  std::string metrics_path_;
+  std::string trace_path_;
+};
 
 int CmdMeasure(const Flags& flags) {
   const auto out = flags.Get("out");
@@ -131,12 +209,36 @@ int CmdMeasure(const Flags& flags) {
                       plan.rate_limit_per_window > 0 ||
                       !plan.dead_blocks.empty();
 
+  // Telemetry: the faulty transport counts its own probes (it can
+  // attribute rate-limited drops precisely); a clean stack gets the same
+  // probe accounting from the InstrumentedTransport decorator.
+  ObsSinks sinks{flags};
+  config.obs = sinks.Context();
   faults::FaultyTransport faulty_transport{*transport, plan};
-  net::Transport& wire = faulty ? static_cast<net::Transport&>(
-                                      faulty_transport)
-                                : *transport;
+  if (faulty) faulty_transport.AttachObs(config.obs);
+  net::InstrumentedTransport instrumented{
+      *transport, faulty ? obs::Context{} : config.obs};
+  net::Transport& wire =
+      faulty ? static_cast<net::Transport&>(faulty_transport)
+             : static_cast<net::Transport&>(instrumented);
+
+  // Live heartbeat on stderr, fed by the supervisor after every block.
+  config.progress = [](const core::CampaignProgress& p) {
+    std::cerr << "\r[" << p.blocks_done << "/" << p.blocks_total
+              << "] blocks  rounds " << p.rounds_done;
+    if (p.rounds_per_sec > 0.0) {
+      std::cerr << " (" << static_cast<long>(p.rounds_per_sec) << "/s)";
+    }
+    if (p.quarantined > 0) std::cerr << "  quarantined " << p.quarantined;
+    if (const double eta = p.CheckpointEtaSec(); eta >= 0.0) {
+      std::cerr << "  next ckpt ~" << static_cast<long>(eta) << "s";
+    }
+    std::cerr << "   " << std::flush;
+  };
+
   const auto outcome = core::RunResilientCampaign(
       std::move(targets), wire, scheduler.RoundsForDays(days), config);
+  std::cerr << "\n";
   const auto& result = outcome.result;
 
   if (!core::WriteDataset(out, result.analyses,
@@ -156,9 +258,10 @@ int CmdMeasure(const Flags& flags) {
   if (faulty || !config.checkpoint_path.empty()) {
     auto stats = outcome.stats;
     stats.probes.Merge(faulty ? faulty_transport.accounting()
-                              : report::ProbeAccounting{});
+                              : instrumented.accounting());
     report::PrintResilienceReport(std::cout, stats);
   }
+  if (!sinks.Flush()) return 1;
   return 0;
 }
 

@@ -18,6 +18,35 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
+echo "== tier-1: telemetry smoke (CLI with all three sinks) =="
+# A small measure run with every sink enabled: the JSONL event log and
+# trace must validate line-by-line, metrics must expose, and two
+# same-seed runs must emit byte-identical telemetry and datasets (the
+# determinism contract of DESIGN.md §7).
+smoke="$(mktemp -d)"
+trap 'rm -rf "${smoke}"' EXIT
+for run in a b; do
+  build/examples/sleepwalk_cli measure \
+    --blocks 20 --days 3 --seed 11 --loss 0.05 \
+    --out "${smoke}/${run}.slpw" \
+    --log-level debug --log-json "${smoke}/${run}.jsonl" \
+    --metrics-out "${smoke}/${run}.prom" \
+    --trace-out "${smoke}/${run}.trace.jsonl" \
+    >"${smoke}/${run}.stdout" 2>/dev/null
+done
+build/tools/jsonl_check "${smoke}/a.jsonl" "${smoke}/a.trace.jsonl"
+cmp "${smoke}/a.jsonl" "${smoke}/b.jsonl"
+cmp "${smoke}/a.trace.jsonl" "${smoke}/b.trace.jsonl"
+cmp "${smoke}/a.prom" "${smoke}/b.prom"
+cmp "${smoke}/a.slpw" "${smoke}/b.slpw"
+# Sink-free run: telemetry must be inert (identical dataset bytes).
+build/examples/sleepwalk_cli measure \
+  --blocks 20 --days 3 --seed 11 --loss 0.05 \
+  --out "${smoke}/bare.slpw" >/dev/null 2>&1
+cmp "${smoke}/a.slpw" "${smoke}/bare.slpw"
+grep -q '^sleepwalk_probes_attempted_total ' "${smoke}/a.prom"
+echo "telemetry smoke OK"
+
 if [[ "${1:-}" == "--skip-sanitize" ]]; then
   echo "== tier-1: sanitizer pass skipped =="
   exit 0
@@ -29,6 +58,6 @@ cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "${jobs}" --target faults_test integration_test
 ctest --test-dir build-asan --output-on-failure -j "${jobs}" \
-  -R 'FaultPlan|GilbertElliott|FaultyTransport|Supervisor|ResilienceReport|Determinism|RestartArtifact'
+  -R 'FaultPlan|GilbertElliott|FaultyTransport|Supervisor|ResilienceReport|Determinism|RestartArtifact|ObsInertness|ObsReconciliation'
 
 echo "== tier-1: all green =="

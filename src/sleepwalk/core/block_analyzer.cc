@@ -20,9 +20,23 @@ BlockAnalyzer::BlockAnalyzer(net::Prefix24 block,
   }
 }
 
+void BlockAnalyzer::AttachObs(const obs::Context& context) {
+  obs_ = context;
+  if (prober_) prober_->AttachObs(context);
+}
+
 void BlockAnalyzer::RunRound(net::Transport& transport, std::int64_t round) {
   if (!prober_) return;
-  if (scheduler_.IsRestartRound(round)) prober_->Restart();
+  if (obs_.enabled()) obs_.SetVirtualTime(scheduler_.TimeOf(round));
+  if (scheduler_.IsRestartRound(round)) {
+    prober_->Restart();
+    if (obs_.Logs(obs::Level::kDebug)) {
+      obs_.log->Write(obs::Level::kDebug, "prober.restart",
+                      {{"block", block_.ToString()},
+                       {"round", round},
+                       {"reason", "scheduled"}});
+    }
+  }
 
   const auto record = prober_->RunRound(transport, round,
                                         scheduler_.TimeOf(round),
@@ -81,6 +95,7 @@ void BlockAnalyzer::RestoreState(BlockAnalyzerState state) {
 }
 
 BlockAnalysis BlockAnalyzer::Finish() const {
+  const auto finish_span = obs_.Span("analyze.finish");
   BlockAnalysis analysis;
   analysis.block = block_;
   analysis.ever_active = ever_active_;
@@ -94,10 +109,18 @@ BlockAnalysis BlockAnalyzer::Finish() const {
   analysis.outage_starts = outage_starts_;
   analysis.outages = outages_;
 
-  const auto even = ts::Regularize(raw_);
+  std::optional<ts::EvenSeries> even;
+  {
+    const auto span = obs_.Span("analyze.resample");
+    even = ts::Regularize(raw_);
+  }
   if (!even) return analysis;
-  const auto trimmed = ts::TrimToMidnightUtc(
-      *even, config_.schedule.epoch_sec, config_.schedule.round_seconds);
+  std::optional<ts::EvenSeries> trimmed;
+  {
+    const auto span = obs_.Span("analyze.trim");
+    trimmed = ts::TrimToMidnightUtc(
+        *even, config_.schedule.epoch_sec, config_.schedule.round_seconds);
+  }
   if (!trimmed) return analysis;
 
   analysis.short_series = *trimmed;
@@ -107,12 +130,30 @@ BlockAnalysis BlockAnalyzer::Finish() const {
       std::accumulate(trimmed->values.begin(), trimmed->values.end(), 0.0) /
       static_cast<double>(trimmed->values.size());
 
-  analysis.stationarity = ts::TestStationarity(
-      trimmed->values, ever_active_, config_.max_trend_addresses_per_day,
-      config_.schedule.round_seconds);
-  analysis.diurnal = ClassifyDiurnal(trimmed->values,
-                                     analysis.observed_days,
-                                     config_.diurnal);
+  {
+    const auto span = obs_.Span("analyze.stationarity");
+    analysis.stationarity = ts::TestStationarity(
+        trimmed->values, ever_active_, config_.max_trend_addresses_per_day,
+        config_.schedule.round_seconds);
+  }
+  {
+    const auto span = obs_.Span("analyze.classify");
+    analysis.diurnal = ClassifyDiurnal(trimmed->values,
+                                       analysis.observed_days,
+                                       config_.diurnal, &obs_);
+  }
+  if (obs_.Logs(obs::Level::kDebug)) {
+    obs_.log->Write(
+        obs::Level::kDebug, "block.analyzed",
+        {{"block", block_.ToString()},
+         {"days", analysis.observed_days},
+         {"mean_short", analysis.mean_short},
+         {"classification",
+          analysis.diurnal.IsStrict()    ? "strict"
+          : analysis.diurnal.IsDiurnal() ? "relaxed"
+                                         : "non_diurnal"},
+         {"cycles_per_day", analysis.diurnal.strongest_cycles_per_day}});
+  }
   return analysis;
 }
 

@@ -18,6 +18,7 @@
 #include "sleepwalk/core/diurnal.h"
 #include "sleepwalk/net/ipv4.h"
 #include "sleepwalk/net/transport.h"
+#include "sleepwalk/obs/context.h"
 #include "sleepwalk/probing/prober.h"
 #include "sleepwalk/probing/scheduler.h"
 #include "sleepwalk/ts/clean.h"
@@ -100,6 +101,13 @@ class BlockAnalyzer {
   /// True when the block passes the probing policy.
   bool probing_enabled() const noexcept { return prober_.has_value(); }
 
+  /// Attaches telemetry (forwarded to the prober): the campaign clock is
+  /// advanced to each round's virtual time, scheduled prober restarts
+  /// are logged (the §4 artifact source), and Finish()'s analyze stages
+  /// — resample, trim, stationarity, FFT, classify — run under tracer
+  /// spans. Inert: analysis output is identical with or without it.
+  void AttachObs(const obs::Context& context);
+
   /// Runs one round (restarting the prober first on restart boundaries)
   /// and records the post-round A-hat_s sample.
   void RunRound(net::Transport& transport, std::int64_t round);
@@ -149,6 +157,7 @@ class BlockAnalyzer {
   AvailabilityEstimator estimator_;
   std::optional<probing::AdaptiveProber> prober_;
   int ever_active_ = 0;
+  obs::Context obs_;
 
   ts::RawSeries raw_;
   std::int64_t total_probes_ = 0;

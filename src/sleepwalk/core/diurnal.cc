@@ -86,11 +86,17 @@ DiurnalResult ClassifySpectrum(const fft::Spectrum& spectrum, int n_days,
 }
 
 DiurnalResult ClassifyDiurnal(std::span<const double> series, int n_days,
-                              const DiurnalConfig& config) {
+                              const DiurnalConfig& config,
+                              const obs::Context* obs) {
   DiurnalResult result;
   result.n_days = n_days;
   if (n_days < 2 || series.size() < 4) return result;
-  const auto spectrum = fft::ComputeSpectrum(series, /*remove_mean=*/true);
+  fft::Spectrum spectrum;
+  {
+    const auto span = obs != nullptr ? obs->Span("analyze.fft")
+                                     : obs::ScopedSpan{};
+    spectrum = fft::ComputeSpectrum(series, /*remove_mean=*/true);
+  }
   return ClassifySpectrum(spectrum, n_days, config);
 }
 

@@ -21,6 +21,7 @@
 #include <span>
 
 #include "sleepwalk/fft/spectrum.h"
+#include "sleepwalk/obs/context.h"
 
 namespace sleepwalk::core {
 
@@ -65,8 +66,12 @@ struct DiurnalResult {
 /// Classifies a cleaned, midnight-aligned availability series spanning
 /// `n_days` whole days. Series shorter than 2 days are non-diurnal by
 /// definition ("FFT over data too short ... can distort analysis").
+/// A non-null `obs` wraps the transform in an "analyze.fft" tracer span
+/// (per-phase timing for the analyze hot path); classification output
+/// is independent of it.
 DiurnalResult ClassifyDiurnal(std::span<const double> series, int n_days,
-                              const DiurnalConfig& config = {});
+                              const DiurnalConfig& config = {},
+                              const obs::Context* obs = nullptr);
 
 /// Same classification applied to an already-computed spectrum.
 DiurnalResult ClassifySpectrum(const fft::Spectrum& spectrum, int n_days,

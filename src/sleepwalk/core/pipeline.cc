@@ -6,10 +6,10 @@
 
 namespace sleepwalk::core {
 
-DatasetResult RunCampaign(
-    std::vector<BlockTarget> targets, net::Transport& transport,
-    std::int64_t n_rounds, const AnalyzerConfig& config, std::uint64_t seed,
-    const std::function<void(std::size_t, std::size_t)>& progress) {
+DatasetResult RunCampaign(std::vector<BlockTarget> targets,
+                          net::Transport& transport, std::int64_t n_rounds,
+                          const AnalyzerConfig& config, std::uint64_t seed,
+                          const ProgressFn& progress) {
   // The plain campaign is the resilient one with recovery switched off:
   // no checkpointing, no injected faults, and on a well-behaved transport
   // the retry/quarantine paths never trigger.

@@ -4,7 +4,10 @@
 #define SLEEPWALK_CORE_PIPELINE_H_
 
 #include <cstdint>
+#include <cstddef>
 #include <functional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sleepwalk/core/block_analyzer.h"
@@ -49,14 +52,84 @@ struct DatasetResult {
   DiurnalCounts counts;
 };
 
+/// Campaign heartbeat payload, emitted after every finished block. The
+/// deterministic fields (blocks/rounds/quarantined) also flow into the
+/// obs log and metrics; the wall-derived rate and ETA only reach the
+/// progress consumer (a live status line), never a deterministic sink.
+struct CampaignProgress {
+  std::size_t blocks_done = 0;
+  std::size_t blocks_total = 0;
+  std::int64_t rounds_done = 0;         ///< this process, incl. gaps
+  std::uint64_t quarantined = 0;        ///< blocks abandoned so far
+  double rounds_per_sec = 0.0;          ///< wall-clock rate; 0 if unknown
+  /// Rounds until the next periodic checkpoint; -1 when checkpointing is
+  /// off or only block-boundary snapshots are taken.
+  std::int64_t rounds_to_checkpoint = -1;
+
+  /// Wall-clock seconds until the next checkpoint at the current rate;
+  /// -1 when unknown.
+  double CheckpointEtaSec() const noexcept {
+    return rounds_to_checkpoint >= 0 && rounds_per_sec > 0.0
+               ? static_cast<double>(rounds_to_checkpoint) / rounds_per_sec
+               : -1.0;
+  }
+};
+
+/// Progress callback wrapper. New consumers take the full
+/// CampaignProgress; legacy `(blocks_done, blocks_total)` callables are
+/// adapted transparently so existing callers keep compiling.
+class ProgressFn {
+ public:
+  ProgressFn() = default;
+  ProgressFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            std::enable_if_t<
+                std::is_invocable_v<F&, const CampaignProgress&>, int> = 0>
+  ProgressFn(F fn)  // NOLINT(google-explicit-constructor)
+      : fn_(std::move(fn)) {}
+
+  /// Shim for the pre-telemetry callback shape.
+  template <typename F,
+            std::enable_if_t<
+                !std::is_invocable_v<F&, const CampaignProgress&> &&
+                    std::is_invocable_v<F&, std::size_t, std::size_t>,
+                int> = 0>
+  ProgressFn(F fn) {  // NOLINT(google-explicit-constructor)
+    fn_ = [legacy = std::move(fn)](const CampaignProgress& p) mutable {
+      legacy(p.blocks_done, p.blocks_total);
+    };
+  }
+
+  /// std::function overloads preserve emptiness instead of wrapping an
+  /// empty target (which would crash on call).
+  ProgressFn(  // NOLINT(google-explicit-constructor)
+      std::function<void(const CampaignProgress&)> fn)
+      : fn_(std::move(fn)) {}
+  ProgressFn(  // NOLINT(google-explicit-constructor)
+      std::function<void(std::size_t, std::size_t)> fn) {
+    if (fn) {
+      fn_ = [legacy = std::move(fn)](const CampaignProgress& p) {
+        legacy(p.blocks_done, p.blocks_total);
+      };
+    }
+  }
+
+  explicit operator bool() const noexcept { return static_cast<bool>(fn_); }
+  void operator()(const CampaignProgress& progress) const { fn_(progress); }
+
+ private:
+  std::function<void(const CampaignProgress&)> fn_;
+};
+
 /// Runs an `n_rounds`-round campaign over every target through
 /// `transport`. Blocks are measured one at a time (memory stays O(1
 /// block)); `progress`, when set, is called after each block.
-DatasetResult RunCampaign(
-    std::vector<BlockTarget> targets, net::Transport& transport,
-    std::int64_t n_rounds, const AnalyzerConfig& config = {},
-    std::uint64_t seed = 0x51ee9,
-    const std::function<void(std::size_t, std::size_t)>& progress = {});
+DatasetResult RunCampaign(std::vector<BlockTarget> targets,
+                          net::Transport& transport, std::int64_t n_rounds,
+                          const AnalyzerConfig& config = {},
+                          std::uint64_t seed = 0x51ee9,
+                          const ProgressFn& progress = {});
 
 }  // namespace sleepwalk::core
 

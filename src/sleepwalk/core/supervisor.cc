@@ -1,6 +1,7 @@
 #include "sleepwalk/core/supervisor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 
@@ -10,6 +11,55 @@
 namespace sleepwalk::core {
 
 namespace {
+
+/// Supervisor-level instruments, resolved once per campaign. All null
+/// when the registry is absent.
+struct SupervisorMetrics {
+  explicit SupervisorMetrics(const obs::Context& context)
+      : rounds(context.CounterOrNull("supervisor_rounds_total",
+                                     "block-rounds attempted")),
+        rounds_failed(context.CounterOrNull(
+            "supervisor_rounds_failed_total", "rounds lost after retries")),
+        rounds_gapped(context.CounterOrNull("supervisor_rounds_gapped_total",
+                                            "rounds skipped by clock gaps")),
+        retries(context.CounterOrNull("supervisor_retries_total",
+                                      "round re-executions")),
+        backoff_seconds(context.CounterOrNull(
+            "supervisor_backoff_seconds_total", "total retry delay")),
+        forced_restarts(context.CounterOrNull(
+            "supervisor_forced_restarts_total", "injected prober restarts")),
+        quarantined(context.CounterOrNull("supervisor_quarantined_total",
+                                          "blocks abandoned as dead")),
+        checkpoints(context.CounterOrNull(
+            "supervisor_checkpoints_written_total", "snapshots persisted")),
+        resumes(context.CounterOrNull("supervisor_checkpoint_resumes_total",
+                                      "campaigns resumed from a snapshot")),
+        blocks_done(context.GaugeOrNull("campaign_blocks_done",
+                                        "targets finished")),
+        blocks_total(context.GaugeOrNull("campaign_blocks_total",
+                                         "targets in the campaign")),
+        rounds_per_sec(context.GaugeOrNull(
+            "campaign_rounds_per_sec",
+            "wall-clock processing rate (live campaigns only)")),
+        backoff_delay(context.HistogramOrNull(
+            "supervisor_backoff_delay_seconds",
+            {0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0},
+            "per-retry backoff delay")) {}
+
+  obs::Counter* rounds;
+  obs::Counter* rounds_failed;
+  obs::Counter* rounds_gapped;
+  obs::Counter* retries;
+  obs::Counter* backoff_seconds;
+  obs::Counter* forced_restarts;
+  obs::Counter* quarantined;
+  obs::Counter* checkpoints;
+  obs::Counter* resumes;
+  obs::Gauge* blocks_done;
+  obs::Gauge* blocks_total;
+  obs::Gauge* rounds_per_sec;
+  obs::Histogram* backoff_delay;
+};
 
 /// Deterministic jittered exponential backoff. The jitter draw is a
 /// stateless hash of (seed, block, round, attempt), so retry timing never
@@ -87,6 +137,26 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
   const std::uint64_t fingerprint =
       CampaignFingerprint(targets, n_rounds, config.seed, config.analyzer);
 
+  const obs::Context& obs = config.obs;
+  SupervisorMetrics metrics{obs};
+  // Wall-derived values (rounds/sec) are kept out of every sink when the
+  // logger is deterministic — the determinism contract of DESIGN.md §7.
+  const bool deterministic =
+      obs.log == nullptr || obs.log->config().deterministic;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto campaign_span = obs.Span("campaign");
+  if (metrics.blocks_total != nullptr) {
+    metrics.blocks_total->Set(static_cast<double>(targets.size()));
+  }
+  if (obs.Logs(obs::Level::kInfo)) {
+    obs.log->Write(obs::Level::kInfo, "campaign.start",
+                   {{"blocks", static_cast<std::uint64_t>(targets.size())},
+                    {"rounds", n_rounds},
+                    {"seed", config.seed},
+                    {"fingerprint", fingerprint},
+                    {"checkpointing", !config.checkpoint_path.empty()}});
+  }
+
   std::size_t first_block = 0;
   std::int64_t resume_round = 0;
   int consecutive_failures = 0;
@@ -123,6 +193,16 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
         }
         outcome.resumed = true;
         outcome.stats.resumed_from_checkpoint = true;
+        if (metrics.resumes != nullptr) metrics.resumes->Inc();
+        if (obs.Logs(obs::Level::kInfo)) {
+          obs.log->Write(
+              obs::Level::kInfo, "checkpoint.resume",
+              {{"path", config.checkpoint_path},
+               {"fingerprint", fingerprint},
+               {"next_block", static_cast<std::uint64_t>(first_block)},
+               {"inflight", resume_inflight},
+               {"inflight_round", resume_round}});
+        }
       }
     }
   }
@@ -153,8 +233,18 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
     checkpoint.transport_state = SnapshotTransport(transport);
     ++outcome.stats.checkpoints_written;  // the snapshot counts itself
     checkpoint.stats = outcome.stats;
-    if (!WriteCheckpoint(config.checkpoint_path, checkpoint)) {
-      --outcome.stats.checkpoints_written;
+    const auto span = obs.Span("checkpoint.write");
+    const bool ok = WriteCheckpoint(config.checkpoint_path, checkpoint);
+    if (!ok) --outcome.stats.checkpoints_written;
+    if (ok && metrics.checkpoints != nullptr) metrics.checkpoints->Inc();
+    const auto level = ok ? obs::Level::kDebug : obs::Level::kError;
+    if (obs.Logs(level)) {
+      obs.log->Write(level, "checkpoint.write",
+                     {{"path", config.checkpoint_path},
+                      {"fingerprint", fingerprint},
+                      {"next_block", static_cast<std::uint64_t>(next_block)},
+                      {"inflight", has_inflight},
+                      {"ok", ok}});
     }
   };
 
@@ -164,6 +254,8 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
     BlockAnalyzer analyzer{target.block, std::move(target.ever_active),
                            target.initial_availability,
                            config.seed ^ block_index, config.analyzer};
+    analyzer.AttachObs(obs);
+    const auto block_span = obs.Span("block");
     std::int64_t start_round = 0;
     if (resume_inflight) {
       analyzer.RestoreState(std::move(inflight_state));
@@ -179,12 +271,23 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
         // The prober slept through this round: no probes, no A-hat_s
         // sample. The cleaning stage later interpolates the hole.
         ++outcome.stats.rounds_gapped;
+        if (metrics.rounds_gapped != nullptr) metrics.rounds_gapped->Inc();
       } else {
         if (IsForcedRestart(config, round)) {
           analyzer.ForceRestart();
           ++outcome.stats.forced_restarts;
+          if (metrics.forced_restarts != nullptr) {
+            metrics.forced_restarts->Inc();
+          }
+          if (obs.Logs(obs::Level::kDebug)) {
+            obs.log->Write(obs::Level::kDebug, "prober.restart",
+                           {{"block", target.block.ToString()},
+                            {"round", round},
+                            {"reason", "forced"}});
+          }
         }
         ++outcome.stats.rounds_attempted;
+        if (metrics.rounds != nullptr) metrics.rounds->Inc();
 
         bool succeeded = false;
         for (int attempt = 0; attempt < std::max(config.retry.max_attempts, 1);
@@ -203,6 +306,20 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
             const double delay = BackoffDelay(config.retry, config.seed,
                                               block_index, round, attempt);
             outcome.stats.backoff_seconds += delay;
+            if (metrics.retries != nullptr) metrics.retries->Inc();
+            if (metrics.backoff_seconds != nullptr) {
+              metrics.backoff_seconds->Inc(delay);
+            }
+            if (metrics.backoff_delay != nullptr) {
+              metrics.backoff_delay->Observe(delay);
+            }
+            if (obs.Logs(obs::Level::kDebug)) {
+              obs.log->Write(obs::Level::kDebug, "round.retry",
+                             {{"block", target.block.ToString()},
+                              {"round", round},
+                              {"attempt", attempt + 1},
+                              {"delay_sec", delay}});
+            }
             if (config.sleeper) config.sleeper(delay);
           }
         }
@@ -212,11 +329,26 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
         } else {
           ++outcome.stats.rounds_failed;
           ++consecutive_failures;
+          if (metrics.rounds_failed != nullptr) metrics.rounds_failed->Inc();
+          if (obs.Logs(obs::Level::kWarn)) {
+            obs.log->Write(obs::Level::kWarn, "round.failed",
+                           {{"block", target.block.ToString()},
+                            {"round", round},
+                            {"consecutive_failures", consecutive_failures}});
+          }
           if (config.quarantine_after_failures > 0 &&
               consecutive_failures >= config.quarantine_after_failures) {
             quarantined = true;
             ++outcome.stats.quarantined_blocks;
             outcome.quarantined.push_back(target.block);
+            if (metrics.quarantined != nullptr) metrics.quarantined->Inc();
+            if (obs.Logs(obs::Level::kWarn)) {
+              obs.log->Write(obs::Level::kWarn, "block.quarantined",
+                             {{"block", target.block.ToString()},
+                              {"round", round},
+                              {"consecutive_failures",
+                               consecutive_failures}});
+            }
           }
         }
       }
@@ -235,6 +367,12 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
              &analyzer);
         if (stopping) {
           outcome.stopped_early = true;
+          if (obs.Logs(obs::Level::kInfo)) {
+            obs.log->Write(obs::Level::kInfo, "campaign.stopped",
+                           {{"blocks_done", static_cast<std::uint64_t>(i)},
+                            {"rounds_done", processed_rounds},
+                            {"reason", "stop_after_rounds"}});
+          }
           return outcome;
         }
       }
@@ -244,9 +382,60 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
     Classify(analysis, quarantined, outcome.result.counts);
     outcome.result.analyses.push_back(std::move(analysis));
     save(i + 1, /*has_inflight=*/false, 0, 0, nullptr);
-    if (config.progress) config.progress(i + 1, targets.size());
+
+    CampaignProgress heartbeat;
+    heartbeat.blocks_done = i + 1;
+    heartbeat.blocks_total = targets.size();
+    heartbeat.rounds_done = processed_rounds;
+    heartbeat.quarantined = outcome.stats.quarantined_blocks;
+    // Wall-derived rate: fine for the live progress consumer, but only
+    // exported as a metric when the sinks are non-deterministic.
+    const double elapsed_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    if (elapsed_sec > 0.0) {
+      heartbeat.rounds_per_sec =
+          static_cast<double>(processed_rounds) / elapsed_sec;
+    }
+    if (!config.checkpoint_path.empty() &&
+        config.checkpoint_every_rounds > 0) {
+      heartbeat.rounds_to_checkpoint =
+          config.checkpoint_every_rounds -
+          processed_rounds % config.checkpoint_every_rounds;
+    }
+    if (metrics.blocks_done != nullptr) {
+      metrics.blocks_done->Set(static_cast<double>(heartbeat.blocks_done));
+    }
+    if (!deterministic && metrics.rounds_per_sec != nullptr) {
+      metrics.rounds_per_sec->Set(heartbeat.rounds_per_sec);
+    }
+    if (obs.Logs(obs::Level::kDebug)) {
+      obs.log->Write(
+          obs::Level::kDebug, "campaign.heartbeat",
+          {{"blocks_done", static_cast<std::uint64_t>(heartbeat.blocks_done)},
+           {"blocks_total",
+            static_cast<std::uint64_t>(heartbeat.blocks_total)},
+           {"rounds_done", heartbeat.rounds_done},
+           {"quarantined", heartbeat.quarantined}});
+    }
+    if (config.progress) config.progress(heartbeat);
   }
 
+  if (obs.Logs(obs::Level::kInfo)) {
+    obs.log->Write(
+        obs::Level::kInfo, "campaign.done",
+        {{"blocks", static_cast<std::uint64_t>(outcome.result.analyses.size())},
+         {"strict", outcome.result.counts.strict},
+         {"relaxed", outcome.result.counts.relaxed},
+         {"non_diurnal", outcome.result.counts.non_diurnal},
+         {"skipped", outcome.result.counts.skipped},
+         {"rounds_attempted", outcome.stats.rounds_attempted},
+         {"rounds_failed", outcome.stats.rounds_failed},
+         {"retries", outcome.stats.retries},
+         {"quarantined", outcome.stats.quarantined_blocks},
+         {"resumed", outcome.resumed}});
+  }
   return outcome;
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "sleepwalk/core/pipeline.h"
+#include "sleepwalk/obs/context.h"
 #include "sleepwalk/report/resilience.h"
 
 namespace sleepwalk::core {
@@ -71,8 +72,18 @@ struct SupervisorConfig {
   /// Called with each backoff delay; wire a real sleep for live probing,
   /// leave empty for simulation (delays are accounted, not slept).
   std::function<void(double)> sleeper;
-  /// Progress callback: (blocks finished, total).
-  std::function<void(std::size_t, std::size_t)> progress;
+  /// Heartbeat callback, invoked after each finished block with the full
+  /// CampaignProgress; legacy (blocks_done, total) callables still bind
+  /// (see core::ProgressFn).
+  ProgressFn progress;
+
+  /// Telemetry handle (null-object by default — a campaign without
+  /// sinks pays one branch per instrumentation point). Every recovery
+  /// action (retry, backoff, quarantine, checkpoint write/resume) is
+  /// logged and counted; the campaign clock advances with virtual round
+  /// time. Guaranteed inert: results and checkpoints are byte-identical
+  /// whatever is attached here.
+  obs::Context obs;
 };
 
 /// A campaign's results plus its resilience accounting. `stats.probes`

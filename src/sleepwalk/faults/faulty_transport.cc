@@ -8,6 +8,54 @@ namespace sleepwalk::faults {
 FaultyTransport::FaultyTransport(net::Transport& inner, FaultPlan plan)
     : inner_(inner), plan_(std::move(plan)) {}
 
+void FaultyTransport::AttachObs(const obs::Context& context) {
+  obs_ = context;
+  probe_counters_ = net::ProbeCounters{context};
+  fault_counters_[kFaultError] = context.CounterOrNull(
+      "fault_injected_error_total", "injected transport errors");
+  fault_counters_[kFaultRateLimited] = context.CounterOrNull(
+      "fault_injected_rate_limited_total", "injected rate-limit drops");
+  fault_counters_[kFaultUnreachable] = context.CounterOrNull(
+      "fault_injected_unreachable_total", "injected unreachable answers");
+  fault_counters_[kFaultTimeout] = context.CounterOrNull(
+      "fault_injected_timeout_total", "injected timeout-window answers");
+  fault_counters_[kFaultLoss] = context.CounterOrNull(
+      "fault_injected_loss_total", "injected packet loss");
+  // A transport attached mid-campaign (or after a checkpoint restore)
+  // starts its counters from the accounting already accumulated.
+  mirrored_ = {};
+  MirrorAccounting();
+}
+
+void FaultyTransport::NoteFault(FaultKind kind, net::Ipv4Addr target,
+                                std::int64_t when_sec) {
+  if (fault_counters_[kind] != nullptr) fault_counters_[kind]->Inc();
+  if (obs_.Logs(obs::Level::kTrace)) {
+    static constexpr std::string_view kNames[kFaultKinds] = {
+        "fault.error", "fault.rate_limited", "fault.unreachable",
+        "fault.timeout", "fault.loss"};
+    obs_.log->Write(obs::Level::kTrace, kNames[kind],
+                    {{"target", target.ToString()}, {"when_sec", when_sec}});
+  }
+}
+
+void FaultyTransport::MirrorAccounting() noexcept {
+  if (probe_counters_.attempted == nullptr) return;
+  probe_counters_.attempted->Inc(
+      static_cast<double>(accounting_.attempts - mirrored_.attempts));
+  probe_counters_.errors->Inc(
+      static_cast<double>(accounting_.errors - mirrored_.errors));
+  probe_counters_.answered->Inc(
+      static_cast<double>(accounting_.answered - mirrored_.answered));
+  probe_counters_.lost->Inc(
+      static_cast<double>(accounting_.lost - mirrored_.lost));
+  probe_counters_.rate_limited->Inc(static_cast<double>(
+      accounting_.rate_limited - mirrored_.rate_limited));
+  probe_counters_.unreachable->Inc(
+      static_cast<double>(accounting_.unreachable - mirrored_.unreachable));
+  mirrored_ = accounting_;
+}
+
 bool FaultyTransport::BurstStateAt(std::uint32_t block,
                                    std::int64_t window) noexcept {
   auto& cursor = chains_[block];
@@ -37,6 +85,8 @@ net::ProbeStatus FaultyTransport::Probe(net::Ipv4Addr target,
 
   if (plan_.IsDead(block) || InAnyWindow(plan_.error_windows, when_sec)) {
     ++accounting_.errors;
+    NoteFault(kFaultError, target, when_sec);
+    MirrorAccounting();
     throw net::TransportError{"injected transport fault"};
   }
 
@@ -44,14 +94,20 @@ net::ProbeStatus FaultyTransport::Probe(net::Ipv4Addr target,
   if (plan_.rate_limit_per_window > 0 &&
       window_probes_ > plan_.rate_limit_per_window) {
     ++accounting_.rate_limited;
+    NoteFault(kFaultRateLimited, target, when_sec);
+    MirrorAccounting();
     return net::ProbeStatus::kTimeout;
   }
   if (InAnyWindow(plan_.unreachable_windows, when_sec)) {
     ++accounting_.unreachable;
+    NoteFault(kFaultUnreachable, target, when_sec);
+    MirrorAccounting();
     return net::ProbeStatus::kUnreachable;
   }
   if (InAnyWindow(plan_.timeout_windows, when_sec)) {
     ++accounting_.lost;
+    NoteFault(kFaultTimeout, target, when_sec);
+    MirrorAccounting();
     return net::ProbeStatus::kTimeout;
   }
 
@@ -74,6 +130,8 @@ net::ProbeStatus FaultyTransport::Probe(net::Ipv4Addr target,
                  static_cast<std::uint64_t>(when_sec));
     if (u < loss) {
       ++accounting_.lost;
+      NoteFault(kFaultLoss, target, when_sec);
+      MirrorAccounting();
       return net::ProbeStatus::kTimeout;
     }
   }
@@ -90,6 +148,7 @@ net::ProbeStatus FaultyTransport::Probe(net::Ipv4Addr target,
       ++accounting_.unreachable;
       break;
   }
+  MirrorAccounting();
   return status;
 }
 
@@ -110,6 +169,9 @@ bool FaultyTransport::RestoreState(std::span<const std::uint8_t> in) {
   std::copy_n(in.data(), sizeof(accounting_),
               reinterpret_cast<std::uint8_t*>(&accounting_));
   const auto rest = in.subspan(sizeof(accounting_));
+  // The restored accounting includes pre-kill probes; fold the jump into
+  // the mirrored counters so the metric series resumes exactly.
+  MirrorAccounting();
   if (auto* stateful = dynamic_cast<net::StatefulTransport*>(&inner_)) {
     return stateful->RestoreState(rest);
   }

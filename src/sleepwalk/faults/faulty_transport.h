@@ -24,7 +24,9 @@
 #include <unordered_map>
 
 #include "sleepwalk/faults/plan.h"
+#include "sleepwalk/net/instrumented_transport.h"
 #include "sleepwalk/net/transport.h"
+#include "sleepwalk/obs/context.h"
 #include "sleepwalk/report/resilience.h"
 
 namespace sleepwalk::faults {
@@ -33,6 +35,14 @@ namespace sleepwalk::faults {
 class FaultyTransport final : public net::StatefulTransport {
  public:
   FaultyTransport(net::Transport& inner, FaultPlan plan);
+
+  /// Attaches telemetry: the shared probe counters (net::ProbeMetricNames
+  /// — here rate-limited drops are attributed precisely, unlike the
+  /// generic decorator) plus fault_injected_*_total counters and
+  /// trace-level fault events. Telemetry is derived from the accounting
+  /// it mirrors and never feeds back into fault decisions, so attaching
+  /// a context cannot change a campaign's results.
+  void AttachObs(const obs::Context& context);
 
   net::ProbeStatus Probe(net::Ipv4Addr target,
                          std::int64_t when_sec) override;
@@ -51,9 +61,33 @@ class FaultyTransport final : public net::StatefulTransport {
  private:
   bool BurstStateAt(std::uint32_t block, std::int64_t window) noexcept;
 
+  /// Fault-kind slots in fault_counters_, and names for fault events.
+  enum FaultKind : std::size_t {
+    kFaultError = 0,
+    kFaultRateLimited,
+    kFaultUnreachable,
+    kFaultTimeout,
+    kFaultLoss,
+    kFaultKinds,
+  };
+
+  /// Logs the injected fault (trace level) and bumps its counter.
+  void NoteFault(FaultKind kind, net::Ipv4Addr target,
+                 std::int64_t when_sec);
+  /// Increments the shared probe counters by however much accounting_
+  /// advanced since the last mirror, so metrics stay exact across both
+  /// normal probes and checkpoint restores.
+  void MirrorAccounting() noexcept;
+
   net::Transport& inner_;
   FaultPlan plan_;
   report::ProbeAccounting accounting_;
+
+  // Telemetry (never consulted by fault decisions).
+  obs::Context obs_;
+  net::ProbeCounters probe_counters_;
+  obs::Counter* fault_counters_[kFaultKinds] = {};
+  report::ProbeAccounting mirrored_;
 
   // Per-(block, instant) transients.
   std::uint32_t current_block_ = 0xffffffffu;

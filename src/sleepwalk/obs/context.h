@@ -1,0 +1,72 @@
+// obs::Context — the one handle threaded through the measurement plane.
+//
+// A Context is three borrowed, individually-optional pointers: logger,
+// metrics registry, tracer. The default Context{} is the null object:
+// every helper degenerates to a single pointer test, so instrumented
+// code paths cost one predictable branch when observability is off
+// (bench/micro_perf.cc measures this at < 2% on the analyze hot path;
+// see BENCH_obs.json).
+//
+// Hard invariant (enforced by tests/integration/obs_inertness_test.cc):
+// a Context only *reads* campaign state. DatasetResult bytes, checkpoint
+// bytes, and every RNG stream are identical whether a campaign runs with
+// a null Context, full sinks, or anything between.
+#ifndef SLEEPWALK_OBS_CONTEXT_H_
+#define SLEEPWALK_OBS_CONTEXT_H_
+
+#include <cstdint>
+
+#include "sleepwalk/obs/log.h"
+#include "sleepwalk/obs/metrics.h"
+#include "sleepwalk/obs/trace.h"
+
+namespace sleepwalk::obs {
+
+struct Context {
+  Logger* log = nullptr;
+  Registry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+
+  bool enabled() const noexcept {
+    return log != nullptr || metrics != nullptr || tracer != nullptr;
+  }
+
+  /// True when a record at `level` would reach a sink — gate field
+  /// construction behind this.
+  bool Logs(Level level) const noexcept {
+    return log != nullptr && log->Enabled(level);
+  }
+
+  /// Advances the campaign clock on every time-carrying component.
+  void SetVirtualTime(std::int64_t sec) const noexcept {
+    if (log != nullptr) log->set_virtual_time(sec);
+    if (tracer != nullptr) tracer->set_virtual_time(sec);
+  }
+
+  /// Starts a span when tracing, else a no-op guard.
+  ScopedSpan Span(std::string_view name) const {
+    return ScopedSpan{tracer, name};
+  }
+
+  /// Instrument lookup that tolerates a null registry (returns null, and
+  /// the call sites' `if (c) c->Inc()` pattern stays one branch).
+  Counter* CounterOrNull(std::string_view name,
+                         std::string_view help = "") const {
+    return metrics != nullptr ? metrics->FindOrCreateCounter(name, help)
+                              : nullptr;
+  }
+  Gauge* GaugeOrNull(std::string_view name, std::string_view help = "") const {
+    return metrics != nullptr ? metrics->FindOrCreateGauge(name, help)
+                              : nullptr;
+  }
+  Histogram* HistogramOrNull(std::string_view name, std::vector<double> bounds,
+                             std::string_view help = "") const {
+    return metrics != nullptr
+               ? metrics->FindOrCreateHistogram(name, std::move(bounds), help)
+               : nullptr;
+  }
+};
+
+}  // namespace sleepwalk::obs
+
+#endif  // SLEEPWALK_OBS_CONTEXT_H_

@@ -1,0 +1,228 @@
+#include "sleepwalk/obs/log.h"
+
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace sleepwalk::obs {
+
+namespace {
+
+char ToLower(char c) noexcept {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool EqualsLower(std::string_view text, std::string_view lower) noexcept {
+  if (text.size() != lower.size()) return false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (ToLower(text[i]) != lower[i]) return false;
+  }
+  return true;
+}
+
+void AppendInt(std::string& out, std::int64_t value) {
+  char buffer[24];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, static_cast<std::size_t>(ptr - buffer));
+}
+
+void AppendUint(std::string& out, std::uint64_t value) {
+  char buffer[24];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, static_cast<std::size_t>(ptr - buffer));
+}
+
+/// Shortest round-trip double formatting; identical input state thus
+/// yields identical bytes, the property the determinism tests rely on.
+/// Non-finite values are not valid JSON numbers; emit them as strings.
+void AppendDouble(std::string& out, double value, bool json) {
+  if (!std::isfinite(value)) {
+    const char* name = std::isnan(value) ? "nan"
+                       : value > 0.0     ? "inf"
+                                         : "-inf";
+    if (json) {
+      out.push_back('"');
+      out.append(name);
+      out.push_back('"');
+    } else {
+      out.append(name);
+    }
+    return;
+  }
+  char buffer[32];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, static_cast<std::size_t>(ptr - buffer));
+}
+
+void AppendFieldValueText(std::string& out, const Field& field) {
+  switch (field.kind) {
+    case Field::Kind::kInt:
+      AppendInt(out, field.i);
+      break;
+    case Field::Kind::kUint:
+      AppendUint(out, field.u);
+      break;
+    case Field::Kind::kDouble:
+      AppendDouble(out, field.d, /*json=*/false);
+      break;
+    case Field::Kind::kBool:
+      out.append(field.b ? "true" : "false");
+      break;
+    case Field::Kind::kString:
+      out.append(field.s);
+      break;
+  }
+}
+
+void AppendFieldValueJson(std::string& out, const Field& field) {
+  switch (field.kind) {
+    case Field::Kind::kInt:
+      AppendInt(out, field.i);
+      break;
+    case Field::Kind::kUint:
+      AppendUint(out, field.u);
+      break;
+    case Field::Kind::kDouble:
+      AppendDouble(out, field.d, /*json=*/true);
+      break;
+    case Field::Kind::kBool:
+      out.append(field.b ? "true" : "false");
+      break;
+    case Field::Kind::kString:
+      out.push_back('"');
+      AppendJsonEscaped(out, field.s);
+      out.push_back('"');
+      break;
+  }
+}
+
+std::int64_t WallNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Level ParseLevel(std::string_view text, Level fallback) {
+  if (EqualsLower(text, "trace")) return Level::kTrace;
+  if (EqualsLower(text, "debug")) return Level::kDebug;
+  if (EqualsLower(text, "info")) return Level::kInfo;
+  if (EqualsLower(text, "warn") || EqualsLower(text, "warning")) {
+    return Level::kWarn;
+  }
+  if (EqualsLower(text, "error")) return Level::kError;
+  if (EqualsLower(text, "off") || EqualsLower(text, "none")) {
+    return Level::kOff;
+  }
+  return fallback;
+}
+
+std::string_view LevelName(Level level) noexcept {
+  switch (level) {
+    case Level::kTrace: return "trace";
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "info";
+}
+
+void AppendJsonEscaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\n': out.append("\\n"); break;
+      case '\r': out.append("\\r"); break;
+      case '\t': out.append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out.append(buffer);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+void Logger::AddTextSink(std::ostream* out) {
+  if (out == nullptr) return;
+  text_sinks_.push_back(out);
+  has_sink_ = true;
+}
+
+void Logger::AddJsonlSink(std::ostream* out) {
+  if (out == nullptr) return;
+  jsonl_sinks_.push_back(out);
+  has_sink_ = true;
+}
+
+void Logger::Write(Level level, std::string_view event,
+                   std::initializer_list<Field> fields) {
+  if (!Enabled(level)) return;
+  const std::int64_t wall_ns = config_.deterministic ? 0 : WallNanos();
+
+  if (!text_sinks_.empty()) {
+    std::string line;
+    line.reserve(64);
+    for (const char c : LevelName(level)) {
+      line.push_back(static_cast<char>(c - 'a' + 'A'));
+    }
+    line.append(" vt=");
+    AppendInt(line, virtual_sec_);
+    if (!config_.deterministic) {
+      line.append(" wall_ns=");
+      AppendInt(line, wall_ns);
+    }
+    line.push_back(' ');
+    line.append(event);
+    for (const auto& field : fields) {
+      line.push_back(' ');
+      line.append(field.key);
+      line.push_back('=');
+      AppendFieldValueText(line, field);
+    }
+    line.push_back('\n');
+    for (auto* sink : text_sinks_) sink->write(line.data(),
+        static_cast<std::streamsize>(line.size()));
+  }
+
+  if (!jsonl_sinks_.empty()) {
+    std::string line;
+    line.reserve(96);
+    line.append("{\"vt\":");
+    AppendInt(line, virtual_sec_);
+    if (!config_.deterministic) {
+      line.append(",\"wall_ns\":");
+      AppendInt(line, wall_ns);
+    }
+    line.append(",\"lvl\":\"");
+    line.append(LevelName(level));
+    line.append("\",\"ev\":\"");
+    AppendJsonEscaped(line, event);
+    line.push_back('"');
+    for (const auto& field : fields) {
+      line.push_back(',');
+      line.push_back('"');
+      AppendJsonEscaped(line, field.key);
+      line.append("\":");
+      AppendFieldValueJson(line, field);
+    }
+    line.append("}\n");
+    for (auto* sink : jsonl_sinks_) sink->write(line.data(),
+        static_cast<std::streamsize>(line.size()));
+  }
+}
+
+}  // namespace sleepwalk::obs

@@ -1,0 +1,136 @@
+// Structured, leveled campaign logging.
+//
+// A 12-week campaign's operational record is measurement data in its own
+// right — the paper diagnoses its 4.36 cycles/day spectral artifact from
+// prober *restart logs* (§4). Records are key=value structured events,
+// not printf strings, and carry two clocks:
+//   * virtual campaign time — seconds since the dataset epoch, advanced
+//     by the supervisor/analyzer as rounds execute;
+//   * wall time — only attached when the logger is non-deterministic.
+// In deterministic (simulation) mode every serialized byte derives from
+// campaign state, so two same-seed runs emit identical JSONL; the
+// integration tests diff the files to enforce this.
+//
+// Sinks: a human text sink ("INFO vt=3960 round.retry block=... ") and a
+// JSONL sink (one JSON object per line). Library code never writes to
+// std::cout/std::cerr directly — everything routes through a Logger the
+// caller owns, and a null Logger* costs a single branch.
+#ifndef SLEEPWALK_OBS_LOG_H_
+#define SLEEPWALK_OBS_LOG_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sleepwalk::obs {
+
+/// Severity, ordered; a logger drops records below its threshold.
+enum class Level : std::uint8_t {
+  kTrace = 0,  ///< per-round noise (probes, belief updates)
+  kDebug,      ///< per-block / per-recovery-action detail
+  kInfo,       ///< campaign lifecycle + heartbeats
+  kWarn,       ///< degraded but continuing (retries exhausted, quarantine)
+  kError,      ///< a subsystem failed (checkpoint write error, ...)
+  kOff,        ///< sink nothing
+};
+
+/// "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive);
+/// anything else returns `fallback`.
+Level ParseLevel(std::string_view text, Level fallback = Level::kInfo);
+
+/// Lower-case name used in both sinks ("info", ...).
+std::string_view LevelName(Level level) noexcept;
+
+/// One typed key=value pair. Values are serialized immediately inside
+/// Logger::Write, so string_view keys/values only need to outlive the
+/// call. Overloads cover the integral spellings that appear at call
+/// sites; everything narrower promotes to int64.
+struct Field {
+  enum class Kind : std::uint8_t { kInt, kUint, kDouble, kBool, kString };
+
+  constexpr Field(std::string_view k, std::int64_t v) noexcept
+      : key(k), kind(Kind::kInt), i(v) {}
+  constexpr Field(std::string_view k, int v) noexcept
+      : Field(k, static_cast<std::int64_t>(v)) {}
+  constexpr Field(std::string_view k, unsigned int v) noexcept
+      : key(k), kind(Kind::kUint), u(v) {}
+  constexpr Field(std::string_view k, std::uint64_t v) noexcept
+      : key(k), kind(Kind::kUint), u(v) {}
+  constexpr Field(std::string_view k, double v) noexcept
+      : key(k), kind(Kind::kDouble), d(v) {}
+  constexpr Field(std::string_view k, bool v) noexcept
+      : key(k), kind(Kind::kBool), b(v) {}
+  constexpr Field(std::string_view k, std::string_view v) noexcept
+      : key(k), kind(Kind::kString), s(v) {}
+  constexpr Field(std::string_view k, const char* v) noexcept
+      : key(k), kind(Kind::kString), s(v) {}
+
+  std::string_view key;
+  Kind kind;
+  union {
+    std::int64_t i;
+    std::uint64_t u;
+    double d;
+    bool b;
+  };
+  std::string_view s;  ///< valid when kind == kString
+};
+
+/// Logger knobs.
+struct LogConfig {
+  Level level = Level::kInfo;
+  /// When true (simulation campaigns), records carry only virtual time
+  /// and the serialized output is a pure function of campaign state.
+  /// When false (live campaigns), records also carry wall-clock
+  /// nanoseconds since the Unix epoch.
+  bool deterministic = true;
+};
+
+/// Leveled structured logger fanning out to text and/or JSONL sinks.
+/// Not thread-safe (campaigns are single-threaded); sinks are borrowed
+/// and must outlive the logger.
+class Logger {
+ public:
+  explicit Logger(LogConfig config = {}) : config_(config) {}
+
+  void AddTextSink(std::ostream* out);
+  void AddJsonlSink(std::ostream* out);
+
+  /// One-branch hot-path gate: true when a record at `level` would reach
+  /// at least one sink. Callers skip field construction when false.
+  bool Enabled(Level level) const noexcept {
+    return level >= config_.level && level < Level::kOff && has_sink_;
+  }
+
+  /// Emits one record. `event` is a dotted lowercase name
+  /// ("supervisor.retry"); see DESIGN.md §7 for the event catalog.
+  void Write(Level level, std::string_view event,
+             std::initializer_list<Field> fields);
+
+  /// Campaign clock, in seconds since the dataset epoch. The supervisor
+  /// and block analyzer advance this as rounds execute; records stamp
+  /// the value current at Write time. -1 = not yet known.
+  void set_virtual_time(std::int64_t sec) noexcept { virtual_sec_ = sec; }
+  std::int64_t virtual_time() const noexcept { return virtual_sec_; }
+
+  const LogConfig& config() const noexcept { return config_; }
+
+ private:
+  LogConfig config_;
+  std::int64_t virtual_sec_ = -1;
+  std::vector<std::ostream*> text_sinks_;
+  std::vector<std::ostream*> jsonl_sinks_;
+  bool has_sink_ = false;
+};
+
+/// Appends `text` to `out` with JSON string escaping (quotes, backslash,
+/// and control characters as \u00XX). Exposed for the JSONL validator
+/// tests.
+void AppendJsonEscaped(std::string& out, std::string_view text);
+
+}  // namespace sleepwalk::obs
+
+#endif  // SLEEPWALK_OBS_LOG_H_

@@ -1,0 +1,185 @@
+#include "sleepwalk/obs/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <ostream>
+
+namespace sleepwalk::obs {
+
+namespace {
+
+/// Shortest round-trip formatting (same rationale as the logger: byte
+/// determinism). Prometheus spells infinity "+Inf".
+std::string FormatNumber(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[32];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, static_cast<std::size_t>(ptr - buffer));
+}
+
+std::string FormatCount(std::uint64_t value) {
+  char buffer[24];
+  const auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, static_cast<std::size_t>(ptr - buffer));
+}
+
+constexpr std::string_view kPrefix = "sleepwalk_";
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  per_bucket_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++per_bucket_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+}
+
+std::uint64_t Histogram::CumulativeCount(std::size_t i) const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b <= i && b < per_bucket_.size(); ++b) {
+    total += per_bucket_[b];
+  }
+  return total;
+}
+
+Counter* Registry::FindOrCreateCounter(std::string_view name,
+                                       std::string_view help) {
+  auto it = instruments_.find(name);
+  if (it == instruments_.end()) {
+    Instrument instrument;
+    instrument.kind = Instrument::Kind::kCounter;
+    instrument.help = help;
+    instrument.counter = std::make_unique<Counter>();
+    it = instruments_.emplace(std::string(name), std::move(instrument)).first;
+  }
+  return it->second.kind == Instrument::Kind::kCounter
+             ? it->second.counter.get()
+             : nullptr;
+}
+
+Gauge* Registry::FindOrCreateGauge(std::string_view name,
+                                   std::string_view help) {
+  auto it = instruments_.find(name);
+  if (it == instruments_.end()) {
+    Instrument instrument;
+    instrument.kind = Instrument::Kind::kGauge;
+    instrument.help = help;
+    instrument.gauge = std::make_unique<Gauge>();
+    it = instruments_.emplace(std::string(name), std::move(instrument)).first;
+  }
+  return it->second.kind == Instrument::Kind::kGauge ? it->second.gauge.get()
+                                                     : nullptr;
+}
+
+Histogram* Registry::FindOrCreateHistogram(std::string_view name,
+                                           std::vector<double> bounds,
+                                           std::string_view help) {
+  auto it = instruments_.find(name);
+  if (it == instruments_.end()) {
+    Instrument instrument;
+    instrument.kind = Instrument::Kind::kHistogram;
+    instrument.help = help;
+    instrument.histogram = std::make_unique<Histogram>(std::move(bounds));
+    it = instruments_.emplace(std::string(name), std::move(instrument)).first;
+  }
+  return it->second.kind == Instrument::Kind::kHistogram
+             ? it->second.histogram.get()
+             : nullptr;
+}
+
+const Counter* Registry::counter(std::string_view name) const {
+  const auto it = instruments_.find(name);
+  return it != instruments_.end() &&
+                 it->second.kind == Instrument::Kind::kCounter
+             ? it->second.counter.get()
+             : nullptr;
+}
+
+const Gauge* Registry::gauge(std::string_view name) const {
+  const auto it = instruments_.find(name);
+  return it != instruments_.end() && it->second.kind == Instrument::Kind::kGauge
+             ? it->second.gauge.get()
+             : nullptr;
+}
+
+const Histogram* Registry::histogram(std::string_view name) const {
+  const auto it = instruments_.find(name);
+  return it != instruments_.end() &&
+                 it->second.kind == Instrument::Kind::kHistogram
+             ? it->second.histogram.get()
+             : nullptr;
+}
+
+void Registry::WritePrometheus(std::ostream& out) const {
+  for (const auto& [name, instrument] : instruments_) {
+    const std::string full = std::string(kPrefix) + name;
+    if (!instrument.help.empty()) {
+      out << "# HELP " << full << ' ' << instrument.help << '\n';
+    }
+    switch (instrument.kind) {
+      case Instrument::Kind::kCounter:
+        out << "# TYPE " << full << " counter\n"
+            << full << ' ' << FormatNumber(instrument.counter->value())
+            << '\n';
+        break;
+      case Instrument::Kind::kGauge:
+        out << "# TYPE " << full << " gauge\n"
+            << full << ' ' << FormatNumber(instrument.gauge->value()) << '\n';
+        break;
+      case Instrument::Kind::kHistogram: {
+        const auto& histogram = *instrument.histogram;
+        out << "# TYPE " << full << " histogram\n";
+        for (std::size_t i = 0; i < histogram.bounds().size(); ++i) {
+          out << full << "_bucket{le=\"" << FormatNumber(histogram.bounds()[i])
+              << "\"} " << FormatCount(histogram.CumulativeCount(i)) << '\n';
+        }
+        out << full << "_bucket{le=\"+Inf\"} "
+            << FormatCount(histogram.count()) << '\n'
+            << full << "_sum " << FormatNumber(histogram.sum()) << '\n'
+            << full << "_count " << FormatCount(histogram.count()) << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void Registry::WriteCsv(std::ostream& out) const {
+  out << "name,kind,field,value\n";
+  for (const auto& [name, instrument] : instruments_) {
+    switch (instrument.kind) {
+      case Instrument::Kind::kCounter:
+        out << name << ",counter,value,"
+            << FormatNumber(instrument.counter->value()) << '\n';
+        break;
+      case Instrument::Kind::kGauge:
+        out << name << ",gauge,value,"
+            << FormatNumber(instrument.gauge->value()) << '\n';
+        break;
+      case Instrument::Kind::kHistogram: {
+        const auto& histogram = *instrument.histogram;
+        for (std::size_t i = 0; i < histogram.bounds().size(); ++i) {
+          out << name << ",histogram,le=" << FormatNumber(
+                 histogram.bounds()[i])
+              << ',' << FormatCount(histogram.CumulativeCount(i)) << '\n';
+        }
+        out << name << ",histogram,le=+Inf,"
+            << FormatCount(histogram.count()) << '\n'
+            << name << ",histogram,sum," << FormatNumber(histogram.sum())
+            << '\n'
+            << name << ",histogram,count," << FormatCount(histogram.count())
+            << '\n';
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace sleepwalk::obs

@@ -1,0 +1,120 @@
+// Campaign metrics registry: named counters, gauges, and fixed-bucket
+// histograms with Prometheus-text and CSV exposition.
+//
+// The registry is the quantitative side of the telemetry subsystem: the
+// probe-accounting identity (sent = answered + lost + rate_limited +
+// unreachable, report/resilience.h) is mirrored here so an external
+// scraper can verify the measurement plane's health without parsing
+// logs. Instruments are created once (FindOrCreate*) and then updated
+// through stable pointers — the hot path pays one null check and one
+// add, no hashing.
+//
+// Exposition is deterministic: instruments are stored name-sorted and
+// numbers are shortest-round-trip formatted, so identical campaign
+// state produces identical files. See DESIGN.md §7 for the name catalog
+// (lowercase snake_case, counters end in `_total`, unit suffixes like
+// `_seconds` spelled out — the Prometheus conventions).
+#ifndef SLEEPWALK_OBS_METRICS_H_
+#define SLEEPWALK_OBS_METRICS_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sleepwalk::obs {
+
+/// Monotonically increasing value (double, per Prometheus data model, so
+/// second-valued counters like backoff time fit).
+class Counter {
+ public:
+  void Inc(double delta = 1.0) noexcept { value_ += delta; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) noexcept { value_ = value; }
+  void Add(double delta) noexcept { value_ += delta; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket cumulative histogram. Bucket i counts observations
+/// <= bounds[i] (Prometheus `le` semantics: the bound is inclusive);
+/// one implicit +Inf bucket catches the rest.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; violations are degraded to a
+  /// sorted, deduplicated copy rather than UB.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Cumulative count of observations <= bounds()[i].
+  std::uint64_t CumulativeCount(std::size_t i) const noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> per_bucket_;  ///< non-cumulative, +Inf last
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Owns every instrument for one campaign. Lookup creates on first use;
+/// returned pointers are stable for the registry's lifetime. Name
+/// collisions across kinds (a counter and a gauge both named "x") are a
+/// caller bug; the later FindOrCreate returns null rather than aliasing.
+class Registry {
+ public:
+  Counter* FindOrCreateCounter(std::string_view name,
+                               std::string_view help = "");
+  Gauge* FindOrCreateGauge(std::string_view name, std::string_view help = "");
+  Histogram* FindOrCreateHistogram(std::string_view name,
+                                   std::vector<double> bounds,
+                                   std::string_view help = "");
+
+  /// Lookup without creation; null when absent or of a different kind.
+  const Counter* counter(std::string_view name) const;
+  const Gauge* gauge(std::string_view name) const;
+  const Histogram* histogram(std::string_view name) const;
+
+  std::size_t size() const noexcept { return instruments_.size(); }
+
+  /// Prometheus text exposition format 0.0.4, instruments name-sorted,
+  /// every name prefixed "sleepwalk_".
+  void WritePrometheus(std::ostream& out) const;
+
+  /// CSV exposition: header "name,kind,field,value", one row per scalar
+  /// (histograms expand to bucket/sum/count rows).
+  void WriteCsv(std::ostream& out) const;
+
+ private:
+  struct Instrument {
+    enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  // std::map: name-sorted iteration makes exposition deterministic.
+  std::map<std::string, Instrument, std::less<>> instruments_;
+};
+
+}  // namespace sleepwalk::obs
+
+#endif  // SLEEPWALK_OBS_METRICS_H_

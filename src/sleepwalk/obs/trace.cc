@@ -1,0 +1,102 @@
+#include "sleepwalk/obs/trace.h"
+
+#include <chrono>
+#include <ostream>
+#include <utility>
+
+#include "sleepwalk/obs/log.h"
+
+namespace sleepwalk::obs {
+
+namespace {
+
+std::uint64_t MonotonicNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr std::size_t kNoSpan = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string_view name)
+    : tracer_(tracer), index_(kNoSpan) {
+  if (tracer_ != nullptr) index_ = tracer_->Start(name);
+}
+
+ScopedSpan::ScopedSpan(ScopedSpan&& other) noexcept
+    : tracer_(std::exchange(other.tracer_, nullptr)),
+      index_(std::exchange(other.index_, kNoSpan)) {}
+
+ScopedSpan& ScopedSpan::operator=(ScopedSpan&& other) noexcept {
+  if (this != &other) {
+    if (tracer_ != nullptr && index_ != kNoSpan) tracer_->End(index_);
+    tracer_ = std::exchange(other.tracer_, nullptr);
+    index_ = std::exchange(other.index_, kNoSpan);
+  }
+  return *this;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ != nullptr && index_ != kNoSpan) tracer_->End(index_);
+}
+
+std::size_t Tracer::Start(std::string_view name) {
+  SpanRecord record;
+  record.name = std::string(name);
+  record.depth = static_cast<int>(open_stack_.size());
+  record.seq_start = seq_++;
+  record.vt_start = virtual_sec_;
+  const std::size_t index = spans_.size();
+  spans_.push_back(std::move(record));
+  start_ns_.push_back(config_.deterministic ? 0 : MonotonicNanos());
+  open_stack_.push_back(index);
+  return index;
+}
+
+void Tracer::End(std::size_t index) {
+  if (index >= spans_.size() || !spans_[index].open) return;
+  auto& record = spans_[index];
+  record.seq_end = seq_++;
+  record.vt_end = virtual_sec_;
+  if (!config_.deterministic) {
+    record.wall_ns = MonotonicNanos() - start_ns_[index];
+  }
+  record.open = false;
+  // Mis-nested manual End calls close everything above `index` too —
+  // the stack must stay consistent for depth accounting.
+  while (!open_stack_.empty() && open_stack_.back() >= index) {
+    open_stack_.pop_back();
+  }
+}
+
+void Tracer::WriteJsonl(std::ostream& out) const {
+  std::string line;
+  for (const auto& span : spans_) {
+    line.clear();
+    line.append("{\"name\":\"");
+    AppendJsonEscaped(line, span.name);
+    line.append("\",\"depth\":");
+    line.append(std::to_string(span.depth));
+    line.append(",\"seq\":[");
+    line.append(std::to_string(span.seq_start));
+    line.push_back(',');
+    line.append(std::to_string(span.seq_end));
+    line.append("],\"vt\":[");
+    line.append(std::to_string(span.vt_start));
+    line.push_back(',');
+    line.append(std::to_string(span.vt_end));
+    line.push_back(']');
+    if (!config_.deterministic) {
+      line.append(",\"wall_ns\":");
+      line.append(std::to_string(span.wall_ns));
+    }
+    if (span.open) line.append(",\"open\":true");
+    line.append("}\n");
+    out.write(line.data(), static_cast<std::streamsize>(line.size()));
+  }
+}
+
+}  // namespace sleepwalk::obs

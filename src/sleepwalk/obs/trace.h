@@ -1,0 +1,97 @@
+// Scoped-span phase tracer.
+//
+// RAII spans time the campaign's phases (block measurement, the analyze
+// pipeline's resample/clean/FFT/classify stages, checkpoint I/O) and
+// serialize to a flame-ordered JSONL trace: records appear in span
+// *start* order with an explicit nesting depth, so a flame graph is a
+// single forward pass over the file.
+//
+// Two clocks, same rule as the logger: spans always carry virtual
+// campaign time and a deterministic sequence number (one tick per span
+// start/end); wall-clock durations are attached only when the tracer is
+// non-deterministic, so same-seed simulation runs emit byte-identical
+// traces while live/bench runs get real nanosecond timings.
+#ifndef SLEEPWALK_OBS_TRACE_H_
+#define SLEEPWALK_OBS_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sleepwalk::obs {
+
+/// One completed (or still-open) span.
+struct SpanRecord {
+  std::string name;
+  int depth = 0;                ///< 0 = root; children are deeper
+  std::uint64_t seq_start = 0;  ///< deterministic event ticks
+  std::uint64_t seq_end = 0;
+  std::int64_t vt_start = -1;   ///< virtual seconds at start/end
+  std::int64_t vt_end = -1;
+  std::uint64_t wall_ns = 0;    ///< 0 in deterministic mode
+  bool open = true;
+};
+
+struct TraceConfig {
+  /// When true, no wall clock is read and serialized output is a pure
+  /// function of campaign state (see obs/log.h for the invariant).
+  bool deterministic = true;
+};
+
+class Tracer;
+
+/// RAII guard: starts a span on construction (when the tracer is
+/// non-null), ends it on destruction. Move-only; spans must nest.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* tracer, std::string_view name);
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& other) noexcept;
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept;
+  ~ScopedSpan();
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::size_t index_ = 0;
+};
+
+/// Records spans. Not thread-safe; spans must strictly nest (RAII
+/// guards guarantee this). Records accumulate in memory — a campaign
+/// traces phases, not packets, so the volume is O(blocks).
+class Tracer {
+ public:
+  explicit Tracer(TraceConfig config = {}) : config_(config) {}
+
+  /// Starts a span, returning its record index (for End).
+  std::size_t Start(std::string_view name);
+  void End(std::size_t index);
+
+  ScopedSpan Span(std::string_view name) { return ScopedSpan{this, name}; }
+
+  void set_virtual_time(std::int64_t sec) noexcept { virtual_sec_ = sec; }
+  std::int64_t virtual_time() const noexcept { return virtual_sec_; }
+
+  const std::vector<SpanRecord>& spans() const noexcept { return spans_; }
+  const TraceConfig& config() const noexcept { return config_; }
+
+  /// One JSON object per span, flame (start) order:
+  /// {"name":...,"depth":...,"seq":[s,e],"vt":[s,e],("wall_ns":n)}
+  void WriteJsonl(std::ostream& out) const;
+
+ private:
+  friend class ScopedSpan;
+
+  TraceConfig config_;
+  std::vector<SpanRecord> spans_;
+  std::vector<std::size_t> open_stack_;
+  std::vector<std::uint64_t> start_ns_;  ///< parallel to spans_
+  std::uint64_t seq_ = 0;
+  std::int64_t virtual_sec_ = -1;
+};
+
+}  // namespace sleepwalk::obs
+
+#endif  // SLEEPWALK_OBS_TRACE_H_

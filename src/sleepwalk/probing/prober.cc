@@ -26,6 +26,16 @@ AdaptiveProber::AdaptiveProber(net::Prefix24 block,
       walker_(RequireNonEmpty(std::move(ever_active)), seed ^ block.Index()),
       belief_model_(config.belief) {}
 
+void AdaptiveProber::AttachObs(const obs::Context& context) {
+  obs_ = context;
+  // 1..15 probes per round (Trinocular budget); bucket at every count so
+  // the early-stop distribution (§2.1.1 sampling bias) is fully visible.
+  round_probes_ = context.HistogramOrNull(
+      "prober_round_probes",
+      {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+      "probes sent per round");
+}
+
 RoundRecord AdaptiveProber::RunRound(net::Transport& transport,
                                      std::int64_t round,
                                      std::int64_t when_sec,
@@ -54,6 +64,39 @@ RoundRecord AdaptiveProber::RunRound(net::Transport& transport,
   }
 
   record.belief = belief_model_.belief();
+
+  if (round_probes_ != nullptr) {
+    round_probes_->Observe(static_cast<double>(record.probes));
+  }
+  if (obs_.log != nullptr) {
+    // A belief *transition* (conclusive up after down, or vice versa) is
+    // the outage-boundary signal; per-round records are kTrace noise.
+    if ((record.concluded_down && !obs_last_down_) ||
+        (record.concluded_up && obs_last_down_)) {
+      if (obs_.Logs(obs::Level::kDebug)) {
+        obs_.log->Write(obs::Level::kDebug, "belief.transition",
+                        {{"block", block_.ToString()},
+                         {"round", round},
+                         {"to", record.concluded_down ? "down" : "up"},
+                         {"belief", record.belief}});
+      }
+    }
+    if (obs_.Logs(obs::Level::kTrace)) {
+      obs_.log->Write(obs::Level::kTrace, "prober.round",
+                      {{"block", block_.ToString()},
+                       {"round", round},
+                       {"probes", record.probes},
+                       {"positives", record.positives},
+                       {"up", record.concluded_up},
+                       {"down", record.concluded_down},
+                       {"belief", record.belief}});
+    }
+  }
+  if (record.concluded_down) {
+    obs_last_down_ = true;
+  } else if (record.concluded_up) {
+    obs_last_down_ = false;
+  }
   return record;
 }
 

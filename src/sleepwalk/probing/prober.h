@@ -19,6 +19,7 @@
 
 #include "sleepwalk/net/ipv4.h"
 #include "sleepwalk/net/transport.h"
+#include "sleepwalk/obs/context.h"
 #include "sleepwalk/probing/belief.h"
 #include "sleepwalk/probing/walker.h"
 
@@ -58,6 +59,12 @@ class AdaptiveProber {
   AdaptiveProber(net::Prefix24 block, std::vector<std::uint8_t> ever_active,
                  std::uint64_t seed, const ProberConfig& config = {});
 
+  /// Attaches telemetry: per-round trace records, belief up/down
+  /// transition events, and a probes-per-round histogram. Read-only with
+  /// respect to probing decisions — attaching a context never changes
+  /// which addresses are probed or what the belief concludes.
+  void AttachObs(const obs::Context& context);
+
   /// Runs one probing round at simulation time `when_sec`, using the
   /// caller's current operational availability estimate.
   RoundRecord RunRound(net::Transport& transport, std::int64_t round,
@@ -79,6 +86,11 @@ class AdaptiveProber {
   ProberConfig config_;
   AddressWalker walker_;
   BeliefModel belief_model_;
+
+  // Telemetry (null / inert by default).
+  obs::Context obs_;
+  obs::Histogram* round_probes_ = nullptr;
+  bool obs_last_down_ = false;  ///< last *conclusive* verdict was down
 };
 
 }  // namespace sleepwalk::probing

@@ -33,10 +33,17 @@
 // Networking primitives.
 #include "sleepwalk/net/checksum.h"
 #include "sleepwalk/net/icmp.h"
+#include "sleepwalk/net/instrumented_transport.h"
 #include "sleepwalk/net/ipv4.h"
 #include "sleepwalk/net/rate_limiter.h"
 #include "sleepwalk/net/socket.h"
 #include "sleepwalk/net/transport.h"
+
+// Observability: structured log, metrics registry, phase tracing.
+#include "sleepwalk/obs/context.h"
+#include "sleepwalk/obs/log.h"
+#include "sleepwalk/obs/metrics.h"
+#include "sleepwalk/obs/trace.h"
 
 // Signal processing and statistics.
 #include "sleepwalk/fft/fft.h"

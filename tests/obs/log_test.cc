@@ -1,0 +1,131 @@
+// Logger contract: level filtering, both sink formats, JSON escaping,
+// and the determinism rule (no wall clock in deterministic mode).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "sleepwalk/obs/log.h"
+
+namespace sleepwalk::obs {
+namespace {
+
+TEST(ParseLevel, RecognizesAllNamesCaseInsensitive) {
+  EXPECT_EQ(ParseLevel("trace"), Level::kTrace);
+  EXPECT_EQ(ParseLevel("DEBUG"), Level::kDebug);
+  EXPECT_EQ(ParseLevel("Info"), Level::kInfo);
+  EXPECT_EQ(ParseLevel("warn"), Level::kWarn);
+  EXPECT_EQ(ParseLevel("error"), Level::kError);
+  EXPECT_EQ(ParseLevel("off"), Level::kOff);
+  EXPECT_EQ(ParseLevel("bogus", Level::kWarn), Level::kWarn);
+  EXPECT_EQ(ParseLevel(""), Level::kInfo);
+}
+
+TEST(Logger, DisabledWithoutSinks) {
+  Logger logger;
+  EXPECT_FALSE(logger.Enabled(Level::kError));
+  // Writing without sinks is a safe no-op.
+  logger.Write(Level::kError, "ev", {});
+}
+
+TEST(Logger, LevelFiltering) {
+  std::ostringstream text;
+  Logger logger{LogConfig{Level::kWarn, true}};
+  logger.AddTextSink(&text);
+  EXPECT_FALSE(logger.Enabled(Level::kTrace));
+  EXPECT_FALSE(logger.Enabled(Level::kInfo));
+  EXPECT_TRUE(logger.Enabled(Level::kWarn));
+  EXPECT_TRUE(logger.Enabled(Level::kError));
+  EXPECT_FALSE(logger.Enabled(Level::kOff));
+
+  logger.Write(Level::kInfo, "dropped", {});
+  logger.Write(Level::kWarn, "kept", {});
+  const auto out = text.str();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("kept"), std::string::npos);
+}
+
+TEST(Logger, TextFormatCarriesVirtualTimeAndFields) {
+  std::ostringstream text;
+  Logger logger;
+  logger.AddTextSink(&text);
+  logger.set_virtual_time(3960);
+  logger.Write(Level::kInfo, "round.retry",
+               {{"block", "1.2.3/24"},
+                {"attempt", 2},
+                {"delay_sec", 0.5},
+                {"ok", false},
+                {"count", std::uint64_t{7}}});
+  EXPECT_EQ(text.str(),
+            "INFO vt=3960 round.retry block=1.2.3/24 attempt=2 "
+            "delay_sec=0.5 ok=false count=7\n");
+}
+
+TEST(Logger, JsonlFormatDeterministicMode) {
+  std::ostringstream jsonl;
+  Logger logger{LogConfig{Level::kDebug, /*deterministic=*/true}};
+  logger.AddJsonlSink(&jsonl);
+  logger.set_virtual_time(660);
+  logger.Write(Level::kDebug, "belief.transition",
+               {{"block", "9.8.7/24"}, {"to", "down"}, {"belief", 0.25}});
+  EXPECT_EQ(jsonl.str(),
+            "{\"vt\":660,\"lvl\":\"debug\",\"ev\":\"belief.transition\","
+            "\"block\":\"9.8.7/24\",\"to\":\"down\",\"belief\":0.25}\n");
+}
+
+TEST(Logger, NonDeterministicModeAttachesWallClock) {
+  std::ostringstream jsonl;
+  Logger logger{LogConfig{Level::kInfo, /*deterministic=*/false}};
+  logger.AddJsonlSink(&jsonl);
+  logger.Write(Level::kInfo, "ev", {});
+  EXPECT_NE(jsonl.str().find("\"wall_ns\":"), std::string::npos);
+
+  std::ostringstream deterministic;
+  Logger det{LogConfig{Level::kInfo, /*deterministic=*/true}};
+  det.AddJsonlSink(&deterministic);
+  det.Write(Level::kInfo, "ev", {});
+  EXPECT_EQ(deterministic.str().find("wall_ns"), std::string::npos);
+}
+
+TEST(Logger, FanOutToBothSinkKinds) {
+  std::ostringstream text;
+  std::ostringstream jsonl;
+  Logger logger;
+  logger.AddTextSink(&text);
+  logger.AddJsonlSink(&jsonl);
+  logger.Write(Level::kInfo, "ev", {{"k", 1}});
+  EXPECT_NE(text.str().find("ev k=1"), std::string::npos);
+  EXPECT_NE(jsonl.str().find("\"ev\":\"ev\""), std::string::npos);
+}
+
+TEST(AppendJsonEscaped, EscapesQuotesBackslashAndControls) {
+  std::string out;
+  AppendJsonEscaped(out, "a\"b\\c\nd\te\x01" "f");
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\u0001f");
+}
+
+TEST(Logger, JsonEscapingAppliedToKeysAndValues) {
+  std::ostringstream jsonl;
+  Logger logger;
+  logger.AddJsonlSink(&jsonl);
+  logger.Write(Level::kInfo, "ev\"il", {{"k", "line1\nline2"}});
+  EXPECT_EQ(jsonl.str(),
+            "{\"vt\":-1,\"lvl\":\"info\",\"ev\":\"ev\\\"il\","
+            "\"k\":\"line1\\nline2\"}\n");
+}
+
+TEST(Logger, NonFiniteDoublesSerializeAsStringsInJson) {
+  std::ostringstream jsonl;
+  Logger logger;
+  logger.AddJsonlSink(&jsonl);
+  logger.Write(Level::kInfo, "ev",
+               {{"a", std::numeric_limits<double>::quiet_NaN()},
+                {"b", std::numeric_limits<double>::infinity()}});
+  const auto out = jsonl.str();
+  EXPECT_NE(out.find("\"a\":\"nan\""), std::string::npos);
+  EXPECT_NE(out.find("\"b\":\"inf\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sleepwalk::obs

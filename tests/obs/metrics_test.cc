@@ -1,0 +1,130 @@
+// Metrics registry contract: instrument semantics (le-inclusive
+// histogram buckets in particular), stable pointers, kind-collision
+// safety, and byte-exact Prometheus/CSV exposition.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sleepwalk/obs/metrics.h"
+
+namespace sleepwalk::obs {
+namespace {
+
+TEST(Counter, AccumulatesDeltas) {
+  Counter c;
+  c.Inc();
+  c.Inc(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.Set(10.0);
+  g.Add(-4.0);
+  EXPECT_DOUBLE_EQ(g.value(), 6.0);
+}
+
+TEST(Histogram, BucketEdgesAreLeInclusive) {
+  Histogram h{{1.0, 2.0, 5.0}};
+  h.Observe(0.5);   // <= 1
+  h.Observe(1.0);   // <= 1 (boundary lands in its own bucket)
+  h.Observe(1.001); // <= 2
+  h.Observe(5.0);   // <= 5
+  h.Observe(99.0);  // +Inf
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.001 + 5.0 + 99.0);
+  EXPECT_EQ(h.CumulativeCount(0), 2u);  // le=1
+  EXPECT_EQ(h.CumulativeCount(1), 3u);  // le=2
+  EXPECT_EQ(h.CumulativeCount(2), 4u);  // le=5
+}
+
+TEST(Histogram, DegradesUnsortedBoundsToSortedUnique) {
+  Histogram h{{5.0, 1.0, 5.0, 2.0}};
+  ASSERT_EQ(h.bounds().size(), 3u);
+  EXPECT_DOUBLE_EQ(h.bounds()[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.bounds()[1], 2.0);
+  EXPECT_DOUBLE_EQ(h.bounds()[2], 5.0);
+}
+
+TEST(Registry, FindOrCreateReturnsStablePointers) {
+  Registry registry;
+  auto* a = registry.FindOrCreateCounter("x_total");
+  auto* b = registry.FindOrCreateCounter("x_total");
+  EXPECT_EQ(a, b);
+  a->Inc();
+  EXPECT_DOUBLE_EQ(registry.counter("x_total")->value(), 1.0);
+}
+
+TEST(Registry, KindCollisionReturnsNullInsteadOfAliasing) {
+  Registry registry;
+  ASSERT_NE(registry.FindOrCreateCounter("x"), nullptr);
+  EXPECT_EQ(registry.FindOrCreateGauge("x"), nullptr);
+  EXPECT_EQ(registry.FindOrCreateHistogram("x", {1.0}), nullptr);
+  EXPECT_EQ(registry.gauge("x"), nullptr);
+  EXPECT_NE(registry.counter("x"), nullptr);
+}
+
+TEST(Registry, PrometheusExpositionGolden) {
+  Registry registry;
+  registry.FindOrCreateGauge("blocks_done", "targets finished")->Set(3);
+  registry.FindOrCreateCounter("rounds_total", "rounds run")->Inc(42);
+  auto* h = registry.FindOrCreateHistogram("delay_seconds", {0.5, 2.0},
+                                           "retry delay");
+  h->Observe(0.25);
+  h->Observe(1.0);
+  h->Observe(10.0);
+
+  std::ostringstream out;
+  registry.WritePrometheus(out);
+  EXPECT_EQ(out.str(),
+            "# HELP sleepwalk_blocks_done targets finished\n"
+            "# TYPE sleepwalk_blocks_done gauge\n"
+            "sleepwalk_blocks_done 3\n"
+            "# HELP sleepwalk_delay_seconds retry delay\n"
+            "# TYPE sleepwalk_delay_seconds histogram\n"
+            "sleepwalk_delay_seconds_bucket{le=\"0.5\"} 1\n"
+            "sleepwalk_delay_seconds_bucket{le=\"2\"} 2\n"
+            "sleepwalk_delay_seconds_bucket{le=\"+Inf\"} 3\n"
+            "sleepwalk_delay_seconds_sum 11.25\n"
+            "sleepwalk_delay_seconds_count 3\n"
+            "# HELP sleepwalk_rounds_total rounds run\n"
+            "# TYPE sleepwalk_rounds_total counter\n"
+            "sleepwalk_rounds_total 42\n");
+}
+
+TEST(Registry, CsvExpositionGolden) {
+  Registry registry;
+  registry.FindOrCreateCounter("rounds_total")->Inc(2);
+  registry.FindOrCreateGauge("blocks_done")->Set(1);
+  auto* h = registry.FindOrCreateHistogram("delay_seconds", {0.5});
+  h->Observe(0.1);
+
+  std::ostringstream out;
+  registry.WriteCsv(out);
+  EXPECT_EQ(out.str(),
+            "name,kind,field,value\n"
+            "blocks_done,gauge,value,1\n"
+            "delay_seconds,histogram,le=0.5,1\n"
+            "delay_seconds,histogram,le=+Inf,1\n"
+            "delay_seconds,histogram,sum,0.1\n"
+            "delay_seconds,histogram,count,1\n"
+            "rounds_total,counter,value,2\n");
+}
+
+TEST(Registry, ExpositionIsDeterministicAcrossInsertionOrder) {
+  Registry first;
+  first.FindOrCreateCounter("a_total")->Inc();
+  first.FindOrCreateCounter("b_total")->Inc();
+  Registry second;
+  second.FindOrCreateCounter("b_total")->Inc();
+  second.FindOrCreateCounter("a_total")->Inc();
+
+  std::ostringstream out_first;
+  std::ostringstream out_second;
+  first.WritePrometheus(out_first);
+  second.WritePrometheus(out_second);
+  EXPECT_EQ(out_first.str(), out_second.str());
+}
+
+}  // namespace
+}  // namespace sleepwalk::obs

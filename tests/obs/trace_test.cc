@@ -1,0 +1,108 @@
+// Tracer contract: flame (start) order, nesting depth, deterministic
+// sequence ticks, virtual-time stamping, and the determinism rule for
+// wall-clock durations.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "sleepwalk/obs/trace.h"
+
+namespace sleepwalk::obs {
+namespace {
+
+TEST(ScopedSpan, NullTracerIsANoOp) {
+  ScopedSpan span{nullptr, "ignored"};
+  ScopedSpan defaulted;
+  // Destruction must not crash; nothing to assert beyond that.
+}
+
+TEST(Tracer, SpansNestAndRecordDepthInStartOrder) {
+  Tracer tracer;
+  tracer.set_virtual_time(100);
+  {
+    const auto outer = tracer.Span("outer");
+    tracer.set_virtual_time(200);
+    {
+      const auto inner = tracer.Span("inner");
+      const auto deeper = tracer.Span("deeper");
+    }
+    const auto sibling = tracer.Span("sibling");
+  }
+  const auto& spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].name, "deeper");
+  EXPECT_EQ(spans[2].depth, 2);
+  EXPECT_EQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[3].depth, 1);
+
+  // Sequence ticks: start and end each consume one, strictly nested.
+  EXPECT_LT(spans[0].seq_start, spans[1].seq_start);
+  EXPECT_LT(spans[1].seq_start, spans[2].seq_start);
+  EXPECT_LT(spans[2].seq_end, spans[1].seq_end);
+  EXPECT_LT(spans[3].seq_end, spans[0].seq_end);
+
+  EXPECT_EQ(spans[0].vt_start, 100);
+  EXPECT_EQ(spans[1].vt_start, 200);
+  for (const auto& span : spans) {
+    EXPECT_FALSE(span.open);
+    EXPECT_EQ(span.wall_ns, 0u) << "deterministic mode read a wall clock";
+  }
+}
+
+TEST(Tracer, MovedFromGuardDoesNotDoubleEnd) {
+  Tracer tracer;
+  {
+    ScopedSpan a = tracer.Span("only");
+    ScopedSpan b = std::move(a);
+  }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_FALSE(tracer.spans()[0].open);
+  EXPECT_EQ(tracer.spans()[0].seq_end, 1u);
+}
+
+TEST(Tracer, WriteJsonlFlameOrderGolden) {
+  Tracer tracer;
+  tracer.set_virtual_time(10);
+  {
+    const auto outer = tracer.Span("campaign");
+    const auto inner = tracer.Span("block");
+  }
+  std::ostringstream out;
+  tracer.WriteJsonl(out);
+  EXPECT_EQ(out.str(),
+            "{\"name\":\"campaign\",\"depth\":0,\"seq\":[0,3],"
+            "\"vt\":[10,10]}\n"
+            "{\"name\":\"block\",\"depth\":1,\"seq\":[1,2],"
+            "\"vt\":[10,10]}\n");
+}
+
+TEST(Tracer, OpenSpansAreMarkedInOutput) {
+  Tracer tracer;
+  const auto index = tracer.Start("unfinished");
+  (void)index;
+  std::ostringstream out;
+  tracer.WriteJsonl(out);
+  EXPECT_NE(out.str().find("\"open\":true"), std::string::npos);
+}
+
+TEST(Tracer, NonDeterministicModeRecordsWallDurations) {
+  Tracer tracer{TraceConfig{/*deterministic=*/false}};
+  {
+    const auto span = tracer.Span("timed");
+  }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  // steady_clock may tick 0ns on a fast machine, but the JSONL must at
+  // least carry the field.
+  std::ostringstream out;
+  tracer.WriteJsonl(out);
+  EXPECT_NE(out.str().find("\"wall_ns\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sleepwalk::obs
