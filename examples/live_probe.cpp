@@ -56,11 +56,15 @@ int main(int argc, char** argv) {
   // Do-no-harm budget: Trinocular's ~19 probes/hour/block ceiling,
   // enforced mechanically. The demo's fast cadence makes the budget the
   // binding constraint, exactly as in a real deployment.
+  // The live demo paces its token bucket against the real monotonic
+  // clock by design — it is probing real hosts, not replaying a trace.
   auto budget = net::MakeTrinocularBudget();
-  const auto start = std::chrono::steady_clock::now();
+  const auto start =
+      std::chrono::steady_clock::now();  // sleeplint: allow(no-wallclock)
   const auto now_sec = [&start] {
     return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start).count();
+               std::chrono::steady_clock::now() -  // sleeplint: allow(no-wallclock)
+               start).count();
   };
 
   std::cout << "probing " << prefix->ToString() << " for " << rounds

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Static-analysis tier (DESIGN.md §8): everything that can prove a
+# determinism or thread-safety invariant *without running the code*.
+#
+#   1. sleeplint         — project-invariant lint (clocks, RNG, raw IO,
+#                          unchecked narrowing, header guards)
+#   2. header hygiene    — every header compiles as its own TU, so any
+#                          header can be included first anywhere
+#   3. clang-tidy        — curated bugprone/performance/concurrency
+#                          profile (.clang-tidy); skipped when the
+#                          binary is absent (CI installs it)
+#   4. clang -Wthread-safety — compiles the annotated targets with the
+#                          thread-safety analysis as errors; skipped
+#                          when clang is absent
+#
+# Exit non-zero on the first failing tier. Steps 3-4 are *skipped*, not
+# failed, on toolchain-less boxes so `scripts/tier1.sh --lint` works
+# anywhere the project builds; CI runs all four.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+fail=0
+
+echo "== static-analysis 1/4: sleeplint =="
+cmake -B build -S . >/dev/null
+cmake --build build --target sleeplint -j "${jobs}" >/dev/null
+build/tools/sleeplint --baseline scripts/sleeplint_baseline.txt \
+  src/sleepwalk examples tools || fail=1
+
+echo "== static-analysis 2/4: header self-sufficiency =="
+# One translation unit per header: if a header silently depends on its
+# includer's includes, this is where it breaks.
+hdr_tmp="$(mktemp -d)"
+trap 'rm -rf "${hdr_tmp}"' EXIT
+hdr_fail=0
+while IFS= read -r header; do
+  rel="${header#src/}"
+  printf '#include "%s"\n' "${rel}" > "${hdr_tmp}/tu.cc"
+  if ! g++ -std=c++20 -fsyntax-only -Wall -Wextra -Wpedantic \
+       -I src "${hdr_tmp}/tu.cc" 2> "${hdr_tmp}/err"; then
+    echo "header not self-sufficient: ${header}"
+    cat "${hdr_tmp}/err"
+    hdr_fail=1
+  fi
+done < <(find src/sleepwalk -name '*.h' | sort)
+if [[ "${hdr_fail}" -ne 0 ]]; then
+  fail=1
+else
+  echo "all headers self-sufficient"
+fi
+
+echo "== static-analysis 3/4: clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # compile_commands.json is exported by the top-level CMakeLists.
+  find src/sleepwalk -name '*.cc' | sort | \
+    xargs clang-tidy -p build --quiet || fail=1
+else
+  echo "clang-tidy not installed; skipping (CI runs this tier)"
+fi
+
+echo "== static-analysis 4/4: clang -Wthread-safety =="
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-tsa -S . \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety-analysis" \
+    >/dev/null
+  cmake --build build-tsa -j "${jobs}" \
+    --target sleepwalk_obs sleepwalk_core || fail=1
+else
+  echo "clang++ not installed; skipping (CI runs this tier)"
+fi
+
+if [[ "${fail}" -ne 0 ]]; then
+  echo "== static-analysis: FAILED =="
+  exit 1
+fi
+echo "== static-analysis: all green =="

@@ -7,9 +7,14 @@
 # snapshot/restore, mid-round rollback) — the code most likely to hide a
 # lifetime or aliasing bug that a passing assertion can't see.
 #
-# Usage: scripts/tier1.sh [--skip-sanitize]
+# Usage: scripts/tier1.sh [--skip-sanitize | --lint]
+#   --lint  run only the static-analysis tier (scripts/static_analysis.sh)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--lint" ]]; then
+  exec scripts/static_analysis.sh
+fi
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 

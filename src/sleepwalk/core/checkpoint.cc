@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "sleepwalk/util/narrow.h"
 #include "sleepwalk/util/rng.h"
 
 namespace sleepwalk::core {
@@ -44,7 +45,7 @@ void PutStats(std::ofstream& out, const report::ResilienceStats& stats) {
   Put(out, stats.forced_restarts);
   Put(out, stats.quarantined_blocks);
   Put(out, stats.checkpoints_written);
-  Put(out, static_cast<std::uint8_t>(stats.resumed_from_checkpoint));
+  Put(out, util::BoolByte(stats.resumed_from_checkpoint));
 }
 
 bool GetStats(std::ifstream& in, report::ResilienceStats& stats) {
@@ -64,14 +65,15 @@ bool GetStats(std::ifstream& in, report::ResilienceStats& stats) {
 
 void PutAnalysis(std::ofstream& out, const BlockAnalysis& analysis) {
   Put(out, analysis.block.Index());
-  Put(out, static_cast<std::uint8_t>(analysis.probed));
-  Put(out, static_cast<std::int32_t>(analysis.ever_active));
+  Put(out, util::BoolByte(analysis.probed));
+  Put(out, util::CheckedNarrow<std::int32_t>(analysis.ever_active));
   Put(out, analysis.short_series.first_round);
   Put(out, static_cast<std::uint64_t>(analysis.short_series.size()));
   for (const double value : analysis.short_series.values) Put(out, value);
-  Put(out, static_cast<std::int32_t>(analysis.observed_days));
-  Put(out, static_cast<std::uint8_t>(analysis.diurnal.classification));
-  Put(out, static_cast<std::int32_t>(analysis.diurnal.n_days));
+  Put(out, util::CheckedNarrow<std::int32_t>(analysis.observed_days));
+  Put(out, util::CheckedNarrow<std::uint8_t>(
+               static_cast<int>(analysis.diurnal.classification)));
+  Put(out, util::CheckedNarrow<std::int32_t>(analysis.diurnal.n_days));
   Put(out, static_cast<std::uint64_t>(analysis.diurnal.daily_bin));
   Put(out, analysis.diurnal.daily_amplitude);
   Put(out, analysis.diurnal.phase);
@@ -80,11 +82,11 @@ void PutAnalysis(std::ofstream& out, const BlockAnalysis& analysis) {
   Put(out, analysis.diurnal.strongest_cycles_per_day);
   Put(out, analysis.stationarity.slope_per_round);
   Put(out, analysis.stationarity.addresses_per_day);
-  Put(out, static_cast<std::uint8_t>(analysis.stationarity.stationary));
+  Put(out, util::BoolByte(analysis.stationarity.stationary));
   Put(out, analysis.mean_short);
   Put(out, analysis.final_operational);
   Put(out, analysis.mean_probes_per_round);
-  Put(out, static_cast<std::int32_t>(analysis.down_rounds));
+  Put(out, util::CheckedNarrow<std::int32_t>(analysis.down_rounds));
   Put(out, static_cast<std::uint64_t>(analysis.outage_starts.size()));
   for (const auto start : analysis.outage_starts) Put(out, start);
   Put(out, static_cast<std::uint64_t>(analysis.outages.size()));
@@ -161,8 +163,8 @@ void PutAnalyzerState(std::ofstream& out, const BlockAnalyzerState& state) {
   Put(out, state.estimator.p_long);
   Put(out, state.estimator.t_long);
   Put(out, state.estimator.deviation);
-  Put(out, static_cast<std::int32_t>(state.estimator.rounds));
-  Put(out, static_cast<std::uint8_t>(state.has_prober));
+  Put(out, util::CheckedNarrow<std::int32_t>(state.estimator.rounds));
+  Put(out, util::BoolByte(state.has_prober));
   Put(out, state.prober.cursor);
   Put(out, state.prober.belief);
   Put(out, static_cast<std::uint64_t>(state.raw.size()));
@@ -172,8 +174,8 @@ void PutAnalyzerState(std::ofstream& out, const BlockAnalyzerState& state) {
   }
   Put(out, state.total_probes);
   Put(out, state.rounds_run);
-  Put(out, static_cast<std::int32_t>(state.down_rounds));
-  Put(out, static_cast<std::uint8_t>(state.previous_down));
+  Put(out, util::CheckedNarrow<std::int32_t>(state.down_rounds));
+  Put(out, util::BoolByte(state.previous_down));
   Put(out, static_cast<std::uint64_t>(state.outage_starts.size()));
   for (const auto start : state.outage_starts) Put(out, start);
   Put(out, static_cast<std::uint64_t>(state.outages.size()));
@@ -268,10 +270,10 @@ bool WriteCheckpoint(const std::string& path, const Checkpoint& checkpoint) {
     Put(out, static_cast<std::uint64_t>(checkpoint.quarantined.size()));
     for (const auto index : checkpoint.quarantined) Put(out, index);
     Put(out, checkpoint.next_block);
-    Put(out, static_cast<std::uint8_t>(checkpoint.has_inflight));
+    Put(out, util::BoolByte(checkpoint.has_inflight));
     if (checkpoint.has_inflight) {
       Put(out, checkpoint.inflight_next_round);
-      Put(out, static_cast<std::int32_t>(
+      Put(out, util::CheckedNarrow<std::int32_t>(
                    checkpoint.inflight_consecutive_failures));
       PutAnalyzerState(out, checkpoint.inflight);
     }

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <numeric>
 
+#include "sleepwalk/util/narrow.h"
+
 namespace sleepwalk::core {
 
 namespace {
@@ -40,10 +42,10 @@ bool WriteDataset(const std::string& path,
 
   for (const auto& analysis : analyses) {
     Put(out, analysis.block.Index());
-    Put(out, static_cast<std::uint16_t>(analysis.ever_active));
-    Put(out, static_cast<std::uint8_t>(analysis.probed ? 1 : 0));
+    Put(out, util::CheckedNarrow<std::uint16_t>(analysis.ever_active));
+    Put(out, util::BoolByte(analysis.probed));
     Put(out, analysis.short_series.first_round);
-    Put(out, static_cast<std::uint32_t>(analysis.short_series.size()));
+    Put(out, util::CheckedNarrow<std::uint32_t>(analysis.short_series.size()));
     for (const double value : analysis.short_series.values) {
       Put(out, static_cast<float>(value));
     }

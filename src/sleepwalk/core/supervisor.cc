@@ -7,13 +7,16 @@
 
 #include "sleepwalk/core/checkpoint.h"
 #include "sleepwalk/util/rng.h"
+#include "sleepwalk/util/sync.h"
 
 namespace sleepwalk::core {
 
 namespace {
 
 /// Supervisor-level instruments, resolved once per campaign. All null
-/// when the registry is absent.
+/// when the registry is absent. The instruments themselves are
+/// internally synchronized (obs/metrics.h), so workers update them
+/// without further locking.
 struct SupervisorMetrics {
   explicit SupervisorMetrics(const obs::Context& context)
       : rounds(context.CounterOrNull("supervisor_rounds_total",
@@ -125,14 +128,162 @@ std::vector<std::uint8_t> SnapshotTransport(net::Transport& transport) {
   return bytes;
 }
 
+/// Shared mutable campaign state: the completed analyses and diurnal
+/// counts, the resilience ledger, the quarantine list, the
+/// processed-round counter that drives checkpoint cadence, and the
+/// early-stop/resume flags. The ROADMAP's parallel runner will shard the
+/// block loop across worker threads; everything those workers must agree
+/// on lives here behind one capability, so the clang -Wthread-safety
+/// build (scripts/static_analysis.sh, CI `static-analysis` job) rejects
+/// unlocked access at compile time. Per-block state — the analyzer, the
+/// retry counter, the round cursor — deliberately stays thread-local in
+/// RunResilientCampaign.
+class CampaignLedger {
+ public:
+  explicit CampaignLedger(std::size_t n_targets) {
+    outcome_.result.analyses.reserve(n_targets);
+  }
+
+  /// Resume path: adopt everything a matching checkpoint carried.
+  void AdoptCheckpoint(Checkpoint& checkpoint) SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    outcome_.result.analyses = std::move(checkpoint.completed);
+    outcome_.result.counts = checkpoint.counts;
+    outcome_.stats = checkpoint.stats;
+    for (const auto index : checkpoint.quarantined) {
+      outcome_.quarantined.push_back(net::Prefix24::FromIndex(index));
+    }
+    outcome_.resumed = true;
+    outcome_.stats.resumed_from_checkpoint = true;
+  }
+
+  void NoteGapped() SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    ++outcome_.stats.rounds_gapped;
+  }
+
+  void NoteAttempted() SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    ++outcome_.stats.rounds_attempted;
+  }
+
+  void NoteForcedRestart() SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    ++outcome_.stats.forced_restarts;
+  }
+
+  void NoteRetry(double delay_sec) SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    ++outcome_.stats.retries;
+    outcome_.stats.backoff_seconds += delay_sec;
+  }
+
+  void NoteRoundFailed() SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    ++outcome_.stats.rounds_failed;
+  }
+
+  void NoteQuarantined(net::Prefix24 block) SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    ++outcome_.stats.quarantined_blocks;
+    outcome_.quarantined.push_back(block);
+  }
+
+  /// Classifies and appends a finished block's analysis.
+  void FinishBlock(BlockAnalysis analysis, bool quarantined)
+      SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    Classify(analysis, quarantined, outcome_.result.counts);
+    outcome_.result.analyses.push_back(std::move(analysis));
+  }
+
+  /// Advances the global round counter, returning its new value.
+  std::int64_t AdvanceRound() SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    return ++processed_rounds_;
+  }
+
+  std::int64_t processed_rounds() const SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    return processed_rounds_;
+  }
+
+  /// Builds a checkpoint snapshot of the current shared state. The
+  /// write-ahead increment of checkpoints_written is part of the
+  /// snapshot (it counts itself); a failed write is rolled back with
+  /// NoteCheckpointWriteFailed. File I/O happens outside the lock.
+  Checkpoint BuildCheckpointSnapshot(std::uint64_t fingerprint,
+                                     std::size_t next_block,
+                                     bool has_inflight,
+                                     std::int64_t next_round, int failures,
+                                     const BlockAnalyzer* analyzer)
+      SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    Checkpoint checkpoint;
+    checkpoint.fingerprint = fingerprint;
+    checkpoint.counts = outcome_.result.counts;
+    checkpoint.completed = outcome_.result.analyses;
+    for (const auto& block : outcome_.quarantined) {
+      checkpoint.quarantined.push_back(block.Index());
+    }
+    checkpoint.next_block = next_block;
+    checkpoint.has_inflight = has_inflight;
+    if (has_inflight) {
+      checkpoint.inflight_next_round = next_round;
+      checkpoint.inflight_consecutive_failures = failures;
+      checkpoint.inflight = analyzer->ExportState();
+    }
+    ++outcome_.stats.checkpoints_written;  // the snapshot counts itself
+    checkpoint.stats = outcome_.stats;
+    return checkpoint;
+  }
+
+  void NoteCheckpointWritten(bool ok) SLEEPWALK_EXCLUDES(mutex_) {
+    if (ok) return;
+    util::MutexLock lock{mutex_};
+    --outcome_.stats.checkpoints_written;
+  }
+
+  void NoteStoppedEarly() SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    outcome_.stopped_early = true;
+  }
+
+  /// Point-in-time copy of the resilience ledger (heartbeats, logs).
+  report::ResilienceStats stats_snapshot() const SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    return outcome_.stats;
+  }
+
+  std::size_t blocks_done() const SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    return outcome_.result.analyses.size();
+  }
+
+  DiurnalCounts counts_snapshot() const SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    return outcome_.result.counts;
+  }
+
+  /// Final move-out; the ledger must not be used afterwards.
+  CampaignOutcome TakeOutcome() SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    return std::move(outcome_);
+  }
+
+ private:
+  mutable util::Mutex mutex_;
+  CampaignOutcome outcome_ SLEEPWALK_GUARDED_BY(mutex_);
+  std::int64_t processed_rounds_ SLEEPWALK_GUARDED_BY(mutex_) = 0;
+};
+
 }  // namespace
 
 CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
                                      net::Transport& transport,
                                      std::int64_t n_rounds,
                                      const SupervisorConfig& config) {
-  CampaignOutcome outcome;
-  outcome.result.analyses.reserve(targets.size());
+  CampaignLedger ledger{targets.size()};
 
   const std::uint64_t fingerprint =
       CampaignFingerprint(targets, n_rounds, config.seed, config.analyzer);
@@ -141,9 +292,12 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
   SupervisorMetrics metrics{obs};
   // Wall-derived values (rounds/sec) are kept out of every sink when the
   // logger is deterministic — the determinism contract of DESIGN.md §7.
+  // This is the supervisor's only wall-clock read, and it never reaches
+  // a deterministic sink or any campaign state.
   const bool deterministic =
       obs.log == nullptr || obs.log->config().deterministic;
-  const auto wall_start = std::chrono::steady_clock::now();
+  const auto wall_start =
+      std::chrono::steady_clock::now();  // sleeplint: allow(no-wallclock)
   const auto campaign_span = obs.Span("campaign");
   if (metrics.blocks_total != nullptr) {
     metrics.blocks_total->Set(static_cast<double>(targets.size()));
@@ -178,12 +332,6 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
             stateful && stateful->RestoreState(checkpoint->transport_state);
       }
       if (transport_ok) {
-        outcome.result.analyses = std::move(checkpoint->completed);
-        outcome.result.counts = checkpoint->counts;
-        outcome.stats = checkpoint->stats;
-        for (const auto index : checkpoint->quarantined) {
-          outcome.quarantined.push_back(net::Prefix24::FromIndex(index));
-        }
         first_block = checkpoint->next_block;
         if (checkpoint->has_inflight) {
           resume_inflight = true;
@@ -191,8 +339,7 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
           consecutive_failures = checkpoint->inflight_consecutive_failures;
           inflight_state = std::move(checkpoint->inflight);
         }
-        outcome.resumed = true;
-        outcome.stats.resumed_from_checkpoint = true;
+        ledger.AdoptCheckpoint(*checkpoint);
         if (metrics.resumes != nullptr) metrics.resumes->Inc();
         if (obs.Logs(obs::Level::kInfo)) {
           obs.log->Write(
@@ -207,35 +354,17 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
     }
   }
 
-  // Global (this-process) round counter driving checkpoint cadence and
-  // the stop_after_rounds kill switch; gap rounds count — they consume
-  // wall-clock just like probed rounds.
-  std::int64_t processed_rounds = 0;
-
   const auto save = [&](std::size_t next_block, bool has_inflight,
                         std::int64_t next_round, int failures,
                         const BlockAnalyzer* analyzer) {
     if (config.checkpoint_path.empty()) return;
-    Checkpoint checkpoint;
-    checkpoint.fingerprint = fingerprint;
-    checkpoint.counts = outcome.result.counts;
-    checkpoint.completed = outcome.result.analyses;
-    for (const auto& block : outcome.quarantined) {
-      checkpoint.quarantined.push_back(block.Index());
-    }
-    checkpoint.next_block = next_block;
-    checkpoint.has_inflight = has_inflight;
-    if (has_inflight) {
-      checkpoint.inflight_next_round = next_round;
-      checkpoint.inflight_consecutive_failures = failures;
-      checkpoint.inflight = analyzer->ExportState();
-    }
+    Checkpoint checkpoint = ledger.BuildCheckpointSnapshot(
+        fingerprint, next_block, has_inflight, next_round, failures,
+        analyzer);
     checkpoint.transport_state = SnapshotTransport(transport);
-    ++outcome.stats.checkpoints_written;  // the snapshot counts itself
-    checkpoint.stats = outcome.stats;
     const auto span = obs.Span("checkpoint.write");
     const bool ok = WriteCheckpoint(config.checkpoint_path, checkpoint);
-    if (!ok) --outcome.stats.checkpoints_written;
+    ledger.NoteCheckpointWritten(ok);
     if (ok && metrics.checkpoints != nullptr) metrics.checkpoints->Inc();
     const auto level = ok ? obs::Level::kDebug : obs::Level::kError;
     if (obs.Logs(level)) {
@@ -270,12 +399,12 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
       if (InGap(config, round)) {
         // The prober slept through this round: no probes, no A-hat_s
         // sample. The cleaning stage later interpolates the hole.
-        ++outcome.stats.rounds_gapped;
+        ledger.NoteGapped();
         if (metrics.rounds_gapped != nullptr) metrics.rounds_gapped->Inc();
       } else {
         if (IsForcedRestart(config, round)) {
           analyzer.ForceRestart();
-          ++outcome.stats.forced_restarts;
+          ledger.NoteForcedRestart();
           if (metrics.forced_restarts != nullptr) {
             metrics.forced_restarts->Inc();
           }
@@ -286,7 +415,7 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
                             {"reason", "forced"}});
           }
         }
-        ++outcome.stats.rounds_attempted;
+        ledger.NoteAttempted();
         if (metrics.rounds != nullptr) metrics.rounds->Inc();
 
         bool succeeded = false;
@@ -302,10 +431,9 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
             // double-apply belief and walker-cursor updates.
             analyzer.restore_prober_state(snapshot);
             if (attempt + 1 >= std::max(config.retry.max_attempts, 1)) break;
-            ++outcome.stats.retries;
             const double delay = BackoffDelay(config.retry, config.seed,
                                               block_index, round, attempt);
-            outcome.stats.backoff_seconds += delay;
+            ledger.NoteRetry(delay);
             if (metrics.retries != nullptr) metrics.retries->Inc();
             if (metrics.backoff_seconds != nullptr) {
               metrics.backoff_seconds->Inc(delay);
@@ -327,7 +455,7 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
         if (succeeded) {
           consecutive_failures = 0;
         } else {
-          ++outcome.stats.rounds_failed;
+          ledger.NoteRoundFailed();
           ++consecutive_failures;
           if (metrics.rounds_failed != nullptr) metrics.rounds_failed->Inc();
           if (obs.Logs(obs::Level::kWarn)) {
@@ -339,8 +467,7 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
           if (config.quarantine_after_failures > 0 &&
               consecutive_failures >= config.quarantine_after_failures) {
             quarantined = true;
-            ++outcome.stats.quarantined_blocks;
-            outcome.quarantined.push_back(target.block);
+            ledger.NoteQuarantined(target.block);
             if (metrics.quarantined != nullptr) metrics.quarantined->Inc();
             if (obs.Logs(obs::Level::kWarn)) {
               obs.log->Write(obs::Level::kWarn, "block.quarantined",
@@ -353,7 +480,7 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
         }
       }
 
-      ++processed_rounds;
+      const std::int64_t processed_rounds = ledger.AdvanceRound();
       const bool stopping = config.stop_after_rounds > 0 &&
                             processed_rounds >= config.stop_after_rounds;
       if (quarantined) break;
@@ -366,43 +493,42 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
         save(i, /*has_inflight=*/true, round + 1, consecutive_failures,
              &analyzer);
         if (stopping) {
-          outcome.stopped_early = true;
+          ledger.NoteStoppedEarly();
           if (obs.Logs(obs::Level::kInfo)) {
             obs.log->Write(obs::Level::kInfo, "campaign.stopped",
                            {{"blocks_done", static_cast<std::uint64_t>(i)},
                             {"rounds_done", processed_rounds},
                             {"reason", "stop_after_rounds"}});
           }
-          return outcome;
+          return ledger.TakeOutcome();
         }
       }
     }
 
-    auto analysis = analyzer.Finish();
-    Classify(analysis, quarantined, outcome.result.counts);
-    outcome.result.analyses.push_back(std::move(analysis));
+    ledger.FinishBlock(analyzer.Finish(), quarantined);
     save(i + 1, /*has_inflight=*/false, 0, 0, nullptr);
 
     CampaignProgress heartbeat;
     heartbeat.blocks_done = i + 1;
     heartbeat.blocks_total = targets.size();
-    heartbeat.rounds_done = processed_rounds;
-    heartbeat.quarantined = outcome.stats.quarantined_blocks;
+    heartbeat.rounds_done = ledger.processed_rounds();
+    heartbeat.quarantined = ledger.stats_snapshot().quarantined_blocks;
     // Wall-derived rate: fine for the live progress consumer, but only
     // exported as a metric when the sinks are non-deterministic.
     const double elapsed_sec =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now()  // sleeplint: allow(no-wallclock)
+            - wall_start)
             .count();
     if (elapsed_sec > 0.0) {
       heartbeat.rounds_per_sec =
-          static_cast<double>(processed_rounds) / elapsed_sec;
+          static_cast<double>(heartbeat.rounds_done) / elapsed_sec;
     }
     if (!config.checkpoint_path.empty() &&
         config.checkpoint_every_rounds > 0) {
       heartbeat.rounds_to_checkpoint =
           config.checkpoint_every_rounds -
-          processed_rounds % config.checkpoint_every_rounds;
+          heartbeat.rounds_done % config.checkpoint_every_rounds;
     }
     if (metrics.blocks_done != nullptr) {
       metrics.blocks_done->Set(static_cast<double>(heartbeat.blocks_done));
@@ -423,20 +549,22 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
   }
 
   if (obs.Logs(obs::Level::kInfo)) {
+    const auto counts = ledger.counts_snapshot();
+    const auto stats = ledger.stats_snapshot();
     obs.log->Write(
         obs::Level::kInfo, "campaign.done",
-        {{"blocks", static_cast<std::uint64_t>(outcome.result.analyses.size())},
-         {"strict", outcome.result.counts.strict},
-         {"relaxed", outcome.result.counts.relaxed},
-         {"non_diurnal", outcome.result.counts.non_diurnal},
-         {"skipped", outcome.result.counts.skipped},
-         {"rounds_attempted", outcome.stats.rounds_attempted},
-         {"rounds_failed", outcome.stats.rounds_failed},
-         {"retries", outcome.stats.retries},
-         {"quarantined", outcome.stats.quarantined_blocks},
-         {"resumed", outcome.resumed}});
+        {{"blocks", static_cast<std::uint64_t>(ledger.blocks_done())},
+         {"strict", counts.strict},
+         {"relaxed", counts.relaxed},
+         {"non_diurnal", counts.non_diurnal},
+         {"skipped", counts.skipped},
+         {"rounds_attempted", stats.rounds_attempted},
+         {"rounds_failed", stats.rounds_failed},
+         {"retries", stats.retries},
+         {"quarantined", stats.quarantined_blocks},
+         {"resumed", stats.resumed_from_checkpoint}});
   }
-  return outcome;
+  return ledger.TakeOutcome();
 }
 
 }  // namespace sleepwalk::core

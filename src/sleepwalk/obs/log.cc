@@ -101,9 +101,13 @@ void AppendFieldValueJson(std::string& out, const Field& field) {
   }
 }
 
+// The one sanctioned wall-clock read in the logger: only reachable when
+// LogConfig::deterministic is false (live campaigns), never in
+// simulation — the determinism tests pin this.
 std::int64_t WallNanos() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::system_clock::now().time_since_epoch())
+             std::chrono::system_clock::now()  // sleeplint: allow(no-wallclock)
+                 .time_since_epoch())
       .count();
 }
 
@@ -158,21 +162,32 @@ void AppendJsonEscaped(std::string& out, std::string_view text) {
 
 void Logger::AddTextSink(std::ostream* out) {
   if (out == nullptr) return;
-  text_sinks_.push_back(out);
-  has_sink_ = true;
+  {
+    util::MutexLock lock{mutex_};
+    text_sinks_.push_back(out);
+  }
+  has_sink_.store(true, std::memory_order_relaxed);
 }
 
 void Logger::AddJsonlSink(std::ostream* out) {
   if (out == nullptr) return;
-  jsonl_sinks_.push_back(out);
-  has_sink_ = true;
+  {
+    util::MutexLock lock{mutex_};
+    jsonl_sinks_.push_back(out);
+  }
+  has_sink_.store(true, std::memory_order_relaxed);
 }
 
 void Logger::Write(Level level, std::string_view event,
                    std::initializer_list<Field> fields) {
   if (!Enabled(level)) return;
   const std::int64_t wall_ns = config_.deterministic ? 0 : WallNanos();
+  const std::int64_t vt = virtual_time();
 
+  // Lines are built and flushed under one lock so concurrent Writes
+  // interleave whole records, never bytes; the streams themselves are
+  // not assumed thread-safe.
+  util::MutexLock lock{mutex_};
   if (!text_sinks_.empty()) {
     std::string line;
     line.reserve(64);
@@ -180,7 +195,7 @@ void Logger::Write(Level level, std::string_view event,
       line.push_back(static_cast<char>(c - 'a' + 'A'));
     }
     line.append(" vt=");
-    AppendInt(line, virtual_sec_);
+    AppendInt(line, vt);
     if (!config_.deterministic) {
       line.append(" wall_ns=");
       AppendInt(line, wall_ns);
@@ -202,7 +217,7 @@ void Logger::Write(Level level, std::string_view event,
     std::string line;
     line.reserve(96);
     line.append("{\"vt\":");
-    AppendInt(line, virtual_sec_);
+    AppendInt(line, vt);
     if (!config_.deterministic) {
       line.append(",\"wall_ns\":");
       AppendInt(line, wall_ns);

@@ -18,12 +18,15 @@
 #ifndef SLEEPWALK_OBS_LOG_H_
 #define SLEEPWALK_OBS_LOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "sleepwalk/util/sync.h"
 
 namespace sleepwalk::obs {
 
@@ -90,40 +93,51 @@ struct LogConfig {
 };
 
 /// Leveled structured logger fanning out to text and/or JSONL sinks.
-/// Not thread-safe (campaigns are single-threaded); sinks are borrowed
-/// and must outlive the logger.
+/// Thread-safe: the level gate and campaign clock are lock-free atomics
+/// (the disabled path stays a single branch), and record emission
+/// serializes on a mutex so concurrent Writes interleave at line — not
+/// byte — granularity (tests/obs/concurrency_stress_test.cc validates
+/// the JSONL sink under TSan). Sinks are borrowed and must outlive the
+/// logger; a given ostream must not be shared with writers outside this
+/// logger.
 class Logger {
  public:
   explicit Logger(LogConfig config = {}) : config_(config) {}
 
-  void AddTextSink(std::ostream* out);
-  void AddJsonlSink(std::ostream* out);
+  void AddTextSink(std::ostream* out) SLEEPWALK_EXCLUDES(mutex_);
+  void AddJsonlSink(std::ostream* out) SLEEPWALK_EXCLUDES(mutex_);
 
   /// One-branch hot-path gate: true when a record at `level` would reach
   /// at least one sink. Callers skip field construction when false.
   bool Enabled(Level level) const noexcept {
-    return level >= config_.level && level < Level::kOff && has_sink_;
+    return level >= config_.level && level < Level::kOff &&
+           has_sink_.load(std::memory_order_relaxed);
   }
 
   /// Emits one record. `event` is a dotted lowercase name
   /// ("supervisor.retry"); see DESIGN.md §7 for the event catalog.
   void Write(Level level, std::string_view event,
-             std::initializer_list<Field> fields);
+             std::initializer_list<Field> fields) SLEEPWALK_EXCLUDES(mutex_);
 
   /// Campaign clock, in seconds since the dataset epoch. The supervisor
   /// and block analyzer advance this as rounds execute; records stamp
   /// the value current at Write time. -1 = not yet known.
-  void set_virtual_time(std::int64_t sec) noexcept { virtual_sec_ = sec; }
-  std::int64_t virtual_time() const noexcept { return virtual_sec_; }
+  void set_virtual_time(std::int64_t sec) noexcept {
+    virtual_sec_.store(sec, std::memory_order_relaxed);
+  }
+  std::int64_t virtual_time() const noexcept {
+    return virtual_sec_.load(std::memory_order_relaxed);
+  }
 
   const LogConfig& config() const noexcept { return config_; }
 
  private:
-  LogConfig config_;
-  std::int64_t virtual_sec_ = -1;
-  std::vector<std::ostream*> text_sinks_;
-  std::vector<std::ostream*> jsonl_sinks_;
-  bool has_sink_ = false;
+  const LogConfig config_;  ///< immutable after construction
+  std::atomic<std::int64_t> virtual_sec_{-1};
+  std::atomic<bool> has_sink_{false};
+  mutable util::Mutex mutex_;
+  std::vector<std::ostream*> text_sinks_ SLEEPWALK_GUARDED_BY(mutex_);
+  std::vector<std::ostream*> jsonl_sinks_ SLEEPWALK_GUARDED_BY(mutex_);
 };
 
 /// Appends `text` to `out` with JSON string escaping (quotes, backslash,

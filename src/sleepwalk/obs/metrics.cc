@@ -27,22 +27,41 @@ std::string FormatCount(std::uint64_t value) {
 
 constexpr std::string_view kPrefix = "sleepwalk_";
 
+std::vector<double> SortedUnique(std::vector<double> bounds) {
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  return bounds;
+}
+
 }  // namespace
 
-Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
-  std::sort(bounds_.begin(), bounds_.end());
-  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(SortedUnique(std::move(bounds))) {
+  util::MutexLock lock{mutex_};
   per_bucket_.assign(bounds_.size() + 1, 0);
 }
 
 void Histogram::Observe(double value) noexcept {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
-  ++per_bucket_[static_cast<std::size_t>(it - bounds_.begin())];
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  util::MutexLock lock{mutex_};
+  ++per_bucket_[bucket];
   ++count_;
   sum_ += value;
 }
 
+std::uint64_t Histogram::count() const noexcept {
+  util::MutexLock lock{mutex_};
+  return count_;
+}
+
+double Histogram::sum() const noexcept {
+  util::MutexLock lock{mutex_};
+  return sum_;
+}
+
 std::uint64_t Histogram::CumulativeCount(std::size_t i) const noexcept {
+  util::MutexLock lock{mutex_};
   std::uint64_t total = 0;
   for (std::size_t b = 0; b <= i && b < per_bucket_.size(); ++b) {
     total += per_bucket_[b];
@@ -52,6 +71,7 @@ std::uint64_t Histogram::CumulativeCount(std::size_t i) const noexcept {
 
 Counter* Registry::FindOrCreateCounter(std::string_view name,
                                        std::string_view help) {
+  util::MutexLock lock{mutex_};
   auto it = instruments_.find(name);
   if (it == instruments_.end()) {
     Instrument instrument;
@@ -67,6 +87,7 @@ Counter* Registry::FindOrCreateCounter(std::string_view name,
 
 Gauge* Registry::FindOrCreateGauge(std::string_view name,
                                    std::string_view help) {
+  util::MutexLock lock{mutex_};
   auto it = instruments_.find(name);
   if (it == instruments_.end()) {
     Instrument instrument;
@@ -82,6 +103,7 @@ Gauge* Registry::FindOrCreateGauge(std::string_view name,
 Histogram* Registry::FindOrCreateHistogram(std::string_view name,
                                            std::vector<double> bounds,
                                            std::string_view help) {
+  util::MutexLock lock{mutex_};
   auto it = instruments_.find(name);
   if (it == instruments_.end()) {
     Instrument instrument;
@@ -96,6 +118,7 @@ Histogram* Registry::FindOrCreateHistogram(std::string_view name,
 }
 
 const Counter* Registry::counter(std::string_view name) const {
+  util::MutexLock lock{mutex_};
   const auto it = instruments_.find(name);
   return it != instruments_.end() &&
                  it->second.kind == Instrument::Kind::kCounter
@@ -104,13 +127,20 @@ const Counter* Registry::counter(std::string_view name) const {
 }
 
 const Gauge* Registry::gauge(std::string_view name) const {
+  util::MutexLock lock{mutex_};
   const auto it = instruments_.find(name);
   return it != instruments_.end() && it->second.kind == Instrument::Kind::kGauge
              ? it->second.gauge.get()
              : nullptr;
 }
 
+std::size_t Registry::size() const noexcept {
+  util::MutexLock lock{mutex_};
+  return instruments_.size();
+}
+
 const Histogram* Registry::histogram(std::string_view name) const {
+  util::MutexLock lock{mutex_};
   const auto it = instruments_.find(name);
   return it != instruments_.end() &&
                  it->second.kind == Instrument::Kind::kHistogram
@@ -119,6 +149,7 @@ const Histogram* Registry::histogram(std::string_view name) const {
 }
 
 void Registry::WritePrometheus(std::ostream& out) const {
+  util::MutexLock lock{mutex_};
   for (const auto& [name, instrument] : instruments_) {
     const std::string full = std::string(kPrefix) + name;
     if (!instrument.help.empty()) {
@@ -152,6 +183,7 @@ void Registry::WritePrometheus(std::ostream& out) const {
 }
 
 void Registry::WriteCsv(std::ostream& out) const {
+  util::MutexLock lock{mutex_};
   out << "name,kind,field,value\n";
   for (const auto& [name, instrument] : instruments_) {
     switch (instrument.kind) {

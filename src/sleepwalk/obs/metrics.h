@@ -9,6 +9,14 @@
 // through stable pointers — the hot path pays one null check and one
 // add, no hashing.
 //
+// Thread-safety: the registry is shared state for the parallel campaign
+// runner, so it is internally synchronized and the locking discipline is
+// machine-checked (util/sync.h annotations, -Wthread-safety in CI).
+// Counters and gauges are lock-free atomics — the per-probe hot path
+// never takes a lock; histogram observation and instrument lookup
+// serialize on a mutex. tests/obs/concurrency_stress_test.cc hammers
+// all three from many threads under TSan.
+//
 // Exposition is deterministic: instruments are stored name-sorted and
 // numbers are shortest-round-trip formatted, so identical campaign
 // state produces identical files. See DESIGN.md §7 for the name catalog
@@ -17,6 +25,7 @@
 #ifndef SLEEPWALK_OBS_METRICS_H_
 #define SLEEPWALK_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -25,81 +34,109 @@
 #include <string_view>
 #include <vector>
 
+#include "sleepwalk/util/sync.h"
+
 namespace sleepwalk::obs {
 
 /// Monotonically increasing value (double, per Prometheus data model, so
-/// second-valued counters like backoff time fit).
+/// second-valued counters like backoff time fit). Lock-free; relaxed
+/// ordering is enough because a counter carries no happens-before
+/// obligation — readers only need an eventually-consistent total.
 class Counter {
  public:
-  void Inc(double delta = 1.0) noexcept { value_ += delta; }
-  double value() const noexcept { return value_; }
+  void Inc(double delta = 1.0) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
-/// Last-write-wins instantaneous value.
+/// Last-write-wins instantaneous value. Lock-free, same ordering
+/// rationale as Counter.
 class Gauge {
  public:
-  void Set(double value) noexcept { value_ = value; }
-  void Add(double delta) noexcept { value_ += delta; }
-  double value() const noexcept { return value_; }
+  void Set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(double delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-bucket cumulative histogram. Bucket i counts observations
 /// <= bounds[i] (Prometheus `le` semantics: the bound is inclusive);
-/// one implicit +Inf bucket catches the rest.
+/// one implicit +Inf bucket catches the rest. Observation takes a
+/// per-histogram mutex — bucket increment, count, and sum must move
+/// together or exposition could show count() disagreeing with the
+/// bucket totals.
 class Histogram {
  public:
   /// `bounds` must be strictly increasing; violations are degraded to a
   /// sorted, deduplicated copy rather than UB.
   explicit Histogram(std::vector<double> bounds);
 
-  void Observe(double value) noexcept;
+  void Observe(double value) noexcept SLEEPWALK_EXCLUDES(mutex_);
 
-  std::uint64_t count() const noexcept { return count_; }
-  double sum() const noexcept { return sum_; }
+  std::uint64_t count() const noexcept SLEEPWALK_EXCLUDES(mutex_);
+  double sum() const noexcept SLEEPWALK_EXCLUDES(mutex_);
   const std::vector<double>& bounds() const noexcept { return bounds_; }
   /// Cumulative count of observations <= bounds()[i].
-  std::uint64_t CumulativeCount(std::size_t i) const noexcept;
+  std::uint64_t CumulativeCount(std::size_t i) const noexcept
+      SLEEPWALK_EXCLUDES(mutex_);
 
  private:
-  std::vector<double> bounds_;
-  std::vector<std::uint64_t> per_bucket_;  ///< non-cumulative, +Inf last
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
+  const std::vector<double> bounds_;  ///< immutable after construction
+  mutable util::Mutex mutex_;
+  std::vector<std::uint64_t> per_bucket_
+      SLEEPWALK_GUARDED_BY(mutex_);  ///< non-cumulative, +Inf last
+  std::uint64_t count_ SLEEPWALK_GUARDED_BY(mutex_) = 0;
+  double sum_ SLEEPWALK_GUARDED_BY(mutex_) = 0.0;
 };
 
 /// Owns every instrument for one campaign. Lookup creates on first use;
-/// returned pointers are stable for the registry's lifetime. Name
-/// collisions across kinds (a counter and a gauge both named "x") are a
-/// caller bug; the later FindOrCreate returns null rather than aliasing.
+/// returned pointers are stable for the registry's lifetime (map nodes
+/// never move) and safe to update from any thread without further
+/// locking. Name collisions across kinds (a counter and a gauge both
+/// named "x") are a caller bug; the later FindOrCreate returns null
+/// rather than aliasing.
 class Registry {
  public:
   Counter* FindOrCreateCounter(std::string_view name,
-                               std::string_view help = "");
-  Gauge* FindOrCreateGauge(std::string_view name, std::string_view help = "");
+                               std::string_view help = "")
+      SLEEPWALK_EXCLUDES(mutex_);
+  Gauge* FindOrCreateGauge(std::string_view name, std::string_view help = "")
+      SLEEPWALK_EXCLUDES(mutex_);
   Histogram* FindOrCreateHistogram(std::string_view name,
                                    std::vector<double> bounds,
-                                   std::string_view help = "");
+                                   std::string_view help = "")
+      SLEEPWALK_EXCLUDES(mutex_);
 
   /// Lookup without creation; null when absent or of a different kind.
-  const Counter* counter(std::string_view name) const;
-  const Gauge* gauge(std::string_view name) const;
-  const Histogram* histogram(std::string_view name) const;
+  const Counter* counter(std::string_view name) const
+      SLEEPWALK_EXCLUDES(mutex_);
+  const Gauge* gauge(std::string_view name) const SLEEPWALK_EXCLUDES(mutex_);
+  const Histogram* histogram(std::string_view name) const
+      SLEEPWALK_EXCLUDES(mutex_);
 
-  std::size_t size() const noexcept { return instruments_.size(); }
+  std::size_t size() const noexcept SLEEPWALK_EXCLUDES(mutex_);
 
   /// Prometheus text exposition format 0.0.4, instruments name-sorted,
   /// every name prefixed "sleepwalk_".
-  void WritePrometheus(std::ostream& out) const;
+  void WritePrometheus(std::ostream& out) const SLEEPWALK_EXCLUDES(mutex_);
 
   /// CSV exposition: header "name,kind,field,value", one row per scalar
   /// (histograms expand to bucket/sum/count rows).
-  void WriteCsv(std::ostream& out) const;
+  void WriteCsv(std::ostream& out) const SLEEPWALK_EXCLUDES(mutex_);
 
  private:
   struct Instrument {
@@ -111,8 +148,10 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  mutable util::Mutex mutex_;
   // std::map: name-sorted iteration makes exposition deterministic.
-  std::map<std::string, Instrument, std::less<>> instruments_;
+  std::map<std::string, Instrument, std::less<>> instruments_
+      SLEEPWALK_GUARDED_BY(mutex_);
 };
 
 }  // namespace sleepwalk::obs

@@ -10,10 +10,14 @@ namespace sleepwalk::obs {
 
 namespace {
 
+// The one sanctioned monotonic-clock read in the tracer: only reachable
+// when TraceConfig::deterministic is false (live/bench runs), never in
+// simulation — the determinism tests pin this.
 std::uint64_t MonotonicNanos() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
+          std::chrono::steady_clock::now()  // sleeplint: allow(no-wallclock)
+              .time_since_epoch())
           .count());
 }
 
@@ -44,25 +48,29 @@ ScopedSpan::~ScopedSpan() {
 }
 
 std::size_t Tracer::Start(std::string_view name) {
+  const std::uint64_t now_ns = config_.deterministic ? 0 : MonotonicNanos();
   SpanRecord record;
   record.name = std::string(name);
+  record.vt_start = virtual_time();
+  util::MutexLock lock{mutex_};
   record.depth = static_cast<int>(open_stack_.size());
   record.seq_start = seq_++;
-  record.vt_start = virtual_sec_;
   const std::size_t index = spans_.size();
   spans_.push_back(std::move(record));
-  start_ns_.push_back(config_.deterministic ? 0 : MonotonicNanos());
+  start_ns_.push_back(now_ns);
   open_stack_.push_back(index);
   return index;
 }
 
 void Tracer::End(std::size_t index) {
+  const std::uint64_t now_ns = config_.deterministic ? 0 : MonotonicNanos();
+  util::MutexLock lock{mutex_};
   if (index >= spans_.size() || !spans_[index].open) return;
   auto& record = spans_[index];
   record.seq_end = seq_++;
-  record.vt_end = virtual_sec_;
+  record.vt_end = virtual_time();
   if (!config_.deterministic) {
-    record.wall_ns = MonotonicNanos() - start_ns_[index];
+    record.wall_ns = now_ns - start_ns_[index];
   }
   record.open = false;
   // Mis-nested manual End calls close everything above `index` too —
@@ -72,7 +80,18 @@ void Tracer::End(std::size_t index) {
   }
 }
 
+std::vector<SpanRecord> Tracer::spans() const {
+  util::MutexLock lock{mutex_};
+  return spans_;
+}
+
+std::size_t Tracer::span_count() const {
+  util::MutexLock lock{mutex_};
+  return spans_.size();
+}
+
 void Tracer::WriteJsonl(std::ostream& out) const {
+  util::MutexLock lock{mutex_};
   std::string line;
   for (const auto& span : spans_) {
     line.clear();

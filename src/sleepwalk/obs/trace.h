@@ -14,10 +14,13 @@
 #ifndef SLEEPWALK_OBS_TRACE_H_
 #define SLEEPWALK_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "sleepwalk/util/sync.h"
 
 namespace sleepwalk::obs {
 
@@ -58,38 +61,51 @@ class ScopedSpan {
   std::size_t index_ = 0;
 };
 
-/// Records spans. Not thread-safe; spans must strictly nest (RAII
-/// guards guarantee this). Records accumulate in memory — a campaign
-/// traces phases, not packets, so the volume is O(blocks).
+/// Records spans. Thread-safe: Start/End serialize on a mutex (the
+/// tracer is span-grained, not packet-grained, so contention is
+/// negligible), and the depth/seq bookkeeping stays consistent even
+/// when spans from different threads interleave — a span's depth is the
+/// number of spans open at its start, whichever thread opened them.
+/// Within one thread, RAII guards guarantee strict nesting and the
+/// flame-ordered output is exact. Records accumulate in memory — a
+/// campaign traces phases, not packets, so the volume is O(blocks).
 class Tracer {
  public:
   explicit Tracer(TraceConfig config = {}) : config_(config) {}
 
   /// Starts a span, returning its record index (for End).
-  std::size_t Start(std::string_view name);
-  void End(std::size_t index);
+  std::size_t Start(std::string_view name) SLEEPWALK_EXCLUDES(mutex_);
+  void End(std::size_t index) SLEEPWALK_EXCLUDES(mutex_);
 
   ScopedSpan Span(std::string_view name) { return ScopedSpan{this, name}; }
 
-  void set_virtual_time(std::int64_t sec) noexcept { virtual_sec_ = sec; }
-  std::int64_t virtual_time() const noexcept { return virtual_sec_; }
+  void set_virtual_time(std::int64_t sec) noexcept {
+    virtual_sec_.store(sec, std::memory_order_relaxed);
+  }
+  std::int64_t virtual_time() const noexcept {
+    return virtual_sec_.load(std::memory_order_relaxed);
+  }
 
-  const std::vector<SpanRecord>& spans() const noexcept { return spans_; }
+  /// Snapshot of all spans recorded so far (copy, taken under the lock).
+  std::vector<SpanRecord> spans() const SLEEPWALK_EXCLUDES(mutex_);
+  std::size_t span_count() const SLEEPWALK_EXCLUDES(mutex_);
   const TraceConfig& config() const noexcept { return config_; }
 
   /// One JSON object per span, flame (start) order:
   /// {"name":...,"depth":...,"seq":[s,e],"vt":[s,e],("wall_ns":n)}
-  void WriteJsonl(std::ostream& out) const;
+  void WriteJsonl(std::ostream& out) const SLEEPWALK_EXCLUDES(mutex_);
 
  private:
   friend class ScopedSpan;
 
-  TraceConfig config_;
-  std::vector<SpanRecord> spans_;
-  std::vector<std::size_t> open_stack_;
-  std::vector<std::uint64_t> start_ns_;  ///< parallel to spans_
-  std::uint64_t seq_ = 0;
-  std::int64_t virtual_sec_ = -1;
+  const TraceConfig config_;  ///< immutable after construction
+  std::atomic<std::int64_t> virtual_sec_{-1};
+  mutable util::Mutex mutex_;
+  std::vector<SpanRecord> spans_ SLEEPWALK_GUARDED_BY(mutex_);
+  std::vector<std::size_t> open_stack_ SLEEPWALK_GUARDED_BY(mutex_);
+  std::vector<std::uint64_t> start_ns_
+      SLEEPWALK_GUARDED_BY(mutex_);  ///< parallel to spans_
+  std::uint64_t seq_ SLEEPWALK_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace sleepwalk::obs

@@ -1,0 +1,56 @@
+// Checked integral narrowing for serialization code.
+//
+// The checkpoint and dataset writers narrow in-memory types (size_t,
+// int, enum counts) into fixed on-disk widths. A raw static_cast there
+// silently truncates when a campaign outgrows the field — exactly the
+// class of bug that turns a resumed campaign into a franken-dataset.
+// CheckedNarrow<T>() is the sanctioned spelling: it asserts the value is
+// representable in the target type (debug builds abort; release builds
+// clamp, which is still deterministic and cannot corrupt neighbouring
+// fields). sleeplint's `no-unchecked-narrowing` rule bans the raw casts
+// in checkpoint serialization files and points here.
+#ifndef SLEEPWALK_UTIL_NARROW_H_
+#define SLEEPWALK_UTIL_NARROW_H_
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace sleepwalk::util {
+
+/// Narrow `value` to To, asserting (debug) / clamping (release) instead
+/// of truncating. Usable on any integral-to-integral conversion,
+/// including signed/unsigned crossings.
+template <typename To, typename From>
+constexpr To CheckedNarrow(From value) noexcept {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "CheckedNarrow is for integral types");
+  constexpr To kMin = std::numeric_limits<To>::min();
+  constexpr To kMax = std::numeric_limits<To>::max();
+  bool below = false;
+  bool above = false;
+  if constexpr (std::is_signed_v<From>) {
+    below = value < 0 && static_cast<std::intmax_t>(value) <
+                             static_cast<std::intmax_t>(kMin);
+    above = value > 0 && static_cast<std::uintmax_t>(value) >
+                             static_cast<std::uintmax_t>(kMax);
+  } else {
+    above = static_cast<std::uintmax_t>(value) >
+            static_cast<std::uintmax_t>(kMax);
+  }
+  assert(!below && !above && "CheckedNarrow: value out of range");
+  if (below) return kMin;
+  if (above) return kMax;
+  return static_cast<To>(value);
+}
+
+/// Bool is always representable; spelled separately so call sites read
+/// as intent (flag serialization) rather than a width change.
+constexpr std::uint8_t BoolByte(bool value) noexcept {
+  return value ? std::uint8_t{1} : std::uint8_t{0};
+}
+
+}  // namespace sleepwalk::util
+
+#endif  // SLEEPWALK_UTIL_NARROW_H_

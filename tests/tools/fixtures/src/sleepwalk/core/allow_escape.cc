@@ -1,0 +1,17 @@
+// Fixture: the `// sleeplint: allow(<rule>)` escape hatch on both the
+// same line and the immediately preceding line.
+#include <chrono>
+
+namespace fixture {
+
+long Sanctioned() {
+  auto a = std::chrono::steady_clock::now();  // sleeplint: allow(no-wallclock)
+  // sleeplint: allow(no-wallclock)
+  auto b = std::chrono::system_clock::now();
+  // An allow for a DIFFERENT rule must not suppress this:
+  auto c = std::chrono::steady_clock::now();  // sleeplint: allow(no-ambient-rng)
+  (void)a; (void)b; (void)c;
+  return 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: raw narrowing casts in a serialization file. The path
+// contains core/checkpoint, so the no-unchecked-narrowing scope applies.
+#include <cstdint>
+
+namespace fixture {
+
+void Serialize(long value) {
+  auto a = static_cast<std::uint8_t>(value);              // line 8
+  auto b = static_cast<std::int32_t>(value);              // line 9
+  auto c = static_cast<unsigned short>(value);            // line 10
+  auto wide = static_cast<std::uint64_t>(value);          // not flagged
+  (void)a; (void)b; (void)c; (void)wide;
+}
+
+}  // namespace fixture

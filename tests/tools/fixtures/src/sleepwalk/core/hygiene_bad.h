@@ -1,0 +1,7 @@
+// Fixture: a header with no include guard and no #pragma once.
+
+namespace fixture {
+
+inline int Answer() { return 42; }
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: direct console I/O inside library code.
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void Report() {
+  std::cout << "progress\n";                              // line 8
+  std::cerr << "warning\n";                               // line 9
+  printf("done\n");                                       // line 10
+  char buffer[8];
+  std::snprintf(buffer, sizeof(buffer), "ok");            // not flagged
+  (void)buffer;
+}
+
+}  // namespace fixture

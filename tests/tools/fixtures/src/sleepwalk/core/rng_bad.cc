@@ -1,0 +1,13 @@
+// Fixture: ambient randomness outside util/rng.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int Roll() {
+  std::random_device device;                              // line 8
+  std::mt19937 engine{device()};                          // line 9
+  return rand() + static_cast<int>(engine());             // line 10
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: every banned clock spelling, at known line numbers.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long Now() {
+  auto a = std::chrono::system_clock::now();              // line 8
+  auto b = std::chrono::steady_clock::now();              // line 9
+  auto c = std::chrono::high_resolution_clock::now();     // line 10
+  std::time_t d = std::time(nullptr);                     // line 11
+  // A comment mentioning system_clock::now() must NOT be flagged.
+  const char* e = "system_clock::now() in a string";      // not flagged
+  (void)a; (void)b; (void)c; (void)d; (void)e;
+  return 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: net/socket* is exempt from no-wallclock — live probe code
+// times real sockets. The RNG ban still applies here.
+#include <chrono>
+#include <random>
+
+namespace fixture {
+
+long SocketDeadline() {
+  auto now = std::chrono::steady_clock::now();            // exempt path
+  std::random_device device;                              // line 10: still banned
+  (void)now;
+  return static_cast<long>(device());
+}
+
+}  // namespace fixture

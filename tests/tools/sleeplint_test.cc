@@ -1,0 +1,189 @@
+// sleeplint's own tests: every rule must fire on its known-bad fixture
+// at the exact line, path scoping must exempt the sanctioned
+// directories, and the allow/baseline escapes must suppress precisely
+// what they name. The fixture tree under SLEEPLINT_FIXTURE_DIR mirrors
+// the real src/sleepwalk/ layout because rules scope by path substring.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sleeplint.h"
+
+namespace {
+
+const std::string kFixtures = SLEEPLINT_FIXTURE_DIR;
+
+std::string Fixture(const std::string& relative) {
+  return kFixtures + "/" + relative;
+}
+
+/// All diagnostics for one fixture file, via the public Run() API.
+sleeplint::Result RunOn(const std::string& relative,
+                        std::vector<std::string> only_rules = {}) {
+  sleeplint::Options options;
+  options.roots = {Fixture(relative)};
+  options.only_rules = std::move(only_rules);
+  return sleeplint::Run(options);
+}
+
+bool HasDiagnostic(const sleeplint::Result& result, const std::string& rule,
+                   int line) {
+  return std::any_of(result.diagnostics.begin(), result.diagnostics.end(),
+                     [&](const sleeplint::Diagnostic& d) {
+                       return d.rule == rule && d.line == line;
+                     });
+}
+
+TEST(Sleeplint, RuleCatalogue) {
+  const auto& rules = sleeplint::AllRules();
+  const std::vector<std::string> expected = {
+      "no-wallclock", "no-ambient-rng", "no-raw-io", "no-unchecked-narrowing",
+      "header-hygiene"};
+  EXPECT_EQ(rules, expected);
+}
+
+TEST(Sleeplint, NoWallclockFlagsEverySpelling) {
+  const auto result = RunOn("src/sleepwalk/core/wallclock_bad.cc");
+  EXPECT_TRUE(HasDiagnostic(result, "no-wallclock", 8));   // system_clock
+  EXPECT_TRUE(HasDiagnostic(result, "no-wallclock", 9));   // steady_clock
+  EXPECT_TRUE(HasDiagnostic(result, "no-wallclock", 10));  // high_resolution
+  EXPECT_TRUE(HasDiagnostic(result, "no-wallclock", 11));  // std::time(
+  // Comment and string-literal mentions are stripped before matching.
+  EXPECT_FALSE(HasDiagnostic(result, "no-wallclock", 12));
+  EXPECT_FALSE(HasDiagnostic(result, "no-wallclock", 13));
+  EXPECT_EQ(result.diagnostics.size(), 4u);
+}
+
+TEST(Sleeplint, NoAmbientRngFlagsDeviceEngineAndRand) {
+  const auto result = RunOn("src/sleepwalk/core/rng_bad.cc");
+  EXPECT_TRUE(HasDiagnostic(result, "no-ambient-rng", 8));   // random_device
+  EXPECT_TRUE(HasDiagnostic(result, "no-ambient-rng", 9));   // mt19937
+  EXPECT_TRUE(HasDiagnostic(result, "no-ambient-rng", 10));  // rand(
+  EXPECT_EQ(result.diagnostics.size(), 3u);
+}
+
+TEST(Sleeplint, NoRawIoFlagsConsoleButNotSnprintf) {
+  const auto result = RunOn("src/sleepwalk/core/raw_io_bad.cc");
+  EXPECT_TRUE(HasDiagnostic(result, "no-raw-io", 8));   // std::cout
+  EXPECT_TRUE(HasDiagnostic(result, "no-raw-io", 9));   // std::cerr
+  EXPECT_TRUE(HasDiagnostic(result, "no-raw-io", 10));  // printf(
+  EXPECT_FALSE(HasDiagnostic(result, "no-raw-io", 12));  // snprintf is fine
+  EXPECT_EQ(result.diagnostics.size(), 3u);
+}
+
+TEST(Sleeplint, NoUncheckedNarrowingInSerializationFiles) {
+  const auto result = RunOn("src/sleepwalk/core/checkpoint_bad.cc");
+  EXPECT_TRUE(HasDiagnostic(result, "no-unchecked-narrowing", 8));
+  EXPECT_TRUE(HasDiagnostic(result, "no-unchecked-narrowing", 9));
+  EXPECT_TRUE(HasDiagnostic(result, "no-unchecked-narrowing", 10));
+  // Widening to uint64 is not narrowing.
+  EXPECT_FALSE(HasDiagnostic(result, "no-unchecked-narrowing", 11));
+  EXPECT_EQ(result.diagnostics.size(), 3u);
+}
+
+TEST(Sleeplint, NarrowingRuleOnlyAppliesToSerializationPaths) {
+  // Same casts in a non-serialization file: out of scope by design —
+  // the rule guards bytes that land in checkpoint/dataset files.
+  const std::string content =
+      "auto a = static_cast<std::uint8_t>(1000);\n";
+  int allows = 0;
+  const auto diagnostics = sleeplint::LintFile(
+      "src/sleepwalk/core/pipeline.cc", content, {}, &allows);
+  EXPECT_TRUE(diagnostics.empty());
+  const auto flagged = sleeplint::LintFile(
+      "src/sleepwalk/core/dataset.cc", content, {}, &allows);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0].rule, "no-unchecked-narrowing");
+  EXPECT_EQ(flagged[0].line, 1);
+}
+
+TEST(Sleeplint, HeaderHygieneRequiresGuardOrPragmaOnce) {
+  const auto result = RunOn("src/sleepwalk/core/hygiene_bad.h");
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].rule, "header-hygiene");
+
+  int allows = 0;
+  EXPECT_TRUE(sleeplint::LintFile("src/sleepwalk/core/ok.h",
+                                  "#pragma once\nint x;\n", {}, &allows)
+                  .empty());
+  EXPECT_TRUE(sleeplint::LintFile("src/sleepwalk/core/ok2.h",
+                                  "#ifndef OK2_H_\n#define OK2_H_\n"
+                                  "int x;\n#endif\n",
+                                  {}, &allows)
+                  .empty());
+}
+
+TEST(Sleeplint, AllowCommentSuppressesOnlyItsRule) {
+  const auto result = RunOn("src/sleepwalk/core/allow_escape.cc");
+  // Lines 8 (same-line allow) and 10 (preceding-line allow) suppressed;
+  // line 12's allow names a different rule so the diagnostic stands.
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].rule, "no-wallclock");
+  EXPECT_EQ(result.diagnostics[0].line, 12);
+  EXPECT_EQ(result.suppressed_by_allow, 2);
+}
+
+TEST(Sleeplint, NetSocketPathsExemptFromWallclockOnly) {
+  const auto result = RunOn("src/sleepwalk/net/socket_fixture.cc");
+  // steady_clock on line 9 is sanctioned by the path; random_device on
+  // line 10 is still ambient RNG.
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].rule, "no-ambient-rng");
+  EXPECT_EQ(result.diagnostics[0].line, 10);
+}
+
+TEST(Sleeplint, OnlyRulesFilterRestrictsScan) {
+  const auto result =
+      RunOn("src/sleepwalk/net/socket_fixture.cc", {"no-wallclock"});
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
+TEST(Sleeplint, DirectoryWalkFindsEveryFixture) {
+  sleeplint::Options options;
+  options.roots = {kFixtures};
+  const auto result = sleeplint::Run(options);
+  // 7 fixture files; per-file counts asserted above sum to 16.
+  EXPECT_EQ(result.files_scanned, 7);
+  EXPECT_EQ(result.diagnostics.size(), 16u);
+  // Diagnostics are sorted by path then line for stable output.
+  for (std::size_t i = 1; i < result.diagnostics.size(); ++i) {
+    const auto& a = result.diagnostics[i - 1];
+    const auto& b = result.diagnostics[i];
+    EXPECT_TRUE(a.path < b.path || (a.path == b.path && a.line <= b.line));
+  }
+}
+
+TEST(Sleeplint, BaselineSuppressesListedViolations) {
+  const std::string baseline_path =
+      testing::TempDir() + "/sleeplint_baseline_test.txt";
+  {
+    std::ofstream out{baseline_path};
+    out << "# comment\n";
+    // Whole-file suppression for one rule, line-exact for another.
+    out << Fixture("src/sleepwalk/core/rng_bad.cc") << ":no-ambient-rng\n";
+    out << Fixture("src/sleepwalk/core/wallclock_bad.cc")
+        << ":8:no-wallclock\n";
+  }
+  sleeplint::Options options;
+  options.roots = {Fixture("src/sleepwalk/core/rng_bad.cc"),
+                   Fixture("src/sleepwalk/core/wallclock_bad.cc")};
+  options.baseline_path = baseline_path;
+  const auto result = sleeplint::Run(options);
+  EXPECT_EQ(result.suppressed_by_baseline, 4);  // 3 rng + 1 wallclock
+  EXPECT_EQ(result.diagnostics.size(), 3u);     // wallclock lines 9-11
+  EXPECT_FALSE(HasDiagnostic(result, "no-wallclock", 8));
+  std::remove(baseline_path.c_str());
+}
+
+TEST(Sleeplint, MissingBaselineIsAnError) {
+  sleeplint::Options options;
+  options.roots = {Fixture("src/sleepwalk/core/rng_bad.cc")};
+  options.baseline_path = kFixtures + "/does_not_exist.txt";
+  EXPECT_TRUE(sleeplint::Run(options).baseline_error);
+}
+
+}  // namespace

@@ -5,148 +5,15 @@
 //   jsonl_check FILE...        exit 0: every line of every file parses
 //                              exit 1: first offending file:line printed
 //
-// The parser is a strict recursive-descent JSON subset check (objects,
-// arrays, strings with escapes, numbers, true/false/null) — enough to
-// reject the classes of corruption a serializer bug would produce:
-// unbalanced braces, broken escapes, trailing garbage, non-object roots.
-#include <cctype>
-#include <cstring>
+// The validation logic lives in jsonl.h so the obs concurrency stress
+// test can reuse it in-process.
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "jsonl.h"
+
 namespace {
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : text_(text) {}
-
-  /// One JSON object, the whole line, nothing else.
-  bool ParseObjectLine() {
-    SkipSpace();
-    if (!ParseObject()) return false;
-    SkipSpace();
-    return pos_ == text_.size();
-  }
-
- private:
-  bool ParseValue() {
-    SkipSpace();
-    if (pos_ >= text_.size()) return false;
-    switch (text_[pos_]) {
-      case '{': return ParseObject();
-      case '[': return ParseArray();
-      case '"': return ParseString();
-      case 't': return Literal("true");
-      case 'f': return Literal("false");
-      case 'n': return Literal("null");
-      default: return ParseNumber();
-    }
-  }
-
-  bool ParseObject() {
-    if (!Consume('{')) return false;
-    SkipSpace();
-    if (Consume('}')) return true;
-    do {
-      SkipSpace();
-      if (!ParseString()) return false;
-      SkipSpace();
-      if (!Consume(':')) return false;
-      if (!ParseValue()) return false;
-      SkipSpace();
-    } while (Consume(','));
-    return Consume('}');
-  }
-
-  bool ParseArray() {
-    if (!Consume('[')) return false;
-    SkipSpace();
-    if (Consume(']')) return true;
-    do {
-      if (!ParseValue()) return false;
-      SkipSpace();
-    } while (Consume(','));
-    return Consume(']');
-  }
-
-  bool ParseString() {
-    if (!Consume('"')) return false;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
-      ++pos_;
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        const char esc = text_[pos_++];
-        if (esc == 'u') {
-          for (int i = 0; i < 4; ++i) {
-            if (pos_ >= text_.size() ||
-                !std::isxdigit(static_cast<unsigned char>(text_[pos_++]))) {
-              return false;
-            }
-          }
-        } else if (std::strchr("\"\\/bfnrt", esc) == nullptr) {
-          return false;
-        }
-      }
-    }
-    return false;  // unterminated
-  }
-
-  bool ParseNumber() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    if (!DigitRun()) return false;
-    if (pos_ < text_.size() && text_[pos_] == '.') {
-      ++pos_;
-      if (!DigitRun()) return false;
-    }
-    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
-        ++pos_;
-      }
-      if (!DigitRun()) return false;
-    }
-    return pos_ > start;
-  }
-
-  bool DigitRun() {
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() &&
-           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  bool Literal(const char* word) {
-    const std::size_t n = std::strlen(word);
-    if (text_.compare(pos_, n, word) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  bool Consume(char c) {
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
 
 int CheckFile(const char* path) {
   std::ifstream in{path};
@@ -160,7 +27,7 @@ int CheckFile(const char* path) {
   while (std::getline(in, line)) {
     ++number;
     if (line.empty()) continue;  // tolerate a trailing blank line
-    if (!Parser{line}.ParseObjectLine()) {
+    if (!jsonl::IsJsonObjectLine(line)) {
       std::cerr << "jsonl_check: " << path << ":" << number
                 << ": not a well-formed JSON object\n";
       return 1;

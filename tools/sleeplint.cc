@@ -1,0 +1,546 @@
+#include "sleeplint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+
+namespace sleeplint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source preprocessing
+// ---------------------------------------------------------------------------
+
+/// A file split into lines, with comments and string/char literals
+/// blanked out (replaced by spaces, so columns survive) and the allow
+/// markers extracted *before* stripping — the markers live in comments.
+struct PreparedSource {
+  std::vector<std::string> code;  ///< stripped code, one entry per line
+  /// Rules allowed per line via `// sleeplint: allow(rule)`; an entry
+  /// suppresses diagnostics on its own line and the following line.
+  std::vector<std::vector<std::string>> allows;
+};
+
+void ExtractAllows(std::string_view line, std::vector<std::string>& out) {
+  static constexpr std::string_view kMarker = "sleeplint: allow(";
+  std::size_t pos = 0;
+  while ((pos = line.find(kMarker, pos)) != std::string_view::npos) {
+    const std::size_t open = pos + kMarker.size();
+    const std::size_t close = line.find(')', open);
+    if (close == std::string_view::npos) break;
+    out.emplace_back(line.substr(open, close - open));
+    pos = close;
+  }
+}
+
+PreparedSource Prepare(std::string_view content) {
+  PreparedSource prepared;
+  // Split into lines first (handles a missing trailing newline).
+  std::size_t start = 0;
+  while (start <= content.size()) {
+    const std::size_t end = content.find('\n', start);
+    const std::string_view line =
+        content.substr(start, end == std::string_view::npos
+                                  ? std::string_view::npos
+                                  : end - start);
+    prepared.code.emplace_back(line);
+    prepared.allows.emplace_back();
+    ExtractAllows(line, prepared.allows.back());
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+
+  // Blank comments and literals in place. One pass with a tiny state
+  // machine; raw strings are rare in this tree and not handled — a raw
+  // string containing a banned token would only cause a false positive,
+  // which the allow escape covers.
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (auto& line : prepared.code) {
+    if (state == State::kLineComment) state = State::kCode;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            line.resize(i);  // drop the rest of the line
+            i = line.size();
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            line[i] = ' ';
+            line[i + 1] = ' ';
+            ++i;
+          } else if (c == '"') {
+            state = State::kString;
+            line[i] = ' ';
+          } else if (c == '\'') {
+            state = State::kChar;
+            line[i] = ' ';
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            line[i] = ' ';
+            line[i + 1] = ' ';
+            ++i;
+          } else {
+            line[i] = ' ';
+          }
+          break;
+        case State::kString:
+        case State::kChar: {
+          const char quote = state == State::kString ? '"' : '\'';
+          if (c == '\\') {
+            line[i] = ' ';
+            if (i + 1 < line.size()) line[++i] = ' ';
+          } else if (c == quote) {
+            state = State::kCode;
+            line[i] = ' ';
+          } else {
+            line[i] = ' ';
+          }
+          break;
+        }
+        case State::kLineComment:
+          break;  // unreachable; handled above
+      }
+    }
+    // An unterminated string at end-of-line: treat as closed (likely a
+    // multi-line macro or our scanner being conservative).
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+  }
+  return prepared;
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping
+// ---------------------------------------------------------------------------
+
+std::string NormalizePath(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+bool PathContains(const std::string& path, std::string_view needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+/// Library code: the obs::Logger discipline (no-raw-io) applies.
+bool IsLibraryPath(const std::string& path) {
+  return PathContains(path, "src/sleepwalk/");
+}
+
+/// Live-probe networking: the only files allowed to read real clocks
+/// (socket timeouts, ICMP RTTs are wall phenomena).
+bool IsClockExemptPath(const std::string& path) {
+  return PathContains(path, "net/socket") || PathContains(path, "net/icmp");
+}
+
+/// The one sanctioned RNG implementation.
+bool IsRngExemptPath(const std::string& path) {
+  return PathContains(path, "util/rng");
+}
+
+/// Binary serialization layers whose fixed-width fields must narrow
+/// through util::CheckedNarrow.
+bool IsSerializationPath(const std::string& path) {
+  return PathContains(path, "core/checkpoint") ||
+         PathContains(path, "core/dataset");
+}
+
+bool IsHeaderPath(const std::string& path) {
+  return path.ends_with(".h") || path.ends_with(".hpp");
+}
+
+// ---------------------------------------------------------------------------
+// Token matching
+// ---------------------------------------------------------------------------
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// True when `token` occurs in `line` and is not immediately preceded by
+/// an identifier character or a member/scope spelling that makes it a
+/// different name. `allow_scope_prefix` controls whether `::token` (and
+/// `.token` / `->token`) still counts as a match:
+///   * for free functions like `time(` we *want* `std::time(`/`::time(`
+///     to match, but not `x.time()` (our own accessors) — callers pass
+///     member_call_exempt = true;
+///   * for type names like `mt19937` any occurrence matches.
+bool MatchesToken(const std::string& line, std::string_view token,
+                  bool member_call_exempt) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const char prev = pos > 0 ? line[pos - 1] : '\0';
+    const char prev2 = pos > 1 ? line[pos - 2] : '\0';
+    bool excluded = IsIdentChar(prev);
+    if (!excluded && member_call_exempt) {
+      // `belief.time()` or `span->time()` is a member of ours, not libc.
+      excluded = prev == '.' || (prev == '>' && prev2 == '-');
+    }
+    if (!excluded) return true;
+    ++pos;
+  }
+  return false;
+}
+
+struct TokenRule {
+  std::string_view token;
+  bool member_call_exempt;
+  std::string_view what;  ///< human name for the message
+};
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+constexpr std::string_view kRuleWallclock = "no-wallclock";
+constexpr std::string_view kRuleRng = "no-ambient-rng";
+constexpr std::string_view kRuleRawIo = "no-raw-io";
+constexpr std::string_view kRuleNarrowing = "no-unchecked-narrowing";
+constexpr std::string_view kRuleHygiene = "header-hygiene";
+
+constexpr TokenRule kWallclockTokens[] = {
+    {"system_clock::now", false, "std::chrono::system_clock::now"},
+    {"steady_clock::now", false, "std::chrono::steady_clock::now"},
+    {"high_resolution_clock::now", false,
+     "std::chrono::high_resolution_clock::now"},
+    {"gettimeofday", false, "gettimeofday"},
+    {"clock_gettime", false, "clock_gettime"},
+    {"time(", true, "time()"},
+    {"localtime(", true, "localtime()"},
+    {"gmtime(", true, "gmtime()"},
+};
+
+constexpr TokenRule kRngTokens[] = {
+    {"random_device", false, "std::random_device"},
+    {"mt19937", false, "std::mt19937"},
+    {"minstd_rand", false, "std::minstd_rand"},
+    {"default_random_engine", false, "std::default_random_engine"},
+    {"rand(", true, "rand()"},
+    {"srand(", true, "srand()"},
+    {"drand48", false, "drand48"},
+    {"lrand48", false, "lrand48"},
+};
+
+constexpr TokenRule kRawIoTokens[] = {
+    {"std::cout", false, "std::cout"},
+    {"std::cerr", false, "std::cerr"},
+    {"std::clog", false, "std::clog"},
+    {"printf(", true, "printf()"},
+    {"fprintf(", true, "fprintf()"},
+    {"puts(", true, "puts()"},
+    {"putchar(", true, "putchar()"},
+};
+
+/// Narrow integer destinations for no-unchecked-narrowing. Plain
+/// substring match after `static_cast<` — the serialization files only
+/// ever cast to the fixed-width aliases.
+constexpr std::string_view kNarrowTargets[] = {
+    "std::uint8_t",  "std::uint16_t", "std::uint32_t", "std::int8_t",
+    "std::int16_t",  "std::int32_t",  "uint8_t",       "uint16_t",
+    "uint32_t",      "int8_t",        "int16_t",       "int32_t",
+    "char",          "short",
+};
+
+bool IsNarrowingCast(const std::string& line) {
+  std::size_t pos = 0;
+  static constexpr std::string_view kCast = "static_cast<";
+  while ((pos = line.find(kCast, pos)) != std::string::npos) {
+    // Extract the target type up to the matching '>'.
+    const std::size_t open = pos + kCast.size();
+    const std::size_t close = line.find('>', open);
+    if (close == std::string::npos) return false;
+    std::string target = line.substr(open, close - open);
+    // Trim whitespace and const.
+    std::string cleaned;
+    std::istringstream words{target};
+    std::string word;
+    while (words >> word) {
+      if (word == "const") continue;
+      if (!cleaned.empty()) cleaned.push_back(' ');
+      cleaned += word;
+    }
+    for (const auto narrow : kNarrowTargets) {
+      if (cleaned == narrow || cleaned == std::string("unsigned ") +
+                                              std::string(narrow)) {
+        return true;
+      }
+    }
+    pos = close;
+  }
+  return false;
+}
+
+bool RuleEnabled(std::string_view rule,
+                 const std::vector<std::string>& only_rules) {
+  if (only_rules.empty()) return true;
+  return std::find(only_rules.begin(), only_rules.end(), rule) !=
+         only_rules.end();
+}
+
+bool LineAllows(const PreparedSource& source, std::size_t line_index,
+                std::string_view rule) {
+  const auto matches = [&](const std::vector<std::string>& allows) {
+    return std::find(allows.begin(), allows.end(), rule) != allows.end();
+  };
+  if (matches(source.allows[line_index])) return true;
+  return line_index > 0 && matches(source.allows[line_index - 1]);
+}
+
+/// header-hygiene: an include guard (#ifndef/#define pair) or #pragma
+/// once must appear before any other preprocessor/code content.
+bool HasIncludeGuard(const PreparedSource& source) {
+  std::string guard_macro;
+  for (const auto& line : source.code) {
+    std::istringstream in{line};
+    std::string tok;
+    if (!(in >> tok)) continue;  // blank / comment-only line
+    if (tok == "#pragma") {
+      std::string what;
+      if (in >> what && what == "once") return true;
+      return false;  // some other pragma before any guard
+    }
+    if (tok == "#ifndef" && guard_macro.empty()) {
+      in >> guard_macro;
+      if (guard_macro.empty()) return false;
+      continue;
+    }
+    if (tok == "#define" && !guard_macro.empty()) {
+      std::string macro;
+      in >> macro;
+      return macro == guard_macro;
+    }
+    return false;  // real content before any guard
+  }
+  return false;  // empty file / no guard found
+}
+
+void CheckTokenRule(const std::string& path, const PreparedSource& source,
+                    std::string_view rule, const TokenRule* tokens,
+                    std::size_t n_tokens, std::string_view advice,
+                    std::vector<Diagnostic>& out, int* suppressed) {
+  for (std::size_t i = 0; i < source.code.size(); ++i) {
+    for (std::size_t t = 0; t < n_tokens; ++t) {
+      const auto& token = tokens[t];
+      if (!MatchesToken(source.code[i], token.token,
+                        token.member_call_exempt)) {
+        continue;
+      }
+      if (LineAllows(source, i, rule)) {
+        if (suppressed != nullptr) ++*suppressed;
+        continue;
+      }
+      Diagnostic diagnostic;
+      diagnostic.path = path;
+      diagnostic.line = static_cast<int>(i) + 1;
+      diagnostic.rule = std::string(rule);
+      diagnostic.message =
+          std::string(token.what) + " " + std::string(advice);
+      out.push_back(std::move(diagnostic));
+      break;  // one diagnostic per line per rule
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------------
+
+struct Baseline {
+  /// Entries `path:rule` (whole file) and `path:line:rule`.
+  std::unordered_set<std::string> file_rules;
+  std::unordered_set<std::string> line_rules;
+  bool error = false;
+};
+
+Baseline LoadBaseline(const std::string& path) {
+  Baseline baseline;
+  if (path.empty()) return baseline;
+  std::ifstream in{path};
+  if (!in) {
+    baseline.error = true;
+    return baseline;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    // path:line:rule has a digit-run between the last two colons.
+    const std::size_t last = line.rfind(':');
+    if (last == std::string::npos) continue;
+    const std::size_t prev = line.rfind(':', last - 1);
+    bool with_line = false;
+    if (prev != std::string::npos && last > prev + 1) {
+      with_line = std::all_of(line.begin() + static_cast<std::ptrdiff_t>(
+                                                 prev + 1),
+                              line.begin() + static_cast<std::ptrdiff_t>(last),
+                              [](char c) { return c >= '0' && c <= '9'; });
+    }
+    if (with_line) {
+      baseline.line_rules.insert(NormalizePath(line));
+    } else {
+      baseline.file_rules.insert(NormalizePath(line));
+    }
+  }
+  return baseline;
+}
+
+bool BaselineMatches(const Baseline& baseline, const Diagnostic& diagnostic) {
+  if (baseline.file_rules.count(diagnostic.path + ":" + diagnostic.rule) >
+      0) {
+    return true;
+  }
+  return baseline.line_rules.count(diagnostic.path + ":" +
+                                   std::to_string(diagnostic.line) + ":" +
+                                   diagnostic.rule) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Walking
+// ---------------------------------------------------------------------------
+
+bool HasSourceExtension(const std::filesystem::path& path) {
+  const auto ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" ||
+         ext == ".cxx";
+}
+
+std::vector<std::string> CollectFiles(const std::vector<std::string>& roots) {
+  std::vector<std::string> files;
+  for (const auto& root : roots) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(root, ec)) {
+      for (auto it = std::filesystem::recursive_directory_iterator(
+               root, std::filesystem::directory_options::skip_permission_denied,
+               ec);
+           it != std::filesystem::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file(ec) && HasSourceExtension(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+    } else {
+      files.push_back(root);  // explicit file: scanned regardless of extension
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+const std::vector<std::string>& AllRules() {
+  static const std::vector<std::string> kRules = {
+      std::string(kRuleWallclock), std::string(kRuleRng),
+      std::string(kRuleRawIo), std::string(kRuleNarrowing),
+      std::string(kRuleHygiene)};
+  return kRules;
+}
+
+std::vector<Diagnostic> LintFile(const std::string& raw_path,
+                                 std::string_view content,
+                                 const std::vector<std::string>& only_rules,
+                                 int* suppressed_by_allow) {
+  const std::string path = NormalizePath(raw_path);
+  const PreparedSource source = Prepare(content);
+  std::vector<Diagnostic> diagnostics;
+
+  if (RuleEnabled(kRuleWallclock, only_rules) && !IsClockExemptPath(path)) {
+    CheckTokenRule(path, source, kRuleWallclock, kWallclockTokens,
+                   std::size(kWallclockTokens),
+                   "reads a real clock; campaign code must use virtual time "
+                   "(net/socket*, net/icmp* are exempt)",
+                   diagnostics, suppressed_by_allow);
+  }
+  if (RuleEnabled(kRuleRng, only_rules) && !IsRngExemptPath(path)) {
+    CheckTokenRule(path, source, kRuleRng, kRngTokens, std::size(kRngTokens),
+                   "is ambient randomness; use a seeded sleepwalk::Rng "
+                   "(util/rng.h)",
+                   diagnostics, suppressed_by_allow);
+  }
+  if (RuleEnabled(kRuleRawIo, only_rules) && IsLibraryPath(path)) {
+    CheckTokenRule(path, source, kRuleRawIo, kRawIoTokens,
+                   std::size(kRawIoTokens),
+                   "writes directly to a process stream; library code "
+                   "reports through obs::Logger",
+                   diagnostics, suppressed_by_allow);
+  }
+  if (RuleEnabled(kRuleNarrowing, only_rules) && IsSerializationPath(path)) {
+    for (std::size_t i = 0; i < source.code.size(); ++i) {
+      if (!IsNarrowingCast(source.code[i])) continue;
+      if (LineAllows(source, i, kRuleNarrowing)) {
+        if (suppressed_by_allow != nullptr) ++*suppressed_by_allow;
+        continue;
+      }
+      Diagnostic diagnostic;
+      diagnostic.path = path;
+      diagnostic.line = static_cast<int>(i) + 1;
+      diagnostic.rule = std::string(kRuleNarrowing);
+      diagnostic.message =
+          "raw static_cast to a narrower integer in a serialization file; "
+          "use util::CheckedNarrow (util/narrow.h)";
+      diagnostics.push_back(std::move(diagnostic));
+    }
+  }
+  if (RuleEnabled(kRuleHygiene, only_rules) && IsHeaderPath(path)) {
+    if (!HasIncludeGuard(source) && !LineAllows(source, 0, kRuleHygiene)) {
+      Diagnostic diagnostic;
+      diagnostic.path = path;
+      diagnostic.line = 1;
+      diagnostic.rule = std::string(kRuleHygiene);
+      diagnostic.message =
+          "header lacks an include guard (#ifndef/#define) or #pragma once";
+      diagnostics.push_back(std::move(diagnostic));
+    }
+  }
+  return diagnostics;
+}
+
+Result Run(const Options& options) {
+  Result result;
+  const Baseline baseline = LoadBaseline(options.baseline_path);
+  result.baseline_error = baseline.error;
+
+  for (const auto& file : CollectFiles(options.roots)) {
+    std::ifstream in{file, std::ios::binary};
+    if (!in) continue;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string content = buffer.str();
+    ++result.files_scanned;
+    for (auto& diagnostic :
+         LintFile(file, content, options.only_rules,
+                  &result.suppressed_by_allow)) {
+      if (BaselineMatches(baseline, diagnostic)) {
+        ++result.suppressed_by_baseline;
+      } else {
+        result.diagnostics.push_back(std::move(diagnostic));
+      }
+    }
+  }
+  return result;
+}
+
+void PrintDiagnostics(std::ostream& out,
+                      const std::vector<Diagnostic>& diagnostics) {
+  for (const auto& diagnostic : diagnostics) {
+    out << diagnostic.path << ':' << diagnostic.line << ": ["
+        << diagnostic.rule << "] " << diagnostic.message << '\n';
+  }
+}
+
+}  // namespace sleeplint

@@ -1,0 +1,95 @@
+// sleeplint — project-invariant lint for the sleepwalk tree.
+//
+// The pipeline is only reproducible because every layer is deterministic
+// under a seeded virtual clock (DESIGN.md §8): one stray
+// `std::random_device` or `system_clock::now()` in core code silently
+// breaks same-seed reproduction in ways no unit test notices until a
+// checkpoint diff fails weeks later. sleeplint enforces those invariants
+// *statically*, as named rules with file:line diagnostics, so the CI
+// `static-analysis` job fails at the offending line instead.
+//
+// It is deliberately token/regex-level — no libclang dependency, so it
+// builds everywhere the project builds — and deliberately small: rules
+// are substring/boundary matchers over comment- and string-stripped
+// source lines. That is enough to catch every spelling of the banned
+// constructs that has ever appeared in this tree, and false positives
+// have a sanctioned escape: `// sleeplint: allow(<rule>)` on the same or
+// the immediately preceding line, stating the justification in the
+// surrounding comment.
+//
+// Rule catalogue (see DESIGN.md §8 for the policy discussion):
+//   no-wallclock            wall/monotonic clock reads outside net/socket*,
+//                           net/icmp* (live-probe code is allowed to time
+//                           real sockets; nothing else may read a clock)
+//   no-ambient-rng          rand()/random_device/mt19937 outside util/rng —
+//                           all randomness flows from explicit seeds
+//   no-raw-io               printf/std::cout/std::cerr inside src/sleepwalk/
+//                           — library code reports through obs::Context
+//   no-unchecked-narrowing  raw static_cast to a narrower integer in
+//                           checkpoint/dataset serialization files — use
+//                           util::CheckedNarrow (clamps, never corrupts)
+//   header-hygiene          every header carries an include guard or
+//                           #pragma once (self-sufficiency is compiled, not
+//                           linted: scripts/static_analysis.sh builds one
+//                           TU per header)
+#ifndef SLEEPWALK_TOOLS_SLEEPLINT_H_
+#define SLEEPWALK_TOOLS_SLEEPLINT_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sleeplint {
+
+/// One violation. `path` is the file as passed/found; `line` is
+/// 1-based; `rule` is the stable rule id used by baselines and allow
+/// comments.
+struct Diagnostic {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  /// Files and/or directories to scan. Directories are walked
+  /// recursively for .h/.hpp/.cc/.cpp/.cxx; explicit files are scanned
+  /// regardless of extension.
+  std::vector<std::string> roots;
+  /// Baseline file: one `path:rule` or `path:line:rule` entry per line,
+  /// `#` comments. Matching diagnostics are counted, not reported.
+  std::string baseline_path;
+  /// When non-empty, only these rule ids run.
+  std::vector<std::string> only_rules;
+};
+
+struct Result {
+  std::vector<Diagnostic> diagnostics;  ///< violations after baseline
+  int files_scanned = 0;
+  int suppressed_by_allow = 0;  ///< `// sleeplint: allow(...)` hits
+  int suppressed_by_baseline = 0;
+  bool baseline_error = false;  ///< baseline path given but unreadable
+};
+
+/// All rule ids, in reporting order.
+const std::vector<std::string>& AllRules();
+
+/// Lints one file's content. `path` drives the per-rule scoping (e.g.
+/// no-raw-io only applies under src/sleepwalk/), so fixture trees mirror
+/// the real layout. Exposed for tests/tools/sleeplint_test.cc.
+std::vector<Diagnostic> LintFile(const std::string& path,
+                                 std::string_view content,
+                                 const std::vector<std::string>& only_rules,
+                                 int* suppressed_by_allow);
+
+/// Walks roots, applies the baseline, returns everything.
+Result Run(const Options& options);
+
+/// Renders `path:line: [rule] message` lines.
+void PrintDiagnostics(std::ostream& out,
+                      const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace sleeplint
+
+#endif  // SLEEPWALK_TOOLS_SLEEPLINT_H_

@@ -1,0 +1,86 @@
+// sleeplint CLI. See sleeplint.h for the rule catalogue.
+//
+//   sleeplint [--baseline FILE] [--rules r1,r2] [--list-rules] PATH...
+//
+// Exit status: 0 clean, 1 violations found, 2 usage/IO error. Used by
+// scripts/static_analysis.sh and the CI `static-analysis` job; run it
+// locally via `scripts/tier1.sh --lint`.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sleeplint.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: sleeplint [--baseline FILE] [--rules r1,r2] "
+               "[--list-rules] PATH...\n"
+               "PATHs are files or directories (walked for "
+               ".h/.hpp/.cc/.cpp/.cxx).\n";
+  return 2;
+}
+
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string part = text.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!part.empty()) parts.push_back(part);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sleeplint::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline") {
+      if (++i >= argc) return Usage();
+      options.baseline_path = argv[i];
+    } else if (arg == "--rules") {
+      if (++i >= argc) return Usage();
+      options.only_rules = SplitCommas(argv[i]);
+      for (const auto& rule : options.only_rules) {
+        const auto& all = sleeplint::AllRules();
+        if (std::find(all.begin(), all.end(), rule) == all.end()) {
+          std::cerr << "sleeplint: unknown rule '" << rule << "'\n";
+          return 2;
+        }
+      }
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : sleeplint::AllRules()) {
+        std::cout << rule << '\n';
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      options.roots.push_back(arg);
+    }
+  }
+  if (options.roots.empty()) return Usage();
+
+  const sleeplint::Result result = sleeplint::Run(options);
+  if (result.baseline_error) {
+    std::cerr << "sleeplint: cannot read baseline '" << options.baseline_path
+              << "'\n";
+    return 2;
+  }
+  sleeplint::PrintDiagnostics(std::cout, result.diagnostics);
+  std::cerr << "sleeplint: " << result.files_scanned << " files, "
+            << result.diagnostics.size() << " violations"
+            << ", " << result.suppressed_by_allow << " allowed"
+            << ", " << result.suppressed_by_baseline << " baselined\n";
+  return result.diagnostics.empty() ? 0 : 1;
+}
