@@ -12,8 +12,10 @@
 //   sleepwalk_cli measure --site 2 --out /tmp/a12j.slpw
 //   sleepwalk_cli compare --a /tmp/a12w.slpw --b /tmp/a12j.slpw
 //   sleepwalk_cli block --in /tmp/a12w.slpw --index 3
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <iostream>
 #include <map>
 #include <string>
@@ -63,11 +65,13 @@ int Usage() {
   std::cout <<
       "usage: sleepwalk_cli <command> [--flag value ...]\n"
       "  measure --out FILE [--blocks N] [--days D] [--seed S] [--site K]\n"
-      "          [--loss P] [--burst P] [--rate-limit N] [--dead N]\n"
-      "          [--checkpoint FILE] [--checkpoint-every R]\n"
+      "          [--workers W] [--loss P] [--burst P] [--rate-limit N]\n"
+      "          [--dead N] [--checkpoint FILE] [--checkpoint-every R]\n"
       "          [--log-level L] [--log-json FILE] [--metrics-out FILE]\n"
       "          [--trace-out FILE]\n"
-      "      generate a simulated world and run a probing campaign;\n"
+      "      generate a simulated world and run a probing campaign\n"
+      "      sharded over --workers threads (default: hardware\n"
+      "      concurrency; results are byte-identical for any W);\n"
       "      fault flags inject deterministic measurement-plane breakage\n"
       "      (--loss: i.i.d. drop rate; --burst: long-run Gilbert-Elliott\n"
       "      bursty loss; --dead: first N blocks error persistently) and\n"
@@ -77,8 +81,9 @@ int Usage() {
       "      on stderr, --log-json a structured JSONL event log,\n"
       "      --metrics-out a metrics dump (Prometheus text, or CSV when\n"
       "      FILE ends in .csv), --trace-out a flame-ordered phase trace\n"
-      "  analyze --in FILE\n"
-      "      diurnal summary of a saved dataset\n"
+      "  analyze --in FILE [--workers W]\n"
+      "      diurnal summary of a saved dataset (re-classified on\n"
+      "      --workers threads)\n"
       "  compare --a FILE --b FILE\n"
       "      cross-dataset agreement matrix (paper Table 2)\n"
       "  block --in FILE (--index I | --prefix a.b.c/24)\n"
@@ -156,6 +161,46 @@ class ObsSinks {
   std::string trace_path_;
 };
 
+/// One worker's private transport chain for the parallel executor: a
+/// simulated network plus the fault / instrumentation decorator. Every
+/// worker is built from the SAME seeds and the SAME fault plan — probe
+/// outcomes are keyed (stateless) functions of (target, when), so
+/// identically configured chains are interchangeable and results do not
+/// depend on which worker measures which block.
+class CliShardChain final : public core::ShardChain {
+ public:
+  CliShardChain(const sim::SimWorld& world, std::uint64_t site_seed,
+                const faults::FaultPlan& plan, bool faulty)
+      : transport_{world.MakeTransport(site_seed)},
+        faulty_{faulty},
+        faulty_transport_{*transport_, plan},
+        instrumented_{*transport_, obs::Context{}} {}
+
+  net::Transport& transport() override {
+    return faulty_ ? static_cast<net::Transport&>(faulty_transport_)
+                   : static_cast<net::Transport&>(instrumented_);
+  }
+
+  void AttachObs(const obs::Context& context) override {
+    if (faulty_) {
+      faulty_transport_.AttachObs(context);
+    } else {
+      instrumented_.AttachObs(context);
+    }
+  }
+
+  report::ProbeAccounting accounting() const override {
+    return faulty_ ? faulty_transport_.accounting()
+                   : instrumented_.accounting();
+  }
+
+ private:
+  std::unique_ptr<sim::SimTransport> transport_;
+  bool faulty_;
+  faults::FaultyTransport faulty_transport_;
+  net::InstrumentedTransport instrumented_;
+};
+
 int CmdMeasure(const Flags& flags) {
   const auto out = flags.Get("out");
   if (out.empty()) {
@@ -173,9 +218,12 @@ int CmdMeasure(const Flags& flags) {
             << " blocks (seed " << world_config.seed << ")...\n";
   const auto world = sim::SimWorld::Generate(world_config);
 
+  const int workers =
+      static_cast<int>(flags.GetInt("workers", core::HardwareWorkers()));
   std::cout << "measuring " << world.blocks().size() << " blocks for "
-            << days << " days from site " << site << "...\n";
-  auto transport = world.MakeTransport(site * 0x9e3779b9ULL + 1);
+            << days << " days from site " << site << " on "
+            << std::max(workers, 1) << " worker(s)...\n";
+  const std::uint64_t site_seed = site * 0x9e3779b9ULL + 1;
   std::vector<core::BlockTarget> targets;
   for (const auto& block : world.blocks()) {
     targets.push_back({block.spec.block, sim::EverActiveOctets(block.spec),
@@ -211,16 +259,14 @@ int CmdMeasure(const Flags& flags) {
 
   // Telemetry: the faulty transport counts its own probes (it can
   // attribute rate-limited drops precisely); a clean stack gets the same
-  // probe accounting from the InstrumentedTransport decorator.
+  // probe accounting from the InstrumentedTransport decorator. The
+  // executor re-points each chain's instruments at per-block buffered
+  // sinks, so counters land in the campaign registry in block order.
   ObsSinks sinks{flags};
   config.obs = sinks.Context();
-  faults::FaultyTransport faulty_transport{*transport, plan};
-  if (faulty) faulty_transport.AttachObs(config.obs);
-  net::InstrumentedTransport instrumented{
-      *transport, faulty ? obs::Context{} : config.obs};
-  net::Transport& wire =
-      faulty ? static_cast<net::Transport&>(faulty_transport)
-             : static_cast<net::Transport&>(instrumented);
+  const core::ShardFactory factory = [&](std::size_t) {
+    return std::make_unique<CliShardChain>(world, site_seed, plan, faulty);
+  };
 
   // Live heartbeat on stderr, fed by the supervisor after every block.
   config.progress = [](const core::CampaignProgress& p) {
@@ -236,8 +282,11 @@ int CmdMeasure(const Flags& flags) {
     std::cerr << "   " << std::flush;
   };
 
-  const auto outcome = core::RunResilientCampaign(
-      std::move(targets), wire, scheduler.RoundsForDays(days), config);
+  core::ParallelConfig parallel;
+  parallel.workers = workers;
+  const auto outcome = core::RunParallelCampaign(
+      std::move(targets), factory, scheduler.RoundsForDays(days), config,
+      parallel);
   std::cerr << "\n";
   const auto& result = outcome.result;
 
@@ -256,10 +305,9 @@ int CmdMeasure(const Flags& flags) {
     std::cout << "quarantined " << prefix.ToString() << "\n";
   }
   if (faulty || !config.checkpoint_path.empty()) {
-    auto stats = outcome.stats;
-    stats.probes.Merge(faulty ? faulty_transport.accounting()
-                              : instrumented.accounting());
-    report::PrintResilienceReport(std::cout, stats);
+    // The executor folds per-block probe-accounting deltas into
+    // outcome.stats in commit order; no manual merge needed.
+    report::PrintResilienceReport(std::cout, outcome.stats);
   }
   if (!sinks.Flush()) return 1;
   return 0;
@@ -280,8 +328,9 @@ int CmdAnalyze(const Flags& flags) {
   std::int64_t non_diurnal = 0;
   std::int64_t skipped = 0;
   std::int64_t stationary = 0;
-  for (const auto& stored : dataset->blocks) {
-    const auto analysis = core::Reanalyze(stored, config);
+  const auto analyses = core::ReanalyzeDataset(
+      *dataset, config, static_cast<int>(flags.GetInt("workers", 0)));
+  for (const auto& analysis : analyses) {
     if (!analysis.probed || analysis.observed_days < 2) {
       ++skipped;
       continue;

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Performance-regression gate for CI.
+#
+# Runs the two JSON-emitting benches (parallel_scaling, micro_perf's obs
+# ablation) against a Release build and compares the fresh numbers with
+# the baselines committed at the repo root (BENCH_parallel.json,
+# BENCH_obs.json).
+#
+# Absolute throughput is not portable across runners, so the gate is
+# deliberately hardware-calibrated:
+#   * `equivalent` must be true — an N-worker campaign that is not
+#     byte-identical to the 1-worker campaign is a correctness bug, not a
+#     perf problem, and fails immediately;
+#   * the workers:2 / workers:1 speedup ratio may not regress more than
+#     TOLERANCE_PCT below the committed baseline ratio (a pinned 2-worker
+#     comparison is meaningful on any >=2-core runner; on a 1-core
+#     machine the ratio is ~1.0 on both sides, so the gate stays honest
+#     without false alarms);
+#   * on runners with >= 8 hardware threads the 8-worker speedup must
+#     reach MIN_SPEEDUP_8V1 (the sharding exists to buy ~linear scaling;
+#     on smaller machines this is reported but not enforced);
+#   * the obs ablation's `null_context_within_budget` must stay true, and
+#     its null-context overhead may not exceed the committed overhead by
+#     more than TOLERANCE_PCT points.
+#
+# Usage: scripts/bench_gate.sh [build-dir]      (default: build-release)
+# Output: fresh JSON written into the build dir (CI uploads as artifact).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-release}"
+TOLERANCE_PCT=15
+MIN_SPEEDUP_8V1=3.0
+
+if [[ ! -x "${BUILD_DIR}/bench/parallel_scaling" ||
+      ! -x "${BUILD_DIR}/bench/micro_perf" ]]; then
+  echo "bench_gate: ${BUILD_DIR} lacks bench binaries; build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . -DCMAKE_BUILD_TYPE=Release" >&2
+  echo "  cmake --build ${BUILD_DIR} -j --target parallel_scaling micro_perf" >&2
+  exit 2
+fi
+
+echo "== bench_gate: parallel_scaling =="
+SLEEPWALK_BENCH_PARALLEL_OUT="${BUILD_DIR}/BENCH_parallel.json" \
+  "${BUILD_DIR}/bench/parallel_scaling"
+
+echo "== bench_gate: micro_perf (obs ablation only) =="
+SLEEPWALK_BENCH_OBS_OUT="${BUILD_DIR}/BENCH_obs.json" \
+  "${BUILD_DIR}/bench/micro_perf" \
+  --benchmark_filter='BM_SpectrumAndClassify$'
+
+echo "== bench_gate: comparing against committed baselines =="
+python3 - "${BUILD_DIR}" "${TOLERANCE_PCT}" "${MIN_SPEEDUP_8V1}" <<'EOF'
+import json
+import sys
+
+build_dir, tolerance_pct, min_speedup = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+failures = []
+
+
+def load(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+base_par = load("BENCH_parallel.json")
+fresh_par = load(f"{build_dir}/BENCH_parallel.json")
+base_obs = load("BENCH_obs.json")
+fresh_obs = load(f"{build_dir}/BENCH_obs.json")
+
+# 1. Correctness flag: parallelism must stay byte-identical.
+if not fresh_par.get("equivalent"):
+    failures.append("parallel_scaling: workers-1 vs workers-8 datasets differ")
+
+# 2. Pinned 2-worker ratio vs the committed ratio (regression direction
+# only; being faster than baseline is never an error).
+base_ratio = float(base_par.get("speedup_2v1", 0.0))
+fresh_ratio = float(fresh_par.get("speedup_2v1", 0.0))
+floor = base_ratio * (1.0 - tolerance_pct / 100.0)
+print(f"speedup_2v1: fresh {fresh_ratio:.3f} vs baseline {base_ratio:.3f} "
+      f"(floor {floor:.3f})")
+if fresh_ratio < floor:
+    failures.append(
+        f"parallel_scaling: speedup_2v1 regressed {fresh_ratio:.3f} < "
+        f"{floor:.3f} (baseline {base_ratio:.3f} - {tolerance_pct}%)")
+
+# 3. Absolute scaling demand, only where the hardware can deliver it.
+hw = int(fresh_par.get("hw_concurrency", 1))
+speedup8 = float(fresh_par.get("speedup_8v1", 0.0))
+if hw >= 8:
+    print(f"speedup_8v1: {speedup8:.2f} (required >= {min_speedup} on {hw} threads)")
+    if speedup8 < min_speedup:
+        failures.append(
+            f"parallel_scaling: speedup_8v1 {speedup8:.2f} < {min_speedup} "
+            f"on {hw}-thread runner")
+else:
+    print(f"speedup_8v1: {speedup8:.2f} (informational; runner has {hw} threads)")
+
+# 4. Observability stays free: the boolean contract plus a drift bound on
+# the (already hardware-relative) overhead percentage.
+if not fresh_obs.get("null_context_within_budget"):
+    failures.append("micro_perf: null-context obs overhead exceeded its budget")
+base_overhead = float(base_obs.get("null_context_overhead_pct", 0.0))
+fresh_overhead = float(fresh_obs.get("null_context_overhead_pct", 0.0))
+ceiling = base_overhead + tolerance_pct / 10.0  # pct points, tight by design
+print(f"null_context_overhead_pct: fresh {fresh_overhead:.2f} vs baseline "
+      f"{base_overhead:.2f} (ceiling {ceiling:.2f})")
+if fresh_overhead > ceiling:
+    failures.append(
+        f"micro_perf: null-context overhead {fresh_overhead:.2f}% drifted past "
+        f"{ceiling:.2f}% (baseline {base_overhead:.2f}%)")
+
+if failures:
+    print("\nbench_gate: FAIL")
+    for failure in failures:
+        print(f"  - {failure}")
+    sys.exit(1)
+print("\nbench_gate: OK")
+EOF

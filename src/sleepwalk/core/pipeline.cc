@@ -1,7 +1,12 @@
 #include "sleepwalk/core/pipeline.h"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
 #include <utility>
 
+#include "sleepwalk/core/dataset.h"
+#include "sleepwalk/core/parallel_executor.h"
 #include "sleepwalk/core/supervisor.h"
 
 namespace sleepwalk::core {
@@ -20,6 +25,39 @@ DatasetResult RunCampaign(std::vector<BlockTarget> targets,
   return RunResilientCampaign(std::move(targets), transport, n_rounds,
                               supervisor)
       .result;
+}
+
+std::vector<BlockAnalysis> ReanalyzeDataset(const Dataset& dataset,
+                                            const AnalyzerConfig& config,
+                                            int workers) {
+  const std::size_t n = dataset.blocks.size();
+  std::vector<BlockAnalysis> analyses(n);
+  if (n == 0) return analyses;
+  const std::size_t n_workers = std::min<std::size_t>(
+      static_cast<std::size_t>(workers > 0 ? workers : HardwareWorkers()), n);
+  if (n_workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      analyses[i] = Reanalyze(dataset.blocks[i], config);
+    }
+    return analyses;
+  }
+  // Classification is a pure function of one stored series, so a shared
+  // claim counter plus by-index writes into the pre-sized vector needs
+  // no further synchronization and keeps the output order fixed.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    pool.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        analyses[i] = Reanalyze(dataset.blocks[i], config);
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  return analyses;
 }
 
 }  // namespace sleepwalk::core

@@ -131,6 +131,17 @@ DatasetResult RunCampaign(std::vector<BlockTarget> targets,
                           std::uint64_t seed = 0x51ee9,
                           const ProgressFn& progress = {});
 
+struct Dataset;  // core/dataset.h
+
+/// Re-analyzes every stored series of `dataset` (stationarity screen +
+/// FFT diurnal classification), fanning the independent blocks across
+/// `workers` threads (<= 0 = HardwareWorkers()). Block i's analysis
+/// lands at index i and classification is a pure per-block function, so
+/// the result is identical for any worker count.
+std::vector<BlockAnalysis> ReanalyzeDataset(const Dataset& dataset,
+                                            const AnalyzerConfig& config = {},
+                                            int workers = 0);
+
 }  // namespace sleepwalk::core
 
 #endif  // SLEEPWALK_CORE_PIPELINE_H_

@@ -2,282 +2,19 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
 #include <utility>
 
+#include "sleepwalk/core/campaign_ledger.h"
 #include "sleepwalk/core/checkpoint.h"
 #include "sleepwalk/util/rng.h"
 #include "sleepwalk/util/sync.h"
 
 namespace sleepwalk::core {
 
-namespace {
-
-/// Supervisor-level instruments, resolved once per campaign. All null
-/// when the registry is absent. The instruments themselves are
-/// internally synchronized (obs/metrics.h), so workers update them
-/// without further locking.
-struct SupervisorMetrics {
-  explicit SupervisorMetrics(const obs::Context& context)
-      : rounds(context.CounterOrNull("supervisor_rounds_total",
-                                     "block-rounds attempted")),
-        rounds_failed(context.CounterOrNull(
-            "supervisor_rounds_failed_total", "rounds lost after retries")),
-        rounds_gapped(context.CounterOrNull("supervisor_rounds_gapped_total",
-                                            "rounds skipped by clock gaps")),
-        retries(context.CounterOrNull("supervisor_retries_total",
-                                      "round re-executions")),
-        backoff_seconds(context.CounterOrNull(
-            "supervisor_backoff_seconds_total", "total retry delay")),
-        forced_restarts(context.CounterOrNull(
-            "supervisor_forced_restarts_total", "injected prober restarts")),
-        quarantined(context.CounterOrNull("supervisor_quarantined_total",
-                                          "blocks abandoned as dead")),
-        checkpoints(context.CounterOrNull(
-            "supervisor_checkpoints_written_total", "snapshots persisted")),
-        resumes(context.CounterOrNull("supervisor_checkpoint_resumes_total",
-                                      "campaigns resumed from a snapshot")),
-        blocks_done(context.GaugeOrNull("campaign_blocks_done",
-                                        "targets finished")),
-        blocks_total(context.GaugeOrNull("campaign_blocks_total",
-                                         "targets in the campaign")),
-        rounds_per_sec(context.GaugeOrNull(
-            "campaign_rounds_per_sec",
-            "wall-clock processing rate (live campaigns only)")),
-        backoff_delay(context.HistogramOrNull(
-            "supervisor_backoff_delay_seconds",
-            {0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0},
-            "per-retry backoff delay")) {}
-
-  obs::Counter* rounds;
-  obs::Counter* rounds_failed;
-  obs::Counter* rounds_gapped;
-  obs::Counter* retries;
-  obs::Counter* backoff_seconds;
-  obs::Counter* forced_restarts;
-  obs::Counter* quarantined;
-  obs::Counter* checkpoints;
-  obs::Counter* resumes;
-  obs::Gauge* blocks_done;
-  obs::Gauge* blocks_total;
-  obs::Gauge* rounds_per_sec;
-  obs::Histogram* backoff_delay;
-};
-
-/// Deterministic jittered exponential backoff. The jitter draw is a
-/// stateless hash of (seed, block, round, attempt), so retry timing never
-/// perturbs any RNG stream a checkpoint would have to capture.
-double BackoffDelay(const RetryConfig& retry, std::uint64_t seed,
-                    std::uint32_t block, std::int64_t round, int attempt) {
-  double delay = retry.base_delay_sec * std::ldexp(1.0, attempt);
-  delay = std::min(delay, retry.max_delay_sec);
-  if (retry.jitter > 0.0) {
-    const std::uint64_t h =
-        MixHash(seed ^ 0xbac0ffULL, (static_cast<std::uint64_t>(block) << 32) |
-                                        static_cast<std::uint64_t>(attempt),
-                static_cast<std::uint64_t>(round));
-    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
-    delay *= 1.0 + retry.jitter * (2.0 * u - 1.0);
-  }
-  return std::max(delay, 0.0);
-}
-
-bool InGap(const SupervisorConfig& config, std::int64_t round) noexcept {
-  for (const auto& [first, last] : config.gap_round_windows) {
-    if (round >= first && round < last) return true;
-  }
-  return false;
-}
-
-bool IsForcedRestart(const SupervisorConfig& config,
-                     std::int64_t round) noexcept {
-  return std::find(config.forced_restart_rounds.begin(),
-                   config.forced_restart_rounds.end(),
-                   round) != config.forced_restart_rounds.end();
-}
-
-void Classify(const BlockAnalysis& analysis, bool quarantined,
-              DiurnalCounts& counts) {
-  // Quarantined blocks degrade to partial results: whatever was measured
-  // is kept in the analysis record, but the aggregate counts treat the
-  // block as skipped rather than classifying a truncated series.
-  if (quarantined || !analysis.probed || analysis.observed_days < 2) {
-    ++counts.skipped;
-    return;
-  }
-  switch (analysis.diurnal.classification) {
-    case Diurnality::kStrictlyDiurnal:
-      ++counts.strict;
-      break;
-    case Diurnality::kRelaxedDiurnal:
-      ++counts.relaxed;
-      break;
-    case Diurnality::kNonDiurnal:
-      ++counts.non_diurnal;
-      break;
-  }
-}
-
-/// Serializes the current transport state when the transport supports it.
-std::vector<std::uint8_t> SnapshotTransport(net::Transport& transport) {
-  std::vector<std::uint8_t> bytes;
-  if (const auto* stateful =
-          dynamic_cast<const net::StatefulTransport*>(&transport)) {
-    stateful->SaveState(bytes);
-  }
-  return bytes;
-}
-
-/// Shared mutable campaign state: the completed analyses and diurnal
-/// counts, the resilience ledger, the quarantine list, the
-/// processed-round counter that drives checkpoint cadence, and the
-/// early-stop/resume flags. The ROADMAP's parallel runner will shard the
-/// block loop across worker threads; everything those workers must agree
-/// on lives here behind one capability, so the clang -Wthread-safety
-/// build (scripts/static_analysis.sh, CI `static-analysis` job) rejects
-/// unlocked access at compile time. Per-block state — the analyzer, the
-/// retry counter, the round cursor — deliberately stays thread-local in
-/// RunResilientCampaign.
-class CampaignLedger {
- public:
-  explicit CampaignLedger(std::size_t n_targets) {
-    outcome_.result.analyses.reserve(n_targets);
-  }
-
-  /// Resume path: adopt everything a matching checkpoint carried.
-  void AdoptCheckpoint(Checkpoint& checkpoint) SLEEPWALK_EXCLUDES(mutex_) {
-    util::MutexLock lock{mutex_};
-    outcome_.result.analyses = std::move(checkpoint.completed);
-    outcome_.result.counts = checkpoint.counts;
-    outcome_.stats = checkpoint.stats;
-    for (const auto index : checkpoint.quarantined) {
-      outcome_.quarantined.push_back(net::Prefix24::FromIndex(index));
-    }
-    outcome_.resumed = true;
-    outcome_.stats.resumed_from_checkpoint = true;
-  }
-
-  void NoteGapped() SLEEPWALK_EXCLUDES(mutex_) {
-    util::MutexLock lock{mutex_};
-    ++outcome_.stats.rounds_gapped;
-  }
-
-  void NoteAttempted() SLEEPWALK_EXCLUDES(mutex_) {
-    util::MutexLock lock{mutex_};
-    ++outcome_.stats.rounds_attempted;
-  }
-
-  void NoteForcedRestart() SLEEPWALK_EXCLUDES(mutex_) {
-    util::MutexLock lock{mutex_};
-    ++outcome_.stats.forced_restarts;
-  }
-
-  void NoteRetry(double delay_sec) SLEEPWALK_EXCLUDES(mutex_) {
-    util::MutexLock lock{mutex_};
-    ++outcome_.stats.retries;
-    outcome_.stats.backoff_seconds += delay_sec;
-  }
-
-  void NoteRoundFailed() SLEEPWALK_EXCLUDES(mutex_) {
-    util::MutexLock lock{mutex_};
-    ++outcome_.stats.rounds_failed;
-  }
-
-  void NoteQuarantined(net::Prefix24 block) SLEEPWALK_EXCLUDES(mutex_) {
-    util::MutexLock lock{mutex_};
-    ++outcome_.stats.quarantined_blocks;
-    outcome_.quarantined.push_back(block);
-  }
-
-  /// Classifies and appends a finished block's analysis.
-  void FinishBlock(BlockAnalysis analysis, bool quarantined)
-      SLEEPWALK_EXCLUDES(mutex_) {
-    util::MutexLock lock{mutex_};
-    Classify(analysis, quarantined, outcome_.result.counts);
-    outcome_.result.analyses.push_back(std::move(analysis));
-  }
-
-  /// Advances the global round counter, returning its new value.
-  std::int64_t AdvanceRound() SLEEPWALK_EXCLUDES(mutex_) {
-    util::MutexLock lock{mutex_};
-    return ++processed_rounds_;
-  }
-
-  std::int64_t processed_rounds() const SLEEPWALK_EXCLUDES(mutex_) {
-    util::MutexLock lock{mutex_};
-    return processed_rounds_;
-  }
-
-  /// Builds a checkpoint snapshot of the current shared state. The
-  /// write-ahead increment of checkpoints_written is part of the
-  /// snapshot (it counts itself); a failed write is rolled back with
-  /// NoteCheckpointWriteFailed. File I/O happens outside the lock.
-  Checkpoint BuildCheckpointSnapshot(std::uint64_t fingerprint,
-                                     std::size_t next_block,
-                                     bool has_inflight,
-                                     std::int64_t next_round, int failures,
-                                     const BlockAnalyzer* analyzer)
-      SLEEPWALK_EXCLUDES(mutex_) {
-    util::MutexLock lock{mutex_};
-    Checkpoint checkpoint;
-    checkpoint.fingerprint = fingerprint;
-    checkpoint.counts = outcome_.result.counts;
-    checkpoint.completed = outcome_.result.analyses;
-    for (const auto& block : outcome_.quarantined) {
-      checkpoint.quarantined.push_back(block.Index());
-    }
-    checkpoint.next_block = next_block;
-    checkpoint.has_inflight = has_inflight;
-    if (has_inflight) {
-      checkpoint.inflight_next_round = next_round;
-      checkpoint.inflight_consecutive_failures = failures;
-      checkpoint.inflight = analyzer->ExportState();
-    }
-    ++outcome_.stats.checkpoints_written;  // the snapshot counts itself
-    checkpoint.stats = outcome_.stats;
-    return checkpoint;
-  }
-
-  void NoteCheckpointWritten(bool ok) SLEEPWALK_EXCLUDES(mutex_) {
-    if (ok) return;
-    util::MutexLock lock{mutex_};
-    --outcome_.stats.checkpoints_written;
-  }
-
-  void NoteStoppedEarly() SLEEPWALK_EXCLUDES(mutex_) {
-    util::MutexLock lock{mutex_};
-    outcome_.stopped_early = true;
-  }
-
-  /// Point-in-time copy of the resilience ledger (heartbeats, logs).
-  report::ResilienceStats stats_snapshot() const SLEEPWALK_EXCLUDES(mutex_) {
-    util::MutexLock lock{mutex_};
-    return outcome_.stats;
-  }
-
-  std::size_t blocks_done() const SLEEPWALK_EXCLUDES(mutex_) {
-    util::MutexLock lock{mutex_};
-    return outcome_.result.analyses.size();
-  }
-
-  DiurnalCounts counts_snapshot() const SLEEPWALK_EXCLUDES(mutex_) {
-    util::MutexLock lock{mutex_};
-    return outcome_.result.counts;
-  }
-
-  /// Final move-out; the ledger must not be used afterwards.
-  CampaignOutcome TakeOutcome() SLEEPWALK_EXCLUDES(mutex_) {
-    util::MutexLock lock{mutex_};
-    return std::move(outcome_);
-  }
-
- private:
-  mutable util::Mutex mutex_;
-  CampaignOutcome outcome_ SLEEPWALK_GUARDED_BY(mutex_);
-  std::int64_t processed_rounds_ SLEEPWALK_GUARDED_BY(mutex_) = 0;
-};
-
-}  // namespace
+// The campaign bookkeeping (CampaignLedger, SupervisorMetrics, backoff
+// and schedule helpers) lives in core/campaign_ledger.h, shared with the
+// parallel executor: both runners must compute identical retry delays,
+// gap decisions, and classifications for the byte-equivalence contract.
 
 CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
                                      net::Transport& transport,
@@ -382,7 +119,8 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
     const std::uint32_t block_index = target.block.Index();
     BlockAnalyzer analyzer{target.block, std::move(target.ever_active),
                            target.initial_availability,
-                           config.seed ^ block_index, config.analyzer};
+                           StreamSeed(config.seed, block_index),
+                           config.analyzer};
     analyzer.AttachObs(obs);
     const auto block_span = obs.Span("block");
     std::int64_t start_round = 0;

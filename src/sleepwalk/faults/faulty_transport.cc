@@ -21,10 +21,13 @@ void FaultyTransport::AttachObs(const obs::Context& context) {
       "fault_injected_timeout_total", "injected timeout-window answers");
   fault_counters_[kFaultLoss] = context.CounterOrNull(
       "fault_injected_loss_total", "injected packet loss");
-  // A transport attached mid-campaign (or after a checkpoint restore)
-  // starts its counters from the accounting already accumulated.
-  mirrored_ = {};
-  MirrorAccounting();
+  // Counters attached mid-campaign report activity from this point
+  // forward: the parallel executor re-points one chain at a fresh
+  // per-block registry for every block it measures, and replaying the
+  // cumulative history into each would multiply-count probes. Checkpoint
+  // restores still replay restored totals via RestoreState's own
+  // MirrorAccounting call.
+  mirrored_ = accounting_;
 }
 
 void FaultyTransport::NoteFault(FaultKind kind, net::Ipv4Addr target,

@@ -35,6 +35,11 @@ InstrumentedTransport::InstrumentedTransport(Transport& inner,
                                              const obs::Context& context)
     : inner_(inner), context_(context), counters_(context) {}
 
+void InstrumentedTransport::AttachObs(const obs::Context& context) {
+  context_ = context;
+  counters_ = ProbeCounters{context};
+}
+
 ProbeStatus InstrumentedTransport::Probe(Ipv4Addr target,
                                          std::int64_t when_sec) {
   ++accounting_.attempts;

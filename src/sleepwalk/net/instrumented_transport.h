@@ -65,6 +65,12 @@ class InstrumentedTransport final : public StatefulTransport {
 
   ProbeStatus Probe(Ipv4Addr target, std::int64_t when_sec) override;
 
+  /// Re-points the probe counters at a different obs context. The
+  /// parallel executor calls this once per block to direct this chain's
+  /// instruments at the block's buffered registry; the cumulative
+  /// accounting() is unaffected.
+  void AttachObs(const obs::Context& context);
+
   /// Forwarded to the inner transport when it is stateful; accounting is
   /// derived telemetry, not campaign state, so it is not persisted.
   void SaveState(std::vector<std::uint8_t>& out) const override;

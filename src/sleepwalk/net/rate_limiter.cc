@@ -39,6 +39,40 @@ double TokenBucket::DelayUntilAvailable(double now_sec,
   return (tokens - tokens_) / rate_;
 }
 
+ShardedRateLimiter::ShardedRateLimiter(double rate_per_sec, double burst,
+                                       std::size_t n_shards)
+    : rate_(std::max(rate_per_sec, 0.0)),
+      burst_(std::max(burst, 0.0)),
+      global_(rate_, burst_) {
+  const std::size_t n = std::max<std::size_t>(n_shards, 1);
+  // Each shard gets 1/N of the budget, floored at one token of burst so
+  // a finely sharded limiter can still emit single probes; the global
+  // bucket remains the binding aggregate cap.
+  const double shard_burst = std::max(burst_ / static_cast<double>(n),
+                                      std::min(burst_, 1.0));
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        TokenBucket{rate_ / static_cast<double>(n), shard_burst}));
+  }
+}
+
+bool ShardedRateLimiter::TryAcquire(std::size_t shard, double now_sec,
+                                    double tokens) {
+  if (shard >= shards_.size()) return false;
+  // Peek the shard bucket first (refill only, no deduction): a
+  // shard-local denial must not burn global budget, and a global denial
+  // must not burn shard budget. Only this shard's worker touches the
+  // shard bucket, so the peek-then-deduct pair cannot race.
+  TokenBucket& local = shards_[shard]->bucket;
+  if (local.Available(now_sec) + 1e-12 < tokens) return false;
+  {
+    util::MutexLock lock{mutex_};
+    if (!global_.TryAcquire(now_sec, tokens)) return false;
+  }
+  return local.TryAcquire(now_sec, tokens);
+}
+
 TokenBucket MakeTrinocularBudget() noexcept {
   return TokenBucket{kTrinocularProbesPerHour / 3600.0, 15.0};
 }

@@ -9,6 +9,10 @@
 #define SLEEPWALK_NET_RATE_LIMITER_H_
 
 #include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sleepwalk/util/sync.h"
 
 namespace sleepwalk::net {
 
@@ -43,6 +47,41 @@ class TokenBucket {
   double tokens_;
   double last_refill_sec_ = 0.0;
   bool started_ = false;
+};
+
+/// Probe budget split across the parallel executor's worker shards.
+/// Each shard owns a private bucket with 1/N of the rate and burst (a
+/// shard bucket is only touched by its worker, so the hot path is
+/// uncontended and needs no lock), and every grant additionally debits a
+/// mutex-guarded campaign-global bucket carrying the full budget. The
+/// global bucket is the safety invariant — the paper's "do no harm"
+/// probe bound holds in aggregate no matter how unevenly work lands on
+/// the shards; the shard buckets merely keep one hot worker from
+/// consuming the whole budget before its siblings probe at all.
+class ShardedRateLimiter {
+ public:
+  ShardedRateLimiter(double rate_per_sec, double burst, std::size_t n_shards);
+
+  /// Attempts to take `tokens` for `shard` at `now_sec`; both the shard
+  /// bucket and the global bucket must grant. A shard-local denial never
+  /// touches the global bucket.
+  bool TryAcquire(std::size_t shard, double now_sec, double tokens = 1.0);
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  double rate() const noexcept { return rate_; }
+  double burst() const noexcept { return burst_; }
+
+ private:
+  struct Shard {
+    explicit Shard(TokenBucket bucket) : bucket(bucket) {}
+    TokenBucket bucket;  ///< worker-private; no lock by contract
+  };
+
+  double rate_;
+  double burst_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  util::Mutex mutex_;
+  TokenBucket global_ SLEEPWALK_GUARDED_BY(mutex_);
 };
 
 /// The paper's probing budget: at most ~19 probes per hour per /24.

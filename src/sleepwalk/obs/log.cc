@@ -178,6 +178,30 @@ void Logger::AddJsonlSink(std::ostream* out) {
   has_sink_.store(true, std::memory_order_relaxed);
 }
 
+bool Logger::has_text_sink() const {
+  util::MutexLock lock{mutex_};
+  return !text_sinks_.empty();
+}
+
+bool Logger::has_jsonl_sink() const {
+  util::MutexLock lock{mutex_};
+  return !jsonl_sinks_.empty();
+}
+
+void Logger::AppendRaw(std::string_view text, std::string_view jsonl) {
+  util::MutexLock lock{mutex_};
+  if (!text.empty()) {
+    for (auto* sink : text_sinks_) {
+      sink->write(text.data(), static_cast<std::streamsize>(text.size()));
+    }
+  }
+  if (!jsonl.empty()) {
+    for (auto* sink : jsonl_sinks_) {
+      sink->write(jsonl.data(), static_cast<std::streamsize>(jsonl.size()));
+    }
+  }
+}
+
 void Logger::Write(Level level, std::string_view event,
                    std::initializer_list<Field> fields) {
   if (!Enabled(level)) return;

@@ -119,6 +119,18 @@ class Logger {
   void Write(Level level, std::string_view event,
              std::initializer_list<Field> fields) SLEEPWALK_EXCLUDES(mutex_);
 
+  /// Sink-kind introspection, used by the parallel executor to build a
+  /// per-block buffer logger mirroring exactly this logger's shape.
+  bool has_text_sink() const SLEEPWALK_EXCLUDES(mutex_);
+  bool has_jsonl_sink() const SLEEPWALK_EXCLUDES(mutex_);
+
+  /// Appends pre-rendered record bytes — `text` to every text sink,
+  /// `jsonl` to every JSONL sink — under the same lock Write uses, so
+  /// buffered shard telemetry merges without tearing concurrent records.
+  /// The bytes must already be whole lines in this logger's formats.
+  void AppendRaw(std::string_view text, std::string_view jsonl)
+      SLEEPWALK_EXCLUDES(mutex_);
+
   /// Campaign clock, in seconds since the dataset epoch. The supervisor
   /// and block analyzer advance this as rounds execute; records stamp
   /// the value current at Write time. -1 = not yet known.

@@ -60,6 +60,27 @@ double Histogram::sum() const noexcept {
   return sum_;
 }
 
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  util::MutexLock lock{mutex_};
+  return per_bucket_;
+}
+
+bool Histogram::MergeFrom(const Histogram& other) {
+  if (other.bounds_ != bounds_) return false;
+  // Snapshot the source first so the two locks are never held together
+  // (no lock-order obligation between arbitrary histogram pairs).
+  const auto buckets = other.bucket_counts();
+  const auto count = other.count();
+  const auto sum = other.sum();
+  util::MutexLock lock{mutex_};
+  for (std::size_t i = 0; i < per_bucket_.size() && i < buckets.size(); ++i) {
+    per_bucket_[i] += buckets[i];
+  }
+  count_ += count;
+  sum_ += sum;
+  return true;
+}
+
 std::uint64_t Histogram::CumulativeCount(std::size_t i) const noexcept {
   util::MutexLock lock{mutex_};
   std::uint64_t total = 0;
@@ -146,6 +167,63 @@ const Histogram* Registry::histogram(std::string_view name) const {
                  it->second.kind == Instrument::Kind::kHistogram
              ? it->second.histogram.get()
              : nullptr;
+}
+
+void Registry::MergeFrom(const Registry& other) {
+  // Snapshot `other` under its own lock, then apply with only this
+  // registry's lock held — same no-two-locks discipline as
+  // Histogram::MergeFrom. Instrument pointers stay valid without the
+  // lock: map nodes never move and `other` outlives the call.
+  struct Item {
+    std::string name;
+    Instrument::Kind kind;
+    std::string help;
+    double value = 0.0;               // counter / gauge
+    const Histogram* histogram = nullptr;
+  };
+  std::vector<Item> items;
+  {
+    util::MutexLock lock{other.mutex_};
+    items.reserve(other.instruments_.size());
+    for (const auto& [name, instrument] : other.instruments_) {
+      Item item;
+      item.name = name;
+      item.kind = instrument.kind;
+      item.help = instrument.help;
+      switch (instrument.kind) {
+        case Instrument::Kind::kCounter:
+          item.value = instrument.counter->value();
+          break;
+        case Instrument::Kind::kGauge:
+          item.value = instrument.gauge->value();
+          break;
+        case Instrument::Kind::kHistogram:
+          item.histogram = instrument.histogram.get();
+          break;
+      }
+      items.push_back(std::move(item));
+    }
+  }
+  for (const auto& item : items) {
+    switch (item.kind) {
+      case Instrument::Kind::kCounter:
+        if (auto* counter = FindOrCreateCounter(item.name, item.help)) {
+          if (item.value != 0.0) counter->Inc(item.value);
+        }
+        break;
+      case Instrument::Kind::kGauge:
+        if (auto* gauge = FindOrCreateGauge(item.name, item.help)) {
+          gauge->Set(item.value);
+        }
+        break;
+      case Instrument::Kind::kHistogram:
+        if (auto* histogram = FindOrCreateHistogram(
+                item.name, item.histogram->bounds(), item.help)) {
+          histogram->MergeFrom(*item.histogram);
+        }
+        break;
+    }
+  }
 }
 
 void Registry::WritePrometheus(std::ostream& out) const {

@@ -94,6 +94,16 @@ class Histogram {
   std::uint64_t CumulativeCount(std::size_t i) const noexcept
       SLEEPWALK_EXCLUDES(mutex_);
 
+  /// Non-cumulative per-bucket snapshot (+Inf bucket last).
+  std::vector<std::uint64_t> bucket_counts() const SLEEPWALK_EXCLUDES(mutex_);
+
+  /// Adds `other`'s buckets, count, and sum into this histogram. The two
+  /// must share bounds (the shard histograms the parallel executor merges
+  /// are created from the same instrument definitions); a bounds mismatch
+  /// is a caller bug and the merge is skipped, mirroring the registry's
+  /// kind-collision policy. Returns whether the merge applied.
+  bool MergeFrom(const Histogram& other) SLEEPWALK_EXCLUDES(mutex_);
+
  private:
   const std::vector<double> bounds_;  ///< immutable after construction
   mutable util::Mutex mutex_;
@@ -137,6 +147,16 @@ class Registry {
   /// CSV exposition: header "name,kind,field,value", one row per scalar
   /// (histograms expand to bucket/sum/count rows).
   void WriteCsv(std::ostream& out) const SLEEPWALK_EXCLUDES(mutex_);
+
+  /// Folds `other`'s instruments into this registry, creating missing
+  /// instruments with `other`'s help text: counters add, gauges take
+  /// `other`'s value (last merge wins), histograms add bucket-wise. This
+  /// is the deterministic-merge half of the parallel executor's
+  /// shard-local metrics buffers: shard registries are merged in block
+  /// order, so double-valued sums accumulate in one fixed order
+  /// regardless of worker count. Kind or bounds collisions skip the
+  /// instrument (caller bug, same policy as FindOrCreate*).
+  void MergeFrom(const Registry& other) SLEEPWALK_EXCLUDES(mutex_);
 
  private:
   struct Instrument {

@@ -80,6 +80,24 @@ void Tracer::End(std::size_t index) {
   }
 }
 
+void Tracer::Graft(const std::vector<SpanRecord>& records) {
+  util::MutexLock lock{mutex_};
+  const int depth_offset = static_cast<int>(open_stack_.size());
+  const std::uint64_t seq_offset = seq_;
+  std::uint64_t ticks = 0;
+  for (const auto& record : records) {
+    if (record.open) continue;
+    SpanRecord grafted = record;
+    grafted.depth += depth_offset;
+    grafted.seq_start += seq_offset;
+    grafted.seq_end += seq_offset;
+    ticks = std::max(ticks, record.seq_end + 1);
+    spans_.push_back(std::move(grafted));
+    start_ns_.push_back(0);
+  }
+  seq_ += ticks;
+}
+
 std::vector<SpanRecord> Tracer::spans() const {
   util::MutexLock lock{mutex_};
   return spans_;

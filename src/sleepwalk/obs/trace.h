@@ -86,6 +86,17 @@ class Tracer {
     return virtual_sec_.load(std::memory_order_relaxed);
   }
 
+  /// Splices spans recorded by another (shard-local) tracer into this
+  /// one as children of whatever is open here: depths shift by the
+  /// current open-span depth, sequence ticks shift past this tracer's
+  /// clock, and the clock advances over the grafted ticks. The parallel
+  /// executor grafts each block's buffered spans in block-commit order,
+  /// which keeps the flame-ordered output identical for any worker
+  /// count. `records` must all be closed (a finished block leaves no
+  /// span open); open records are skipped.
+  void Graft(const std::vector<SpanRecord>& records)
+      SLEEPWALK_EXCLUDES(mutex_);
+
   /// Snapshot of all spans recorded so far (copy, taken under the lock).
   std::vector<SpanRecord> spans() const SLEEPWALK_EXCLUDES(mutex_);
   std::size_t span_count() const SLEEPWALK_EXCLUDES(mutex_);

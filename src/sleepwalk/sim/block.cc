@@ -116,46 +116,34 @@ net::ProbeStatus SimTransport::Probe(net::Ipv4Addr target,
   ++probes_sent_;
   const auto it = blocks_.find(net::Prefix24{target}.Index());
   if (it == blocks_.end()) return net::ProbeStatus::kUnreachable;
+  if (when_sec != current_when_) {
+    current_when_ = when_sec;
+    attempt_counts_.clear();
+  }
+  const std::uint32_t attempt = attempt_counts_[target.value()]++;
+  // Keyed stream, not a sequenced one: the draw for (target, when,
+  // attempt) is identical whatever was probed before it.
+  Rng stream = Rng::ForStream(
+      site_seed_, (static_cast<std::uint64_t>(target.value()) << 16) | attempt,
+      static_cast<std::uint64_t>(when_sec));
   const auto octet = target.Octets()[3];
-  return AddressResponds(*it->second, octet, when_sec, rng_)
+  return AddressResponds(*it->second, octet, when_sec, stream)
              ? net::ProbeStatus::kEchoReply
              : net::ProbeStatus::kTimeout;
 }
 
 void SimTransport::SaveState(std::vector<std::uint8_t>& out) const {
-  const auto rng = rng_.SaveState();
-  const auto append = [&out](const void* data, std::size_t bytes) {
-    const auto* p = static_cast<const std::uint8_t*>(data);
-    out.insert(out.end(), p, p + bytes);
-  };
-  for (const auto word : rng.words) append(&word, sizeof(word));
-  const std::uint8_t have_spare = rng.have_spare ? 1 : 0;
-  append(&have_spare, sizeof(have_spare));
-  append(&rng.spare, sizeof(rng.spare));
-  append(&probes_sent_, sizeof(probes_sent_));
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&probes_sent_);
+  out.insert(out.end(), p, p + sizeof(probes_sent_));
 }
 
 bool SimTransport::RestoreState(std::span<const std::uint8_t> in) {
-  Rng::State rng;
-  std::size_t offset = 0;
-  const auto take = [&in, &offset](void* data, std::size_t bytes) {
-    if (offset + bytes > in.size()) return false;
-    std::copy_n(in.data() + offset, bytes, static_cast<std::uint8_t*>(data));
-    offset += bytes;
-    return true;
-  };
-  for (auto& word : rng.words) {
-    if (!take(&word, sizeof(word))) return false;
-  }
-  std::uint8_t have_spare = 0;
-  if (!take(&have_spare, sizeof(have_spare)) ||
-      !take(&rng.spare, sizeof(rng.spare)) ||
-      !take(&probes_sent_, sizeof(probes_sent_))) {
-    return false;
-  }
-  rng.have_spare = have_spare != 0;
-  rng_.RestoreState(rng);
-  return offset == in.size();
+  if (in.size() != sizeof(probes_sent_)) return false;
+  std::copy_n(in.data(), sizeof(probes_sent_),
+              reinterpret_cast<std::uint8_t*>(&probes_sent_));
+  current_when_ = -1;
+  attempt_counts_.clear();
+  return true;
 }
 
 }  // namespace sleepwalk::sim

@@ -80,12 +80,20 @@ double DiurnalStartOf(const BlockSpec& spec, std::uint8_t octet) noexcept;
 
 /// net::Transport over a set of BlockSpecs. Each site gets its own
 /// SimTransport (own RNG seed): response-loss draws are independent
-/// across sites while the underlying world state is shared. Stateful: the
-/// response-loss RNG stream advances per probe, so checkpoints persist it
-/// to keep resumed campaigns bit-identical.
+/// across sites while the underlying world state is shared.
+///
+/// Response-loss randomness is *stateless*: each probe draws from the
+/// keyed stream (site_seed, target, when, attempt) via Rng::ForStream,
+/// where `attempt` counts repeated probes of the same address at the
+/// same instant (retried rounds re-draw, as a real network would). No
+/// draw depends on probe order, so two transports with the same site
+/// seed agree probe-for-probe even when different workers probe
+/// different subsets of blocks — the property the parallel executor's
+/// N-thread == 1-thread byte-identity rests on. The only mutable state
+/// is the probes_sent accounting; checkpoints persist just that.
 class SimTransport final : public net::StatefulTransport {
  public:
-  explicit SimTransport(std::uint64_t site_seed) : rng_(site_seed) {}
+  explicit SimTransport(std::uint64_t site_seed) : site_seed_(site_seed) {}
 
   /// Registers a block. The spec must outlive the transport.
   void AddBlock(const BlockSpec* spec);
@@ -99,8 +107,16 @@ class SimTransport final : public net::StatefulTransport {
 
  private:
   std::unordered_map<std::uint32_t, const BlockSpec*> blocks_;
-  Rng rng_;
+  std::uint64_t site_seed_;
   std::uint64_t probes_sent_ = 0;
+
+  // Per-instant attempt transients (same idiom as FaultyTransport):
+  // reset whenever the probed instant changes, so they are derived
+  // cache, not state a checkpoint must carry — a campaign resumed at a
+  // round boundary starts the instant with fresh counters exactly as an
+  // uninterrupted run did.
+  std::int64_t current_when_ = -1;
+  std::unordered_map<std::uint32_t, std::uint32_t> attempt_counts_;
 };
 
 }  // namespace sleepwalk::sim

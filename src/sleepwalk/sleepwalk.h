@@ -16,6 +16,7 @@
 #include "sleepwalk/core/dataset.h"
 #include "sleepwalk/core/diurnal.h"
 #include "sleepwalk/core/checkpoint.h"
+#include "sleepwalk/core/parallel_executor.h"
 #include "sleepwalk/core/pipeline.h"
 #include "sleepwalk/core/quick_screen.h"
 #include "sleepwalk/core/supervisor.h"

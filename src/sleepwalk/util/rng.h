@@ -36,6 +36,16 @@ constexpr std::uint64_t MixHash(std::uint64_t a, std::uint64_t b = 0,
   return h;
 }
 
+/// Derives the 64-bit seed of an independent child stream from a parent
+/// seed and up to two stream keys. This is the stream-splitting primitive
+/// behind the parallel executor: per-block and per-probe generators are
+/// keyed (never sequenced), so the draw a worker makes for block b cannot
+/// depend on which other blocks its shard happened to process first.
+constexpr std::uint64_t StreamSeed(std::uint64_t seed, std::uint64_t stream,
+                                   std::uint64_t substream = 0) noexcept {
+  return MixHash(seed ^ 0x51e255eedc0de4ULL, stream, substream);
+}
+
 /// xoshiro256++ generator. Satisfies std::uniform_random_bit_generator.
 class Rng {
  public:
@@ -45,6 +55,21 @@ class Rng {
   constexpr explicit Rng(std::uint64_t seed = 0x5eedf00dULL) noexcept {
     std::uint64_t s = seed;
     for (auto& word : state_) word = SplitMix64(s);
+  }
+
+  /// A generator for the keyed child stream (seed, stream, substream) —
+  /// see StreamSeed. Stateless in the parent: any caller holding the same
+  /// keys gets the same stream, in any order, from any thread.
+  static constexpr Rng ForStream(std::uint64_t seed, std::uint64_t stream,
+                                 std::uint64_t substream = 0) noexcept {
+    return Rng{StreamSeed(seed, stream, substream)};
+  }
+
+  /// Splits a keyed child generator off this one *without* advancing or
+  /// reading mutable state: the child is a pure function of the parent's
+  /// current state and `key`, so equal parents split equal children.
+  constexpr Rng Split(std::uint64_t key) const noexcept {
+    return Rng{MixHash(state_[0] ^ key, state_[1], state_[3])};
   }
 
   static constexpr result_type min() noexcept { return 0; }

