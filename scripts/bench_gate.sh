@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Performance-regression gate for CI.
 #
-# Runs the two JSON-emitting benches (parallel_scaling, micro_perf's obs
-# ablation) against a Release build and compares the fresh numbers with
-# the baselines committed at the repo root (BENCH_parallel.json,
-# BENCH_obs.json).
+# Runs the three JSON-emitting benches (parallel_scaling, micro_perf's
+# obs ablation, fft_perf's plan ablation) against a Release build and
+# compares the fresh numbers with the baselines committed at the repo
+# root (BENCH_parallel.json, BENCH_obs.json, BENCH_fft.json).
 #
 # Absolute throughput is not portable across runners, so the gate is
 # deliberately hardware-calibrated:
@@ -21,7 +21,11 @@
 #     on smaller machines this is reported but not enforced);
 #   * the obs ablation's `null_context_within_budget` must stay true, and
 #     its null-context overhead may not exceed the committed overhead by
-#     more than TOLERANCE_PCT points.
+#     more than TOLERANCE_PCT points;
+#   * the fft plan ablation's campaign-size (n=1834, even non-power-of-
+#     two) plan-vs-planless speedup must stay >= its committed
+#     `speedup_target` (2x — a pure ratio, portable across runners) and
+#     may not regress more than TOLERANCE_PCT below the committed ratio.
 #
 # Usage: scripts/bench_gate.sh [build-dir]      (default: build-release)
 # Output: fresh JSON written into the build dir (CI uploads as artifact).
@@ -33,10 +37,11 @@ TOLERANCE_PCT=15
 MIN_SPEEDUP_8V1=3.0
 
 if [[ ! -x "${BUILD_DIR}/bench/parallel_scaling" ||
-      ! -x "${BUILD_DIR}/bench/micro_perf" ]]; then
+      ! -x "${BUILD_DIR}/bench/micro_perf" ||
+      ! -x "${BUILD_DIR}/bench/fft_perf" ]]; then
   echo "bench_gate: ${BUILD_DIR} lacks bench binaries; build first:" >&2
   echo "  cmake -B ${BUILD_DIR} -S . -DCMAKE_BUILD_TYPE=Release" >&2
-  echo "  cmake --build ${BUILD_DIR} -j --target parallel_scaling micro_perf" >&2
+  echo "  cmake --build ${BUILD_DIR} -j --target parallel_scaling micro_perf fft_perf" >&2
   exit 2
 fi
 
@@ -48,6 +53,11 @@ echo "== bench_gate: micro_perf (obs ablation only) =="
 SLEEPWALK_BENCH_OBS_OUT="${BUILD_DIR}/BENCH_obs.json" \
   "${BUILD_DIR}/bench/micro_perf" \
   --benchmark_filter='BM_SpectrumAndClassify$'
+
+echo "== bench_gate: fft_perf (plan ablation only) =="
+SLEEPWALK_BENCH_FFT_OUT="${BUILD_DIR}/BENCH_fft.json" \
+  "${BUILD_DIR}/bench/fft_perf" \
+  --benchmark_filter='BM_ForwardRealPlanned/1834$'
 
 echo "== bench_gate: comparing against committed baselines =="
 python3 - "${BUILD_DIR}" "${TOLERANCE_PCT}" "${MIN_SPEEDUP_8V1}" <<'EOF'
@@ -67,6 +77,8 @@ base_par = load("BENCH_parallel.json")
 fresh_par = load(f"{build_dir}/BENCH_parallel.json")
 base_obs = load("BENCH_obs.json")
 fresh_obs = load(f"{build_dir}/BENCH_obs.json")
+base_fft = load("BENCH_fft.json")
+fresh_fft = load(f"{build_dir}/BENCH_fft.json")
 
 # 1. Correctness flag: parallelism must stay byte-identical.
 if not fresh_par.get("equivalent"):
@@ -109,6 +121,24 @@ if fresh_overhead > ceiling:
     failures.append(
         f"micro_perf: null-context overhead {fresh_overhead:.2f}% drifted past "
         f"{ceiling:.2f}% (baseline {base_overhead:.2f}%)")
+
+# 5. Spectral plan cache keeps paying: the campaign-size speedup is a
+# pure same-machine ratio, so both an absolute floor (the committed
+# speedup_target) and a drift bound vs the committed ratio apply.
+target = float(base_fft.get("speedup_target", 2.0))
+base_speedup = float(base_fft.get("campaign_even_speedup", 0.0))
+fresh_speedup = float(fresh_fft.get("campaign_even_speedup", 0.0))
+drift_floor = base_speedup * (1.0 - tolerance_pct / 100.0)
+print(f"fft campaign_even_speedup: fresh {fresh_speedup:.3f} vs baseline "
+      f"{base_speedup:.3f} (target >= {target:.1f}, drift floor {drift_floor:.3f})")
+if not fresh_fft.get("campaign_speedup_within_target"):
+    failures.append(
+        f"fft_perf: campaign_even_speedup {fresh_speedup:.3f} below the "
+        f"{target:.1f}x target")
+if fresh_speedup < drift_floor:
+    failures.append(
+        f"fft_perf: campaign_even_speedup regressed {fresh_speedup:.3f} < "
+        f"{drift_floor:.3f} (baseline {base_speedup:.3f} - {tolerance_pct}%)")
 
 if failures:
     print("\nbench_gate: FAIL")

@@ -95,66 +95,85 @@ void BlockAnalyzer::RestoreState(BlockAnalyzerState state) {
 }
 
 BlockAnalysis BlockAnalyzer::Finish() const {
-  const auto finish_span = obs_.Span("analyze.finish");
+  AnalysisScratch scratch;
   BlockAnalysis analysis;
-  analysis.block = block_;
-  analysis.ever_active = ever_active_;
-  analysis.probed = prober_.has_value() && rounds_run_ > 0;
-  if (!analysis.probed) return analysis;
+  Finish(scratch, analysis);
+  return analysis;
+}
 
-  analysis.final_operational = estimator_.Operational();
-  analysis.mean_probes_per_round =
+void BlockAnalyzer::Finish(AnalysisScratch& scratch,
+                           BlockAnalysis& out) const {
+  const auto finish_span = obs_.Span("analyze.finish");
+  // Reset every field in place: `out` is reused across blocks, and
+  // clear() / copy-assign keep the vectors' capacity where a fresh
+  // BlockAnalysis{} would free it.
+  out.block = block_;
+  out.ever_active = ever_active_;
+  out.probed = prober_.has_value() && rounds_run_ > 0;
+  out.short_series.first_round = 0;
+  out.short_series.values.clear();
+  out.observed_days = 0;
+  out.diurnal = DiurnalResult{};
+  out.stationarity = ts::StationarityResult{};
+  out.mean_short = 0.0;
+  out.final_operational = 0.0;
+  out.mean_probes_per_round = 0.0;
+  out.down_rounds = 0;
+  out.outage_starts.clear();
+  out.outages.clear();
+  if (!out.probed) return;
+
+  out.final_operational = estimator_.Operational();
+  out.mean_probes_per_round =
       static_cast<double>(total_probes_) / static_cast<double>(rounds_run_);
-  analysis.down_rounds = down_rounds_;
-  analysis.outage_starts = outage_starts_;
-  analysis.outages = outages_;
+  out.down_rounds = down_rounds_;
+  out.outage_starts = outage_starts_;
+  out.outages = outages_;
 
-  std::optional<ts::EvenSeries> even;
+  bool ok = false;
   {
     const auto span = obs_.Span("analyze.resample");
-    even = ts::Regularize(raw_);
+    ok = ts::Regularize(raw_, scratch.regularize, scratch.even);
   }
-  if (!even) return analysis;
-  std::optional<ts::EvenSeries> trimmed;
+  if (!ok) return;
   {
     const auto span = obs_.Span("analyze.trim");
-    trimmed = ts::TrimToMidnightUtc(
-        *even, config_.schedule.epoch_sec, config_.schedule.round_seconds);
+    ok = ts::TrimToMidnightUtc(scratch.even, config_.schedule.epoch_sec,
+                               config_.schedule.round_seconds,
+                               out.short_series);
   }
-  if (!trimmed) return analysis;
+  if (!ok) return;
 
-  analysis.short_series = *trimmed;
-  analysis.observed_days = ts::WholeDays(trimmed->size(),
-                                         config_.schedule.round_seconds);
-  analysis.mean_short =
-      std::accumulate(trimmed->values.begin(), trimmed->values.end(), 0.0) /
-      static_cast<double>(trimmed->values.size());
+  out.observed_days = ts::WholeDays(out.short_series.size(),
+                                    config_.schedule.round_seconds);
+  out.mean_short = std::accumulate(out.short_series.values.begin(),
+                                   out.short_series.values.end(), 0.0) /
+                   static_cast<double>(out.short_series.values.size());
 
   {
     const auto span = obs_.Span("analyze.stationarity");
-    analysis.stationarity = ts::TestStationarity(
-        trimmed->values, ever_active_, config_.max_trend_addresses_per_day,
-        config_.schedule.round_seconds);
+    out.stationarity = ts::TestStationarity(
+        out.short_series.values, ever_active_,
+        config_.max_trend_addresses_per_day, config_.schedule.round_seconds,
+        scratch.index);
   }
   {
     const auto span = obs_.Span("analyze.classify");
-    analysis.diurnal = ClassifyDiurnal(trimmed->values,
-                                       analysis.observed_days,
-                                       config_.diurnal, &obs_);
+    out.diurnal = ClassifyDiurnal(out.short_series.values, out.observed_days,
+                                  config_.diurnal, &obs_, scratch);
   }
   if (obs_.Logs(obs::Level::kDebug)) {
     obs_.log->Write(
         obs::Level::kDebug, "block.analyzed",
         {{"block", block_.ToString()},
-         {"days", analysis.observed_days},
-         {"mean_short", analysis.mean_short},
+         {"days", out.observed_days},
+         {"mean_short", out.mean_short},
          {"classification",
-          analysis.diurnal.IsStrict()    ? "strict"
-          : analysis.diurnal.IsDiurnal() ? "relaxed"
-                                         : "non_diurnal"},
-         {"cycles_per_day", analysis.diurnal.strongest_cycles_per_day}});
+          out.diurnal.IsStrict()    ? "strict"
+          : out.diurnal.IsDiurnal() ? "relaxed"
+                                    : "non_diurnal"},
+         {"cycles_per_day", out.diurnal.strongest_cycles_per_day}});
   }
-  return analysis;
 }
 
 }  // namespace sleepwalk::core

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "sleepwalk/core/analysis_scratch.h"
 #include "sleepwalk/core/availability.h"
 #include "sleepwalk/core/diurnal.h"
 #include "sleepwalk/net/ipv4.h"
@@ -149,6 +150,12 @@ class BlockAnalyzer {
 
   /// Finalizes: cleans, trims, tests stationarity, classifies.
   BlockAnalysis Finish() const;
+
+  /// Hot-loop variant: every intermediate lives in `scratch` and the
+  /// result is written into `out` (whose vector capacities are reused),
+  /// so a warm call performs zero heap allocations. Output is identical
+  /// to the allocating Finish().
+  void Finish(AnalysisScratch& scratch, BlockAnalysis& out) const;
 
  private:
   net::Prefix24 block_;

@@ -101,26 +101,43 @@ std::optional<Dataset> ReadDataset(const std::string& path) {
 
 BlockAnalysis Reanalyze(const StoredSeries& stored,
                         const AnalyzerConfig& config) {
+  AnalysisScratch scratch;
   BlockAnalysis analysis;
-  analysis.block = stored.block;
-  analysis.ever_active = stored.ever_active;
-  analysis.probed = stored.probed;
-  analysis.short_series = stored.series;
-  if (!stored.probed || stored.series.values.empty()) return analysis;
+  Reanalyze(stored, config, scratch, analysis);
+  return analysis;
+}
 
-  analysis.observed_days = ts::WholeDays(stored.series.size(),
-                                         config.schedule.round_seconds);
-  analysis.mean_short =
+void Reanalyze(const StoredSeries& stored, const AnalyzerConfig& config,
+               AnalysisScratch& scratch, BlockAnalysis& out) {
+  // Reset in place; clear()/copy-assign keep capacities warm across the
+  // reanalysis loop (see BlockAnalyzer::Finish).
+  out.block = stored.block;
+  out.ever_active = stored.ever_active;
+  out.probed = stored.probed;
+  out.short_series = stored.series;
+  out.observed_days = 0;
+  out.diurnal = DiurnalResult{};
+  out.stationarity = ts::StationarityResult{};
+  out.mean_short = 0.0;
+  out.final_operational = 0.0;
+  out.mean_probes_per_round = 0.0;
+  out.down_rounds = 0;
+  out.outage_starts.clear();
+  out.outages.clear();
+  if (!stored.probed || stored.series.values.empty()) return;
+
+  out.observed_days = ts::WholeDays(stored.series.size(),
+                                    config.schedule.round_seconds);
+  out.mean_short =
       std::accumulate(stored.series.values.begin(),
                       stored.series.values.end(), 0.0) /
       static_cast<double>(stored.series.values.size());
-  analysis.stationarity = ts::TestStationarity(
+  out.stationarity = ts::TestStationarity(
       stored.series.values, stored.ever_active,
-      config.max_trend_addresses_per_day, config.schedule.round_seconds);
-  analysis.diurnal = ClassifyDiurnal(stored.series.values,
-                                     analysis.observed_days,
-                                     config.diurnal);
-  return analysis;
+      config.max_trend_addresses_per_day, config.schedule.round_seconds,
+      scratch.index);
+  out.diurnal = ClassifyDiurnal(stored.series.values, out.observed_days,
+                                config.diurnal, nullptr, scratch);
 }
 
 }  // namespace sleepwalk::core

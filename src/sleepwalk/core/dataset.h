@@ -56,6 +56,13 @@ std::optional<Dataset> ReadDataset(const std::string& path);
 BlockAnalysis Reanalyze(const StoredSeries& stored,
                         const AnalyzerConfig& config = {});
 
+/// Hot-loop variant for bulk reanalysis: all intermediates live in
+/// `scratch` and the result is written into `out` (capacity reused), so
+/// warm calls perform zero heap allocations. Output is identical to the
+/// allocating Reanalyze().
+void Reanalyze(const StoredSeries& stored, const AnalyzerConfig& config,
+               AnalysisScratch& scratch, BlockAnalysis& out);
+
 }  // namespace sleepwalk::core
 
 #endif  // SLEEPWALK_CORE_DATASET_H_

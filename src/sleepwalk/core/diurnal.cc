@@ -100,4 +100,20 @@ DiurnalResult ClassifyDiurnal(std::span<const double> series, int n_days,
   return ClassifySpectrum(spectrum, n_days, config);
 }
 
+DiurnalResult ClassifyDiurnal(std::span<const double> series, int n_days,
+                              const DiurnalConfig& config,
+                              const obs::Context* obs,
+                              AnalysisScratch& scratch) {
+  DiurnalResult result;
+  result.n_days = n_days;
+  if (n_days < 2 || series.size() < 4) return result;
+  {
+    const auto span = obs != nullptr ? obs->Span("analyze.fft")
+                                     : obs::ScopedSpan{};
+    const fft::SpectrumOptions options;  // remove_mean, like the wrapper
+    fft::ComputeSpectrum(series, options, scratch.fft, scratch.spectrum);
+  }
+  return ClassifySpectrum(scratch.spectrum, n_days, config);
+}
+
 }  // namespace sleepwalk::core

@@ -20,6 +20,7 @@
 
 #include <span>
 
+#include "sleepwalk/core/analysis_scratch.h"
 #include "sleepwalk/fft/spectrum.h"
 #include "sleepwalk/obs/context.h"
 
@@ -72,6 +73,15 @@ struct DiurnalResult {
 DiurnalResult ClassifyDiurnal(std::span<const double> series, int n_days,
                               const DiurnalConfig& config = {},
                               const obs::Context* obs = nullptr);
+
+/// Hot-loop variant: the spectrum is computed through the plan cache
+/// into `scratch` (transform buffers + reused Spectrum), so a warm call
+/// performs no heap allocation. Classification output is identical to
+/// the allocating overload.
+DiurnalResult ClassifyDiurnal(std::span<const double> series, int n_days,
+                              const DiurnalConfig& config,
+                              const obs::Context* obs,
+                              AnalysisScratch& scratch);
 
 /// Same classification applied to an already-computed spectrum.
 DiurnalResult ClassifySpectrum(const fft::Spectrum& spectrum, int n_days,

@@ -160,7 +160,8 @@ class CompletionQueue {
 /// the parent's. The worker never touches the campaign's obs context.
 BlockResult RunBlock(std::size_t index, BlockTarget& target,
                      ShardChain& chain, const SupervisorConfig& config,
-                     std::int64_t n_rounds, const ObsShape& shape) {
+                     std::int64_t n_rounds, const ObsShape& shape,
+                     AnalysisScratch& scratch) {
   BlockResult out;
   out.index = index;
 
@@ -286,7 +287,10 @@ BlockResult RunBlock(std::size_t index, BlockTarget& target,
       ++rounds_processed;
       if (quarantined) break;
     }
-    out.commit.analysis = analyzer.Finish();
+    // Worker-owned scratch: transform tables come from the shared
+    // immutable PlanCache, every mutable buffer is this worker's, so the
+    // analysis bytes are independent of worker count.
+    analyzer.Finish(scratch, out.commit.analysis);
   }
 
   out.commit.block = target.block;
@@ -422,12 +426,13 @@ CampaignOutcome RunParallelCampaign(std::vector<BlockTarget> targets,
   for (std::size_t w = 0; w < n_workers; ++w) {
     pool.emplace_back([&, w] {
       auto& chain = *chains[w];
+      AnalysisScratch scratch;  // reused for every block this worker runs
       while (!stop.load(std::memory_order_relaxed)) {
         const auto index = queue.Pop(w);
         if (!index) break;
         completions.Push(
             RunBlock(*index, targets[*index], chain, config, n_rounds,
-                     shape));
+                     shape, scratch));
       }
     });
   }

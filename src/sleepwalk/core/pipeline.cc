@@ -36,23 +36,27 @@ std::vector<BlockAnalysis> ReanalyzeDataset(const Dataset& dataset,
   const std::size_t n_workers = std::min<std::size_t>(
       static_cast<std::size_t>(workers > 0 ? workers : HardwareWorkers()), n);
   if (n_workers <= 1) {
+    AnalysisScratch scratch;
     for (std::size_t i = 0; i < n; ++i) {
-      analyses[i] = Reanalyze(dataset.blocks[i], config);
+      Reanalyze(dataset.blocks[i], config, scratch, analyses[i]);
     }
     return analyses;
   }
   // Classification is a pure function of one stored series, so a shared
   // claim counter plus by-index writes into the pre-sized vector needs
-  // no further synchronization and keeps the output order fixed.
+  // no further synchronization and keeps the output order fixed. Each
+  // worker owns one AnalysisScratch for its whole run, so the loop
+  // allocates only while buffer capacities warm up.
   std::atomic<std::size_t> next{0};
   std::vector<std::thread> pool;
   pool.reserve(n_workers);
   for (std::size_t w = 0; w < n_workers; ++w) {
     pool.emplace_back([&] {
+      AnalysisScratch scratch;
       while (true) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
-        analyses[i] = Reanalyze(dataset.blocks[i], config);
+        Reanalyze(dataset.blocks[i], config, scratch, analyses[i]);
       }
     });
   }

@@ -1,7 +1,9 @@
 #include "sleepwalk/core/quick_screen.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <complex>
 #include <vector>
 
 #include "sleepwalk/fft/goertzel.h"
@@ -10,7 +12,8 @@ namespace sleepwalk::core {
 
 QuickScreenResult QuickDiurnalScreen(std::span<const double> series,
                                      int n_days,
-                                     const QuickScreenConfig& config) {
+                                     const QuickScreenConfig& config,
+                                     std::vector<double>& centered_scratch) {
   QuickScreenResult result;
   const std::size_t n = series.size();
   if (n_days < 2 || n < 8) return result;
@@ -19,19 +22,32 @@ QuickScreenResult QuickDiurnalScreen(std::span<const double> series,
   double mean = 0.0;
   for (const double v : series) mean += v;
   mean /= static_cast<double>(n);
-  std::vector<double> centered(series.begin(), series.end());
+  centered_scratch.assign(series.begin(), series.end());
   double energy = 0.0;
-  for (auto& v : centered) {
+  for (auto& v : centered_scratch) {
     v -= mean;
     energy += v * v;
   }
 
+  // Daily bin, its neighbour, and the first harmonic — one pass over the
+  // series for all of them (GoertzelMany), rather than three.
   const auto daily = static_cast<std::size_t>(n_days);
-  const double amp_daily = std::abs(fft::Goertzel(centered, daily));
-  const double amp_neighbor =
-      daily + 1 < n / 2 ? std::abs(fft::Goertzel(centered, daily + 1)) : 0.0;
-  const double amp_harmonic =
-      2 * daily < n / 2 ? std::abs(fft::Goertzel(centered, 2 * daily)) : 0.0;
+  std::array<std::size_t, 3> bins{};
+  std::array<std::complex<double>, 3> coeffs{};
+  std::size_t n_bins = 0;
+  bins[n_bins++] = daily;
+  const bool has_neighbor = daily + 1 < n / 2;
+  if (has_neighbor) bins[n_bins++] = daily + 1;
+  const bool has_harmonic = 2 * daily < n / 2;
+  if (has_harmonic) bins[n_bins++] = 2 * daily;
+  fft::GoertzelMany(centered_scratch,
+                    std::span<const std::size_t>(bins.data(), n_bins),
+                    std::span<std::complex<double>>(coeffs.data(), n_bins));
+
+  std::size_t next = 0;
+  const double amp_daily = std::abs(coeffs[next++]);
+  const double amp_neighbor = has_neighbor ? std::abs(coeffs[next++]) : 0.0;
+  const double amp_harmonic = has_harmonic ? std::abs(coeffs[next++]) : 0.0;
 
   result.daily_amplitude = std::max(amp_daily, amp_neighbor);
   result.harmonic_amplitude = amp_harmonic;
@@ -49,6 +65,13 @@ QuickScreenResult QuickDiurnalScreen(std::span<const double> series,
   }
   result.pass = result.score >= config.min_score;
   return result;
+}
+
+QuickScreenResult QuickDiurnalScreen(std::span<const double> series,
+                                     int n_days,
+                                     const QuickScreenConfig& config) {
+  std::vector<double> centered;
+  return QuickDiurnalScreen(series, n_days, config, centered);
 }
 
 }  // namespace sleepwalk::core

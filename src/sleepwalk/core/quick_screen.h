@@ -11,6 +11,7 @@
 #define SLEEPWALK_CORE_QUICK_SCREEN_H_
 
 #include <span>
+#include <vector>
 
 namespace sleepwalk::core {
 
@@ -38,6 +39,15 @@ struct QuickScreenConfig {
 QuickScreenResult QuickDiurnalScreen(std::span<const double> series,
                                      int n_days,
                                      const QuickScreenConfig& config = {});
+
+/// Hot-loop variant: `centered_scratch` holds the mean-removed copy of
+/// the series (capacity reused across calls) and all requested bins are
+/// evaluated in a single pass over it via GoertzelMany. Results are
+/// bitwise identical to the allocating overload.
+QuickScreenResult QuickDiurnalScreen(std::span<const double> series,
+                                     int n_days,
+                                     const QuickScreenConfig& config,
+                                     std::vector<double>& centered_scratch);
 
 }  // namespace sleepwalk::core
 

@@ -114,6 +114,10 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
     }
   };
 
+  // One scratch arena and one reusable analysis buffer for the whole
+  // campaign: Finish() stops allocating once capacities warm up.
+  AnalysisScratch analysis_scratch;
+  BlockAnalysis finished;
   for (std::size_t i = first_block; i < targets.size(); ++i) {
     auto& target = targets[i];
     const std::uint32_t block_index = target.block.Index();
@@ -243,7 +247,8 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
       }
     }
 
-    ledger.FinishBlock(analyzer.Finish(), quarantined);
+    analyzer.Finish(analysis_scratch, finished);
+    ledger.FinishBlock(finished, quarantined);
     save(i + 1, /*has_inflight=*/false, 0, 0, nullptr);
 
     CampaignProgress heartbeat;

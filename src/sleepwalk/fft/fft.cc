@@ -1,7 +1,11 @@
 #include "sleepwalk/fft/fft.h"
 
 #include <cmath>
+#include <limits>
 #include <numbers>
+#include <stdexcept>
+
+#include "sleepwalk/fft/plan.h"
 
 namespace sleepwalk::fft {
 
@@ -9,23 +13,20 @@ namespace {
 
 constexpr double kTwoPi = 2.0 * std::numbers::pi;
 
-std::size_t NextPowerOfTwo(std::size_t n) noexcept {
-  std::size_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
-}
-
 // Bluestein's chirp-z transform: expresses an arbitrary-n DFT as a
 // convolution, evaluated with power-of-two FFTs of size >= 2n-1.
 std::vector<Complex> ForwardBluestein(std::span<const Complex> input) {
   const std::size_t n = input.size();
-  const std::size_t m = NextPowerOfTwo(2 * n - 1);
+  if (n > std::numeric_limits<std::size_t>::max() / 2) {
+    throw std::length_error("fft: Bluestein extension 2n-1 overflows size_t");
+  }
+  const std::size_t m = detail::NextPowerOfTwoChecked(2 * n - 1);
 
   // Chirp factors w_k = exp(-i*pi*k^2/n). k^2 mod 2n keeps the angle
   // argument small enough to stay accurate for large k.
   std::vector<Complex> chirp(n);
   for (std::size_t k = 0; k < n; ++k) {
-    const auto k2 = static_cast<double>((k * k) % (2 * n));
+    const auto k2 = static_cast<double>(detail::ChirpIndex(k, n));
     const double angle = std::numbers::pi * k2 / static_cast<double>(n);
     chirp[k] = Complex{std::cos(angle), -std::sin(angle)};
   }
@@ -53,7 +54,49 @@ std::vector<Complex> ForwardBluestein(std::span<const Complex> input) {
   return output;
 }
 
+// Thread-local working memory behind the convenience entry points, so
+// callers that have not adopted explicit scratch still hit the
+// zero-steady-state-allocation path.
+FftScratch& LocalScratch() {
+  thread_local FftScratch scratch;
+  return scratch;
+}
+
 }  // namespace
+
+namespace detail {
+
+std::size_t NextPowerOfTwoChecked(std::size_t n) {
+  constexpr std::size_t kHighBit =
+      std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
+  if (n > kHighBit) {
+    throw std::length_error("fft: transform size exceeds addressable range");
+  }
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::size_t ChirpIndex(std::size_t k, std::size_t n) noexcept {
+  const std::size_t modulus = 2 * n;  // callers guarantee 2n fits
+#ifdef __SIZEOF_INT128__
+  __extension__ using Wide = unsigned __int128;
+  return static_cast<std::size_t>((Wide{k} * Wide{k}) % Wide{modulus});
+#else
+  // Portable fallback: square-by-doubling mod 2n, O(log k) additions.
+  std::size_t result = 0;
+  std::size_t addend = k % modulus;
+  std::size_t times = k;
+  while (times != 0) {
+    if (times & 1) result = (result + addend) % modulus;
+    addend = (addend + addend) % modulus;
+    times >>= 1;
+  }
+  return result;
+#endif
+}
+
+}  // namespace detail
 
 void FftRadix2InPlace(std::span<Complex> data, bool inverse) {
   const std::size_t n = data.size();
@@ -86,6 +129,27 @@ void FftRadix2InPlace(std::span<Complex> data, bool inverse) {
 
 std::vector<Complex> Forward(std::span<const Complex> input) {
   if (input.empty()) return {};
+  std::vector<Complex> output;
+  GetPlan(input.size())->Forward(input, LocalScratch(), output);
+  return output;
+}
+
+std::vector<Complex> ForwardReal(std::span<const double> input) {
+  if (input.empty()) return {};
+  std::vector<Complex> output;
+  GetPlan(input.size())->ForwardReal(input, LocalScratch(), output);
+  return output;
+}
+
+std::vector<Complex> Inverse(std::span<const Complex> input) {
+  if (input.empty()) return {};
+  std::vector<Complex> output;
+  GetPlan(input.size())->Inverse(input, LocalScratch(), output);
+  return output;
+}
+
+std::vector<Complex> ForwardPlanless(std::span<const Complex> input) {
+  if (input.empty()) return {};
   if (IsPowerOfTwo(input.size())) {
     std::vector<Complex> data(input.begin(), input.end());
     FftRadix2InPlace(data, /*inverse=*/false);
@@ -94,21 +158,21 @@ std::vector<Complex> Forward(std::span<const Complex> input) {
   return ForwardBluestein(input);
 }
 
-std::vector<Complex> ForwardReal(std::span<const double> input) {
+std::vector<Complex> ForwardRealPlanless(std::span<const double> input) {
   std::vector<Complex> data(input.size());
   for (std::size_t i = 0; i < input.size(); ++i) {
     data[i] = Complex{input[i], 0.0};
   }
-  return Forward(data);
+  return ForwardPlanless(data);
 }
 
-std::vector<Complex> Inverse(std::span<const Complex> input) {
+std::vector<Complex> InversePlanless(std::span<const Complex> input) {
   const std::size_t n = input.size();
   if (n == 0) return {};
   // Inverse via conjugation: IDFT(x) = conj(DFT(conj(x))) / n.
   std::vector<Complex> data(n);
   for (std::size_t i = 0; i < n; ++i) data[i] = std::conj(input[i]);
-  auto transformed = Forward(data);
+  auto transformed = ForwardPlanless(data);
   const double scale = 1.0 / static_cast<double>(n);
   for (auto& value : transformed) value = std::conj(value) * scale;
   return transformed;

@@ -1,0 +1,264 @@
+#include "sleepwalk/fft/plan.h"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+#include "sleepwalk/util/narrow.h"
+
+namespace sleepwalk::fft {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+void CheckSize(std::size_t got, std::size_t want) {
+  if (got != want) {
+    throw std::invalid_argument("fft::Plan: input size does not match plan");
+  }
+}
+
+}  // namespace
+
+Plan::Radix2Kernel Plan::MakeKernel(std::size_t n) {
+  Radix2Kernel kernel;
+  kernel.n = n;
+  if (n <= 1) return kernel;
+  if (n > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error("fft::Plan: kernel size exceeds bitrev range");
+  }
+
+  // Bit-reversal permutation, tabulated once with the same incremental
+  // carry walk the in-place kernel used per call.
+  kernel.bitrev.resize(n);
+  kernel.bitrev[0] = 0;
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    kernel.bitrev[i] = util::CheckedNarrow<std::uint32_t>(j);
+  }
+
+  // Per-stage twiddles, every factor from its own cos/sin evaluation —
+  // no `w *= wlen` recurrence, so stage len's last factor is as accurate
+  // as its first. Stage with butterfly span `len` owns len/2 entries at
+  // offset len/2 - 1 (= 1 + 2 + ... + len/4); total n - 1.
+  kernel.twiddles.resize(n - 1);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    Complex* stage = kernel.twiddles.data() + (len / 2 - 1);
+    const double step = -kTwoPi / static_cast<double>(len);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      const double angle = step * static_cast<double>(k);
+      stage[k] = Complex{std::cos(angle), std::sin(angle)};
+    }
+  }
+  return kernel;
+}
+
+void Plan::Radix2Kernel::Transform(std::span<Complex> data,
+                                   bool inverse) const {
+  const std::size_t size = n;
+  if (size <= 1) return;
+
+  for (std::size_t i = 1; i < size; ++i) {
+    const std::size_t j = bitrev[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= size; len <<= 1) {
+    const Complex* stage = twiddles.data() + (len / 2 - 1);
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < size; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const Complex w = inverse ? std::conj(stage[k]) : stage[k];
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + half] * w;
+        data[i + k] = u + v;
+        data[i + k + half] = u - v;
+      }
+    }
+  }
+}
+
+Plan::Plan(std::size_t n) : n_(n) {
+  if (n == 0) {
+    throw std::invalid_argument("fft::Plan: size must be positive");
+  }
+
+  if (IsPowerOfTwo(n)) {
+    kernel_ = MakeKernel(n);
+  } else {
+    if (n > std::numeric_limits<std::size_t>::max() / 2) {
+      throw std::length_error(
+          "fft::Plan: Bluestein extension 2n-1 overflows size_t");
+    }
+    const std::size_t m = detail::NextPowerOfTwoChecked(2 * n - 1);
+    kernel_ = MakeKernel(m);
+
+    // Chirp factors w_k = exp(-i*pi*k^2/n); the widened k^2 mod 2n keeps
+    // the angle small (accuracy) and unwrapped (correctness at large n).
+    chirp_.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const auto k2 = static_cast<double>(detail::ChirpIndex(k, n));
+      const double angle = std::numbers::pi * k2 / static_cast<double>(n);
+      chirp_[k] = Complex{std::cos(angle), -std::sin(angle)};
+    }
+
+    // Frequency-domain Bluestein kernel FFT(b), computed once here and
+    // reused by every transform (the plan-free path recomputes it each
+    // call — one of its three size-m FFTs).
+    fft_b_.assign(m, Complex{});
+    fft_b_[0] = std::conj(chirp_[0]);
+    for (std::size_t k = 1; k < n; ++k) {
+      fft_b_[k] = std::conj(chirp_[k]);
+      fft_b_[m - k] = fft_b_[k];  // circular symmetry for negative lags
+    }
+    kernel_.Transform(fft_b_, /*inverse=*/false);
+  }
+
+  // Packed real-input path: even n folds into one n/2 complex transform
+  // plus an O(n) twiddle unpack. n == 2 gains nothing over complexifying.
+  if (n % 2 == 0 && n >= 4) {
+    const std::size_t h = n / 2;
+    real_twiddles_.resize(h);
+    for (std::size_t k = 0; k < h; ++k) {
+      const double angle = -kTwoPi * static_cast<double>(k) /
+                           static_cast<double>(n);
+      real_twiddles_[k] = Complex{std::cos(angle), std::sin(angle)};
+    }
+    half_ = std::make_unique<const Plan>(h);
+  }
+}
+
+void Plan::BluesteinExecute(FftScratch& scratch, bool inverse,
+                            std::vector<Complex>& out) const {
+  const std::size_t m = kernel_.n;
+  kernel_.Transform(scratch.conv, /*inverse=*/false);
+  if (inverse) {
+    // b is index-symmetric, so FFT(b) is even and FFT(conj(b))[k] is
+    // simply conj(FFT(b)[k]) — the forward table serves both directions.
+    for (std::size_t k = 0; k < m; ++k) {
+      scratch.conv[k] *= std::conj(fft_b_[k]);
+    }
+  } else {
+    for (std::size_t k = 0; k < m; ++k) scratch.conv[k] *= fft_b_[k];
+  }
+  kernel_.Transform(scratch.conv, /*inverse=*/true);
+
+  const double scale =
+      inverse ? 1.0 / (static_cast<double>(m) * static_cast<double>(n_))
+              : 1.0 / static_cast<double>(m);
+  out.resize(n_);
+  if (inverse) {
+    for (std::size_t k = 0; k < n_; ++k) {
+      out[k] = scratch.conv[k] * scale * std::conj(chirp_[k]);
+    }
+  } else {
+    for (std::size_t k = 0; k < n_; ++k) {
+      out[k] = scratch.conv[k] * scale * chirp_[k];
+    }
+  }
+}
+
+void Plan::Forward(std::span<const Complex> in, FftScratch& scratch,
+                   std::vector<Complex>& out) const {
+  CheckSize(in.size(), n_);
+  if (radix2()) {
+    out.assign(in.begin(), in.end());
+    kernel_.Transform(out, /*inverse=*/false);
+    return;
+  }
+  scratch.conv.assign(kernel_.n, Complex{});
+  for (std::size_t k = 0; k < n_; ++k) {
+    scratch.conv[k] = in[k] * chirp_[k];
+  }
+  BluesteinExecute(scratch, /*inverse=*/false, out);
+}
+
+void Plan::Inverse(std::span<const Complex> in, FftScratch& scratch,
+                   std::vector<Complex>& out) const {
+  CheckSize(in.size(), n_);
+  if (radix2()) {
+    out.assign(in.begin(), in.end());
+    kernel_.Transform(out, /*inverse=*/true);
+    const double scale = 1.0 / static_cast<double>(n_);
+    for (auto& value : out) value *= scale;
+    return;
+  }
+  scratch.conv.assign(kernel_.n, Complex{});
+  for (std::size_t k = 0; k < n_; ++k) {
+    scratch.conv[k] = in[k] * std::conj(chirp_[k]);
+  }
+  BluesteinExecute(scratch, /*inverse=*/true, out);
+}
+
+void Plan::ForwardReal(std::span<const double> in, FftScratch& scratch,
+                       std::vector<Complex>& out) const {
+  CheckSize(in.size(), n_);
+  if (half_ == nullptr) {
+    // Odd or tiny sizes: complexify and take the general path.
+    scratch.packed.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+      scratch.packed[k] = Complex{in[k], 0.0};
+    }
+    Forward(scratch.packed, scratch, out);
+    return;
+  }
+
+  // Fold x[2j], x[2j+1] into z[j] = x[2j] + i*x[2j+1] and transform at
+  // half size; the even/odd sub-spectra then separate algebraically:
+  //   E[k] = (Z[k] + conj(Z[h-k])) / 2,  O[k] = -i*(Z[k] - conj(Z[h-k])) / 2,
+  //   X[k] = E[k] + W^k O[k],  X[k+h] = E[k] - W^k O[k].
+  const std::size_t h = n_ / 2;
+  scratch.packed.resize(h);
+  for (std::size_t j = 0; j < h; ++j) {
+    scratch.packed[j] = Complex{in[2 * j], in[2 * j + 1]};
+  }
+  half_->Forward(scratch.packed, scratch, scratch.half);
+
+  out.resize(n_);
+  for (std::size_t k = 0; k < h; ++k) {
+    const Complex z_k = scratch.half[k];
+    const Complex z_mirror = std::conj(scratch.half[(h - k) % h]);
+    const Complex even = 0.5 * (z_k + z_mirror);
+    const Complex odd = Complex{0.0, -0.5} * (z_k - z_mirror);
+    const Complex cross = real_twiddles_[k] * odd;
+    out[k] = even + cross;
+    out[k + h] = even - cross;
+  }
+}
+
+PlanCache& PlanCache::Global() {
+  static PlanCache* const cache = new PlanCache;
+  return *cache;
+}
+
+std::shared_ptr<const Plan> PlanCache::Get(std::size_t n) {
+  {
+    util::MutexLock lock(mutex_);
+    auto it = plans_.find(n);
+    if (it != plans_.end()) return it->second;
+  }
+  // Build outside the lock: construction is trig-heavy and would
+  // otherwise serialize every worker behind the first cold size. A
+  // racing duplicate is bitwise identical (construction is
+  // deterministic), so first-insert-wins loses nothing.
+  auto built = std::make_shared<const Plan>(n);
+  util::MutexLock lock(mutex_);
+  auto [it, inserted] = plans_.emplace(n, std::move(built));
+  return it->second;
+}
+
+std::size_t PlanCache::cached_plans() const {
+  util::MutexLock lock(mutex_);
+  return plans_.size();
+}
+
+std::shared_ptr<const Plan> GetPlan(std::size_t n) {
+  return PlanCache::Global().Get(n);
+}
+
+}  // namespace sleepwalk::fft

@@ -50,29 +50,44 @@ void ApplyHann(std::vector<double>& series) {
 
 }  // namespace
 
+void ComputeSpectrum(std::span<const double> series,
+                     const SpectrumOptions& options, FftScratch& scratch,
+                     Spectrum& out) {
+  const std::size_t n = series.size();
+  out.input_size = n;
+  out.amplitude.clear();
+  out.phase.clear();
+  if (n == 0) return;
+
+  scratch.real.assign(series.begin(), series.end());
+  if (options.detrend) {
+    Detrend(scratch.real);
+  } else if (options.remove_mean) {
+    RemoveMean(scratch.real);
+  }
+  if (options.hann_window) ApplyHann(scratch.real);
+
+  // The scratch memoizes the last plan so a worker grinding through
+  // same-length blocks never touches the PlanCache mutex.
+  if (scratch.plan == nullptr || scratch.plan->size() != n) {
+    scratch.plan = GetPlan(n);
+  }
+  scratch.plan->ForwardReal(scratch.real, scratch, scratch.coeffs);
+
+  const std::size_t bins = n / 2 + 1;
+  out.amplitude.resize(bins);
+  out.phase.resize(bins);
+  for (std::size_t k = 0; k < bins; ++k) {
+    out.amplitude[k] = std::abs(scratch.coeffs[k]);
+    out.phase[k] = std::arg(scratch.coeffs[k]);
+  }
+}
+
 Spectrum ComputeSpectrum(std::span<const double> series,
                          const SpectrumOptions& options) {
+  FftScratch scratch;
   Spectrum spectrum;
-  const std::size_t n = series.size();
-  spectrum.input_size = n;
-  if (n == 0) return spectrum;
-
-  std::vector<double> prepared(series.begin(), series.end());
-  if (options.detrend) {
-    Detrend(prepared);
-  } else if (options.remove_mean) {
-    RemoveMean(prepared);
-  }
-  if (options.hann_window) ApplyHann(prepared);
-
-  const auto coefficients = ForwardReal(prepared);
-  const std::size_t bins = n / 2 + 1;
-  spectrum.amplitude.resize(bins);
-  spectrum.phase.resize(bins);
-  for (std::size_t k = 0; k < bins; ++k) {
-    spectrum.amplitude[k] = std::abs(coefficients[k]);
-    spectrum.phase[k] = std::arg(coefficients[k]);
-  }
+  ComputeSpectrum(series, options, scratch, spectrum);
   return spectrum;
 }
 

@@ -6,6 +6,8 @@
 #include <span>
 #include <vector>
 
+#include "sleepwalk/fft/plan.h"
+
 namespace sleepwalk::fft {
 
 /// One-sided spectrum of a real series: amplitude and phase for bins
@@ -48,7 +50,15 @@ struct SpectrumOptions {
   bool hann_window = false;
 };
 
-/// Computes the one-sided spectrum of a real series.
+/// Computes the one-sided spectrum of a real series into `out`,
+/// transforming through the plan cache with caller-owned scratch. With
+/// warm scratch/output capacity the call performs no heap allocation —
+/// this is the analysis hot loop's entry point.
+void ComputeSpectrum(std::span<const double> series,
+                     const SpectrumOptions& options, FftScratch& scratch,
+                     Spectrum& out);
+
+/// Allocating convenience wrapper.
 Spectrum ComputeSpectrum(std::span<const double> series,
                          const SpectrumOptions& options);
 

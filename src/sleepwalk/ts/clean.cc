@@ -1,43 +1,55 @@
 #include "sleepwalk/ts/clean.h"
 
 #include <algorithm>
-#include <map>
 
 namespace sleepwalk::ts {
 
-std::optional<EvenSeries> Regularize(const RawSeries& raw,
-                                     CleanStats* stats) {
-  if (raw.empty()) return std::nullopt;
+bool Regularize(const RawSeries& raw, RegularizeScratch& scratch,
+                EvenSeries& out, CleanStats* stats) {
+  out.values.clear();
+  if (raw.empty()) return false;
   CleanStats local_stats;
 
-  // Deduplicate: most recent observation per round wins. Observations are
-  // appended in arrival order, so a later entry supersedes an earlier one.
-  std::map<std::int64_t, double> by_round;
+  // Grid extent: observations carry arbitrary round numbers, so find the
+  // span first, then deduplicate into flat slot tables (most recent
+  // observation per round wins — appends are in arrival order, so a
+  // later entry supersedes an earlier one). The slot walk replaces the
+  // per-call std::map whose node allocations dominated cleaning cost.
+  std::int64_t first = raw.observations().front().round;
+  std::int64_t last = first;
   for (const auto& obs : raw.observations()) {
-    const auto [it, inserted] = by_round.insert_or_assign(obs.round, obs.value);
-    (void)it;
-    if (!inserted) ++local_stats.duplicates_dropped;
+    first = std::min(first, obs.round);
+    last = std::max(last, obs.round);
+  }
+  const auto width = static_cast<std::size_t>(last - first + 1);
+  scratch.slot_value.assign(width, 0.0);
+  scratch.slot_seen.assign(width, 0);
+  for (const auto& obs : raw.observations()) {
+    const auto slot = static_cast<std::size_t>(obs.round - first);
+    if (scratch.slot_seen[slot] != 0) ++local_stats.duplicates_dropped;
+    scratch.slot_seen[slot] = 1;
+    scratch.slot_value[slot] = obs.value;
   }
 
-  const std::int64_t first = by_round.begin()->first;
-  const std::int64_t last = by_round.rbegin()->first;
-  EvenSeries series;
-  series.first_round = first;
-  series.values.reserve(static_cast<std::size_t>(last - first + 1));
+  out.first_round = first;
+  out.values.reserve(width);
 
-  double previous = by_round.begin()->second;
+  // First slot is observed by construction (it is some observation's
+  // round), as is the last — so a missing slot always has slot+1 in
+  // range when probing for a single-round gap.
+  double previous = scratch.slot_value[0];
   double before_previous = previous;
   bool previous_observed = true;
-  for (std::int64_t round = first; round <= last; ++round) {
-    const auto found = by_round.find(round);
+  for (std::size_t slot = 0; slot < width; ++slot) {
+    const bool observed = scratch.slot_seen[slot] != 0;
     double value = 0.0;
-    if (found != by_round.end()) {
-      value = found->second;
+    if (observed) {
+      value = scratch.slot_value[slot];
     } else {
       // A "single missing estimate" is a gap of exactly one round:
       // observed neighbours on both sides.
       const bool single_gap =
-          previous_observed && by_round.contains(round + 1);
+          previous_observed && scratch.slot_seen[slot + 1] != 0;
       if (single_gap) {
         // Linear extrapolation from the previous two values.
         value = previous + (previous - before_previous);
@@ -48,21 +60,29 @@ std::optional<EvenSeries> Regularize(const RawSeries& raw,
         ++local_stats.long_gaps_filled;
       }
     }
-    series.values.push_back(value);
+    out.values.push_back(value);
     before_previous = previous;
     previous = value;
-    previous_observed = found != by_round.end();
+    previous_observed = observed;
   }
 
   if (stats != nullptr) *stats = local_stats;
+  return true;
+}
+
+std::optional<EvenSeries> Regularize(const RawSeries& raw,
+                                     CleanStats* stats) {
+  RegularizeScratch scratch;
+  EvenSeries series;
+  if (!Regularize(raw, scratch, series, stats)) return std::nullopt;
   return series;
 }
 
-std::optional<EvenSeries> TrimToMidnightUtc(const EvenSeries& series,
-                                            std::int64_t epoch_sec,
-                                            std::int64_t round_seconds) {
+bool TrimToMidnightUtc(const EvenSeries& series, std::int64_t epoch_sec,
+                       std::int64_t round_seconds, EvenSeries& out) {
   constexpr std::int64_t kDaySeconds = 86400;
-  if (series.values.empty() || round_seconds <= 0) return std::nullopt;
+  out.values.clear();
+  if (series.values.empty() || round_seconds <= 0) return false;
 
   const std::int64_t start_sec =
       epoch_sec + series.first_round * round_seconds;
@@ -86,20 +106,29 @@ std::optional<EvenSeries> TrimToMidnightUtc(const EvenSeries& series,
       end_round,
       series.first_round + static_cast<std::int64_t>(series.size()));
 
-  if (end_round <= first_round) return std::nullopt;
+  if (end_round <= first_round) return false;
   const std::int64_t offset = first_round - series.first_round;
   const std::int64_t count = end_round - first_round;
   if (offset < 0 || offset + count > static_cast<std::int64_t>(series.size())) {
-    return std::nullopt;
+    return false;
   }
   const std::int64_t span_sec = count * round_seconds;
-  if (span_sec < kDaySeconds) return std::nullopt;
+  if (span_sec < kDaySeconds) return false;
 
-  EvenSeries trimmed;
-  trimmed.first_round = first_round;
-  trimmed.values.assign(
+  out.first_round = first_round;
+  out.values.assign(
       series.values.begin() + static_cast<std::ptrdiff_t>(offset),
       series.values.begin() + static_cast<std::ptrdiff_t>(offset + count));
+  return true;
+}
+
+std::optional<EvenSeries> TrimToMidnightUtc(const EvenSeries& series,
+                                            std::int64_t epoch_sec,
+                                            std::int64_t round_seconds) {
+  EvenSeries trimmed;
+  if (!TrimToMidnightUtc(series, epoch_sec, round_seconds, trimmed)) {
+    return std::nullopt;
+  }
   return trimmed;
 }
 

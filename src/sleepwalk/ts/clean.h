@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "sleepwalk/ts/series.h"
 
@@ -20,6 +21,15 @@ struct CleanStats {
   std::size_t long_gaps_filled = 0;  ///< gaps > 1 round, filled by hold.
 };
 
+/// Reusable working memory for Regularize: the per-round slot table that
+/// earlier revisions rebuilt as a std::map every call (one node
+/// allocation per observed round). Buffers retain capacity across calls,
+/// so a worker regularizing same-length blocks allocates only once.
+struct RegularizeScratch {
+  std::vector<double> slot_value;     ///< latest value per grid slot
+  std::vector<std::uint8_t> slot_seen;  ///< 1 when the round was observed
+};
+
 /// Regularizes raw observations onto the even round grid
 /// [first_round, last_round]:
 ///  * duplicate rounds: the most recent observation wins;
@@ -27,14 +37,24 @@ struct CleanStats {
 ///    two values (falling back to hold-last when at the series head);
 ///  * longer gaps: filled by holding the last value (and counted, so
 ///    callers can reject blocks with too much missing data).
-/// Returns nullopt for an empty input.
+/// Writes into `out` (capacity reused) and returns false for an empty
+/// input, in which case `out` is left empty.
+bool Regularize(const RawSeries& raw, RegularizeScratch& scratch,
+                EvenSeries& out, CleanStats* stats = nullptr);
+
+/// Allocating convenience wrapper. Returns nullopt for an empty input.
 std::optional<EvenSeries> Regularize(const RawSeries& raw,
                                      CleanStats* stats = nullptr);
 
 /// Trims an even series so it starts and ends at midnight UTC boundaries
 /// (paper: "ties phase to physical time" and reduces FFT noise).
 /// `epoch_sec` is the UTC time of round 0; rounds are kRoundSeconds long.
-/// Returns nullopt when less than one full day survives trimming.
+/// Writes into `out` (capacity reused; `out` must not alias `series`) and
+/// returns false when less than one full day survives trimming.
+bool TrimToMidnightUtc(const EvenSeries& series, std::int64_t epoch_sec,
+                       std::int64_t round_seconds, EvenSeries& out);
+
+/// Allocating convenience wrapper; nullopt when under one full day.
 std::optional<EvenSeries> TrimToMidnightUtc(const EvenSeries& series,
                                             std::int64_t epoch_sec,
                                             std::int64_t round_seconds =

@@ -11,13 +11,14 @@ namespace sleepwalk::ts {
 StationarityResult TestStationarity(std::span<const double> availability,
                                     int ever_active_addresses,
                                     double max_addresses_per_day,
-                                    std::int64_t round_seconds) {
+                                    std::int64_t round_seconds,
+                                    std::vector<double>& index_scratch) {
   StationarityResult result;
   if (availability.size() < 2 || round_seconds <= 0) return result;
 
-  std::vector<double> x(availability.size());
-  std::iota(x.begin(), x.end(), 0.0);
-  const auto fit = stats::FitSimple(x, availability);
+  index_scratch.resize(availability.size());
+  std::iota(index_scratch.begin(), index_scratch.end(), 0.0);
+  const auto fit = stats::FitSimple(index_scratch, availability);
   result.slope_per_round = fit.slope;
 
   const double rounds_per_day = 86400.0 / static_cast<double>(round_seconds);
@@ -25,6 +26,15 @@ StationarityResult TestStationarity(std::span<const double> availability,
                              static_cast<double>(ever_active_addresses);
   result.stationary = result.addresses_per_day < max_addresses_per_day;
   return result;
+}
+
+StationarityResult TestStationarity(std::span<const double> availability,
+                                    int ever_active_addresses,
+                                    double max_addresses_per_day,
+                                    std::int64_t round_seconds) {
+  std::vector<double> index;
+  return TestStationarity(availability, ever_active_addresses,
+                          max_addresses_per_day, round_seconds, index);
 }
 
 }  // namespace sleepwalk::ts

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "sleepwalk/ts/series.h"
 
@@ -24,6 +25,15 @@ struct StationarityResult {
 /// Fits availability ~ round and converts the slope to "address changes
 /// per day" using the block's ever-active address count. A block is
 /// stationary when that rate is below `max_addresses_per_day` (paper: 1).
+/// `index_scratch` holds the regressor (0, 1, 2, ...); its capacity is
+/// reused across calls so the steady state allocates nothing.
+StationarityResult TestStationarity(std::span<const double> availability,
+                                    int ever_active_addresses,
+                                    double max_addresses_per_day,
+                                    std::int64_t round_seconds,
+                                    std::vector<double>& index_scratch);
+
+/// Allocating convenience wrapper with the paper's defaults.
 StationarityResult TestStationarity(std::span<const double> availability,
                                     int ever_active_addresses,
                                     double max_addresses_per_day = 1.0,
