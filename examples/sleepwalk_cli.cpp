@@ -13,11 +13,14 @@
 //   sleepwalk_cli compare --a /tmp/a12w.slpw --b /tmp/a12j.slpw
 //   sleepwalk_cli block --in /tmp/a12w.slpw --index 3
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <iostream>
 #include <map>
+#include <span>
+#include <sstream>
 #include <string>
 
 #include "sleepwalk/sleepwalk.h"
@@ -67,6 +70,8 @@ int Usage() {
       "  measure --out FILE [--blocks N] [--days D] [--seed S] [--site K]\n"
       "          [--workers W] [--loss P] [--burst P] [--rate-limit N]\n"
       "          [--dead N] [--checkpoint FILE] [--checkpoint-every R]\n"
+      "          [--checkpoint-blocks B] [--checkpoint-keep K]\n"
+      "          [--failpoints SPEC]\n"
       "          [--log-level L] [--log-json FILE] [--metrics-out FILE]\n"
       "          [--trace-out FILE]\n"
       "      generate a simulated world and run a probing campaign\n"
@@ -75,7 +80,16 @@ int Usage() {
       "      fault flags inject deterministic measurement-plane breakage\n"
       "      (--loss: i.i.d. drop rate; --burst: long-run Gilbert-Elliott\n"
       "      bursty loss; --dead: first N blocks error persistently) and\n"
-      "      --checkpoint makes the campaign killable/resumable.\n"
+      "      --checkpoint makes the campaign killable/resumable\n"
+      "      (--checkpoint-blocks widens the save stride to every B\n"
+      "      finished blocks, trading crash redo-work for less I/O;\n"
+      "      --checkpoint-keep retains the last K generations as\n"
+      "      FILE.g<N> hard links and self-heals from the newest intact\n"
+      "      one when FILE is corrupt; default 3).\n"
+      "      --failpoints injects deterministic storage failures, e.g.\n"
+      "      'storage.append=eio@3' (3rd append fails), '*=crash@17'\n"
+      "      (process dies at the 17th storage op, exit 42),\n"
+      "      'storage.sync=enospc%0.01' (1% of fsyncs report ENOSPC).\n"
       "      Telemetry (inert; results are byte-identical either way):\n"
       "      --log-level trace|debug|info|warn|error|off adds a text log\n"
       "      on stderr, --log-json a structured JSONL event log,\n"
@@ -121,31 +135,32 @@ class ObsSinks {
     return context;
   }
 
-  /// Writes the metrics and trace files; returns false on any I/O error.
-  bool Flush() {
+  /// Writes the metrics and trace files through the storage seam
+  /// (atomic replace; failpoint-injectable); false on any I/O error.
+  bool Flush(storage::Env& env) {
     bool ok = true;
     if (!metrics_path_.empty()) {
-      std::ofstream out{metrics_path_, std::ios::trunc};
-      if (out) {
-        const auto n = metrics_path_.size();
-        if (n >= 4 && metrics_path_.compare(n - 4, 4, ".csv") == 0) {
-          registry_.WriteCsv(out);
-        } else {
-          registry_.WritePrometheus(out);
-        }
+      std::ostringstream out;
+      const auto n = metrics_path_.size();
+      if (n >= 4 && metrics_path_.compare(n - 4, 4, ".csv") == 0) {
+        registry_.WriteCsv(out);
+      } else {
+        registry_.WritePrometheus(out);
       }
-      if (!out) {
+      if (const auto error = WriteText(env, metrics_path_, out.str());
+          !error.ok()) {
         std::cerr << "measure: cannot write --metrics-out "
-                  << metrics_path_ << "\n";
+                  << error.ToString() << "\n";
         ok = false;
       }
     }
     if (!trace_path_.empty()) {
-      std::ofstream out{trace_path_, std::ios::trunc};
-      if (out) tracer_.WriteJsonl(out);
-      if (!out) {
-        std::cerr << "measure: cannot write --trace-out " << trace_path_
-                  << "\n";
+      std::ostringstream out;
+      tracer_.WriteJsonl(out);
+      if (const auto error = WriteText(env, trace_path_, out.str());
+          !error.ok()) {
+        std::cerr << "measure: cannot write --trace-out "
+                  << error.ToString() << "\n";
         ok = false;
       }
     }
@@ -153,6 +168,14 @@ class ObsSinks {
   }
 
  private:
+  static storage::Error WriteText(storage::Env& env, const std::string& path,
+                                  const std::string& text) {
+    return storage::AtomicWrite(
+        env, path,
+        std::span{reinterpret_cast<const std::uint8_t*>(text.data()),
+                  text.size()});
+  }
+
   obs::Logger logger_;
   obs::Registry registry_;
   obs::Tracer tracer_;
@@ -233,7 +256,27 @@ int CmdMeasure(const Flags& flags) {
   config.seed = site;
   config.checkpoint_path = flags.Get("checkpoint");
   config.checkpoint_every_rounds = flags.GetInt("checkpoint-every", 500);
+  config.checkpoint_every_blocks =
+      static_cast<int>(flags.GetInt("checkpoint-blocks", 1));
+  config.checkpoint_keep =
+      static_cast<int>(flags.GetInt("checkpoint-keep", 3));
   const probing::RoundScheduler scheduler{config.analyzer.schedule};
+
+  // Deterministic storage-fault injection: every persisted byte (dataset,
+  // checkpoints, telemetry) then flows through the faulty env.
+  util::FailpointSet failpoints{world_config.seed};
+  storage::FaultyEnv faulty_env{storage::RealEnvInstance(), failpoints};
+  if (flags.Has("failpoints")) {
+    std::string failpoint_error;
+    if (!util::FailpointSet::Parse(flags.Get("failpoints"), failpoints,
+                                   &failpoint_error)) {
+      std::cerr << "measure: bad --failpoints: " << failpoint_error << "\n";
+      return 2;
+    }
+    config.env = &faulty_env;
+  }
+  storage::Env& env =
+      config.env != nullptr ? *config.env : storage::RealEnvInstance();
 
   // Optional fault plan: deterministic loss / rate limiting / dead blocks
   // injected between the prober and the (simulated) network.
@@ -290,10 +333,13 @@ int CmdMeasure(const Flags& flags) {
   std::cerr << "\n";
   const auto& result = outcome.result;
 
-  if (!core::WriteDataset(out, result.analyses,
-                          config.analyzer.schedule.round_seconds,
-                          config.analyzer.schedule.epoch_sec)) {
-    std::cerr << "measure: cannot write " << out << "\n";
+  if (const auto error =
+          core::WriteDataset(env, out, result.analyses,
+                             config.analyzer.schedule.round_seconds,
+                             config.analyzer.schedule.epoch_sec);
+      !error.ok()) {
+    std::cerr << "measure: cannot write " << out << ": "
+              << error.ToString() << "\n";
     return 1;
   }
   std::cout << "measured " << result.counts.probed() << " blocks ("
@@ -309,7 +355,7 @@ int CmdMeasure(const Flags& flags) {
     // outcome.stats in commit order; no manual merge needed.
     report::PrintResilienceReport(std::cout, outcome.stats);
   }
-  if (!sinks.Flush()) return 1;
+  if (!sinks.Flush(env)) return 1;
   return 0;
 }
 
@@ -469,9 +515,16 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const Flags flags{argc, argv, 2};
-  if (command == "measure") return CmdMeasure(flags);
-  if (command == "analyze") return CmdAnalyze(flags);
-  if (command == "compare") return CmdCompare(flags);
-  if (command == "block") return CmdBlock(flags);
+  try {
+    if (command == "measure") return CmdMeasure(flags);
+    if (command == "analyze") return CmdAnalyze(flags);
+    if (command == "compare") return CmdCompare(flags);
+    if (command == "block") return CmdBlock(flags);
+  } catch (const util::CrashInjected& crash) {
+    // A --failpoints crash action fired: die the way a power cut would,
+    // with a distinctive exit code the crash-consistency tests assert on.
+    std::cerr << "simulated crash at " << crash.site << "\n";
+    return 42;
+  }
   return Usage();
 }

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Performance-regression gate for CI.
 #
-# Runs the three JSON-emitting benches (parallel_scaling, micro_perf's
-# obs ablation, fft_perf's plan ablation) against a Release build and
-# compares the fresh numbers with the baselines committed at the repo
-# root (BENCH_parallel.json, BENCH_obs.json, BENCH_fft.json).
+# Runs the four JSON-emitting benches (parallel_scaling, micro_perf's
+# obs ablation, fft_perf's plan ablation, checkpoint_io's durability
+# ablation) against a Release build and compares the fresh numbers with
+# the baselines committed at the repo root (BENCH_parallel.json,
+# BENCH_obs.json, BENCH_fft.json, BENCH_ckpt.json).
 #
 # Absolute throughput is not portable across runners, so the gate is
 # deliberately hardware-calibrated:
@@ -25,7 +26,11 @@
 #   * the fft plan ablation's campaign-size (n=1834, even non-power-of-
 #     two) plan-vs-planless speedup must stay >= its committed
 #     `speedup_target` (2x — a pure ratio, portable across runners) and
-#     may not regress more than TOLERANCE_PCT below the committed ratio.
+#     may not regress more than TOLERANCE_PCT below the committed ratio;
+#   * checkpoint_io's `durability_within_budget` must stay true — a
+#     checkpointed campaign may not cost more than 10% extra wall time
+#     over an unchecked one (a same-machine ratio, portable across
+#     runners; the raw MB/s numbers are informational).
 #
 # Usage: scripts/bench_gate.sh [build-dir]      (default: build-release)
 # Output: fresh JSON written into the build dir (CI uploads as artifact).
@@ -38,10 +43,11 @@ MIN_SPEEDUP_8V1=3.0
 
 if [[ ! -x "${BUILD_DIR}/bench/parallel_scaling" ||
       ! -x "${BUILD_DIR}/bench/micro_perf" ||
-      ! -x "${BUILD_DIR}/bench/fft_perf" ]]; then
+      ! -x "${BUILD_DIR}/bench/fft_perf" ||
+      ! -x "${BUILD_DIR}/bench/checkpoint_io" ]]; then
   echo "bench_gate: ${BUILD_DIR} lacks bench binaries; build first:" >&2
   echo "  cmake -B ${BUILD_DIR} -S . -DCMAKE_BUILD_TYPE=Release" >&2
-  echo "  cmake --build ${BUILD_DIR} -j --target parallel_scaling micro_perf fft_perf" >&2
+  echo "  cmake --build ${BUILD_DIR} -j --target parallel_scaling micro_perf fft_perf checkpoint_io" >&2
   exit 2
 fi
 
@@ -58,6 +64,10 @@ echo "== bench_gate: fft_perf (plan ablation only) =="
 SLEEPWALK_BENCH_FFT_OUT="${BUILD_DIR}/BENCH_fft.json" \
   "${BUILD_DIR}/bench/fft_perf" \
   --benchmark_filter='BM_ForwardRealPlanned/1834$'
+
+echo "== bench_gate: checkpoint_io (durability ablation) =="
+SLEEPWALK_BENCH_CKPT_OUT="${BUILD_DIR}/BENCH_ckpt.json" \
+  "${BUILD_DIR}/bench/checkpoint_io"
 
 echo "== bench_gate: comparing against committed baselines =="
 python3 - "${BUILD_DIR}" "${TOLERANCE_PCT}" "${MIN_SPEEDUP_8V1}" <<'EOF'
@@ -79,6 +89,8 @@ base_obs = load("BENCH_obs.json")
 fresh_obs = load(f"{build_dir}/BENCH_obs.json")
 base_fft = load("BENCH_fft.json")
 fresh_fft = load(f"{build_dir}/BENCH_fft.json")
+base_ckpt = load("BENCH_ckpt.json")
+fresh_ckpt = load(f"{build_dir}/BENCH_ckpt.json")
 
 # 1. Correctness flag: parallelism must stay byte-identical.
 if not fresh_par.get("equivalent"):
@@ -139,6 +151,23 @@ if fresh_speedup < drift_floor:
     failures.append(
         f"fft_perf: campaign_even_speedup regressed {fresh_speedup:.3f} < "
         f"{drift_floor:.3f} (baseline {base_speedup:.3f} - {tolerance_pct}%)")
+
+# 6. Durability stays cheap: the boolean budget contract (< 10% campaign
+# wall time) is the gate; absolute MB/s is hardware-bound, so the
+# throughput numbers are printed for the log but not enforced.
+budget = float(fresh_ckpt.get("durability_budget_pct", 10.0))
+base_tax = float(base_ckpt.get("durability_overhead_pct", 0.0))
+fresh_tax = float(fresh_ckpt.get("durability_overhead_pct", 0.0))
+print(f"durability_overhead_pct: fresh {fresh_tax:.2f} vs baseline "
+      f"{base_tax:.2f} (budget < {budget:.1f})")
+print(f"checkpoint encode/decode/save MB/s: "
+      f"{float(fresh_ckpt.get('encode_mb_per_sec_large', 0.0)):.0f} / "
+      f"{float(fresh_ckpt.get('decode_mb_per_sec_large', 0.0)):.0f} / "
+      f"{float(fresh_ckpt.get('save_mb_per_sec_large', 0.0)):.0f}")
+if not fresh_ckpt.get("durability_within_budget"):
+    failures.append(
+        f"checkpoint_io: durability overhead {fresh_tax:.2f}% exceeds the "
+        f"{budget:.1f}% budget")
 
 if failures:
     print("\nbench_gate: FAIL")

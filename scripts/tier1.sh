@@ -52,6 +52,25 @@ cmp "${smoke}/a.slpw" "${smoke}/bare.slpw"
 grep -q '^sleepwalk_probes_attempted_total ' "${smoke}/a.prom"
 echo "telemetry smoke OK"
 
+echo "== tier-1: storage smoke (slck_fsck over fresh artifacts) =="
+# A checkpointed run, then fsck: every fresh artifact (dataset, primary
+# checkpoint, retained generations) must verify intact; a single flipped
+# byte must turn the verdict to exit 1.
+build/examples/sleepwalk_cli measure \
+  --blocks 20 --days 3 --seed 11 --loss 0.05 \
+  --out "${smoke}/ck.slpw" --checkpoint "${smoke}/ck.slck" \
+  --checkpoint-keep 3 >/dev/null 2>&1
+build/tools/slck_fsck "${smoke}/ck.slpw" "${smoke}/ck.slck" \
+  "${smoke}"/ck.slck.g*
+cp "${smoke}/ck.slck" "${smoke}/bad.slck"
+printf '\xa5' | dd of="${smoke}/bad.slck" bs=1 seek=60 count=1 \
+  conv=notrunc 2>/dev/null
+if build/tools/slck_fsck "${smoke}/bad.slck" >/dev/null; then
+  echo "slck_fsck missed an injected corruption" >&2
+  exit 1
+fi
+echo "storage smoke OK"
+
 if [[ "${1:-}" == "--skip-sanitize" ]]; then
   echo "== tier-1: sanitizer pass skipped =="
   exit 0
@@ -61,8 +80,9 @@ echo "== tier-1: ASan+UBSan build of the fault/resilience tests =="
 cmake -B build-asan -S . \
   -DSLEEPWALK_SANITIZE="address;undefined" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-asan -j "${jobs}" --target faults_test integration_test
+cmake --build build-asan -j "${jobs}" --target faults_test integration_test \
+  crash_sweep_test
 ctest --test-dir build-asan --output-on-failure -j "${jobs}" \
-  -R 'FaultPlan|GilbertElliott|FaultyTransport|Supervisor|ResilienceReport|Determinism|RestartArtifact|ObsInertness|ObsReconciliation'
+  -R 'FaultPlan|GilbertElliott|FaultyTransport|Supervisor|ResilienceReport|Determinism|RestartArtifact|ObsInertness|ObsReconciliation|CrashSweep'
 
 echo "== tier-1: all green =="

@@ -26,6 +26,15 @@ SupervisorMetrics::SupervisorMetrics(const obs::Context& context)
           "supervisor_checkpoints_written_total", "snapshots persisted")),
       resumes(context.CounterOrNull("supervisor_checkpoint_resumes_total",
                                     "campaigns resumed from a snapshot")),
+      checkpoint_recoveries(context.CounterOrNull(
+          "supervisor_checkpoint_recoveries_total",
+          "resumes that fell back to an older intact generation")),
+      corrupt_sections(context.CounterOrNull(
+          "supervisor_checkpoint_corrupt_sections_total",
+          "checkpoint sections rejected by CRC/framing checks")),
+      generations_discarded(context.CounterOrNull(
+          "supervisor_checkpoint_generations_discarded_total",
+          "checkpoint files quarantined as corrupt")),
       blocks_done(context.GaugeOrNull("campaign_blocks_done",
                                       "targets finished")),
       blocks_total(context.GaugeOrNull("campaign_blocks_total",

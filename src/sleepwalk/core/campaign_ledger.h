@@ -49,6 +49,9 @@ struct SupervisorMetrics {
   obs::Counter* quarantined;
   obs::Counter* checkpoints;
   obs::Counter* resumes;
+  obs::Counter* checkpoint_recoveries;
+  obs::Counter* corrupt_sections;
+  obs::Counter* generations_discarded;
   obs::Gauge* blocks_done;
   obs::Gauge* blocks_total;
   obs::Gauge* rounds_per_sec;
@@ -215,6 +218,12 @@ class CampaignLedger {
     if (ok) return;
     util::MutexLock lock{mutex_};
     --outcome_.stats.checkpoints_written;
+  }
+
+  /// Records the checkpoint-recovery accounting from the resume attempt.
+  void NoteRecovery(const RecoveryEvents& events) SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    outcome_.recovery = events;
   }
 
   void NoteStoppedEarly() SLEEPWALK_EXCLUDES(mutex_) {

@@ -1,9 +1,12 @@
 #include "sleepwalk/core/checkpoint.h"
 
-#include <cstdio>
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <utility>
 
+#include "sleepwalk/net/checksum.h"
+#include "sleepwalk/storage/bytes.h"
 #include "sleepwalk/util/narrow.h"
 #include "sleepwalk/util/rng.h"
 
@@ -11,98 +14,100 @@ namespace sleepwalk::core {
 
 namespace {
 
+using storage::ByteReader;
+using storage::ByteWriter;
+
 constexpr char kMagic[4] = {'S', 'L', 'C', 'K'};
 
-template <typename T>
-void Put(std::ofstream& out, T value) {
-  // Host is little-endian on every supported target (see dataset.cc).
-  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
-}
+// Section ids of the v2 framing; every id appears exactly once.
+constexpr std::uint32_t kSectionMeta = 1;
+constexpr std::uint32_t kSectionCompleted = 2;
+constexpr std::uint32_t kSectionQuarantined = 3;
+constexpr std::uint32_t kSectionInflight = 4;
+constexpr std::uint32_t kSectionTransport = 5;
+constexpr std::uint32_t kSectionCount = 5;
 
-template <typename T>
-bool Get(std::ifstream& in, T& value) {
-  in.read(reinterpret_cast<char*>(&value), sizeof(value));
-  return static_cast<bool>(in);
-}
+// Bytes between the magic and the header CRC: u32 version
+// + u64 fingerprint + u64 generation + u32 n_sections.
+constexpr std::size_t kHeaderBytes = 4 + 8 + 8 + 4;
 
 // Sanity bound on any serialized count: a campaign has < 2^32 of
 // anything, and a corrupt header must not drive a multi-GB resize.
 constexpr std::uint64_t kMaxCount = 1ull << 32;
 
-void PutStats(std::ofstream& out, const report::ResilienceStats& stats) {
+void PutStats(ByteWriter& out, const report::ResilienceStats& stats) {
   const auto& p = stats.probes;
-  Put(out, p.attempts);
-  Put(out, p.errors);
-  Put(out, p.answered);
-  Put(out, p.lost);
-  Put(out, p.rate_limited);
-  Put(out, p.unreachable);
-  Put(out, stats.rounds_attempted);
-  Put(out, stats.rounds_failed);
-  Put(out, stats.rounds_gapped);
-  Put(out, stats.retries);
-  Put(out, stats.backoff_seconds);
-  Put(out, stats.forced_restarts);
-  Put(out, stats.quarantined_blocks);
-  Put(out, stats.checkpoints_written);
-  Put(out, util::BoolByte(stats.resumed_from_checkpoint));
+  out.Put(p.attempts);
+  out.Put(p.errors);
+  out.Put(p.answered);
+  out.Put(p.lost);
+  out.Put(p.rate_limited);
+  out.Put(p.unreachable);
+  out.Put(stats.rounds_attempted);
+  out.Put(stats.rounds_failed);
+  out.Put(stats.rounds_gapped);
+  out.Put(stats.retries);
+  out.Put(stats.backoff_seconds);
+  out.Put(stats.forced_restarts);
+  out.Put(stats.quarantined_blocks);
+  out.Put(stats.checkpoints_written);
+  // resumed_from_checkpoint is deliberately NOT persisted since v2: it
+  // is process-lifetime information (AdoptCheckpoint sets it), and
+  // keeping it out makes a resumed campaign's final checkpoint
+  // byte-identical to an uninterrupted run's.
 }
 
-bool GetStats(std::ifstream& in, report::ResilienceStats& stats) {
+bool GetStats(ByteReader& in, report::ResilienceStats& stats) {
   auto& p = stats.probes;
-  std::uint8_t resumed = 0;
-  const bool ok =
-      Get(in, p.attempts) && Get(in, p.errors) && Get(in, p.answered) &&
-      Get(in, p.lost) && Get(in, p.rate_limited) && Get(in, p.unreachable) &&
-      Get(in, stats.rounds_attempted) && Get(in, stats.rounds_failed) &&
-      Get(in, stats.rounds_gapped) && Get(in, stats.retries) &&
-      Get(in, stats.backoff_seconds) && Get(in, stats.forced_restarts) &&
-      Get(in, stats.quarantined_blocks) &&
-      Get(in, stats.checkpoints_written) && Get(in, resumed);
-  stats.resumed_from_checkpoint = resumed != 0;
-  return ok;
+  return in.Get(p.attempts) && in.Get(p.errors) && in.Get(p.answered) &&
+         in.Get(p.lost) && in.Get(p.rate_limited) && in.Get(p.unreachable) &&
+         in.Get(stats.rounds_attempted) && in.Get(stats.rounds_failed) &&
+         in.Get(stats.rounds_gapped) && in.Get(stats.retries) &&
+         in.Get(stats.backoff_seconds) && in.Get(stats.forced_restarts) &&
+         in.Get(stats.quarantined_blocks) &&
+         in.Get(stats.checkpoints_written);
 }
 
-void PutAnalysis(std::ofstream& out, const BlockAnalysis& analysis) {
-  Put(out, analysis.block.Index());
-  Put(out, util::BoolByte(analysis.probed));
-  Put(out, util::CheckedNarrow<std::int32_t>(analysis.ever_active));
-  Put(out, analysis.short_series.first_round);
-  Put(out, static_cast<std::uint64_t>(analysis.short_series.size()));
-  for (const double value : analysis.short_series.values) Put(out, value);
-  Put(out, util::CheckedNarrow<std::int32_t>(analysis.observed_days));
-  Put(out, util::CheckedNarrow<std::uint8_t>(
-               static_cast<int>(analysis.diurnal.classification)));
-  Put(out, util::CheckedNarrow<std::int32_t>(analysis.diurnal.n_days));
-  Put(out, static_cast<std::uint64_t>(analysis.diurnal.daily_bin));
-  Put(out, analysis.diurnal.daily_amplitude);
-  Put(out, analysis.diurnal.phase);
-  Put(out, static_cast<std::uint64_t>(analysis.diurnal.strongest_bin));
-  Put(out, analysis.diurnal.strongest_amplitude);
-  Put(out, analysis.diurnal.strongest_cycles_per_day);
-  Put(out, analysis.stationarity.slope_per_round);
-  Put(out, analysis.stationarity.addresses_per_day);
-  Put(out, util::BoolByte(analysis.stationarity.stationary));
-  Put(out, analysis.mean_short);
-  Put(out, analysis.final_operational);
-  Put(out, analysis.mean_probes_per_round);
-  Put(out, util::CheckedNarrow<std::int32_t>(analysis.down_rounds));
-  Put(out, static_cast<std::uint64_t>(analysis.outage_starts.size()));
-  for (const auto start : analysis.outage_starts) Put(out, start);
-  Put(out, static_cast<std::uint64_t>(analysis.outages.size()));
+void PutAnalysis(ByteWriter& out, const BlockAnalysis& analysis) {
+  out.Put(analysis.block.Index());
+  out.Put(util::BoolByte(analysis.probed));
+  out.Put(util::CheckedNarrow<std::int32_t>(analysis.ever_active));
+  out.Put(analysis.short_series.first_round);
+  out.Put(static_cast<std::uint64_t>(analysis.short_series.size()));
+  out.PutArray(std::span<const double>{analysis.short_series.values});
+  out.Put(util::CheckedNarrow<std::int32_t>(analysis.observed_days));
+  out.Put(util::CheckedNarrow<std::uint8_t>(
+      static_cast<int>(analysis.diurnal.classification)));
+  out.Put(util::CheckedNarrow<std::int32_t>(analysis.diurnal.n_days));
+  out.Put(static_cast<std::uint64_t>(analysis.diurnal.daily_bin));
+  out.Put(analysis.diurnal.daily_amplitude);
+  out.Put(analysis.diurnal.phase);
+  out.Put(static_cast<std::uint64_t>(analysis.diurnal.strongest_bin));
+  out.Put(analysis.diurnal.strongest_amplitude);
+  out.Put(analysis.diurnal.strongest_cycles_per_day);
+  out.Put(analysis.stationarity.slope_per_round);
+  out.Put(analysis.stationarity.addresses_per_day);
+  out.Put(util::BoolByte(analysis.stationarity.stationary));
+  out.Put(analysis.mean_short);
+  out.Put(analysis.final_operational);
+  out.Put(analysis.mean_probes_per_round);
+  out.Put(util::CheckedNarrow<std::int32_t>(analysis.down_rounds));
+  out.Put(static_cast<std::uint64_t>(analysis.outage_starts.size()));
+  for (const auto start : analysis.outage_starts) out.Put(start);
+  out.Put(static_cast<std::uint64_t>(analysis.outages.size()));
   for (const auto& outage : analysis.outages) {
-    Put(out, outage.start_round);
-    Put(out, outage.rounds);
+    out.Put(outage.start_round);
+    out.Put(outage.rounds);
   }
 }
 
-bool GetAnalysis(std::ifstream& in, BlockAnalysis& analysis) {
+bool GetAnalysis(ByteReader& in, BlockAnalysis& analysis) {
   std::uint32_t index = 0;
   std::uint8_t probed = 0;
   std::int32_t ever_active = 0;
   std::uint64_t n_samples = 0;
-  if (!Get(in, index) || !Get(in, probed) || !Get(in, ever_active) ||
-      !Get(in, analysis.short_series.first_round) || !Get(in, n_samples) ||
+  if (!in.Get(index) || !in.Get(probed) || !in.Get(ever_active) ||
+      !in.Get(analysis.short_series.first_round) || !in.Get(n_samples) ||
       n_samples > kMaxCount) {
     return false;
   }
@@ -110,8 +115,8 @@ bool GetAnalysis(std::ifstream& in, BlockAnalysis& analysis) {
   analysis.probed = probed != 0;
   analysis.ever_active = ever_active;
   analysis.short_series.values.resize(n_samples);
-  for (auto& value : analysis.short_series.values) {
-    if (!Get(in, value)) return false;
+  if (!in.GetArray(analysis.short_series.values.data(), n_samples)) {
+    return false;
   }
   std::int32_t observed_days = 0;
   std::uint8_t classification = 0;
@@ -121,18 +126,18 @@ bool GetAnalysis(std::ifstream& in, BlockAnalysis& analysis) {
   std::uint8_t stationary = 0;
   std::int32_t down_rounds = 0;
   std::uint64_t n_starts = 0;
-  if (!Get(in, observed_days) || !Get(in, classification) ||
-      !Get(in, n_days) || !Get(in, daily_bin) ||
-      !Get(in, analysis.diurnal.daily_amplitude) ||
-      !Get(in, analysis.diurnal.phase) || !Get(in, strongest_bin) ||
-      !Get(in, analysis.diurnal.strongest_amplitude) ||
-      !Get(in, analysis.diurnal.strongest_cycles_per_day) ||
-      !Get(in, analysis.stationarity.slope_per_round) ||
-      !Get(in, analysis.stationarity.addresses_per_day) ||
-      !Get(in, stationary) || !Get(in, analysis.mean_short) ||
-      !Get(in, analysis.final_operational) ||
-      !Get(in, analysis.mean_probes_per_round) || !Get(in, down_rounds) ||
-      !Get(in, n_starts) || n_starts > kMaxCount) {
+  if (!in.Get(observed_days) || !in.Get(classification) ||
+      !in.Get(n_days) || !in.Get(daily_bin) ||
+      !in.Get(analysis.diurnal.daily_amplitude) ||
+      !in.Get(analysis.diurnal.phase) || !in.Get(strongest_bin) ||
+      !in.Get(analysis.diurnal.strongest_amplitude) ||
+      !in.Get(analysis.diurnal.strongest_cycles_per_day) ||
+      !in.Get(analysis.stationarity.slope_per_round) ||
+      !in.Get(analysis.stationarity.addresses_per_day) ||
+      !in.Get(stationary) || !in.Get(analysis.mean_short) ||
+      !in.Get(analysis.final_operational) ||
+      !in.Get(analysis.mean_probes_per_round) || !in.Get(down_rounds) ||
+      !in.Get(n_starts) || n_starts > kMaxCount) {
     return false;
   }
   analysis.observed_days = observed_days;
@@ -144,90 +149,211 @@ bool GetAnalysis(std::ifstream& in, BlockAnalysis& analysis) {
   analysis.down_rounds = down_rounds;
   analysis.outage_starts.resize(n_starts);
   for (auto& start : analysis.outage_starts) {
-    if (!Get(in, start)) return false;
+    if (!in.Get(start)) return false;
   }
   std::uint64_t n_outages = 0;
-  if (!Get(in, n_outages) || n_outages > kMaxCount) return false;
+  if (!in.Get(n_outages) || n_outages > kMaxCount) return false;
   analysis.outages.resize(n_outages);
   for (auto& outage : analysis.outages) {
-    if (!Get(in, outage.start_round) || !Get(in, outage.rounds)) {
+    if (!in.Get(outage.start_round) || !in.Get(outage.rounds)) {
       return false;
     }
   }
   return true;
 }
 
-void PutAnalyzerState(std::ofstream& out, const BlockAnalyzerState& state) {
-  Put(out, state.estimator.p_short);
-  Put(out, state.estimator.t_short);
-  Put(out, state.estimator.p_long);
-  Put(out, state.estimator.t_long);
-  Put(out, state.estimator.deviation);
-  Put(out, util::CheckedNarrow<std::int32_t>(state.estimator.rounds));
-  Put(out, util::BoolByte(state.has_prober));
-  Put(out, state.prober.cursor);
-  Put(out, state.prober.belief);
-  Put(out, static_cast<std::uint64_t>(state.raw.size()));
+void PutAnalyzerState(ByteWriter& out, const BlockAnalyzerState& state) {
+  out.Put(state.estimator.p_short);
+  out.Put(state.estimator.t_short);
+  out.Put(state.estimator.p_long);
+  out.Put(state.estimator.t_long);
+  out.Put(state.estimator.deviation);
+  out.Put(util::CheckedNarrow<std::int32_t>(state.estimator.rounds));
+  out.Put(util::BoolByte(state.has_prober));
+  out.Put(state.prober.cursor);
+  out.Put(state.prober.belief);
+  out.Put(static_cast<std::uint64_t>(state.raw.size()));
   for (const auto& observation : state.raw) {
-    Put(out, observation.round);
-    Put(out, observation.value);
+    out.Put(observation.round);
+    out.Put(observation.value);
   }
-  Put(out, state.total_probes);
-  Put(out, state.rounds_run);
-  Put(out, util::CheckedNarrow<std::int32_t>(state.down_rounds));
-  Put(out, util::BoolByte(state.previous_down));
-  Put(out, static_cast<std::uint64_t>(state.outage_starts.size()));
-  for (const auto start : state.outage_starts) Put(out, start);
-  Put(out, static_cast<std::uint64_t>(state.outages.size()));
+  out.Put(state.total_probes);
+  out.Put(state.rounds_run);
+  out.Put(util::CheckedNarrow<std::int32_t>(state.down_rounds));
+  out.Put(util::BoolByte(state.previous_down));
+  out.Put(static_cast<std::uint64_t>(state.outage_starts.size()));
+  for (const auto start : state.outage_starts) out.Put(start);
+  out.Put(static_cast<std::uint64_t>(state.outages.size()));
   for (const auto& outage : state.outages) {
-    Put(out, outage.start_round);
-    Put(out, outage.rounds);
+    out.Put(outage.start_round);
+    out.Put(outage.rounds);
   }
 }
 
-bool GetAnalyzerState(std::ifstream& in, BlockAnalyzerState& state) {
+bool GetAnalyzerState(ByteReader& in, BlockAnalyzerState& state) {
   std::int32_t estimator_rounds = 0;
   std::uint8_t has_prober = 0;
   std::uint64_t n_raw = 0;
-  if (!Get(in, state.estimator.p_short) || !Get(in, state.estimator.t_short) ||
-      !Get(in, state.estimator.p_long) || !Get(in, state.estimator.t_long) ||
-      !Get(in, state.estimator.deviation) || !Get(in, estimator_rounds) ||
-      !Get(in, has_prober) || !Get(in, state.prober.cursor) ||
-      !Get(in, state.prober.belief) || !Get(in, n_raw) ||
-      n_raw > kMaxCount) {
+  if (!in.Get(state.estimator.p_short) || !in.Get(state.estimator.t_short) ||
+      !in.Get(state.estimator.p_long) || !in.Get(state.estimator.t_long) ||
+      !in.Get(state.estimator.deviation) || !in.Get(estimator_rounds) ||
+      !in.Get(has_prober) || !in.Get(state.prober.cursor) ||
+      !in.Get(state.prober.belief) || !in.Get(n_raw) || n_raw > kMaxCount) {
     return false;
   }
   state.estimator.rounds = estimator_rounds;
   state.has_prober = has_prober != 0;
   state.raw.resize(n_raw);
   for (auto& observation : state.raw) {
-    if (!Get(in, observation.round) || !Get(in, observation.value)) {
+    if (!in.Get(observation.round) || !in.Get(observation.value)) {
       return false;
     }
   }
   std::int32_t down_rounds = 0;
   std::uint8_t previous_down = 0;
   std::uint64_t n_starts = 0;
-  if (!Get(in, state.total_probes) || !Get(in, state.rounds_run) ||
-      !Get(in, down_rounds) || !Get(in, previous_down) ||
-      !Get(in, n_starts) || n_starts > kMaxCount) {
+  if (!in.Get(state.total_probes) || !in.Get(state.rounds_run) ||
+      !in.Get(down_rounds) || !in.Get(previous_down) ||
+      !in.Get(n_starts) || n_starts > kMaxCount) {
     return false;
   }
   state.down_rounds = down_rounds;
   state.previous_down = previous_down != 0;
   state.outage_starts.resize(n_starts);
   for (auto& start : state.outage_starts) {
-    if (!Get(in, start)) return false;
+    if (!in.Get(start)) return false;
   }
   std::uint64_t n_outages = 0;
-  if (!Get(in, n_outages) || n_outages > kMaxCount) return false;
+  if (!in.Get(n_outages) || n_outages > kMaxCount) return false;
   state.outages.resize(n_outages);
   for (auto& outage : state.outages) {
-    if (!Get(in, outage.start_round) || !Get(in, outage.rounds)) {
+    if (!in.Get(outage.start_round) || !in.Get(outage.rounds)) {
       return false;
     }
   }
   return true;
+}
+
+void AppendSection(ByteWriter& out, std::uint32_t id, ByteWriter payload) {
+  const auto bytes = payload.Take();
+  out.Put(id);
+  out.Put(static_cast<std::uint64_t>(bytes.size()));
+  out.Put(net::Crc32cOf(bytes));
+  out.PutBytes(bytes);
+}
+
+bool DecodeMeta(ByteReader& in, Checkpoint& checkpoint,
+                CheckpointLoadReport& report) {
+  std::uint32_t meta_version = 0;
+  if (!in.Get(meta_version)) return false;
+  if (meta_version != kCheckpointVersion) {
+    // A v2 container carrying another version's payload is a spliced /
+    // mixed-version file; refuse rather than reinterpret.
+    report.version_refused = true;
+    report.detail = "META format version mismatch";
+    return false;
+  }
+  return in.Get(checkpoint.counts.strict) &&
+         in.Get(checkpoint.counts.relaxed) &&
+         in.Get(checkpoint.counts.non_diurnal) &&
+         in.Get(checkpoint.counts.skipped) &&
+         GetStats(in, checkpoint.stats) && in.Get(checkpoint.next_block) &&
+         in.remaining() == 0;
+}
+
+bool DecodeCompleted(ByteReader& in, Checkpoint& checkpoint) {
+  std::uint64_t count = 0;
+  if (!in.Get(count) || count > kMaxCount) return false;
+  checkpoint.completed.resize(count);
+  for (auto& analysis : checkpoint.completed) {
+    if (!GetAnalysis(in, analysis)) return false;
+  }
+  return in.remaining() == 0;
+}
+
+bool DecodeQuarantined(ByteReader& in, Checkpoint& checkpoint) {
+  std::uint64_t count = 0;
+  if (!in.Get(count) || count > kMaxCount) return false;
+  checkpoint.quarantined.resize(count);
+  for (auto& index : checkpoint.quarantined) {
+    if (!in.Get(index)) return false;
+  }
+  return in.remaining() == 0;
+}
+
+bool DecodeInflight(ByteReader& in, Checkpoint& checkpoint) {
+  std::uint8_t has_inflight = 0;
+  if (!in.Get(has_inflight)) return false;
+  checkpoint.has_inflight = has_inflight != 0;
+  if (!checkpoint.has_inflight) return in.remaining() == 0;
+  std::int32_t failures = 0;
+  if (!in.Get(checkpoint.inflight_next_round) || !in.Get(failures) ||
+      !GetAnalyzerState(in, checkpoint.inflight)) {
+    return false;
+  }
+  checkpoint.inflight_consecutive_failures = failures;
+  return in.remaining() == 0;
+}
+
+/// SLCK v1: the unframed stream format (no checksums, resumed flag
+/// persisted). Reader is positioned just after the u32 version.
+std::optional<Checkpoint> DecodeV1(ByteReader& in,
+                                   CheckpointLoadReport& report) {
+  const auto fail = [&report](const char* what) -> std::optional<Checkpoint> {
+    report.corrupt_sections = std::max(report.corrupt_sections, 1);
+    if (report.detail.empty()) report.detail = what;
+    return std::nullopt;
+  };
+  Checkpoint checkpoint;
+  std::uint8_t resumed = 0;
+  if (!in.Get(checkpoint.fingerprint) ||
+      !in.Get(checkpoint.counts.strict) ||
+      !in.Get(checkpoint.counts.relaxed) ||
+      !in.Get(checkpoint.counts.non_diurnal) ||
+      !in.Get(checkpoint.counts.skipped) ||
+      !GetStats(in, checkpoint.stats) || !in.Get(resumed)) {
+    return fail("v1 header/stats truncated");
+  }
+  checkpoint.stats.resumed_from_checkpoint = resumed != 0;
+  std::uint64_t completed_count = 0;
+  if (!in.Get(completed_count) || completed_count > kMaxCount) {
+    return fail("v1 completed count");
+  }
+  checkpoint.completed.resize(completed_count);
+  for (auto& analysis : checkpoint.completed) {
+    if (!GetAnalysis(in, analysis)) return fail("v1 completed record");
+  }
+  std::uint64_t quarantined_count = 0;
+  if (!in.Get(quarantined_count) || quarantined_count > kMaxCount) {
+    return fail("v1 quarantined count");
+  }
+  checkpoint.quarantined.resize(quarantined_count);
+  for (auto& index : checkpoint.quarantined) {
+    if (!in.Get(index)) return fail("v1 quarantined record");
+  }
+  std::uint8_t has_inflight = 0;
+  if (!in.Get(checkpoint.next_block) || !in.Get(has_inflight)) {
+    return fail("v1 cursor");
+  }
+  checkpoint.has_inflight = has_inflight != 0;
+  if (checkpoint.has_inflight) {
+    std::int32_t failures = 0;
+    if (!in.Get(checkpoint.inflight_next_round) || !in.Get(failures) ||
+        !GetAnalyzerState(in, checkpoint.inflight)) {
+      return fail("v1 inflight state");
+    }
+    checkpoint.inflight_consecutive_failures = failures;
+  }
+  std::uint64_t transport_bytes = 0;
+  if (!in.Get(transport_bytes) || transport_bytes > kMaxCount) {
+    return fail("v1 transport length");
+  }
+  checkpoint.transport_state.resize(transport_bytes);
+  if (!in.GetBytes(checkpoint.transport_state.data(), transport_bytes)) {
+    return fail("v1 transport bytes");
+  }
+  report.generation = checkpoint.stats.checkpoints_written;
+  return checkpoint;
 }
 
 }  // namespace
@@ -249,104 +375,304 @@ std::uint64_t CampaignFingerprint(const std::vector<BlockTarget>& targets,
   return hash;
 }
 
-bool WriteCheckpoint(const std::string& path, const Checkpoint& checkpoint) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
-    if (!out) return false;
+std::vector<std::uint8_t> EncodeCheckpoint(const Checkpoint& checkpoint) {
+  ByteWriter out;
+  out.PutBytes(std::span{reinterpret_cast<const std::uint8_t*>(kMagic),
+                         sizeof(kMagic)});
 
-    out.write(kMagic, sizeof(kMagic));
-    Put(out, kCheckpointVersion);
-    Put(out, checkpoint.fingerprint);
-    Put(out, checkpoint.counts.strict);
-    Put(out, checkpoint.counts.relaxed);
-    Put(out, checkpoint.counts.non_diurnal);
-    Put(out, checkpoint.counts.skipped);
-    PutStats(out, checkpoint.stats);
-    Put(out, static_cast<std::uint64_t>(checkpoint.completed.size()));
-    for (const auto& analysis : checkpoint.completed) {
-      PutAnalysis(out, analysis);
-    }
-    Put(out, static_cast<std::uint64_t>(checkpoint.quarantined.size()));
-    for (const auto index : checkpoint.quarantined) Put(out, index);
-    Put(out, checkpoint.next_block);
-    Put(out, util::BoolByte(checkpoint.has_inflight));
-    if (checkpoint.has_inflight) {
-      Put(out, checkpoint.inflight_next_round);
-      Put(out, util::CheckedNarrow<std::int32_t>(
-                   checkpoint.inflight_consecutive_failures));
-      PutAnalyzerState(out, checkpoint.inflight);
-    }
-    Put(out, static_cast<std::uint64_t>(checkpoint.transport_state.size()));
-    out.write(
-        reinterpret_cast<const char*>(checkpoint.transport_state.data()),
-        static_cast<std::streamsize>(checkpoint.transport_state.size()));
-    if (!out) return false;
+  ByteWriter header;
+  header.Put(kCheckpointVersion);
+  header.Put(checkpoint.fingerprint);
+  header.Put(checkpoint.stats.checkpoints_written);  // generation
+  header.Put(kSectionCount);
+  out.PutBytes(header.bytes());
+  out.Put(net::Crc32cOf(header.bytes()));
+
+  ByteWriter meta;
+  meta.Put(kCheckpointVersion);
+  meta.Put(checkpoint.counts.strict);
+  meta.Put(checkpoint.counts.relaxed);
+  meta.Put(checkpoint.counts.non_diurnal);
+  meta.Put(checkpoint.counts.skipped);
+  PutStats(meta, checkpoint.stats);
+  meta.Put(checkpoint.next_block);
+  AppendSection(out, kSectionMeta, std::move(meta));
+
+  ByteWriter completed;
+  // The COMPLETED section carries nearly all of the file; pre-size both
+  // it and the assembly buffer so encoding a campaign-sized checkpoint
+  // is one pass of memcpys, not a chain of regrowth copies. 128 bytes
+  // generously covers everything in a record besides its series.
+  std::size_t completed_bytes = 8;
+  for (const auto& analysis : checkpoint.completed) {
+    completed_bytes += 128 + 8 * analysis.short_series.size() +
+                       16 * analysis.outages.size() +
+                       8 * analysis.outage_starts.size();
   }
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
+  completed.Reserve(completed_bytes);
+  out.Reserve(completed_bytes + checkpoint.transport_state.size() + 1024);
+  completed.Put(static_cast<std::uint64_t>(checkpoint.completed.size()));
+  for (const auto& analysis : checkpoint.completed) {
+    PutAnalysis(completed, analysis);
+  }
+  AppendSection(out, kSectionCompleted, std::move(completed));
+
+  ByteWriter quarantined;
+  quarantined.Put(static_cast<std::uint64_t>(checkpoint.quarantined.size()));
+  for (const auto index : checkpoint.quarantined) quarantined.Put(index);
+  AppendSection(out, kSectionQuarantined, std::move(quarantined));
+
+  ByteWriter inflight;
+  inflight.Put(util::BoolByte(checkpoint.has_inflight));
+  if (checkpoint.has_inflight) {
+    inflight.Put(checkpoint.inflight_next_round);
+    inflight.Put(util::CheckedNarrow<std::int32_t>(
+        checkpoint.inflight_consecutive_failures));
+    PutAnalyzerState(inflight, checkpoint.inflight);
+  }
+  AppendSection(out, kSectionInflight, std::move(inflight));
+
+  ByteWriter transport;
+  transport.PutBytes(checkpoint.transport_state);
+  AppendSection(out, kSectionTransport, std::move(transport));
+
+  return out.Take();
 }
 
-std::optional<Checkpoint> ReadCheckpoint(const std::string& path) {
-  std::ifstream in{path, std::ios::binary};
-  if (!in) return std::nullopt;
+std::optional<Checkpoint> DecodeCheckpoint(std::span<const std::uint8_t> bytes,
+                                           CheckpointLoadReport* report) {
+  CheckpointLoadReport scratch;
+  CheckpointLoadReport& out = report != nullptr ? *report : scratch;
+  out.found = true;
 
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  ByteReader in{bytes};
+  char magic[4] = {};
+  if (!in.GetBytes(reinterpret_cast<std::uint8_t*>(magic), sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    out.bad_magic = true;
+    out.detail = "bad magic";
     return std::nullopt;
   }
-  std::uint32_t version = 0;
-  if (!Get(in, version) || version != kCheckpointVersion) {
+  if (!in.Get(out.version)) {
+    out.corrupt_sections = 1;
+    out.detail = "truncated before version";
+    return std::nullopt;
+  }
+  if (out.version == 1) return DecodeV1(in, out);
+  if (out.version != kCheckpointVersion) {
+    out.version_refused = true;
+    out.detail = "unsupported version";
     return std::nullopt;
   }
 
   Checkpoint checkpoint;
-  if (!Get(in, checkpoint.fingerprint) ||
-      !Get(in, checkpoint.counts.strict) ||
-      !Get(in, checkpoint.counts.relaxed) ||
-      !Get(in, checkpoint.counts.non_diurnal) ||
-      !Get(in, checkpoint.counts.skipped) ||
-      !GetStats(in, checkpoint.stats)) {
+  std::uint32_t n_sections = 0;
+  std::uint32_t header_crc = 0;
+  if (!in.Get(checkpoint.fingerprint) || !in.Get(out.generation) ||
+      !in.Get(n_sections) || !in.Get(header_crc)) {
+    out.corrupt_sections = 1;
+    out.detail = "truncated header";
     return std::nullopt;
   }
-  std::uint64_t completed_count = 0;
-  if (!Get(in, completed_count) || completed_count > kMaxCount) {
+  if (bytes.size() < 4 + kHeaderBytes ||
+      net::Crc32cOf(bytes.subspan(4, kHeaderBytes)) != header_crc) {
+    out.corrupt_sections = 1;
+    out.detail = "header CRC mismatch";
     return std::nullopt;
   }
-  checkpoint.completed.resize(completed_count);
-  for (auto& analysis : checkpoint.completed) {
-    if (!GetAnalysis(in, analysis)) return std::nullopt;
-  }
-  std::uint64_t quarantined_count = 0;
-  if (!Get(in, quarantined_count) || quarantined_count > kMaxCount) {
+  if (n_sections > 64) {
+    out.corrupt_sections = 1;
+    out.detail = "implausible section count";
     return std::nullopt;
   }
-  checkpoint.quarantined.resize(quarantined_count);
-  for (auto& index : checkpoint.quarantined) {
-    if (!Get(in, index)) return std::nullopt;
-  }
-  std::uint8_t has_inflight = 0;
-  if (!Get(in, checkpoint.next_block) || !Get(in, has_inflight)) {
-    return std::nullopt;
-  }
-  checkpoint.has_inflight = has_inflight != 0;
-  if (checkpoint.has_inflight) {
-    std::int32_t failures = 0;
-    if (!Get(in, checkpoint.inflight_next_round) || !Get(in, failures) ||
-        !GetAnalyzerState(in, checkpoint.inflight)) {
-      return std::nullopt;
+
+  const auto note = [&out](const std::string& what) {
+    ++out.corrupt_sections;
+    if (out.detail.empty()) out.detail = what;
+  };
+
+  bool seen[kSectionCount + 1] = {};
+  for (std::uint32_t s = 0; s < n_sections; ++s) {
+    std::uint32_t id = 0;
+    std::uint64_t length = 0;
+    std::uint32_t crc = 0;
+    if (!in.Get(id) || !in.Get(length) || !in.Get(crc) ||
+        length > in.remaining()) {
+      // The frame chain itself is broken; nothing after it is locatable.
+      note("section " + std::to_string(s) + " frame truncated");
+      break;
     }
-    checkpoint.inflight_consecutive_failures = failures;
+    const auto payload = in.Rest().first(length);
+    in.Skip(length);
+    if (net::Crc32cOf(payload) != crc) {
+      note("section id " + std::to_string(id) + " CRC mismatch");
+      continue;
+    }
+    if (id >= 1 && id <= kSectionCount) {
+      if (seen[id]) {
+        note("section id " + std::to_string(id) + " duplicated");
+        continue;
+      }
+      seen[id] = true;
+    }
+    ByteReader section{payload};
+    bool decoded = true;
+    switch (id) {
+      case kSectionMeta:
+        decoded = DecodeMeta(section, checkpoint, out);
+        if (out.version_refused) return std::nullopt;
+        break;
+      case kSectionCompleted:
+        decoded = DecodeCompleted(section, checkpoint);
+        break;
+      case kSectionQuarantined:
+        decoded = DecodeQuarantined(section, checkpoint);
+        break;
+      case kSectionInflight:
+        decoded = DecodeInflight(section, checkpoint);
+        break;
+      case kSectionTransport:
+        checkpoint.transport_state.assign(payload.begin(), payload.end());
+        break;
+      default:
+        break;  // unknown-but-checksummed: skippable (forward compat)
+    }
+    if (!decoded) note("section id " + std::to_string(id) + " malformed");
   }
-  std::uint64_t transport_bytes = 0;
-  if (!Get(in, transport_bytes) || transport_bytes > kMaxCount) {
+
+  if (in.remaining() != 0) note("trailing bytes after last section");
+  for (std::uint32_t id = 1; id <= kSectionCount; ++id) {
+    if (!seen[id]) note("section id " + std::to_string(id) + " missing");
+  }
+  if (out.corrupt_sections > 0) return std::nullopt;
+  return checkpoint;
+}
+
+storage::Error WriteCheckpoint(storage::Env& env, const std::string& path,
+                               const Checkpoint& checkpoint) {
+  return storage::AtomicWrite(env, path, EncodeCheckpoint(checkpoint));
+}
+
+std::optional<Checkpoint> ReadCheckpoint(storage::Env& env,
+                                         const std::string& path,
+                                         CheckpointLoadReport* report) {
+  std::vector<std::uint8_t> bytes;
+  if (auto error = env.ReadAll(path, bytes); !error.ok()) {
+    if (report != nullptr) {
+      report->found = false;
+      report->detail = error.ToString();
+    }
     return std::nullopt;
   }
-  checkpoint.transport_state.resize(transport_bytes);
-  in.read(reinterpret_cast<char*>(checkpoint.transport_state.data()),
-          static_cast<std::streamsize>(transport_bytes));
-  if (!in) return std::nullopt;
-  return checkpoint;
+  return DecodeCheckpoint(bytes, report);
+}
+
+bool WriteCheckpoint(const std::string& path, const Checkpoint& checkpoint) {
+  return WriteCheckpoint(storage::RealEnvInstance(), path, checkpoint).ok();
+}
+
+std::optional<Checkpoint> ReadCheckpoint(const std::string& path) {
+  return ReadCheckpoint(storage::RealEnvInstance(), path, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointStore
+
+CheckpointStore::CheckpointStore(storage::Env& env, std::string path,
+                                 int keep)
+    : env_(env),
+      path_(std::move(path)),
+      dir_(storage::DirName(path_)),
+      keep_(std::max(keep, 1)) {
+  const auto slash = path_.find_last_of('/');
+  base_ = slash == std::string::npos ? path_ : path_.substr(slash + 1);
+}
+
+std::vector<std::pair<std::uint64_t, std::string>>
+CheckpointStore::Generations() {
+  std::vector<std::pair<std::uint64_t, std::string>> generations;
+  const std::string prefix = base_ + ".g";
+  for (const auto& name : env_.List(dir_)) {
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    const std::string digits = name.substr(prefix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;  // .corrupt remnants and other non-generation names
+    }
+    generations.emplace_back(std::strtoull(digits.c_str(), nullptr, 10),
+                             dir_ + "/" + name);
+  }
+  std::sort(generations.begin(), generations.end());
+  return generations;
+}
+
+storage::Error CheckpointStore::Save(const Checkpoint& checkpoint) {
+  if (auto error =
+          storage::AtomicWrite(env_, path_, EncodeCheckpoint(checkpoint));
+      !error.ok()) {
+    return error;
+  }
+  if (keep_ <= 1) return {};
+
+  const std::uint64_t generation = checkpoint.stats.checkpoints_written;
+  const std::string gen_path = path_ + ".g" + std::to_string(generation);
+  if (env_.Exists(gen_path)) env_.Remove(gen_path);  // stale rerun leftover
+  if (auto error = env_.Link(path_, gen_path); !error.ok()) return error;
+  for (const auto& [gen, stale_path] : Generations()) {
+    if (gen + static_cast<std::uint64_t>(keep_) <= generation) {
+      env_.Remove(stale_path);
+    }
+  }
+  return env_.SyncDir(dir_);
+}
+
+std::optional<Checkpoint> CheckpointStore::Load(std::uint64_t fingerprint,
+                                                RecoveryEvents& events) {
+  if (!env_.Exists(path_)) {
+    // The primary file was never written or was deliberately deleted: a
+    // fresh campaign. Stale generations from an earlier run must not
+    // resurrect it behind the caller's back.
+    DiscardGenerations();
+    return std::nullopt;
+  }
+
+  std::vector<std::string> candidates{path_};
+  auto generations = Generations();
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    candidates.push_back(it->second);
+  }
+
+  for (const auto& candidate : candidates) {
+    std::vector<std::uint8_t> bytes;
+    if (auto error = env_.ReadAll(candidate, bytes); !error.ok()) continue;
+    CheckpointLoadReport report;
+    auto checkpoint = DecodeCheckpoint(bytes, &report);
+    if (!checkpoint) {
+      events.corrupt_sections +=
+          static_cast<std::uint64_t>(std::max(report.corrupt_sections, 1));
+      ++events.generations_discarded;
+      // Quarantine the damaged file for post-mortem; the next Save must
+      // not hard-link on top of it either way.
+      env_.Remove(candidate + ".corrupt");
+      env_.Rename(candidate, candidate + ".corrupt");
+      continue;
+    }
+    if (checkpoint->fingerprint != fingerprint) continue;
+    if (candidate != path_) ++events.recoveries;
+    return checkpoint;
+  }
+  return std::nullopt;
+}
+
+void CheckpointStore::DiscardGenerations() {
+  const std::string prefix = base_ + ".g";
+  for (const auto& name : env_.List(dir_)) {
+    const bool generation_file =
+        name.compare(0, prefix.size(), prefix) == 0;
+    const bool remnant =
+        name == base_ + ".corrupt" || name == base_ + ".tmp";
+    if (generation_file || remnant) env_.Remove(dir_ + "/" + name);
+  }
 }
 
 }  // namespace sleepwalk::core

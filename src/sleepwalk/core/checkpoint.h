@@ -8,34 +8,56 @@
 // resilience statistics, and the transport's serialized state (for
 // stateful/simulated transports).
 //
-// Format "SLCK" v1 (little-endian, like dataset.cc's "SLPW"):
-//   magic "SLCK" | u32 version | u64 campaign_fingerprint
-//   | counts (4 x i64) | resilience stats | u64 completed_count
-//   | completed BlockAnalysis records (full f64 series)
-//   | u64 quarantined_count | u32 prefix indices
-//   | u64 next_block | u8 has_inflight
-//   | [inflight: i64 next_round | i32 consecutive_failures
-//      | BlockAnalyzerState]
-//   | u64 transport_state_bytes | bytes
-// The fingerprint binds a checkpoint to its campaign: resuming with
-// different targets, rounds, seed, or schedule is refused rather than
-// silently producing a franken-dataset.
+// Format "SLCK" v2 (little-endian; encode/decode are pure in-memory
+// transforms over storage/bytes.h, moved atomically by storage/file.h):
+//
+//   magic "SLCK"
+//   | u32 version | u64 campaign_fingerprint | u64 generation
+//   | u32 n_sections | u32 header_crc32c            (over the 24 bytes
+//                                                    after the magic)
+//   then n_sections framed sections:
+//   u32 section_id | u64 payload_len | u32 payload_crc32c | payload
+//
+// Sections (every one present exactly once):
+//   META        format version (mixed-version refusal), diurnal counts,
+//               resilience stats, next_block
+//   COMPLETED   finished BlockAnalysis records (full f64 series)
+//   QUARANTINED abandoned prefix indices
+//   INFLIGHT    the open block's BlockAnalyzerState, if any
+//   TRANSPORT   serialized transport state
+//
+// Every section is independently CRC32C-framed (net/checksum.h), so a
+// torn write, a truncation, or a bit flip is *detected* — and the
+// CheckpointStore below *recovers*: it rotates generation-numbered
+// hard-linked snapshots (<path>.g<N>, keep last K) and falls back to
+// the newest intact generation when the primary file is damaged,
+// quarantining the corrupt file as <name>.corrupt for post-mortem.
+//
+// v1 files (the pre-checksum format) are still readable; the writer
+// emits v2 only. The fingerprint binds a checkpoint to its campaign:
+// resuming with different targets, rounds, seed, or schedule is refused
+// rather than silently producing a franken-dataset. The generation
+// number is the checkpoint's own checkpoints_written count, so crashed
+// and uninterrupted timelines number their snapshots identically.
 #ifndef SLEEPWALK_CORE_CHECKPOINT_H_
 #define SLEEPWALK_CORE_CHECKPOINT_H_
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sleepwalk/core/block_analyzer.h"
 #include "sleepwalk/core/pipeline.h"
 #include "sleepwalk/report/resilience.h"
+#include "sleepwalk/storage/file.h"
 
 namespace sleepwalk::core {
 
 /// Checkpoint format version; bump on any layout change.
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Everything a resumed campaign needs.
 struct Checkpoint {
@@ -54,6 +76,26 @@ struct Checkpoint {
   std::vector<std::uint8_t> transport_state;
 };
 
+/// What a decode attempt saw — the forensic record slck_fsck prints and
+/// the recovery metrics count.
+struct CheckpointLoadReport {
+  bool found = false;          ///< file existed and was readable
+  bool bad_magic = false;
+  std::uint32_t version = 0;   ///< header version, when readable
+  bool version_refused = false;  ///< unknown or mixed version
+  int corrupt_sections = 0;    ///< CRC failures, truncations, framing
+  std::uint64_t generation = 0;
+  std::string detail;          ///< first failure, human-readable
+};
+
+/// Recovery accounting for one campaign start (exported on
+/// CampaignOutcome and as supervisor_checkpoint_* metrics).
+struct RecoveryEvents {
+  std::uint64_t recoveries = 0;  ///< resumed from a fallback generation
+  std::uint64_t corrupt_sections = 0;
+  std::uint64_t generations_discarded = 0;
+};
+
 /// Identity of a campaign: seed, rounds, schedule, and the target list.
 /// Two campaigns share a fingerprint iff a checkpoint from one is a valid
 /// resume point for the other.
@@ -61,13 +103,69 @@ std::uint64_t CampaignFingerprint(const std::vector<BlockTarget>& targets,
                                   std::int64_t n_rounds, std::uint64_t seed,
                                   const AnalyzerConfig& config);
 
-/// Atomically writes `checkpoint` to `path` (tmp file + rename), so a
-/// crash mid-write leaves the previous checkpoint intact.
-bool WriteCheckpoint(const std::string& path, const Checkpoint& checkpoint);
+/// Serializes `checkpoint` as SLCK v2. The header's generation is the
+/// checkpoint's own stats.checkpoints_written.
+std::vector<std::uint8_t> EncodeCheckpoint(const Checkpoint& checkpoint);
 
-/// Reads a checkpoint; nullopt on I/O error, bad magic, version mismatch,
-/// or truncation.
+/// Decodes SLCK v1 or v2 bytes; nullopt on bad magic, version mismatch,
+/// truncation, or any section CRC failure (details in `report`).
+std::optional<Checkpoint> DecodeCheckpoint(
+    std::span<const std::uint8_t> bytes,
+    CheckpointLoadReport* report = nullptr);
+
+/// Atomically and durably writes `checkpoint` to `path` through `env`
+/// (tmp + fsync + rename + dir-fsync; the tmp file is unlinked on every
+/// error path and the Error carries the failing step's errno).
+storage::Error WriteCheckpoint(storage::Env& env, const std::string& path,
+                               const Checkpoint& checkpoint);
+
+/// Reads one checkpoint file; nullopt on any I/O or decode failure.
+std::optional<Checkpoint> ReadCheckpoint(
+    storage::Env& env, const std::string& path,
+    CheckpointLoadReport* report = nullptr);
+
+/// Convenience wrappers over the process-wide real filesystem.
+bool WriteCheckpoint(const std::string& path, const Checkpoint& checkpoint);
 std::optional<Checkpoint> ReadCheckpoint(const std::string& path);
+
+/// Generation-rotating checkpoint store.
+///
+/// The newest checkpoint always lives at exactly `path` (so external
+/// tooling and byte-equality tests see one canonical file); the last
+/// `keep` generations additionally survive as hard links `path.g<N>`.
+/// Load() prefers the primary file and walks generations newest-first
+/// when it is corrupt — the self-healing path.
+class CheckpointStore {
+ public:
+  /// `keep` <= 1 disables rotation (primary file only).
+  CheckpointStore(storage::Env& env, std::string path, int keep);
+
+  /// Durably persists `checkpoint` and rotates generations.
+  storage::Error Save(const Checkpoint& checkpoint);
+
+  /// Newest intact checkpoint whose fingerprint matches. Corrupt
+  /// candidates are quarantined (renamed *.corrupt) and counted in
+  /// `events`; a fallback hit counts as a recovery. When the primary
+  /// file is absent the campaign is considered deliberately fresh and
+  /// stale generations are discarded rather than resurrected.
+  std::optional<Checkpoint> Load(std::uint64_t fingerprint,
+                                 RecoveryEvents& events);
+
+  /// Removes every retained generation (and quarantined remnants).
+  void DiscardGenerations();
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  /// (generation, full path) of retained generation files, ascending.
+  std::vector<std::pair<std::uint64_t, std::string>> Generations();
+
+  storage::Env& env_;
+  std::string path_;
+  std::string dir_;
+  std::string base_;  ///< file name of `path_` within `dir_`
+  int keep_;
+};
 
 }  // namespace sleepwalk::core
 

@@ -5,12 +5,21 @@
 // property: a measured campaign can be written to a compact binary file
 // and re-analyzed later without re-probing.
 //
-// Format "SLPW" v1 (little-endian):
-//   magic "SLPW" | u32 version | i64 round_seconds | i64 epoch_sec
-//   | u64 block_count
-//   then per block:
+// Format "SLPW" v2 (little-endian; encoded in memory via
+// storage/bytes.h, moved atomically by storage/file.h):
+//   magic "SLPW"
+//   | u32 version | i64 round_seconds | i64 epoch_sec | u64 block_count
+//   | u32 header_crc32c                  (over the 28 bytes after magic)
+//   then per block one framed record:
+//   u32 payload_len | u32 payload_crc32c | payload
+//   where payload is the v1 record:
 //   u32 prefix_index | u16 ever_active | u8 probed | i64 first_round
 //   | u32 n_samples | n_samples * f32 (the cleaned A-hat_s series)
+//
+// The per-record CRC32C turns silent bit rot into a detected, *localized*
+// failure: the strict loader refuses the file, the tolerant loader skips
+// the damaged record(s) and reports how many were lost. v1 files (no
+// framing, no checksums) are still readable; the writer emits v2 only.
 #ifndef SLEEPWALK_CORE_DATASET_H_
 #define SLEEPWALK_CORE_DATASET_H_
 
@@ -22,9 +31,13 @@
 
 #include "sleepwalk/core/block_analyzer.h"
 #include "sleepwalk/net/ipv4.h"
+#include "sleepwalk/storage/file.h"
 #include "sleepwalk/ts/series.h"
 
 namespace sleepwalk::core {
+
+/// Dataset format version; bump on any layout change.
+inline constexpr std::uint32_t kDatasetVersion = 2;
 
 /// One block's stored measurement.
 struct StoredSeries {
@@ -41,14 +54,49 @@ struct Dataset {
   std::vector<StoredSeries> blocks;
 };
 
-/// Writes a campaign's analyses to `path`. Returns false on I/O error.
+/// What a dataset decode saw (mirrors CheckpointLoadReport; printed by
+/// slck_fsck and asserted by the robustness tests).
+struct DatasetLoadReport {
+  bool found = false;          ///< file existed and was readable
+  bool bad_magic = false;
+  std::uint32_t version = 0;   ///< header version, when readable
+  bool version_refused = false;
+  int corrupt_records = 0;     ///< CRC failures / truncations seen
+  std::uint64_t records_expected = 0;  ///< header block_count
+  std::string detail;          ///< first failure, human-readable
+};
+
+/// Serializes analyses as SLPW v2.
+std::vector<std::uint8_t> EncodeDataset(std::span<const BlockAnalysis> analyses,
+                                        std::int64_t round_seconds = 660,
+                                        std::int64_t epoch_sec = 0);
+
+/// Decodes SLPW v1 or v2 bytes. Strict: any corrupt or truncated record
+/// fails the whole load (details in `report`).
+std::optional<Dataset> DecodeDataset(std::span<const std::uint8_t> bytes,
+                                     DatasetLoadReport* report = nullptr);
+
+/// Salvaging decode (v2 only benefits; v1 has no record framing): CRC-
+/// damaged records are skipped and counted, intact ones are returned.
+/// nullopt only when the header itself is unusable.
+std::optional<Dataset> DecodeDatasetTolerant(
+    std::span<const std::uint8_t> bytes, DatasetLoadReport* report = nullptr);
+
+/// Atomically and durably writes the dataset through `env`.
+storage::Error WriteDataset(storage::Env& env, const std::string& path,
+                            std::span<const BlockAnalysis> analyses,
+                            std::int64_t round_seconds = 660,
+                            std::int64_t epoch_sec = 0);
+
+/// Strict read through `env`; nullopt on any I/O or decode failure.
+std::optional<Dataset> ReadDataset(storage::Env& env, const std::string& path,
+                                   DatasetLoadReport* report = nullptr);
+
+/// Convenience wrappers over the process-wide real filesystem.
 bool WriteDataset(const std::string& path,
                   std::span<const BlockAnalysis> analyses,
                   std::int64_t round_seconds = 660,
                   std::int64_t epoch_sec = 0);
-
-/// Reads a dataset; nullopt on I/O error, bad magic, unsupported
-/// version, or truncation.
 std::optional<Dataset> ReadDataset(const std::string& path);
 
 /// Re-analyzes a stored series: stationarity + diurnal classification,

@@ -344,14 +344,46 @@ CampaignOutcome RunParallelCampaign(std::vector<BlockTarget> targets,
                     {"checkpointing", !config.checkpoint_path.empty()}});
   }
 
+  storage::Env& env =
+      config.env != nullptr ? *config.env : storage::RealEnvInstance();
+  CheckpointStore store{env, config.checkpoint_path,
+                        config.checkpoint_keep};
+
   std::size_t first_block = 0;
   if (!config.checkpoint_path.empty()) {
+    RecoveryEvents recovery;
+    auto checkpoint = store.Load(fingerprint, recovery);
+    ledger.NoteRecovery(recovery);
+    if (recovery.generations_discarded > 0) {
+      if (metrics.corrupt_sections != nullptr) {
+        metrics.corrupt_sections->Inc(
+            static_cast<double>(recovery.corrupt_sections));
+      }
+      if (metrics.generations_discarded != nullptr) {
+        metrics.generations_discarded->Inc(
+            static_cast<double>(recovery.generations_discarded));
+      }
+      if (metrics.checkpoint_recoveries != nullptr &&
+          recovery.recoveries > 0) {
+        metrics.checkpoint_recoveries->Inc(
+            static_cast<double>(recovery.recoveries));
+      }
+      const auto level =
+          recovery.recoveries > 0 ? obs::Level::kWarn : obs::Level::kError;
+      if (obs.Logs(level)) {
+        obs.log->Write(level, "checkpoint.recover",
+                       {{"path", config.checkpoint_path},
+                        {"recovered", recovery.recoveries > 0},
+                        {"corrupt_sections", recovery.corrupt_sections},
+                        {"generations_discarded",
+                         recovery.generations_discarded}});
+      }
+    }
     // Parallel checkpoints are always exact block prefixes; anything
     // with in-flight analyzer state or a captured transport stream came
     // from a mid-block sequential snapshot and is refused (resuming it
     // block-granularly would double-count the partial rounds).
-    if (auto checkpoint = ReadCheckpoint(config.checkpoint_path);
-        checkpoint && checkpoint->fingerprint == fingerprint &&
+    if (checkpoint &&
         checkpoint->completed.size() == checkpoint->next_block &&
         checkpoint->next_block <= targets.size() &&
         !checkpoint->has_inflight && checkpoint->transport_state.empty()) {
@@ -437,6 +469,21 @@ CampaignOutcome RunParallelCampaign(std::vector<BlockTarget> targets,
     });
   }
 
+  // Joins the pool on every exit from this frame — including a crash
+  // failpoint (util::CrashInjected) unwinding out of a checkpoint save
+  // in the commit loop below. Without this, ~thread() on a joinable
+  // worker would turn the simulated power cut into std::terminate.
+  struct PoolJoiner {
+    std::atomic<bool>& stop;
+    std::vector<std::thread>& pool;
+    ~PoolJoiner() {
+      stop.store(true, std::memory_order_relaxed);
+      for (auto& thread : pool) {
+        if (thread.joinable()) thread.join();
+      }
+    }
+  } join_pool{stop, pool};
+
   bool stopped = false;
   for (std::size_t i = first_block; i < targets.size(); ++i) {
     BlockResult result = completions.WaitFor(i);
@@ -465,11 +512,17 @@ CampaignOutcome RunParallelCampaign(std::vector<BlockTarget> targets,
       metrics.blocks_total->Set(static_cast<double>(targets.size()));
     }
 
-    if (!config.checkpoint_path.empty()) {
+    const bool boundary_due =
+        config.checkpoint_every_blocks <= 1 ||
+        (i + 1) % static_cast<std::size_t>(config.checkpoint_every_blocks) ==
+            0 ||
+        i + 1 == targets.size();  // completion always checkpoints
+    if (!config.checkpoint_path.empty() && boundary_due) {
       Checkpoint checkpoint = ledger.BuildCheckpointSnapshot(
           fingerprint, i + 1, /*has_inflight=*/false, 0, 0, nullptr);
       const auto span = obs.Span("checkpoint.write");
-      const bool ok = WriteCheckpoint(config.checkpoint_path, checkpoint);
+      const auto error = store.Save(checkpoint);
+      const bool ok = error.ok();
       ledger.NoteCheckpointWritten(ok);
       if (ok && metrics.checkpoints != nullptr) metrics.checkpoints->Inc();
       const auto level = ok ? obs::Level::kDebug : obs::Level::kError;
@@ -479,7 +532,8 @@ CampaignOutcome RunParallelCampaign(std::vector<BlockTarget> targets,
                         {"fingerprint", fingerprint},
                         {"next_block", static_cast<std::uint64_t>(i + 1)},
                         {"inflight", false},
-                        {"ok", ok}});
+                        {"ok", ok},
+                        {"error", ok ? std::string{} : error.ToString()}});
       }
     }
 
@@ -532,7 +586,9 @@ CampaignOutcome RunParallelCampaign(std::vector<BlockTarget> targets,
   }
 
   stop.store(true, std::memory_order_relaxed);
-  for (auto& thread : pool) thread.join();
+  for (auto& thread : pool) {
+    if (thread.joinable()) thread.join();
+  }
 
   if (!stopped) emit_done();
   return ledger.TakeOutcome();

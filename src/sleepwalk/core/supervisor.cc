@@ -54,9 +54,41 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
   bool resume_inflight = false;
   BlockAnalyzerState inflight_state;
 
+  storage::Env& env =
+      config.env != nullptr ? *config.env : storage::RealEnvInstance();
+  CheckpointStore store{env, config.checkpoint_path,
+                        config.checkpoint_keep};
+
   if (!config.checkpoint_path.empty()) {
-    if (auto checkpoint = ReadCheckpoint(config.checkpoint_path);
-        checkpoint && checkpoint->fingerprint == fingerprint &&
+    RecoveryEvents recovery;
+    auto checkpoint = store.Load(fingerprint, recovery);
+    ledger.NoteRecovery(recovery);
+    if (recovery.generations_discarded > 0) {
+      if (metrics.corrupt_sections != nullptr) {
+        metrics.corrupt_sections->Inc(
+            static_cast<double>(recovery.corrupt_sections));
+      }
+      if (metrics.generations_discarded != nullptr) {
+        metrics.generations_discarded->Inc(
+            static_cast<double>(recovery.generations_discarded));
+      }
+      if (metrics.checkpoint_recoveries != nullptr &&
+          recovery.recoveries > 0) {
+        metrics.checkpoint_recoveries->Inc(
+            static_cast<double>(recovery.recoveries));
+      }
+      const auto level =
+          recovery.recoveries > 0 ? obs::Level::kWarn : obs::Level::kError;
+      if (obs.Logs(level)) {
+        obs.log->Write(level, "checkpoint.recover",
+                       {{"path", config.checkpoint_path},
+                        {"recovered", recovery.recoveries > 0},
+                        {"corrupt_sections", recovery.corrupt_sections},
+                        {"generations_discarded",
+                         recovery.generations_discarded}});
+      }
+    }
+    if (checkpoint &&
         checkpoint->completed.size() == checkpoint->next_block &&
         checkpoint->next_block <= targets.size()) {
       // Restore the transport stream first: if the snapshot does not fit
@@ -100,7 +132,8 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
         analyzer);
     checkpoint.transport_state = SnapshotTransport(transport);
     const auto span = obs.Span("checkpoint.write");
-    const bool ok = WriteCheckpoint(config.checkpoint_path, checkpoint);
+    const auto error = store.Save(checkpoint);
+    const bool ok = error.ok();
     ledger.NoteCheckpointWritten(ok);
     if (ok && metrics.checkpoints != nullptr) metrics.checkpoints->Inc();
     const auto level = ok ? obs::Level::kDebug : obs::Level::kError;
@@ -110,7 +143,8 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
                       {"fingerprint", fingerprint},
                       {"next_block", static_cast<std::uint64_t>(next_block)},
                       {"inflight", has_inflight},
-                      {"ok", ok}});
+                      {"ok", ok},
+                      {"error", ok ? std::string{} : error.ToString()}});
     }
   };
 
@@ -249,7 +283,12 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
 
     analyzer.Finish(analysis_scratch, finished);
     ledger.FinishBlock(finished, quarantined);
-    save(i + 1, /*has_inflight=*/false, 0, 0, nullptr);
+    const bool boundary_due =
+        config.checkpoint_every_blocks <= 1 ||
+        (i + 1) % static_cast<std::size_t>(config.checkpoint_every_blocks) ==
+            0 ||
+        i + 1 == targets.size();  // completion always checkpoints
+    if (boundary_due) save(i + 1, /*has_inflight=*/false, 0, 0, nullptr);
 
     CampaignProgress heartbeat;
     heartbeat.blocks_done = i + 1;

@@ -27,9 +27,11 @@
 #include <utility>
 #include <vector>
 
+#include "sleepwalk/core/checkpoint.h"
 #include "sleepwalk/core/pipeline.h"
 #include "sleepwalk/obs/context.h"
 #include "sleepwalk/report/resilience.h"
+#include "sleepwalk/storage/file.h"
 
 namespace sleepwalk::core {
 
@@ -57,6 +59,22 @@ struct SupervisorConfig {
   std::string checkpoint_path;
   /// Global rounds between checkpoints (0 = only at block boundaries).
   std::int64_t checkpoint_every_rounds = 0;
+  /// Block boundaries between checkpoints (<= 1 = every boundary). A
+  /// checkpoint re-serializes every completed analysis, so per-block
+  /// saves cost O(blocks^2) over a campaign; raising the stride trades
+  /// redo-work after a crash for durability overhead (bench/
+  /// checkpoint_io measures the trade). Campaign completion always
+  /// writes a final checkpoint whatever the stride.
+  int checkpoint_every_blocks = 1;
+  /// Checkpoint generations retained as hard links <path>.g<N> alongside
+  /// the primary file; when the primary is corrupt on resume, Run()
+  /// self-heals from the newest intact generation. <= 1 keeps only the
+  /// primary file (no rotation, no self-healing).
+  int checkpoint_keep = 3;
+  /// Filesystem seam all persistence goes through; null means the real
+  /// POSIX filesystem. Tests inject storage::MemEnv or storage::FaultyEnv
+  /// here to prove crash safety.
+  storage::Env* env = nullptr;
 
   /// Injected prober restarts (fault plan) in campaign round numbers.
   std::vector<std::int64_t> forced_restart_rounds;
@@ -93,6 +111,7 @@ struct CampaignOutcome {
   DatasetResult result;
   report::ResilienceStats stats;
   std::vector<net::Prefix24> quarantined;
+  RecoveryEvents recovery;     ///< checkpoint corruption/self-heal events
   bool resumed = false;        ///< picked up from a checkpoint
   bool stopped_early = false;  ///< hit stop_after_rounds; result partial
 };

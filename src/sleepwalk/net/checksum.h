@@ -1,4 +1,8 @@
-// RFC 1071 Internet checksum, used by ICMP (and IPv4 headers).
+// RFC 1071 Internet checksum, used by ICMP (and IPv4 headers), and
+// CRC32C (Castagnoli), used by the storage layer to frame checkpoint
+// sections and dataset records (RFC 3720 polynomial 0x1EDC6F41 — the
+// iSCSI/ext4/Btrfs choice, far stronger against burst errors than the
+// 16-bit ones'-complement sum).
 #ifndef SLEEPWALK_NET_CHECKSUM_H_
 #define SLEEPWALK_NET_CHECKSUM_H_
 
@@ -27,6 +31,21 @@ class InternetChecksum {
 
 /// One-shot checksum over a single buffer.
 std::uint16_t Checksum(std::span<const std::uint8_t> data) noexcept;
+
+/// Incremental CRC32C (Castagnoli) accumulator. Feed byte ranges in any
+/// chunking; Finish() returns the conventional reflected CRC with the
+/// final XOR applied (CRC32C("123456789") == 0xE3069283).
+class Crc32c {
+ public:
+  void Add(std::span<const std::uint8_t> data) noexcept;
+  std::uint32_t Finish() const noexcept { return state_ ^ 0xffffffffU; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffU;
+};
+
+/// One-shot CRC32C over a single buffer.
+std::uint32_t Crc32cOf(std::span<const std::uint8_t> data) noexcept;
 
 }  // namespace sleepwalk::net
 

@@ -21,6 +21,8 @@ class CsvWriter {
   void WriteRow(const std::vector<std::string>& cells);
 
  private:
+  // Bench-side CSV output is diagnostic, never campaign state; raw
+  // stream I/O is acceptable here. sleeplint: allow(no-raw-fs)
   std::ofstream out_;
 };
 

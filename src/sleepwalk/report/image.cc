@@ -60,6 +60,8 @@ GrayImage GrayImage::FromGrid(const std::vector<std::vector<double>>& rows,
 }
 
 bool GrayImage::WritePgm(const std::string& path) const {
+  // PGM visualization output is diagnostic, never campaign state; raw
+  // stream I/O is acceptable here. sleeplint: allow(no-raw-fs)
   std::ofstream out{path, std::ios::binary | std::ios::trunc};
   if (!out) return false;
   out << "P5\n" << width_ << ' ' << height_ << "\n255\n";

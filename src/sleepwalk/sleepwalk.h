@@ -86,4 +86,10 @@
 #include "sleepwalk/report/resilience.h"
 #include "sleepwalk/report/table.h"
 
+// Crash-safe storage layer and deterministic failure injection.
+#include "sleepwalk/storage/bytes.h"
+#include "sleepwalk/storage/faulty_env.h"
+#include "sleepwalk/storage/file.h"
+#include "sleepwalk/util/failpoint.h"
+
 #endif  // SLEEPWALK_SLEEPWALK_H_

@@ -1,0 +1,333 @@
+#include "sleepwalk/storage/file.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "sleepwalk/util/sync.h"
+
+namespace sleepwalk::storage {
+
+namespace {
+
+Error Fail(const char* op, const std::string& path, int err,
+           std::string detail = {}) {
+  Error error;
+  error.op = op;
+  error.path = path;
+  error.err = err;
+  error.detail = std::move(detail);
+  return error;
+}
+
+/// POSIX file with explicit fsync. All writes go straight to the fd —
+/// no user-space buffer to lose.
+class RealFile final : public WritableFile {
+ public:
+  RealFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~RealFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Error Append(std::span<const std::uint8_t> data) override {
+    if (fd_ < 0) return Fail("append", path_, EBADF, "file closed");
+    std::size_t done = 0;
+    while (done < data.size()) {
+      const ssize_t n =
+          ::write(fd_, data.data() + done, data.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Fail("append", path_, errno);
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    return {};
+  }
+
+  Error Sync() override {
+    if (fd_ < 0) return Fail("sync", path_, EBADF, "file closed");
+    if (::fsync(fd_) != 0) return Fail("sync", path_, errno);
+    return {};
+  }
+
+  Error Close() override {
+    if (fd_ < 0) return {};
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return Fail("close", path_, errno);
+    return {};
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class RealEnv final : public Env {
+ public:
+  std::unique_ptr<WritableFile> Create(const std::string& path,
+                                       Error& error) override {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      error = Fail("create", path, errno);
+      return nullptr;
+    }
+    error = {};
+    return std::make_unique<RealFile>(fd, path);
+  }
+
+  Error ReadAll(const std::string& path,
+                std::vector<std::uint8_t>& out) override {
+    out.clear();
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Fail("read", path, errno);
+    std::uint8_t buffer[1 << 16];
+    while (true) {
+      const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        return Fail("read", path, err);
+      }
+      if (n == 0) break;
+      out.insert(out.end(), buffer, buffer + n);
+    }
+    ::close(fd);
+    return {};
+  }
+
+  Error Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Fail("rename", from, errno, "to " + to);
+    }
+    return {};
+  }
+
+  Error Link(const std::string& from, const std::string& to) override {
+    if (::link(from.c_str(), to.c_str()) == 0) return {};
+    if (errno == EEXIST) return Fail("link", from, EEXIST, "to " + to);
+    // Cross-device or no-hardlink filesystems: degrade to a copy.
+    std::vector<std::uint8_t> bytes;
+    if (auto error = ReadAll(from, bytes); !error.ok()) return error;
+    Error error;
+    auto file = Create(to, error);
+    if (file == nullptr) return error;
+    if (error = file->Append(bytes); !error.ok()) return error;
+    if (error = file->Sync(); !error.ok()) return error;
+    return file->Close();
+  }
+
+  Error Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return Fail("remove", path, errno);
+    return {};
+  }
+
+  bool Exists(const std::string& path) override {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Error SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return Fail("syncdir", dir, errno);
+    const int rc = ::fsync(fd);
+    const int err = errno;
+    ::close(fd);
+    // Some filesystems refuse directory fsync; the rename before it is
+    // still ordered, so treat "unsupported" as best-effort success.
+    if (rc != 0 && err != EINVAL && err != ENOTSUP && err != EBADF) {
+      return Fail("syncdir", dir, err);
+    }
+    return {};
+  }
+
+  std::vector<std::string> List(const std::string& dir) override {
+    std::vector<std::string> names;
+    DIR* handle = ::opendir(dir.c_str());
+    if (handle == nullptr) return names;
+    while (const dirent* entry = ::readdir(handle)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(name);
+    }
+    ::closedir(handle);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+};
+
+}  // namespace
+
+std::string Error::ToString() const {
+  if (ok()) return "ok";
+  std::string text = op + " " + path + ": ";
+  text += err != 0 ? std::strerror(err) : "error";
+  if (!detail.empty()) text += " (" + detail + ")";
+  return text;
+}
+
+Env& RealEnvInstance() {
+  static RealEnv env;
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// MemEnv
+
+struct MemEnv::Impl {
+  util::Mutex mutex;
+  std::map<std::string, std::vector<std::uint8_t>> files
+      SLEEPWALK_GUARDED_BY(mutex);
+};
+
+namespace {
+
+/// Buffers writes, publishing into the Impl map on Close (Sync is a
+/// no-op publish too, so a crash between Sync and Close loses nothing —
+/// mirroring the durability point RealFile::Sync establishes).
+class MemFile final : public WritableFile {
+ public:
+  MemFile(MemEnv::Impl* impl, std::string path)
+      : impl_(impl), path_(std::move(path)) {
+    Publish();  // Create truncates immediately, like O_TRUNC
+  }
+
+  Error Append(std::span<const std::uint8_t> data) override {
+    if (closed_) return Fail("append", path_, EBADF, "file closed");
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+    Publish();
+    return {};
+  }
+
+  Error Sync() override {
+    if (closed_) return Fail("sync", path_, EBADF, "file closed");
+    Publish();
+    return {};
+  }
+
+  Error Close() override {
+    if (closed_) return {};
+    closed_ = true;
+    Publish();
+    return {};
+  }
+
+ private:
+  void Publish() {
+    util::MutexLock lock{impl_->mutex};
+    impl_->files[path_] = bytes_;
+  }
+
+  MemEnv::Impl* impl_;
+  std::string path_;
+  std::vector<std::uint8_t> bytes_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+MemEnv::MemEnv() : impl_(std::make_unique<Impl>()) {}
+MemEnv::~MemEnv() = default;
+
+std::unique_ptr<WritableFile> MemEnv::Create(const std::string& path,
+                                             Error& error) {
+  error = {};
+  return std::make_unique<MemFile>(impl_.get(), path);
+}
+
+Error MemEnv::ReadAll(const std::string& path,
+                      std::vector<std::uint8_t>& out) {
+  util::MutexLock lock{impl_->mutex};
+  const auto it = impl_->files.find(path);
+  if (it == impl_->files.end()) return Fail("read", path, ENOENT);
+  out = it->second;
+  return {};
+}
+
+Error MemEnv::Rename(const std::string& from, const std::string& to) {
+  util::MutexLock lock{impl_->mutex};
+  const auto it = impl_->files.find(from);
+  if (it == impl_->files.end()) return Fail("rename", from, ENOENT);
+  impl_->files[to] = std::move(it->second);
+  impl_->files.erase(it);
+  return {};
+}
+
+Error MemEnv::Link(const std::string& from, const std::string& to) {
+  util::MutexLock lock{impl_->mutex};
+  const auto it = impl_->files.find(from);
+  if (it == impl_->files.end()) return Fail("link", from, ENOENT);
+  if (impl_->files.count(to) != 0) {
+    return Fail("link", from, EEXIST, "to " + to);
+  }
+  impl_->files[to] = it->second;
+  return {};
+}
+
+Error MemEnv::Remove(const std::string& path) {
+  util::MutexLock lock{impl_->mutex};
+  if (impl_->files.erase(path) == 0) return Fail("remove", path, ENOENT);
+  return {};
+}
+
+bool MemEnv::Exists(const std::string& path) {
+  util::MutexLock lock{impl_->mutex};
+  return impl_->files.count(path) != 0;
+}
+
+Error MemEnv::SyncDir(const std::string&) { return {}; }
+
+std::vector<std::string> MemEnv::List(const std::string& dir) {
+  std::vector<std::string> names;
+  const std::string prefix = dir == "." ? "" : dir + "/";
+  util::MutexLock lock{impl_->mutex};
+  for (const auto& [path, bytes] : impl_->files) {
+    if (path.compare(0, prefix.size(), prefix) != 0) continue;
+    const std::string rest = path.substr(prefix.size());
+    if (rest.empty() || rest.find('/') != std::string::npos) continue;
+    names.push_back(rest);  // map iteration is already sorted
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+
+std::string DirName(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Error AtomicWrite(Env& env, const std::string& path,
+                  std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  Error error;
+  auto file = env.Create(tmp, error);
+  if (file == nullptr) return error;
+
+  // Unlink the temp file on every error exit — the .tmp-leak fix: the
+  // old writer returned early and left the orphan behind.
+  const auto fail = [&](Error failed) {
+    file->Close();  // best effort; the original error wins
+    env.Remove(tmp);
+    return failed;
+  };
+
+  if (error = file->Append(bytes); !error.ok()) return fail(error);
+  if (error = file->Sync(); !error.ok()) return fail(error);
+  if (error = file->Close(); !error.ok()) return fail(error);
+  if (error = env.Rename(tmp, path); !error.ok()) return fail(error);
+  return env.SyncDir(DirName(path));
+}
+
+}  // namespace sleepwalk::storage

@@ -1,0 +1,160 @@
+#include "sleepwalk/util/failpoint.h"
+
+#include <cstdlib>
+
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::util {
+
+namespace {
+
+std::uint64_t HashName(const std::string& name) {
+  // FNV-1a; only has to be stable, not cryptographic.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::optional<FailAction> ParseAction(const std::string& name) {
+  if (name == "short") return FailAction::kShortWrite;
+  if (name == "eio") return FailAction::kEio;
+  if (name == "enospc") return FailAction::kEnospc;
+  if (name == "crash") return FailAction::kCrash;
+  if (name == "torn") return FailAction::kCrashTorn;
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* FailActionName(FailAction action) noexcept {
+  switch (action) {
+    case FailAction::kNone: return "none";
+    case FailAction::kShortWrite: return "short";
+    case FailAction::kEio: return "eio";
+    case FailAction::kEnospc: return "enospc";
+    case FailAction::kCrash: return "crash";
+    case FailAction::kCrashTorn: return "torn";
+  }
+  return "none";
+}
+
+bool FailpointSet::Parse(const std::string& text, FailpointSet& out,
+                         std::string* error) {
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) {
+      if (end == text.size()) break;
+      continue;
+    }
+    const auto eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      if (error != nullptr) *error = "expected site=action: '" + item + "'";
+      return false;
+    }
+    FailpointSpec spec;
+    spec.site = item.substr(0, eq);
+    std::string rest = item.substr(eq + 1);
+    const auto at = rest.find('@');
+    const auto pct = rest.find('%');
+    std::string action = rest;
+    if (at != std::string::npos) {
+      action = rest.substr(0, at);
+      spec.after = std::strtoull(rest.c_str() + at + 1, nullptr, 10);
+      if (spec.after == 0) {
+        if (error != nullptr) *error = "count must be >= 1: '" + item + "'";
+        return false;
+      }
+    } else if (pct != std::string::npos) {
+      action = rest.substr(0, pct);
+      spec.probability = std::strtod(rest.c_str() + pct + 1, nullptr);
+      if (spec.probability <= 0.0 || spec.probability > 1.0) {
+        if (error != nullptr) {
+          *error = "probability must be in (0, 1]: '" + item + "'";
+        }
+        return false;
+      }
+    } else {
+      spec.after = 1;  // bare `site=action` fires on the first hit
+    }
+    const auto parsed = ParseAction(action);
+    if (!parsed) {
+      if (error != nullptr) *error = "unknown action: '" + item + "'";
+      return false;
+    }
+    spec.action = *parsed;
+    out.Arm(std::move(spec));
+    if (end == text.size()) break;
+  }
+  return true;
+}
+
+void FailpointSet::Arm(FailpointSpec spec) {
+  MutexLock lock{mutex_};
+  armed_.push_back(Armed{std::move(spec), true});
+}
+
+FailAction FailpointSet::Hit(const std::string& site) {
+  MutexLock lock{mutex_};
+  ++total_;
+  std::uint64_t* site_count = nullptr;
+  for (auto& [name, count] : site_hits_) {
+    if (name == site) {
+      site_count = &count;
+      break;
+    }
+  }
+  if (site_count == nullptr) {
+    site_hits_.emplace_back(site, 0);
+    site_count = &site_hits_.back().second;
+  }
+  ++*site_count;
+
+  for (auto& armed : armed_) {
+    if (!armed.live) continue;
+    const auto& spec = armed.spec;
+    const bool any = spec.site == "*";
+    if (!any && spec.site != site) continue;
+    const std::uint64_t ordinal = any ? total_ : *site_count;
+    if (spec.after > 0) {
+      if (ordinal != spec.after) continue;
+      armed.live = false;  // count triggers are one-shot
+      return spec.action;
+    }
+    // Probability arm: a stateless seeded draw keyed by the draw
+    // ordinal, so a replay with the same seed fires identically.
+    const std::uint64_t h = MixHash(seed_, HashName(spec.site), ++draws_);
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    if (u < spec.probability) return spec.action;
+  }
+  return FailAction::kNone;
+}
+
+std::uint64_t FailpointSet::hits(const std::string& site) const {
+  MutexLock lock{mutex_};
+  for (const auto& [name, count] : site_hits_) {
+    if (name == site) return count;
+  }
+  return 0;
+}
+
+std::uint64_t FailpointSet::total_hits() const {
+  MutexLock lock{mutex_};
+  return total_;
+}
+
+void FailpointSet::Reset() {
+  MutexLock lock{mutex_};
+  armed_.clear();
+  site_hits_.clear();
+  total_ = 0;
+  draws_ = 0;
+}
+
+}  // namespace sleepwalk::util

@@ -1,0 +1,120 @@
+// Deterministic I/O failpoints.
+//
+// A 12-week campaign meets torn writes, full disks, and SIGKILL; the
+// storage layer must be provably safe against all three. A FailpointSet
+// is a registry of named sites (storage/file.h consults one before
+// every filesystem operation) armed to misbehave on demand:
+//
+//   * by count — "fail the 17th storage operation" — which lets a test
+//     sweep exhaustively over every reachable crash point (count the
+//     operations in a dry run, then arm crash@1, crash@2, ...);
+//   * by probability — a seeded, stateless draw (util/rng.h MixHash of
+//     the arm seed and the hit ordinal), never ambient RNG, so a
+//     "1% ENOSPC" soak run is replayable bit-for-bit.
+//
+// Actions model the real failure surface: short-write (half the bytes
+// land, then an error), EIO, ENOSPC, crash-here (throw CrashInjected —
+// the process "dies" before the operation), and torn-crash (half the
+// bytes land, then the process dies).
+//
+// Specs parse from a CLI-friendly string (`--failpoints`):
+//   site=action@N      fire on the N-th hit of `site` (one-shot)
+//   site=action%P      fire with probability P on every hit
+// `site` is a registered name such as storage.append, or `*` to match
+// every site by global operation ordinal. Multiple specs are
+// comma-separated; count-armed specs disarm after firing.
+#ifndef SLEEPWALK_UTIL_FAILPOINT_H_
+#define SLEEPWALK_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sleepwalk/util/sync.h"
+
+namespace sleepwalk::util {
+
+/// What an armed failpoint does when it fires.
+enum class FailAction : std::uint8_t {
+  kNone = 0,    ///< proceed normally
+  kShortWrite,  ///< write half the bytes, then report an error
+  kEio,         ///< report EIO without touching the file
+  kEnospc,      ///< report ENOSPC without touching the file
+  kCrash,       ///< throw CrashInjected before the operation
+  kCrashTorn,   ///< write half the bytes, then throw CrashInjected
+};
+
+const char* FailActionName(FailAction action) noexcept;
+
+/// Thrown by a crash-armed failpoint: simulates the process dying at
+/// this exact storage operation. Deliberately NOT derived from
+/// std::exception so no recovery-minded catch block downstream can
+/// swallow a simulated power cut by accident.
+struct CrashInjected {
+  std::string site;
+};
+
+/// One armed misbehaviour.
+struct FailpointSpec {
+  std::string site;  ///< exact site name, or "*" for any site
+  FailAction action = FailAction::kNone;
+  /// Fire on this hit ordinal (1-based; per-site for named specs,
+  /// global for "*"). 0 disables count arming.
+  std::uint64_t after = 0;
+  /// Fire with this probability on every hit; ignored when `after` > 0.
+  double probability = 0.0;
+};
+
+/// A thread-safe registry of armed failpoints plus per-site hit
+/// counters. A default-constructed (or empty) set is inert: Hit()
+/// returns kNone after a counter bump.
+class FailpointSet {
+ public:
+  FailpointSet() = default;
+  explicit FailpointSet(std::uint64_t seed) : seed_(seed) {}
+
+  /// Parses the comma-separated spec grammar above and arms each spec
+  /// into `out` (which keeps its own seed; the set is not movable
+  /// because it owns a Mutex). Returns false and fills `error` (when
+  /// non-null) on a malformed spec, leaving `out` partially armed —
+  /// callers should treat that as fatal.
+  static bool Parse(const std::string& text, FailpointSet& out,
+                    std::string* error = nullptr);
+
+  void Arm(FailpointSpec spec) SLEEPWALK_EXCLUDES(mutex_);
+
+  /// Registers one hit of `site` and returns the action to apply.
+  /// Count-armed specs disarm after firing; probability-armed specs
+  /// stay armed.
+  FailAction Hit(const std::string& site) SLEEPWALK_EXCLUDES(mutex_);
+
+  /// Hits seen at `site` so far.
+  std::uint64_t hits(const std::string& site) const
+      SLEEPWALK_EXCLUDES(mutex_);
+
+  /// Hits seen across every site (the "*" ordinal space).
+  std::uint64_t total_hits() const SLEEPWALK_EXCLUDES(mutex_);
+
+  /// Disarms every spec and zeroes all counters (the seed is kept).
+  void Reset() SLEEPWALK_EXCLUDES(mutex_);
+
+ private:
+  struct Armed {
+    FailpointSpec spec;
+    bool live = true;
+  };
+
+  mutable Mutex mutex_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t total_ SLEEPWALK_GUARDED_BY(mutex_) = 0;
+  std::uint64_t draws_ SLEEPWALK_GUARDED_BY(mutex_) = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> site_hits_
+      SLEEPWALK_GUARDED_BY(mutex_);
+  std::vector<Armed> armed_ SLEEPWALK_GUARDED_BY(mutex_);
+};
+
+}  // namespace sleepwalk::util
+
+#endif  // SLEEPWALK_UTIL_FAILPOINT_H_

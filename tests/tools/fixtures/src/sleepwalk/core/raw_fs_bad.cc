@@ -1,0 +1,16 @@
+// Fixture: raw filesystem access outside the storage/ layer.
+#include <cstdio>
+#include <fstream>
+
+namespace fixture {
+
+void Persist(const char* path, Env& env) {
+  std::ofstream out{path};                                // line 8
+  std::FILE* file = fopen(path, "rb");                    // line 9
+  std::rename(path, "old");                               // line 10
+  if (file != nullptr) std::fclose(file);
+  env.fsync(0);                                           // member call: ours
+  (void)out;
+}
+
+}  // namespace fixture

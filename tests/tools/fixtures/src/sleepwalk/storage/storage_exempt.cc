@@ -1,0 +1,16 @@
+// Fixture: storage/ is the single layer sanctioned to touch the
+// filesystem directly; no-raw-fs must stay silent on this whole file.
+#include <cstdio>
+#include <fstream>
+
+namespace fixture {
+
+void RawWrite(const char* path) {
+  std::ofstream out{path};
+  std::FILE* file = fopen(path, "wb");
+  std::rename(path, "rotated");
+  if (file != nullptr) std::fclose(file);
+  (void)out;
+}
+
+}  // namespace fixture

@@ -41,8 +41,8 @@ bool HasDiagnostic(const sleeplint::Result& result, const std::string& rule,
 TEST(Sleeplint, RuleCatalogue) {
   const auto& rules = sleeplint::AllRules();
   const std::vector<std::string> expected = {
-      "no-wallclock", "no-ambient-rng", "no-raw-io", "no-unchecked-narrowing",
-      "header-hygiene"};
+      "no-wallclock", "no-ambient-rng", "no-raw-io", "no-raw-fs",
+      "no-unchecked-narrowing", "header-hygiene"};
   EXPECT_EQ(rules, expected);
 }
 
@@ -73,6 +73,23 @@ TEST(Sleeplint, NoRawIoFlagsConsoleButNotSnprintf) {
   EXPECT_TRUE(HasDiagnostic(result, "no-raw-io", 10));  // printf(
   EXPECT_FALSE(HasDiagnostic(result, "no-raw-io", 12));  // snprintf is fine
   EXPECT_EQ(result.diagnostics.size(), 3u);
+}
+
+TEST(Sleeplint, NoRawFsFlagsFilesystemAccessOutsideStorage) {
+  const auto result = RunOn("src/sleepwalk/core/raw_fs_bad.cc");
+  EXPECT_TRUE(HasDiagnostic(result, "no-raw-fs", 8));   // std::ofstream
+  EXPECT_TRUE(HasDiagnostic(result, "no-raw-fs", 9));   // fopen(
+  EXPECT_TRUE(HasDiagnostic(result, "no-raw-fs", 10));  // std::rename
+  // env.fsync() is a member of ours, not the libc call.
+  EXPECT_FALSE(HasDiagnostic(result, "no-raw-fs", 12));
+  EXPECT_EQ(result.diagnostics.size(), 3u);
+}
+
+TEST(Sleeplint, StorageLayerExemptFromRawFsRule) {
+  // storage/ is the one sanctioned filesystem layer (it implements the
+  // Env seam everything else must go through).
+  const auto result = RunOn("src/sleepwalk/storage/storage_exempt.cc");
+  EXPECT_TRUE(result.diagnostics.empty());
 }
 
 TEST(Sleeplint, NoUncheckedNarrowingInSerializationFiles) {
@@ -146,9 +163,9 @@ TEST(Sleeplint, DirectoryWalkFindsEveryFixture) {
   sleeplint::Options options;
   options.roots = {kFixtures};
   const auto result = sleeplint::Run(options);
-  // 7 fixture files; per-file counts asserted above sum to 16.
-  EXPECT_EQ(result.files_scanned, 7);
-  EXPECT_EQ(result.diagnostics.size(), 16u);
+  // 9 fixture files; per-file counts asserted above sum to 19.
+  EXPECT_EQ(result.files_scanned, 9);
+  EXPECT_EQ(result.diagnostics.size(), 19u);
   // Diagnostics are sorted by path then line for stable output.
   for (std::size_t i = 1; i < result.diagnostics.size(); ++i) {
     const auto& a = result.diagnostics[i - 1];

@@ -148,6 +148,13 @@ bool IsRngExemptPath(const std::string& path) {
   return PathContains(path, "util/rng");
 }
 
+/// The one layer permitted to touch the filesystem directly; everything
+/// else persists through the storage::Env seam so crash/ENOSPC behaviour
+/// stays provable (and failpoint-injectable).
+bool IsStorageExemptPath(const std::string& path) {
+  return PathContains(path, "/storage/");
+}
+
 /// Binary serialization layers whose fixed-width fields must narrow
 /// through util::CheckedNarrow.
 bool IsSerializationPath(const std::string& path) {
@@ -206,6 +213,7 @@ struct TokenRule {
 constexpr std::string_view kRuleWallclock = "no-wallclock";
 constexpr std::string_view kRuleRng = "no-ambient-rng";
 constexpr std::string_view kRuleRawIo = "no-raw-io";
+constexpr std::string_view kRuleRawFs = "no-raw-fs";
 constexpr std::string_view kRuleNarrowing = "no-unchecked-narrowing";
 constexpr std::string_view kRuleHygiene = "header-hygiene";
 
@@ -230,6 +238,16 @@ constexpr TokenRule kRngTokens[] = {
     {"srand(", true, "srand()"},
     {"drand48", false, "drand48"},
     {"lrand48", false, "lrand48"},
+};
+
+constexpr TokenRule kRawFsTokens[] = {
+    {"std::ofstream", false, "std::ofstream"},
+    {"std::ifstream", false, "std::ifstream"},
+    {"std::fstream", false, "std::fstream"},
+    {"fopen(", true, "fopen()"},
+    {"fsync(", true, "fsync()"},
+    {"std::rename", false, "std::rename"},
+    {"std::tmpfile", false, "std::tmpfile"},
 };
 
 constexpr TokenRule kRawIoTokens[] = {
@@ -446,8 +464,8 @@ std::vector<std::string> CollectFiles(const std::vector<std::string>& roots) {
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
       std::string(kRuleWallclock), std::string(kRuleRng),
-      std::string(kRuleRawIo), std::string(kRuleNarrowing),
-      std::string(kRuleHygiene)};
+      std::string(kRuleRawIo), std::string(kRuleRawFs),
+      std::string(kRuleNarrowing), std::string(kRuleHygiene)};
   return kRules;
 }
 
@@ -477,6 +495,15 @@ std::vector<Diagnostic> LintFile(const std::string& raw_path,
                    std::size(kRawIoTokens),
                    "writes directly to a process stream; library code "
                    "reports through obs::Logger",
+                   diagnostics, suppressed_by_allow);
+  }
+  if (RuleEnabled(kRuleRawFs, only_rules) && IsLibraryPath(path) &&
+      !IsStorageExemptPath(path)) {
+    CheckTokenRule(path, source, kRuleRawFs, kRawFsTokens,
+                   std::size(kRawFsTokens),
+                   "touches the filesystem directly; persist through "
+                   "storage::Env (storage/file.h) so crash safety stays "
+                   "provable (storage/ is exempt)",
                    diagnostics, suppressed_by_allow);
   }
   if (RuleEnabled(kRuleNarrowing, only_rules) && IsSerializationPath(path)) {

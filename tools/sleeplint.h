@@ -25,6 +25,11 @@
 //                           all randomness flows from explicit seeds
 //   no-raw-io               printf/std::cout/std::cerr inside src/sleepwalk/
 //                           — library code reports through obs::Context
+//   no-raw-fs               fstream/fopen/fsync/std::rename inside
+//                           src/sleepwalk/ outside storage/ — all
+//                           persistence goes through storage::Env so
+//                           crash/ENOSPC behaviour is provable; storage/
+//                           is the single exempted layer
 //   no-unchecked-narrowing  raw static_cast to a narrower integer in
 //                           checkpoint/dataset serialization files — use
 //                           util::CheckedNarrow (clamps, never corrupts)
