@@ -73,7 +73,8 @@ int Usage() {
       "          [--checkpoint-blocks B] [--checkpoint-keep K]\n"
       "          [--failpoints SPEC]\n"
       "          [--log-level L] [--log-json FILE] [--metrics-out FILE]\n"
-      "          [--trace-out FILE]\n"
+      "          [--trace-out FILE] [--trace-chrome FILE]\n"
+      "          [--admin-port P] [--admin-port-file FILE]\n"
       "      generate a simulated world and run a probing campaign\n"
       "      sharded over --workers threads (default: hardware\n"
       "      concurrency; results are byte-identical for any W);\n"
@@ -94,7 +95,13 @@ int Usage() {
       "      --log-level trace|debug|info|warn|error|off adds a text log\n"
       "      on stderr, --log-json a structured JSONL event log,\n"
       "      --metrics-out a metrics dump (Prometheus text, or CSV when\n"
-      "      FILE ends in .csv), --trace-out a flame-ordered phase trace\n"
+      "      FILE ends in .csv), --trace-out a flame-ordered phase trace,\n"
+      "      --trace-chrome the same spans as a chrome://tracing /\n"
+      "      Perfetto trace-event JSON array.\n"
+      "      --admin-port P serves GET /metrics /healthz /statusz /tracez\n"
+      "      on 127.0.0.1:P (0 picks a free port) while the campaign\n"
+      "      runs — a read-only observer; results stay byte-identical.\n"
+      "      --admin-port-file FILE writes the bound port for scripts.\n"
       "  analyze --in FILE [--workers W]\n"
       "      diurnal summary of a saved dataset (re-classified on\n"
       "      --workers threads)\n"
@@ -115,7 +122,9 @@ class ObsSinks {
             obs::ParseLevel(flags.Get("log-level"), obs::Level::kInfo),
             /*deterministic=*/true}},
         metrics_path_{flags.Get("metrics-out")},
-        trace_path_{flags.Get("trace-out")} {
+        trace_path_{flags.Get("trace-out")},
+        chrome_path_{flags.Get("trace-chrome")},
+        admin_{flags.Has("admin-port")} {
     if (flags.Has("log-level")) logger_.AddTextSink(&std::cerr);
     if (const auto path = flags.Get("log-json"); !path.empty()) {
       jsonl_.open(path, std::ios::trunc);
@@ -130,10 +139,17 @@ class ObsSinks {
   obs::Context Context() {
     obs::Context context;
     if (logger_.Enabled(logger_.config().level)) context.log = &logger_;
-    if (!metrics_path_.empty()) context.metrics = &registry_;
-    if (!trace_path_.empty()) context.tracer = &tracer_;
+    // The admin server scrapes the registry and tracer live, so enable
+    // both whenever it is attached even without output files.
+    if (!metrics_path_.empty() || admin_) context.metrics = &registry_;
+    if (!trace_path_.empty() || !chrome_path_.empty() || admin_) {
+      context.tracer = &tracer_;
+    }
     return context;
   }
+
+  const obs::Registry& registry() const { return registry_; }
+  const obs::Tracer& tracer() const { return tracer_; }
 
   /// Writes the metrics and trace files through the storage seam
   /// (atomic replace; failpoint-injectable); false on any I/O error.
@@ -164,6 +180,16 @@ class ObsSinks {
         ok = false;
       }
     }
+    if (!chrome_path_.empty()) {
+      std::ostringstream out;
+      obs::WriteChromeTrace(tracer_, out);
+      if (const auto error = WriteText(env, chrome_path_, out.str());
+          !error.ok()) {
+        std::cerr << "measure: cannot write --trace-chrome "
+                  << error.ToString() << "\n";
+        ok = false;
+      }
+    }
     return ok;
   }
 
@@ -182,6 +208,8 @@ class ObsSinks {
   std::ofstream jsonl_;
   std::string metrics_path_;
   std::string trace_path_;
+  std::string chrome_path_;
+  bool admin_;
 };
 
 /// One worker's private transport chain for the parallel executor: a
@@ -310,6 +338,38 @@ int CmdMeasure(const Flags& flags) {
   const core::ShardFactory factory = [&](std::size_t) {
     return std::make_unique<CliShardChain>(world, site_seed, plan, faulty);
   };
+
+  // Optional admin plane: a loopback HTTP server observing the campaign
+  // read-only. The hub outlives the campaign; the campaign attaches its
+  // status provider for the duration of the run.
+  core::StatusHub status_hub;
+  serve::AdminServer admin;
+  if (flags.Has("admin-port")) {
+    config.status = &status_hub;
+    serve::AdminPlane plane;
+    plane.metrics = &sinks.registry();
+    plane.tracer = &sinks.tracer();
+    plane.status = &status_hub;
+    serve::InstallAdminRoutes(admin, plane);
+    std::string admin_error;
+    const auto port =
+        static_cast<std::uint16_t>(flags.GetInt("admin-port", 0));
+    if (!admin.Start(port, &admin_error)) {
+      std::cerr << "measure: cannot start admin server: " << admin_error
+                << "\n";
+      return 1;
+    }
+    std::cerr << "admin server on 127.0.0.1:" << admin.port() << "\n";
+    if (const auto path = flags.Get("admin-port-file"); !path.empty()) {
+      std::ofstream port_file{path, std::ios::trunc};
+      port_file << admin.port() << "\n";
+      if (!port_file) {
+        std::cerr << "measure: cannot write --admin-port-file " << path
+                  << "\n";
+        return 1;
+      }
+    }
+  }
 
   // Live heartbeat on stderr, fed by the supervisor after every block.
   config.progress = [](const core::CampaignProgress& p) {

@@ -23,6 +23,11 @@
 #   * the obs ablation's `null_context_within_budget` must stay true, and
 #     its null-context overhead may not exceed the committed overhead by
 #     more than TOLERANCE_PCT points;
+#   * the obs ablation's `admin_within_budget` must stay true — with the
+#     admin server attached and scraped mid-bench, the hot path may not
+#     lose more than half its throughput (loopback-scrape interference
+#     is too noisy for a drift bound, so this is a coarse same-machine
+#     contract like the durability one);
 #   * the fft plan ablation's campaign-size (n=1834, even non-power-of-
 #     two) plan-vs-planless speedup must stay >= its committed
 #     `speedup_target` (2x — a pure ratio, portable across runners) and
@@ -133,6 +138,29 @@ if fresh_overhead > ceiling:
     failures.append(
         f"micro_perf: null-context overhead {fresh_overhead:.2f}% drifted past "
         f"{ceiling:.2f}% (baseline {base_overhead:.2f}%)")
+
+# 4b. Attaching the admin plane (scraped from another thread the whole
+# time) must not wreck the hot path. The raw overhead percentage is
+# scheduler-interference-dominated and swings by tens of points between
+# runs of the same binary, so a drift bound against the baseline would
+# flake; like the durability gate, the contract is the same-machine
+# boolean budget the bench itself computes (overhead < 50%), plus proof
+# that the scraper actually exercised the server.
+if fresh_obs.get("admin_attached"):
+    base_admin = float(base_obs.get("admin_attached_overhead_pct", 0.0))
+    fresh_admin = float(fresh_obs.get("admin_attached_overhead_pct", 0.0))
+    admin_budget = float(fresh_obs.get("admin_overhead_budget_pct", 50.0))
+    scrapes = int(fresh_obs.get("admin_scrapes_during_bench", 0))
+    print(f"admin_attached_overhead_pct: fresh {fresh_admin:.2f} vs baseline "
+          f"{base_admin:.2f} (budget < {admin_budget:.1f}, {scrapes} scrapes)")
+    if scrapes == 0:
+        failures.append("micro_perf: admin server attached but never scraped")
+    if not fresh_obs.get("admin_within_budget"):
+        failures.append(
+            f"micro_perf: admin-attached overhead {fresh_admin:.2f}% exceeds "
+            f"the {admin_budget:.1f}% budget")
+else:
+    print("admin_attached: false (server failed to start; ablation skipped)")
 
 # 5. Spectral plan cache keeps paying: the campaign-size speedup is a
 # pure same-machine ratio, so both an absolute floor (the committed

@@ -66,7 +66,7 @@ if command -v clang++ >/dev/null 2>&1; then
     -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety-analysis" \
     >/dev/null
   cmake --build build-tsa -j "${jobs}" \
-    --target sleepwalk_obs sleepwalk_core || fail=1
+    --target sleepwalk_obs sleepwalk_core sleepwalk_serve || fail=1
 else
   echo "clang++ not installed; skipping (CI runs this tier)"
 fi

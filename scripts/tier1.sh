@@ -37,11 +37,14 @@ for run in a b; do
     --log-level debug --log-json "${smoke}/${run}.jsonl" \
     --metrics-out "${smoke}/${run}.prom" \
     --trace-out "${smoke}/${run}.trace.jsonl" \
+    --trace-chrome "${smoke}/${run}.chrome.json" \
     >"${smoke}/${run}.stdout" 2>/dev/null
 done
 build/tools/jsonl_check "${smoke}/a.jsonl" "${smoke}/a.trace.jsonl"
+build/tools/jsonl_check --chrome-trace "${smoke}/a.chrome.json"
 cmp "${smoke}/a.jsonl" "${smoke}/b.jsonl"
 cmp "${smoke}/a.trace.jsonl" "${smoke}/b.trace.jsonl"
+cmp "${smoke}/a.chrome.json" "${smoke}/b.chrome.json"
 cmp "${smoke}/a.prom" "${smoke}/b.prom"
 cmp "${smoke}/a.slpw" "${smoke}/b.slpw"
 # Sink-free run: telemetry must be inert (identical dataset bytes).
@@ -51,6 +54,9 @@ build/examples/sleepwalk_cli measure \
 cmp "${smoke}/a.slpw" "${smoke}/bare.slpw"
 grep -q '^sleepwalk_probes_attempted_total ' "${smoke}/a.prom"
 echo "telemetry smoke OK"
+
+echo "== tier-1: admin plane smoke (live endpoints + inertness) =="
+scripts/admin_smoke.sh build
 
 echo "== tier-1: storage smoke (slck_fsck over fresh artifacts) =="
 # A checkpointed run, then fsck: every fresh artifact (dataset, primary

@@ -24,6 +24,7 @@
 
 #include "sleepwalk/core/block_analyzer.h"
 #include "sleepwalk/core/checkpoint.h"
+#include "sleepwalk/core/status.h"
 #include "sleepwalk/core/supervisor.h"
 #include "sleepwalk/net/ipv4.h"
 #include "sleepwalk/net/transport.h"
@@ -229,6 +230,23 @@ class CampaignLedger {
   void NoteStoppedEarly() SLEEPWALK_EXCLUDES(mutex_) {
     util::MutexLock lock{mutex_};
     outcome_.stopped_early = true;
+  }
+
+  /// One locked read of everything /statusz reports from the ledger —
+  /// snapshot isolation: progress, counts, stats, and recovery state in
+  /// `status` are mutually consistent (taken under a single lock hold).
+  /// The live fields (rates, shards, quantiles) are the runner's to
+  /// fill. This is the read path the admin plane's status provider and,
+  /// later, the online query service (ROADMAP item 2) serve from.
+  void FillStatus(CampaignStatus& status) const SLEEPWALK_EXCLUDES(mutex_) {
+    util::MutexLock lock{mutex_};
+    status.blocks_done = outcome_.result.analyses.size();
+    status.rounds_done = processed_rounds_;
+    status.counts = outcome_.result.counts;
+    status.stats = outcome_.stats;
+    status.recovery = outcome_.recovery;
+    status.resumed = outcome_.resumed;
+    status.stopped_early = outcome_.stopped_early;
   }
 
   /// Point-in-time copy of the resilience ledger (heartbeats, logs).

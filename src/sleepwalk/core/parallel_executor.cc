@@ -13,12 +13,24 @@
 
 #include "sleepwalk/core/campaign_ledger.h"
 #include "sleepwalk/core/checkpoint.h"
+#include "sleepwalk/core/status.h"
+#include "sleepwalk/storage/instrumented_env.h"
 #include "sleepwalk/util/rng.h"
 #include "sleepwalk/util/sync.h"
 
 namespace sleepwalk::core {
 
 namespace {
+
+/// Monotonic nanoseconds for the storage decorator and the live
+/// durability-tax readout; values never reach a deterministic sink.
+std::uint64_t MonotonicNowNs() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now()  // sleeplint: allow(no-wallclock)
+              .time_since_epoch())
+          .count());
+}
 
 /// The shape of the caller's obs context, captured once so every block
 /// can build a private buffered mirror: same log config, same sink
@@ -69,7 +81,8 @@ report::ProbeAccounting Subtract(const report::ProbeAccounting& after,
 class WorkQueue {
  public:
   WorkQueue(std::size_t n_workers, std::size_t first_block,
-            std::size_t n_blocks) {
+            std::size_t n_blocks)
+      : steals_(n_workers), idle_polls_(n_workers) {
     shards_.reserve(n_workers);
     for (std::size_t w = 0; w < n_workers; ++w) {
       shards_.push_back(std::make_unique<Shard>());
@@ -108,11 +121,25 @@ class WorkQueue {
       if (best == shards_.size()) return std::nullopt;
       auto& shard = *shards_[best];
       util::MutexLock lock{shard.mutex};
-      if (shard.blocks.empty()) continue;  // lost the race; rescan
+      if (shard.blocks.empty()) {
+        idle_polls_[worker].fetch_add(1, std::memory_order_relaxed);
+        continue;  // lost the race; rescan
+      }
       const std::size_t block = shard.blocks.back();
       shard.blocks.pop_back();
+      steals_[worker].fetch_add(1, std::memory_order_relaxed);
       return block;
     }
+  }
+
+  /// Live scheduling telemetry for /statusz. Steal/idle counts are
+  /// schedule-dependent, so they must never reach a deterministic sink —
+  /// the status provider's "live" section is their only consumer.
+  std::uint64_t steals(std::size_t worker) const {
+    return steals_[worker].load(std::memory_order_relaxed);
+  }
+  std::uint64_t idle_polls(std::size_t worker) const {
+    return idle_polls_[worker].load(std::memory_order_relaxed);
   }
 
  private:
@@ -121,6 +148,8 @@ class WorkQueue {
     std::deque<std::size_t> blocks SLEEPWALK_GUARDED_BY(mutex);
   };
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::atomic<std::uint64_t>> steals_;
+  std::vector<std::atomic<std::uint64_t>> idle_polls_;
 };
 
 /// Finished blocks waiting for their turn in the ordered commit stage.
@@ -344,10 +373,21 @@ CampaignOutcome RunParallelCampaign(std::vector<BlockTarget> targets,
                     {"checkpointing", !config.checkpoint_path.empty()}});
   }
 
-  storage::Env& env =
+  storage::Env& base_env =
       config.env != nullptr ? *config.env : storage::RealEnvInstance();
+  // Instrumentation wraps *outside* any FaultyEnv the caller injected, so
+  // failpoint ordinals (and thus crash-sweep censuses) are unchanged. The
+  // wall clock is only injected for non-deterministic runs; without it no
+  // latency histogram exists and exposition stays byte-stable.
+  storage::InstrumentedEnv env{base_env, obs,
+                               deterministic
+                                   ? storage::InstrumentedEnv::NowNsFn{}
+                                   : MonotonicNowNs};
   CheckpointStore store{env, config.checkpoint_path,
                         config.checkpoint_keep};
+  // Wall nanoseconds spent inside checkpoint saves — the numerator of the
+  // live durability-tax readout in /statusz.
+  std::atomic<std::uint64_t> checkpoint_wall_ns{0};
 
   std::size_t first_block = 0;
   if (!config.checkpoint_path.empty()) {
@@ -453,6 +493,10 @@ CampaignOutcome RunParallelCampaign(std::vector<BlockTarget> targets,
   chains.reserve(n_workers);
   for (std::size_t w = 0; w < n_workers; ++w) chains.push_back(factory(w));
 
+  // Per-worker live runtime counters for /statusz; relaxed atomics,
+  // never folded into campaign results or deterministic telemetry.
+  std::vector<std::atomic<std::uint64_t>> blocks_run(n_workers);
+
   std::vector<std::thread> pool;
   pool.reserve(n_workers);
   for (std::size_t w = 0; w < n_workers; ++w) {
@@ -465,6 +509,7 @@ CampaignOutcome RunParallelCampaign(std::vector<BlockTarget> targets,
         completions.Push(
             RunBlock(*index, targets[*index], chain, config, n_rounds,
                      shape, scratch));
+        blocks_run[w].fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
@@ -483,6 +528,51 @@ CampaignOutcome RunParallelCampaign(std::vector<BlockTarget> targets,
       }
     }
   } join_pool{stop, pool};
+
+  // Declared after the joiner so the provider detaches before any worker
+  // state it reads (queue, blocks_run, ledger) is torn down. The provider
+  // is a pure reader: it takes only the hub's and the ledger's locks
+  // (lock order hub -> ledger) and never writes campaign state.
+  StatusHub::Registration status_registration;
+  if (config.status != nullptr) {
+    const std::size_t blocks_total = targets.size();
+    const obs::Registry* registry = obs.metrics;
+    status_registration = config.status->Attach(
+        [&ledger, &queue, &blocks_run, &checkpoint_wall_ns, wall_start,
+         blocks_total, registry, n_workers] {
+          CampaignStatus status;
+          ledger.FillStatus(status);
+          status.blocks_total = blocks_total;
+          const auto elapsed_ns =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::
+                      now()  // sleeplint: allow(no-wallclock)
+                  - wall_start)
+                  .count();
+          if (elapsed_ns > 0) {
+            status.rounds_per_sec = static_cast<double>(status.rounds_done) *
+                                    1e9 / static_cast<double>(elapsed_ns);
+            status.durability_tax_pct =
+                100.0 *
+                static_cast<double>(
+                    checkpoint_wall_ns.load(std::memory_order_relaxed)) /
+                static_cast<double>(elapsed_ns);
+          }
+          status.shards.reserve(n_workers);
+          for (std::size_t w = 0; w < n_workers; ++w) {
+            ShardRuntime shard;
+            shard.worker = w;
+            shard.blocks_run = blocks_run[w].load(std::memory_order_relaxed);
+            shard.steals = queue.steals(w);
+            shard.idle_polls = queue.idle_polls(w);
+            status.shards.push_back(shard);
+          }
+          if (registry != nullptr) {
+            status.quantiles = CollectHistogramStatus(*registry);
+          }
+          return status;
+        });
+  }
 
   bool stopped = false;
   for (std::size_t i = first_block; i < targets.size(); ++i) {
@@ -521,7 +611,10 @@ CampaignOutcome RunParallelCampaign(std::vector<BlockTarget> targets,
       Checkpoint checkpoint = ledger.BuildCheckpointSnapshot(
           fingerprint, i + 1, /*has_inflight=*/false, 0, 0, nullptr);
       const auto span = obs.Span("checkpoint.write");
+      const std::uint64_t save_start = MonotonicNowNs();
       const auto error = store.Save(checkpoint);
+      checkpoint_wall_ns.fetch_add(MonotonicNowNs() - save_start,
+                                   std::memory_order_relaxed);
       const bool ok = error.ok();
       ledger.NoteCheckpointWritten(ok);
       if (ok && metrics.checkpoints != nullptr) metrics.checkpoints->Inc();

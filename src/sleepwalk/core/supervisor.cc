@@ -1,11 +1,14 @@
 #include "sleepwalk/core/supervisor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <utility>
 
 #include "sleepwalk/core/campaign_ledger.h"
 #include "sleepwalk/core/checkpoint.h"
+#include "sleepwalk/core/status.h"
+#include "sleepwalk/storage/instrumented_env.h"
 #include "sleepwalk/util/rng.h"
 #include "sleepwalk/util/sync.h"
 
@@ -15,6 +18,21 @@ namespace sleepwalk::core {
 // and schedule helpers) lives in core/campaign_ledger.h, shared with the
 // parallel executor: both runners must compute identical retry delays,
 // gap decisions, and classifications for the byte-equivalence contract.
+
+namespace {
+
+/// Monotonic-nanosecond clock injected into the storage decorator for
+/// live (non-deterministic) runs; deterministic runs pass an empty
+/// function and get no latency instruments at all.
+std::uint64_t MonotonicNowNs() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now()  // sleeplint: allow(no-wallclock)
+              .time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
                                      net::Transport& transport,
@@ -54,10 +72,23 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
   bool resume_inflight = false;
   BlockAnalyzerState inflight_state;
 
-  storage::Env& env =
+  // Checkpoint I/O goes through the instrumented decorator: op/byte
+  // counters are deterministic (the op sequence is), latency histograms
+  // only exist when the injected clock is non-empty (live runs). The
+  // decorator is pass-through, so persisted bytes and failpoint
+  // ordinals are untouched.
+  storage::Env& base_env =
       config.env != nullptr ? *config.env : storage::RealEnvInstance();
+  storage::InstrumentedEnv env{
+      base_env, obs,
+      deterministic ? storage::InstrumentedEnv::NowNsFn{} : MonotonicNowNs};
   CheckpointStore store{env, config.checkpoint_path,
                         config.checkpoint_keep};
+
+  // Wall time spent inside checkpoint writes, for the live
+  // durability-tax readout. Read only by the status provider below —
+  // never by a deterministic sink.
+  std::atomic<std::uint64_t> checkpoint_wall_ns{0};
 
   if (!config.checkpoint_path.empty()) {
     RecoveryEvents recovery;
@@ -132,7 +163,10 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
         analyzer);
     checkpoint.transport_state = SnapshotTransport(transport);
     const auto span = obs.Span("checkpoint.write");
+    const std::uint64_t save_start = MonotonicNowNs();
     const auto error = store.Save(checkpoint);
+    checkpoint_wall_ns.fetch_add(MonotonicNowNs() - save_start,
+                                 std::memory_order_relaxed);
     const bool ok = error.ok();
     ledger.NoteCheckpointWritten(ok);
     if (ok && metrics.checkpoints != nullptr) metrics.checkpoints->Inc();
@@ -147,6 +181,44 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
                       {"error", ok ? std::string{} : error.ToString()}});
     }
   };
+
+  // Live-status provider for the admin plane: one snapshot-isolated
+  // ledger read plus wall-derived rates. Registration is scoped to this
+  // frame (declared after `ledger`, destroyed first), so a reader can
+  // never observe the campaign after it is torn down.
+  StatusHub::Registration status_registration;
+  if (config.status != nullptr) {
+    const std::size_t blocks_total = targets.size();
+    const obs::Registry* registry = obs.metrics;
+    status_registration = config.status->Attach(
+        [&ledger, &checkpoint_wall_ns, wall_start, blocks_total, registry] {
+          CampaignStatus status;
+          ledger.FillStatus(status);
+          status.blocks_total = blocks_total;
+          const auto elapsed_ns =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now()  // sleeplint: allow(no-wallclock)
+                  - wall_start)
+                  .count();
+          if (elapsed_ns > 0) {
+            status.rounds_per_sec = static_cast<double>(status.rounds_done) *
+                                    1e9 / static_cast<double>(elapsed_ns);
+            status.durability_tax_pct =
+                100.0 *
+                static_cast<double>(
+                    checkpoint_wall_ns.load(std::memory_order_relaxed)) /
+                static_cast<double>(elapsed_ns);
+          }
+          // A sequential campaign is one shard that never steals.
+          ShardRuntime shard;
+          shard.blocks_run = status.blocks_done;
+          status.shards.push_back(shard);
+          if (registry != nullptr) {
+            status.quantiles = CollectHistogramStatus(*registry);
+          }
+          return status;
+        });
+  }
 
   // One scratch arena and one reusable analysis buffer for the whole
   // campaign: Finish() stops allocating once capacities warm up.

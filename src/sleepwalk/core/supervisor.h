@@ -35,6 +35,8 @@
 
 namespace sleepwalk::core {
 
+class StatusHub;  // core/status.h
+
 /// Retry-with-backoff policy for transport errors.
 struct RetryConfig {
   int max_attempts = 4;         ///< total tries per round (1 = no retry)
@@ -94,6 +96,13 @@ struct SupervisorConfig {
   /// CampaignProgress; legacy (blocks_done, total) callables still bind
   /// (see core::ProgressFn).
   ProgressFn progress;
+
+  /// Live-status rendezvous for the admin plane (serve/); null = no
+  /// status publishing. The campaign attaches a snapshot provider for
+  /// the duration of the run; the hub must outlive the call. Read-only
+  /// observation: attaching a hub changes no campaign, checkpoint, or
+  /// telemetry byte (enforced with the obs inertness tests).
+  StatusHub* status = nullptr;
 
   /// Telemetry handle (null-object by default — a campaign without
   /// sinks pays one branch per instrumentation point). Every recovery

@@ -1,0 +1,128 @@
+#include "sleepwalk/obs/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace sleepwalk::obs {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslash, control bytes).
+/// Span names are short identifiers, so this is rarely more than a copy.
+std::string EscapeJson(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += kHex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double HistogramQuantile(const HistogramSnapshot& snapshot, double q) {
+  if (snapshot.count == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(snapshot.count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0;
+       i < snapshot.bounds.size() && i < snapshot.buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(snapshot.buckets[i]);
+    if (in_bucket <= 0.0) continue;
+    const double previous = cumulative;
+    cumulative += in_bucket;
+    if (cumulative >= rank) {
+      // Linear interpolation inside the bucket, Prometheus-style: the
+      // first finite bucket interpolates up from 0 unless its bound is
+      // already negative.
+      const double upper = snapshot.bounds[i];
+      const double lower = i == 0 ? std::min(0.0, upper)
+                                  : snapshot.bounds[i - 1];
+      const double fraction =
+          std::clamp((rank - previous) / in_bucket, 0.0, 1.0);
+      return lower + (upper - lower) * fraction;
+    }
+  }
+  // The rank lands in the +Inf bucket: the estimator cannot see past the
+  // largest finite bound. With no finite bounds at all there is nothing
+  // to report.
+  return snapshot.bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                                 : snapshot.bounds.back();
+}
+
+QuantileSummary SummarizeQuantiles(const HistogramSnapshot& snapshot) {
+  QuantileSummary summary;
+  summary.p50 = HistogramQuantile(snapshot, 0.50);
+  summary.p95 = HistogramQuantile(snapshot, 0.95);
+  summary.p99 = HistogramQuantile(snapshot, 0.99);
+  return summary;
+}
+
+void WriteChromeTrace(const std::vector<SpanRecord>& spans,
+                      std::ostream& out) {
+  // Flatten every closed span into its B and E events and order by the
+  // deterministic sequence tick. Ticks are globally unique (one per span
+  // start/end, preserved by Graft), so the order is total, `ts` is
+  // strictly monotone, and B/E events nest exactly as the spans did.
+  struct Event {
+    std::uint64_t tick = 0;
+    bool begin = false;
+    const SpanRecord* span = nullptr;
+  };
+  std::vector<Event> events;
+  events.reserve(spans.size() * 2);
+  for (const auto& span : spans) {
+    if (span.open) continue;  // same policy as Tracer::Graft
+    events.push_back({span.seq_start, true, &span});
+    events.push_back({span.seq_end, false, &span});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.tick < b.tick; });
+
+  out << '[';
+  bool first = true;
+  for (const auto& event : events) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    const auto& span = *event.span;
+    out << "{\"name\":\"" << EscapeJson(span.name)
+        << "\",\"cat\":\"sleepwalk\",\"ph\":\"" << (event.begin ? 'B' : 'E')
+        << "\",\"pid\":1,\"tid\":1,\"ts\":" << event.tick << ",\"args\":{"
+        << "\"vt\":" << (event.begin ? span.vt_start : span.vt_end);
+    // Wall duration only exists in non-deterministic runs; omitting the
+    // zero keeps deterministic exports byte-stable.
+    if (!event.begin && span.wall_ns > 0) {
+      out << ",\"wall_ns\":" << span.wall_ns;
+    }
+    out << "}}";
+  }
+  out << "\n]\n";
+}
+
+void WriteChromeTrace(const Tracer& tracer, std::ostream& out) {
+  WriteChromeTrace(tracer.spans(), out);
+}
+
+}  // namespace sleepwalk::obs

@@ -1,0 +1,57 @@
+// Derived-telemetry exporters: histogram quantile estimation and the
+// Chrome trace-event trace format.
+//
+// Quantiles are estimated Prometheus-style — linear interpolation over
+// the histogram's cumulative buckets — so p50/p95/p99 are a pure
+// function of the bucket snapshot and byte-deterministic across
+// same-seed runs (they surface in /statusz and the CSV exposition).
+//
+// The Chrome exporter renders the tracer's flame-ordered spans as a
+// trace-event JSON array loadable by chrome://tracing and Perfetto:
+// every closed span becomes a B/E pair stamped with its deterministic
+// sequence ticks, so the export is byte-identical for same-seed runs
+// and for any worker count (the ticks survive the parallel executor's
+// Graft). Virtual campaign time and — in non-deterministic runs — wall
+// nanoseconds ride along as event args.
+#ifndef SLEEPWALK_OBS_EXPORT_H_
+#define SLEEPWALK_OBS_EXPORT_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "sleepwalk/obs/metrics.h"
+#include "sleepwalk/obs/trace.h"
+
+namespace sleepwalk::obs {
+
+/// Estimated value at quantile `q` in [0, 1], Prometheus
+/// histogram_quantile() semantics: find the bucket holding rank
+/// q*count, interpolate linearly inside it (the first finite bucket
+/// interpolates from 0 when its bound is positive). Observations landing
+/// in the +Inf bucket degrade to the largest finite bound — the
+/// estimator cannot see past it. Returns NaN for an empty histogram or
+/// when every observation sits in +Inf with no finite bounds.
+double HistogramQuantile(const HistogramSnapshot& snapshot, double q);
+
+/// The fixed summary set /statusz and the CSV exposition publish.
+struct QuantileSummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+QuantileSummary SummarizeQuantiles(const HistogramSnapshot& snapshot);
+
+/// Writes `spans` as a Chrome trace-event JSON array (B/E phase pairs,
+/// one pid/tid, `ts` = deterministic sequence tick). Events are emitted
+/// in tick order, so `ts` is strictly monotone and B/E nesting is exact.
+/// Open spans are skipped (same policy as Tracer::Graft — a finished
+/// campaign leaves none).
+void WriteChromeTrace(const std::vector<SpanRecord>& spans,
+                      std::ostream& out);
+
+/// Convenience overload over the tracer's current span snapshot.
+void WriteChromeTrace(const Tracer& tracer, std::ostream& out);
+
+}  // namespace sleepwalk::obs
+
+#endif  // SLEEPWALK_OBS_EXPORT_H_

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <cstdio>
 #include <ostream>
+
+#include "sleepwalk/obs/export.h"
 
 namespace sleepwalk::obs {
 
@@ -26,6 +29,14 @@ std::string FormatCount(std::uint64_t value) {
 }
 
 constexpr std::string_view kPrefix = "sleepwalk_";
+
+std::string_view KindName(std::uint8_t kind) {
+  switch (kind) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    default: return "histogram";
+  }
+}
 
 std::vector<double> SortedUnique(std::vector<double> bounds) {
   std::sort(bounds.begin(), bounds.end());
@@ -81,6 +92,16 @@ bool Histogram::MergeFrom(const Histogram& other) {
   return true;
 }
 
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  util::MutexLock lock{mutex_};
+  snapshot.buckets = per_bucket_;
+  snapshot.count = count_;
+  snapshot.sum = sum_;
+  return snapshot;
+}
+
 std::uint64_t Histogram::CumulativeCount(std::size_t i) const noexcept {
   util::MutexLock lock{mutex_};
   std::uint64_t total = 0;
@@ -88,6 +109,22 @@ std::uint64_t Histogram::CumulativeCount(std::size_t i) const noexcept {
     total += per_bucket_[b];
   }
   return total;
+}
+
+void Registry::NoteKindCollision(std::string_view name,
+                                 std::string_view requested,
+                                 Instrument::Kind existing) const noexcept {
+  kind_collisions_.fetch_add(1, std::memory_order_relaxed);
+#ifndef NDEBUG
+  const auto existing_name = KindName(static_cast<std::uint8_t>(existing));
+  std::fprintf(  // sleeplint: allow(no-raw-io) — debug-build CHECK output
+      stderr,
+      "sleepwalk/obs: instrument kind collision: \"%.*s\" requested as %.*s "
+      "but already registered as %.*s; the null return drops every update\n",
+      static_cast<int>(name.size()), name.data(),
+      static_cast<int>(requested.size()), requested.data(),
+      static_cast<int>(existing_name.size()), existing_name.data());
+#endif
 }
 
 Counter* Registry::FindOrCreateCounter(std::string_view name,
@@ -101,9 +138,11 @@ Counter* Registry::FindOrCreateCounter(std::string_view name,
     instrument.counter = std::make_unique<Counter>();
     it = instruments_.emplace(std::string(name), std::move(instrument)).first;
   }
-  return it->second.kind == Instrument::Kind::kCounter
-             ? it->second.counter.get()
-             : nullptr;
+  if (it->second.kind != Instrument::Kind::kCounter) {
+    NoteKindCollision(name, "counter", it->second.kind);
+    return nullptr;
+  }
+  return it->second.counter.get();
 }
 
 Gauge* Registry::FindOrCreateGauge(std::string_view name,
@@ -117,8 +156,11 @@ Gauge* Registry::FindOrCreateGauge(std::string_view name,
     instrument.gauge = std::make_unique<Gauge>();
     it = instruments_.emplace(std::string(name), std::move(instrument)).first;
   }
-  return it->second.kind == Instrument::Kind::kGauge ? it->second.gauge.get()
-                                                     : nullptr;
+  if (it->second.kind != Instrument::Kind::kGauge) {
+    NoteKindCollision(name, "gauge", it->second.kind);
+    return nullptr;
+  }
+  return it->second.gauge.get();
 }
 
 Histogram* Registry::FindOrCreateHistogram(std::string_view name,
@@ -133,9 +175,11 @@ Histogram* Registry::FindOrCreateHistogram(std::string_view name,
     instrument.histogram = std::make_unique<Histogram>(std::move(bounds));
     it = instruments_.emplace(std::string(name), std::move(instrument)).first;
   }
-  return it->second.kind == Instrument::Kind::kHistogram
-             ? it->second.histogram.get()
-             : nullptr;
+  if (it->second.kind != Instrument::Kind::kHistogram) {
+    NoteKindCollision(name, "histogram", it->second.kind);
+    return nullptr;
+  }
+  return it->second.histogram.get();
 }
 
 const Counter* Registry::counter(std::string_view name) const {
@@ -226,6 +270,17 @@ void Registry::MergeFrom(const Registry& other) {
   }
 }
 
+std::vector<std::pair<std::string, HistogramSnapshot>>
+Registry::HistogramSnapshots() const {
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  util::MutexLock lock{mutex_};
+  for (const auto& [name, instrument] : instruments_) {
+    if (instrument.kind != Instrument::Kind::kHistogram) continue;
+    out.emplace_back(name, instrument.histogram->Snapshot());
+  }
+  return out;
+}
+
 void Registry::WritePrometheus(std::ostream& out) const {
   util::MutexLock lock{mutex_};
   for (const auto& [name, instrument] : instruments_) {
@@ -244,16 +299,21 @@ void Registry::WritePrometheus(std::ostream& out) const {
             << full << ' ' << FormatNumber(instrument.gauge->value()) << '\n';
         break;
       case Instrument::Kind::kHistogram: {
-        const auto& histogram = *instrument.histogram;
+        // One locked snapshot per histogram, cumulative counts as a
+        // running sum over it — per-bucket CumulativeCount() calls would
+        // re-lock and re-scan, O(buckets^2) per exposition pass.
+        const auto snapshot = instrument.histogram->Snapshot();
         out << "# TYPE " << full << " histogram\n";
-        for (std::size_t i = 0; i < histogram.bounds().size(); ++i) {
-          out << full << "_bucket{le=\"" << FormatNumber(histogram.bounds()[i])
-              << "\"} " << FormatCount(histogram.CumulativeCount(i)) << '\n';
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < snapshot.bounds.size(); ++i) {
+          cumulative += snapshot.buckets[i];
+          out << full << "_bucket{le=\"" << FormatNumber(snapshot.bounds[i])
+              << "\"} " << FormatCount(cumulative) << '\n';
         }
         out << full << "_bucket{le=\"+Inf\"} "
-            << FormatCount(histogram.count()) << '\n'
-            << full << "_sum " << FormatNumber(histogram.sum()) << '\n'
-            << full << "_count " << FormatCount(histogram.count()) << '\n';
+            << FormatCount(snapshot.count) << '\n'
+            << full << "_sum " << FormatNumber(snapshot.sum) << '\n'
+            << full << "_count " << FormatCount(snapshot.count) << '\n';
         break;
       }
     }
@@ -274,18 +334,26 @@ void Registry::WriteCsv(std::ostream& out) const {
             << FormatNumber(instrument.gauge->value()) << '\n';
         break;
       case Instrument::Kind::kHistogram: {
-        const auto& histogram = *instrument.histogram;
-        for (std::size_t i = 0; i < histogram.bounds().size(); ++i) {
-          out << name << ",histogram,le=" << FormatNumber(
-                 histogram.bounds()[i])
-              << ',' << FormatCount(histogram.CumulativeCount(i)) << '\n';
+        // Same single-snapshot discipline as WritePrometheus.
+        const auto snapshot = instrument.histogram->Snapshot();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < snapshot.bounds.size(); ++i) {
+          cumulative += snapshot.buckets[i];
+          out << name << ",histogram,le=" << FormatNumber(snapshot.bounds[i])
+              << ',' << FormatCount(cumulative) << '\n';
         }
         out << name << ",histogram,le=+Inf,"
-            << FormatCount(histogram.count()) << '\n'
-            << name << ",histogram,sum," << FormatNumber(histogram.sum())
+            << FormatCount(snapshot.count) << '\n'
+            << name << ",histogram,sum," << FormatNumber(snapshot.sum)
             << '\n'
-            << name << ",histogram,count," << FormatCount(histogram.count())
-            << '\n';
+            << name << ",histogram,count," << FormatCount(snapshot.count)
+            << '\n'
+            << name << ",histogram,p50,"
+            << FormatNumber(HistogramQuantile(snapshot, 0.50)) << '\n'
+            << name << ",histogram,p95,"
+            << FormatNumber(HistogramQuantile(snapshot, 0.95)) << '\n'
+            << name << ",histogram,p99,"
+            << FormatNumber(HistogramQuantile(snapshot, 0.99)) << '\n';
         break;
       }
     }

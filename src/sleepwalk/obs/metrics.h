@@ -32,6 +32,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "sleepwalk/util/sync.h"
@@ -73,6 +74,17 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// Point-in-time copy of one histogram's state, taken under a single
+/// lock acquisition so buckets, count, and sum are mutually consistent.
+/// Exposition and quantile estimation (obs/export.h) work from this
+/// instead of re-locking per bucket.
+struct HistogramSnapshot {
+  std::vector<double> bounds;           ///< finite upper bounds, ascending
+  std::vector<std::uint64_t> buckets;   ///< non-cumulative, +Inf last
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
 /// Fixed-bucket cumulative histogram. Bucket i counts observations
 /// <= bounds[i] (Prometheus `le` semantics: the bound is inclusive);
 /// one implicit +Inf bucket catches the rest. Observation takes a
@@ -97,6 +109,11 @@ class Histogram {
   /// Non-cumulative per-bucket snapshot (+Inf bucket last).
   std::vector<std::uint64_t> bucket_counts() const SLEEPWALK_EXCLUDES(mutex_);
 
+  /// Everything exposition needs in one lock acquisition. Prefer this
+  /// over per-bucket CumulativeCount() calls, which each re-lock and
+  /// re-scan (O(buckets^2) across a full exposition pass).
+  HistogramSnapshot Snapshot() const SLEEPWALK_EXCLUDES(mutex_);
+
   /// Adds `other`'s buckets, count, and sum into this histogram. The two
   /// must share bounds (the shard histograms the parallel executor merges
   /// are created from the same instrument definitions); a bounds mismatch
@@ -118,7 +135,11 @@ class Histogram {
 /// never move) and safe to update from any thread without further
 /// locking. Name collisions across kinds (a counter and a gauge both
 /// named "x") are a caller bug; the later FindOrCreate returns null
-/// rather than aliasing.
+/// rather than aliasing, bumps kind_collisions(), and — in debug builds
+/// — prints a diagnostic naming both kinds, because audited call sites
+/// (obs::Context::*OrNull, SupervisorMetrics, ProbeCounters) all store
+/// the null and silently skip updates, which would otherwise hide the
+/// bug as a mysteriously flat series.
 class Registry {
  public:
   Counter* FindOrCreateCounter(std::string_view name,
@@ -140,12 +161,27 @@ class Registry {
 
   std::size_t size() const noexcept SLEEPWALK_EXCLUDES(mutex_);
 
+  /// Number of FindOrCreate* calls that hit a kind collision and
+  /// returned null. A nonzero value means some instrument silently
+  /// dropped its updates — regression-tested, surfaced loudly in debug
+  /// builds.
+  std::uint64_t kind_collisions() const noexcept {
+    return kind_collisions_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of every histogram (name-sorted), one lock acquisition per
+  /// histogram. Feeds /statusz quantile reporting (obs/export.h).
+  std::vector<std::pair<std::string, HistogramSnapshot>> HistogramSnapshots()
+      const SLEEPWALK_EXCLUDES(mutex_);
+
   /// Prometheus text exposition format 0.0.4, instruments name-sorted,
   /// every name prefixed "sleepwalk_".
   void WritePrometheus(std::ostream& out) const SLEEPWALK_EXCLUDES(mutex_);
 
   /// CSV exposition: header "name,kind,field,value", one row per scalar
-  /// (histograms expand to bucket/sum/count rows).
+  /// (histograms expand to bucket/sum/count rows plus estimated
+  /// p50/p95/p99 rows — linear interpolation over the buckets, NaN when
+  /// the histogram is empty).
   void WriteCsv(std::ostream& out) const SLEEPWALK_EXCLUDES(mutex_);
 
   /// Folds `other`'s instruments into this registry, creating missing
@@ -168,10 +204,16 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  /// Diagnoses a FindOrCreate* kind mismatch: counts it always, prints
+  /// to stderr in debug builds.
+  void NoteKindCollision(std::string_view name, std::string_view requested,
+                         Instrument::Kind existing) const noexcept;
+
   mutable util::Mutex mutex_;
   // std::map: name-sorted iteration makes exposition deterministic.
   std::map<std::string, Instrument, std::less<>> instruments_
       SLEEPWALK_GUARDED_BY(mutex_);
+  mutable std::atomic<std::uint64_t> kind_collisions_{0};
 };
 
 }  // namespace sleepwalk::obs

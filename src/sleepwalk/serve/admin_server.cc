@@ -1,0 +1,250 @@
+#include "sleepwalk/serve/admin_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+namespace sleepwalk::serve {
+
+namespace {
+
+/// Reject request heads larger than this; nothing the admin plane
+/// accepts is remotely that big, and it bounds per-connection memory.
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+
+/// One accepted connection: read until the request head is complete,
+/// write the serialized response, close.
+struct Connection {
+  net::FileDescriptor fd;
+  std::string in;
+  std::string out;
+  std::size_t out_sent = 0;
+};
+
+bool SetNonBlocking(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void Fail(std::string* error, const char* what) {
+  if (error != nullptr) {
+    *error = std::string{what} + ": " + std::strerror(errno);
+  }
+}
+
+}  // namespace
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Route(std::string path, Handler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+bool AdminServer::Start(std::uint16_t port, std::string* error) {
+  if (running()) {
+    if (error != nullptr) *error = "already running";
+    return false;
+  }
+
+  net::FileDescriptor listener{
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0)};
+  if (!listener.valid()) {
+    Fail(error, "socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listener.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+  addr.sin_port = htons(port);
+  if (::bind(listener.get(), reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Fail(error, "bind");
+    return false;
+  }
+  if (::listen(listener.get(), 16) != 0) {
+    Fail(error, "listen");
+    return false;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listener.get(), reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    Fail(error, "getsockname");
+    return false;
+  }
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_CLOEXEC | O_NONBLOCK) != 0) {
+    Fail(error, "pipe2");
+    return false;
+  }
+  net::FileDescriptor wake_read{pipe_fds[0]};
+  net::FileDescriptor wake_write{pipe_fds[1]};
+
+  net::FileDescriptor epoll{::epoll_create1(EPOLL_CLOEXEC)};
+  if (!epoll.valid()) {
+    Fail(error, "epoll_create1");
+    return false;
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = listener.get();
+  if (::epoll_ctl(epoll.get(), EPOLL_CTL_ADD, listener.get(), &event) != 0) {
+    Fail(error, "epoll_ctl(listener)");
+    return false;
+  }
+  event.data.fd = wake_read.get();
+  if (::epoll_ctl(epoll.get(), EPOLL_CTL_ADD, wake_read.get(), &event) != 0) {
+    Fail(error, "epoll_ctl(wakeup)");
+    return false;
+  }
+
+  listener_ = std::move(listener);
+  epoll_ = std::move(epoll);
+  wake_read_ = std::move(wake_read);
+  wake_write_ = std::move(wake_write);
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread{[this] { Serve(); }};
+  return true;
+}
+
+void AdminServer::Stop() {
+  if (!running()) return;
+  const char byte = 'q';
+  [[maybe_unused]] const auto ignored = ::write(wake_write_.get(), &byte, 1);
+  thread_.join();
+  listener_.Reset();
+  epoll_.Reset();
+  wake_read_.Reset();
+  wake_write_.Reset();
+  port_ = 0;
+}
+
+HttpResponse AdminServer::Dispatch(const HttpRequest& request) const {
+  if (request.method != "GET" && request.method != "HEAD") {
+    return HttpResponse{405, "text/plain; charset=utf-8",
+                        "method not allowed\n"};
+  }
+  const auto it = routes_.find(request.path);
+  if (it == routes_.end()) {
+    return HttpResponse{404, "text/plain; charset=utf-8", "not found\n"};
+  }
+  HttpResponse response = it->second(request);
+  if (request.method == "HEAD") response.body.clear();
+  return response;
+}
+
+void AdminServer::Serve() {
+  std::unordered_map<int, std::unique_ptr<Connection>> connections;
+  epoll_event events[16];
+
+  const auto arm = [&](int fd, std::uint32_t mask, bool add) {
+    epoll_event event{};
+    event.events = mask;
+    event.data.fd = fd;
+    ::epoll_ctl(epoll_.get(), add ? EPOLL_CTL_ADD : EPOLL_CTL_MOD, fd,
+                &event);
+  };
+  const auto drop = [&](int fd) {
+    ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+    connections.erase(fd);  // closes via FileDescriptor
+  };
+
+  while (true) {
+    const int n = ::epoll_wait(epoll_.get(), events, 16, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll itself broke; nothing sensible left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_read_.get()) return;  // Stop() requested
+
+      if (fd == listener_.get()) {
+        while (true) {
+          net::FileDescriptor client{::accept4(
+              listener_.get(), nullptr, nullptr, SOCK_CLOEXEC)};
+          if (!client.valid()) break;  // EAGAIN or transient error
+          if (!SetNonBlocking(client.get())) continue;
+          const int client_fd = client.get();
+          auto connection = std::make_unique<Connection>();
+          connection->fd = std::move(client);
+          connections.emplace(client_fd, std::move(connection));
+          arm(client_fd, EPOLLIN, /*add=*/true);
+        }
+        continue;
+      }
+
+      const auto it = connections.find(fd);
+      if (it == connections.end()) continue;
+      Connection& connection = *it->second;
+
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        drop(fd);
+        continue;
+      }
+
+      if ((events[i].events & EPOLLIN) != 0 && connection.out.empty()) {
+        char buf[4096];
+        bool closed = false;
+        while (true) {
+          const auto got = ::read(fd, buf, sizeof(buf));
+          if (got > 0) {
+            connection.in.append(buf, static_cast<std::size_t>(got));
+            if (connection.in.size() > kMaxRequestBytes) break;
+            continue;
+          }
+          if (got == 0) closed = true;
+          break;  // EAGAIN, error, or EOF
+        }
+
+        HttpRequest request;
+        const auto status = connection.in.size() > kMaxRequestBytes
+                                ? ParseStatus::kBad
+                                : ParseRequest(connection.in, request);
+        if (status == ParseStatus::kIncomplete) {
+          if (closed) drop(fd);  // peer gave up mid-request
+          continue;
+        }
+        HttpResponse response =
+            status == ParseStatus::kBad
+                ? HttpResponse{connection.in.size() > kMaxRequestBytes
+                                   ? 431
+                                   : 400,
+                               "text/plain; charset=utf-8", "bad request\n"}
+                : Dispatch(request);
+        connection.out = SerializeResponse(response);
+        connection.out_sent = 0;
+        arm(fd, EPOLLOUT, /*add=*/false);
+      }
+
+      if (!connection.out.empty()) {
+        while (connection.out_sent < connection.out.size()) {
+          const auto sent =
+              ::write(fd, connection.out.data() + connection.out_sent,
+                      connection.out.size() - connection.out_sent);
+          if (sent <= 0) break;  // EAGAIN or peer reset
+          connection.out_sent += static_cast<std::size_t>(sent);
+        }
+        if (connection.out_sent >= connection.out.size()) {
+          drop(fd);  // Connection: close — response done, hang up
+        } else {
+          arm(fd, EPOLLOUT, /*add=*/false);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sleepwalk::serve

@@ -1,0 +1,71 @@
+// AdminServer: a minimal epoll-based HTTP/1.1 server for the admin
+// plane (/metrics, /healthz, /statusz, /tracez).
+//
+// Scope is deliberately narrow: loopback-only (binds 127.0.0.1), GET
+// requests, Connection: close, one server thread. It is a *read-only
+// observer* of a running campaign — handlers installed on it must not
+// mutate campaign state, and attaching a server changes no dataset,
+// checkpoint, or telemetry byte (the obs inertness tests enforce this).
+//
+// All socket/epoll/clock use in the tree is confined to this layer (and
+// net/), under an explicit sleeplint allowance for serve/.
+#ifndef SLEEPWALK_SERVE_ADMIN_SERVER_H_
+#define SLEEPWALK_SERVE_ADMIN_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "sleepwalk/net/socket.h"
+#include "sleepwalk/serve/http.h"
+
+namespace sleepwalk::serve {
+
+/// A request handler; runs on the server thread, must be fast and
+/// read-only. Registered per exact path.
+using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+class AdminServer {
+ public:
+  AdminServer() = default;
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers `handler` for GET `path` (exact match). Must be called
+  /// before Start(); later calls are a data race by design choice (the
+  /// route table is read lock-free on the server thread).
+  void Route(std::string path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port), starts the
+  /// server thread. Returns false with `error` filled on failure.
+  bool Start(std::uint16_t port, std::string* error = nullptr);
+
+  /// Stops the server thread and closes every socket. Idempotent;
+  /// called by the destructor.
+  void Stop();
+
+  /// The bound port (after a successful Start), else 0.
+  std::uint16_t port() const noexcept { return port_; }
+
+  bool running() const noexcept { return thread_.joinable(); }
+
+ private:
+  void Serve();
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  std::map<std::string, Handler> routes_;
+  net::FileDescriptor listener_;
+  net::FileDescriptor epoll_;
+  net::FileDescriptor wake_read_;
+  net::FileDescriptor wake_write_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace sleepwalk::serve
+
+#endif  // SLEEPWALK_SERVE_ADMIN_SERVER_H_

@@ -1,0 +1,136 @@
+#include "sleepwalk/serve/http.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace sleepwalk::serve {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto lower = [](char c) {
+      return static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    };
+    if (lower(a[i]) != lower(b[i])) return false;
+  }
+  return true;
+}
+
+std::string_view TrimSpace(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Pops the next line (up to LF) off `rest`, stripping the optional CR.
+std::string_view NextLine(std::string_view& rest) noexcept {
+  const auto lf = rest.find('\n');
+  std::string_view line = rest.substr(0, lf);
+  rest = lf == std::string_view::npos ? std::string_view{}
+                                      : rest.substr(lf + 1);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::Header(std::string_view name) const noexcept {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return value;
+  }
+  return {};
+}
+
+ParseStatus ParseRequest(std::string_view buffer, HttpRequest& request) {
+  // Complete once the blank line ending the header block has arrived.
+  const auto end_crlf = buffer.find("\r\n\r\n");
+  const auto end_lf = buffer.find("\n\n");
+  std::size_t head_end = std::string_view::npos;
+  if (end_crlf != std::string_view::npos) head_end = end_crlf + 2;
+  if (end_lf != std::string_view::npos && end_lf + 1 < head_end) {
+    head_end = end_lf + 1;
+  }
+  if (head_end == std::string_view::npos) return ParseStatus::kIncomplete;
+  std::string_view head = buffer.substr(0, head_end);
+
+  std::string_view line = NextLine(head);
+  const auto first_space = line.find(' ');
+  const auto last_space = line.rfind(' ');
+  if (first_space == std::string_view::npos || first_space == last_space) {
+    return ParseStatus::kBad;
+  }
+  const std::string_view method = line.substr(0, first_space);
+  std::string_view target =
+      line.substr(first_space + 1, last_space - first_space - 1);
+  const std::string_view version = line.substr(last_space + 1);
+  if (method.empty() || target.empty() || target.front() != '/' ||
+      !version.starts_with("HTTP/1.")) {
+    return ParseStatus::kBad;
+  }
+
+  request = HttpRequest{};
+  request.method = std::string{method};
+  const auto question = target.find('?');
+  if (question != std::string_view::npos) {
+    request.query = std::string{target.substr(question + 1)};
+    target = target.substr(0, question);
+  }
+  request.path = std::string{target};
+
+  while (!head.empty()) {
+    line = NextLine(head);
+    if (line.empty()) break;  // end of header block
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return ParseStatus::kBad;
+    }
+    request.headers.emplace_back(
+        std::string{TrimSpace(line.substr(0, colon))},
+        std::string{TrimSpace(line.substr(colon + 1))});
+  }
+  return ParseStatus::kOk;
+}
+
+std::string_view ReasonPhrase(int status) noexcept {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out;
+  out.reserve(response.body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += ReasonPhrase(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace sleepwalk::serve

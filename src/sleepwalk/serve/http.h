@@ -1,0 +1,60 @@
+// Minimal HTTP/1.1 request parsing and response serialization for the
+// admin plane.
+//
+// Deliberately tiny: the admin server accepts GET requests on loopback
+// from curl/sleeptop/Prometheus, answers, and closes the connection.
+// This file is the pure (socket-free, clock-free) half — parse bytes
+// into a request, serialize a response into bytes — so it unit-tests
+// without a network and stays outside the sleeplint socket allowance.
+#ifndef SLEEPWALK_SERVE_HTTP_H_
+#define SLEEPWALK_SERVE_HTTP_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sleepwalk::serve {
+
+/// A parsed request line plus headers. Bodies are ignored (the admin
+/// plane is GET-only); the query string is split off the target.
+struct HttpRequest {
+  std::string method;
+  std::string path;   ///< target without the query string
+  std::string query;  ///< bytes after '?', empty when absent
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// First header value matching `name` (ASCII case-insensitive), or "".
+  std::string_view Header(std::string_view name) const noexcept;
+};
+
+/// Outcome of feeding a request buffer to the parser.
+enum class ParseStatus {
+  kOk,          ///< request complete and well-formed
+  kIncomplete,  ///< need more bytes (no terminating CRLFCRLF yet)
+  kBad,         ///< malformed; answer 400 and close
+};
+
+/// Parses one request from `buffer`. Complete means the header block's
+/// terminating CRLFCRLF has arrived; anything after it is ignored
+/// (GET-only server, Connection: close). Bare-LF line endings are
+/// tolerated.
+ParseStatus ParseRequest(std::string_view buffer, HttpRequest& request);
+
+/// A response to serialize. `body` is sent as-is with Content-Length.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Canonical reason phrase for the handful of statuses the admin plane
+/// uses; "Unknown" otherwise.
+std::string_view ReasonPhrase(int status) noexcept;
+
+/// Serializes `response` as an HTTP/1.1 message with Connection: close.
+std::string SerializeResponse(const HttpResponse& response);
+
+}  // namespace sleepwalk::serve
+
+#endif  // SLEEPWALK_SERVE_HTTP_H_

@@ -1,0 +1,100 @@
+#include "sleepwalk/serve/routes.h"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sleepwalk::serve {
+
+namespace {
+
+constexpr const char* kJsonType = "application/json; charset=utf-8";
+constexpr const char* kPrometheusType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// The most recent `limit` closed spans, JSON-arrayed in record order.
+std::string RenderTracez(const obs::Tracer* tracer, std::size_t limit) {
+  std::string out = "[";
+  if (tracer != nullptr) {
+    const std::vector<obs::SpanRecord> spans = tracer->spans();
+    std::vector<const obs::SpanRecord*> closed;
+    closed.reserve(spans.size());
+    for (const auto& span : spans) {
+      if (!span.open) closed.push_back(&span);
+    }
+    const std::size_t first =
+        closed.size() > limit ? closed.size() - limit : 0;
+    bool comma = false;
+    for (std::size_t i = first; i < closed.size(); ++i) {
+      const auto& span = *closed[i];
+      if (comma) out += ',';
+      comma = true;
+      out += "{\"name\":\"";
+      AppendEscaped(out, span.name);
+      out += "\",\"depth\":" + std::to_string(span.depth);
+      out += ",\"seq\":[" + std::to_string(span.seq_start) + ',' +
+             std::to_string(span.seq_end) + ']';
+      out += ",\"vt\":[" + std::to_string(span.vt_start) + ',' +
+             std::to_string(span.vt_end) + ']';
+      out += ",\"wall_ns\":" + std::to_string(span.wall_ns);
+      out += '}';
+    }
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace
+
+void InstallAdminRoutes(AdminServer& server, const AdminPlane& plane) {
+  const obs::Registry* metrics = plane.metrics;
+  server.Route("/metrics", [metrics](const HttpRequest&) {
+    std::ostringstream out;
+    if (metrics != nullptr) metrics->WritePrometheus(out);
+    return HttpResponse{200, kPrometheusType, std::move(out).str()};
+  });
+
+  server.Route("/healthz", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+
+  core::StatusHub* status = plane.status;
+  server.Route("/statusz", [status](const HttpRequest&) {
+    core::CampaignStatus snapshot;
+    if (status == nullptr || !status->Snapshot(snapshot)) {
+      return HttpResponse{200, kJsonType, "{\"attached\":false}\n"};
+    }
+    return HttpResponse{200, kJsonType, core::RenderStatusJson(snapshot)};
+  });
+
+  const obs::Tracer* tracer = plane.tracer;
+  const std::size_t limit = plane.tracez_spans;
+  server.Route("/tracez", [tracer, limit](const HttpRequest&) {
+    return HttpResponse{200, kJsonType, RenderTracez(tracer, limit)};
+  });
+}
+
+}  // namespace sleepwalk::serve

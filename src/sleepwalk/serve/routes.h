@@ -1,0 +1,40 @@
+// Standard admin-plane routes: /metrics, /healthz, /statusz, /tracez.
+//
+// InstallAdminRoutes wires an AdminServer to the observability surfaces
+// of a (possibly running) campaign. Everything is read-only: handlers
+// snapshot — they never create instruments, never touch the ledger
+// beyond its locked read path, and never write a campaign byte, so an
+// admin-attached run stays byte-identical to a bare one.
+#ifndef SLEEPWALK_SERVE_ROUTES_H_
+#define SLEEPWALK_SERVE_ROUTES_H_
+
+#include <cstddef>
+
+#include "sleepwalk/core/status.h"
+#include "sleepwalk/obs/metrics.h"
+#include "sleepwalk/obs/trace.h"
+#include "sleepwalk/serve/admin_server.h"
+
+namespace sleepwalk::serve {
+
+/// The observability surfaces the routes read from. Null members
+/// degrade gracefully (empty exposition / "attached": false). Everything
+/// pointed to must outlive the server.
+struct AdminPlane {
+  const obs::Registry* metrics = nullptr;
+  const obs::Tracer* tracer = nullptr;
+  core::StatusHub* status = nullptr;
+  /// Most recent closed spans /tracez returns.
+  std::size_t tracez_spans = 256;
+};
+
+/// Registers the four standard routes on `server`:
+///   GET /metrics  — Prometheus text exposition 0.0.4
+///   GET /healthz  — "ok\n" liveness probe
+///   GET /statusz  — CampaignStatus JSON via the StatusHub
+///   GET /tracez   — JSON array of the most recent closed spans
+void InstallAdminRoutes(AdminServer& server, const AdminPlane& plane);
+
+}  // namespace sleepwalk::serve
+
+#endif  // SLEEPWALK_SERVE_ROUTES_H_

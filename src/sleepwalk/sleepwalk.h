@@ -19,6 +19,7 @@
 #include "sleepwalk/core/parallel_executor.h"
 #include "sleepwalk/core/pipeline.h"
 #include "sleepwalk/core/quick_screen.h"
+#include "sleepwalk/core/status.h"
 #include "sleepwalk/core/supervisor.h"
 
 // Probing substrate (Trinocular).
@@ -42,9 +43,15 @@
 
 // Observability: structured log, metrics registry, phase tracing.
 #include "sleepwalk/obs/context.h"
+#include "sleepwalk/obs/export.h"
 #include "sleepwalk/obs/log.h"
 #include "sleepwalk/obs/metrics.h"
 #include "sleepwalk/obs/trace.h"
+
+// Admin plane: live /metrics, /statusz, /tracez over loopback HTTP.
+#include "sleepwalk/serve/admin_server.h"
+#include "sleepwalk/serve/http.h"
+#include "sleepwalk/serve/routes.h"
 
 // Signal processing and statistics.
 #include "sleepwalk/fft/fft.h"

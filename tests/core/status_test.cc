@@ -1,0 +1,222 @@
+// The /statusz read path: StatusHub attach/detach lifetimes, histogram
+// quantile collection, and — the schema contract the admin plane and
+// sleeptop depend on — RenderStatusJson emitting the same key set for
+// any worker count, verified both on constructed statuses and against
+// live snapshots sampled from real 1-worker and 8-worker campaigns.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sleepwalk/core/parallel_executor.h"
+#include "sleepwalk/core/status.h"
+#include "sleepwalk/core/supervisor.h"
+#include "sleepwalk/faults/faulty_transport.h"
+#include "sleepwalk/obs/metrics.h"
+#include "sleepwalk/sim/world.h"
+
+namespace sleepwalk::core {
+namespace {
+
+TEST(StatusHub, SnapshotRunsTheAttachedProvider) {
+  StatusHub hub;
+  CampaignStatus out;
+  EXPECT_FALSE(hub.attached());
+  EXPECT_FALSE(hub.Snapshot(out));
+
+  const auto registration = hub.Attach([] {
+    CampaignStatus status;
+    status.blocks_done = 3;
+    return status;
+  });
+  EXPECT_TRUE(hub.attached());
+  ASSERT_TRUE(hub.Snapshot(out));
+  EXPECT_EQ(out.blocks_done, 3u);
+}
+
+TEST(StatusHub, RegistrationDetachesOnDestruction) {
+  StatusHub hub;
+  {
+    const auto registration = hub.Attach([] { return CampaignStatus{}; });
+    EXPECT_TRUE(hub.attached());
+  }
+  EXPECT_FALSE(hub.attached());
+}
+
+TEST(StatusHub, RegistrationIsMovableAndResetIsIdempotent) {
+  StatusHub hub;
+  auto registration = hub.Attach([] { return CampaignStatus{}; });
+  StatusHub::Registration moved{std::move(registration)};
+  EXPECT_TRUE(hub.attached());
+  registration = std::move(moved);  // move-assign back
+  EXPECT_TRUE(hub.attached());
+  registration.Reset();
+  EXPECT_FALSE(hub.attached());
+  registration.Reset();  // second Reset is a no-op
+  EXPECT_FALSE(hub.attached());
+}
+
+TEST(StatusHub, LastAttachWins) {
+  StatusHub hub;
+  const auto first = hub.Attach([] {
+    CampaignStatus status;
+    status.blocks_done = 1;
+    return status;
+  });
+  const auto second = hub.Attach([] {
+    CampaignStatus status;
+    status.blocks_done = 2;
+    return status;
+  });
+  CampaignStatus out;
+  ASSERT_TRUE(hub.Snapshot(out));
+  EXPECT_EQ(out.blocks_done, 2u);
+}
+
+TEST(CollectHistogramStatus, SkipsEmptyHistogramsAndSummarizesTheRest) {
+  obs::Registry registry;
+  registry.FindOrCreateHistogram("empty_seconds", {1.0});
+  auto* h = registry.FindOrCreateHistogram("busy_seconds", {1.0, 2.0});
+  h->Observe(0.5);
+  h->Observe(1.5);
+
+  const auto collected = CollectHistogramStatus(registry);
+  ASSERT_EQ(collected.size(), 1u);
+  EXPECT_EQ(collected[0].name, "busy_seconds");
+  EXPECT_EQ(collected[0].count, 2u);
+  EXPECT_DOUBLE_EQ(collected[0].quantiles.p50, 1.0);
+}
+
+/// Every JSON object key in `json`. The renderer emits keys as
+/// `"key":` and the only string values are [a-z0-9_] metric names, so
+/// a quote scan is exact.
+std::set<std::string> JsonKeys(const std::string& json) {
+  std::set<std::string> keys;
+  std::size_t pos = 0;
+  while ((pos = json.find('"', pos)) != std::string::npos) {
+    const auto end = json.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    if (end + 1 < json.size() && json[end + 1] == ':') {
+      keys.insert(json.substr(pos + 1, end - pos - 1));
+    }
+    pos = end + 1;
+  }
+  return keys;
+}
+
+TEST(RenderStatusJson, NonFiniteNumbersRenderAsNull) {
+  CampaignStatus status;
+  status.rounds_per_sec = std::nan("");
+  const auto json = RenderStatusJson(status);
+  EXPECT_NE(json.find("\"rounds_per_sec\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"attached\":true"), std::string::npos);
+}
+
+TEST(RenderStatusJson, KeySetIsIndependentOfShardCount) {
+  CampaignStatus one;
+  one.shards.resize(1);
+  one.quantiles.resize(1);
+  CampaignStatus eight;
+  eight.shards.resize(8);
+  for (std::size_t i = 0; i < eight.shards.size(); ++i) {
+    eight.shards[i].worker = i;
+  }
+  eight.quantiles.resize(1);
+  EXPECT_EQ(JsonKeys(RenderStatusJson(one)),
+            JsonKeys(RenderStatusJson(eight)));
+  EXPECT_NE(RenderStatusJson(eight).find("\"workers\":8"),
+            std::string::npos);
+}
+
+/// Worker chain mirroring parallel_executor_test's: identically seeded
+/// simulated transports so any worker count yields the same campaign.
+class SimShardChain final : public ShardChain {
+ public:
+  SimShardChain(const sim::SimWorld& world, const faults::FaultPlan& plan)
+      : transport_{world.MakeTransport(9)}, faulty_{*transport_, plan} {}
+
+  net::Transport& transport() override { return faulty_; }
+  report::ProbeAccounting accounting() const override {
+    return faulty_.accounting();
+  }
+
+ private:
+  std::unique_ptr<sim::SimTransport> transport_;
+  faults::FaultyTransport faulty_;
+};
+
+/// Runs a campaign with a StatusHub attached and a poller thread
+/// sampling /statusz JSON the whole time; returns the last snapshot.
+std::string SampleLiveStatusJson(int workers, const std::string& tag) {
+  sim::WorldConfig world_config;
+  world_config.total_blocks = 24;
+  world_config.seed = 0x57a757;
+  const auto world = sim::SimWorld::Generate(world_config);
+
+  std::vector<BlockTarget> targets;
+  for (const auto& block : world.blocks()) {
+    targets.push_back({block.spec.block, sim::EverActiveOctets(block.spec),
+                       sim::TrueAvailability(block.spec, 13 * 3600)});
+  }
+  faults::FaultPlan plan;
+  plan.iid_loss = 0.05;
+
+  SupervisorConfig config;
+  config.seed = 11;
+  config.checkpoint_path = testing::TempDir() + "/status_" + tag + ".ck";
+  std::remove(config.checkpoint_path.c_str());
+  StatusHub hub;
+  config.status = &hub;
+
+  std::atomic<bool> done{false};
+  std::string json;
+  std::thread poller{[&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      CampaignStatus status;
+      if (hub.Snapshot(status)) json = RenderStatusJson(status);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }};
+
+  ParallelConfig parallel;
+  parallel.workers = workers;
+  RunParallelCampaign(
+      targets,
+      [&](std::size_t) { return std::make_unique<SimShardChain>(world, plan); },
+      160, config, parallel);
+  done.store(true, std::memory_order_relaxed);
+  poller.join();
+  std::remove(config.checkpoint_path.c_str());
+  return json;
+}
+
+TEST(StatusIntegration, LiveSchemaIsStableAcrossWorkerCounts) {
+  const auto one = SampleLiveStatusJson(1, "w1");
+  const auto eight = SampleLiveStatusJson(8, "w8");
+  ASSERT_FALSE(one.empty()) << "poller never caught the 1-worker campaign";
+  ASSERT_FALSE(eight.empty()) << "poller never caught the 8-worker run";
+  EXPECT_EQ(JsonKeys(one), JsonKeys(eight));
+  // The live section reflects the actual worker count.
+  EXPECT_NE(eight.find("\"workers\":8"), std::string::npos) << eight;
+  EXPECT_NE(one.find("\"workers\":1"), std::string::npos) << one;
+  // Both runs saw the same campaign (the sim world expands
+  // total_blocks into more measurement targets; the exact count only
+  // has to agree across worker counts and be non-empty).
+  const auto total_of = [](const std::string& json) {
+    const auto pos = json.find("\"blocks_total\":");
+    return pos == std::string::npos
+               ? std::string{}
+               : json.substr(pos, json.find(',', pos) - pos);
+  };
+  EXPECT_EQ(total_of(one), total_of(eight));
+  EXPECT_NE(total_of(one), "\"blocks_total\":0") << one;
+}
+
+}  // namespace
+}  // namespace sleepwalk::core

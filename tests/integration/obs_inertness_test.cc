@@ -11,18 +11,29 @@
 // Plus the reconciliation check ISSUE acceptance demands: the probe
 // counters in the registry must agree with report::ResilienceStats and
 // satisfy sent = answered + lost + rate_limited + unreachable.
-#include <gtest/gtest.h>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <gtest/gtest.h>
+
+#include "sleepwalk/core/status.h"
 #include "sleepwalk/core/supervisor.h"
 #include "sleepwalk/faults/faulty_transport.h"
 #include "sleepwalk/net/instrumented_transport.h"
 #include "sleepwalk/obs/context.h"
+#include "sleepwalk/serve/admin_server.h"
+#include "sleepwalk/serve/routes.h"
 #include "sleepwalk/sim/world.h"
 
 namespace sleepwalk {
@@ -94,13 +105,15 @@ struct Sinks {
 };
 
 core::CampaignOutcome RunObsCampaign(const std::string& checkpoint_path,
-                                     const obs::Context& context) {
+                                     const obs::Context& context,
+                                     core::StatusHub* status = nullptr) {
   const auto world = ObsWorld();
   auto inner = world.MakeTransport(17);
   faults::FaultyTransport transport{*inner, ObsFaults(world)};
   transport.AttachObs(context);
   auto config = ObsConfig(checkpoint_path);
   config.obs = context;
+  config.status = status;
   auto outcome =
       core::RunResilientCampaign(TargetsOf(world), transport, 180, config);
   outcome.stats.probes.Merge(transport.accounting());
@@ -224,6 +237,77 @@ TEST(ObsInertness, IdenticalCheckpointPathMeansByteIdenticalJsonl) {
 
   EXPECT_EQ(first.jsonl.str(), second.jsonl.str());
   EXPECT_EQ(first.text.str(), second.text.str());
+}
+
+/// One blocking loopback GET, response discarded: the scraper below
+/// only exists to exercise the admin read path during a campaign.
+void ScrapeOnce(std::uint16_t port, const char* path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    const std::string request =
+        std::string{"GET "} + path + " HTTP/1.1\r\nConnection: close\r\n\r\n";
+    [[maybe_unused]] const auto sent =
+        ::write(fd, request.data(), request.size());
+    char buf[4096];
+    while (::read(fd, buf, sizeof(buf)) > 0) {
+    }
+  }
+  ::close(fd);
+}
+
+TEST(ObsInertness, AdminServerAttachedRunIsByteIdentical) {
+  // Tentpole invariant: the admin plane is a read-only observer. A
+  // campaign scraped the whole time by /statusz + /metrics + /tracez
+  // readers must produce the same dataset, checkpoint, and telemetry
+  // bytes as one that ran unobserved.
+  const std::string path = testing::TempDir() + "/obs_admin.ck";
+  std::remove(path.c_str());
+
+  Sinks bare;
+  const auto off = RunObsCampaign(path, bare.Context());
+  const auto checkpoint_bare = FileBytes(path);
+  std::remove(path.c_str());
+
+  Sinks observed;
+  core::StatusHub hub;
+  serve::AdminServer server;
+  serve::AdminPlane plane;
+  plane.metrics = &observed.registry;
+  plane.tracer = &observed.tracer;
+  plane.status = &hub;
+  serve::InstallAdminRoutes(server, plane);
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+
+  std::atomic<bool> done{false};
+  std::thread scraper{[&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      ScrapeOnce(server.port(), "/statusz");
+      ScrapeOnce(server.port(), "/metrics");
+      ScrapeOnce(server.port(), "/tracez");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }};
+  const auto on = RunObsCampaign(path, observed.Context(), &hub);
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+  server.Stop();
+  const auto checkpoint_observed = FileBytes(path);
+  std::remove(path.c_str());
+
+  ExpectSameResult(off.result, on.result);
+  ASSERT_FALSE(checkpoint_bare.empty());
+  EXPECT_EQ(checkpoint_bare, checkpoint_observed)
+      << "the admin server changed the checkpoint bytes";
+  EXPECT_EQ(bare.jsonl.str(), observed.jsonl.str());
+  EXPECT_EQ(bare.text.str(), observed.text.str());
+  EXPECT_EQ(bare.Prometheus(), observed.Prometheus());
+  EXPECT_EQ(bare.TraceJsonl(), observed.TraceJsonl());
 }
 
 TEST(ObsReconciliation, ProbeCountersMatchResilienceStats) {

@@ -1,0 +1,181 @@
+// Derived-telemetry exporters: Prometheus-style quantile estimation
+// over histogram snapshots (exact interpolation values, the +Inf
+// degradation, and the empty-histogram NaN) and the Chrome trace-event
+// array (byte-exact structure, monotone ticks, determinism, and the
+// open-span / wall_ns policies). The chrome output is cross-checked
+// with the same tools/jsonl.h validator scripts/tier1.sh runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "jsonl.h"
+#include "sleepwalk/obs/export.h"
+#include "sleepwalk/obs/trace.h"
+
+namespace sleepwalk::obs {
+namespace {
+
+HistogramSnapshot MakeSnapshot(std::vector<double> bounds,
+                               std::vector<std::uint64_t> buckets) {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = std::move(bounds);
+  snapshot.buckets = std::move(buckets);
+  snapshot.count = 0;
+  for (const auto b : snapshot.buckets) snapshot.count += b;
+  return snapshot;
+}
+
+TEST(HistogramQuantile, InterpolatesLinearlyInsideBuckets) {
+  // 10 observations: 2 in (<=1], 6 in (1,2], 2 in (2,4], none beyond.
+  const auto snapshot = MakeSnapshot({1.0, 2.0, 4.0}, {2, 6, 2, 0});
+  // rank(p50) = 5 lands 3 observations into the 6-wide (1,2] bucket.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 0.50), 1.5);
+  // rank(p95) = 9.5 lands 1.5 observations into the 2-wide (2,4] bucket.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 0.95), 3.5);
+}
+
+TEST(HistogramQuantile, FirstFiniteBucketInterpolatesFromZero) {
+  const auto snapshot = MakeSnapshot({10.0}, {4, 0});
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 0.50), 5.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 1.0), 10.0);
+}
+
+TEST(HistogramQuantile, InfBucketDegradesToLargestFiniteBound) {
+  // 8 of 10 observations sit beyond every finite bound: the estimator
+  // cannot see past the histogram, so high quantiles pin to it.
+  const auto snapshot = MakeSnapshot({1.0, 2.0}, {1, 1, 8});
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 0.99), 2.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 1.0), 2.0);
+}
+
+TEST(HistogramQuantile, EmptyHistogramIsNaN) {
+  const auto snapshot = MakeSnapshot({1.0, 2.0}, {0, 0, 0});
+  EXPECT_TRUE(std::isnan(HistogramQuantile(snapshot, 0.50)));
+}
+
+TEST(HistogramQuantile, AllInfWithNoFiniteBoundsIsNaN) {
+  const auto snapshot = MakeSnapshot({}, {5});
+  EXPECT_TRUE(std::isnan(HistogramQuantile(snapshot, 0.50)));
+}
+
+TEST(HistogramQuantile, QuantileIsClampedToUnitInterval) {
+  const auto snapshot = MakeSnapshot({1.0}, {2, 0});
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot, 2.0), 1.0);
+}
+
+TEST(HistogramQuantile, SummaryMatchesPointwiseEstimates) {
+  const auto snapshot = MakeSnapshot({1.0, 2.0, 4.0}, {2, 6, 2, 0});
+  const auto summary = SummarizeQuantiles(snapshot);
+  EXPECT_DOUBLE_EQ(summary.p50, HistogramQuantile(snapshot, 0.50));
+  EXPECT_DOUBLE_EQ(summary.p95, HistogramQuantile(snapshot, 0.95));
+  EXPECT_DOUBLE_EQ(summary.p99, HistogramQuantile(snapshot, 0.99));
+}
+
+SpanRecord MakeSpan(std::string name, int depth, std::uint64_t seq_start,
+                    std::uint64_t seq_end, std::int64_t vt_start,
+                    std::int64_t vt_end, std::uint64_t wall_ns = 0) {
+  SpanRecord span;
+  span.name = std::move(name);
+  span.depth = depth;
+  span.seq_start = seq_start;
+  span.seq_end = seq_end;
+  span.vt_start = vt_start;
+  span.vt_end = vt_end;
+  span.wall_ns = wall_ns;
+  span.open = false;
+  return span;
+}
+
+TEST(WriteChromeTrace, EmptySpanSetIsAnEmptyArray) {
+  std::ostringstream out;
+  WriteChromeTrace(std::vector<SpanRecord>{}, out);
+  EXPECT_EQ(out.str(), "[\n]\n");
+}
+
+TEST(WriteChromeTrace, EmitsNestedBeginEndPairsInTickOrder) {
+  const std::vector<SpanRecord> spans = {
+      MakeSpan("root", 0, 1, 6, 0, 3),
+      MakeSpan("child", 1, 2, 3, 1, 2),
+  };
+  std::ostringstream out;
+  WriteChromeTrace(spans, out);
+  EXPECT_EQ(
+      out.str(),
+      "[\n"
+      "{\"name\":\"root\",\"cat\":\"sleepwalk\",\"ph\":\"B\",\"pid\":1,"
+      "\"tid\":1,\"ts\":1,\"args\":{\"vt\":0}},\n"
+      "{\"name\":\"child\",\"cat\":\"sleepwalk\",\"ph\":\"B\",\"pid\":1,"
+      "\"tid\":1,\"ts\":2,\"args\":{\"vt\":1}},\n"
+      "{\"name\":\"child\",\"cat\":\"sleepwalk\",\"ph\":\"E\",\"pid\":1,"
+      "\"tid\":1,\"ts\":3,\"args\":{\"vt\":2}},\n"
+      "{\"name\":\"root\",\"cat\":\"sleepwalk\",\"ph\":\"E\",\"pid\":1,"
+      "\"tid\":1,\"ts\":6,\"args\":{\"vt\":3}}\n"
+      "]\n");
+}
+
+TEST(WriteChromeTrace, WallNanosOnlyRideOnEndEventsWhenNonZero) {
+  const std::vector<SpanRecord> spans = {MakeSpan("io", 0, 1, 2, 0, 0, 42)};
+  std::ostringstream out;
+  WriteChromeTrace(spans, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":2,"
+                      "\"args\":{\"vt\":0,\"wall_ns\":42}"),
+            std::string::npos);
+  // The begin event never carries wall time.
+  EXPECT_EQ(text.find("\"ts\":1,\"args\":{\"vt\":0,\"wall_ns\""),
+            std::string::npos);
+}
+
+TEST(WriteChromeTrace, OpenSpansAreSkipped) {
+  std::vector<SpanRecord> spans = {MakeSpan("closed", 0, 1, 2, 0, 0)};
+  SpanRecord open = MakeSpan("abandoned", 0, 3, 0, 0, -1);
+  open.open = true;
+  spans.push_back(open);
+  std::ostringstream out;
+  WriteChromeTrace(spans, out);
+  EXPECT_EQ(out.str().find("abandoned"), std::string::npos);
+  EXPECT_NE(out.str().find("closed"), std::string::npos);
+}
+
+TEST(WriteChromeTrace, EscapesSpanNames) {
+  const std::vector<SpanRecord> spans = {
+      MakeSpan("quote\"back\\slash\n", 0, 1, 2, 0, 0)};
+  std::ostringstream out;
+  WriteChromeTrace(spans, out);
+  EXPECT_NE(out.str().find("quote\\\"back\\\\slash\\n"), std::string::npos);
+}
+
+/// Deterministic tracer runs produce byte-identical exports, and the
+/// bytes satisfy the same well-formedness contract `jsonl_check
+/// --chrome-trace` enforces in tier 1.
+TEST(WriteChromeTrace, DeterministicAndValidUnderTheTier1Checker) {
+  const auto run = [] {
+    Tracer tracer;
+    const auto campaign = tracer.Start("campaign");
+    tracer.set_virtual_time(10);
+    {
+      const auto block = tracer.Start("block");
+      tracer.set_virtual_time(20);
+      tracer.End(block);
+    }
+    tracer.End(campaign);
+    std::ostringstream out;
+    WriteChromeTrace(tracer, out);
+    return out.str();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+
+  std::string error;
+  std::size_t n_events = 0;
+  EXPECT_TRUE(jsonl::CheckChromeTrace(first, error, &n_events)) << error;
+  EXPECT_EQ(n_events, 4u);
+}
+
+}  // namespace
+}  // namespace sleepwalk::obs

@@ -58,10 +58,17 @@ TEST(Registry, FindOrCreateReturnsStablePointers) {
 TEST(Registry, KindCollisionReturnsNullInsteadOfAliasing) {
   Registry registry;
   ASSERT_NE(registry.FindOrCreateCounter("x"), nullptr);
+  EXPECT_EQ(registry.kind_collisions(), 0u);
   EXPECT_EQ(registry.FindOrCreateGauge("x"), nullptr);
   EXPECT_EQ(registry.FindOrCreateHistogram("x", {1.0}), nullptr);
+  // Every mismatched FindOrCreate is a dropped-updates hazard and is
+  // counted (debug builds also print a diagnostic to stderr).
+  EXPECT_EQ(registry.kind_collisions(), 2u);
+  // Typed lookups of the wrong kind return null without counting: the
+  // caller asked a question, it did not lose writes.
   EXPECT_EQ(registry.gauge("x"), nullptr);
   EXPECT_NE(registry.counter("x"), nullptr);
+  EXPECT_EQ(registry.kind_collisions(), 2u);
 }
 
 TEST(Registry, PrometheusExpositionGolden) {
@@ -108,6 +115,9 @@ TEST(Registry, CsvExpositionGolden) {
             "delay_seconds,histogram,le=+Inf,1\n"
             "delay_seconds,histogram,sum,0.1\n"
             "delay_seconds,histogram,count,1\n"
+            "delay_seconds,histogram,p50,0.25\n"
+            "delay_seconds,histogram,p95,0.475\n"
+            "delay_seconds,histogram,p99,0.495\n"
             "rounds_total,counter,value,2\n");
 }
 

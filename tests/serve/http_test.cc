@@ -1,0 +1,97 @@
+// The pure half of the admin plane: request parsing (completeness
+// detection, query split, header lookup, malformed rejection) and
+// response serialization, byte-exact — no sockets involved.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sleepwalk/serve/http.h"
+
+namespace sleepwalk::serve {
+namespace {
+
+TEST(ParseRequest, ParsesMethodPathAndHeaders) {
+  HttpRequest request;
+  const auto status = ParseRequest(
+      "GET /statusz HTTP/1.1\r\n"
+      "Host: 127.0.0.1\r\n"
+      "Accept: */*\r\n"
+      "\r\n",
+      request);
+  ASSERT_EQ(status, ParseStatus::kOk);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/statusz");
+  EXPECT_EQ(request.query, "");
+  ASSERT_EQ(request.headers.size(), 2u);
+  EXPECT_EQ(request.Header("host"), "127.0.0.1");
+  EXPECT_EQ(request.Header("ACCEPT"), "*/*");
+  EXPECT_EQ(request.Header("missing"), "");
+}
+
+TEST(ParseRequest, SplitsQueryStringOffTheTarget) {
+  HttpRequest request;
+  ASSERT_EQ(ParseRequest("GET /tracez?limit=10 HTTP/1.1\r\n\r\n", request),
+            ParseStatus::kOk);
+  EXPECT_EQ(request.path, "/tracez");
+  EXPECT_EQ(request.query, "limit=10");
+}
+
+TEST(ParseRequest, IncompleteUntilTheBlankLineArrives) {
+  HttpRequest request;
+  EXPECT_EQ(ParseRequest("", request), ParseStatus::kIncomplete);
+  EXPECT_EQ(ParseRequest("GET /he", request), ParseStatus::kIncomplete);
+  EXPECT_EQ(ParseRequest("GET /healthz HTTP/1.1\r\nHost: x\r\n", request),
+            ParseStatus::kIncomplete);
+  EXPECT_EQ(ParseRequest("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n", request),
+            ParseStatus::kOk);
+}
+
+TEST(ParseRequest, ToleratesBareLfLineEndings) {
+  HttpRequest request;
+  ASSERT_EQ(ParseRequest("GET /metrics HTTP/1.1\nHost: x\n\n", request),
+            ParseStatus::kOk);
+  EXPECT_EQ(request.path, "/metrics");
+  EXPECT_EQ(request.Header("host"), "x");
+}
+
+TEST(ParseRequest, RejectsMalformedRequestLines) {
+  HttpRequest request;
+  // Too few request-line tokens.
+  EXPECT_EQ(ParseRequest("GET/healthz\r\n\r\n", request), ParseStatus::kBad);
+  // Target must be origin-form (start with '/').
+  EXPECT_EQ(ParseRequest("GET healthz HTTP/1.1\r\n\r\n", request),
+            ParseStatus::kBad);
+  // Only HTTP/1.x is spoken here.
+  EXPECT_EQ(ParseRequest("GET /healthz SPDY/3\r\n\r\n", request),
+            ParseStatus::kBad);
+  // Headers need a colon.
+  EXPECT_EQ(ParseRequest("GET / HTTP/1.1\r\nbroken header\r\n\r\n", request),
+            ParseStatus::kBad);
+}
+
+TEST(SerializeResponse, EmitsStatusLineHeadersAndBody) {
+  HttpResponse response;
+  response.status = 200;
+  response.content_type = "application/json; charset=utf-8";
+  response.body = "{\"ok\":true}\n";
+  EXPECT_EQ(SerializeResponse(response),
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/json; charset=utf-8\r\n"
+            "Content-Length: 12\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+            "{\"ok\":true}\n");
+}
+
+TEST(SerializeResponse, KnowsTheAdminPlaneStatusSet) {
+  EXPECT_EQ(ReasonPhrase(200), "OK");
+  EXPECT_EQ(ReasonPhrase(400), "Bad Request");
+  EXPECT_EQ(ReasonPhrase(404), "Not Found");
+  EXPECT_EQ(ReasonPhrase(405), "Method Not Allowed");
+  EXPECT_EQ(ReasonPhrase(431), "Request Header Fields Too Large");
+  EXPECT_EQ(ReasonPhrase(500), "Internal Server Error");
+  EXPECT_EQ(ReasonPhrase(999), "Unknown");
+}
+
+}  // namespace
+}  // namespace sleepwalk::serve

@@ -1,0 +1,17 @@
+// Fixture: raw socket/epoll syscalls outside the sanctioned layers
+// (net/socket*, net/icmp*, rdns/dns_resolver, serve/) are a
+// determinism leak. Member calls on our own types stay exempt, and
+// the allow escape works per-rule as usual.
+namespace fixture {
+
+int Listen(auto& transport) {
+  int fd = socket(2, 1, 0);
+  listen(fd, 16);
+  int ep = epoll_create1(0);
+  transport.sendto(fd);
+  // sleeplint: allow(no-raw-socket)
+  setsockopt(fd, 0, 0, nullptr, 0);
+  return ep;
+}
+
+}  // namespace fixture

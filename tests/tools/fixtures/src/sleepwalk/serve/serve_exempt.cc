@@ -1,0 +1,15 @@
+// Fixture: serve/ is the admin plane — sanctioned for raw sockets,
+// epoll, and wall clocks (a serving loop is a wall phenomenon). The
+// ambient-RNG ban still applies everywhere.
+#include <chrono>
+
+namespace fixture {
+
+int Serve() {
+  int fd = socket(2, 1, 0);
+  auto deadline = std::chrono::steady_clock::now();
+  (void)deadline;
+  return epoll_create1(0) + fd;
+}
+
+}  // namespace fixture

@@ -42,7 +42,7 @@ TEST(Sleeplint, RuleCatalogue) {
   const auto& rules = sleeplint::AllRules();
   const std::vector<std::string> expected = {
       "no-wallclock", "no-ambient-rng", "no-raw-io", "no-raw-fs",
-      "no-unchecked-narrowing", "header-hygiene"};
+      "no-raw-socket", "no-unchecked-narrowing", "header-hygiene"};
   EXPECT_EQ(rules, expected);
 }
 
@@ -118,6 +118,25 @@ TEST(Sleeplint, NarrowingRuleOnlyAppliesToSerializationPaths) {
   EXPECT_EQ(flagged[0].line, 1);
 }
 
+TEST(Sleeplint, NoRawSocketFlagsSyscallsOutsideSanctionedLayers) {
+  const auto result = RunOn("src/sleepwalk/core/raw_socket_bad.cc");
+  EXPECT_TRUE(HasDiagnostic(result, "no-raw-socket", 8));   // socket(
+  EXPECT_TRUE(HasDiagnostic(result, "no-raw-socket", 9));   // listen(
+  EXPECT_TRUE(HasDiagnostic(result, "no-raw-socket", 10));  // epoll_create
+  // transport.sendto() is a member of ours, not the libc syscall.
+  EXPECT_FALSE(HasDiagnostic(result, "no-raw-socket", 11));
+  EXPECT_EQ(result.diagnostics.size(), 3u);
+  // Line 13's setsockopt is escaped by the preceding-line allow.
+  EXPECT_EQ(result.suppressed_by_allow, 1);
+}
+
+TEST(Sleeplint, ServePathExemptFromSocketAndWallclockRules) {
+  // serve/ is the admin plane: raw sockets, epoll, and clocks are its
+  // job, so neither no-raw-socket nor no-wallclock fires there.
+  const auto result = RunOn("src/sleepwalk/serve/serve_exempt.cc");
+  EXPECT_TRUE(result.diagnostics.empty());
+}
+
 TEST(Sleeplint, HeaderHygieneRequiresGuardOrPragmaOnce) {
   const auto result = RunOn("src/sleepwalk/core/hygiene_bad.h");
   ASSERT_EQ(result.diagnostics.size(), 1u);
@@ -163,9 +182,9 @@ TEST(Sleeplint, DirectoryWalkFindsEveryFixture) {
   sleeplint::Options options;
   options.roots = {kFixtures};
   const auto result = sleeplint::Run(options);
-  // 9 fixture files; per-file counts asserted above sum to 19.
-  EXPECT_EQ(result.files_scanned, 9);
-  EXPECT_EQ(result.diagnostics.size(), 19u);
+  // 11 fixture files; per-file counts asserted above sum to 22.
+  EXPECT_EQ(result.files_scanned, 11);
+  EXPECT_EQ(result.diagnostics.size(), 22u);
   // Diagnostics are sorted by path then line for stable output.
   for (std::size_t i = 1; i < result.diagnostics.size(); ++i) {
     const auto& a = result.diagnostics[i - 1];

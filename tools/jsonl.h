@@ -10,10 +10,24 @@
 #define SLEEPWALK_TOOLS_JSONL_H_
 
 #include <cctype>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace jsonl {
+
+/// The fields of one Chrome trace event that CheckChromeTrace inspects.
+/// `name`/`ph` keep their raw (still-escaped) string bytes — B/E
+/// matching only needs equality, not decoding.
+struct ChromeEvent {
+  std::string name;
+  std::string ph;
+  double ts = 0.0;
+  double tid = 0.0;
+  bool has_ts = false;
+  bool has_tid = false;
+};
 
 class Parser {
  public:
@@ -27,7 +41,64 @@ class Parser {
     return pos_ == text_.size();
   }
 
+  /// A whole Chrome trace-event document: one JSON array of event
+  /// objects, nothing else. Captures name/ph/ts/tid per event.
+  bool ParseChromeDocument(std::vector<ChromeEvent>& events) {
+    SkipSpace();
+    if (!Consume('[')) return false;
+    SkipSpace();
+    if (!Consume(']')) {
+      do {
+        SkipSpace();
+        ChromeEvent event;
+        if (!ParseEventObject(event)) return false;
+        events.push_back(std::move(event));
+        SkipSpace();
+      } while (Consume(','));
+      if (!Consume(']')) return false;
+    }
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
  private:
+  /// An event object; top-level name/ph/ts/tid values are captured,
+  /// everything else (args etc.) is validated and skipped.
+  bool ParseEventObject(ChromeEvent& event) {
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (Consume('}')) return true;
+    do {
+      SkipSpace();
+      const std::size_t key_start = pos_ + 1;
+      if (!ParseString()) return false;
+      const std::string key =
+          text_.substr(key_start, pos_ - 1 - key_start);
+      SkipSpace();
+      if (!Consume(':')) return false;
+      SkipSpace();
+      const std::size_t value_start = pos_;
+      if (!ParseValue()) return false;
+      if (key == "name" || key == "ph") {
+        if (text_[value_start] != '"') return false;
+        const std::string raw =
+            text_.substr(value_start + 1, pos_ - 2 - value_start);
+        (key == "name" ? event.name : event.ph) = raw;
+      } else if (key == "ts" || key == "tid") {
+        const double value =
+            std::strtod(text_.c_str() + value_start, nullptr);
+        if (key == "ts") {
+          event.ts = value;
+          event.has_ts = true;
+        } else {
+          event.tid = value;
+          event.has_tid = true;
+        }
+      }
+      SkipSpace();
+    } while (Consume(','));
+    return Consume('}');
+  }
   bool ParseValue() {
     SkipSpace();
     if (pos_ >= text_.size()) return false;
@@ -149,6 +220,79 @@ class Parser {
 /// True when `line` is exactly one well-formed JSON object.
 inline bool IsJsonObjectLine(const std::string& line) {
   return Parser{line}.ParseObjectLine();
+}
+
+/// Validates a Chrome trace-event export (obs::WriteChromeTrace):
+///   * the document is one well-formed JSON array of event objects;
+///   * every event is phase B or E with ts and tid present;
+///   * ts is strictly monotone per tid (the exporter's deterministic
+///     sequence ticks are globally unique);
+///   * B/E events pair up stack-wise per tid with matching names, and
+///     nothing is left open at the end.
+/// On failure returns false with a diagnostic in `error`.
+inline bool CheckChromeTrace(const std::string& text, std::string& error,
+                             std::size_t* n_events = nullptr) {
+  std::vector<ChromeEvent> events;
+  if (!Parser{text}.ParseChromeDocument(events)) {
+    error = "not a well-formed JSON array of objects";
+    return false;
+  }
+  // tid is an integer in practice; key per-tid state on its bits.
+  struct TidState {
+    double tid = 0.0;
+    double last_ts = 0.0;
+    bool has_ts = false;
+    std::vector<std::string> open;  // names of unmatched B events
+  };
+  std::vector<TidState> tids;
+  const auto state_for = [&](double tid) -> TidState& {
+    for (auto& state : tids) {
+      if (state.tid == tid) return state;
+    }
+    tids.push_back(TidState{tid, 0.0, false, {}});
+    return tids.back();
+  };
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& event = events[i];
+    const std::string at = "event " + std::to_string(i);
+    if (event.ph != "B" && event.ph != "E") {
+      error = at + ": phase '" + event.ph + "' is not B or E";
+      return false;
+    }
+    if (!event.has_ts || !event.has_tid) {
+      error = at + ": missing ts or tid";
+      return false;
+    }
+    TidState& state = state_for(event.tid);
+    if (state.has_ts && event.ts <= state.last_ts) {
+      error = at + ": ts not strictly monotone within tid";
+      return false;
+    }
+    state.last_ts = event.ts;
+    state.has_ts = true;
+    if (event.ph == "B") {
+      state.open.push_back(event.name);
+    } else {
+      if (state.open.empty()) {
+        error = at + ": E without a matching B";
+        return false;
+      }
+      if (state.open.back() != event.name) {
+        error = at + ": E name \"" + event.name +
+                "\" does not match open B \"" + state.open.back() + "\"";
+        return false;
+      }
+      state.open.pop_back();
+    }
+  }
+  for (const auto& state : tids) {
+    if (!state.open.empty()) {
+      error = "unclosed B event \"" + state.open.back() + "\"";
+      return false;
+    }
+  }
+  if (n_events != nullptr) *n_events = events.size();
+  return true;
 }
 
 }  // namespace jsonl

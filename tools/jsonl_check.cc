@@ -1,14 +1,21 @@
-// jsonl_check: validates that every line of a file is one well-formed
-// JSON object. Used by scripts/tier1.sh and CI to gate the telemetry
-// sinks (--log-json / --trace-out) without a Python dependency.
+// jsonl_check: validates telemetry output files without a Python
+// dependency. Used by scripts/tier1.sh and CI to gate the telemetry
+// sinks (--log-json / --trace-out / --trace-chrome).
 //
-//   jsonl_check FILE...        exit 0: every line of every file parses
-//                              exit 1: first offending file:line printed
+//   jsonl_check FILE...
+//       every line of every FILE must be one well-formed JSON object
+//   jsonl_check --chrome-trace FILE...
+//       every FILE must be a Chrome trace-event JSON array: B/E phases
+//       only, ts strictly monotone per tid, B/E stack-matched by name
+//
+// Exit 0 on success; exit 1 with the first offending file (and line or
+// event) printed.
 //
 // The validation logic lives in jsonl.h so the obs concurrency stress
 // test can reuse it in-process.
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "jsonl.h"
@@ -38,15 +45,40 @@ int CheckFile(const char* path) {
   return 0;
 }
 
+int CheckChromeFile(const char* path) {
+  std::ifstream in{path};
+  if (!in) {
+    std::cerr << "jsonl_check: cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  std::size_t n_events = 0;
+  if (!jsonl::CheckChromeTrace(buffer.str(), error, &n_events)) {
+    std::cerr << "jsonl_check: " << path << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << path << ": " << n_events << " trace events OK\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: jsonl_check FILE...\n";
+  bool chrome = false;
+  int first = 1;
+  if (argc > 1 && std::string{argv[1]} == "--chrome-trace") {
+    chrome = true;
+    first = 2;
+  }
+  if (first >= argc) {
+    std::cerr << "usage: jsonl_check [--chrome-trace] FILE...\n";
     return 2;
   }
-  for (int i = 1; i < argc; ++i) {
-    if (const int rc = CheckFile(argv[i]); rc != 0) return rc;
+  for (int i = first; i < argc; ++i) {
+    const int rc = chrome ? CheckChromeFile(argv[i]) : CheckFile(argv[i]);
+    if (rc != 0) return rc;
   }
   return 0;
 }

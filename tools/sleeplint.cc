@@ -137,10 +137,21 @@ bool IsLibraryPath(const std::string& path) {
   return PathContains(path, "src/sleepwalk/");
 }
 
-/// Live-probe networking: the only files allowed to read real clocks
-/// (socket timeouts, ICMP RTTs are wall phenomena).
+/// Live-probe networking and the admin plane: the only files allowed to
+/// read real clocks (socket timeouts, ICMP RTTs, and a serving loop are
+/// wall phenomena).
 bool IsClockExemptPath(const std::string& path) {
-  return PathContains(path, "net/socket") || PathContains(path, "net/icmp");
+  return PathContains(path, "net/socket") || PathContains(path, "net/icmp") ||
+         PathContains(path, "/serve/");
+}
+
+/// Layers permitted raw socket/epoll syscalls: the probe datapath, the
+/// DNS resolver, and the admin plane's server loop. Everywhere else a
+/// listening socket or raw recv would be a determinism leak.
+bool IsSocketExemptPath(const std::string& path) {
+  return PathContains(path, "net/socket") || PathContains(path, "net/icmp") ||
+         PathContains(path, "rdns/dns_resolver") ||
+         PathContains(path, "/serve/");
 }
 
 /// The one sanctioned RNG implementation.
@@ -214,6 +225,7 @@ constexpr std::string_view kRuleWallclock = "no-wallclock";
 constexpr std::string_view kRuleRng = "no-ambient-rng";
 constexpr std::string_view kRuleRawIo = "no-raw-io";
 constexpr std::string_view kRuleRawFs = "no-raw-fs";
+constexpr std::string_view kRuleRawSocket = "no-raw-socket";
 constexpr std::string_view kRuleNarrowing = "no-unchecked-narrowing";
 constexpr std::string_view kRuleHygiene = "header-hygiene";
 
@@ -248,6 +260,24 @@ constexpr TokenRule kRawFsTokens[] = {
     {"fsync(", true, "fsync()"},
     {"std::rename", false, "std::rename"},
     {"std::tmpfile", false, "std::tmpfile"},
+};
+
+// Raw socket/epoll syscalls. `bind(` and `connect(` are deliberately
+// absent: std::bind and member connect() spellings would false-positive
+// constantly, and no socket reaches bind/connect without first passing
+// one of the tokens below.
+constexpr TokenRule kRawSocketTokens[] = {
+    {"socket(", true, "socket()"},
+    {"accept(", true, "accept()"},
+    {"accept4(", true, "accept4()"},
+    {"listen(", true, "listen()"},
+    {"epoll_create", false, "epoll_create"},
+    {"epoll_ctl", false, "epoll_ctl"},
+    {"epoll_wait", false, "epoll_wait"},
+    {"setsockopt(", true, "setsockopt()"},
+    {"getsockname(", true, "getsockname()"},
+    {"recvfrom(", true, "recvfrom()"},
+    {"sendto(", true, "sendto()"},
 };
 
 constexpr TokenRule kRawIoTokens[] = {
@@ -463,9 +493,10 @@ std::vector<std::string> CollectFiles(const std::vector<std::string>& roots) {
 
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
-      std::string(kRuleWallclock), std::string(kRuleRng),
-      std::string(kRuleRawIo), std::string(kRuleRawFs),
-      std::string(kRuleNarrowing), std::string(kRuleHygiene)};
+      std::string(kRuleWallclock),  std::string(kRuleRng),
+      std::string(kRuleRawIo),      std::string(kRuleRawFs),
+      std::string(kRuleRawSocket),  std::string(kRuleNarrowing),
+      std::string(kRuleHygiene)};
   return kRules;
 }
 
@@ -504,6 +535,15 @@ std::vector<Diagnostic> LintFile(const std::string& raw_path,
                    "touches the filesystem directly; persist through "
                    "storage::Env (storage/file.h) so crash safety stays "
                    "provable (storage/ is exempt)",
+                   diagnostics, suppressed_by_allow);
+  }
+  if (RuleEnabled(kRuleRawSocket, only_rules) && IsLibraryPath(path) &&
+      !IsSocketExemptPath(path)) {
+    CheckTokenRule(path, source, kRuleRawSocket, kRawSocketTokens,
+                   std::size(kRawSocketTokens),
+                   "is a raw socket/epoll syscall; only net/socket*, "
+                   "net/icmp*, rdns/dns_resolver and serve/ may touch "
+                   "sockets",
                    diagnostics, suppressed_by_allow);
   }
   if (RuleEnabled(kRuleNarrowing, only_rules) && IsSerializationPath(path)) {
