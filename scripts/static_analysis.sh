@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
-# Static-analysis tier (DESIGN.md §8): everything that can prove a
+# Static-analysis tier (DESIGN.md §8, §14): everything that can prove a
 # determinism or thread-safety invariant *without running the code*.
 #
-#   1. sleeplint         — project-invariant lint (clocks, RNG, raw IO,
-#                          unchecked narrowing, header guards)
+#   1. sleeplint --wp    — project-invariant lint (clocks, RNG, raw IO,
+#                          unchecked narrowing, header guards) plus the
+#                          whole-program analyses: layer-DAG
+#                          enforcement, include cycles, cross-TU
+#                          lock-order deadlock detection, exception
+#                          safety. Emits build/sleeplint.sarif (gated
+#                          by jsonl_check --sarif, uploaded by CI) and
+#                          build/lock_order.dot (the graph committed in
+#                          DESIGN.md §14)
 #   2. header hygiene    — every header compiles as its own TU, so any
 #                          header can be included first anywhere
 #   3. clang-tidy        — curated bugprone/performance/concurrency
@@ -13,6 +20,11 @@
 #                          thread-safety analysis as errors; skipped
 #                          when clang is absent
 #
+# `--facts` switches step 1 to the sharded two-phase mode: per-layer
+# fact extraction into build/facts/ keyed on source content hashes
+# (unchanged shards are reused — CI caches the directory), then one
+# merge run over the dumps. Same findings, incremental cost.
+#
 # Exit non-zero on the first failing tier. Steps 3-4 are *skipped*, not
 # failed, on toolchain-less boxes so `scripts/tier1.sh --lint` works
 # anywhere the project builds; CI runs all four.
@@ -21,12 +33,50 @@ cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 fail=0
+facts_mode=0
+if [[ "${1:-}" == "--facts" ]]; then
+  facts_mode=1
+fi
+
+shard_hash() {
+  # Content hash of every lintable file under the shard root; any edit,
+  # add, or delete changes the hash and invalidates the cached facts.
+  find "$1" -type f \
+    \( -name '*.h' -o -name '*.hpp' -o -name '*.cc' -o -name '*.cpp' \
+       -o -name '*.cxx' \) -print0 |
+    sort -z | xargs -0 sha256sum 2>/dev/null | sha256sum | cut -d' ' -f1
+}
 
 echo "== static-analysis 1/4: sleeplint =="
 cmake -B build -S . >/dev/null
-cmake --build build --target sleeplint -j "${jobs}" >/dev/null
-build/tools/sleeplint --baseline scripts/sleeplint_baseline.txt \
-  src/sleepwalk examples tools || fail=1
+cmake --build build --target sleeplint jsonl_check -j "${jobs}" >/dev/null
+if [[ "${facts_mode}" -eq 1 ]]; then
+  mkdir -p build/facts
+  facts_args=()
+  for shard in src/sleepwalk/* examples tools; do
+    [[ -d "${shard}" ]] || continue
+    name="${shard//\//_}"
+    facts_file="build/facts/${name}.facts"
+    hash_file="build/facts/${name}.hash"
+    hash="$(shard_hash "${shard}")"
+    if [[ -f "${facts_file}" && -f "${hash_file}" ]] &&
+       [[ "$(cat "${hash_file}")" == "${hash}" ]]; then
+      echo "facts cached: ${shard}"
+    else
+      build/tools/sleeplint --facts-out "${facts_file}" "${shard}"
+      printf '%s\n' "${hash}" > "${hash_file}"
+    fi
+    facts_args+=(--facts-in "${facts_file}")
+  done
+  build/tools/sleeplint --baseline scripts/sleeplint_baseline.txt --wp \
+    --sarif-out build/sleeplint.sarif --dot build/lock_order.dot \
+    "${facts_args[@]}" || fail=1
+else
+  build/tools/sleeplint --baseline scripts/sleeplint_baseline.txt --wp \
+    --sarif-out build/sleeplint.sarif --dot build/lock_order.dot \
+    src/sleepwalk examples tools || fail=1
+fi
+build/tools/jsonl_check --sarif build/sleeplint.sarif || fail=1
 
 echo "== static-analysis 2/4: header self-sufficiency =="
 # One translation unit per header: if a header silently depends on its

@@ -1,0 +1,12 @@
+// File-scoped escape: the allow-file marker below waives no-wallclock
+// for the entire file; the no-ambient-rng violation on line 10 still
+// stands.
+// sleeplint: allow-file(no-wallclock)
+namespace sleepwalk::core {
+
+inline long Now() { return std::chrono::system_clock::now().time_since_epoch().count(); }
+inline long Later() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+
+inline int Roll() { return std::mt19937{}() % 6; }
+
+}  // namespace sleepwalk::core

@@ -1,0 +1,10 @@
+// A typoed escape must be an error, not a silent no-op: line 6 names a
+// rule that does not exist, line 8 typos a file-scoped one.
+namespace sleepwalk::core {
+
+inline int Stable() {
+  return 1;  // sleeplint: allow(no-wallclok)
+}
+// sleeplint: allow-file(no-raw-oi)
+
+}  // namespace sleepwalk::core

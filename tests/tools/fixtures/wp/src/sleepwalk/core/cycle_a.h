@@ -1,0 +1,7 @@
+// Half of the seeded include cycle (with cycle_b.h).
+#ifndef WP_CORE_CYCLE_A_H_
+#define WP_CORE_CYCLE_A_H_
+
+#include "sleepwalk/core/cycle_b.h"
+
+#endif  // WP_CORE_CYCLE_A_H_

@@ -1,0 +1,7 @@
+// Other half of the seeded include cycle (with cycle_a.h).
+#ifndef WP_CORE_CYCLE_B_H_
+#define WP_CORE_CYCLE_B_H_
+
+#include "sleepwalk/core/cycle_a.h"
+
+#endif  // WP_CORE_CYCLE_B_H_

@@ -1,0 +1,13 @@
+// Rank-5 orchestration header; including downward is fine.
+#ifndef WP_CORE_ENGINE_H_
+#define WP_CORE_ENGINE_H_
+
+#include "sleepwalk/util/base.h"
+
+namespace sleepwalk::core {
+
+inline int Engine() { return util::Base(); }
+
+}  // namespace sleepwalk::core
+
+#endif  // WP_CORE_ENGINE_H_

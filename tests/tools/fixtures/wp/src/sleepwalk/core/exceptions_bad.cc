@@ -1,0 +1,25 @@
+// Exception-safety fixtures: a throwing destructor (line 8), a throw
+// escaping a noexcept function (line 13), a CrashInjected raised
+// outside the failpoint/storage layers (line 18), and a noexcept(false)
+// opt-out that must stay clean (line 22).
+namespace sleepwalk::core {
+
+struct Widget {
+  ~Widget() { throw 42; }
+};
+
+struct Engine {
+  void Step() noexcept {
+    if (true) throw 7;
+  }
+};
+
+inline void Crashy() {
+  throw util::CrashInjected{"seeded"};
+}
+
+inline void OptedOut() noexcept(false) {
+  throw 3;
+}
+
+}  // namespace sleepwalk::core

@@ -1,0 +1,12 @@
+// One half of the seeded deadlock: Alpha held, then Beta acquired.
+#include "sleepwalk/core/locks.h"
+
+namespace sleepwalk::core {
+
+int TransferForward(Alpha& alpha, Beta& beta) {
+  util::MutexLock hold_alpha(alpha.mu_alpha);
+  util::MutexLock hold_beta(beta.mu_beta);
+  return alpha.value + beta.value;
+}
+
+}  // namespace sleepwalk::core

@@ -1,0 +1,13 @@
+// Other half of the seeded deadlock: Beta held, then Alpha acquired —
+// the opposite order from lock_one.cc, closing the cycle.
+#include "sleepwalk/core/locks.h"
+
+namespace sleepwalk::core {
+
+int TransferBackward(Alpha& alpha, Beta& beta) {
+  util::MutexLock hold_beta(beta.mu_beta);
+  util::MutexLock hold_alpha(alpha.mu_alpha);
+  return alpha.value - beta.value;
+}
+
+}  // namespace sleepwalk::core

@@ -1,0 +1,20 @@
+// Two mutex owners for the cross-TU lock-order cycle: lock_one.cc
+// acquires Alpha then Beta, lock_two.cc acquires Beta then Alpha.
+#ifndef WP_CORE_LOCKS_H_
+#define WP_CORE_LOCKS_H_
+
+namespace sleepwalk::core {
+
+struct Alpha {
+  util::Mutex mu_alpha;
+  int value = 0;
+};
+
+struct Beta {
+  util::Mutex mu_beta;
+  int value = 0;
+};
+
+}  // namespace sleepwalk::core
+
+#endif  // WP_CORE_LOCKS_H_

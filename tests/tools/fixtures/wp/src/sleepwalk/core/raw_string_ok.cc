@@ -1,0 +1,20 @@
+// Raw-string literals whose contents mention banned tokens: the lexer
+// must blank them (including the custom-delimiter form), so none of
+// these lines may produce a diagnostic.
+namespace sleepwalk::core {
+
+inline const char* Doc() {
+  return R"(call system_clock::now() and std::cout << "hi")";
+}
+
+inline const char* DocDelim() {
+  return R"doc(std::random_device inside, socket( too, "quoted)doc";
+}
+
+inline const char* DocMultiline() {
+  return R"(first line with fopen(
+second line with epoll_create and rand()
+third line)";
+}
+
+}  // namespace sleepwalk::core

@@ -1,0 +1,14 @@
+// A rank-1 math layer reaching up into rank-5 orchestration: the
+// seeded layering violation (line 6).
+#ifndef WP_TS_LAYER_BAD_H_
+#define WP_TS_LAYER_BAD_H_
+
+#include "sleepwalk/core/engine.h"
+
+namespace sleepwalk::ts {
+
+inline int Bad() { return core::Engine(); }
+
+}  // namespace sleepwalk::ts
+
+#endif  // WP_TS_LAYER_BAD_H_

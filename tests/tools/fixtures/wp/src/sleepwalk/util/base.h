@@ -1,0 +1,11 @@
+// Rank-0 foundation header for the whole-program fixtures.
+#ifndef WP_UTIL_BASE_H_
+#define WP_UTIL_BASE_H_
+
+namespace sleepwalk::util {
+
+inline int Base() { return 0; }
+
+}  // namespace sleepwalk::util
+
+#endif  // WP_UTIL_BASE_H_

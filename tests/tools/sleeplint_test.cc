@@ -6,11 +6,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "jsonl.h"
 #include "sleeplint.h"
 
 namespace {
@@ -42,7 +44,9 @@ TEST(Sleeplint, RuleCatalogue) {
   const auto& rules = sleeplint::AllRules();
   const std::vector<std::string> expected = {
       "no-wallclock", "no-ambient-rng", "no-raw-io", "no-raw-fs",
-      "no-raw-socket", "no-unchecked-narrowing", "header-hygiene"};
+      "no-raw-socket", "no-unchecked-narrowing", "header-hygiene",
+      "bad-allow", "layering", "include-cycle", "lock-order",
+      "throwing-destructor", "throw-in-noexcept", "crash-containment"};
   EXPECT_EQ(rules, expected);
 }
 
@@ -180,7 +184,9 @@ TEST(Sleeplint, OnlyRulesFilterRestrictsScan) {
 
 TEST(Sleeplint, DirectoryWalkFindsEveryFixture) {
   sleeplint::Options options;
-  options.roots = {kFixtures};
+  // The per-line fixture tree; the whole-program fixtures live under
+  // fixtures/wp and are covered by the WholeProgram tests below.
+  options.roots = {kFixtures + "/src"};
   const auto result = sleeplint::Run(options);
   // 11 fixture files; per-file counts asserted above sum to 22.
   EXPECT_EQ(result.files_scanned, 11);
@@ -220,6 +226,225 @@ TEST(Sleeplint, MissingBaselineIsAnError) {
   options.roots = {Fixture("src/sleepwalk/core/rng_bad.cc")};
   options.baseline_path = kFixtures + "/does_not_exist.txt";
   EXPECT_TRUE(sleeplint::Run(options).baseline_error);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program analyses (fixtures/wp mirrors the real layout)
+// ---------------------------------------------------------------------------
+
+sleeplint::Result RunWholeProgram() {
+  sleeplint::Options options;
+  options.roots = {kFixtures + "/wp"};
+  options.whole_program = true;
+  return sleeplint::Run(options);
+}
+
+const sleeplint::Diagnostic* Find(const sleeplint::Result& result,
+                                  const std::string& rule) {
+  for (const auto& diagnostic : result.diagnostics) {
+    if (diagnostic.rule == rule) return &diagnostic;
+  }
+  return nullptr;
+}
+
+TEST(SleeplintWp, LayeringViolationNamesBothRanks) {
+  const auto result = RunWholeProgram();
+  const auto* diagnostic = Find(result, "layering");
+  ASSERT_NE(diagnostic, nullptr);
+  EXPECT_NE(diagnostic->path.find("ts/layer_bad.h"), std::string::npos);
+  EXPECT_EQ(diagnostic->line, 6);
+  EXPECT_NE(diagnostic->message.find("sleepwalk/core/engine.h"),
+            std::string::npos);
+  EXPECT_NE(diagnostic->message.find("ts rank 1"), std::string::npos);
+  EXPECT_NE(diagnostic->message.find("core rank 5"), std::string::npos);
+  // Downward includes (core/engine.h -> util/base.h) never fire.
+  int layering_count = 0;
+  for (const auto& d : result.diagnostics) {
+    if (d.rule == "layering") ++layering_count;
+  }
+  EXPECT_EQ(layering_count, 1);
+}
+
+TEST(SleeplintWp, IncludeCycleReportedOnceWithChain) {
+  const auto result = RunWholeProgram();
+  int cycles = 0;
+  for (const auto& diagnostic : result.diagnostics) {
+    if (diagnostic.rule != "include-cycle") continue;
+    ++cycles;
+    EXPECT_NE(diagnostic.message.find("cycle_a.h:5"), std::string::npos);
+    EXPECT_NE(diagnostic.message.find("cycle_b.h:5"), std::string::npos);
+  }
+  EXPECT_EQ(cycles, 1);  // one cycle, reported once, not once per entry
+}
+
+TEST(SleeplintWp, CrossTuLockCycleIsDetected) {
+  // lock_one.cc acquires Alpha then Beta; lock_two.cc acquires Beta
+  // then Alpha. Each TU alone is fine; the merged graph has the cycle.
+  const auto result = RunWholeProgram();
+  const auto* diagnostic = Find(result, "lock-order");
+  ASSERT_NE(diagnostic, nullptr);
+  EXPECT_NE(diagnostic->message.find("Alpha::mu_alpha -> Beta::mu_beta"),
+            std::string::npos);
+  EXPECT_NE(diagnostic->message.find("Beta::mu_beta -> Alpha::mu_alpha"),
+            std::string::npos);
+  EXPECT_NE(diagnostic->message.find("lock_one.cc:8"), std::string::npos);
+  EXPECT_NE(diagnostic->message.find("lock_two.cc:9"), std::string::npos);
+}
+
+TEST(SleeplintWp, LockGraphRendersAsDeterministicDot) {
+  const auto first = RunWholeProgram();
+  const auto second = RunWholeProgram();
+  EXPECT_EQ(first.lock_dot, second.lock_dot);
+  EXPECT_NE(first.lock_dot.find("digraph lock_order"), std::string::npos);
+  EXPECT_NE(first.lock_dot.find(
+                "\"Alpha::mu_alpha\" -> \"Beta::mu_beta\""),
+            std::string::npos);
+  EXPECT_NE(first.lock_dot.find(
+                "\"Beta::mu_beta\" -> \"Alpha::mu_alpha\""),
+            std::string::npos);
+}
+
+TEST(SleeplintWp, ExceptionSafetyRules) {
+  const auto result = RunWholeProgram();
+  EXPECT_TRUE(HasDiagnostic(result, "throwing-destructor", 8));
+  EXPECT_TRUE(HasDiagnostic(result, "throw-in-noexcept", 13));
+  EXPECT_TRUE(HasDiagnostic(result, "crash-containment", 18));
+  // noexcept(false) opts out; the throw on line 22 is legal.
+  EXPECT_FALSE(HasDiagnostic(result, "throw-in-noexcept", 22));
+}
+
+TEST(SleeplintWp, RawStringContentsAreBlanked) {
+  // R"(...)" and R"doc(...)doc" bodies mention half the banned tokens;
+  // none may fire (the old per-line scanner could not blank these).
+  const auto result = RunWholeProgram();
+  for (const auto& diagnostic : result.diagnostics) {
+    EXPECT_EQ(diagnostic.path.find("raw_string_ok.cc"), std::string::npos)
+        << diagnostic.rule << " fired inside a raw string at line "
+        << diagnostic.line;
+  }
+}
+
+TEST(SleeplintWp, AllowFileWaivesOneRuleForTheWholeFile) {
+  const auto result = RunWholeProgram();
+  for (const auto& diagnostic : result.diagnostics) {
+    if (diagnostic.path.find("allow_file.cc") == std::string::npos) continue;
+    // Both wallclock hits are waived; the rng hit still stands.
+    EXPECT_EQ(diagnostic.rule, "no-ambient-rng");
+    EXPECT_EQ(diagnostic.line, 10);
+  }
+  EXPECT_TRUE(HasDiagnostic(result, "no-ambient-rng", 10));
+}
+
+TEST(SleeplintWp, UnknownRuleInAllowMarkerIsAnError) {
+  const auto result = RunWholeProgram();
+  EXPECT_TRUE(HasDiagnostic(result, "bad-allow", 6));   // allow(no-wallclok)
+  EXPECT_TRUE(HasDiagnostic(result, "bad-allow", 8));   // allow-file typo
+}
+
+TEST(SleeplintWp, FixtureTreeTotals) {
+  // The seeded defects, one finding each: layering, include-cycle,
+  // lock-order, throwing-destructor, throw-in-noexcept,
+  // crash-containment, 2x bad-allow, plus allow_file.cc's rng hit.
+  const auto result = RunWholeProgram();
+  EXPECT_EQ(result.diagnostics.size(), 9u);
+  EXPECT_EQ(result.suppressed_by_allow, 2);  // allow-file(no-wallclock) x2
+}
+
+TEST(SleeplintWp, FactsRoundTripMatchesDirectAnalysis) {
+  // Shard mode: dump facts for the wp tree, then analyze from the dump
+  // alone. The merge run must reproduce the direct run exactly.
+  const std::string facts_path =
+      testing::TempDir() + "/sleeplint_facts_test.txt";
+  {
+    sleeplint::Options shard;
+    shard.roots = {kFixtures + "/wp"};
+    shard.facts_out = facts_path;
+    const auto dumped = sleeplint::Run(shard);
+    ASSERT_FALSE(dumped.facts_error) << dumped.facts_error_message;
+    EXPECT_TRUE(dumped.diagnostics.empty());  // shard reports nothing
+  }
+  sleeplint::Options merge;
+  merge.whole_program = true;
+  merge.facts_in = {facts_path};
+  const auto merged = sleeplint::Run(merge);
+  ASSERT_FALSE(merged.facts_error) << merged.facts_error_message;
+
+  const auto direct = RunWholeProgram();
+  ASSERT_EQ(merged.diagnostics.size(), direct.diagnostics.size());
+  for (std::size_t i = 0; i < merged.diagnostics.size(); ++i) {
+    EXPECT_EQ(merged.diagnostics[i].path, direct.diagnostics[i].path);
+    EXPECT_EQ(merged.diagnostics[i].line, direct.diagnostics[i].line);
+    EXPECT_EQ(merged.diagnostics[i].rule, direct.diagnostics[i].rule);
+    EXPECT_EQ(merged.diagnostics[i].message, direct.diagnostics[i].message);
+  }
+  EXPECT_EQ(merged.lock_dot, direct.lock_dot);
+  std::remove(facts_path.c_str());
+}
+
+TEST(SleeplintWp, CorruptFactsFileIsAnError) {
+  const std::string facts_path =
+      testing::TempDir() + "/sleeplint_facts_corrupt.txt";
+  {
+    std::ofstream out{facts_path};
+    out << "sleeplint-facts v1\n";
+    out << "edge 0 1\n";  // record before any file
+  }
+  sleeplint::Options options;
+  options.whole_program = true;
+  options.facts_in = {facts_path};
+  const auto result = sleeplint::Run(options);
+  EXPECT_TRUE(result.facts_error);
+  EXPECT_NE(result.facts_error_message.find("record before any file"),
+            std::string::npos);
+  std::remove(facts_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable output
+// ---------------------------------------------------------------------------
+
+TEST(SleeplintOutput, JsonIsOneWellFormedObject) {
+  const auto result = RunWholeProgram();
+  std::ostringstream out;
+  sleeplint::RenderJson(out, result);
+  std::string text = out.str();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  text.pop_back();
+  EXPECT_TRUE(jsonl::IsJsonObjectLine(text)) << text;
+  EXPECT_NE(text.find("\"tool\":\"sleeplint\""), std::string::npos);
+  EXPECT_NE(text.find("\"rule\":\"lock-order\""), std::string::npos);
+}
+
+TEST(SleeplintOutput, SarifIsValidAndCarriesEveryFinding) {
+  const auto result = RunWholeProgram();
+  std::ostringstream out;
+  sleeplint::RenderSarif(out, result);
+  std::string text = out.str();
+  ASSERT_FALSE(text.empty());
+  text.pop_back();
+  // Validated with the same strict parser jsonl_check --sarif uses.
+  EXPECT_TRUE(jsonl::IsJsonObjectLine(text)) << text;
+  EXPECT_NE(text.find("\"version\":\"2.1.0\""), std::string::npos);
+  for (const auto& diagnostic : result.diagnostics) {
+    EXPECT_NE(text.find("\"ruleId\":\"" + diagnostic.rule + "\""),
+              std::string::npos);
+  }
+  // Every catalogued rule is declared in the driver block.
+  for (const auto& rule : sleeplint::AllRules()) {
+    EXPECT_NE(text.find("\"id\":\"" + rule + "\""), std::string::npos);
+  }
+}
+
+TEST(SleeplintOutput, SarifEscapesMessageText) {
+  sleeplint::Result result;
+  result.diagnostics.push_back(sleeplint::Diagnostic{
+      "src/a \"b\".cc", 3, "layering", "quote \" backslash \\ tab \t"});
+  std::ostringstream out;
+  sleeplint::RenderSarif(out, result);
+  std::string text = out.str();
+  text.pop_back();
+  EXPECT_TRUE(jsonl::IsJsonObjectLine(text)) << text;
 }
 
 }  // namespace

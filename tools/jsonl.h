@@ -222,6 +222,27 @@ inline bool IsJsonObjectLine(const std::string& line) {
   return Parser{line}.ParseObjectLine();
 }
 
+/// Validates a SARIF report (sleeplint --sarif-out): one well-formed
+/// JSON object carrying the 2.1.0 version marker and a runs array.
+/// Deliberately structural, not schema-complete — it gates the classes
+/// of breakage a renderer bug would produce (bad escaping, truncation,
+/// wrong root) before CI uploads the file to code scanning.
+inline bool CheckSarif(const std::string& text, std::string& error) {
+  if (!Parser{text}.ParseObjectLine()) {
+    error = "not one well-formed JSON object";
+    return false;
+  }
+  if (text.find("\"version\":\"2.1.0\"") == std::string::npos) {
+    error = "missing SARIF 2.1.0 version marker";
+    return false;
+  }
+  if (text.find("\"runs\"") == std::string::npos) {
+    error = "missing runs array";
+    return false;
+  }
+  return true;
+}
+
 /// Validates a Chrome trace-event export (obs::WriteChromeTrace):
 ///   * the document is one well-formed JSON array of event objects;
 ///   * every event is phase B or E with ts and tid present;

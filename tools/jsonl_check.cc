@@ -7,6 +7,9 @@
 //   jsonl_check --chrome-trace FILE...
 //       every FILE must be a Chrome trace-event JSON array: B/E phases
 //       only, ts strictly monotone per tid, B/E stack-matched by name
+//   jsonl_check --sarif FILE...
+//       every FILE must be one well-formed SARIF 2.1.0 JSON object
+//       (gates sleeplint --sarif-out before CI uploads it)
 //
 // Exit 0 on success; exit 1 with the first offending file (and line or
 // event) printed.
@@ -63,21 +66,44 @@ int CheckChromeFile(const char* path) {
   return 0;
 }
 
+int CheckSarifFile(const char* path) {
+  std::ifstream in{path};
+  if (!in) {
+    std::cerr << "jsonl_check: cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  if (!jsonl::CheckSarif(buffer.str(), error)) {
+    std::cerr << "jsonl_check: " << path << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << path << ": SARIF report OK\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool chrome = false;
+  enum class Mode { kJsonl, kChrome, kSarif };
+  Mode mode = Mode::kJsonl;
   int first = 1;
   if (argc > 1 && std::string{argv[1]} == "--chrome-trace") {
-    chrome = true;
+    mode = Mode::kChrome;
+    first = 2;
+  } else if (argc > 1 && std::string{argv[1]} == "--sarif") {
+    mode = Mode::kSarif;
     first = 2;
   }
   if (first >= argc) {
-    std::cerr << "usage: jsonl_check [--chrome-trace] FILE...\n";
+    std::cerr << "usage: jsonl_check [--chrome-trace|--sarif] FILE...\n";
     return 2;
   }
   for (int i = first; i < argc; ++i) {
-    const int rc = chrome ? CheckChromeFile(argv[i]) : CheckFile(argv[i]);
+    const int rc = mode == Mode::kChrome  ? CheckChromeFile(argv[i])
+                   : mode == Mode::kSarif ? CheckSarifFile(argv[i])
+                                          : CheckFile(argv[i]);
     if (rc != 0) return rc;
   }
   return 0;

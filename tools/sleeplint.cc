@@ -1,120 +1,110 @@
 #include "sleeplint.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <sstream>
+#include <tuple>
 #include <unordered_set>
+
+#include "sleeplint_facts.h"
+#include "sleeplint_lexer.h"
+#include "sleeplint_policy.h"
+#include "sleeplint_wp.h"
 
 namespace sleeplint {
 
 namespace {
 
 // ---------------------------------------------------------------------------
-// Source preprocessing
+// Source preparation (lexing + allow markers)
 // ---------------------------------------------------------------------------
 
-/// A file split into lines, with comments and string/char literals
-/// blanked out (replaced by spaces, so columns survive) and the allow
-/// markers extracted *before* stripping — the markers live in comments.
+/// A lexed file plus its escape markers. The lexer blanks comments and
+/// all string forms (including raw strings) from `lexed.code` while the
+/// markers are read from `lexed.comments` — so a quoted
+/// "sleeplint: allow(...)" in a string literal is data, not an escape.
 struct PreparedSource {
-  std::vector<std::string> code;  ///< stripped code, one entry per line
-  /// Rules allowed per line via `// sleeplint: allow(rule)`; an entry
+  LexedSource lexed;
+  /// Rules allowed per line via `// sleeplint: allow(<rule>)`; an entry
   /// suppresses diagnostics on its own line and the following line.
   std::vector<std::vector<std::string>> allows;
+  /// Rules waived for the file via `// sleeplint: allow-file(<rule>)`.
+  std::vector<std::string> file_allows;
+  /// bad-allow findings: markers naming no known rule.
+  std::vector<Diagnostic> marker_diagnostics;
 };
 
-void ExtractAllows(std::string_view line, std::vector<std::string>& out) {
-  static constexpr std::string_view kMarker = "sleeplint: allow(";
-  std::size_t pos = 0;
-  while ((pos = line.find(kMarker, pos)) != std::string_view::npos) {
-    const std::size_t open = pos + kMarker.size();
-    const std::size_t close = line.find(')', open);
-    if (close == std::string_view::npos) break;
-    out.emplace_back(line.substr(open, close - open));
-    pos = close;
+bool KnownRule(std::string_view rule) {
+  const auto& all = AllRules();
+  return std::find(all.begin(), all.end(), rule) != all.end();
+}
+
+/// Scans one comment line for allow/allow-file markers. Unknown rule
+/// names become bad-allow diagnostics: a typoed escape that silently
+/// suppresses nothing is worse than no escape at all.
+void ExtractAllows(const std::string& path, std::string_view comment,
+                   int line, std::vector<std::string>& line_allows,
+                   std::vector<std::string>& file_allows,
+                   std::vector<Diagnostic>& marker_diagnostics) {
+  struct Marker {
+    std::string_view text;
+    bool file_scope;
+  };
+  static constexpr Marker kMarkers[] = {
+      {"sleeplint: allow(", false},
+      {"sleeplint: allow-file(", true},
+  };
+  for (const auto& marker : kMarkers) {
+    std::size_t pos = 0;
+    while ((pos = comment.find(marker.text, pos)) !=
+           std::string_view::npos) {
+      const std::size_t open = pos + marker.text.size();
+      const std::size_t close = comment.find(')', open);
+      if (close == std::string_view::npos) break;
+      std::string rule{comment.substr(open, close - open)};
+      // Placeholders in documentation ("...", "<rule>") are not
+      // escapes and not typos — only identifier-shaped names count.
+      const bool identifier_shaped =
+          !rule.empty() &&
+          std::all_of(rule.begin(), rule.end(), [](char c) {
+            return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                   c == '-';
+          });
+      if (!identifier_shaped) {
+        pos = close;
+        continue;
+      }
+      if (KnownRule(rule)) {
+        (marker.file_scope ? file_allows : line_allows)
+            .push_back(std::move(rule));
+      } else {
+        Diagnostic diagnostic;
+        diagnostic.path = path;
+        diagnostic.line = line;
+        diagnostic.rule = std::string(rules::kBadAllow);
+        diagnostic.message = std::string(marker.file_scope
+                                             ? "allow-file marker"
+                                             : "allow marker") +
+                             " names unknown rule \"" + rule +
+                             "\"; see --list-rules for the catalogue";
+        marker_diagnostics.push_back(std::move(diagnostic));
+      }
+      pos = close;
+    }
   }
 }
 
-PreparedSource Prepare(std::string_view content) {
+PreparedSource Prepare(const std::string& path, std::string_view content) {
   PreparedSource prepared;
-  // Split into lines first (handles a missing trailing newline).
-  std::size_t start = 0;
-  while (start <= content.size()) {
-    const std::size_t end = content.find('\n', start);
-    const std::string_view line =
-        content.substr(start, end == std::string_view::npos
-                                  ? std::string_view::npos
-                                  : end - start);
-    prepared.code.emplace_back(line);
-    prepared.allows.emplace_back();
-    ExtractAllows(line, prepared.allows.back());
-    if (end == std::string_view::npos) break;
-    start = end + 1;
-  }
-
-  // Blank comments and literals in place. One pass with a tiny state
-  // machine; raw strings are rare in this tree and not handled — a raw
-  // string containing a banned token would only cause a false positive,
-  // which the allow escape covers.
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (auto& line : prepared.code) {
-    if (state == State::kLineComment) state = State::kCode;
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      const char c = line[i];
-      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-      switch (state) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            state = State::kLineComment;
-            line.resize(i);  // drop the rest of the line
-            i = line.size();
-          } else if (c == '/' && next == '*') {
-            state = State::kBlockComment;
-            line[i] = ' ';
-            line[i + 1] = ' ';
-            ++i;
-          } else if (c == '"') {
-            state = State::kString;
-            line[i] = ' ';
-          } else if (c == '\'') {
-            state = State::kChar;
-            line[i] = ' ';
-          }
-          break;
-        case State::kBlockComment:
-          if (c == '*' && next == '/') {
-            state = State::kCode;
-            line[i] = ' ';
-            line[i + 1] = ' ';
-            ++i;
-          } else {
-            line[i] = ' ';
-          }
-          break;
-        case State::kString:
-        case State::kChar: {
-          const char quote = state == State::kString ? '"' : '\'';
-          if (c == '\\') {
-            line[i] = ' ';
-            if (i + 1 < line.size()) line[++i] = ' ';
-          } else if (c == quote) {
-            state = State::kCode;
-            line[i] = ' ';
-          } else {
-            line[i] = ' ';
-          }
-          break;
-        }
-        case State::kLineComment:
-          break;  // unreachable; handled above
-      }
-    }
-    // An unterminated string at end-of-line: treat as closed (likely a
-    // multi-line macro or our scanner being conservative).
-    if (state == State::kString || state == State::kChar) state = State::kCode;
+  prepared.lexed = Lex(content);
+  prepared.allows.resize(prepared.lexed.comments.size());
+  for (std::size_t i = 0; i < prepared.lexed.comments.size(); ++i) {
+    ExtractAllows(path, prepared.lexed.comments[i], static_cast<int>(i) + 1,
+                  prepared.allows[i], prepared.file_allows,
+                  prepared.marker_diagnostics);
   }
   return prepared;
 }
@@ -126,51 +116,6 @@ PreparedSource Prepare(std::string_view content) {
 std::string NormalizePath(std::string path) {
   std::replace(path.begin(), path.end(), '\\', '/');
   return path;
-}
-
-bool PathContains(const std::string& path, std::string_view needle) {
-  return path.find(needle) != std::string::npos;
-}
-
-/// Library code: the obs::Logger discipline (no-raw-io) applies.
-bool IsLibraryPath(const std::string& path) {
-  return PathContains(path, "src/sleepwalk/");
-}
-
-/// Live-probe networking and the admin plane: the only files allowed to
-/// read real clocks (socket timeouts, ICMP RTTs, and a serving loop are
-/// wall phenomena).
-bool IsClockExemptPath(const std::string& path) {
-  return PathContains(path, "net/socket") || PathContains(path, "net/icmp") ||
-         PathContains(path, "/serve/");
-}
-
-/// Layers permitted raw socket/epoll syscalls: the probe datapath, the
-/// DNS resolver, and the admin plane's server loop. Everywhere else a
-/// listening socket or raw recv would be a determinism leak.
-bool IsSocketExemptPath(const std::string& path) {
-  return PathContains(path, "net/socket") || PathContains(path, "net/icmp") ||
-         PathContains(path, "rdns/dns_resolver") ||
-         PathContains(path, "/serve/");
-}
-
-/// The one sanctioned RNG implementation.
-bool IsRngExemptPath(const std::string& path) {
-  return PathContains(path, "util/rng");
-}
-
-/// The one layer permitted to touch the filesystem directly; everything
-/// else persists through the storage::Env seam so crash/ENOSPC behaviour
-/// stays provable (and failpoint-injectable).
-bool IsStorageExemptPath(const std::string& path) {
-  return PathContains(path, "/storage/");
-}
-
-/// Binary serialization layers whose fixed-width fields must narrow
-/// through util::CheckedNarrow.
-bool IsSerializationPath(const std::string& path) {
-  return PathContains(path, "core/checkpoint") ||
-         PathContains(path, "core/dataset");
 }
 
 bool IsHeaderPath(const std::string& path) {
@@ -220,14 +165,6 @@ struct TokenRule {
 // ---------------------------------------------------------------------------
 // Rules
 // ---------------------------------------------------------------------------
-
-constexpr std::string_view kRuleWallclock = "no-wallclock";
-constexpr std::string_view kRuleRng = "no-ambient-rng";
-constexpr std::string_view kRuleRawIo = "no-raw-io";
-constexpr std::string_view kRuleRawFs = "no-raw-fs";
-constexpr std::string_view kRuleRawSocket = "no-raw-socket";
-constexpr std::string_view kRuleNarrowing = "no-unchecked-narrowing";
-constexpr std::string_view kRuleHygiene = "header-hygiene";
 
 constexpr TokenRule kWallclockTokens[] = {
     {"system_clock::now", false, "std::chrono::system_clock::now"},
@@ -341,6 +278,7 @@ bool LineAllows(const PreparedSource& source, std::size_t line_index,
   const auto matches = [&](const std::vector<std::string>& allows) {
     return std::find(allows.begin(), allows.end(), rule) != allows.end();
   };
+  if (matches(source.file_allows)) return true;
   if (matches(source.allows[line_index])) return true;
   return line_index > 0 && matches(source.allows[line_index - 1]);
 }
@@ -349,7 +287,7 @@ bool LineAllows(const PreparedSource& source, std::size_t line_index,
 /// once must appear before any other preprocessor/code content.
 bool HasIncludeGuard(const PreparedSource& source) {
   std::string guard_macro;
-  for (const auto& line : source.code) {
+  for (const auto& line : source.lexed.code) {
     std::istringstream in{line};
     std::string tok;
     if (!(in >> tok)) continue;  // blank / comment-only line
@@ -377,10 +315,10 @@ void CheckTokenRule(const std::string& path, const PreparedSource& source,
                     std::string_view rule, const TokenRule* tokens,
                     std::size_t n_tokens, std::string_view advice,
                     std::vector<Diagnostic>& out, int* suppressed) {
-  for (std::size_t i = 0; i < source.code.size(); ++i) {
+  for (std::size_t i = 0; i < source.lexed.code.size(); ++i) {
     for (std::size_t t = 0; t < n_tokens; ++t) {
       const auto& token = tokens[t];
-      if (!MatchesToken(source.code[i], token.token,
+      if (!MatchesToken(source.lexed.code[i], token.token,
                         token.member_call_exempt)) {
         continue;
       }
@@ -398,6 +336,93 @@ void CheckTokenRule(const std::string& path, const PreparedSource& source,
       break;  // one diagnostic per line per rule
     }
   }
+}
+
+/// Runs the per-line rules over one prepared file.
+std::vector<Diagnostic> LintPrepared(
+    const std::string& path, const PreparedSource& source,
+    const std::vector<std::string>& only_rules, int* suppressed_by_allow) {
+  std::vector<Diagnostic> diagnostics;
+  using policy::Capability;
+
+  if (RuleEnabled(rules::kBadAllow, only_rules)) {
+    for (const auto& diagnostic : source.marker_diagnostics) {
+      diagnostics.push_back(diagnostic);
+    }
+  }
+  if (RuleEnabled(rules::kWallclock, only_rules) &&
+      !policy::Grants(path, Capability::kClock)) {
+    CheckTokenRule(path, source, rules::kWallclock, kWallclockTokens,
+                   std::size(kWallclockTokens),
+                   "reads a real clock; campaign code must use virtual time "
+                   "(net/socket*, net/icmp* are exempt)",
+                   diagnostics, suppressed_by_allow);
+  }
+  if (RuleEnabled(rules::kRng, only_rules) &&
+      !policy::Grants(path, Capability::kRng)) {
+    CheckTokenRule(path, source, rules::kRng, kRngTokens,
+                   std::size(kRngTokens),
+                   "is ambient randomness; use a seeded sleepwalk::Rng "
+                   "(util/rng.h)",
+                   diagnostics, suppressed_by_allow);
+  }
+  if (RuleEnabled(rules::kRawIo, only_rules) && policy::IsLibraryPath(path)) {
+    CheckTokenRule(path, source, rules::kRawIo, kRawIoTokens,
+                   std::size(kRawIoTokens),
+                   "writes directly to a process stream; library code "
+                   "reports through obs::Logger",
+                   diagnostics, suppressed_by_allow);
+  }
+  if (RuleEnabled(rules::kRawFs, only_rules) && policy::IsLibraryPath(path) &&
+      !policy::Grants(path, Capability::kFilesystem)) {
+    CheckTokenRule(path, source, rules::kRawFs, kRawFsTokens,
+                   std::size(kRawFsTokens),
+                   "touches the filesystem directly; persist through "
+                   "storage::Env (storage/file.h) so crash safety stays "
+                   "provable (storage/ is exempt)",
+                   diagnostics, suppressed_by_allow);
+  }
+  if (RuleEnabled(rules::kRawSocket, only_rules) &&
+      policy::IsLibraryPath(path) &&
+      !policy::Grants(path, Capability::kSocket)) {
+    CheckTokenRule(path, source, rules::kRawSocket, kRawSocketTokens,
+                   std::size(kRawSocketTokens),
+                   "is a raw socket/epoll syscall; only net/socket*, "
+                   "net/icmp*, rdns/dns_resolver and serve/ may touch "
+                   "sockets",
+                   diagnostics, suppressed_by_allow);
+  }
+  if (RuleEnabled(rules::kNarrowing, only_rules) &&
+      policy::IsSerializationPath(path)) {
+    for (std::size_t i = 0; i < source.lexed.code.size(); ++i) {
+      if (!IsNarrowingCast(source.lexed.code[i])) continue;
+      if (LineAllows(source, i, rules::kNarrowing)) {
+        if (suppressed_by_allow != nullptr) ++*suppressed_by_allow;
+        continue;
+      }
+      Diagnostic diagnostic;
+      diagnostic.path = path;
+      diagnostic.line = static_cast<int>(i) + 1;
+      diagnostic.rule = std::string(rules::kNarrowing);
+      diagnostic.message =
+          "raw static_cast to a narrower integer in a serialization file; "
+          "use util::CheckedNarrow (util/narrow.h)";
+      diagnostics.push_back(std::move(diagnostic));
+    }
+  }
+  if (RuleEnabled(rules::kHygiene, only_rules) && IsHeaderPath(path)) {
+    if (!HasIncludeGuard(source) && !source.lexed.code.empty() &&
+        !LineAllows(source, 0, rules::kHygiene)) {
+      Diagnostic diagnostic;
+      diagnostic.path = path;
+      diagnostic.line = 1;
+      diagnostic.rule = std::string(rules::kHygiene);
+      diagnostic.message =
+          "header lacks an include guard (#ifndef/#define) or #pragma once";
+      diagnostics.push_back(std::move(diagnostic));
+    }
+  }
+  return diagnostics;
 }
 
 // ---------------------------------------------------------------------------
@@ -489,14 +514,56 @@ std::vector<std::string> CollectFiles(const std::vector<std::string>& roots) {
   return files;
 }
 
+// ---------------------------------------------------------------------------
+// Output escaping
+// ---------------------------------------------------------------------------
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> kRules = {
-      std::string(kRuleWallclock),  std::string(kRuleRng),
-      std::string(kRuleRawIo),      std::string(kRuleRawFs),
-      std::string(kRuleRawSocket),  std::string(kRuleNarrowing),
-      std::string(kRuleHygiene)};
+      std::string(rules::kWallclock),     std::string(rules::kRng),
+      std::string(rules::kRawIo),         std::string(rules::kRawFs),
+      std::string(rules::kRawSocket),     std::string(rules::kNarrowing),
+      std::string(rules::kHygiene),       std::string(rules::kBadAllow),
+      std::string(rules::kLayering),      std::string(rules::kIncludeCycle),
+      std::string(rules::kLockOrder),     std::string(rules::kThrowingDtor),
+      std::string(rules::kThrowNoexcept),
+      std::string(rules::kCrashContainment)};
   return kRules;
 }
 
@@ -505,82 +572,34 @@ std::vector<Diagnostic> LintFile(const std::string& raw_path,
                                  const std::vector<std::string>& only_rules,
                                  int* suppressed_by_allow) {
   const std::string path = NormalizePath(raw_path);
-  const PreparedSource source = Prepare(content);
-  std::vector<Diagnostic> diagnostics;
-
-  if (RuleEnabled(kRuleWallclock, only_rules) && !IsClockExemptPath(path)) {
-    CheckTokenRule(path, source, kRuleWallclock, kWallclockTokens,
-                   std::size(kWallclockTokens),
-                   "reads a real clock; campaign code must use virtual time "
-                   "(net/socket*, net/icmp* are exempt)",
-                   diagnostics, suppressed_by_allow);
-  }
-  if (RuleEnabled(kRuleRng, only_rules) && !IsRngExemptPath(path)) {
-    CheckTokenRule(path, source, kRuleRng, kRngTokens, std::size(kRngTokens),
-                   "is ambient randomness; use a seeded sleepwalk::Rng "
-                   "(util/rng.h)",
-                   diagnostics, suppressed_by_allow);
-  }
-  if (RuleEnabled(kRuleRawIo, only_rules) && IsLibraryPath(path)) {
-    CheckTokenRule(path, source, kRuleRawIo, kRawIoTokens,
-                   std::size(kRawIoTokens),
-                   "writes directly to a process stream; library code "
-                   "reports through obs::Logger",
-                   diagnostics, suppressed_by_allow);
-  }
-  if (RuleEnabled(kRuleRawFs, only_rules) && IsLibraryPath(path) &&
-      !IsStorageExemptPath(path)) {
-    CheckTokenRule(path, source, kRuleRawFs, kRawFsTokens,
-                   std::size(kRawFsTokens),
-                   "touches the filesystem directly; persist through "
-                   "storage::Env (storage/file.h) so crash safety stays "
-                   "provable (storage/ is exempt)",
-                   diagnostics, suppressed_by_allow);
-  }
-  if (RuleEnabled(kRuleRawSocket, only_rules) && IsLibraryPath(path) &&
-      !IsSocketExemptPath(path)) {
-    CheckTokenRule(path, source, kRuleRawSocket, kRawSocketTokens,
-                   std::size(kRawSocketTokens),
-                   "is a raw socket/epoll syscall; only net/socket*, "
-                   "net/icmp*, rdns/dns_resolver and serve/ may touch "
-                   "sockets",
-                   diagnostics, suppressed_by_allow);
-  }
-  if (RuleEnabled(kRuleNarrowing, only_rules) && IsSerializationPath(path)) {
-    for (std::size_t i = 0; i < source.code.size(); ++i) {
-      if (!IsNarrowingCast(source.code[i])) continue;
-      if (LineAllows(source, i, kRuleNarrowing)) {
-        if (suppressed_by_allow != nullptr) ++*suppressed_by_allow;
-        continue;
-      }
-      Diagnostic diagnostic;
-      diagnostic.path = path;
-      diagnostic.line = static_cast<int>(i) + 1;
-      diagnostic.rule = std::string(kRuleNarrowing);
-      diagnostic.message =
-          "raw static_cast to a narrower integer in a serialization file; "
-          "use util::CheckedNarrow (util/narrow.h)";
-      diagnostics.push_back(std::move(diagnostic));
-    }
-  }
-  if (RuleEnabled(kRuleHygiene, only_rules) && IsHeaderPath(path)) {
-    if (!HasIncludeGuard(source) && !LineAllows(source, 0, kRuleHygiene)) {
-      Diagnostic diagnostic;
-      diagnostic.path = path;
-      diagnostic.line = 1;
-      diagnostic.rule = std::string(kRuleHygiene);
-      diagnostic.message =
-          "header lacks an include guard (#ifndef/#define) or #pragma once";
-      diagnostics.push_back(std::move(diagnostic));
-    }
-  }
-  return diagnostics;
+  const PreparedSource source = Prepare(path, content);
+  return LintPrepared(path, source, only_rules, suppressed_by_allow);
 }
 
 Result Run(const Options& options) {
   Result result;
   const Baseline baseline = LoadBaseline(options.baseline_path);
   result.baseline_error = baseline.error;
+
+  std::vector<FileFacts> facts_db;
+  for (const auto& facts_path : options.facts_in) {
+    std::ifstream in{facts_path, std::ios::binary};
+    if (!in) {
+      result.facts_error = true;
+      result.facts_error_message = "cannot open facts file: " + facts_path;
+      return result;
+    }
+    std::string error;
+    if (!LoadFacts(in, facts_db, error)) {
+      result.facts_error = true;
+      result.facts_error_message = facts_path + ": " + error;
+      return result;
+    }
+  }
+
+  const bool need_facts =
+      options.whole_program || !options.facts_out.empty();
+  std::vector<Diagnostic> collected;
 
   for (const auto& file : CollectFiles(options.roots)) {
     std::ifstream in{file, std::ios::binary};
@@ -589,14 +608,60 @@ Result Run(const Options& options) {
     buffer << in.rdbuf();
     const std::string content = buffer.str();
     ++result.files_scanned;
-    for (auto& diagnostic :
-         LintFile(file, content, options.only_rules,
-                  &result.suppressed_by_allow)) {
-      if (BaselineMatches(baseline, diagnostic)) {
-        ++result.suppressed_by_baseline;
-      } else {
-        result.diagnostics.push_back(std::move(diagnostic));
+    const std::string path = NormalizePath(file);
+    const PreparedSource source = Prepare(path, content);
+    std::vector<Diagnostic> file_diagnostics = LintPrepared(
+        path, source, options.only_rules, &result.suppressed_by_allow);
+    if (need_facts) {
+      FileFacts facts = ExtractFacts(path, source.lexed, source.allows,
+                                     source.file_allows);
+      if (!options.facts_out.empty()) {
+        // Shard mode: the per-line diagnostics ride in the dump so the
+        // merge run reports everything in one place.
+        for (auto& diagnostic : file_diagnostics) {
+          facts.diagnostics.push_back(std::move(diagnostic));
+        }
+        file_diagnostics.clear();
       }
+      facts_db.push_back(std::move(facts));
+    }
+    for (auto& diagnostic : file_diagnostics) {
+      collected.push_back(std::move(diagnostic));
+    }
+  }
+
+  if (!options.facts_out.empty()) {
+    std::ofstream out{options.facts_out, std::ios::binary};
+    if (!out) {
+      result.facts_error = true;
+      result.facts_error_message =
+          "cannot write facts file: " + options.facts_out;
+      return result;
+    }
+    DumpFacts(out, facts_db);
+    return result;  // extraction shard: analysis happens at the merge
+  }
+
+  if (options.whole_program) {
+    WholeProgramResult wp = AnalyzeWholeProgram(facts_db);
+    result.lock_dot = std::move(wp.lock_dot);
+    for (auto& diagnostic : wp.diagnostics) {
+      if (RuleEnabled(diagnostic.rule, options.only_rules)) {
+        collected.push_back(std::move(diagnostic));
+      }
+    }
+  }
+
+  std::sort(collected.begin(), collected.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.path, a.line, a.rule, a.message) <
+                     std::tie(b.path, b.line, b.rule, b.message);
+            });
+  for (auto& diagnostic : collected) {
+    if (BaselineMatches(baseline, diagnostic)) {
+      ++result.suppressed_by_baseline;
+    } else {
+      result.diagnostics.push_back(std::move(diagnostic));
     }
   }
   return result;
@@ -608,6 +673,50 @@ void PrintDiagnostics(std::ostream& out,
     out << diagnostic.path << ':' << diagnostic.line << ": ["
         << diagnostic.rule << "] " << diagnostic.message << '\n';
   }
+}
+
+void RenderJson(std::ostream& out, const Result& result) {
+  out << "{\"tool\":\"sleeplint\",\"filesScanned\":" << result.files_scanned
+      << ",\"suppressedByAllow\":" << result.suppressed_by_allow
+      << ",\"suppressedByBaseline\":" << result.suppressed_by_baseline
+      << ",\"violations\":[";
+  for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const auto& diagnostic = result.diagnostics[i];
+    if (i > 0) out << ',';
+    out << "{\"path\":\"" << JsonEscape(diagnostic.path)
+        << "\",\"line\":" << diagnostic.line << ",\"rule\":\""
+        << JsonEscape(diagnostic.rule) << "\",\"message\":\""
+        << JsonEscape(diagnostic.message) << "\"}";
+  }
+  out << "]}\n";
+}
+
+void RenderSarif(std::ostream& out, const Result& result) {
+  out << "{\"$schema\":"
+         "\"https://json.schemastore.org/sarif-2.1.0.json\","
+         "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+         "\"name\":\"sleeplint\",\"informationUri\":"
+         "\"https://example.invalid/sleepwalk/tools/sleeplint\","
+         "\"rules\":[";
+  const auto& all = AllRules();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i > 0) out << ',';
+    out << "{\"id\":\"" << JsonEscape(all[i]) << "\"}";
+  }
+  out << "]}},\"results\":[";
+  for (std::size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const auto& diagnostic = result.diagnostics[i];
+    if (i > 0) out << ',';
+    out << "{\"ruleId\":\"" << JsonEscape(diagnostic.rule)
+        << "\",\"level\":\"error\",\"message\":{\"text\":\""
+        << JsonEscape(diagnostic.message)
+        << "\"},\"locations\":[{\"physicalLocation\":{"
+           "\"artifactLocation\":{\"uri\":\""
+        << JsonEscape(diagnostic.path)
+        << "\"},\"region\":{\"startLine\":"
+        << (diagnostic.line > 0 ? diagnostic.line : 1) << "}}}]}";
+  }
+  out << "]}]}\n";
 }
 
 }  // namespace sleeplint

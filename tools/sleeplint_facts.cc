@@ -1,0 +1,513 @@
+#include "sleeplint_facts.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "sleeplint_policy.h"
+
+namespace sleeplint {
+
+namespace {
+
+/// Brace-scope kinds tracked by the extractor.
+struct Scope {
+  enum class Kind { kNamespace, kClass, kFunction, kBlock };
+  Kind kind = Kind::kBlock;
+  std::string name;        ///< class/namespace/function display name
+  std::string class_name;  ///< kFunction: owning class ("" if free)
+  bool is_dtor = false;
+  bool is_noexcept = false;
+};
+
+/// A lock lexically held: which acquisition, and the scope depth whose
+/// exit releases it.
+struct HeldLock {
+  int acquisition_index = 0;
+  std::size_t scope_depth = 0;
+};
+
+bool IsKeywordBlocked(const std::string& text) {
+  return text == "if" || text == "for" || text == "while" ||
+         text == "switch" || text == "catch" || text == "return" ||
+         text == "sizeof" || text == "alignof" || text == "decltype" ||
+         text == "constexpr" || text == "do" || text == "else" ||
+         text == "try";
+}
+
+bool HasIdentifier(const std::vector<Token>& head, std::string_view text) {
+  return std::any_of(head.begin(), head.end(), [&](const Token& token) {
+    return token.kind == Token::Kind::kIdentifier && token.text == text;
+  });
+}
+
+/// Index of the matching close for the open bracket at `open`, or npos.
+std::size_t MatchingClose(const std::vector<Token>& head, std::size_t open,
+                          std::string_view open_text,
+                          std::string_view close_text) {
+  int depth = 0;
+  for (std::size_t i = open; i < head.size(); ++i) {
+    if (head[i].text == open_text) ++depth;
+    if (head[i].text == close_text && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+/// Classifies the declaration head preceding a '{'. Heuristic by
+/// design: see sleeplint_facts.h.
+Scope Classify(const std::vector<Token>& head) {
+  Scope scope;
+  if (head.empty()) return scope;  // bare block
+
+  if (HasIdentifier(head, "namespace")) {
+    scope.kind = Scope::Kind::kNamespace;
+    scope.name = "(anon)";
+    for (const auto& token : head) {
+      if (token.kind == Token::Kind::kIdentifier &&
+          token.text != "namespace" && token.text != "inline") {
+        scope.name = token.text;
+      }
+    }
+    return scope;
+  }
+
+  // Class-like: the keyword anywhere outside parens. (A function head
+  // mentioning `struct stat` would misclassify; this tree doesn't.)
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    const auto& token = head[i];
+    if (token.kind != Token::Kind::kIdentifier ||
+        (token.text != "class" && token.text != "struct" &&
+         token.text != "union" && token.text != "enum")) {
+      continue;
+    }
+    scope.kind = Scope::Kind::kClass;
+    scope.name = "(anon)";
+    int depth = 0;
+    for (std::size_t j = i + 1; j < head.size(); ++j) {
+      const auto& t = head[j];
+      if (t.text == "(" || t.text == "<") ++depth;
+      if (t.text == ")" || t.text == ">") --depth;
+      if (depth > 0) continue;
+      if (t.text == ":") break;  // base clause
+      if (t.kind == Token::Kind::kIdentifier && t.text != "final" &&
+          t.text != "class" && t.text != "alignas") {
+        // Attribute-like macros (NAME followed by parens) are skipped
+        // by taking the LAST plain identifier before the base clause.
+        if (j + 1 < head.size() && head[j + 1].text == "(") continue;
+        scope.name = t.text;
+      }
+    }
+    scope.class_name = scope.name;
+    return scope;
+  }
+
+  // Lambda introducer: `]` directly followed by a parameter list (or
+  // ending the head). Resets destructor/noexcept context.
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    if (head[i].text != "]") continue;
+    if (i + 1 == head.size() || head[i + 1].text == "(") {
+      scope.kind = Scope::Kind::kFunction;
+      scope.name = "(lambda)";
+      scope.is_noexcept = HasIdentifier(head, "noexcept");
+      return scope;
+    }
+  }
+
+  // Initializer lists: `= { ... }`.
+  int depth = 0;
+  for (const auto& token : head) {
+    if (token.text == "(") ++depth;
+    if (token.text == ")") --depth;
+    if (depth == 0 && token.text == "=") return scope;  // kBlock
+  }
+
+  // Function definition: `name ( params ) ... {`.
+  std::size_t open = std::string::npos;
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    if (head[i].text == "(") {
+      open = i;
+      break;
+    }
+  }
+  if (open == std::string::npos || open == 0) return scope;
+  const auto& before = head[open - 1];
+  if (before.kind != Token::Kind::kIdentifier ||
+      IsKeywordBlocked(before.text)) {
+    return scope;
+  }
+  scope.kind = Scope::Kind::kFunction;
+  // Collect the (possibly qualified) name backwards: ident, ::, ~.
+  std::size_t name_begin = open - 1;
+  while (name_begin > 0) {
+    const auto& t = head[name_begin - 1];
+    if (t.text == "::" || t.text == "~" ||
+        (t.kind == Token::Kind::kIdentifier &&
+         head[name_begin].text == "::")) {
+      --name_begin;
+    } else {
+      break;
+    }
+  }
+  std::string qualifier;
+  for (std::size_t i = name_begin; i < open; ++i) {
+    scope.name += head[i].text;
+    if (head[i].text == "~") scope.is_dtor = true;
+  }
+  const std::size_t last_sep = scope.name.rfind("::");
+  if (last_sep != std::string::npos) {
+    qualifier = scope.name.substr(0, last_sep);
+    const std::size_t prev = qualifier.rfind("::");
+    scope.class_name =
+        prev == std::string::npos ? qualifier : qualifier.substr(prev + 2);
+  }
+  // noexcept after the parameter list (noexcept(false) opts out).
+  const std::size_t close = MatchingClose(head, open, "(", ")");
+  if (close != std::string::npos) {
+    for (std::size_t i = close + 1; i < head.size(); ++i) {
+      if (head[i].kind == Token::Kind::kIdentifier &&
+          head[i].text == "noexcept") {
+        scope.is_noexcept = true;
+        if (i + 2 < head.size() && head[i + 1].text == "(" &&
+            head[i + 2].text == "false") {
+          scope.is_noexcept = false;
+        }
+      }
+    }
+  }
+  return scope;
+}
+
+bool LineAllows(const std::vector<std::vector<std::string>>& allows,
+                const std::vector<std::string>& file_allows, int line,
+                std::string_view rule) {
+  const auto has = [&](const std::vector<std::string>& list) {
+    return std::find(list.begin(), list.end(), rule) != list.end();
+  };
+  if (has(file_allows)) return true;
+  const std::size_t index = static_cast<std::size_t>(line) - 1;
+  if (index < allows.size() && has(allows[index])) return true;
+  return index > 0 && index - 1 < allows.size() && has(allows[index - 1]);
+}
+
+std::string Basename(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+FileFacts ExtractFacts(const std::string& path, const LexedSource& lexed,
+                       const std::vector<std::vector<std::string>>& allows,
+                       const std::vector<std::string>& file_allows) {
+  FileFacts facts;
+  facts.path = path;
+
+  for (const auto& include : lexed.includes) {
+    IncludeFact fact;
+    fact.header = include.header;
+    fact.line = include.line;
+    fact.allowed =
+        LineAllows(allows, file_allows, include.line, rules::kLayering);
+    facts.includes.push_back(std::move(fact));
+  }
+
+  // Drop preprocessor-line tokens: macro bodies are not declarations.
+  std::vector<Token> tokens;
+  tokens.reserve(lexed.tokens.size());
+  for (const auto& token : lexed.tokens) {
+    const std::size_t line_index = static_cast<std::size_t>(token.line) - 1;
+    if (line_index < lexed.preprocessor.size() &&
+        lexed.preprocessor[line_index]) {
+      continue;
+    }
+    tokens.push_back(token);
+  }
+
+  std::vector<Scope> scopes;
+  std::vector<HeldLock> held;
+  std::vector<Token> head;
+
+  const auto nearest_class = [&]() -> std::string {
+    // An out-of-class definition carries its qualifier; an in-class
+    // definition (empty class_name) keeps walking out to the class
+    // scope itself. Lambdas defer to their enclosing method the same
+    // way.
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::Kind::kFunction && !it->class_name.empty()) {
+        return it->class_name;
+      }
+      if (it->kind == Scope::Kind::kClass) return it->name;
+    }
+    return "";
+  };
+  const auto nearest_function = [&]() -> const Scope* {
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+      if (it->kind == Scope::Kind::kFunction) return &*it;
+    }
+    return nullptr;
+  };
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    if (token.text == "{") {
+      scopes.push_back(Classify(head));
+      head.clear();
+      continue;
+    }
+    if (token.text == "}") {
+      if (!scopes.empty()) scopes.pop_back();
+      while (!held.empty() && held.back().scope_depth > scopes.size()) {
+        held.pop_back();
+      }
+      head.clear();
+      continue;
+    }
+    if (token.text == ";") {
+      head.clear();
+      continue;
+    }
+
+    if (token.kind == Token::Kind::kIdentifier && token.text == "Mutex" &&
+        i + 2 < tokens.size() &&
+        tokens[i + 1].kind == Token::Kind::kIdentifier &&
+        tokens[i + 2].text == ";") {
+      MutexFact fact;
+      fact.member = tokens[i + 1].text;
+      fact.line = tokens[i + 1].line;
+      const std::string owner = nearest_class();
+      fact.qualified = (owner.empty() ? Basename(path) : owner) +
+                       "::" + fact.member;
+      facts.mutexes.push_back(std::move(fact));
+      head.push_back(token);
+      continue;
+    }
+
+    const bool is_lock_type =
+        token.kind == Token::Kind::kIdentifier &&
+        (token.text == "MutexLock" || token.text == "lock_guard" ||
+         token.text == "unique_lock" || token.text == "scoped_lock");
+    if (is_lock_type) {
+      std::size_t j = i + 1;
+      if (j < tokens.size() && tokens[j].text == "<") {
+        int depth = 0;
+        while (j < tokens.size()) {
+          if (tokens[j].text == "<") ++depth;
+          if (tokens[j].text == ">" && --depth == 0) {
+            ++j;
+            break;
+          }
+          ++j;
+        }
+      }
+      // A named RAII lock: `MutexLock name{expr}` / `(expr)`. The bare
+      // type name in other positions (constructor decls, parameters)
+      // has no variable name before a bracket and is skipped.
+      if (j < tokens.size() &&
+          tokens[j].kind == Token::Kind::kIdentifier &&
+          j + 1 < tokens.size() &&
+          (tokens[j + 1].text == "{" || tokens[j + 1].text == "(")) {
+        const std::string open = tokens[j + 1].text;
+        const std::string close = open == "{" ? "}" : ")";
+        int depth = 0;
+        std::size_t k = j + 1;
+        std::string member;
+        for (; k < tokens.size(); ++k) {
+          if (tokens[k].text == open) ++depth;
+          if (tokens[k].text == close && --depth == 0) break;
+          if (tokens[k].kind == Token::Kind::kIdentifier) {
+            member = tokens[k].text;
+          }
+        }
+        if (!member.empty() && k < tokens.size()) {
+          LockAcquisitionFact acquisition;
+          acquisition.member = member;
+          acquisition.owner_hint = nearest_class();
+          acquisition.line = tokens[j].line;
+          acquisition.allowed = LineAllows(allows, file_allows,
+                                           acquisition.line,
+                                           rules::kLockOrder);
+          const int index = static_cast<int>(facts.acquisitions.size());
+          for (const auto& h : held) {
+            facts.edges.push_back(
+                LockEdgeFact{h.acquisition_index, index});
+          }
+          facts.acquisitions.push_back(std::move(acquisition));
+          held.push_back(HeldLock{index, scopes.size()});
+          i = k;  // skip past the lock expression
+          continue;
+        }
+      }
+      head.push_back(token);
+      continue;
+    }
+
+    if (token.kind == Token::Kind::kIdentifier && token.text == "throw") {
+      const Scope* function = nearest_function();
+      bool crash_injected = false;
+      for (std::size_t j = i + 1;
+           j < tokens.size() && tokens[j].text != ";"; ++j) {
+        if (tokens[j].text == "CrashInjected") crash_injected = true;
+      }
+      const auto report = [&](std::string_view rule, std::string message) {
+        if (LineAllows(allows, file_allows, token.line, rule)) return;
+        Diagnostic diagnostic;
+        diagnostic.path = path;
+        diagnostic.line = token.line;
+        diagnostic.rule = std::string(rule);
+        diagnostic.message = std::move(message);
+        facts.diagnostics.push_back(std::move(diagnostic));
+      };
+      if (function != nullptr && function->is_dtor) {
+        report(rules::kThrowingDtor,
+               "throw inside destructor " + function->name +
+                   "; a destructor that throws during unwind calls "
+                   "std::terminate — report and swallow instead");
+      }
+      if (function != nullptr && function->is_noexcept &&
+          !function->is_dtor) {
+        report(rules::kThrowNoexcept,
+               "throw inside noexcept function " + function->name +
+                   "; escaping calls std::terminate — drop noexcept or "
+                   "handle locally");
+      }
+      if (crash_injected && policy::IsLibraryPath(path) &&
+          !policy::Grants(path, policy::Capability::kCrashThrow)) {
+        report(rules::kCrashContainment,
+               "CrashInjected thrown outside the failpoint/storage "
+               "layers; only util/failpoint and storage/ may raise the "
+               "crash signal (it is deliberately not std::exception)");
+      }
+      head.push_back(token);
+      continue;
+    }
+
+    head.push_back(token);
+  }
+  return facts;
+}
+
+// ---------------------------------------------------------------------------
+// Dump / load — deterministic line format, one record per line:
+//   sleeplint-facts v1
+//   file <path>
+//   include <line> <allowed> <header>
+//   mutex <line> <member> <qualified>
+//   acq <line> <allowed> <member> <owner|->
+//   edge <held_index> <acquired_index>
+//   diag <line> <rule> <message to end of line>
+// ---------------------------------------------------------------------------
+
+void DumpFacts(std::ostream& out, const std::vector<FileFacts>& files) {
+  out << "sleeplint-facts v1\n";
+  for (const auto& file : files) {
+    out << "file " << file.path << '\n';
+    for (const auto& include : file.includes) {
+      out << "include " << include.line << ' ' << (include.allowed ? 1 : 0)
+          << ' ' << include.header << '\n';
+    }
+    for (const auto& mutex : file.mutexes) {
+      out << "mutex " << mutex.line << ' ' << mutex.member << ' '
+          << mutex.qualified << '\n';
+    }
+    for (const auto& acquisition : file.acquisitions) {
+      out << "acq " << acquisition.line << ' '
+          << (acquisition.allowed ? 1 : 0) << ' ' << acquisition.member
+          << ' '
+          << (acquisition.owner_hint.empty() ? "-"
+                                             : acquisition.owner_hint)
+          << '\n';
+    }
+    for (const auto& edge : file.edges) {
+      out << "edge " << edge.held_index << ' ' << edge.acquired_index
+          << '\n';
+    }
+    for (const auto& diagnostic : file.diagnostics) {
+      out << "diag " << diagnostic.line << ' ' << diagnostic.rule << ' '
+          << diagnostic.message << '\n';
+    }
+  }
+}
+
+bool LoadFacts(std::istream& in, std::vector<FileFacts>& files,
+               std::string& error) {
+  std::string line;
+  if (!std::getline(in, line) || line != "sleeplint-facts v1") {
+    error = "not a sleeplint-facts v1 file";
+    return false;
+  }
+  FileFacts* current = nullptr;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields{line};
+    std::string kind;
+    fields >> kind;
+    const auto fail = [&](const char* what) {
+      error = "facts line " + std::to_string(line_no) + ": " + what;
+      return false;
+    };
+    if (kind == "file") {
+      std::string path;
+      if (!(fields >> path)) return fail("missing path");
+      files.emplace_back();
+      current = &files.back();
+      current->path = path;
+      continue;
+    }
+    if (current == nullptr) return fail("record before any file");
+    if (kind == "include") {
+      IncludeFact fact;
+      int allowed = 0;
+      if (!(fields >> fact.line >> allowed >> fact.header)) {
+        return fail("malformed include");
+      }
+      fact.allowed = allowed != 0;
+      current->includes.push_back(std::move(fact));
+    } else if (kind == "mutex") {
+      MutexFact fact;
+      if (!(fields >> fact.line >> fact.member >> fact.qualified)) {
+        return fail("malformed mutex");
+      }
+      current->mutexes.push_back(std::move(fact));
+    } else if (kind == "acq") {
+      LockAcquisitionFact fact;
+      int allowed = 0;
+      std::string owner;
+      if (!(fields >> fact.line >> allowed >> fact.member >> owner)) {
+        return fail("malformed acq");
+      }
+      fact.allowed = allowed != 0;
+      fact.owner_hint = owner == "-" ? "" : owner;
+      current->acquisitions.push_back(std::move(fact));
+    } else if (kind == "edge") {
+      LockEdgeFact fact;
+      if (!(fields >> fact.held_index >> fact.acquired_index)) {
+        return fail("malformed edge");
+      }
+      const int n = static_cast<int>(current->acquisitions.size());
+      if (fact.held_index < 0 || fact.held_index >= n ||
+          fact.acquired_index < 0 || fact.acquired_index >= n) {
+        return fail("edge index out of range");
+      }
+      current->edges.push_back(fact);
+    } else if (kind == "diag") {
+      Diagnostic diagnostic;
+      diagnostic.path = current->path;
+      if (!(fields >> diagnostic.line >> diagnostic.rule)) {
+        return fail("malformed diag");
+      }
+      std::getline(fields, diagnostic.message);
+      if (!diagnostic.message.empty() && diagnostic.message.front() == ' ') {
+        diagnostic.message.erase(0, 1);
+      }
+      current->diagnostics.push_back(std::move(diagnostic));
+    } else {
+      return fail("unknown record kind");
+    }
+  }
+  return true;
+}
+
+}  // namespace sleeplint

@@ -1,0 +1,92 @@
+// Phase 1 of the whole-program analyzer: per-file fact extraction.
+//
+// ExtractFacts() walks the lexer's token stream once, tracking the
+// brace-scope structure (namespaces, classes, functions, blocks) with
+// the classic declaration-head heuristic, and records the facts the
+// phase-2 analyses (sleeplint_wp.h) consume:
+//
+//   * project #include targets (layer-DAG edges + include-cycle graph);
+//   * util::Mutex declarations, qualified by their enclosing class
+//     ("Shard::mutex", "CampaignLedger::mutex_");
+//   * util::MutexLock acquisition sites, with the stack of locks
+//     lexically held at that point — every (held, acquired) pair is an
+//     acquired-while-held edge for the global lock-order graph. Member
+//     expressions like `impl_->mutex` record the member name plus the
+//     enclosing class as an owner hint; phase 2 resolves them against
+//     the merged declaration set;
+//   * exception-safety findings: `throw` inside a destructor, `throw`
+//     inside a `noexcept` function, and `throw ... CrashInjected`
+//     outside the paths granted Capability::kCrashThrow.
+//
+// Facts serialize to a deterministic line-oriented text format
+// (DumpFacts/LoadFacts) so CI can shard extraction across jobs and run
+// the cross-file analyses once over the merged database
+// (`sleeplint --facts-out` / `--facts-in`). Per-line lint diagnostics
+// ride along in the dump so a merge run reports everything.
+#ifndef SLEEPWALK_TOOLS_SLEEPLINT_FACTS_H_
+#define SLEEPWALK_TOOLS_SLEEPLINT_FACTS_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sleeplint.h"
+#include "sleeplint_lexer.h"
+
+namespace sleeplint {
+
+struct IncludeFact {
+  std::string header;    ///< as spelled, e.g. "sleepwalk/obs/context.h"
+  int line = 0;
+  bool allowed = false;  ///< `// sleeplint: allow(layering)` on the line
+};
+
+struct MutexFact {
+  std::string qualified;  ///< "EnclosingClass::member" or "::name"
+  std::string member;     ///< bare member name
+  int line = 0;
+};
+
+struct LockAcquisitionFact {
+  std::string member;      ///< last identifier of the lock expression
+  std::string owner_hint;  ///< enclosing class at the acquisition site
+  int line = 0;
+  bool allowed = false;    ///< allow(lock-order) on the line
+};
+
+/// One acquired-while-held pair; indices into `acquisitions`.
+struct LockEdgeFact {
+  int held_index = 0;
+  int acquired_index = 0;
+};
+
+struct FileFacts {
+  std::string path;  ///< normalized
+  std::vector<IncludeFact> includes;
+  std::vector<MutexFact> mutexes;
+  std::vector<LockAcquisitionFact> acquisitions;
+  std::vector<LockEdgeFact> edges;
+  /// Exception-safety findings (throwing-destructor, throw-in-noexcept,
+  /// crash-containment) plus, in dump/load round trips, the per-line
+  /// rule diagnostics of the extraction shard.
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// Extracts facts from one lexed file. `allows` carries the per-line
+/// allow sets (same shape LintFile uses) so escapes suppress facts at
+/// the source. Exception findings land in `facts.diagnostics`.
+FileFacts ExtractFacts(const std::string& path, const LexedSource& lexed,
+                       const std::vector<std::vector<std::string>>& allows,
+                       const std::vector<std::string>& file_allows);
+
+/// Serializes facts as deterministic text ("sleeplint-facts v1").
+void DumpFacts(std::ostream& out, const std::vector<FileFacts>& files);
+
+/// Parses a dump; appends to `files`. Returns false (with `error` set)
+/// on version or syntax problems.
+bool LoadFacts(std::istream& in, std::vector<FileFacts>& files,
+               std::string& error);
+
+}  // namespace sleeplint
+
+#endif  // SLEEPWALK_TOOLS_SLEEPLINT_FACTS_H_

@@ -1,0 +1,229 @@
+#include "sleeplint_lexer.h"
+
+namespace sleeplint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+/// The identifier ending just before column `at` (empty if none).
+std::string IdentifierEndingAt(const std::string& line, std::size_t at) {
+  std::size_t start = at;
+  while (start > 0 && IsIdentChar(line[start - 1])) --start;
+  return line.substr(start, at - start);
+}
+
+/// Quoted #include target on a raw (unblanked) directive line, if any.
+void ExtractQuotedInclude(const std::string& line, int line_no,
+                          std::vector<IncludeRef>& out) {
+  std::size_t i = line.find_first_not_of(" \t");
+  if (i == std::string::npos || line[i] != '#') return;
+  ++i;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  static constexpr std::string_view kInclude = "include";
+  if (line.compare(i, kInclude.size(), kInclude) != 0) return;
+  i += kInclude.size();
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size() || line[i] != '"') return;  // <...> is not project code
+  const std::size_t close = line.find('"', i + 1);
+  if (close == std::string::npos) return;
+  out.push_back(IncludeRef{line.substr(i + 1, close - i - 1), line_no});
+}
+
+/// Tokenizes one already-blanked code line.
+void TokenizeLine(const std::string& line, int line_no,
+                  std::vector<Token>& out) {
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.line = line_no;
+    if (IsIdentStart(c)) {
+      std::size_t end = i;
+      while (end < line.size() && IsIdentChar(line[end])) ++end;
+      token.kind = Token::Kind::kIdentifier;
+      token.text = line.substr(i, end - i);
+      i = end;
+    } else if (c >= '0' && c <= '9') {
+      // Numbers absorb identifier chars and dots (1e9, 0xFF, 1.5f); the
+      // fact extractor never inspects their spelling.
+      std::size_t end = i;
+      while (end < line.size() && (IsIdentChar(line[end]) ||
+                                   line[end] == '.')) {
+        ++end;
+      }
+      token.kind = Token::Kind::kNumber;
+      token.text = line.substr(i, end - i);
+      i = end;
+    } else {
+      token.kind = Token::Kind::kPunct;
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      if ((c == ':' && next == ':') || (c == '-' && next == '>')) {
+        token.text = line.substr(i, 2);
+        i += 2;
+      } else {
+        token.text = std::string(1, c);
+        ++i;
+      }
+    }
+    out.push_back(std::move(token));
+  }
+}
+
+}  // namespace
+
+LexedSource Lex(std::string_view content) {
+  LexedSource out;
+  // Split into lines first (handles a missing trailing newline).
+  std::size_t start = 0;
+  while (start <= content.size()) {
+    const std::size_t end = content.find('\n', start);
+    out.code.emplace_back(content.substr(
+        start, end == std::string_view::npos ? std::string_view::npos
+                                             : end - start));
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  out.comments.assign(out.code.size(), "");
+  out.preprocessor.assign(out.code.size(), false);
+
+  enum class State { kCode, kBlockComment, kRawString };
+  State state = State::kCode;
+  std::string raw_terminator;  // ")delim\"" for the open raw string
+  bool directive_continues = false;
+
+  for (std::size_t li = 0; li < out.code.size(); ++li) {
+    std::string& line = out.code[li];
+    if (state == State::kCode) {
+      if (directive_continues) {
+        out.preprocessor[li] = true;
+      } else {
+        const std::size_t first = line.find_first_not_of(" \t");
+        if (first != std::string::npos && line[first] == '#') {
+          out.preprocessor[li] = true;
+          ExtractQuotedInclude(line, static_cast<int>(li) + 1,
+                               out.includes);
+        }
+      }
+      directive_continues =
+          out.preprocessor[li] && !line.empty() && line.back() == '\\';
+    } else {
+      directive_continues = false;
+    }
+
+    std::size_t i = 0;
+    while (i < line.size()) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            line[i] = ' ';
+            line[i + 1] = ' ';
+            i += 2;
+          } else {
+            out.comments[li].push_back(c);
+            line[i] = ' ';
+            ++i;
+          }
+          break;
+        case State::kRawString:
+          if (line.compare(i, raw_terminator.size(), raw_terminator) == 0) {
+            for (std::size_t k = 0; k < raw_terminator.size(); ++k) {
+              line[i + k] = ' ';
+            }
+            i += raw_terminator.size();
+            state = State::kCode;
+          } else {
+            line[i] = ' ';
+            ++i;
+          }
+          break;
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            out.comments[li].append(line.substr(i + 2));
+            for (std::size_t k = i; k < line.size(); ++k) line[k] = ' ';
+            i = line.size();
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            line[i] = ' ';
+            line[i + 1] = ' ';
+            i += 2;
+          } else if (c == '"') {
+            const std::string prefix = IdentifierEndingAt(line, i);
+            const bool is_raw = prefix == "R" || prefix == "u8R" ||
+                                prefix == "uR" || prefix == "UR" ||
+                                prefix == "LR";
+            if (is_raw) {
+              const std::size_t open = line.find('(', i + 1);
+              // The standard caps raw-string delimiters at 16 chars; a
+              // longer run means this '(' belongs to something else.
+              if (open != std::string::npos && open - i - 1 <= 16) {
+                raw_terminator.assign(1, ')');
+                raw_terminator.append(line, i + 1, open - i - 1);
+                raw_terminator.push_back('"');
+                for (std::size_t k = i - prefix.size(); k <= open; ++k) {
+                  line[k] = ' ';
+                }
+                i = open + 1;
+                state = State::kRawString;
+                break;
+              }
+            }
+            line[i++] = ' ';
+            while (i < line.size()) {
+              const char s = line[i];
+              line[i++] = ' ';
+              if (s == '\\') {
+                if (i < line.size()) line[i++] = ' ';
+              } else if (s == '"') {
+                break;
+              }
+            }
+            // An unterminated string at end-of-line: treat as closed
+            // (a multi-line macro, or our scanner being conservative).
+          } else if (c == '\'') {
+            const std::string prefix = IdentifierEndingAt(line, i);
+            const bool is_char_prefix = prefix == "u8" || prefix == "u" ||
+                                        prefix == "U" || prefix == "L";
+            if (i > 0 && IsIdentChar(line[i - 1]) && !is_char_prefix) {
+              line[i++] = ' ';  // digit separator: 1'000'000
+              break;
+            }
+            line[i++] = ' ';
+            while (i < line.size()) {
+              const char s = line[i];
+              line[i++] = ' ';
+              if (s == '\\') {
+                if (i < line.size()) line[i++] = ' ';
+              } else if (s == '\'') {
+                break;
+              }
+            }
+          } else {
+            ++i;
+          }
+          break;
+      }
+    }
+  }
+
+  for (std::size_t li = 0; li < out.code.size(); ++li) {
+    TokenizeLine(out.code[li], static_cast<int>(li) + 1, out.tokens);
+  }
+  return out;
+}
+
+}  // namespace sleeplint

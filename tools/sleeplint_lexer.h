@@ -1,0 +1,66 @@
+// sleeplint's single-pass C++ lexer — the shared front end for both the
+// per-line token rules (sleeplint.cc) and the whole-program fact
+// extractor (sleeplint_facts.cc).
+//
+// One pass over the file produces four coordinated views:
+//   * `code`     — the source split into lines with comments, string
+//                  literals (including raw strings — the R"(...)"
+//                  contents that the old per-line state machine could
+//                  not blank), and char literals replaced by spaces, so
+//                  column positions survive for substring rules;
+//   * `comments` — the comment text per line, which is where the
+//                  `// sleeplint: allow(...)` / `allow-file(...)`
+//                  markers live (markers inside string literals are
+//                  deliberately NOT honored — a quoted marker is data);
+//   * `includes` — quoted #include targets with their line numbers,
+//                  captured from the raw text before blanking (the
+//                  layer-DAG analysis needs the spelled path);
+//   * `tokens`   — identifiers / numbers / punctuators with 1-based
+//                  line numbers, lexed from the blanked code so string
+//                  contents can never masquerade as program structure.
+//
+// The lexer understands line and block comments spanning lines, plain
+// and raw string literals (with u8/u/U/L prefixes and custom
+// delimiters), char literals with escapes, and digit separators
+// (1'000'000 does not open a char literal). It does not expand macros
+// or splice continuation lines — the fact extractor is heuristic by
+// design (see sleeplint.h for the philosophy).
+#ifndef SLEEPWALK_TOOLS_SLEEPLINT_LEXER_H_
+#define SLEEPWALK_TOOLS_SLEEPLINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sleeplint {
+
+struct Token {
+  enum class Kind { kIdentifier, kNumber, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;  ///< 1-based
+};
+
+struct IncludeRef {
+  std::string header;  ///< as spelled between the quotes
+  int line = 0;        ///< 1-based
+};
+
+struct LexedSource {
+  std::vector<std::string> code;      ///< blanked source, one per line
+  std::vector<std::string> comments;  ///< comment text, one per line
+  std::vector<IncludeRef> includes;   ///< quoted #include directives
+  std::vector<Token> tokens;          ///< code tokens, blanked lines
+  /// True for lines that are (or continue) a preprocessor directive —
+  /// the fact extractor skips their tokens so macro bodies cannot be
+  /// mistaken for declarations.
+  std::vector<bool> preprocessor;
+};
+
+/// Lexes one file. Never fails: malformed input degrades to
+/// conservatively blanked text, matching the old Prepare() contract.
+LexedSource Lex(std::string_view content);
+
+}  // namespace sleeplint
+
+#endif  // SLEEPWALK_TOOLS_SLEEPLINT_LEXER_H_

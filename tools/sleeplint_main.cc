@@ -1,12 +1,24 @@
 // sleeplint CLI. See sleeplint.h for the rule catalogue.
 //
-//   sleeplint [--baseline FILE] [--rules r1,r2] [--list-rules] PATH...
+//   sleeplint [--baseline FILE] [--rules r1,r2] [--list-rules]
+//             [--wp] [--format text|json|sarif] [--sarif-out FILE]
+//             [--facts-out FILE] [--facts-in FILE]... [--dot FILE]
+//             [PATH...]
+//
+// `--wp` adds the whole-program analyses (layering, include-cycle,
+// lock-order, exception safety) over the scanned paths plus any
+// `--facts-in` dumps. `--facts-out` is the CI extraction-shard mode: it
+// dumps the fact database and reports nothing. `--dot` writes the
+// global lock-order graph (Graphviz). `--sarif-out` writes a SARIF
+// 2.1.0 report alongside whatever `--format` prints on stdout.
 //
 // Exit status: 0 clean, 1 violations found, 2 usage/IO error. Used by
 // scripts/static_analysis.sh and the CI `static-analysis` job; run it
 // locally via `scripts/tier1.sh --lint`.
 #include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -15,10 +27,14 @@
 namespace {
 
 int Usage() {
-  std::cerr << "usage: sleeplint [--baseline FILE] [--rules r1,r2] "
-               "[--list-rules] PATH...\n"
-               "PATHs are files or directories (walked for "
-               ".h/.hpp/.cc/.cpp/.cxx).\n";
+  std::cerr
+      << "usage: sleeplint [--baseline FILE] [--rules r1,r2] [--list-rules]\n"
+         "                 [--wp] [--format text|json|sarif]\n"
+         "                 [--sarif-out FILE] [--facts-out FILE]\n"
+         "                 [--facts-in FILE]... [--dot FILE] [PATH...]\n"
+         "PATHs are files or directories (walked for "
+         ".h/.hpp/.cc/.cpp/.cxx);\n"
+         "they may be omitted when --facts-in supplies the database.\n";
   return 2;
 }
 
@@ -36,18 +52,45 @@ std::vector<std::string> SplitCommas(const std::string& text) {
   return parts;
 }
 
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   sleeplint::Options options;
+  std::string format = "text";
+  std::string sarif_out;
+  std::string dot_out;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept both `--flag value` and `--flag=value`.
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
+    const auto value = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
+      return ++i < argc ? argv[i] : nullptr;
+    };
     if (arg == "--baseline") {
-      if (++i >= argc) return Usage();
-      options.baseline_path = argv[i];
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      options.baseline_path = v;
     } else if (arg == "--rules") {
-      if (++i >= argc) return Usage();
-      options.only_rules = SplitCommas(argv[i]);
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      options.only_rules = SplitCommas(v);
       for (const auto& rule : options.only_rules) {
         const auto& all = sleeplint::AllRules();
         if (std::find(all.begin(), all.end(), rule) == all.end()) {
@@ -56,10 +99,39 @@ int main(int argc, char** argv) {
         }
       }
     } else if (arg == "--list-rules") {
+      if (has_inline) return Usage();
       for (const auto& rule : sleeplint::AllRules()) {
         std::cout << rule << '\n';
       }
       return 0;
+    } else if (arg == "--wp") {
+      if (has_inline) return Usage();
+      options.whole_program = true;
+    } else if (arg == "--format") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      format = v;
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::cerr << "sleeplint: unknown format '" << format << "'\n";
+        return 2;
+      }
+    } else if (arg == "--sarif-out") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      sarif_out = v;
+    } else if (arg == "--facts-out") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      options.facts_out = v;
+    } else if (arg == "--facts-in") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      options.facts_in.push_back(v);
+    } else if (arg == "--dot") {
+      const char* v = value();
+      if (v == nullptr) return Usage();
+      dot_out = v;
+      options.whole_program = true;  // the graph is a --wp product
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -69,7 +141,7 @@ int main(int argc, char** argv) {
       options.roots.push_back(arg);
     }
   }
-  if (options.roots.empty()) return Usage();
+  if (options.roots.empty() && options.facts_in.empty()) return Usage();
 
   const sleeplint::Result result = sleeplint::Run(options);
   if (result.baseline_error) {
@@ -77,7 +149,35 @@ int main(int argc, char** argv) {
               << "'\n";
     return 2;
   }
-  sleeplint::PrintDiagnostics(std::cout, result.diagnostics);
+  if (result.facts_error) {
+    std::cerr << "sleeplint: " << result.facts_error_message << '\n';
+    return 2;
+  }
+  if (!options.facts_out.empty()) {
+    std::cerr << "sleeplint: " << result.files_scanned
+              << " files, facts written to " << options.facts_out << '\n';
+    return 0;
+  }
+  if (!dot_out.empty() && !WriteFile(dot_out, result.lock_dot)) {
+    std::cerr << "sleeplint: cannot write dot file '" << dot_out << "'\n";
+    return 2;
+  }
+  if (!sarif_out.empty()) {
+    std::ostringstream sarif;
+    sleeplint::RenderSarif(sarif, result);
+    if (!WriteFile(sarif_out, sarif.str())) {
+      std::cerr << "sleeplint: cannot write SARIF file '" << sarif_out
+                << "'\n";
+      return 2;
+    }
+  }
+  if (format == "json") {
+    sleeplint::RenderJson(std::cout, result);
+  } else if (format == "sarif") {
+    sleeplint::RenderSarif(std::cout, result);
+  } else {
+    sleeplint::PrintDiagnostics(std::cout, result.diagnostics);
+  }
   std::cerr << "sleeplint: " << result.files_scanned << " files, "
             << result.diagnostics.size() << " violations"
             << ", " << result.suppressed_by_allow << " allowed"

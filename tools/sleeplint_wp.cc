@@ -1,0 +1,332 @@
+#include "sleeplint_wp.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "sleeplint_policy.h"
+
+namespace sleeplint {
+
+namespace {
+
+/// Layer directory of an include target spelled "sleepwalk/<dir>/...",
+/// or "" for non-project and umbrella includes.
+std::string TargetDirOf(const std::string& header) {
+  static constexpr std::string_view kPrefix = "sleepwalk/";
+  if (header.rfind(kPrefix, 0) != 0) return "";
+  const std::size_t begin = kPrefix.size();
+  const std::size_t slash = header.find('/', begin);
+  if (slash == std::string::npos) return "";
+  return header.substr(begin, slash - begin);
+}
+
+// ---------------------------------------------------------------------------
+// Layer-DAG enforcement
+// ---------------------------------------------------------------------------
+
+void AnalyzeLayering(const std::vector<FileFacts>& files,
+                     std::vector<Diagnostic>& out) {
+  for (const auto& file : files) {
+    const std::string from_dir = policy::LayerDirOf(file.path);
+    if (from_dir.empty()) continue;  // unlayered (tools, umbrella, ...)
+    const int from_rank = policy::RankOf(from_dir);
+    if (from_rank < 0) continue;
+    for (const auto& include : file.includes) {
+      const std::string to_dir = TargetDirOf(include.header);
+      if (to_dir.empty() || to_dir == from_dir) continue;
+      const int to_rank = policy::RankOf(to_dir);
+      if (to_rank < 0 || to_rank <= from_rank) continue;
+      if (include.allowed) continue;
+      if (const auto* exemption =
+              policy::FindExemption(file.path, to_dir)) {
+        (void)exemption;
+        continue;
+      }
+      Diagnostic diagnostic;
+      diagnostic.path = file.path;
+      diagnostic.line = include.line;
+      diagnostic.rule = std::string(rules::kLayering);
+      diagnostic.message =
+          "include of \"" + include.header + "\" climbs the layer map (" +
+          from_dir + " rank " + std::to_string(from_rank) + " -> " +
+          to_dir + " rank " + std::to_string(to_rank) +
+          "); restructure, or add a named exemption in "
+          "tools/sleeplint_policy.cc";
+      out.push_back(std::move(diagnostic));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Include-cycle detection (file granularity, scanned set only)
+// ---------------------------------------------------------------------------
+
+void AnalyzeIncludeCycles(const std::vector<FileFacts>& files,
+                          std::vector<Diagnostic>& out) {
+  // Resolve spelled targets against the scanned files by suffix: the
+  // include "sleepwalk/x/y.h" names the scanned file whose normalized
+  // path ends with "src/sleepwalk/x/y.h" (real tree and fixture trees
+  // alike).
+  std::map<std::string, int> by_relative;  // "src/sleepwalk/..." -> index
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::size_t at = files[i].path.rfind("src/sleepwalk/");
+    if (at == std::string::npos) continue;
+    by_relative[files[i].path.substr(at)] = static_cast<int>(i);
+  }
+  struct Edge {
+    int to;
+    int line;
+  };
+  std::vector<std::vector<Edge>> adjacency(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    for (const auto& include : files[i].includes) {
+      const auto it = by_relative.find("src/" + include.header);
+      if (it == by_relative.end()) continue;
+      adjacency[i].push_back(Edge{it->second, include.line});
+    }
+  }
+
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(files.size(), Color::kWhite);
+  /// (file, line of the include leading to the next frame).
+  std::vector<std::pair<int, int>> frames;
+  std::set<std::set<int>> reported;
+
+  const std::function<void(int)> visit = [&](int node) {
+    color[node] = Color::kGray;
+    for (const auto& edge : adjacency[node]) {
+      if (color[edge.to] == Color::kGray) {
+        frames.back().second = edge.line;
+        std::size_t begin = 0;
+        while (begin < frames.size() && frames[begin].first != edge.to) {
+          ++begin;
+        }
+        std::set<int> key;
+        for (std::size_t k = begin; k < frames.size(); ++k) {
+          key.insert(frames[k].first);
+        }
+        if (reported.insert(key).second) {
+          std::ostringstream message;
+          message << "include cycle: ";
+          for (std::size_t k = begin; k < frames.size(); ++k) {
+            message << files[frames[k].first].path << ':'
+                    << frames[k].second << " -> ";
+          }
+          message << files[edge.to].path;
+          Diagnostic diagnostic;
+          diagnostic.path = files[frames[begin].first].path;
+          diagnostic.line = frames[begin].second;
+          diagnostic.rule = std::string(rules::kIncludeCycle);
+          diagnostic.message = message.str();
+          out.push_back(std::move(diagnostic));
+        }
+        continue;
+      }
+      if (color[edge.to] == Color::kWhite) {
+        frames.back().second = edge.line;
+        frames.push_back({edge.to, 0});
+        visit(edge.to);
+        frames.pop_back();
+      }
+    }
+    color[node] = Color::kBlack;
+  };
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (color[i] == Color::kWhite) {
+      frames.assign(1, {static_cast<int>(i), 0});
+      visit(static_cast<int>(i));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-order analysis
+// ---------------------------------------------------------------------------
+
+struct ResolvedAcquisition {
+  std::string id;  ///< qualified mutex identity
+  int line = 0;
+  bool allowed = false;
+};
+
+struct LockEdge {
+  std::string from;
+  std::string to;
+  std::string file;    ///< file whose nesting produced the edge
+  int held_line = 0;   ///< where `from` was acquired
+  int line = 0;        ///< where `to` was acquired while holding `from`
+};
+
+void AnalyzeLockOrder(const std::vector<FileFacts>& files,
+                      std::vector<Diagnostic>& out, std::string& dot) {
+  // Merged declaration database.
+  struct Declaration {
+    std::string qualified;
+    std::string file;
+  };
+  std::map<std::string, std::vector<Declaration>> by_member;
+  std::set<std::string> nodes;
+  for (const auto& file : files) {
+    for (const auto& mutex : file.mutexes) {
+      by_member[mutex.member].push_back(
+          Declaration{mutex.qualified, file.path});
+      nodes.insert(mutex.qualified);
+    }
+  }
+
+  const auto resolve = [&](const FileFacts& file,
+                           const LockAcquisitionFact& acquisition)
+      -> std::string {
+    const auto it = by_member.find(acquisition.member);
+    if (it != by_member.end()) {
+      if (!acquisition.owner_hint.empty()) {
+        const std::string wanted =
+            acquisition.owner_hint + "::" + acquisition.member;
+        for (const auto& declaration : it->second) {
+          if (declaration.qualified == wanted) return wanted;
+        }
+      }
+      const Declaration* same_file = nullptr;
+      bool same_file_unique = true;
+      for (const auto& declaration : it->second) {
+        if (declaration.file != file.path) continue;
+        if (same_file != nullptr) same_file_unique = false;
+        same_file = &declaration;
+      }
+      if (same_file != nullptr && same_file_unique) {
+        return same_file->qualified;
+      }
+      if (it->second.size() == 1) return it->second.front().qualified;
+    }
+    return "?::" + acquisition.member;
+  };
+
+  std::vector<LockEdge> edges;
+  for (const auto& file : files) {
+    std::vector<ResolvedAcquisition> resolved;
+    resolved.reserve(file.acquisitions.size());
+    for (const auto& acquisition : file.acquisitions) {
+      resolved.push_back(ResolvedAcquisition{resolve(file, acquisition),
+                                             acquisition.line,
+                                             acquisition.allowed});
+      nodes.insert(resolved.back().id);
+    }
+    for (const auto& edge : file.edges) {
+      const auto& held = resolved[static_cast<std::size_t>(edge.held_index)];
+      const auto& acquired =
+          resolved[static_cast<std::size_t>(edge.acquired_index)];
+      if (held.allowed || acquired.allowed) continue;
+      edges.push_back(LockEdge{held.id, acquired.id, file.path,
+                               held.line, acquired.line});
+    }
+  }
+
+  // Deduplicate edges, keep the first site per (from, to).
+  std::sort(edges.begin(), edges.end(),
+            [](const LockEdge& a, const LockEdge& b) {
+              return std::tie(a.from, a.to, a.file, a.line) <
+                     std::tie(b.from, b.to, b.file, b.line);
+            });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const LockEdge& a, const LockEdge& b) {
+                            return a.from == b.from && a.to == b.to;
+                          }),
+              edges.end());
+
+  // DOT rendering (nodes sorted, edges sorted — byte-stable output).
+  std::ostringstream dot_out;
+  dot_out << "digraph lock_order {\n  rankdir=LR;\n"
+          << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const auto& node : nodes) {
+    dot_out << "  \"" << node << "\";\n";
+  }
+  for (const auto& edge : edges) {
+    dot_out << "  \"" << edge.from << "\" -> \"" << edge.to
+            << "\" [label=\"" << edge.file << ':' << edge.line << "\"];\n";
+  }
+  dot_out << "}\n";
+  dot = dot_out.str();
+
+  // Cycle detection over the merged graph.
+  std::map<std::string, std::vector<const LockEdge*>> adjacency;
+  for (const auto& edge : edges) {
+    adjacency[edge.from].push_back(&edge);
+  }
+  std::set<std::string> done;
+  std::set<std::set<std::string>> reported;
+  std::vector<const LockEdge*> path;
+  std::set<std::string> on_path;
+
+  const std::function<void(const std::string&)> visit =
+      [&](const std::string& node) {
+        on_path.insert(node);
+        const auto it = adjacency.find(node);
+        if (it != adjacency.end()) {
+          for (const LockEdge* edge : it->second) {
+            if (on_path.count(edge->to) > 0) {
+              // Cycle: the path suffix starting at edge->to, plus edge.
+              std::vector<const LockEdge*> cycle;
+              bool in_cycle = false;
+              for (const LockEdge* step : path) {
+                if (step->from == edge->to) in_cycle = true;
+                if (in_cycle) cycle.push_back(step);
+              }
+              cycle.push_back(edge);
+              std::set<std::string> key;
+              for (const LockEdge* step : cycle) key.insert(step->from);
+              if (reported.insert(key).second) {
+                std::ostringstream message;
+                message << "potential deadlock, lock-order cycle: ";
+                for (std::size_t i = 0; i < cycle.size(); ++i) {
+                  if (i > 0) message << "; ";
+                  message << cycle[i]->from << " -> " << cycle[i]->to
+                          << " (" << cycle[i]->file << ':'
+                          << cycle[i]->line << ", holding since :"
+                          << cycle[i]->held_line << ")";
+                }
+                message << " — acquisition order must form a DAG";
+                Diagnostic diagnostic;
+                diagnostic.path = cycle.front()->file;
+                diagnostic.line = cycle.front()->line;
+                diagnostic.rule = std::string(rules::kLockOrder);
+                diagnostic.message = message.str();
+                out.push_back(std::move(diagnostic));
+              }
+              continue;
+            }
+            if (done.count(edge->to) == 0) {
+              path.push_back(edge);
+              visit(edge->to);
+              path.pop_back();
+            }
+          }
+        }
+        on_path.erase(node);
+        done.insert(node);
+      };
+  for (const auto& [node, unused] : adjacency) {
+    (void)unused;
+    if (done.count(node) == 0) visit(node);
+  }
+}
+
+}  // namespace
+
+WholeProgramResult AnalyzeWholeProgram(const std::vector<FileFacts>& files) {
+  WholeProgramResult result;
+  AnalyzeLayering(files, result.diagnostics);
+  AnalyzeIncludeCycles(files, result.diagnostics);
+  AnalyzeLockOrder(files, result.diagnostics, result.lock_dot);
+  for (const auto& file : files) {
+    for (const auto& diagnostic : file.diagnostics) {
+      result.diagnostics.push_back(diagnostic);
+    }
+  }
+  return result;
+}
+
+}  // namespace sleeplint

@@ -1,0 +1,45 @@
+// Phase 2 of the whole-program analyzer: cross-file analyses over the
+// merged fact database (sleeplint_facts.h).
+//
+//   * layering        — every project #include must stay level or
+//                       descend in the declarative layer map
+//                       (sleeplint_policy.h); upward edges need a named
+//                       exemption or an `allow(layering)` on the line.
+//   * include-cycle   — the file-level include graph restricted to the
+//                       scanned set must be acyclic; each cycle is
+//                       reported once with its full file:line chain.
+//   * lock-order      — merge every file's acquired-while-held pairs
+//                       into one directed graph over qualified mutexes
+//                       (cross-TU: member references resolve against
+//                       the merged declaration set), then report every
+//                       cycle — including self-loops, the two-instance
+//                       deadlock pattern — with both acquisition
+//                       chains. The graph is also rendered as DOT for
+//                       DESIGN.md §14 (`sleeplint --dot`).
+//
+// Exception-safety findings (throwing-destructor, throw-in-noexcept,
+// crash-containment) are computed during extraction and ride in
+// FileFacts::diagnostics; this phase only concerns facts that cannot be
+// judged one file at a time.
+#ifndef SLEEPWALK_TOOLS_SLEEPLINT_WP_H_
+#define SLEEPWALK_TOOLS_SLEEPLINT_WP_H_
+
+#include <string>
+#include <vector>
+
+#include "sleeplint.h"
+#include "sleeplint_facts.h"
+
+namespace sleeplint {
+
+struct WholeProgramResult {
+  std::vector<Diagnostic> diagnostics;
+  /// The global lock-order graph in Graphviz DOT, deterministic order.
+  std::string lock_dot;
+};
+
+WholeProgramResult AnalyzeWholeProgram(const std::vector<FileFacts>& files);
+
+}  // namespace sleeplint
+
+#endif  // SLEEPWALK_TOOLS_SLEEPLINT_WP_H_
