@@ -21,7 +21,10 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 echo "== tier-1: plain build + full ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}"
-ctest --test-dir build --output-on-failure -j "${jobs}"
+# --timeout: no single test may wedge the suite — a hung worker pool or
+# a crash-sweep livelock should fail that one test, not stall CI until
+# the job-level timeout reaps the whole run.
+ctest --test-dir build --output-on-failure -j "${jobs}" --timeout 300
 
 echo "== tier-1: telemetry smoke (CLI with all three sinks) =="
 # A small measure run with every sink enabled: the JSONL event log and
@@ -88,7 +91,7 @@ cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j "${jobs}" --target faults_test integration_test \
   crash_sweep_test
-ctest --test-dir build-asan --output-on-failure -j "${jobs}" \
+ctest --test-dir build-asan --output-on-failure -j "${jobs}" --timeout 600 \
   -R 'FaultPlan|GilbertElliott|FaultyTransport|Supervisor|ResilienceReport|Determinism|RestartArtifact|ObsInertness|ObsReconciliation|CrashSweep'
 
 echo "== tier-1: all green =="

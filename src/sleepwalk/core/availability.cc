@@ -1,46 +1,29 @@
 #include "sleepwalk/core/availability.h"
 
-#include <algorithm>
-#include <cmath>
-
 namespace sleepwalk::core {
 
 AvailabilityEstimator::AvailabilityEstimator(
     double initial_availability, const AvailabilityConfig& config)
-    : config_(config),
-      p_short_(std::clamp(initial_availability, 0.0, 1.0)),
-      p_long_(p_short_),
-      deviation_(config.initial_deviation) {}
+    : config_(config) {
+  state_.p_short = std::clamp(initial_availability, 0.0, 1.0);
+  state_.p_long = state_.p_short;
+  state_.deviation = config.initial_deviation;
+}
 
 void AvailabilityEstimator::Observe(int positives, int total) noexcept {
-  if (total <= 0) return;
-  const auto p = static_cast<double>(positives);
-  const auto t = static_cast<double>(total);
-
-  p_short_ = config_.alpha_short * p + (1.0 - config_.alpha_short) * p_short_;
-  t_short_ = config_.alpha_short * t + (1.0 - config_.alpha_short) * t_short_;
-
-  p_long_ = config_.alpha_long * p + (1.0 - config_.alpha_long) * p_long_;
-  t_long_ = config_.alpha_long * t + (1.0 - config_.alpha_long) * t_long_;
-
-  // Deviation of this round's raw ratio from the long-term estimate.
-  const double sample_deviation = std::fabs(LongTerm() - p / t);
-  deviation_ = config_.alpha_long * sample_deviation +
-               (1.0 - config_.alpha_long) * deviation_;
-  ++rounds_;
+  AvailabilityObserve(state_, config_, positives, total);
 }
 
 double AvailabilityEstimator::ShortTerm() const noexcept {
-  return t_short_ > 0.0 ? p_short_ / t_short_ : 0.0;
+  return AvailabilityShortTerm(state_);
 }
 
 double AvailabilityEstimator::LongTerm() const noexcept {
-  return t_long_ > 0.0 ? p_long_ / t_long_ : 0.0;
+  return AvailabilityLongTerm(state_);
 }
 
 double AvailabilityEstimator::Operational() const noexcept {
-  return std::max(LongTerm() - config_.deviation_margin * deviation_,
-                  config_.operational_floor);
+  return AvailabilityOperational(state_, config_);
 }
 
 }  // namespace sleepwalk::core

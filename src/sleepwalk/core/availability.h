@@ -23,6 +23,9 @@
 #ifndef SLEEPWALK_CORE_AVAILABILITY_H_
 #define SLEEPWALK_CORE_AVAILABILITY_H_
 
+#include <algorithm>
+#include <cmath>
+
 namespace sleepwalk::core {
 
 /// Gains and bounds of the estimator (defaults are the paper's).
@@ -38,6 +41,11 @@ struct AvailabilityConfig {
 
 /// Snapshot of an estimator's EWMA state, persisted by campaign
 /// checkpoints so a resumed run continues the exact same trajectories.
+/// Also the unit of the columnar block store (core/block_store.h): the
+/// five doubles and the round counter each live in their own column,
+/// and the batched update loops below are the only arithmetic either
+/// representation runs — scalar and SoA trajectories are bitwise
+/// identical by construction.
 struct AvailabilityState {
   double p_short = 0.0;
   double t_short = 1.0;
@@ -46,6 +54,54 @@ struct AvailabilityState {
   double deviation = 0.0;
   int rounds = 0;
 };
+
+/// A-hat_s for a state snapshot.
+inline double AvailabilityShortTerm(const AvailabilityState& state) noexcept {
+  return state.t_short > 0.0 ? state.p_short / state.t_short : 0.0;
+}
+
+/// A-hat_l for a state snapshot.
+inline double AvailabilityLongTerm(const AvailabilityState& state) noexcept {
+  return state.t_long > 0.0 ? state.p_long / state.t_long : 0.0;
+}
+
+/// A-hat_o for a state snapshot.
+inline double AvailabilityOperational(
+    const AvailabilityState& state, const AvailabilityConfig& config) noexcept {
+  return std::max(
+      AvailabilityLongTerm(state) - config.deviation_margin * state.deviation,
+      config.operational_floor);
+}
+
+/// One round's EWMA update — THE estimator step. AvailabilityEstimator
+/// delegates here and core/block_store.h runs this same body in its
+/// batched across-blocks loop; keeping a single definition is what makes
+/// the two representations produce bit-identical doubles (same
+/// expressions, same order, no re-association).
+inline void AvailabilityObserve(AvailabilityState& state,
+                                const AvailabilityConfig& config,
+                                int positives, int total) noexcept {
+  if (total <= 0) return;
+  const auto p = static_cast<double>(positives);
+  const auto t = static_cast<double>(total);
+
+  state.p_short =
+      config.alpha_short * p + (1.0 - config.alpha_short) * state.p_short;
+  state.t_short =
+      config.alpha_short * t + (1.0 - config.alpha_short) * state.t_short;
+
+  state.p_long =
+      config.alpha_long * p + (1.0 - config.alpha_long) * state.p_long;
+  state.t_long =
+      config.alpha_long * t + (1.0 - config.alpha_long) * state.t_long;
+
+  // Deviation of this round's raw ratio from the long-term estimate.
+  const double sample_deviation =
+      std::fabs(AvailabilityLongTerm(state) - p / t);
+  state.deviation = config.alpha_long * sample_deviation +
+                    (1.0 - config.alpha_long) * state.deviation;
+  ++state.rounds;
+}
 
 /// The paper's three-estimate availability tracker for one /24 block.
 class AvailabilityEstimator {
@@ -67,35 +123,23 @@ class AvailabilityEstimator {
   double LongTerm() const noexcept;
 
   /// Tracked mean absolute deviation d-hat_l.
-  double Deviation() const noexcept { return deviation_; }
+  double Deviation() const noexcept { return state_.deviation; }
 
   /// Operational estimate A-hat_o: conservative, designed to (almost)
   /// never exceed the true A; what outage inference consumes.
   double Operational() const noexcept;
 
-  int rounds_observed() const noexcept { return rounds_; }
+  int rounds_observed() const noexcept { return state_.rounds; }
 
   /// Captures / restores the full EWMA state (checkpoint/resume).
-  AvailabilityState ExportState() const noexcept {
-    return {p_short_, t_short_, p_long_, t_long_, deviation_, rounds_};
-  }
+  AvailabilityState ExportState() const noexcept { return state_; }
   void RestoreState(const AvailabilityState& state) noexcept {
-    p_short_ = state.p_short;
-    t_short_ = state.t_short;
-    p_long_ = state.p_long;
-    t_long_ = state.t_long;
-    deviation_ = state.deviation;
-    rounds_ = state.rounds;
+    state_ = state;
   }
 
  private:
   AvailabilityConfig config_;
-  double p_short_;
-  double t_short_ = 1.0;
-  double p_long_;
-  double t_long_ = 1.0;
-  double deviation_;
-  int rounds_ = 0;
+  AvailabilityState state_;
 };
 
 /// The legacy estimator used for dataset A_12w: EWMA applied directly to

@@ -1,0 +1,397 @@
+#include "sleepwalk/core/block_store.h"
+
+#include <cstring>
+#include <new>
+
+#include "sleepwalk/net/checksum.h"
+#include "sleepwalk/storage/columnar.h"
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk::core {
+
+namespace {
+
+constexpr std::string_view kStoreMagic = "SLCK";
+
+// Snapshot column ids. META rides first; the per-block columns mirror
+// the store's arena layout one-to-one so decode is one memcpy each.
+constexpr std::uint32_t kColMeta = 1;
+constexpr std::uint32_t kColPrefix = 2;
+constexpr std::uint32_t kColPShort = 3;
+constexpr std::uint32_t kColTShort = 4;
+constexpr std::uint32_t kColPLong = 5;
+constexpr std::uint32_t kColTLong = 6;
+constexpr std::uint32_t kColDeviation = 7;
+constexpr std::uint32_t kColRounds = 8;
+constexpr std::uint32_t kColProbes = 9;
+constexpr std::uint32_t kColPositives = 10;
+constexpr std::uint32_t kColDownRounds = 11;
+constexpr std::uint32_t kColFlags = 12;
+constexpr std::uint32_t kColClassification = 13;
+constexpr std::uint32_t kColEverActive = 14;
+constexpr std::uint32_t kColObservedDays = 15;
+constexpr std::uint32_t kColMeanShort = 16;
+constexpr std::uint32_t kColFinalOperational = 17;
+constexpr std::uint32_t kColMeanProbes = 18;
+
+std::size_t AlignUp(std::size_t value) { return (value + 63) / 64 * 64; }
+
+storage::Error SnapshotError(const std::string& path, std::string detail) {
+  storage::Error error;
+  error.op = "columnar";
+  error.path = path;
+  error.detail = std::move(detail);
+  return error;
+}
+
+}  // namespace
+
+void BlockStore::Reset(std::size_t n_blocks,
+                       const AvailabilityConfig& config) {
+  n_ = n_blocks;
+  config_ = config;
+
+  std::size_t cursor = 0;
+  const auto carve = [&cursor, n_blocks](std::size_t elem) {
+    const std::size_t offset = AlignUp(cursor);
+    cursor = offset + elem * n_blocks;
+    return offset;
+  };
+  prefix_off_ = carve(sizeof(std::uint32_t));
+  p_short_off_ = carve(sizeof(double));
+  t_short_off_ = carve(sizeof(double));
+  p_long_off_ = carve(sizeof(double));
+  t_long_off_ = carve(sizeof(double));
+  deviation_off_ = carve(sizeof(double));
+  rounds_off_ = carve(sizeof(std::int32_t));
+  probes_off_ = carve(sizeof(std::uint64_t));
+  positives_off_ = carve(sizeof(std::uint64_t));
+  down_rounds_off_ = carve(sizeof(std::int32_t));
+  flags_off_ = carve(sizeof(std::uint8_t));
+  classification_off_ = carve(sizeof(std::uint8_t));
+  ever_active_off_ = carve(sizeof(std::int32_t));
+  observed_days_off_ = carve(sizeof(std::int32_t));
+  mean_short_off_ = carve(sizeof(double));
+  final_operational_off_ = carve(sizeof(double));
+  mean_probes_off_ = carve(sizeof(double));
+
+  const std::size_t bytes = AlignUp(cursor);
+  arena_.reset(static_cast<std::uint8_t*>(
+      ::operator new(bytes == 0 ? 64 : bytes, std::align_val_t{64})));
+  std::memset(arena_.get(), 0, bytes == 0 ? 64 : bytes);
+
+  // Estimator columns start from the AvailabilityState defaults, not
+  // all-zero: t EWMAs at 1.0, deviation at the configured prior.
+  double* t_short = Column<double>(t_short_off_);
+  double* t_long = Column<double>(t_long_off_);
+  double* deviation = Column<double>(deviation_off_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    t_short[i] = 1.0;
+    t_long[i] = 1.0;
+    deviation[i] = config_.initial_deviation;
+  }
+}
+
+void BlockStore::SeedBlock(std::size_t i, std::uint32_t prefix_index,
+                           double initial_availability) noexcept {
+  Column<std::uint32_t>(prefix_off_)[i] = prefix_index;
+  const double seeded =
+      initial_availability < 0.0
+          ? 0.0
+          : (initial_availability > 1.0 ? 1.0 : initial_availability);
+  Column<double>(p_short_off_)[i] = seeded;
+  Column<double>(p_long_off_)[i] = seeded;
+  Column<double>(t_short_off_)[i] = 1.0;
+  Column<double>(t_long_off_)[i] = 1.0;
+  Column<double>(deviation_off_)[i] = config_.initial_deviation;
+  Column<std::int32_t>(rounds_off_)[i] = 0;
+}
+
+void BlockStore::Observe(std::size_t i, std::int32_t positives,
+                         std::int32_t total) noexcept {
+  const RoundSample sample{positives, total};
+  ObserveRound(i, i + 1, {&sample, 1});
+}
+
+void BlockStore::ObserveRound(std::size_t begin, std::size_t end,
+                              std::span<const RoundSample> samples) noexcept {
+  if (begin >= end || end > n_ || samples.size() < end - begin) return;
+  double* p_short = Column<double>(p_short_off_);
+  double* t_short = Column<double>(t_short_off_);
+  double* p_long = Column<double>(p_long_off_);
+  double* t_long = Column<double>(t_long_off_);
+  double* deviation = Column<double>(deviation_off_);
+  std::int32_t* rounds = Column<std::int32_t>(rounds_off_);
+  std::uint64_t* probes = Column<std::uint64_t>(probes_off_);
+  std::uint64_t* positives = Column<std::uint64_t>(positives_off_);
+  std::int32_t* down_rounds = Column<std::int32_t>(down_rounds_off_);
+
+  for (std::size_t i = begin; i < end; ++i) {
+    const RoundSample sample = samples[i - begin];
+    // Load the block's state into locals, run THE shared step, store
+    // back: same expressions as AvailabilityEstimator::Observe, so the
+    // trajectories agree to the bit (proven in block_store_test).
+    AvailabilityState state{p_short[i], t_short[i],    p_long[i],
+                            t_long[i],  deviation[i], rounds[i]};
+    AvailabilityObserve(state, config_, sample.positives, sample.total);
+    p_short[i] = state.p_short;
+    t_short[i] = state.t_short;
+    p_long[i] = state.p_long;
+    t_long[i] = state.t_long;
+    deviation[i] = state.deviation;
+    rounds[i] = state.rounds;
+    if (sample.total > 0) {
+      probes[i] += static_cast<std::uint64_t>(sample.total);
+      positives[i] += static_cast<std::uint64_t>(
+          sample.positives < 0 ? 0 : sample.positives);
+      if (sample.positives <= 0) ++down_rounds[i];
+    }
+  }
+}
+
+AvailabilityState BlockStore::ExportEstimator(std::size_t i) const noexcept {
+  return {Column<double>(p_short_off_)[i],   Column<double>(t_short_off_)[i],
+          Column<double>(p_long_off_)[i],    Column<double>(t_long_off_)[i],
+          Column<double>(deviation_off_)[i],
+          Column<std::int32_t>(rounds_off_)[i]};
+}
+
+void BlockStore::RestoreEstimator(std::size_t i,
+                                  const AvailabilityState& state) noexcept {
+  Column<double>(p_short_off_)[i] = state.p_short;
+  Column<double>(t_short_off_)[i] = state.t_short;
+  Column<double>(p_long_off_)[i] = state.p_long;
+  Column<double>(t_long_off_)[i] = state.t_long;
+  Column<double>(deviation_off_)[i] = state.deviation;
+  Column<std::int32_t>(rounds_off_)[i] = state.rounds;
+}
+
+double BlockStore::ShortTerm(std::size_t i) const noexcept {
+  const AvailabilityState state = ExportEstimator(i);
+  return AvailabilityShortTerm(state);
+}
+
+double BlockStore::Operational(std::size_t i) const noexcept {
+  const AvailabilityState state = ExportEstimator(i);
+  return AvailabilityOperational(state, config_);
+}
+
+void BlockStore::RecordVerdict(std::size_t i, const BlockVerdict& verdict,
+                               const AvailabilityState& estimator) noexcept {
+  Column<std::uint32_t>(prefix_off_)[i] = verdict.prefix_index;
+  std::uint8_t flags = 0;
+  if (verdict.probed) flags |= kBlockFlagProbed;
+  if (verdict.quarantined) flags |= kBlockFlagQuarantined;
+  if (verdict.stationary) flags |= kBlockFlagStationary;
+  Column<std::uint8_t>(flags_off_)[i] = flags;
+  Column<std::uint8_t>(classification_off_)[i] = verdict.classification;
+  Column<std::int32_t>(ever_active_off_)[i] = verdict.ever_active;
+  Column<std::int32_t>(observed_days_off_)[i] = verdict.observed_days;
+  Column<std::int32_t>(down_rounds_off_)[i] = verdict.down_rounds;
+  Column<double>(mean_short_off_)[i] = verdict.mean_short;
+  Column<double>(final_operational_off_)[i] = verdict.final_operational;
+  Column<double>(mean_probes_off_)[i] = verdict.mean_probes_per_round;
+  RestoreEstimator(i, estimator);
+}
+
+#define SLEEPWALK_COLUMN_SPAN(type, offset)                         \
+  std::span<const type> { Column<type>(offset), n_ }
+
+std::span<const std::uint32_t> BlockStore::prefix_index() const noexcept {
+  return SLEEPWALK_COLUMN_SPAN(std::uint32_t, prefix_off_);
+}
+std::span<const double> BlockStore::p_short() const noexcept {
+  return SLEEPWALK_COLUMN_SPAN(double, p_short_off_);
+}
+std::span<const double> BlockStore::t_short() const noexcept {
+  return SLEEPWALK_COLUMN_SPAN(double, t_short_off_);
+}
+std::span<const double> BlockStore::p_long() const noexcept {
+  return SLEEPWALK_COLUMN_SPAN(double, p_long_off_);
+}
+std::span<const double> BlockStore::t_long() const noexcept {
+  return SLEEPWALK_COLUMN_SPAN(double, t_long_off_);
+}
+std::span<const double> BlockStore::deviation() const noexcept {
+  return SLEEPWALK_COLUMN_SPAN(double, deviation_off_);
+}
+std::span<const std::int32_t> BlockStore::rounds() const noexcept {
+  return SLEEPWALK_COLUMN_SPAN(std::int32_t, rounds_off_);
+}
+std::span<const std::uint64_t> BlockStore::probes() const noexcept {
+  return SLEEPWALK_COLUMN_SPAN(std::uint64_t, probes_off_);
+}
+std::span<const std::uint64_t> BlockStore::positives() const noexcept {
+  return SLEEPWALK_COLUMN_SPAN(std::uint64_t, positives_off_);
+}
+std::span<const std::int32_t> BlockStore::down_rounds() const noexcept {
+  return SLEEPWALK_COLUMN_SPAN(std::int32_t, down_rounds_off_);
+}
+std::span<const std::uint8_t> BlockStore::flags() const noexcept {
+  return SLEEPWALK_COLUMN_SPAN(std::uint8_t, flags_off_);
+}
+std::span<const std::uint8_t> BlockStore::classification() const noexcept {
+  return SLEEPWALK_COLUMN_SPAN(std::uint8_t, classification_off_);
+}
+std::span<const std::int32_t> BlockStore::ever_active() const noexcept {
+  return SLEEPWALK_COLUMN_SPAN(std::int32_t, ever_active_off_);
+}
+std::span<const std::int32_t> BlockStore::observed_days() const noexcept {
+  return SLEEPWALK_COLUMN_SPAN(std::int32_t, observed_days_off_);
+}
+std::span<const double> BlockStore::mean_short() const noexcept {
+  return SLEEPWALK_COLUMN_SPAN(double, mean_short_off_);
+}
+std::span<const double> BlockStore::final_operational() const noexcept {
+  return SLEEPWALK_COLUMN_SPAN(double, final_operational_off_);
+}
+std::span<const double> BlockStore::mean_probes_per_round() const noexcept {
+  return SLEEPWALK_COLUMN_SPAN(double, mean_probes_off_);
+}
+
+#undef SLEEPWALK_COLUMN_SPAN
+
+namespace {
+
+template <typename T>
+std::uint64_t FoldColumn(std::uint64_t hash, std::span<const T> column) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(column.data());
+  return MixHash(hash, net::Crc32cOf({bytes, column.size_bytes()}),
+                 column.size());
+}
+
+}  // namespace
+
+std::uint64_t BlockStore::Digest() const noexcept {
+  std::uint64_t hash = MixHash(0x5ee9b10cULL, n_);
+  hash = FoldColumn(hash, prefix_index());
+  hash = FoldColumn(hash, p_short());
+  hash = FoldColumn(hash, t_short());
+  hash = FoldColumn(hash, p_long());
+  hash = FoldColumn(hash, t_long());
+  hash = FoldColumn(hash, deviation());
+  hash = FoldColumn(hash, rounds());
+  hash = FoldColumn(hash, probes());
+  hash = FoldColumn(hash, positives());
+  hash = FoldColumn(hash, down_rounds());
+  hash = FoldColumn(hash, flags());
+  hash = FoldColumn(hash, classification());
+  hash = FoldColumn(hash, ever_active());
+  hash = FoldColumn(hash, observed_days());
+  hash = FoldColumn(hash, mean_short());
+  hash = FoldColumn(hash, final_operational());
+  hash = FoldColumn(hash, mean_probes_per_round());
+  return hash;
+}
+
+std::vector<std::uint8_t> BlockStore::EncodeSnapshot(
+    std::uint64_t fingerprint, std::uint64_t rounds_done,
+    std::uint64_t checkpoints_written) const {
+  storage::ColumnarWriter writer(kStoreMagic, kStoreSnapshotKind,
+                                 fingerprint, checkpoints_written);
+  const std::uint64_t meta[2] = {rounds_done, checkpoints_written};
+  writer.AddTypedBorrowed<std::uint64_t>(kColMeta, meta);
+  writer.AddTypedBorrowed(kColPrefix, prefix_index());
+  writer.AddTypedBorrowed(kColPShort, p_short());
+  writer.AddTypedBorrowed(kColTShort, t_short());
+  writer.AddTypedBorrowed(kColPLong, p_long());
+  writer.AddTypedBorrowed(kColTLong, t_long());
+  writer.AddTypedBorrowed(kColDeviation, deviation());
+  writer.AddTypedBorrowed(kColRounds, rounds());
+  writer.AddTypedBorrowed(kColProbes, probes());
+  writer.AddTypedBorrowed(kColPositives, positives());
+  writer.AddTypedBorrowed(kColDownRounds, down_rounds());
+  writer.AddTypedBorrowed(kColFlags, flags());
+  writer.AddTypedBorrowed(kColClassification, classification());
+  writer.AddTypedBorrowed(kColEverActive, ever_active());
+  writer.AddTypedBorrowed(kColObservedDays, observed_days());
+  writer.AddTypedBorrowed(kColMeanShort, mean_short());
+  writer.AddTypedBorrowed(kColFinalOperational, final_operational());
+  writer.AddTypedBorrowed(kColMeanProbes, mean_probes_per_round());
+  return writer.Finish();
+}
+
+storage::Error BlockStore::DecodeSnapshot(
+    std::span<const std::uint8_t> file, std::uint64_t expect_fingerprint,
+    std::uint64_t& rounds_done, std::uint64_t& checkpoints_written,
+    const std::string& path) {
+  storage::ColumnarReader reader;
+  if (auto error = reader.Parse(file, kStoreMagic, path); !error.ok()) {
+    return error;
+  }
+  if (reader.kind() != kStoreSnapshotKind) {
+    return SnapshotError(path, "not a block-store snapshot (kind " +
+                                   std::to_string(reader.kind()) + ")");
+  }
+  if (reader.fingerprint() != expect_fingerprint) {
+    return SnapshotError(path, "campaign fingerprint mismatch");
+  }
+  std::span<const std::uint64_t> meta;
+  if (!reader.FetchTyped(kColMeta, 2, meta)) {
+    return SnapshotError(path, "META column missing or malformed");
+  }
+  const storage::ColumnarColumn* prefix = reader.Find(kColPrefix);
+  if (prefix == nullptr) {
+    return SnapshotError(path, "prefix column missing");
+  }
+  const std::uint64_t rows = prefix->rows;
+
+  std::span<const std::uint32_t> prefixes;
+  std::span<const double> p_short, t_short, p_long, t_long, deviation;
+  std::span<const double> mean_short, final_operational, mean_probes;
+  std::span<const std::int32_t> rounds, down_rounds, ever_active;
+  std::span<const std::int32_t> observed_days;
+  std::span<const std::uint64_t> probes, positives;
+  std::span<const std::uint8_t> flags, classification;
+  const bool complete =
+      reader.FetchTyped(kColPrefix, rows, prefixes) &&
+      reader.FetchTyped(kColPShort, rows, p_short) &&
+      reader.FetchTyped(kColTShort, rows, t_short) &&
+      reader.FetchTyped(kColPLong, rows, p_long) &&
+      reader.FetchTyped(kColTLong, rows, t_long) &&
+      reader.FetchTyped(kColDeviation, rows, deviation) &&
+      reader.FetchTyped(kColRounds, rows, rounds) &&
+      reader.FetchTyped(kColProbes, rows, probes) &&
+      reader.FetchTyped(kColPositives, rows, positives) &&
+      reader.FetchTyped(kColDownRounds, rows, down_rounds) &&
+      reader.FetchTyped(kColFlags, rows, flags) &&
+      reader.FetchTyped(kColClassification, rows, classification) &&
+      reader.FetchTyped(kColEverActive, rows, ever_active) &&
+      reader.FetchTyped(kColObservedDays, rows, observed_days) &&
+      reader.FetchTyped(kColMeanShort, rows, mean_short) &&
+      reader.FetchTyped(kColFinalOperational, rows, final_operational) &&
+      reader.FetchTyped(kColMeanProbes, rows, mean_probes);
+  if (!complete) {
+    return SnapshotError(path, "column set incomplete or row counts differ");
+  }
+
+  Reset(rows, config_);
+  const auto adopt = [this](auto offset, const auto& span) {
+    using Element = typename std::remove_cvref_t<decltype(span)>::element_type;
+    std::memcpy(Column<std::remove_const_t<Element>>(offset), span.data(),
+                span.size_bytes());
+  };
+  adopt(prefix_off_, prefixes);
+  adopt(p_short_off_, p_short);
+  adopt(t_short_off_, t_short);
+  adopt(p_long_off_, p_long);
+  adopt(t_long_off_, t_long);
+  adopt(deviation_off_, deviation);
+  adopt(rounds_off_, rounds);
+  adopt(probes_off_, probes);
+  adopt(positives_off_, positives);
+  adopt(down_rounds_off_, down_rounds);
+  adopt(flags_off_, flags);
+  adopt(classification_off_, classification);
+  adopt(ever_active_off_, ever_active);
+  adopt(observed_days_off_, observed_days);
+  adopt(mean_short_off_, mean_short);
+  adopt(final_operational_off_, final_operational);
+  adopt(mean_probes_off_, mean_probes);
+
+  rounds_done = meta[0];
+  checkpoints_written = meta[1];
+  return {};
+}
+
+}  // namespace sleepwalk::core

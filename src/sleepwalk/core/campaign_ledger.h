@@ -19,10 +19,13 @@
 #ifndef SLEEPWALK_CORE_CAMPAIGN_LEDGER_H_
 #define SLEEPWALK_CORE_CAMPAIGN_LEDGER_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "sleepwalk/core/block_analyzer.h"
+#include "sleepwalk/core/block_store.h"
 #include "sleepwalk/core/checkpoint.h"
 #include "sleepwalk/core/status.h"
 #include "sleepwalk/core/supervisor.h"
@@ -94,17 +97,32 @@ struct BlockCommit {
   bool quarantined = false;
   report::ResilienceStats delta;
   std::int64_t rounds_processed = 0;
+  /// Final EWMA estimator state at block completion, recorded into the
+  /// outcome's columnar BlockStore (and persisted by v3 checkpoints).
+  AvailabilityState estimator;
 };
+
+/// Maps a finished block's analysis to its fixed-width columnar verdict
+/// (core/block_store.h). Pure projection: both runners and the resume
+/// path must derive store rows from analyses through this one function
+/// so the columnar mirror is runner-independent.
+BlockVerdict VerdictOf(const BlockAnalysis& analysis, bool quarantined);
 
 /// Shared mutable campaign state; see the file comment. All methods are
 /// safe from any thread.
 class CampaignLedger {
  public:
-  explicit CampaignLedger(std::size_t n_targets) {
+  explicit CampaignLedger(std::size_t n_targets,
+                          const AvailabilityConfig& availability = {}) {
     outcome_.result.analyses.reserve(n_targets);
+    outcome_.store.Reset(n_targets, availability);
   }
 
-  /// Resume path: adopt everything a matching checkpoint carried.
+  /// Resume path: adopt everything a matching checkpoint carried. The
+  /// columnar store rows for adopted blocks are rebuilt through the
+  /// same VerdictOf projection a live commit uses; estimator columns
+  /// are exact when the checkpoint carried them (v3) and defaults
+  /// otherwise.
   void AdoptCheckpoint(Checkpoint& checkpoint) SLEEPWALK_EXCLUDES(mutex_) {
     util::MutexLock lock{mutex_};
     outcome_.result.analyses = std::move(checkpoint.completed);
@@ -112,6 +130,21 @@ class CampaignLedger {
     outcome_.stats = checkpoint.stats;
     for (const auto index : checkpoint.quarantined) {
       outcome_.quarantined.push_back(net::Prefix24::FromIndex(index));
+    }
+    const auto& analyses = outcome_.result.analyses;
+    for (std::size_t i = 0; i < analyses.size(); ++i) {
+      if (i >= outcome_.store.size()) break;  // foreign-sized checkpoint
+      const bool quarantined =
+          std::find(checkpoint.quarantined.begin(),
+                    checkpoint.quarantined.end(),
+                    analyses[i].block.Index()) != checkpoint.quarantined.end();
+      // v2 checkpoints never persisted estimator state; keep the
+      // Reset-seeded defaults rather than clobbering them with zeros.
+      const AvailabilityState estimator =
+          i < checkpoint.estimators.size() ? checkpoint.estimators[i]
+                                           : outcome_.store.ExportEstimator(i);
+      outcome_.store.RecordVerdict(i, VerdictOf(analyses[i], quarantined),
+                                   estimator);
     }
     outcome_.resumed = true;
     outcome_.stats.resumed_from_checkpoint = true;
@@ -149,11 +182,18 @@ class CampaignLedger {
     outcome_.quarantined.push_back(block);
   }
 
-  /// Classifies and appends a finished block's analysis.
-  void FinishBlock(BlockAnalysis analysis, bool quarantined)
+  /// Classifies and appends a finished block's analysis, mirroring it
+  /// into the columnar store (row = position in the completion order).
+  void FinishBlock(BlockAnalysis analysis, bool quarantined,
+                   const AvailabilityState& estimator = {})
       SLEEPWALK_EXCLUDES(mutex_) {
     util::MutexLock lock{mutex_};
     ClassifyAnalysis(analysis, quarantined, outcome_.result.counts);
+    const std::size_t row = outcome_.result.analyses.size();
+    if (row < outcome_.store.size()) {
+      outcome_.store.RecordVerdict(row, VerdictOf(analysis, quarantined),
+                                   estimator);
+    }
     outcome_.result.analyses.push_back(std::move(analysis));
   }
 
@@ -167,6 +207,12 @@ class CampaignLedger {
     util::MutexLock lock{mutex_};
     ClassifyAnalysis(commit.analysis, commit.quarantined,
                      outcome_.result.counts);
+    const std::size_t row = outcome_.result.analyses.size();
+    if (row < outcome_.store.size()) {
+      outcome_.store.RecordVerdict(
+          row, VerdictOf(commit.analysis, commit.quarantined),
+          commit.estimator);
+    }
     outcome_.result.analyses.push_back(std::move(commit.analysis));
     if (commit.quarantined) outcome_.quarantined.push_back(commit.block);
     outcome_.stats.Merge(commit.delta);
@@ -200,6 +246,14 @@ class CampaignLedger {
     checkpoint.fingerprint = fingerprint;
     checkpoint.counts = outcome_.result.counts;
     checkpoint.completed = outcome_.result.analyses;
+    // Per-completed-block estimator state rides along (v3 containers
+    // persist it; the v2 encoder ignores it, its layout being frozen).
+    const std::size_t n_estimators =
+        std::min(checkpoint.completed.size(), outcome_.store.size());
+    checkpoint.estimators.reserve(n_estimators);
+    for (std::size_t i = 0; i < n_estimators; ++i) {
+      checkpoint.estimators.push_back(outcome_.store.ExportEstimator(i));
+    }
     for (const auto& block : outcome_.quarantined) {
       checkpoint.quarantined.push_back(block.Index());
     }

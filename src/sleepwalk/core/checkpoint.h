@@ -33,8 +33,10 @@
 // the newest intact generation when the primary file is damaged,
 // quarantining the corrupt file as <name>.corrupt for post-mortem.
 //
-// v1 files (the pre-checksum format) are still readable; the writer
-// emits v2 only. The fingerprint binds a checkpoint to its campaign:
+// v1 files (the pre-checksum format) are still readable, and so are
+// SLCK v3 columnar containers (storage/columnar.h) — the paper-scale
+// layout a campaign opts into with checkpoint_format = 3. The
+// fingerprint binds a checkpoint to its campaign:
 // resuming with different targets, rounds, seed, or schedule is refused
 // rather than silently producing a franken-dataset. The generation
 // number is the checkpoint's own checkpoints_written count, so crashed
@@ -56,8 +58,18 @@
 
 namespace sleepwalk::core {
 
-/// Checkpoint format version; bump on any layout change.
+/// Row-oriented checkpoint format version; bump on any layout change.
 inline constexpr std::uint32_t kCheckpointVersion = 2;
+
+/// Columnar checkpoint format version (the storage/columnar.h container,
+/// kind kCheckpointKind). Same magic and trust discipline as v2 but the
+/// COMPLETED section becomes fixed-width per-block columns plus three
+/// concatenated blobs (series values, outage starts, outage episodes),
+/// so a paper-scale checkpoint loads through storage::Env::Map with one
+/// bulk copy per column instead of one decode per field per record.
+/// Campaigns opt in via SupervisorConfig::checkpoint_format = 3; the
+/// decoder handles v1, v2, and v3 transparently.
+inline constexpr std::uint32_t kCheckpointVersionColumnar = 3;
 
 /// Everything a resumed campaign needs.
 struct Checkpoint {
@@ -65,6 +77,11 @@ struct Checkpoint {
   DiurnalCounts counts;
   report::ResilienceStats stats;
   std::vector<BlockAnalysis> completed;
+  /// Final estimator state per completed block, parallel to `completed`.
+  /// Persisted by v3 containers only (v2's layout is frozen); empty
+  /// after a v1/v2 decode. Feeds the outcome's columnar BlockStore so a
+  /// v3-resumed campaign reproduces the estimator columns exactly.
+  std::vector<AvailabilityState> estimators;
   std::vector<std::uint32_t> quarantined;  ///< prefix indices abandoned
   std::uint64_t next_block = 0;  ///< index of the first unfinished target
 
@@ -107,8 +124,20 @@ std::uint64_t CampaignFingerprint(const std::vector<BlockTarget>& targets,
 /// checkpoint's own stats.checkpoints_written.
 std::vector<std::uint8_t> EncodeCheckpoint(const Checkpoint& checkpoint);
 
-/// Decodes SLCK v1 or v2 bytes; nullopt on bad magic, version mismatch,
-/// truncation, or any section CRC failure (details in `report`).
+/// Serializes `checkpoint` as an SLCK v3 columnar container (generation
+/// = stats.checkpoints_written, like v2). Deterministic: two equal
+/// checkpoints encode byte-identically, so resumed and uninterrupted
+/// timelines still converge to the same file.
+std::vector<std::uint8_t> EncodeCheckpointColumnar(
+    const Checkpoint& checkpoint);
+
+/// Dispatches on `format` (kCheckpointVersion or
+/// kCheckpointVersionColumnar; anything else falls back to v2).
+std::vector<std::uint8_t> EncodeCheckpointAs(const Checkpoint& checkpoint,
+                                             std::uint32_t format);
+
+/// Decodes SLCK v1, v2, or v3 bytes; nullopt on bad magic, version
+/// mismatch, truncation, or any CRC failure (details in `report`).
 std::optional<Checkpoint> DecodeCheckpoint(
     std::span<const std::uint8_t> bytes,
     CheckpointLoadReport* report = nullptr);
@@ -137,8 +166,12 @@ std::optional<Checkpoint> ReadCheckpoint(const std::string& path);
 /// when it is corrupt — the self-healing path.
 class CheckpointStore {
  public:
-  /// `keep` <= 1 disables rotation (primary file only).
-  CheckpointStore(storage::Env& env, std::string path, int keep);
+  /// `keep` <= 1 disables rotation (primary file only). `format` picks
+  /// the on-disk encoding Save() writes (kCheckpointVersion or
+  /// kCheckpointVersionColumnar); Load() reads either regardless, so a
+  /// campaign can switch formats across restarts.
+  CheckpointStore(storage::Env& env, std::string path, int keep,
+                  std::uint32_t format = kCheckpointVersion);
 
   /// Durably persists `checkpoint` and rotates generations.
   storage::Error Save(const Checkpoint& checkpoint);
@@ -165,6 +198,7 @@ class CheckpointStore {
   std::string dir_;
   std::string base_;  ///< file name of `path_` within `dir_`
   int keep_;
+  std::uint32_t format_;
 };
 
 }  // namespace sleepwalk::core

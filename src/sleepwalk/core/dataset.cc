@@ -184,6 +184,10 @@ std::vector<std::uint8_t> EncodeDataset(std::span<const BlockAnalysis> analyses,
   out.PutBytes(std::span{reinterpret_cast<const std::uint8_t*>(kMagic),
                          sizeof(kMagic)});
   ByteWriter header;
+  // Exact header size up front: one u32 + two i64 + one u64. Also
+  // placates GCC 12's -Wstringop-overflow, which at -O3 loses track of
+  // vector regrowth across consecutive Put() calls.
+  header.Reserve(sizeof(std::uint32_t) + 3 * sizeof(std::uint64_t));
   header.Put(kDatasetVersion);
   header.Put(round_seconds);
   header.Put(epoch_sec);

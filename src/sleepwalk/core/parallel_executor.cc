@@ -322,6 +322,7 @@ BlockResult RunBlock(std::size_t index, BlockTarget& target,
     analyzer.Finish(scratch, out.commit.analysis);
   }
 
+  out.commit.estimator = analyzer.ExportState().estimator;
   out.commit.block = target.block;
   out.commit.quarantined = quarantined;
   out.commit.delta = delta;
@@ -347,7 +348,7 @@ CampaignOutcome RunParallelCampaign(std::vector<BlockTarget> targets,
                                     std::int64_t n_rounds,
                                     const SupervisorConfig& config,
                                     const ParallelConfig& parallel) {
-  CampaignLedger ledger{targets.size()};
+  CampaignLedger ledger{targets.size(), config.analyzer.availability};
 
   const std::uint64_t fingerprint =
       CampaignFingerprint(targets, n_rounds, config.seed, config.analyzer);
@@ -384,7 +385,7 @@ CampaignOutcome RunParallelCampaign(std::vector<BlockTarget> targets,
                                    ? storage::InstrumentedEnv::NowNsFn{}
                                    : MonotonicNowNs};
   CheckpointStore store{env, config.checkpoint_path,
-                        config.checkpoint_keep};
+                        config.checkpoint_keep, config.checkpoint_format};
   // Wall nanoseconds spent inside checkpoint saves — the numerator of the
   // live durability-tax readout in /statusz.
   std::atomic<std::uint64_t> checkpoint_wall_ns{0};

@@ -1,0 +1,151 @@
+#include "sleepwalk/core/store_campaign.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace sleepwalk::core {
+
+namespace {
+
+/// Seeds every block: prefix indices are just 0..n-1 (the synthetic
+/// world), initial availability a per-block hash in [0, 1).
+void SeedStore(BlockStore& store, const StoreCampaignConfig& config) {
+  store.Reset(config.n_blocks, config.availability);
+  for (std::size_t i = 0; i < config.n_blocks; ++i) {
+    const auto prefix = static_cast<std::uint32_t>(i);
+    const std::uint64_t hash = MixHash(config.seed ^ 0xb10c5eedULL, prefix);
+    const double initial =
+        static_cast<double>(hash & 0xffff) / 65536.0;
+    store.SeedBlock(i, prefix, initial);
+  }
+}
+
+/// One worker's share of a segment: rounds [first, last) over blocks
+/// [begin, end). Samples are regenerated per round into a worker-local
+/// buffer, then applied with the batched kernel.
+void RunWorker(BlockStore& store, const StoreCampaignConfig& config,
+               std::size_t begin, std::size_t end, std::int64_t first,
+               std::int64_t last) {
+  std::vector<RoundSample> samples(end - begin);
+  const auto prefixes = store.prefix_index();
+  for (std::int64_t round = first; round < last; ++round) {
+    for (std::size_t i = begin; i < end; ++i) {
+      samples[i - begin] =
+          SyntheticRoundSample(config.seed, prefixes[i], round);
+    }
+    store.ObserveRound(begin, end, samples);
+  }
+}
+
+/// Runs rounds [first, last) across all blocks with `workers` threads
+/// owning contiguous ranges; serial when workers <= 1.
+void RunSegment(BlockStore& store, const StoreCampaignConfig& config,
+                std::int64_t first, std::int64_t last) {
+  const std::size_t n = store.size();
+  const int workers =
+      std::max(1, std::min(config.workers,
+                           static_cast<int>(n == 0 ? 1 : n)));
+  if (workers == 1) {
+    RunWorker(store, config, 0, n, first, last);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (int w = 0; w < workers; ++w) {
+    const std::size_t begin = std::min(n, w * chunk);
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&store, &config, begin, end, first, last] {
+      RunWorker(store, config, begin, end, first, last);
+    });
+  }
+  for (auto& thread : pool) thread.join();
+}
+
+}  // namespace
+
+std::uint64_t StoreCampaignFingerprint(const StoreCampaignConfig& config) {
+  // Worker count and checkpoint cadence are deliberately excluded: a
+  // snapshot is a valid resume point for any parallelism or stride.
+  std::uint64_t hash =
+      MixHash(config.seed, config.n_blocks,
+              static_cast<std::uint64_t>(config.n_rounds));
+  const auto& a = config.availability;
+  hash = MixHash(hash, static_cast<std::uint64_t>(a.alpha_short * 1e9),
+                 static_cast<std::uint64_t>(a.alpha_long * 1e9));
+  return MixHash(hash,
+                 static_cast<std::uint64_t>(a.operational_floor * 1e9),
+                 static_cast<std::uint64_t>(a.initial_deviation * 1e9));
+}
+
+StoreCampaignOutcome RunStoreCampaign(BlockStore& store,
+                                      const StoreCampaignConfig& config) {
+  StoreCampaignOutcome outcome;
+  storage::Env& env =
+      config.env != nullptr ? *config.env : storage::RealEnvInstance();
+  const std::uint64_t fingerprint = StoreCampaignFingerprint(config);
+  const bool checkpointing = !config.checkpoint_path.empty();
+
+  std::int64_t rounds_done = 0;
+  std::uint64_t checkpoints_written = 0;
+
+  if (checkpointing && env.Exists(config.checkpoint_path)) {
+    // Zero-copy resume: map the snapshot, adopt columns in place. A
+    // mismatched fingerprint or corrupt file means a fresh start (the
+    // snapshot belongs to some other campaign), never a franken-resume.
+    storage::MappedRegion region;
+    if (auto error = env.Map(config.checkpoint_path, region); error.ok()) {
+      store.Reset(0, config.availability);
+      std::uint64_t done = 0;
+      std::uint64_t written = 0;
+      if (store
+              .DecodeSnapshot(region.bytes(), fingerprint, done, written,
+                              config.checkpoint_path)
+              .ok() &&
+          store.size() == config.n_blocks) {
+        rounds_done = static_cast<std::int64_t>(done);
+        checkpoints_written = written;
+        outcome.resumed = true;
+      }
+    }
+  }
+  if (!outcome.resumed) SeedStore(store, config);
+
+  const std::int64_t stride = config.checkpoint_every_rounds > 0
+                                  ? config.checkpoint_every_rounds
+                                  : config.n_rounds;
+  while (rounds_done < config.n_rounds) {
+    const std::int64_t last =
+        std::min(config.n_rounds,
+                 stride > 0 ? rounds_done + stride : config.n_rounds);
+    RunSegment(store, config, rounds_done, last);
+    rounds_done = last;
+
+    if (checkpointing) {
+      ++checkpoints_written;  // write-ahead self-count, like SLCK v2
+      const auto image =
+          store.EncodeSnapshot(fingerprint, rounds_done, checkpoints_written);
+      if (auto error =
+              storage::AtomicWrite(env, config.checkpoint_path, image);
+          !error.ok()) {
+        --checkpoints_written;
+        if (outcome.error.empty()) outcome.error = error.ToString();
+      }
+    }
+    if (config.stop_after_rounds > 0 &&
+        rounds_done >= config.stop_after_rounds &&
+        rounds_done < config.n_rounds) {
+      outcome.stopped_early = true;
+      break;
+    }
+  }
+
+  outcome.rounds_done = rounds_done;
+  outcome.checkpoints_written = checkpoints_written;
+  outcome.digest = store.Digest();
+  return outcome;
+}
+
+}  // namespace sleepwalk::core

@@ -38,7 +38,7 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
                                      net::Transport& transport,
                                      std::int64_t n_rounds,
                                      const SupervisorConfig& config) {
-  CampaignLedger ledger{targets.size()};
+  CampaignLedger ledger{targets.size(), config.analyzer.availability};
 
   const std::uint64_t fingerprint =
       CampaignFingerprint(targets, n_rounds, config.seed, config.analyzer);
@@ -83,7 +83,7 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
       base_env, obs,
       deterministic ? storage::InstrumentedEnv::NowNsFn{} : MonotonicNowNs};
   CheckpointStore store{env, config.checkpoint_path,
-                        config.checkpoint_keep};
+                        config.checkpoint_keep, config.checkpoint_format};
 
   // Wall time spent inside checkpoint writes, for the live
   // durability-tax readout. Read only by the status provider below —
@@ -354,7 +354,8 @@ CampaignOutcome RunResilientCampaign(std::vector<BlockTarget> targets,
     }
 
     analyzer.Finish(analysis_scratch, finished);
-    ledger.FinishBlock(finished, quarantined);
+    ledger.FinishBlock(finished, quarantined,
+                       analyzer.ExportState().estimator);
     const bool boundary_due =
         config.checkpoint_every_blocks <= 1 ||
         (i + 1) % static_cast<std::size_t>(config.checkpoint_every_blocks) ==

@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "sleepwalk/core/block_store.h"
 #include "sleepwalk/core/checkpoint.h"
 #include "sleepwalk/core/pipeline.h"
 #include "sleepwalk/obs/context.h"
@@ -73,6 +74,11 @@ struct SupervisorConfig {
   /// self-heals from the newest intact generation. <= 1 keeps only the
   /// primary file (no rotation, no self-healing).
   int checkpoint_keep = 3;
+  /// On-disk checkpoint encoding: kCheckpointVersion (2, row-oriented)
+  /// or kCheckpointVersionColumnar (3, the page-aligned columnar
+  /// container loaded zero-copy through storage::Env::Map — the right
+  /// choice at paper scale). Resume reads either format regardless.
+  std::uint32_t checkpoint_format = kCheckpointVersion;
   /// Filesystem seam all persistence goes through; null means the real
   /// POSIX filesystem. Tests inject storage::MemEnv or storage::FaultyEnv
   /// here to prove crash safety.
@@ -123,6 +129,12 @@ struct CampaignOutcome {
   RecoveryEvents recovery;     ///< checkpoint corruption/self-heal events
   bool resumed = false;        ///< picked up from a checkpoint
   bool stopped_early = false;  ///< hit stop_after_rounds; result partial
+  /// Columnar mirror of the outcome: row i is result.analyses[i]'s
+  /// verdict and final estimator state (core/block_store.h), sized to
+  /// the full target list (rows past analyses.size() are defaults when
+  /// the campaign stopped early). Estimator columns for resumed blocks
+  /// are exact when the checkpoint was v3 (v2 never persisted them).
+  BlockStore store;
 };
 
 /// Runs (or resumes) a hardened campaign over `targets` through

@@ -2,6 +2,11 @@
 
 #include <cstring>
 
+#if defined(__x86_64__) || defined(_M_X64)
+#include <nmmintrin.h>
+#define SLEEPWALK_CRC32C_X86 1
+#endif
+
 namespace sleepwalk::net {
 
 void InternetChecksum::Add(std::span<const std::uint8_t> data) noexcept {
@@ -65,10 +70,45 @@ struct Crc32cTables {
 
 constexpr Crc32cTables kCrc32c{};
 
+#if SLEEPWALK_CRC32C_X86
+/// SSE4.2 CRC32 instruction path: one `crc32q` per 8 bytes runs an
+/// order of magnitude ahead of the table fold and dominates the v3
+/// snapshot encode at paper scale (10 MB images every checkpoint
+/// stride). Same polynomial, same result — only the throughput
+/// changes. Selected once at startup via cpuid.
+__attribute__((target("sse4.2"))) std::uint32_t AddHw(
+    std::uint32_t crc, const std::uint8_t* p, std::size_t n) noexcept {
+  std::uint64_t state = crc;
+  while (n >= 8) {
+    std::uint64_t chunk = 0;
+    std::memcpy(&chunk, p, sizeof(chunk));
+    state = _mm_crc32_u64(state, chunk);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<std::uint32_t>(state);
+  for (; n > 0; ++p, --n) {
+    crc = _mm_crc32_u8(crc, *p);
+  }
+  return crc;
+}
+
+bool HaveHwCrc() noexcept {
+  static const bool have = __builtin_cpu_supports("sse4.2");
+  return have;
+}
+#endif
+
 }  // namespace
 
 void Crc32c::Add(std::span<const std::uint8_t> data) noexcept {
   std::uint32_t crc = state_;
+#if SLEEPWALK_CRC32C_X86
+  if (HaveHwCrc()) {
+    state_ = AddHw(crc, data.data(), data.size());
+    return;
+  }
+#endif
   const std::uint8_t* p = data.data();
   std::size_t n = data.size();
   while (n >= 8) {

@@ -28,9 +28,11 @@ class ByteWriter {
   void Put(T value) {
     static_assert(std::is_trivially_copyable_v<T>,
                   "Put() serializes plain scalar types");
-    const auto offset = buffer_.size();
-    buffer_.resize(offset + sizeof(value));
-    std::memcpy(buffer_.data() + offset, &value, sizeof(value));
+    // Pointer-range insert, not resize+memcpy: identical codegen, but
+    // the resize path's value-init trips GCC 12 -Wstringop-overflow
+    // false positives when inlined into large encoders at -O3.
+    const auto* raw = reinterpret_cast<const std::uint8_t*>(&value);
+    buffer_.insert(buffer_.end(), raw, raw + sizeof(value));
   }
 
   void PutBytes(std::span<const std::uint8_t> data) {

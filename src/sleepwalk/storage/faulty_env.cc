@@ -154,4 +154,12 @@ std::vector<std::string> FaultyEnv::List(const std::string& dir) {
   return base_.List(dir);
 }
 
+Error FaultyEnv::Map(const std::string& path, MappedRegion& out) {
+  if (auto error = Consult(failpoints_, "storage.map", "map", path);
+      !error.ok()) {
+    return error;
+  }
+  return base_.Map(path, out);
+}
+
 }  // namespace sleepwalk::storage

@@ -5,7 +5,7 @@
 //
 //   storage.create   storage.append   storage.sync    storage.close
 //   storage.rename   storage.link     storage.remove  storage.syncdir
-//   storage.read
+//   storage.read     storage.map
 //
 // plus the `*` wildcard, whose ordinal counts every operation in
 // sequence — the hook the exhaustive crash-point sweep uses: dry-run a
@@ -47,6 +47,7 @@ class FaultyEnv final : public Env {
   bool Exists(const std::string& path) override;
   Error SyncDir(const std::string& dir) override;
   std::vector<std::string> List(const std::string& dir) override;
+  Error Map(const std::string& path, MappedRegion& out) override;
 
   util::FailpointSet& failpoints() noexcept { return failpoints_; }
 

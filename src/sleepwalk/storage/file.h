@@ -41,6 +41,43 @@ struct Error {
   std::string ToString() const;
 };
 
+/// A read-only view of a whole file, either zero-copy (mmap, RealEnv)
+/// or an owned heap copy (the portable fallback every other Env uses).
+/// Movable, not copyable; unmaps/frees on destruction. The bytes are
+/// immutable and stay valid for the region's lifetime — columnar
+/// readers (storage/columnar.h) hand out typed spans into them.
+class MappedRegion {
+ public:
+  MappedRegion() = default;
+  ~MappedRegion() { Reset(); }
+  MappedRegion(MappedRegion&& other) noexcept { *this = std::move(other); }
+  MappedRegion& operator=(MappedRegion&& other) noexcept;
+  MappedRegion(const MappedRegion&) = delete;
+  MappedRegion& operator=(const MappedRegion&) = delete;
+
+  std::span<const std::uint8_t> bytes() const noexcept {
+    return {data_, size_};
+  }
+  std::size_t size() const noexcept { return size_; }
+  /// True when the bytes are a live mmap rather than a heap copy.
+  bool zero_copy() const noexcept { return map_base_ != nullptr; }
+
+  /// Releases the mapping / copy; bytes() becomes empty.
+  void Reset() noexcept;
+
+  /// Takes ownership of an existing mmap (munmap'd on Reset).
+  void AdoptMapping(void* base, std::size_t length) noexcept;
+  /// Takes ownership of a heap copy (the ReadAll fallback).
+  void AdoptCopy(std::vector<std::uint8_t> bytes) noexcept;
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* map_base_ = nullptr;  ///< munmap target; null for copies
+  std::size_t map_length_ = 0;
+  std::vector<std::uint8_t> owned_;
+};
+
 /// An open file being written sequentially.
 class WritableFile {
  public:
@@ -76,6 +113,16 @@ class Env {
   virtual Error SyncDir(const std::string& dir) = 0;
   /// Names (not paths) of the directory's entries, sorted.
   virtual std::vector<std::string> List(const std::string& dir) = 0;
+
+  /// Maps the whole file read-only into `out`. RealEnv overrides this
+  /// with a true zero-copy mmap; the base implementation (MemEnv and
+  /// any decorator's inner fallback) degrades to ReadAll + an owned
+  /// copy, so every Env satisfies the same contract and callers never
+  /// branch on capability. The region's bytes reflect the file at call
+  /// time; concurrent rewrites of the same *path* are safe because
+  /// AtomicWrite replaces via rename and the old inode stays alive
+  /// under the mapping.
+  virtual Error Map(const std::string& path, MappedRegion& out);
 };
 
 /// The process-wide POSIX environment.

@@ -63,6 +63,8 @@ InstrumentedEnv::InstrumentedEnv(Env& inner, const obs::Context& context,
                                    "WritableFile::Append calls");
   syncs_ = context.CounterOrNull("storage_syncs_total", "file fsyncs");
   reads_ = context.CounterOrNull("storage_reads_total", "whole-file reads");
+  maps_ = context.CounterOrNull("storage_maps_total",
+                                "whole-file read-only mappings");
   renames_ = context.CounterOrNull("storage_renames_total",
                                    "atomic rename commits");
   links_ = context.CounterOrNull("storage_links_total",
@@ -140,6 +142,16 @@ Error InstrumentedEnv::SyncDir(const std::string& dir) {
 
 std::vector<std::string> InstrumentedEnv::List(const std::string& dir) {
   return inner_.List(dir);
+}
+
+Error InstrumentedEnv::Map(const std::string& path, MappedRegion& out) {
+  if (maps_ != nullptr) maps_->Inc();
+  const Error error = inner_.Map(path, out);
+  if (error.ok() && bytes_read_ != nullptr) {
+    bytes_read_->Inc(static_cast<double>(out.size()));
+  }
+  NoteError(error);
+  return error;
 }
 
 }  // namespace sleepwalk::storage

@@ -51,6 +51,7 @@ class InstrumentedEnv final : public Env {
   bool Exists(const std::string& path) override;
   Error SyncDir(const std::string& dir) override;
   std::vector<std::string> List(const std::string& dir) override;
+  Error Map(const std::string& path, MappedRegion& out) override;
 
  private:
   friend class InstrumentedFile;
@@ -65,6 +66,7 @@ class InstrumentedEnv final : public Env {
   obs::Counter* appends_ = nullptr;
   obs::Counter* syncs_ = nullptr;
   obs::Counter* reads_ = nullptr;
+  obs::Counter* maps_ = nullptr;
   obs::Counter* renames_ = nullptr;
   obs::Counter* links_ = nullptr;
   obs::Counter* removes_ = nullptr;

@@ -1,0 +1,312 @@
+// The columnar BlockStore and the paper-scale store campaign
+// (core/block_store.h, core/store_campaign.h): the batched estimator
+// kernel must be bitwise identical to the scalar AvailabilityEstimator,
+// v3 snapshots must round-trip byte-exactly and refuse hostile or
+// mismatched files, and a killed store campaign must resume — at any
+// worker count — to columns byte-identical to an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sleepwalk/core/availability.h"
+#include "sleepwalk/core/block_store.h"
+#include "sleepwalk/core/checkpoint.h"
+#include "sleepwalk/core/store_campaign.h"
+#include "sleepwalk/storage/file.h"
+#include "sleepwalk/util/rng.h"
+
+namespace sleepwalk {
+namespace {
+
+using core::AvailabilityConfig;
+using core::AvailabilityEstimator;
+using core::AvailabilityState;
+using core::BlockStore;
+using core::BlockVerdict;
+using core::RoundSample;
+using core::StoreCampaignConfig;
+using core::SyntheticRoundSample;
+using storage::MemEnv;
+
+TEST(BlockStore, BatchedKernelMatchesScalarEstimatorBitwise) {
+  // 64 blocks, 500 rounds, deliberately varied priors. The SoA batched
+  // loop must reproduce AvailabilityEstimator's doubles bit-for-bit —
+  // same expressions, same order (the shared AvailabilityObserve body).
+  constexpr std::size_t kBlocks = 64;
+  constexpr std::int64_t kRounds = 500;
+  AvailabilityConfig config;
+  config.initial_deviation = 0.07;
+
+  BlockStore store;
+  store.Reset(kBlocks, config);
+  std::vector<AvailabilityEstimator> scalars;
+  for (std::size_t i = 0; i < kBlocks; ++i) {
+    const double prior = 0.1 + 0.8 * static_cast<double>(i) / kBlocks;
+    store.SeedBlock(i, static_cast<std::uint32_t>(i * 7), prior);
+    scalars.emplace_back(prior, config);
+  }
+
+  std::vector<RoundSample> round(kBlocks);
+  for (std::int64_t r = 0; r < kRounds; ++r) {
+    for (std::size_t i = 0; i < kBlocks; ++i) {
+      round[i] = SyntheticRoundSample(0xabc, static_cast<std::uint32_t>(i * 7),
+                                      r);
+      scalars[i].Observe(round[i].positives, round[i].total);
+    }
+    store.ObserveRound(0, kBlocks, round);
+  }
+
+  for (std::size_t i = 0; i < kBlocks; ++i) {
+    const AvailabilityState state = store.ExportEstimator(i);
+    const AvailabilityState expect = scalars[i].ExportState();
+    // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the contract is bitwise.
+    EXPECT_EQ(state.p_short, expect.p_short) << "block " << i;
+    EXPECT_EQ(state.t_short, expect.t_short) << "block " << i;
+    EXPECT_EQ(state.p_long, expect.p_long) << "block " << i;
+    EXPECT_EQ(state.t_long, expect.t_long) << "block " << i;
+    EXPECT_EQ(state.deviation, expect.deviation) << "block " << i;
+    EXPECT_EQ(state.rounds, expect.rounds) << "block " << i;
+    EXPECT_EQ(store.ShortTerm(i), scalars[i].ShortTerm()) << "block " << i;
+    EXPECT_EQ(store.Operational(i), scalars[i].Operational()) << "block " << i;
+  }
+}
+
+TEST(BlockStore, ScalarObserveMatchesBatchedRound) {
+  AvailabilityConfig config;
+  BlockStore batched;
+  BlockStore scalar;
+  batched.Reset(8, config);
+  scalar.Reset(8, config);
+  for (std::size_t i = 0; i < 8; ++i) {
+    batched.SeedBlock(i, static_cast<std::uint32_t>(i), 0.5);
+    scalar.SeedBlock(i, static_cast<std::uint32_t>(i), 0.5);
+  }
+  std::vector<RoundSample> round(8);
+  for (std::int64_t r = 0; r < 50; ++r) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      round[i] = SyntheticRoundSample(1, static_cast<std::uint32_t>(i), r);
+      scalar.Observe(i, round[i].positives, round[i].total);
+    }
+    batched.ObserveRound(0, 8, round);
+  }
+  EXPECT_EQ(batched.Digest(), scalar.Digest());
+}
+
+TEST(BlockStore, RecordVerdictSetsFlagsAndColumns) {
+  BlockStore store;
+  store.Reset(4);
+  BlockVerdict verdict;
+  verdict.prefix_index = 1234;
+  verdict.probed = true;
+  verdict.quarantined = false;
+  verdict.stationary = true;
+  verdict.classification = 2;
+  verdict.ever_active = 99;
+  verdict.observed_days = 14;
+  verdict.down_rounds = 3;
+  verdict.mean_short = 0.625;
+  verdict.final_operational = 0.5;
+  verdict.mean_probes_per_round = 4.25;
+  AvailabilityState estimator;
+  estimator.p_short = 0.25;
+  estimator.rounds = 77;
+  store.RecordVerdict(2, verdict, estimator);
+
+  EXPECT_EQ(store.prefix_index()[2], 1234u);
+  EXPECT_EQ(store.flags()[2],
+            core::kBlockFlagProbed | core::kBlockFlagStationary);
+  EXPECT_EQ(store.classification()[2], 2);
+  EXPECT_EQ(store.ever_active()[2], 99);
+  EXPECT_EQ(store.observed_days()[2], 14);
+  EXPECT_EQ(store.down_rounds()[2], 3);
+  EXPECT_EQ(store.mean_short()[2], 0.625);
+  EXPECT_EQ(store.final_operational()[2], 0.5);
+  EXPECT_EQ(store.mean_probes_per_round()[2], 4.25);
+  EXPECT_EQ(store.ExportEstimator(2).p_short, 0.25);
+  EXPECT_EQ(store.ExportEstimator(2).rounds, 77);
+  // Neighbours untouched.
+  EXPECT_EQ(store.flags()[1], 0);
+  EXPECT_EQ(store.prefix_index()[3], 0u);
+}
+
+TEST(BlockStore, SnapshotRoundTripsByteIdentically) {
+  BlockStore store;
+  store.Reset(300);
+  std::vector<RoundSample> round(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    store.SeedBlock(i, static_cast<std::uint32_t>(i), 0.4);
+  }
+  for (std::int64_t r = 0; r < 40; ++r) {
+    for (std::size_t i = 0; i < 300; ++i) {
+      round[i] = SyntheticRoundSample(9, static_cast<std::uint32_t>(i), r);
+    }
+    store.ObserveRound(0, 300, round);
+  }
+
+  const auto image = store.EncodeSnapshot(0xf00d, 40, 2);
+  EXPECT_EQ(image, store.EncodeSnapshot(0xf00d, 40, 2))
+      << "snapshot encode must be deterministic";
+
+  BlockStore restored;
+  std::uint64_t rounds_done = 0;
+  std::uint64_t checkpoints_written = 0;
+  ASSERT_TRUE(restored
+                  .DecodeSnapshot(image, 0xf00d, rounds_done,
+                                  checkpoints_written)
+                  .ok());
+  EXPECT_EQ(rounds_done, 40u);
+  EXPECT_EQ(checkpoints_written, 2u);
+  EXPECT_EQ(restored.size(), 300u);
+  EXPECT_EQ(restored.Digest(), store.Digest());
+  EXPECT_EQ(restored.EncodeSnapshot(0xf00d, 40, 2), image);
+}
+
+TEST(BlockStore, SnapshotRefusesWrongFingerprintAndKind) {
+  BlockStore store;
+  store.Reset(10);
+  const auto image = store.EncodeSnapshot(111, 0, 0);
+
+  BlockStore other;
+  std::uint64_t rounds_done = 0;
+  std::uint64_t checkpoints_written = 0;
+  const auto mismatch =
+      other.DecodeSnapshot(image, 222, rounds_done, checkpoints_written);
+  EXPECT_FALSE(mismatch.ok());
+  EXPECT_NE(mismatch.detail.find("fingerprint"), std::string::npos)
+      << mismatch.ToString();
+
+  // A v3 *checkpoint* (kind 1) must not parse as a store snapshot even
+  // though it shares the SLCK magic.
+  core::Checkpoint checkpoint;
+  checkpoint.fingerprint = 111;
+  const auto ckpt_image = core::EncodeCheckpointColumnar(checkpoint);
+  const auto wrong_kind =
+      other.DecodeSnapshot(ckpt_image, 111, rounds_done, checkpoints_written);
+  EXPECT_FALSE(wrong_kind.ok());
+  EXPECT_NE(wrong_kind.detail.find("kind"), std::string::npos)
+      << wrong_kind.ToString();
+}
+
+TEST(BlockStore, EverySingleByteCorruptionOfSnapshotIsDetected) {
+  BlockStore store;
+  store.Reset(3);
+  store.SeedBlock(0, 5, 0.5);
+  store.Observe(0, 1, 4);
+  const auto image = store.EncodeSnapshot(77, 1, 1);
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    auto bent = image;
+    bent[i] ^= 0x01;
+    BlockStore scratch;
+    std::uint64_t rounds_done = 0;
+    std::uint64_t checkpoints_written = 0;
+    EXPECT_FALSE(
+        scratch.DecodeSnapshot(bent, 77, rounds_done, checkpoints_written)
+            .ok())
+        << "flipped byte " << i;
+  }
+}
+
+StoreCampaignConfig ScaleConfig(storage::Env& env, const std::string& path) {
+  StoreCampaignConfig config;
+  config.n_blocks = 10'000;
+  config.n_rounds = 60;
+  config.seed = 0x9e1;
+  config.checkpoint_path = path;
+  config.checkpoint_every_rounds = 16;
+  config.env = &env;
+  return config;
+}
+
+TEST(StoreCampaign, WorkerCountIsInvisibleInTheColumns) {
+  MemEnv env;
+  std::uint64_t digest1 = 0;
+  for (const int workers : {1, 3, 8}) {
+    auto config = ScaleConfig(env, "");
+    config.workers = workers;
+    BlockStore store;
+    const auto outcome = core::RunStoreCampaign(store, config);
+    ASSERT_TRUE(outcome.error.empty()) << outcome.error;
+    EXPECT_EQ(outcome.rounds_done, 60);
+    if (workers == 1) {
+      digest1 = outcome.digest;
+    } else {
+      EXPECT_EQ(outcome.digest, digest1) << "workers " << workers;
+    }
+  }
+}
+
+// The paper-scale durability claim, in miniature: kill a 10k-block
+// campaign mid-run at a checkpoint boundary, resume at a DIFFERENT
+// worker count, and demand the final snapshot be byte-identical to an
+// uninterrupted run's.
+TEST(StoreCampaign, KillAndResumeIsByteIdenticalAcrossWorkerCounts) {
+  const std::string path = "/ckpt/store.slck";
+
+  // Uninterrupted reference at 1 worker.
+  MemEnv clean_env;
+  auto clean_config = ScaleConfig(clean_env, path);
+  clean_config.workers = 1;
+  BlockStore clean_store;
+  const auto clean = core::RunStoreCampaign(clean_store, clean_config);
+  ASSERT_TRUE(clean.error.empty()) << clean.error;
+  std::vector<std::uint8_t> clean_file;
+  ASSERT_TRUE(clean_env.ReadAll(path, clean_file).ok());
+
+  for (const int first_workers : {1, 8}) {
+    for (const int second_workers : {1, 8}) {
+      MemEnv env;
+      auto config = ScaleConfig(env, path);
+      config.workers = first_workers;
+      config.stop_after_rounds = 30;  // killed at the round-32 boundary
+      BlockStore first;
+      const auto killed = core::RunStoreCampaign(first, config);
+      ASSERT_TRUE(killed.error.empty()) << killed.error;
+      EXPECT_TRUE(killed.stopped_early);
+      EXPECT_LT(killed.rounds_done, 60);
+
+      config.stop_after_rounds = 0;
+      config.workers = second_workers;
+      BlockStore second;
+      const auto resumed = core::RunStoreCampaign(second, config);
+      ASSERT_TRUE(resumed.error.empty()) << resumed.error;
+      EXPECT_TRUE(resumed.resumed);
+      EXPECT_EQ(resumed.rounds_done, 60);
+      EXPECT_EQ(resumed.digest, clean.digest)
+          << first_workers << " -> " << second_workers << " workers";
+
+      std::vector<std::uint8_t> resumed_file;
+      ASSERT_TRUE(env.ReadAll(path, resumed_file).ok());
+      EXPECT_EQ(resumed_file == clean_file, true)
+          << "final snapshot diverged after kill/resume ("
+          << first_workers << " -> " << second_workers << " workers)";
+    }
+  }
+}
+
+TEST(StoreCampaign, ForeignSnapshotIsIgnoredOnResume) {
+  const std::string path = "/ckpt/store.slck";
+  MemEnv env;
+
+  // Leave a snapshot from a DIFFERENT campaign identity at the path.
+  auto foreign = ScaleConfig(env, path);
+  foreign.n_blocks = 500;
+  foreign.n_rounds = 10;
+  foreign.seed = 0xdead;
+  BlockStore foreign_store;
+  ASSERT_TRUE(core::RunStoreCampaign(foreign_store, foreign).error.empty());
+
+  auto config = ScaleConfig(env, path);
+  config.n_blocks = 500;
+  config.n_rounds = 10;
+  BlockStore store;
+  const auto outcome = core::RunStoreCampaign(store, config);
+  ASSERT_TRUE(outcome.error.empty()) << outcome.error;
+  EXPECT_FALSE(outcome.resumed)
+      << "a fingerprint-mismatched snapshot must not be adopted";
+  EXPECT_EQ(outcome.rounds_done, 10);
+}
+
+}  // namespace
+}  // namespace sleepwalk

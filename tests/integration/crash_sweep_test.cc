@@ -10,6 +10,11 @@
 // A second matrix injects non-fatal I/O failures (EIO, ENOSPC, short
 // write): saves fail and are logged, but the campaign completes and the
 // dataset must not change by a single byte.
+//
+// Both matrices run once per on-disk checkpoint format: SLCK v2 (the
+// row-oriented default) and SLCK v3 (the columnar container resumed
+// through the zero-copy Env::Map seam) — the durability discipline is
+// format-independent.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -48,10 +53,11 @@ std::vector<core::BlockTarget> TargetsOf(const sim::SimWorld& world) {
   return targets;
 }
 
-core::SupervisorConfig ConfigFor(storage::Env& env) {
+core::SupervisorConfig ConfigFor(storage::Env& env, std::uint32_t format) {
   core::SupervisorConfig config;
   config.checkpoint_path = kPath;
   config.checkpoint_keep = 3;
+  config.checkpoint_format = format;
   config.env = &env;
   return config;
 }
@@ -70,25 +76,25 @@ class OwningSimChain final : public core::ShardChain {
 };
 
 core::CampaignOutcome RunSequential(const sim::SimWorld& world,
-                                    storage::Env& env) {
+                                    storage::Env& env, std::uint32_t format) {
   auto transport = world.MakeTransport(5);
   return core::RunResilientCampaign(TargetsOf(world), *transport, kRounds,
-                                    ConfigFor(env));
+                                    ConfigFor(env, format));
 }
 
 core::CampaignOutcome RunParallel(const sim::SimWorld& world,
-                                  storage::Env& env) {
+                                  storage::Env& env, std::uint32_t format) {
   core::ParallelConfig parallel;
   parallel.workers = 8;
   const core::ShardFactory factory = [&world](std::size_t) {
     return std::make_unique<OwningSimChain>(world, 5);
   };
   return core::RunParallelCampaign(TargetsOf(world), factory, kRounds,
-                                   ConfigFor(env), parallel);
+                                   ConfigFor(env, format), parallel);
 }
 
-using Runner =
-    std::function<core::CampaignOutcome(const sim::SimWorld&, storage::Env&)>;
+using Runner = std::function<core::CampaignOutcome(
+    const sim::SimWorld&, storage::Env&, std::uint32_t)>;
 
 std::vector<std::uint8_t> FileBytes(storage::Env& env,
                                     const std::string& path) {
@@ -107,13 +113,13 @@ std::vector<std::uint8_t> DatasetBytesOf(const core::CampaignOutcome& outcome) {
 
 /// Counts the storage operations of one uninterrupted run, then crashes
 /// at every single one of them and proves restart convergence.
-void CrashSweep(const Runner& run) {
+void CrashSweep(const Runner& run, std::uint32_t format) {
   const auto world = SweepWorld();
 
   util::FailpointSet counter;  // inert: counts hits, never fires
   storage::MemEnv clean;
   storage::FaultyEnv counted{clean, counter};
-  const auto baseline = run(world, counted);
+  const auto baseline = run(world, counted, format);
   const auto n_ops = counter.total_hits();
   ASSERT_GT(n_ops, 0u) << "campaign performed no storage operations";
 
@@ -132,7 +138,7 @@ void CrashSweep(const Runner& run) {
 
     bool crashed = false;
     try {
-      run(world, env);
+      run(world, env, format);
     } catch (const util::CrashInjected&) {
       crashed = true;
     }
@@ -143,7 +149,7 @@ void CrashSweep(const Runner& run) {
     // "Restart": same disk — tmp litter, half-rotated generations and
     // all — with the failpoints disarmed.
     failpoints.Reset();
-    const auto resumed = run(world, env);
+    const auto resumed = run(world, env, format);
     EXPECT_EQ(FileBytes(disk, kPath), want_checkpoint)
         << "primary checkpoint diverged after crash/restart";
     EXPECT_EQ(DatasetBytesOf(resumed), want_dataset)
@@ -154,24 +160,32 @@ void CrashSweep(const Runner& run) {
 }
 
 TEST(CrashSweep, EveryStorageOpSingleWorker) {
-  CrashSweep(RunSequential);
+  CrashSweep(RunSequential, core::kCheckpointVersion);
 }
 
 TEST(CrashSweep, EveryStorageOpEightWorkers) {
-  CrashSweep(RunParallel);
+  CrashSweep(RunParallel, core::kCheckpointVersion);
+}
+
+TEST(CrashSweep, EveryStorageOpSingleWorkerColumnar) {
+  CrashSweep(RunSequential, core::kCheckpointVersionColumnar);
+}
+
+TEST(CrashSweep, EveryStorageOpEightWorkersColumnar) {
+  CrashSweep(RunParallel, core::kCheckpointVersionColumnar);
 }
 
 /// Non-fatal I/O failure matrix: a failed checkpoint save is logged and
 /// rolled back, never measured. The dataset must be byte-identical to
 /// the failure-free run (checkpoint generation counts legitimately
 /// differ — a failed save is a save not written).
-void ErrorMatrix(const Runner& run) {
+void ErrorMatrix(const Runner& run, std::uint32_t format) {
   const auto world = SweepWorld();
 
   util::FailpointSet counter;
   storage::MemEnv clean;
   storage::FaultyEnv counted{clean, counter};
-  const auto baseline = run(world, counted);
+  const auto baseline = run(world, counted, format);
   const auto n_ops = counter.total_hits();
   ASSERT_GT(n_ops, 2u);
   const auto want_dataset = DatasetBytesOf(baseline);
@@ -187,7 +201,7 @@ void ErrorMatrix(const Runner& run) {
           failpoints));
       storage::MemEnv disk;
       storage::FaultyEnv env{disk, failpoints};
-      const auto outcome = run(world, env);
+      const auto outcome = run(world, env, format);
       EXPECT_FALSE(outcome.resumed);
       EXPECT_EQ(DatasetBytesOf(outcome), want_dataset)
           << "an I/O error leaked into the measurement";
@@ -202,11 +216,15 @@ void ErrorMatrix(const Runner& run) {
 }
 
 TEST(CrashSweep, IoErrorMatrixSingleWorker) {
-  ErrorMatrix(RunSequential);
+  ErrorMatrix(RunSequential, core::kCheckpointVersion);
 }
 
 TEST(CrashSweep, IoErrorMatrixEightWorkers) {
-  ErrorMatrix(RunParallel);
+  ErrorMatrix(RunParallel, core::kCheckpointVersion);
+}
+
+TEST(CrashSweep, IoErrorMatrixSingleWorkerColumnar) {
+  ErrorMatrix(RunSequential, core::kCheckpointVersionColumnar);
 }
 
 }  // namespace

@@ -3,8 +3,10 @@
 //   slck_fsck FILE...          check each file, print a one-line verdict
 //   slck_fsck --verbose FILE   add per-file structural detail
 //
-// Understands SLCK (checkpoint) v1/v2 and SLPW (dataset) v1/v2 by
-// sniffing the magic. Exit status: 0 when every file decodes intact,
+// Understands SLCK (checkpoint) v1/v2/v3 — including v3 block-store
+// snapshots (kind 2) — and SLPW (dataset) v1/v2 by sniffing the magic
+// and, for v3 containers, the kind discriminator. Exit status: 0 when
+// every file decodes intact,
 // 1 when any file is corrupt/truncated/unreadable, 2 on usage errors.
 // scripts/tier1.sh runs it over freshly written artifacts so a format
 // regression (bad CRC, broken framing) fails the tier-1 gate, and
@@ -15,8 +17,10 @@
 #include <string>
 #include <vector>
 
+#include "sleepwalk/core/block_store.h"
 #include "sleepwalk/core/checkpoint.h"
 #include "sleepwalk/core/dataset.h"
+#include "sleepwalk/storage/columnar.h"
 #include "sleepwalk/storage/file.h"
 
 namespace {
@@ -55,6 +59,60 @@ bool CheckCheckpoint(const std::vector<std::uint8_t>& bytes,
               << checkpoint->stats.rounds_attempted << "\n";
   }
   return true;
+}
+
+/// SLCK v3 containers carrying kind kStoreSnapshotKind are raw
+/// block-store snapshots (core/block_store.h), not campaign
+/// checkpoints; validate them with the store decoder so every column
+/// CRC, width, and row-count invariant is exercised.
+bool CheckStoreSnapshot(const std::vector<std::uint8_t>& bytes,
+                        const std::string& path, bool verbose,
+                        std::uint64_t fingerprint,
+                        std::uint64_t generation) {
+  core::BlockStore store;
+  std::uint64_t rounds_done = 0;
+  std::uint64_t checkpoints_written = 0;
+  if (const auto error = store.DecodeSnapshot(bytes, fingerprint, rounds_done,
+                                              checkpoints_written, path);
+      !error.ok()) {
+    std::cout << path << ": SLCK v3 store snapshot CORRUPT ("
+              << error.ToString() << ")\n";
+    return false;
+  }
+  std::cout << path << ": SLCK v3 store snapshot ok, generation "
+            << generation << ", " << store.size() << " block row(s)\n";
+  if (verbose) {
+    std::cout << "  fingerprint 0x" << std::hex << fingerprint << std::dec
+              << "\n  rounds_done " << rounds_done
+              << ", checkpoints_written " << checkpoints_written << "\n";
+  }
+  return true;
+}
+
+/// Dispatches an SLCK file: v1/v2 (and v3 kind kCheckpointKind) go to
+/// the checkpoint decoder; v3 kind kStoreSnapshotKind to the store
+/// decoder. The kind peek reuses the full ColumnarReader validation so
+/// a damaged header is reported, never mis-dispatched.
+bool CheckSlck(const std::vector<std::uint8_t>& bytes,
+               const std::string& path, bool verbose) {
+  const auto version = storage::PeekContainerVersion(bytes, "SLCK");
+  if (version == storage::kColumnarVersion) {
+    storage::ColumnarReader reader;
+    if (const auto error = reader.Parse(bytes, "SLCK", path); !error.ok()) {
+      std::cout << path << ": SLCK v3 CORRUPT (" << error.ToString() << ")\n";
+      return false;
+    }
+    if (reader.kind() == core::kStoreSnapshotKind) {
+      return CheckStoreSnapshot(bytes, path, verbose, reader.fingerprint(),
+                                reader.generation());
+    }
+    if (reader.kind() != core::kCheckpointKind) {
+      std::cout << path << ": SLCK v3 CORRUPT (unknown container kind "
+                << reader.kind() << ")\n";
+      return false;
+    }
+  }
+  return CheckCheckpoint(bytes, path, verbose);
 }
 
 bool CheckDataset(const std::vector<std::uint8_t>& bytes,
@@ -110,7 +168,7 @@ int main(int argc, char** argv) {
       continue;
     }
     if (bytes.size() >= 4 && std::memcmp(bytes.data(), "SLCK", 4) == 0) {
-      all_ok = CheckCheckpoint(bytes, path, verbose) && all_ok;
+      all_ok = CheckSlck(bytes, path, verbose) && all_ok;
     } else if (bytes.size() >= 4 &&
                std::memcmp(bytes.data(), "SLPW", 4) == 0) {
       all_ok = CheckDataset(bytes, path, verbose) && all_ok;
