@@ -4,14 +4,19 @@
 //          executor at 1/2/4/8 workers over one simulated world, plus
 //          the determinism check that makes the parallelism admissible
 //          at all (workers-1 and workers-8 datasets byte-identical);
-//   large  (100k blocks by default, SLEEPWALK_BLOCKS_LARGE to change):
-//          blocks/sec of the columnar store campaign
-//          (core/store_campaign.h) at 1 and 8 workers — the estimator
-//          kernel that dominates at paper scale — plus the paper-scale
-//          durability story: checkpointing tax against an unchecked
-//          run, and a mid-run kill resumed at a different worker count
-//          that must converge on a byte-identical final snapshot
-//          (`resume_identical`).
+//   large  (100k blocks by default, SLEEPWALK_BLOCKS_LARGE to change —
+//          the machine class the paper targets takes 1M+): the FULL
+//          columnar pipeline on the block store (core/store_campaign.h
+//          with series rings + the end-of-campaign classify sweep of
+//          core/store_analyzer.h) at 1 and 8 workers, a separate
+//          classify-only blocks/sec for the analyze sweep itself, peak
+//          RSS against a scale-derived budget (`rss_within_budget`),
+//          plus the paper-scale durability story: checkpointing tax
+//          against an unchecked run, and a mid-run kill resumed at a
+//          different worker count that must converge on a
+//          byte-identical final snapshot (`resume_identical`) — the
+//          snapshots now carrying series rings and verdicts, so the
+//          identity proof covers classification too.
 //
 // Writes BENCH_parallel.json (override the path with
 // SLEEPWALK_BENCH_PARALLEL_OUT, empty string to skip). The committed
@@ -26,6 +31,7 @@
 // (hw_source becomes "env-override") so the committed baseline can
 // state the hardware class its ratios were tuned for. bench_gate.sh
 // refuses baselines recorded with hw_concurrency 1 outright.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -185,13 +191,26 @@ SmallScale RunSmall() {
 struct LargeScale {
   std::size_t blocks = 0;
   std::int64_t rounds = 0;
+  std::int32_t series_capacity = 0;
   double bps_1 = 0.0;
   double bps_8 = 0.0;
   double speedup_8v1 = 0.0;
+  double classify_bps = 0.0;
+  std::int64_t classified = 0;
+  std::int64_t diurnal = 0;
   double durability_overhead_pct = 0.0;
   bool durability_within_budget = false;
   bool resume_identical = false;
+  double peak_rss_mb = 0.0;
+  double rss_budget_mb = 0.0;
+  bool rss_within_budget = false;
 };
+
+/// Ring depth for the per-block A-hat_s series: ~3 days at 660 s
+/// rounds. After the midnight trim eats up to a day, every block still
+/// has the >= 2 whole days the classifier demands; deeper rings only
+/// fatten every snapshot (12 bytes per slot per block).
+constexpr std::int32_t kSeriesCapacity = 400;
 
 core::StoreCampaignConfig LargeConfig(std::size_t blocks,
                                       std::int64_t rounds) {
@@ -199,20 +218,38 @@ core::StoreCampaignConfig LargeConfig(std::size_t blocks,
   config.n_blocks = blocks;
   config.n_rounds = rounds;
   config.seed = 0x5ca1e;
+  config.series_capacity = kSeriesCapacity;
+  config.classify = true;
   return config;
 }
 
+/// Peak resident set (VmHWM) in MB; 0 when /proc is unavailable (the
+/// RSS gate then reports but cannot bind).
+double PeakRssMb() {
+  std::ifstream in{"/proc/self/status"};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::atof(line.c_str() + 6) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
 double TimeStoreRun(core::StoreCampaignConfig config,
-                    core::StoreCampaignOutcome* out = nullptr) {
+                    core::StoreCampaignOutcome* out = nullptr,
+                    core::BlockStore* keep_store = nullptr,
+                    int repeats = 2) {
   double best_sec = 0.0;
-  constexpr int kRepeats = 2;
-  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+  for (int repeat = 0; repeat < repeats; ++repeat) {
     // A checkpointing config needs a virgin disk per repeat: reusing
     // the env would let repeat 2 resume from repeat 1's snapshot and
     // time a near-empty run.
     storage::MemEnv scratch;
     if (!config.checkpoint_path.empty()) config.env = &scratch;
-    core::BlockStore store;
+    core::BlockStore local;
+    core::BlockStore& store =
+        keep_store != nullptr ? *keep_store : local;
     const auto start = std::chrono::steady_clock::now();
     auto outcome = core::RunStoreCampaign(store, config);
     const double sec = SecondsSince(start);
@@ -231,26 +268,67 @@ LargeScale RunLarge() {
   LargeScale result;
   result.blocks = static_cast<std::size_t>(
       bench::EnvInt("SLEEPWALK_BLOCKS_LARGE", 100'000));
-  // Snapshot cadence: one v3 image every 512 rounds. A checkpoint
-  // stride has to buy enough estimator work to amortize the ~10 MB
-  // snapshot encode+write, the same trade a real campaign makes (a
-  // round is minutes of probing there; here the synthetic kernel runs
-  // a round in ~2 ms at 100k blocks).
-  result.rounds = 1024;
-  constexpr std::int64_t kCheckpointStride = 512;
+  // Snapshot cadence: one v3 image every 2048 rounds. A checkpoint
+  // stride has to buy enough estimator + series work to amortize the
+  // snapshot encode+write — now dominated by the series rings
+  // (kSeriesCapacity * 12 bytes per block), which is why the stride
+  // and round count are 4x PR 9's: the same trade a real campaign
+  // makes (a round is minutes of probing there; a snapshot must stay
+  // a rounding error against the work between snapshots).
+  result.rounds = 4096;
+  result.series_capacity = kSeriesCapacity;
+  constexpr std::int64_t kCheckpointStride = 2048;
   constexpr double kDurabilityBudgetPct = 10.0;
   std::cout << "[large] blocks " << result.blocks << ", rounds "
-            << result.rounds << " (columnar store campaign)\n";
+            << result.rounds << " (store campaign + classify sweep, series "
+            << "capacity " << result.series_capacity << ")\n";
 
-  // Throughput, unchecked (pure kernel): 1 vs 8 workers.
+  // Scale-derived RSS ceiling: the arena (per-block fixed columns +
+  // the 12-byte-per-slot rings) is the unavoidable footprint; the
+  // budget grants ~5 arena images (store + snapshot encode + MemEnv
+  // file + atomic-write staging) plus fixed slack for the binary and
+  // the small scale. A leak or an accidental per-block materialization
+  // in the sweep blows through this on any machine.
+  const double arena_mb =
+      static_cast<double>(result.blocks) *
+      (static_cast<double>(result.series_capacity) * 12.0 + 256.0) /
+      (1024.0 * 1024.0);
+  result.rss_budget_mb = arena_mb * 5.0 + 1024.0;
+
+  // Throughput of the full pipeline (observe + series + classify),
+  // unchecked: 1 vs 8 workers. The store from the 1-worker run is kept
+  // for the classify-only timing below.
   core::StoreCampaignOutcome outcome_1;
+  core::BlockStore store_1;
   auto config = LargeConfig(result.blocks, result.rounds);
   config.workers = 1;
-  const double sec_1 = TimeStoreRun(config, &outcome_1);
+  const double sec_1 = TimeStoreRun(config, &outcome_1, &store_1);
   result.bps_1 = sec_1 > 0.0 ? static_cast<double>(result.blocks) / sec_1
                              : 0.0;
+  result.classified = outcome_1.analyze.classified;
+  result.diurnal = outcome_1.analyze.diurnal;
   std::cout << "[large] workers 1: " << static_cast<long>(result.bps_1)
-            << " blocks/sec\n";
+            << " blocks/sec (" << result.classified << " classified, "
+            << result.diurnal << " diurnal)\n";
+
+  // Classify-only throughput: re-sweep the finished store (idempotent;
+  // verdicts are rewritten with the same bits).
+  {
+    double classify_sec = 0.0;
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      const auto start = std::chrono::steady_clock::now();
+      (void)core::AnalyzeStore(store_1, config.analyzer, 1);
+      const double sec = SecondsSince(start);
+      if (repeat == 0 || sec < classify_sec) classify_sec = sec;
+    }
+    result.classify_bps =
+        classify_sec > 0.0
+            ? static_cast<double>(result.blocks) / classify_sec
+            : 0.0;
+    std::cout << "[large] classify sweep alone: "
+              << static_cast<long>(result.classify_bps) << " blocks/sec\n";
+  }
+  store_1.Reset(0);  // release the arena before the parallel runs
 
   core::StoreCampaignOutcome outcome_8;
   config.workers = 8;
@@ -261,62 +339,98 @@ LargeScale RunLarge() {
   std::cout << "[large] workers 8: " << static_cast<long>(result.bps_8)
             << " blocks/sec (speedup 8v1 " << result.speedup_8v1 << ")\n";
   if (outcome_8.digest != outcome_1.digest) {
+    // The digest folds the verdict columns, so this also proves the
+    // classify sweep is worker-count independent at scale.
     std::cerr << "parallel_scaling: 8-worker store digest diverged\n";
     std::exit(1);
   }
 
   // Durability tax: the same campaign with v3 snapshots at the stride
   // against an unchecked run (MemEnv: measures serialization, not disk;
-  // TimeStoreRun swaps in a fresh env per repeat).
+  // TimeStoreRun swaps in a fresh env per repeat), timed back to back
+  // with identical fresh-arena lifecycles. Measured at quarter scale:
+  // snapshot cost and campaign cost both scale with blocks so the
+  // ratio is unchanged, but a ~140 MB arena suffers far less
+  // allocator/reclaim noise than a ~560 MB one — at full scale the
+  // tax swung tens of percent run to run purely from memory pressure.
   const std::string path = "/bench/store.slck";
-  auto checked = LargeConfig(result.blocks, result.rounds);
-  checked.workers = 1;
-  checked.checkpoint_path = path;
-  checked.checkpoint_every_rounds = kCheckpointStride;
-  const double sec_checked = TimeStoreRun(checked);
+  const std::size_t tax_blocks = std::max<std::size_t>(result.blocks / 4, 1);
+  auto unchecked = LargeConfig(tax_blocks, result.rounds);
+  unchecked.workers = 1;
+  const double sec_unchecked = TimeStoreRun(unchecked, nullptr, nullptr, 3);
+  auto tax_checked = unchecked;
+  tax_checked.checkpoint_path = path;
+  tax_checked.checkpoint_every_rounds = kCheckpointStride;
+  const double sec_checked = TimeStoreRun(tax_checked, nullptr, nullptr, 3);
   result.durability_overhead_pct =
-      sec_1 > 0.0 ? (sec_checked - sec_1) / sec_1 * 100.0 : 0.0;
+      sec_unchecked > 0.0
+          ? (sec_checked - sec_unchecked) / sec_unchecked * 100.0
+          : 0.0;
   result.durability_within_budget =
       result.durability_overhead_pct < kDurabilityBudgetPct;
   std::cout << "[large] durability tax "
             << result.durability_overhead_pct << "% (budget < "
-            << kDurabilityBudgetPct << "%)\n";
+            << kDurabilityBudgetPct << "%, measured at " << tax_blocks
+            << " blocks, min of 3)\n";
+
+  auto checked = LargeConfig(result.blocks, result.rounds);
+  checked.workers = 1;
+  checked.checkpoint_path = path;
+  checked.checkpoint_every_rounds = kCheckpointStride;
 
   // Kill/resume proof: kill a 1-worker run at the half-way boundary,
   // resume at 8 workers, demand the final snapshot match a clean run's
-  // byte for byte.
-  storage::MemEnv clean_env;
-  auto clean = checked;
-  clean.env = &clean_env;
-  core::BlockStore clean_store;
-  if (const auto out = core::RunStoreCampaign(clean_store, clean);
-      !out.error.empty()) {
-    std::cerr << "parallel_scaling: clean reference failed: " << out.error
-              << "\n";
-    std::exit(1);
-  }
+  // byte for byte. The snapshot now carries the series rings and the
+  // classify verdicts (the sweep runs before the final checkpoint), so
+  // identity covers the whole pipeline. Stores are scoped so only one
+  // arena is live at a time — that bound is exactly what the RSS gate
+  // protects.
   std::vector<std::uint8_t> clean_file;
-  (void)clean_env.ReadAll(path, clean_file);
+  {
+    storage::MemEnv clean_env;
+    auto clean = checked;
+    clean.env = &clean_env;
+    core::BlockStore clean_store;
+    if (const auto out = core::RunStoreCampaign(clean_store, clean);
+        !out.error.empty()) {
+      std::cerr << "parallel_scaling: clean reference failed: " << out.error
+                << "\n";
+      std::exit(1);
+    }
+    (void)clean_env.ReadAll(path, clean_file);
+  }
 
   storage::MemEnv kill_env;
   auto killed = checked;
   killed.env = &kill_env;
   killed.stop_after_rounds = result.rounds / 2;
-  core::BlockStore killed_store;
-  const auto kill_out = core::RunStoreCampaign(killed_store, killed);
+  bool stopped_early = false;
+  {
+    core::BlockStore killed_store;
+    stopped_early = core::RunStoreCampaign(killed_store, killed).stopped_early;
+  }
   killed.stop_after_rounds = 0;
   killed.workers = 8;
-  core::BlockStore resumed_store;
-  const auto resume_out = core::RunStoreCampaign(resumed_store, killed);
+  bool resumed = false;
+  {
+    core::BlockStore resumed_store;
+    resumed = core::RunStoreCampaign(resumed_store, killed).resumed;
+  }
   std::vector<std::uint8_t> resumed_file;
   (void)kill_env.ReadAll(path, resumed_file);
-  result.resume_identical = kill_out.stopped_early && resume_out.resumed &&
-                            !clean_file.empty() &&
+  result.resume_identical = stopped_early && resumed && !clean_file.empty() &&
                             resumed_file == clean_file;
   std::cout << "[large] kill at round " << result.rounds / 2
             << ", resume 1 -> 8 workers: "
             << (result.resume_identical ? "byte-identical" : "DIFFER")
             << "\n";
+
+  result.peak_rss_mb = PeakRssMb();
+  result.rss_within_budget =
+      result.peak_rss_mb > 0.0 && result.peak_rss_mb < result.rss_budget_mb;
+  std::cout << "[large] peak RSS " << static_cast<long>(result.peak_rss_mb)
+            << " MB (budget < " << static_cast<long>(result.rss_budget_mb)
+            << " MB)\n";
   return result;
 }
 
@@ -372,20 +486,29 @@ int Run() {
         << "\n"
         << "    },\n"
         << "    \"large\": {\n"
-        << "      \"pipeline\": \"store\",\n"
+        << "      \"pipeline\": \"store+classify\",\n"
         << "      \"blocks\": " << large.blocks << ",\n"
         << "      \"rounds\": " << large.rounds << ",\n"
+        << "      \"series_capacity\": " << large.series_capacity << ",\n"
         << "      \"blocks_per_sec\": {\n"
         << "        \"1\": " << large.bps_1 << ",\n"
         << "        \"8\": " << large.bps_8 << "\n"
         << "      },\n"
         << "      \"speedup_8v1\": " << large.speedup_8v1 << ",\n"
+        << "      \"classify_blocks_per_sec\": " << large.classify_bps
+        << ",\n"
+        << "      \"classified\": " << large.classified << ",\n"
+        << "      \"diurnal\": " << large.diurnal << ",\n"
         << "      \"durability_overhead_pct\": "
         << large.durability_overhead_pct << ",\n"
         << "      \"durability_within_budget\": "
         << (large.durability_within_budget ? "true" : "false") << ",\n"
         << "      \"resume_identical\": "
-        << (large.resume_identical ? "true" : "false") << "\n"
+        << (large.resume_identical ? "true" : "false") << ",\n"
+        << "      \"peak_rss_mb\": " << large.peak_rss_mb << ",\n"
+        << "      \"rss_budget_mb\": " << large.rss_budget_mb << ",\n"
+        << "      \"rss_within_budget\": "
+        << (large.rss_within_budget ? "true" : "false") << "\n"
         << "    }\n"
         << "  }\n"
         << "}\n";

@@ -71,7 +71,7 @@ int Usage() {
       "          [--workers W] [--loss P] [--burst P] [--rate-limit N]\n"
       "          [--dead N] [--checkpoint FILE] [--checkpoint-every R]\n"
       "          [--checkpoint-blocks B] [--checkpoint-keep K]\n"
-      "          [--failpoints SPEC]\n"
+      "          [--failpoints SPEC] [--dataset-format v2|v3]\n"
       "          [--log-level L] [--log-json FILE] [--metrics-out FILE]\n"
       "          [--trace-out FILE] [--trace-chrome FILE]\n"
       "          [--admin-port P] [--admin-port-file FILE]\n"
@@ -102,9 +102,12 @@ int Usage() {
       "      on 127.0.0.1:P (0 picks a free port) while the campaign\n"
       "      runs — a read-only observer; results stay byte-identical.\n"
       "      --admin-port-file FILE writes the bound port for scripts.\n"
+      "      --dataset-format v3 writes the columnar zero-copy SLPW v3\n"
+      "      layout instead of the framed v2 (either reads back\n"
+      "      identically through analyze/compare/block).\n"
       "  analyze --in FILE [--workers W]\n"
-      "      diurnal summary of a saved dataset (re-classified on\n"
-      "      --workers threads)\n"
+      "      diurnal summary of a saved dataset (v1/v2/v3 sniffed;\n"
+      "      re-classified on --workers threads)\n"
       "  compare --a FILE --b FILE\n"
       "      cross-dataset agreement matrix (paper Table 2)\n"
       "  block --in FILE (--index I | --prefix a.b.c/24)\n"
@@ -393,13 +396,23 @@ int CmdMeasure(const Flags& flags) {
   std::cerr << "\n";
   const auto& result = outcome.result;
 
-  if (const auto error =
-          core::WriteDataset(env, out, result.analyses,
-                             config.analyzer.schedule.round_seconds,
-                             config.analyzer.schedule.epoch_sec);
-      !error.ok()) {
+  const auto dataset_format = flags.Get("dataset-format");
+  if (!dataset_format.empty() && dataset_format != "v2" &&
+      dataset_format != "v3") {
+    std::cerr << "measure: --dataset-format must be v2 or v3\n";
+    return 2;
+  }
+  const auto write_error =
+      dataset_format == "v3"
+          ? core::WriteDatasetColumnar(env, out, result.analyses,
+                                       config.analyzer.schedule.round_seconds,
+                                       config.analyzer.schedule.epoch_sec)
+          : core::WriteDataset(env, out, result.analyses,
+                               config.analyzer.schedule.round_seconds,
+                               config.analyzer.schedule.epoch_sec);
+  if (!write_error.ok()) {
     std::cerr << "measure: cannot write " << out << ": "
-              << error.ToString() << "\n";
+              << write_error.ToString() << "\n";
     return 1;
   }
   std::cout << "measured " << result.counts.probed() << " blocks ("

@@ -32,10 +32,16 @@
 #   * blocks/sec at both scales must clear a generous cross-machine
 #     floor (MIN_BPS_FRACTION of the committed baseline, enforced only
 #     when the scale configuration matches): a 4x collapse is a real
-#     regression on any hardware this project targets;
+#     regression on any hardware this project targets — the large scale
+#     is the FULL pipeline (observe + series rings + classify sweep)
+#     since PR 10, and its classify-only blocks/sec gets the same floor;
 #   * `scales.large.durability_within_budget` must stay true — at 100k
 #     blocks a checkpointed store campaign may not cost more than 10%
 #     extra wall time over an unchecked one;
+#   * `scales.large.rss_within_budget` must stay true — peak RSS at the
+#     large scale is bounded by a scale-derived budget (~5 arena images
+#     plus slack), so an accidental per-block materialization in the
+#     columnar sweep fails the gate on any machine;
 #   * the obs ablation's `null_context_within_budget` must stay true, and
 #     its null-context overhead may not exceed the committed overhead by
 #     more than TOLERANCE_PCT points;
@@ -118,8 +124,17 @@ fresh_ckpt = load(f"{build_dir}/BENCH_ckpt.json")
 # 0. Refuse a baseline that cannot express scaling at all. A baseline
 # recorded on (or as) a single-core machine pins every speedup ratio
 # near 1.0, so the drift gates below would wave through any scaling
-# regression, forever. Fail loudly, with the remediation.
+# regression, forever. Fail loudly, with the remediation. This also
+# catches the inconsistent-provenance case that actually shipped once:
+# a committed baseline claiming hw_concurrency 1 with hw_source
+# "detected" — i.e. recorded from a 1-core container without the
+# documented SLEEPWALK_BENCH_HW override stating the hardware class.
 base_hw = int(base_par.get("hw_concurrency", 1))
+if "hw_source" not in base_par:
+    print("bench_gate: committed BENCH_parallel.json lacks hw_source; "
+          "re-record it so the baseline states its hardware provenance",
+          file=sys.stderr)
+    sys.exit(1)
 if base_hw <= 1:
     print(f"bench_gate: committed BENCH_parallel.json was recorded with "
           f"hw_concurrency={base_hw}", file=sys.stderr)
@@ -184,10 +199,13 @@ for scale, fresh in (("small", fresh_small), ("large", fresh_large)):
 # 3b. Cross-machine throughput floor at both scales. Absolute blocks/sec
 # is not portable, but a collapse to a quarter of the committed number
 # is a regression on any hardware this project targets. Enforced only
-# when the scale's workload configuration matches the baseline's.
+# when the scale's workload configuration matches the baseline's. The
+# large scale is the full pipeline (observe + series rings + classify
+# sweep), so its classify-only throughput gets the same floor.
 for scale, base, fresh, keys in (
         ("small", base_small, fresh_small, ("blocks", "rounds_per_block")),
-        ("large", base_large, fresh_large, ("blocks", "rounds"))):
+        ("large", base_large, fresh_large,
+         ("blocks", "rounds", "series_capacity", "pipeline"))):
     if any(base.get(k) != fresh.get(k) for k in keys):
         print(f"{scale} blocks_per_sec: config differs from baseline; "
               f"floor not enforced")
@@ -202,6 +220,17 @@ for scale, base, fresh, keys in (
             f"parallel_scaling: {scale} blocks_per_sec collapsed to "
             f"{fresh_bps:.0f} (< {min_bps_fraction:.2f}x of baseline "
             f"{base_bps:.0f})")
+    if scale == "large":
+        base_cls = float(base.get("classify_blocks_per_sec", 0.0))
+        fresh_cls = float(fresh.get("classify_blocks_per_sec", 0.0))
+        cls_floor = base_cls * min_bps_fraction
+        print(f"large classify_blocks_per_sec: fresh {fresh_cls:.0f} vs "
+              f"baseline {base_cls:.0f} (floor {cls_floor:.0f})")
+        if base_cls > 0.0 and fresh_cls < cls_floor:
+            failures.append(
+                f"parallel_scaling: classify sweep collapsed to "
+                f"{fresh_cls:.0f} blocks/sec (< {min_bps_fraction:.2f}x of "
+                f"baseline {base_cls:.0f})")
 
 # 3c. Paper-scale durability: the boolean budget the bench computes
 # (checkpointed store campaign within 10% of the unchecked one).
@@ -211,6 +240,23 @@ if not fresh_large.get("durability_within_budget"):
     failures.append(
         f"parallel_scaling: large-scale durability overhead {large_tax:.2f}% "
         f"exceeds the 10% budget")
+
+# 3d. Paper-scale memory: peak RSS against the bench's scale-derived
+# budget (~5 arena images + fixed slack). A same-machine boolean like
+# the durability contract, enforced at every scale: an accidental
+# per-block materialization in the classify sweep blows this on any
+# hardware. peak_rss_mb == 0 means /proc was unavailable (reported,
+# not enforced).
+rss = float(fresh_large.get("peak_rss_mb", 0.0))
+rss_budget = float(fresh_large.get("rss_budget_mb", 0.0))
+if rss > 0.0:
+    print(f"large peak_rss_mb: {rss:.0f} (budget < {rss_budget:.0f})")
+    if not fresh_large.get("rss_within_budget"):
+        failures.append(
+            f"parallel_scaling: peak RSS {rss:.0f} MB exceeds the "
+            f"{rss_budget:.0f} MB budget at the large scale")
+else:
+    print("large peak_rss_mb: unavailable (no /proc); not enforced")
 
 # 4. Observability stays free: the boolean contract plus a drift bound on
 # the (already hardware-relative) overhead percentage.

@@ -33,6 +33,13 @@ constexpr std::uint32_t kColObservedDays = 15;
 constexpr std::uint32_t kColMeanShort = 16;
 constexpr std::uint32_t kColFinalOperational = 17;
 constexpr std::uint32_t kColMeanProbes = 18;
+// Series ring columns (absent when series_capacity == 0; a PR 9 reader
+// would refuse such a snapshot by its 3-word META, a PR 9 *file* still
+// decodes here by its 2-word META).
+constexpr std::uint32_t kColSeriesValue = 19;
+constexpr std::uint32_t kColSeriesRound = 20;
+constexpr std::uint32_t kColSeriesLen = 21;
+constexpr std::uint32_t kColSeriesHead = 22;
 
 std::size_t AlignUp(std::size_t value) { return (value + 63) / 64 * 64; }
 
@@ -47,33 +54,44 @@ storage::Error SnapshotError(const std::string& path, std::string detail) {
 }  // namespace
 
 void BlockStore::Reset(std::size_t n_blocks,
-                       const AvailabilityConfig& config) {
+                       const AvailabilityConfig& config,
+                       std::int32_t series_capacity) {
   n_ = n_blocks;
   config_ = config;
+  series_capacity_ = series_capacity > 0 ? series_capacity : 0;
 
   std::size_t cursor = 0;
-  const auto carve = [&cursor, n_blocks](std::size_t elem) {
+  const auto carve = [&cursor](std::size_t elem, std::size_t count) {
     const std::size_t offset = AlignUp(cursor);
-    cursor = offset + elem * n_blocks;
+    cursor = offset + elem * count;
     return offset;
   };
-  prefix_off_ = carve(sizeof(std::uint32_t));
-  p_short_off_ = carve(sizeof(double));
-  t_short_off_ = carve(sizeof(double));
-  p_long_off_ = carve(sizeof(double));
-  t_long_off_ = carve(sizeof(double));
-  deviation_off_ = carve(sizeof(double));
-  rounds_off_ = carve(sizeof(std::int32_t));
-  probes_off_ = carve(sizeof(std::uint64_t));
-  positives_off_ = carve(sizeof(std::uint64_t));
-  down_rounds_off_ = carve(sizeof(std::int32_t));
-  flags_off_ = carve(sizeof(std::uint8_t));
-  classification_off_ = carve(sizeof(std::uint8_t));
-  ever_active_off_ = carve(sizeof(std::int32_t));
-  observed_days_off_ = carve(sizeof(std::int32_t));
-  mean_short_off_ = carve(sizeof(double));
-  final_operational_off_ = carve(sizeof(double));
-  mean_probes_off_ = carve(sizeof(double));
+  const auto carve_block = [&carve, n_blocks](std::size_t elem) {
+    return carve(elem, n_blocks);
+  };
+  const std::size_t ring_slots =
+      n_blocks * static_cast<std::size_t>(series_capacity_);
+  prefix_off_ = carve_block(sizeof(std::uint32_t));
+  p_short_off_ = carve_block(sizeof(double));
+  t_short_off_ = carve_block(sizeof(double));
+  p_long_off_ = carve_block(sizeof(double));
+  t_long_off_ = carve_block(sizeof(double));
+  deviation_off_ = carve_block(sizeof(double));
+  rounds_off_ = carve_block(sizeof(std::int32_t));
+  probes_off_ = carve_block(sizeof(std::uint64_t));
+  positives_off_ = carve_block(sizeof(std::uint64_t));
+  down_rounds_off_ = carve_block(sizeof(std::int32_t));
+  flags_off_ = carve_block(sizeof(std::uint8_t));
+  classification_off_ = carve_block(sizeof(std::uint8_t));
+  ever_active_off_ = carve_block(sizeof(std::int32_t));
+  observed_days_off_ = carve_block(sizeof(std::int32_t));
+  mean_short_off_ = carve_block(sizeof(double));
+  final_operational_off_ = carve_block(sizeof(double));
+  mean_probes_off_ = carve_block(sizeof(double));
+  series_value_off_ = carve(sizeof(double), ring_slots);
+  series_round_off_ = carve(sizeof(std::int32_t), ring_slots);
+  series_len_off_ = carve_block(sizeof(std::int32_t));
+  series_head_off_ = carve_block(sizeof(std::int32_t));
 
   const std::size_t bytes = AlignUp(cursor);
   arena_.reset(static_cast<std::uint8_t*>(
@@ -147,6 +165,82 @@ void BlockStore::ObserveRound(std::size_t begin, std::size_t end,
       if (sample.positives <= 0) ++down_rounds[i];
     }
   }
+}
+
+void BlockStore::AppendSeriesSample(std::size_t i, std::int64_t round,
+                                    double value) noexcept {
+  if (series_capacity_ <= 0 || i >= n_) return;
+  const auto cap = static_cast<std::size_t>(series_capacity_);
+  std::int32_t* len = Column<std::int32_t>(series_len_off_) + i;
+  std::int32_t* head = Column<std::int32_t>(series_head_off_) + i;
+  const std::size_t slot =
+      i * cap + (static_cast<std::size_t>(*head) +
+                 static_cast<std::size_t>(*len)) %
+                    cap;
+  Column<double>(series_value_off_)[slot] = value;
+  Column<std::int32_t>(series_round_off_)[slot] =
+      static_cast<std::int32_t>(round);
+  if (*len < series_capacity_) {
+    ++*len;
+  } else {
+    *head = (*head + 1) % series_capacity_;
+  }
+}
+
+void BlockStore::RecordSeriesRound(std::size_t begin, std::size_t end,
+                                   std::int64_t round) noexcept {
+  if (series_capacity_ <= 0 || begin >= end || end > n_) return;
+  const auto cap = static_cast<std::size_t>(series_capacity_);
+  const double* p_short = Column<double>(p_short_off_);
+  const double* t_short = Column<double>(t_short_off_);
+  double* values = Column<double>(series_value_off_);
+  std::int32_t* rounds = Column<std::int32_t>(series_round_off_);
+  std::int32_t* len = Column<std::int32_t>(series_len_off_);
+  std::int32_t* head = Column<std::int32_t>(series_head_off_);
+  const auto stamp = static_cast<std::int32_t>(round);
+  for (std::size_t i = begin; i < end; ++i) {
+    // Same expression as AvailabilityShortTerm over the estimator
+    // columns — the recorded sample is bitwise what the scalar
+    // analyzer's raw_.Add(round, estimator.ShortTerm()) records.
+    const double value =
+        t_short[i] > 0.0 ? p_short[i] / t_short[i] : 0.0;
+    const std::size_t slot =
+        i * cap + (static_cast<std::size_t>(head[i]) +
+                   static_cast<std::size_t>(len[i])) %
+                      cap;
+    values[slot] = value;
+    rounds[slot] = stamp;
+    if (len[i] < series_capacity_) {
+      ++len[i];
+    } else {
+      head[i] = (head[i] + 1) % series_capacity_;
+    }
+  }
+}
+
+std::int32_t BlockStore::SeriesLength(std::size_t i) const noexcept {
+  if (series_capacity_ <= 0 || i >= n_) return 0;
+  return Column<std::int32_t>(series_len_off_)[i];
+}
+
+void BlockStore::CopySeriesOrdered(std::size_t i,
+                                   std::vector<ts::Observation>& out) const {
+  out.clear();
+  if (series_capacity_ <= 0 || i >= n_) return;
+  const auto cap = static_cast<std::size_t>(series_capacity_);
+  const double* values = Column<double>(series_value_off_) + i * cap;
+  const std::int32_t* rounds = Column<std::int32_t>(series_round_off_) + i * cap;
+  const std::int32_t len = Column<std::int32_t>(series_len_off_)[i];
+  const std::int32_t head = Column<std::int32_t>(series_head_off_)[i];
+  out.reserve(static_cast<std::size_t>(len));
+  for (std::int32_t k = 0; k < len; ++k) {
+    const auto slot = static_cast<std::size_t>((head + k) % series_capacity_);
+    out.push_back({rounds[slot], values[slot]});
+  }
+}
+
+void BlockStore::SetEverActive(std::size_t i, std::int32_t count) noexcept {
+  Column<std::int32_t>(ever_active_off_)[i] = count;
 }
 
 AvailabilityState BlockStore::ExportEstimator(std::size_t i) const noexcept {
@@ -248,6 +342,22 @@ std::span<const double> BlockStore::final_operational() const noexcept {
 std::span<const double> BlockStore::mean_probes_per_round() const noexcept {
   return SLEEPWALK_COLUMN_SPAN(double, mean_probes_off_);
 }
+std::span<const double> BlockStore::series_values() const noexcept {
+  return {Column<double>(series_value_off_),
+          n_ * static_cast<std::size_t>(series_capacity_)};
+}
+std::span<const std::int32_t> BlockStore::series_rounds() const noexcept {
+  return {Column<std::int32_t>(series_round_off_),
+          n_ * static_cast<std::size_t>(series_capacity_)};
+}
+std::span<const std::int32_t> BlockStore::series_len() const noexcept {
+  if (series_capacity_ <= 0) return {};
+  return SLEEPWALK_COLUMN_SPAN(std::int32_t, series_len_off_);
+}
+std::span<const std::int32_t> BlockStore::series_head() const noexcept {
+  if (series_capacity_ <= 0) return {};
+  return SLEEPWALK_COLUMN_SPAN(std::int32_t, series_head_off_);
+}
 
 #undef SLEEPWALK_COLUMN_SPAN
 
@@ -263,7 +373,8 @@ std::uint64_t FoldColumn(std::uint64_t hash, std::span<const T> column) {
 }  // namespace
 
 std::uint64_t BlockStore::Digest() const noexcept {
-  std::uint64_t hash = MixHash(0x5ee9b10cULL, n_);
+  std::uint64_t hash = MixHash(
+      0x5ee9b10cULL, n_, static_cast<std::uint64_t>(series_capacity_));
   hash = FoldColumn(hash, prefix_index());
   hash = FoldColumn(hash, p_short());
   hash = FoldColumn(hash, t_short());
@@ -281,6 +392,12 @@ std::uint64_t BlockStore::Digest() const noexcept {
   hash = FoldColumn(hash, mean_short());
   hash = FoldColumn(hash, final_operational());
   hash = FoldColumn(hash, mean_probes_per_round());
+  if (series_capacity_ > 0) {
+    hash = FoldColumn(hash, series_values());
+    hash = FoldColumn(hash, series_rounds());
+    hash = FoldColumn(hash, series_len());
+    hash = FoldColumn(hash, series_head());
+  }
   return hash;
 }
 
@@ -289,7 +406,11 @@ std::vector<std::uint8_t> BlockStore::EncodeSnapshot(
     std::uint64_t checkpoints_written) const {
   storage::ColumnarWriter writer(kStoreMagic, kStoreSnapshotKind,
                                  fingerprint, checkpoints_written);
-  const std::uint64_t meta[2] = {rounds_done, checkpoints_written};
+  // Three META words since the series columns landed; PR 9 snapshots
+  // carry two (DecodeSnapshot accepts both).
+  const std::uint64_t meta[3] = {
+      rounds_done, checkpoints_written,
+      static_cast<std::uint64_t>(series_capacity_)};
   writer.AddTypedBorrowed<std::uint64_t>(kColMeta, meta);
   writer.AddTypedBorrowed(kColPrefix, prefix_index());
   writer.AddTypedBorrowed(kColPShort, p_short());
@@ -308,6 +429,12 @@ std::vector<std::uint8_t> BlockStore::EncodeSnapshot(
   writer.AddTypedBorrowed(kColMeanShort, mean_short());
   writer.AddTypedBorrowed(kColFinalOperational, final_operational());
   writer.AddTypedBorrowed(kColMeanProbes, mean_probes_per_round());
+  if (series_capacity_ > 0) {
+    writer.AddTypedBorrowed(kColSeriesValue, series_values());
+    writer.AddTypedBorrowed(kColSeriesRound, series_rounds());
+    writer.AddTypedBorrowed(kColSeriesLen, series_len());
+    writer.AddTypedBorrowed(kColSeriesHead, series_head());
+  }
   return writer.Finish();
 }
 
@@ -326,15 +453,26 @@ storage::Error BlockStore::DecodeSnapshot(
   if (reader.fingerprint() != expect_fingerprint) {
     return SnapshotError(path, "campaign fingerprint mismatch");
   }
+  // 2 META words = a PR 9 estimator-only snapshot (no series columns);
+  // 3 = current layout with the ring capacity in meta[2].
   std::span<const std::uint64_t> meta;
-  if (!reader.FetchTyped(kColMeta, 2, meta)) {
+  if (!reader.FetchTyped(kColMeta, 3, meta) &&
+      !reader.FetchTyped(kColMeta, 2, meta)) {
     return SnapshotError(path, "META column missing or malformed");
   }
+  const std::uint64_t meta_capacity = meta.size() == 3 ? meta[2] : 0;
+  if (meta_capacity > (1ull << 30)) {
+    return SnapshotError(path, "implausible series capacity");
+  }
+  const auto capacity = static_cast<std::int32_t>(meta_capacity);
   const storage::ColumnarColumn* prefix = reader.Find(kColPrefix);
   if (prefix == nullptr) {
     return SnapshotError(path, "prefix column missing");
   }
   const std::uint64_t rows = prefix->rows;
+  if (capacity > 0 && rows > (1ull << 63) / meta_capacity / 8) {
+    return SnapshotError(path, "implausible series extent");
+  }
 
   std::span<const std::uint32_t> prefixes;
   std::span<const double> p_short, t_short, p_long, t_long, deviation;
@@ -364,8 +502,21 @@ storage::Error BlockStore::DecodeSnapshot(
   if (!complete) {
     return SnapshotError(path, "column set incomplete or row counts differ");
   }
+  std::span<const double> series_value;
+  std::span<const std::int32_t> series_round, series_len, series_head;
+  if (capacity > 0) {
+    const std::uint64_t ring_rows = rows * meta_capacity;
+    const bool series_complete =
+        reader.FetchTyped(kColSeriesValue, ring_rows, series_value) &&
+        reader.FetchTyped(kColSeriesRound, ring_rows, series_round) &&
+        reader.FetchTyped(kColSeriesLen, rows, series_len) &&
+        reader.FetchTyped(kColSeriesHead, rows, series_head);
+    if (!series_complete) {
+      return SnapshotError(path, "series columns incomplete or mis-sized");
+    }
+  }
 
-  Reset(rows, config_);
+  Reset(rows, config_, capacity);
   const auto adopt = [this](auto offset, const auto& span) {
     using Element = typename std::remove_cvref_t<decltype(span)>::element_type;
     std::memcpy(Column<std::remove_const_t<Element>>(offset), span.data(),
@@ -388,6 +539,12 @@ storage::Error BlockStore::DecodeSnapshot(
   adopt(mean_short_off_, mean_short);
   adopt(final_operational_off_, final_operational);
   adopt(mean_probes_off_, mean_probes);
+  if (capacity > 0) {
+    adopt(series_value_off_, series_value);
+    adopt(series_round_off_, series_round);
+    adopt(series_len_off_, series_len);
+    adopt(series_head_off_, series_head);
+  }
 
   rounds_done = meta[0];
   checkpoints_written = meta[1];

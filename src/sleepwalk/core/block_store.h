@@ -12,6 +12,14 @@
 // (ObserveRound) and a checkpoint is one memcpy per column into the
 // mmap-able SLCK v3 container (storage/columnar.h).
 //
+// The store also carries the analyzer's input: fixed-capacity ring
+// buffers of per-round A-hat_s samples + round stamps, laid out as two
+// more columns (block i's ring at [i*capacity, (i+1)*capacity)) with
+// per-block length/head columns. RecordSeriesRound appends a whole
+// round across a block range in one pass; core/store_analyzer.h sweeps
+// the rings through regularize/trim/stationarity/classify at the end
+// of a campaign, writing the verdict columns in place.
+//
 // Equivalence contract: the batched kernel calls the exact
 // AvailabilityObserve step AvailabilityEstimator delegates to
 // (core/availability.h) — scalar-object and columnar trajectories are
@@ -36,6 +44,7 @@
 
 #include "sleepwalk/core/availability.h"
 #include "sleepwalk/storage/file.h"
+#include "sleepwalk/ts/series.h"
 
 namespace sleepwalk::core {
 
@@ -79,11 +88,15 @@ class BlockStore {
 
   /// Sizes the arena for `n_blocks` and zero-initializes every column
   /// (estimator columns get the AvailabilityState defaults: t = 1.0,
-  /// deviation = config.initial_deviation).
-  void Reset(std::size_t n_blocks, const AvailabilityConfig& config = {});
+  /// deviation = config.initial_deviation). `series_capacity` samples of
+  /// per-block A-hat_s ring-buffer series are carved per block (0 keeps
+  /// the store estimator-only, PR 9 behaviour).
+  void Reset(std::size_t n_blocks, const AvailabilityConfig& config = {},
+             std::int32_t series_capacity = 0);
 
   std::size_t size() const noexcept { return n_; }
   const AvailabilityConfig& config() const noexcept { return config_; }
+  std::int32_t series_capacity() const noexcept { return series_capacity_; }
 
   /// Seeds block `i`'s estimator exactly like the
   /// AvailabilityEstimator constructor ("based on historical data").
@@ -101,6 +114,34 @@ class BlockStore {
   /// per-block Observe() calls.
   void ObserveRound(std::size_t begin, std::size_t end,
                     std::span<const RoundSample> samples) noexcept;
+
+  /// Appends one A-hat_s sample (round stamp + value) to block i's ring.
+  /// When the ring is full the oldest sample is overwritten; the ring
+  /// always holds the most recent `series_capacity` samples in round
+  /// order. No-op when the store was Reset without series columns.
+  void AppendSeriesSample(std::size_t i, std::int64_t round,
+                          double value) noexcept;
+
+  /// The batched series kernel: records round `round`'s A-hat_s (derived
+  /// from the estimator columns, same arithmetic as ShortTerm) for every
+  /// block in [begin, end). Runs right after ObserveRound in the scale
+  /// campaign's inner loop; per-block trajectories are bitwise identical
+  /// to AppendSeriesSample(i, round, ShortTerm(i)) calls.
+  void RecordSeriesRound(std::size_t begin, std::size_t end,
+                         std::int64_t round) noexcept;
+
+  /// Number of valid samples in block i's ring (<= series_capacity).
+  std::int32_t SeriesLength(std::size_t i) const noexcept;
+
+  /// Copies block i's ring oldest-to-newest into `out` (capacity
+  /// reused). The analysis sweep's bridge to ts::Regularize.
+  void CopySeriesOrdered(std::size_t i,
+                         std::vector<ts::Observation>& out) const;
+
+  /// Sets the block's ever-active address count (the stationarity
+  /// test's scale factor), recorded at seed time — before any verdict
+  /// exists — by the scale campaign.
+  void SetEverActive(std::size_t i, std::int32_t count) noexcept;
 
   /// Estimator state round-trip (checkpoint/resume and the ledger's
   /// commit path).
@@ -136,6 +177,13 @@ class BlockStore {
   std::span<const double> mean_short() const noexcept;
   std::span<const double> final_operational() const noexcept;
   std::span<const double> mean_probes_per_round() const noexcept;
+  // Series ring columns: values/rounds are n * series_capacity (block
+  // i's ring occupies [i * capacity, (i+1) * capacity)); len/head are
+  // per-block. Empty spans when the store has no series columns.
+  std::span<const double> series_values() const noexcept;
+  std::span<const std::int32_t> series_rounds() const noexcept;
+  std::span<const std::int32_t> series_len() const noexcept;
+  std::span<const std::int32_t> series_head() const noexcept;
 
   /// Order-sensitive digest over every column — the cheap byte-identity
   /// probe the scale bench compares across worker counts and resumes.
@@ -177,6 +225,7 @@ class BlockStore {
   };
 
   std::size_t n_ = 0;
+  std::int32_t series_capacity_ = 0;
   AvailabilityConfig config_;
   std::unique_ptr<std::uint8_t[], ArenaDelete> arena_;
 
@@ -198,6 +247,10 @@ class BlockStore {
   std::size_t mean_short_off_ = 0;
   std::size_t final_operational_off_ = 0;
   std::size_t mean_probes_off_ = 0;
+  std::size_t series_value_off_ = 0;
+  std::size_t series_round_off_ = 0;
+  std::size_t series_len_off_ = 0;
+  std::size_t series_head_off_ = 0;
 };
 
 /// Container `kind` discriminators for files carrying the SLCK magic:

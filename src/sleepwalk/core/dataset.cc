@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "sleepwalk/core/dataset_columnar.h"
 #include "sleepwalk/net/checksum.h"
 #include "sleepwalk/storage/bytes.h"
 #include "sleepwalk/util/narrow.h"
@@ -167,6 +168,19 @@ std::optional<Dataset> Decode(std::span<const std::uint8_t> bytes,
     return std::nullopt;
   }
   if (report.version == 1) return DecodeV1(in, report);
+  if (report.version == storage::kColumnarVersion) {
+    // SLPW v3 interop: parse the columnar container (all-or-nothing —
+    // per-column CRCs leave nothing to salvage record-by-record, so
+    // strict and tolerant coincide) and materialize per-block vectors.
+    ColumnarDatasetView view;
+    if (auto error = ParseDatasetColumnar(bytes, view); !error.ok()) {
+      report.corrupt_records = 1;
+      report.detail = error.detail;
+      return std::nullopt;
+    }
+    report.records_expected = view.size();
+    return MaterializeDataset(view);
+  }
   if (report.version != kDatasetVersion) {
     report.version_refused = true;
     report.detail = "unsupported version";
@@ -261,12 +275,22 @@ BlockAnalysis Reanalyze(const StoredSeries& stored,
 
 void Reanalyze(const StoredSeries& stored, const AnalyzerConfig& config,
                AnalysisScratch& scratch, BlockAnalysis& out) {
-  // Reset in place; clear()/copy-assign keep capacities warm across the
+  ReanalyzeSeries(stored.block, stored.ever_active, stored.probed,
+                  stored.series.first_round, stored.series.values, config,
+                  scratch, out);
+}
+
+void ReanalyzeSeries(net::Prefix24 block, int ever_active, bool probed,
+                     std::int64_t first_round, std::span<const double> values,
+                     const AnalyzerConfig& config, AnalysisScratch& scratch,
+                     BlockAnalysis& out) {
+  // Reset in place; clear()/assign keep capacities warm across the
   // reanalysis loop (see BlockAnalyzer::Finish).
-  out.block = stored.block;
-  out.ever_active = stored.ever_active;
-  out.probed = stored.probed;
-  out.short_series = stored.series;
+  out.block = block;
+  out.ever_active = ever_active;
+  out.probed = probed;
+  out.short_series.first_round = first_round;
+  out.short_series.values.assign(values.begin(), values.end());
   out.observed_days = 0;
   out.diurnal = DiurnalResult{};
   out.stationarity = ts::StationarityResult{};
@@ -276,20 +300,17 @@ void Reanalyze(const StoredSeries& stored, const AnalyzerConfig& config,
   out.down_rounds = 0;
   out.outage_starts.clear();
   out.outages.clear();
-  if (!stored.probed || stored.series.values.empty()) return;
+  if (!probed || values.empty()) return;
 
-  out.observed_days = ts::WholeDays(stored.series.size(),
+  out.observed_days = ts::WholeDays(values.size(),
                                     config.schedule.round_seconds);
-  out.mean_short =
-      std::accumulate(stored.series.values.begin(),
-                      stored.series.values.end(), 0.0) /
-      static_cast<double>(stored.series.values.size());
+  out.mean_short = std::accumulate(values.begin(), values.end(), 0.0) /
+                   static_cast<double>(values.size());
   out.stationarity = ts::TestStationarity(
-      stored.series.values, stored.ever_active,
-      config.max_trend_addresses_per_day, config.schedule.round_seconds,
-      scratch.index);
-  out.diurnal = ClassifyDiurnal(stored.series.values, out.observed_days,
-                                config.diurnal, nullptr, scratch);
+      values, ever_active, config.max_trend_addresses_per_day,
+      config.schedule.round_seconds, scratch.index);
+  out.diurnal = ClassifyDiurnal(values, out.observed_days, config.diurnal,
+                                nullptr, scratch);
 }
 
 }  // namespace sleepwalk::core

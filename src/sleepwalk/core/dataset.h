@@ -111,6 +111,16 @@ BlockAnalysis Reanalyze(const StoredSeries& stored,
 void Reanalyze(const StoredSeries& stored, const AnalyzerConfig& config,
                AnalysisScratch& scratch, BlockAnalysis& out);
 
+/// THE stored-series analysis chain (WholeDays -> mean -> stationarity
+/// -> classify) over caller-owned samples. Both dataset formats
+/// delegate here — SLPW v2 from its decoded vectors, SLPW v3 straight
+/// off the mapped f32 column — which is what makes their re-analyses
+/// bitwise identical.
+void ReanalyzeSeries(net::Prefix24 block, int ever_active, bool probed,
+                     std::int64_t first_round, std::span<const double> values,
+                     const AnalyzerConfig& config, AnalysisScratch& scratch,
+                     BlockAnalysis& out);
+
 }  // namespace sleepwalk::core
 
 #endif  // SLEEPWALK_CORE_DATASET_H_

@@ -5,7 +5,9 @@
 #include <thread>
 #include <utility>
 
+#include "sleepwalk/core/campaign_ledger.h"
 #include "sleepwalk/core/dataset.h"
+#include "sleepwalk/core/dataset_columnar.h"
 #include "sleepwalk/core/parallel_executor.h"
 #include "sleepwalk/core/supervisor.h"
 
@@ -62,6 +64,53 @@ std::vector<BlockAnalysis> ReanalyzeDataset(const Dataset& dataset,
   }
   for (auto& thread : pool) thread.join();
   return analyses;
+}
+
+DiurnalCounts ReanalyzeDatasetColumnar(const ColumnarDatasetView& view,
+                                       const AnalyzerConfig& config,
+                                       int workers) {
+  const std::size_t n = view.size();
+  DiurnalCounts counts;
+  if (n == 0) return counts;
+  const std::size_t n_workers = std::min<std::size_t>(
+      static_cast<std::size_t>(workers > 0 ? workers : HardwareWorkers()), n);
+  if (n_workers <= 1) {
+    AnalysisScratch scratch;
+    BlockAnalysis analysis;
+    for (std::size_t i = 0; i < n; ++i) {
+      ReanalyzeColumnar(view, i, config, scratch, analysis);
+      ClassifyAnalysis(analysis, /*quarantined=*/false, counts);
+    }
+    return counts;
+  }
+  // Same claim-counter fan-out as ReanalyzeDataset, but each worker
+  // folds into a private DiurnalCounts and reuses ONE BlockAnalysis —
+  // nothing per-block is ever materialized, which is what lets the
+  // 1M-block sweep run in O(workers) memory over the mapping.
+  std::atomic<std::size_t> next{0};
+  std::vector<DiurnalCounts> partial(n_workers);
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    pool.emplace_back([&, w] {
+      AnalysisScratch scratch;
+      BlockAnalysis analysis;
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        ReanalyzeColumnar(view, i, config, scratch, analysis);
+        ClassifyAnalysis(analysis, /*quarantined=*/false, partial[w]);
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  for (const auto& p : partial) {
+    counts.strict += p.strict;
+    counts.relaxed += p.relaxed;
+    counts.non_diurnal += p.non_diurnal;
+    counts.skipped += p.skipped;
+  }
+  return counts;
 }
 
 }  // namespace sleepwalk::core

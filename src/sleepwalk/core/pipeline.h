@@ -142,6 +142,17 @@ std::vector<BlockAnalysis> ReanalyzeDataset(const Dataset& dataset,
                                             const AnalyzerConfig& config = {},
                                             int workers = 0);
 
+struct ColumnarDatasetView;  // core/dataset_columnar.h
+
+/// Re-analyzes an SLPW v3 dataset straight off its mapped view and
+/// aggregates DiurnalCounts — no per-block vectors or output analyses
+/// are materialized, so a 1M-block sweep stays O(workers) in memory.
+/// Counts match ReanalyzeDataset + ClassifyAnalysis of the same data
+/// loaded via SLPW v2 exactly.
+DiurnalCounts ReanalyzeDatasetColumnar(const ColumnarDatasetView& view,
+                                       const AnalyzerConfig& config = {},
+                                       int workers = 0);
+
 }  // namespace sleepwalk::core
 
 #endif  // SLEEPWALK_CORE_PIPELINE_H_

@@ -1,0 +1,76 @@
+// End-of-campaign analysis as a batch sweep over BlockStore columns.
+//
+// The scalar path (BlockAnalyzer::Finish) finalizes one block at a
+// time from per-block heap state. At paper scale the analyzer input
+// lives in the store's series ring columns instead, and this sweep
+// runs the identical stage chain — copy the ring in round order,
+// ts::Regularize, ts::TrimToMidnightUtc, mean, ts::TestStationarity,
+// ClassifyDiurnal through the plan cache — over contiguous block
+// ranges, reusing ONE AnalysisScratch (and thus one FftScratch) per
+// worker. Results land in the store's existing verdict columns.
+//
+// Equivalence contract: for the same recorded samples the verdict
+// columns are bitwise identical to projecting the scalar
+// BlockAnalyzer::Finish output through VerdictOf (campaign_ledger.cc)
+// — same ts::/core:: calls, same doubles, same order; proven by
+// tests/core/store_analyzer_test.cc and re-checked at scale by
+// bench/parallel_scaling.
+//
+// The optional Goertzel screen (core/quick_screen.h) is a triage mode
+// for streaming deployments: blocks failing the O(n) screen skip the
+// FFT and are declared non-diurnal. It trades a bounded screening loss
+// for ~100x less spectral work, so it is OFF by default — the
+// equivalence contract above holds only with the screen disabled.
+#ifndef SLEEPWALK_CORE_STORE_ANALYZER_H_
+#define SLEEPWALK_CORE_STORE_ANALYZER_H_
+
+#include <cstdint>
+
+#include "sleepwalk/core/analysis_scratch.h"
+#include "sleepwalk/core/block_store.h"
+#include "sleepwalk/core/diurnal.h"
+#include "sleepwalk/core/quick_screen.h"
+#include "sleepwalk/probing/scheduler.h"
+
+namespace sleepwalk::core {
+
+/// Sweep knobs: the analysis-stage subset of AnalyzerConfig plus the
+/// screen toggle.
+struct StoreAnalyzerConfig {
+  probing::ScheduleConfig schedule;  ///< round_seconds + epoch_sec
+  DiurnalConfig diurnal;
+  /// Stationarity threshold: address changes per day (§2.2).
+  double max_trend_addresses_per_day = 1.0;
+  /// Two-stage triage: Goertzel-screen each series and FFT-classify
+  /// only the blocks that pass. Breaks bitwise equivalence with the
+  /// always-FFT scalar path (bounded loss, see quick_screen_test), so
+  /// default off.
+  bool goertzel_screen = false;
+  QuickScreenConfig screen;
+};
+
+/// What a sweep saw (summed across workers; deterministic).
+struct StoreAnalyzeStats {
+  std::uint64_t analyzed = 0;      ///< blocks with any recorded rounds
+  std::uint64_t classified = 0;    ///< reached the classify stage
+  std::uint64_t diurnal = 0;       ///< classified != non-diurnal
+  std::uint64_t screened_out = 0;  ///< skipped the FFT via the screen
+};
+
+/// Analyzes blocks [begin, end) in place, one block at a time through
+/// `scratch`. Single-threaded; the unit of work AnalyzeStore shards.
+StoreAnalyzeStats AnalyzeStoreRange(BlockStore& store, std::size_t begin,
+                                    std::size_t end,
+                                    const StoreAnalyzerConfig& config,
+                                    AnalysisScratch& scratch);
+
+/// Full-store sweep with `workers` threads owning contiguous ranges
+/// (serial when <= 1). Block verdicts are index-local, so any worker
+/// count produces byte-identical columns.
+StoreAnalyzeStats AnalyzeStore(BlockStore& store,
+                               const StoreAnalyzerConfig& config,
+                               int workers = 1);
+
+}  // namespace sleepwalk::core
+
+#endif  // SLEEPWALK_CORE_STORE_ANALYZER_H_

@@ -11,13 +11,12 @@ namespace {
 /// Seeds every block: prefix indices are just 0..n-1 (the synthetic
 /// world), initial availability a per-block hash in [0, 1).
 void SeedStore(BlockStore& store, const StoreCampaignConfig& config) {
-  store.Reset(config.n_blocks, config.availability);
+  store.Reset(config.n_blocks, config.availability, config.series_capacity);
   for (std::size_t i = 0; i < config.n_blocks; ++i) {
     const auto prefix = static_cast<std::uint32_t>(i);
-    const std::uint64_t hash = MixHash(config.seed ^ 0xb10c5eedULL, prefix);
-    const double initial =
-        static_cast<double>(hash & 0xffff) / 65536.0;
-    store.SeedBlock(i, prefix, initial);
+    store.SeedBlock(i, prefix,
+                    SyntheticInitialAvailability(config.seed, prefix));
+    store.SetEverActive(i, SyntheticEverActive(config.seed, prefix));
   }
 }
 
@@ -29,12 +28,16 @@ void RunWorker(BlockStore& store, const StoreCampaignConfig& config,
                std::int64_t last) {
   std::vector<RoundSample> samples(end - begin);
   const auto prefixes = store.prefix_index();
+  const bool record_series = store.series_capacity() > 0;
   for (std::int64_t round = first; round < last; ++round) {
     for (std::size_t i = begin; i < end; ++i) {
       samples[i - begin] =
           SyntheticRoundSample(config.seed, prefixes[i], round);
     }
     store.ObserveRound(begin, end, samples);
+    // Record the post-round A-hat_s like the scalar analyzer's
+    // raw_.Add(round, estimator.ShortTerm()) — one batched pass.
+    if (record_series) store.RecordSeriesRound(begin, end, round);
   }
 }
 
@@ -69,15 +72,27 @@ void RunSegment(BlockStore& store, const StoreCampaignConfig& config,
 std::uint64_t StoreCampaignFingerprint(const StoreCampaignConfig& config) {
   // Worker count and checkpoint cadence are deliberately excluded: a
   // snapshot is a valid resume point for any parallelism or stride.
+  // Series capacity and the schedule ARE included: a snapshot without
+  // the rings (or with a different round length) cannot seed the same
+  // classify sweep.
   std::uint64_t hash =
       MixHash(config.seed, config.n_blocks,
               static_cast<std::uint64_t>(config.n_rounds));
   const auto& a = config.availability;
   hash = MixHash(hash, static_cast<std::uint64_t>(a.alpha_short * 1e9),
                  static_cast<std::uint64_t>(a.alpha_long * 1e9));
-  return MixHash(hash,
+  hash = MixHash(hash,
                  static_cast<std::uint64_t>(a.operational_floor * 1e9),
                  static_cast<std::uint64_t>(a.initial_deviation * 1e9));
+  if (config.series_capacity > 0) {
+    hash = MixHash(
+        hash, static_cast<std::uint64_t>(config.series_capacity),
+        static_cast<std::uint64_t>(config.analyzer.schedule.round_seconds));
+    hash = MixHash(
+        hash, static_cast<std::uint64_t>(config.analyzer.schedule.epoch_sec),
+        static_cast<std::uint64_t>(config.classify ? 1 : 0));
+  }
+  return hash;
 }
 
 StoreCampaignOutcome RunStoreCampaign(BlockStore& store,
@@ -122,6 +137,15 @@ StoreCampaignOutcome RunStoreCampaign(BlockStore& store,
                  stride > 0 ? rounds_done + stride : config.n_rounds);
     RunSegment(store, config, rounds_done, last);
     rounds_done = last;
+
+    // The classify sweep runs when the final round completes, BEFORE
+    // the final checkpoint: the snapshot then carries the verdict
+    // columns, so a resume of a completed campaign (and the byte-
+    // identity proof across kill points) sees classified state.
+    if (config.classify && rounds_done >= config.n_rounds) {
+      const int workers = std::max(1, config.workers);
+      outcome.analyze = AnalyzeStore(store, config.analyzer, workers);
+    }
 
     if (checkpointing) {
       ++checkpoints_written;  // write-ahead self-count, like SLCK v2

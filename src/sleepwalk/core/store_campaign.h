@@ -29,6 +29,7 @@
 #include <string>
 
 #include "sleepwalk/core/block_store.h"
+#include "sleepwalk/core/store_analyzer.h"
 #include "sleepwalk/storage/file.h"
 #include "sleepwalk/util/rng.h"
 
@@ -53,6 +54,18 @@ struct StoreCampaignConfig {
   /// this many rounds, leaving the boundary snapshot on disk;
   /// 0 = run to completion. The crash/resume tests' kill switch.
   std::int64_t stop_after_rounds = 0;
+
+  /// Per-block A-hat_s ring capacity (samples retained for the
+  /// end-of-campaign classify sweep). 0 = estimator-only (PR 9
+  /// behaviour): no series columns, no classification possible.
+  std::int32_t series_capacity = 0;
+  /// Run the full analyze+classify sweep (core/store_analyzer.h) over
+  /// the columns when the last round completes, before the final
+  /// checkpoint — so the final snapshot carries the verdicts and a
+  /// killed+resumed run stays byte-identical to an uninterrupted one.
+  bool classify = false;
+  /// Sweep knobs (schedule/diurnal/stationarity/screen).
+  StoreAnalyzerConfig analyzer;
 };
 
 /// What a (possibly resumed, possibly killed) store campaign reports.
@@ -63,6 +76,10 @@ struct StoreCampaignOutcome {
   std::uint64_t checkpoints_written = 0;
   std::uint64_t digest = 0;  ///< BlockStore::Digest() of the final state
   std::string error;         ///< first storage failure, empty when clean
+  /// Classify-sweep outcome (all zero unless config.classify ran this
+  /// process; a resumed-complete campaign's verdicts live in the
+  /// snapshot columns, not here).
+  StoreAnalyzeStats analyze;
 };
 
 /// The deterministic synthetic observation for (seed, block, round):
@@ -85,6 +102,23 @@ inline RoundSample SyntheticRoundSample(std::uint64_t seed,
       (level + (day_phase < 66 ? 4 : 0)) * total / 24;
   if (positives > total) positives = total;
   return {positives, total};
+}
+
+/// Per-block seed-time attributes, exposed so the scalar reference in
+/// tests/benches can reconstruct exactly what SeedStore planted.
+inline double SyntheticInitialAvailability(std::uint64_t seed,
+                                           std::uint32_t prefix_index) noexcept {
+  const std::uint64_t hash = MixHash(seed ^ 0xb10c5eedULL, prefix_index);
+  return static_cast<double>(hash & 0xffff) / 65536.0;
+}
+
+/// Synthetic E(b) size: 16..79 ever-active addresses, comfortably past
+/// the Trinocular probing floor and varied enough to exercise the
+/// stationarity scale factor.
+inline std::int32_t SyntheticEverActive(std::uint64_t seed,
+                                        std::uint32_t prefix_index) noexcept {
+  const std::uint64_t hash = MixHash(seed ^ 0xb10c5eedULL, prefix_index);
+  return 16 + static_cast<std::int32_t>((hash >> 16) & 0x3f);
 }
 
 /// Identity of a store campaign; snapshots from a different identity

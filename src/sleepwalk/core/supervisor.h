@@ -74,11 +74,13 @@ struct SupervisorConfig {
   /// self-heals from the newest intact generation. <= 1 keeps only the
   /// primary file (no rotation, no self-healing).
   int checkpoint_keep = 3;
-  /// On-disk checkpoint encoding: kCheckpointVersion (2, row-oriented)
-  /// or kCheckpointVersionColumnar (3, the page-aligned columnar
-  /// container loaded zero-copy through storage::Env::Map — the right
-  /// choice at paper scale). Resume reads either format regardless.
-  std::uint32_t checkpoint_format = kCheckpointVersion;
+  /// On-disk checkpoint encoding: kCheckpointVersionColumnar (3, the
+  /// page-aligned columnar container loaded zero-copy through
+  /// storage::Env::Map — the right choice at paper scale, and the
+  /// default) or kCheckpointVersion (2, row-oriented; campaigns pinned
+  /// to the legacy layout set it explicitly). Resume reads either
+  /// format regardless of this setting.
+  std::uint32_t checkpoint_format = kCheckpointVersionColumnar;
   /// Filesystem seam all persistence goes through; null means the real
   /// POSIX filesystem. Tests inject storage::MemEnv or storage::FaultyEnv
   /// here to prove crash safety.

@@ -14,6 +14,7 @@
 #include "sleepwalk/core/block_analyzer.h"
 #include "sleepwalk/core/daily_profile.h"
 #include "sleepwalk/core/dataset.h"
+#include "sleepwalk/core/dataset_columnar.h"
 #include "sleepwalk/core/diurnal.h"
 #include "sleepwalk/core/checkpoint.h"
 #include "sleepwalk/core/parallel_executor.h"

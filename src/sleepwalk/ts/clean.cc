@@ -6,6 +6,12 @@ namespace sleepwalk::ts {
 
 bool Regularize(const RawSeries& raw, RegularizeScratch& scratch,
                 EvenSeries& out, CleanStats* stats) {
+  return Regularize(std::span<const Observation>(raw.observations()),
+                    scratch, out, stats);
+}
+
+bool Regularize(std::span<const Observation> raw, RegularizeScratch& scratch,
+                EvenSeries& out, CleanStats* stats) {
   out.values.clear();
   if (raw.empty()) return false;
   CleanStats local_stats;
@@ -15,16 +21,16 @@ bool Regularize(const RawSeries& raw, RegularizeScratch& scratch,
   // observation per round wins — appends are in arrival order, so a
   // later entry supersedes an earlier one). The slot walk replaces the
   // per-call std::map whose node allocations dominated cleaning cost.
-  std::int64_t first = raw.observations().front().round;
+  std::int64_t first = raw.front().round;
   std::int64_t last = first;
-  for (const auto& obs : raw.observations()) {
+  for (const auto& obs : raw) {
     first = std::min(first, obs.round);
     last = std::max(last, obs.round);
   }
   const auto width = static_cast<std::size_t>(last - first + 1);
   scratch.slot_value.assign(width, 0.0);
   scratch.slot_seen.assign(width, 0);
-  for (const auto& obs : raw.observations()) {
+  for (const auto& obs : raw) {
     const auto slot = static_cast<std::size_t>(obs.round - first);
     if (scratch.slot_seen[slot] != 0) ++local_stats.duplicates_dropped;
     scratch.slot_seen[slot] = 1;

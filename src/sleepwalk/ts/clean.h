@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sleepwalk/ts/series.h"
@@ -40,6 +41,13 @@ struct RegularizeScratch {
 /// Writes into `out` (capacity reused) and returns false for an empty
 /// input, in which case `out` is left empty.
 bool Regularize(const RawSeries& raw, RegularizeScratch& scratch,
+                EvenSeries& out, CleanStats* stats = nullptr);
+
+/// Span form of the scratch overload: same algorithm over observations
+/// that live in caller-owned storage (the columnar store's ring
+/// buffers) rather than a RawSeries. The RawSeries overload delegates
+/// here, so the two are bitwise identical by construction.
+bool Regularize(std::span<const Observation> raw, RegularizeScratch& scratch,
                 EvenSeries& out, CleanStats* stats = nullptr);
 
 /// Allocating convenience wrapper. Returns nullopt for an empty input.

@@ -41,6 +41,9 @@ core::SupervisorConfig ConfigFor(storage::Env& env, int keep = 3) {
   core::SupervisorConfig config;
   config.checkpoint_path = kPath;
   config.checkpoint_keep = keep;
+  // This suite probes the v2 row format specifically (v3 containers get
+  // the same treatment in checkpoint_columnar_test.cc).
+  config.checkpoint_format = core::kCheckpointVersion;
   config.env = &env;
   return config;
 }

@@ -129,11 +129,22 @@ TEST(DatasetRobustness, TolerantDecodeStillRefusesABrokenHeader) {
 
 TEST(DatasetRobustness, ForeignVersionIsRefusedNotMisread) {
   auto bytes = EncodeDataset(TestAnalyses(), 660, 42);
-  bytes[4] = 3;  // version u32 LSB: 2 -> 3
+  bytes[4] = 9;  // version u32 LSB: 2 -> 9 (no such format)
   DatasetLoadReport report;
   EXPECT_FALSE(DecodeDataset(bytes, &report).has_value());
   EXPECT_TRUE(report.version_refused);
   EXPECT_FALSE(DecodeDatasetTolerant(bytes).has_value());
+}
+
+TEST(DatasetRobustness, V2BodyMasqueradingAsV3IsRefused) {
+  // Version says columnar, the body is framed v2: the columnar parser
+  // must fail closed (header CRC covers the version field), never
+  // misread frames as a column directory.
+  auto bytes = EncodeDataset(TestAnalyses(), 660, 42);
+  bytes[4] = 3;
+  DatasetLoadReport report;
+  EXPECT_FALSE(DecodeDataset(bytes, &report).has_value());
+  EXPECT_GE(report.corrupt_records, 1);
 }
 
 TEST(DatasetRobustness, V1FilesStillRead) {

@@ -11,10 +11,10 @@
 // write): saves fail and are logged, but the campaign completes and the
 // dataset must not change by a single byte.
 //
-// Both matrices run once per on-disk checkpoint format: SLCK v2 (the
-// row-oriented default) and SLCK v3 (the columnar container resumed
-// through the zero-copy Env::Map seam) — the durability discipline is
-// format-independent.
+// Both matrices run once per on-disk checkpoint format: SLCK v3 (the
+// columnar container resumed through the zero-copy Env::Map seam, and
+// the SupervisorConfig default) and SLCK v2 (the legacy row-oriented
+// layout) — the durability discipline is format-independent.
 #include <gtest/gtest.h>
 
 #include <cstdint>

@@ -4,9 +4,9 @@
 //   slck_fsck --verbose FILE   add per-file structural detail
 //
 // Understands SLCK (checkpoint) v1/v2/v3 — including v3 block-store
-// snapshots (kind 2) — and SLPW (dataset) v1/v2 by sniffing the magic
-// and, for v3 containers, the kind discriminator. Exit status: 0 when
-// every file decodes intact,
+// snapshots (kind 2) — and SLPW (dataset) v1/v2/v3 — including v3
+// columnar datasets — by sniffing the magic and, for v3 containers,
+// the kind discriminator. Exit status: 0 when every file decodes intact,
 // 1 when any file is corrupt/truncated/unreadable, 2 on usage errors.
 // scripts/tier1.sh runs it over freshly written artifacts so a format
 // regression (bad CRC, broken framing) fails the tier-1 gate, and
@@ -20,6 +20,7 @@
 #include "sleepwalk/core/block_store.h"
 #include "sleepwalk/core/checkpoint.h"
 #include "sleepwalk/core/dataset.h"
+#include "sleepwalk/core/dataset_columnar.h"
 #include "sleepwalk/storage/columnar.h"
 #include "sleepwalk/storage/file.h"
 
@@ -115,8 +116,41 @@ bool CheckSlck(const std::vector<std::uint8_t>& bytes,
   return CheckCheckpoint(bytes, path, verbose);
 }
 
+/// SLPW v3 columnar datasets get the dedicated parser: the full
+/// ColumnarReader strictness pass plus the cross-column offset/count
+/// prefix-sum validation, with a per-column directory walk under
+/// --verbose (what an operator needs to see WHICH column rotted).
+bool CheckDatasetColumnar(const std::vector<std::uint8_t>& bytes,
+                          const std::string& path, bool verbose) {
+  core::ColumnarDatasetView view;
+  if (const auto error = core::ParseDatasetColumnar(bytes, view, path);
+      !error.ok()) {
+    std::cout << path << ": SLPW v3 columnar dataset CORRUPT ("
+              << error.ToString() << ")\n";
+    return false;
+  }
+  std::cout << path << ": SLPW v3 columnar dataset ok, " << view.size()
+            << " block(s), " << view.values.size() << " sample(s)\n";
+  if (verbose) {
+    std::cout << "  round_seconds " << view.round_seconds << ", epoch_sec "
+              << view.epoch_sec << "\n";
+    storage::ColumnarReader reader;
+    if (reader.Parse(bytes, "SLPW", path).ok()) {
+      for (const auto& column : reader.columns()) {
+        std::cout << "  column id " << column.id << ": " << column.rows
+                  << " row(s) x " << column.elem_width << " byte(s)\n";
+      }
+    }
+  }
+  return true;
+}
+
 bool CheckDataset(const std::vector<std::uint8_t>& bytes,
                   const std::string& path, bool verbose) {
+  if (storage::PeekContainerVersion(bytes, "SLPW") ==
+      storage::kColumnarVersion) {
+    return CheckDatasetColumnar(bytes, path, verbose);
+  }
   core::DatasetLoadReport report;
   const auto dataset = core::DecodeDataset(bytes, &report);
   if (!dataset) {
